@@ -1,0 +1,88 @@
+// Ablation B — the four run-time adaptation mechanisms of Section 2.3,
+// disabled one at a time on the two scenarios that stress them: the forced
+// disk spin-up (Figure 4) and the stale profile (Figure 5).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/flexfetch.hpp"
+#include "harness.hpp"
+#include "sim/simulator.hpp"
+
+using namespace flexfetch;
+
+namespace {
+
+struct Variant {
+  const char* label;
+  core::FlexFetchConfig config;
+};
+
+std::vector<Variant> variants() {
+  std::vector<Variant> out;
+  out.push_back({"full", core::FlexFetchConfig{}});
+  {
+    core::FlexFetchConfig c;
+    c.adapt_splice = false;
+    out.push_back({"-splice", c});
+  }
+  {
+    core::FlexFetchConfig c;
+    c.adapt_stage_audit = false;
+    out.push_back({"-stage-audit", c});
+  }
+  {
+    core::FlexFetchConfig c;
+    c.adapt_cache_filter = false;
+    out.push_back({"-cache-filter", c});
+  }
+  {
+    core::FlexFetchConfig c;
+    c.adapt_free_rider = false;
+    out.push_back({"-free-rider", c});
+  }
+  out.push_back({"none (static)", core::FlexFetchConfig::static_variant()});
+  return out;
+}
+
+void run_scenario(const workloads::ScenarioBundle& scenario) {
+  std::printf("--- %s ---\n", scenario.name.c_str());
+  std::printf("%-16s %12s %12s %9s %9s %9s %9s\n", "variant", "energy[J]",
+              "makespan", "splices", "audits", "freerides", "filtered");
+  for (const auto& v : variants()) {
+    core::FlexFetchPolicy policy(v.config, scenario.profiles);
+    sim::Simulator simulator(sim::SimConfig{}, scenario.programs, policy);
+    const auto r = simulator.run();
+    const auto& s = policy.stats();
+    std::printf("%-16s %12.1f %12.1f %9llu %9llu %9llu %9llu\n", v.label,
+                r.total_energy(), r.makespan,
+                static_cast<unsigned long long>(s.splice_switches),
+                static_cast<unsigned long long>(s.audit_overrides),
+                static_cast<unsigned long long>(s.free_rider_redirects),
+                static_cast<unsigned long long>(s.cache_filtered_requests));
+  }
+  std::printf("\n");
+}
+
+void BM_AdaptiveFlexFetchForcedSpinup(benchmark::State& state) {
+  const auto scenario = workloads::scenario_forced_spinup(1);
+  for (auto _ : state) {
+    core::FlexFetchPolicy policy(core::FlexFetchConfig{}, scenario.profiles);
+    sim::Simulator simulator(sim::SimConfig{}, scenario.programs, policy);
+    benchmark::DoNotOptimize(simulator.run().total_energy());
+  }
+}
+BENCHMARK(BM_AdaptiveFlexFetchForcedSpinup)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Ablation B: Section 2.3 adaptation mechanisms ===\n\n");
+  run_scenario(workloads::scenario_forced_spinup(1));
+  run_scenario(workloads::scenario_stale_acroread(1));
+  run_scenario(workloads::scenario_thunderbird(1));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation E — the C-SCAN I/O scheduler vs FIFO dispatch, under the
+// distance-dependent seek model. The paper's simulator "emulates ... the
+// C-SCAN I/O request scheduling mechanism" (Section 3.1); this bench shows
+// what the elevator buys on a seek-heavy workload: write-back batches of
+// pages dirtied across many scattered files.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "harness.hpp"
+#include "policies/fixed.hpp"
+#include "sim/simulator.hpp"
+#include "trace/builder.hpp"
+
+using namespace flexfetch;
+
+namespace {
+
+/// Scatter-writer: dirties pages across many files in shuffled order, then
+/// idles so the background flusher writes everything back in one batch.
+trace::Trace scatter_write_trace(std::size_t files, std::uint64_t seed) {
+  Rng rng(seed);
+  trace::TraceBuilder b("scatter");
+  b.process(90, 90);
+  std::vector<trace::Inode> order(files);
+  for (std::size_t i = 0; i < files; ++i) order[i] = 50'000 + i;
+  for (std::size_t i = files; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform_int(0, i - 1)]);
+  }
+  for (const auto ino : order) {
+    b.write(ino, 0, 8 * kKiB);
+    b.think(0.002);
+  }
+  b.think(45.0);          // Let the flusher drain the dirty set.
+  b.read(99'999, 0, 4096);  // Final marker read.
+  return b.build();
+}
+
+sim::SimResult run(bool use_cscan, std::size_t files) {
+  sim::SimConfig config;
+  config.disk.seek_model = device::DiskParams::SeekModel::kDistance;
+  config.use_cscan = use_cscan;
+  policies::DiskOnlyPolicy policy;
+  return sim::simulate(config, scatter_write_trace(files, 7), policy);
+}
+
+void print_comparison() {
+  std::printf("%-8s %12s %12s %14s %14s %10s\n", "files", "order",
+              "energy[J]", "seek-time[s]", "io-time[s]", "merges");
+  for (const std::size_t files : {200u, 800u, 2000u}) {
+    for (const bool cscan : {false, true}) {
+      const auto r = run(cscan, files);
+      std::printf("%-8zu %12s %12.1f %14.3f %14.3f %10llu\n", files,
+                  cscan ? "C-SCAN" : "FIFO", r.total_energy(),
+                  r.disk_counters.seek_time, r.io_time,
+                  static_cast<unsigned long long>(r.scheduler_stats.merged));
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_ScatterFlushCScan(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run(true, 800).total_energy());
+  }
+}
+BENCHMARK(BM_ScatterFlushCScan)->Unit(benchmark::kMillisecond);
+
+void BM_ScatterFlushFifo(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run(false, 800).total_energy());
+  }
+}
+BENCHMARK(BM_ScatterFlushFifo)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Ablation E: C-SCAN elevator vs FIFO dispatch ===\n");
+  std::printf("(distance-dependent seek model; scattered write-back batch)\n\n");
+  print_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation A — the user-specified maximum tolerable performance loss rate
+// (Section 2.2). The paper fixes it at 25%; this bench sweeps it to show
+// the energy/performance trade-off it controls.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/flexfetch.hpp"
+#include "harness.hpp"
+#include "sim/simulator.hpp"
+
+using namespace flexfetch;
+
+namespace {
+
+void run_sweep(const workloads::ScenarioBundle& scenario) {
+  std::printf("--- %s ---\n", scenario.name.c_str());
+  std::printf("%-12s %14s %14s %14s %14s\n", "loss_rate", "energy[J]",
+              "makespan[s]", "disk[J]", "wnic[J]");
+  for (const double rate : {0.0, 0.05, 0.10, 0.25, 0.50, 1.0, 4.0}) {
+    core::FlexFetchConfig config;
+    config.loss_rate = rate;
+    core::FlexFetchPolicy policy(config, scenario.profiles);
+    sim::Simulator simulator(sim::SimConfig{}, scenario.programs, policy);
+    const auto r = simulator.run();
+    std::printf("%-12.2f %14.1f %14.1f %14.1f %14.1f\n", rate,
+                r.total_energy(), r.makespan, r.disk_energy(),
+                r.wnic_energy());
+  }
+  std::printf("\n");
+}
+
+void BM_LossRateDecision(benchmark::State& state) {
+  const core::Estimate disk{.time = 10.0, .energy = 100.0};
+  const core::Estimate net{.time = 11.0, .energy = 60.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::decide_source(disk, net, 0.25));
+  }
+}
+BENCHMARK(BM_LossRateDecision);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Ablation A: maximum tolerable performance loss rate ===\n");
+  std::printf("(paper uses 25%%; rule 3 of Section 2.2)\n\n");
+  run_sweep(workloads::scenario_grep_make(1));
+  run_sweep(workloads::scenario_mplayer(1));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

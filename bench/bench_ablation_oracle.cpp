@@ -1,0 +1,53 @@
+// Ablation D — how close does FlexFetch, working from a one-run-old
+// profile, get to an Oracle that sees the exact future burst structure?
+// Reported for every Section 3.3 scenario alongside the fixed policies.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "harness.hpp"
+#include "policies/factory.hpp"
+
+using namespace flexfetch;
+
+namespace {
+
+void run_scenarios() {
+  std::printf("%-24s %12s %12s %12s %12s %10s\n", "scenario", "FlexFetch",
+              "Oracle", "Disk-only", "WNIC-only", "FF/Oracle");
+  const auto wnic = device::WnicParams::cisco_aironet350();
+  for (const auto& scenario : workloads::all_scenarios(1)) {
+    const double ff =
+        bench::run_once(scenario, "flexfetch", wnic).total_energy();
+    const double oracle =
+        bench::run_once(scenario, "oracle", wnic).total_energy();
+    const double disk =
+        bench::run_once(scenario, "disk-only", wnic).total_energy();
+    const double net =
+        bench::run_once(scenario, "wnic-only", wnic).total_energy();
+    std::printf("%-24s %12.1f %12.1f %12.1f %12.1f %10.3f\n",
+                scenario.name.c_str(), ff, oracle, disk, net, ff / oracle);
+  }
+  std::printf("\n");
+}
+
+void BM_OracleGrepMake(benchmark::State& state) {
+  const auto scenario = workloads::scenario_grep_make(1);
+  for (auto _ : state) {
+    const auto r = bench::run_once(scenario, "oracle",
+                                   device::WnicParams::cisco_aironet350());
+    benchmark::DoNotOptimize(r.total_energy());
+  }
+}
+BENCHMARK(BM_OracleGrepMake)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Ablation D: FlexFetch vs clairvoyant Oracle ===\n\n");
+  run_scenarios();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

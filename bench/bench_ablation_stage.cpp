@@ -1,0 +1,57 @@
+// Ablation C — the evaluation-stage length (Section 2.2). The paper uses
+// 40 s: long enough for stable estimates, short enough for timely
+// correction. This bench sweeps the threshold.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/flexfetch.hpp"
+#include "core/stage.hpp"
+#include "harness.hpp"
+#include "sim/simulator.hpp"
+
+using namespace flexfetch;
+
+namespace {
+
+void run_sweep(const workloads::ScenarioBundle& scenario) {
+  std::printf("--- %s ---\n", scenario.name.c_str());
+  std::printf("%-14s %10s %12s %12s %9s %9s\n", "stage_len[s]", "stages",
+              "energy[J]", "makespan[s]", "audits", "splices");
+  for (const double len : {10.0, 20.0, 40.0, 80.0, 160.0}) {
+    core::FlexFetchConfig config;
+    config.stage_min_length = len;
+    core::FlexFetchPolicy policy(config, scenario.profiles);
+    sim::Simulator simulator(sim::SimConfig{}, scenario.programs, policy);
+    const auto r = simulator.run();
+    std::printf("%-14.0f %10llu %12.1f %12.1f %9llu %9llu\n", len,
+                static_cast<unsigned long long>(policy.stats().stages_entered),
+                r.total_energy(), r.makespan,
+                static_cast<unsigned long long>(policy.stats().audit_overrides),
+                static_cast<unsigned long long>(policy.stats().splice_switches));
+  }
+  std::printf("\n");
+}
+
+void BM_StageSegmentation(benchmark::State& state) {
+  const auto scenario = workloads::scenario_grep_make(1);
+  const auto merged =
+      core::Profile::merge(scenario.profiles, "bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::segment_stages(merged, 40.0).size());
+  }
+}
+BENCHMARK(BM_StageSegmentation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Ablation C: evaluation-stage length ===\n");
+  std::printf("(paper uses 40 s)\n\n");
+  run_sweep(workloads::scenario_grep_make(1));
+  run_sweep(workloads::scenario_stale_acroread(1));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation F — the cost of replica synchronization, which the paper's
+// evaluation assumes away ("data sets ... are available on both local hard
+// disk and remote server and synced", Section 3.1; Section 5 defers the
+// study). With the hoard/sync substrate enabled, local writes must be
+// shipped to the server over the WNIC: this bench quantifies the energy
+// overhead across sync intervals on the write-heavy programming workload.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "harness.hpp"
+#include "policies/factory.hpp"
+
+using namespace flexfetch;
+
+namespace {
+
+sim::SimResult run(const workloads::ScenarioBundle& scenario,
+                   const std::string& policy_name, double sync_interval) {
+  sim::SimConfig config;
+  if (sync_interval > 0) {
+    config.enable_sync = true;
+    config.sync.interval = sync_interval;
+  }
+  auto policy = policies::make_policy(policy_name, scenario.profiles,
+                                      &scenario.oracle_future);
+  sim::Simulator simulator(config, scenario.programs, *policy);
+  return simulator.run();
+}
+
+void print_sweep(const workloads::ScenarioBundle& scenario,
+                 const std::string& policy_name) {
+  std::printf("--- %s under %s ---\n", scenario.name.c_str(),
+              policy_name.c_str());
+  std::printf("%-14s %12s %12s %12s %10s %12s\n", "interval[s]", "energy[J]",
+              "overhead[%]", "sync[MB]", "batches", "makespan[s]");
+  const double base = run(scenario, policy_name, 0).total_energy();
+  std::printf("%-14s %12.1f %12s %12s %10s %12s\n", "off", base, "-", "-",
+              "-", "-");
+  for (const double interval : {30.0, 120.0, 600.0}) {
+    const auto r = run(scenario, policy_name, interval);
+    std::printf("%-14.0f %12.1f %12.1f %12.2f %10llu %12.1f\n", interval,
+                r.total_energy(), (r.total_energy() / base - 1.0) * 100.0,
+                static_cast<double>(r.sync_bytes) / 1e6,
+                static_cast<unsigned long long>(r.sync_batches), r.makespan);
+  }
+  std::printf("\n");
+}
+
+void BM_GrepMakeWithSync(benchmark::State& state) {
+  const auto scenario = workloads::scenario_grep_make(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run(scenario, "flexfetch", 120.0).total_energy());
+  }
+}
+BENCHMARK(BM_GrepMakeWithSync)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Ablation F: replica synchronization overhead ===\n\n");
+  print_sweep(workloads::scenario_grep_make(1), "flexfetch");
+  print_sweep(workloads::scenario_grep_make(1), "disk-only");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation G — the disk spin-down timeout (the paper's Section 4 related
+// work: fixed thresholds [6] vs adaptive ones [7]). Swept on the two
+// workloads at the opposite ends of the idle-gap spectrum: Thunderbird's
+// email phase (~22 s gaps, straddling the default) and mplayer's 40 s
+// refills, under Disk-only and under FlexFetch.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "harness.hpp"
+#include "policies/factory.hpp"
+
+using namespace flexfetch;
+
+namespace {
+
+sim::SimResult run(const workloads::ScenarioBundle& scenario,
+                   const std::string& policy_name, double timeout,
+                   bool adaptive) {
+  sim::SimConfig config;
+  if (timeout > 0) config.disk.spin_down_timeout = timeout;
+  config.adaptive_disk_timeout = adaptive;
+  auto policy = policies::make_policy(policy_name, scenario.profiles,
+                                      &scenario.oracle_future);
+  sim::Simulator simulator(config, scenario.programs, *policy);
+  return simulator.run();
+}
+
+void sweep(const workloads::ScenarioBundle& scenario,
+           const std::string& policy_name) {
+  std::printf("--- %s under %s ---\n", scenario.name.c_str(),
+              policy_name.c_str());
+  std::printf("%-14s %12s %10s %12s\n", "timeout[s]", "energy[J]", "spinups",
+              "makespan[s]");
+  for (const double timeout : {5.0, 10.0, 20.0, 40.0, 80.0}) {
+    const auto r = run(scenario, policy_name, timeout, false);
+    std::printf("%-14.0f %12.1f %10llu %12.1f\n", timeout, r.total_energy(),
+                static_cast<unsigned long long>(r.disk_counters.spin_ups),
+                r.makespan);
+  }
+  const auto r = run(scenario, policy_name, 0, true);
+  std::printf("%-14s %12.1f %10llu %12.1f\n", "adaptive", r.total_energy(),
+              static_cast<unsigned long long>(r.disk_counters.spin_ups),
+              r.makespan);
+  std::printf("\n");
+}
+
+void BM_AdaptiveTimeoutThunderbird(benchmark::State& state) {
+  const auto scenario = workloads::scenario_thunderbird(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run(scenario, "disk-only", 0, true).total_energy());
+  }
+}
+BENCHMARK(BM_AdaptiveTimeoutThunderbird)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Ablation G: disk spin-down timeout (fixed vs adaptive) ===\n\n");
+  sweep(workloads::scenario_thunderbird(1), "disk-only");
+  sweep(workloads::scenario_mplayer(1), "disk-only");
+  sweep(workloads::scenario_thunderbird(1), "flexfetch");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 1 — "grep+make: Energy consumptions with various WNIC bandwidths
+// and latencies" (Section 3.3.1, the programming scenario).
+//
+// Expected shape (paper): at low latency BlueFS > Disk-only > WNIC-only >
+// FlexFetch; WNIC-only rises steeply with latency and crosses Disk-only;
+// FlexFetch converges towards Disk-only at high latency.
+
+#include <benchmark/benchmark.h>
+
+#include "harness.hpp"
+
+using namespace flexfetch;
+
+namespace {
+
+void BM_SimulateGrepMakeFlexFetch(benchmark::State& state) {
+  const auto scenario = workloads::scenario_grep_make(1);
+  for (auto _ : state) {
+    const auto r = bench::run_once(scenario, "flexfetch",
+                                   device::WnicParams::cisco_aironet350());
+    benchmark::DoNotOptimize(r.total_energy());
+  }
+}
+BENCHMARK(BM_SimulateGrepMakeFlexFetch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::SweepSpec spec;
+  spec.policies = {"flexfetch", "bluefs", "disk-only", "wnic-only"};
+  bench::print_figure("Figure 1 (grep+make)", workloads::scenario_grep_make(1),
+                      spec);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 2 — "mplayer: Energy consumptions with various WNIC bandwidths and
+// latencies" (Section 3.3.2, the media streaming scenario).
+//
+// Expected shape (paper): FlexFetch tracks WNIC-only; BlueFS wastes energy
+// on both devices; in the bandwidth sweep FlexFetch switches to the disk
+// below ~2 Mbps and saves substantially versus WNIC-only there.
+
+#include <benchmark/benchmark.h>
+
+#include "harness.hpp"
+
+using namespace flexfetch;
+
+namespace {
+
+void BM_SimulateMplayerFlexFetch(benchmark::State& state) {
+  const auto scenario = workloads::scenario_mplayer(1);
+  for (auto _ : state) {
+    const auto r = bench::run_once(scenario, "flexfetch",
+                                   device::WnicParams::cisco_aironet350());
+    benchmark::DoNotOptimize(r.total_energy());
+  }
+}
+BENCHMARK(BM_SimulateMplayerFlexFetch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::SweepSpec spec;
+  spec.policies = {"flexfetch", "bluefs", "disk-only", "wnic-only"};
+  bench::print_figure("Figure 2 (mplayer)", workloads::scenario_mplayer(1),
+                      spec);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

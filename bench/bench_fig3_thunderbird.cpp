@@ -1,0 +1,37 @@
+// Figure 3 — "Thunderbird: Energy consumptions with various WNIC bandwidths
+// and latencies" (Section 3.3.3, the email search scenario).
+//
+// Expected shape (paper): Disk-only is expensive (sparse small email reads
+// thrash the spin-down timer); WNIC-only crosses above Disk-only past
+// ~15 ms latency; FlexFetch beats BlueFS by ~17% and both adaptive schemes
+// are insensitive to bandwidth.
+
+#include <benchmark/benchmark.h>
+
+#include "harness.hpp"
+
+using namespace flexfetch;
+
+namespace {
+
+void BM_SimulateThunderbirdFlexFetch(benchmark::State& state) {
+  const auto scenario = workloads::scenario_thunderbird(1);
+  for (auto _ : state) {
+    const auto r = bench::run_once(scenario, "flexfetch",
+                                   device::WnicParams::cisco_aironet350());
+    benchmark::DoNotOptimize(r.total_energy());
+  }
+}
+BENCHMARK(BM_SimulateThunderbirdFlexFetch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::SweepSpec spec;
+  spec.policies = {"flexfetch", "bluefs", "disk-only", "wnic-only"};
+  bench::print_figure("Figure 3 (Thunderbird)",
+                      workloads::scenario_thunderbird(1), spec);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

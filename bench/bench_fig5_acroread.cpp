@@ -1,0 +1,39 @@
+// Figure 5 — "Acroread: Energy consumptions with various WNIC bandwidths
+// and latencies" (Section 3.3.5, the invalid-profile scenario). The profile
+// was recorded from a run over 2 MB PDFs at 25 s intervals; the current run
+// scans 20 MB PDFs every 10 s.
+//
+// Expected shape (paper): FlexFetch pays one evaluation stage to discover
+// the stale profile, then switches to the disk — far better than
+// FlexFetch-static, modestly worse than BlueFS.
+
+#include <benchmark/benchmark.h>
+
+#include "harness.hpp"
+
+using namespace flexfetch;
+
+namespace {
+
+void BM_SimulateAcroreadFlexFetch(benchmark::State& state) {
+  const auto scenario = workloads::scenario_stale_acroread(1);
+  for (auto _ : state) {
+    const auto r = bench::run_once(scenario, "flexfetch",
+                                   device::WnicParams::cisco_aironet350());
+    benchmark::DoNotOptimize(r.total_energy());
+  }
+}
+BENCHMARK(BM_SimulateAcroreadFlexFetch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::SweepSpec spec;
+  spec.policies = {"flexfetch", "flexfetch-static", "bluefs", "disk-only",
+                   "wnic-only"};
+  bench::print_figure("Figure 5 (Acroread, stale profile)",
+                      workloads::scenario_stale_acroread(1), spec);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Performance microbenchmarks of the simulation substrates: how fast do
+// the building blocks run? (Simulation throughput is what makes the
+// parameter sweeps in the figure benches cheap.)
+
+#include <benchmark/benchmark.h>
+
+#include "core/burst.hpp"
+#include "core/estimator.hpp"
+#include "os/buffer_cache.hpp"
+#include "os/io_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "policies/fixed.hpp"
+#include "trace/builder.hpp"
+#include "workloads/generators.hpp"
+
+using namespace flexfetch;
+
+namespace {
+
+void BM_BufferCacheLookupHit(benchmark::State& state) {
+  os::BufferCache cache;
+  for (std::uint64_t i = 0; i < 1000; ++i) cache.fill(os::PageId{1, i}, 0.0);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(os::PageId{1, i % 1000}, 0.0));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferCacheLookupHit);
+
+void BM_BufferCacheFillEvict(benchmark::State& state) {
+  os::BufferCacheConfig config;
+  config.capacity_pages = 1024;
+  os::BufferCache cache(config);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.fill(os::PageId{1, i++}, 0.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferCacheFillEvict);
+
+void BM_CScanSubmitDispatch(benchmark::State& state) {
+  os::CScanScheduler sched;
+  std::uint64_t lba = 0;
+  for (auto _ : state) {
+    sched.submit(device::DeviceRequest{.lba = (lba * 7919) % (1 << 30),
+                                       .size = 4096});
+    ++lba;
+    if (sched.pending() > 64) sched.dispatch();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CScanSubmitDispatch);
+
+void BM_BurstExtraction(benchmark::State& state) {
+  const auto trace = workloads::make_trace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extract_bursts(trace, 0.020).size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(trace.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_BurstExtraction)->Unit(benchmark::kMillisecond);
+
+void BM_StageEstimate(benchmark::State& state) {
+  const auto trace = workloads::mplayer_trace();
+  const auto profile = core::Profile::from_trace(trace, 0.020);
+  device::Disk disk;
+  os::FileLayout layout(30 * kGiB);
+  const auto span = profile.span(0, std::min<std::size_t>(profile.size(), 16));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::SourceEstimator::estimate_disk(disk, span, 0.0, layout).energy);
+  }
+}
+BENCHMARK(BM_StageEstimate);
+
+void BM_FullSimulationDiskOnly(benchmark::State& state) {
+  const auto trace = workloads::grep_trace();
+  for (auto _ : state) {
+    policies::DiskOnlyPolicy policy;
+    benchmark::DoNotOptimize(
+        sim::simulate(sim::SimConfig{}, trace, policy).total_energy());
+  }
+  // Report simulated-seconds per wall-second via the trace span.
+  state.SetItemsProcessed(static_cast<int64_t>(trace.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_FullSimulationDiskOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Regenerates Tables 1-3 of the paper: the device parameter tables and the
+// trace inventory, plus derived quantities (disk break-even time) that the
+// model exposes. Also registers google-benchmark timings of the substrate
+// primitives those tables parameterize.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/format.hpp"
+#include "device/disk.hpp"
+#include "device/wnic.hpp"
+#include "workloads/generators.hpp"
+
+using namespace flexfetch;
+
+namespace {
+
+void print_table1() {
+  const auto p = device::DiskParams::hitachi_dk23da();
+  std::printf("=== Table 1: Hitachi DK23DA hard disk parameters ===\n");
+  std::printf("  P_active    Active Power      %.2f W\n", p.active_power);
+  std::printf("  P_idle      Idle Power        %.2f W\n", p.idle_power);
+  std::printf("  P_standby   Standby Power     %.2f W\n", p.standby_power);
+  std::printf("  E_spinup    Spin up Energy    %.2f J\n", p.spin_up_energy);
+  std::printf("  E_spindown  Spin down Energy  %.2f J\n", p.spin_down_energy);
+  std::printf("  T_spinup    Spin up Time      %.2f s\n", p.spin_up_time);
+  std::printf("  T_spindown  Spin down Time    %.2f s\n", p.spin_down_time);
+  std::printf("  bandwidth %.0f MB/s, avg seek %.0f ms, avg rotation %.0f ms, "
+              "timeout %.0f s\n",
+              p.bandwidth / 1e6, p.avg_seek_time * 1e3,
+              p.avg_rotation_time * 1e3, p.spin_down_timeout);
+  std::printf("  derived break-even time: %.2f s\n\n", p.break_even_time());
+}
+
+void print_table2() {
+  const auto p = device::WnicParams::cisco_aironet350();
+  std::printf("=== Table 2: Cisco Aironet 350 WNIC parameters ===\n");
+  std::printf("  PSM (idle/recv/send)       %.2f W / %.2f W / %.2f W\n",
+              p.psm_idle_power, p.psm_recv_power, p.psm_send_power);
+  std::printf("  CAM (idle/recv/send)       %.2f W / %.2f W / %.2f W\n",
+              p.cam_idle_power, p.cam_recv_power, p.cam_send_power);
+  std::printf("  CAM->PSM (delay/energy)    %.2f s / %.2f J\n",
+              p.cam_to_psm_delay, p.cam_to_psm_energy);
+  std::printf("  PSM->CAM (delay/energy)    %.2f s / %.2f J\n",
+              p.psm_to_cam_delay, p.psm_to_cam_energy);
+  std::printf("  PSM timeout %.1f s, bandwidth %.1f Mbps, latency %.1f ms\n\n",
+              p.psm_timeout, p.bandwidth * 8.0 / 1e6, p.latency * 1e3);
+}
+
+void print_table3() {
+  std::printf("=== Table 3: trace inventory (synthetic reproductions) ===\n");
+  std::printf("  %-12s %-24s %8s %10s %10s\n", "Name", "Description", "#File",
+              "Size(MB)", "Span");
+  struct Row {
+    const char* name;
+    const char* description;
+    trace::Trace trace;
+  };
+  const Row rows[] = {
+      {"Thunderbird", "an email client", workloads::thunderbird_trace()},
+      {"make", "building Linux kernel", workloads::make_trace()},
+      {"grep", "a text search tool", workloads::grep_trace()},
+      {"xmms", "a mp3 player", workloads::xmms_trace()},
+      {"mplayer", "a movie player", workloads::mplayer_trace()},
+      {"Acroread", "a PDF file reader", workloads::acroread_trace()},
+  };
+  for (const auto& row : rows) {
+    const auto s = row.trace.stats();
+    std::printf("  %-12s %-24s %8zu %10.1f %10s\n", row.name, row.description,
+                s.distinct_files, static_cast<double>(s.footprint) / 1e6,
+                format_seconds(s.duration).c_str());
+  }
+  std::printf("\n");
+}
+
+// --- google-benchmark timings of the primitives the tables parameterize ---
+
+void BM_DiskService(benchmark::State& state) {
+  device::Disk disk;
+  Seconds t = 0.0;
+  const auto size = static_cast<Bytes>(state.range(0));
+  Bytes lba = 0;
+  for (auto _ : state) {
+    const auto res =
+        disk.service(t, device::DeviceRequest{.lba = lba, .size = size});
+    benchmark::DoNotOptimize(res.energy);
+    t = res.completion + 0.001;
+    lba += size + 1;  // Non-sequential: exercise positioning.
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiskService)->Arg(4096)->Arg(131072);
+
+void BM_WnicService(benchmark::State& state) {
+  device::Wnic wnic;
+  Seconds t = 0.0;
+  const auto size = static_cast<Bytes>(state.range(0));
+  for (auto _ : state) {
+    const auto res = wnic.service(t, device::DeviceRequest{.size = size});
+    benchmark::DoNotOptimize(res.energy);
+    t = res.completion + 0.001;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WnicService)->Arg(4096)->Arg(131072);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto t = workloads::grep_trace(workloads::GrepParams{}, seed, seed);
+    benchmark::DoNotOptimize(t.size());
+    ++seed;
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  print_table2();
+  print_table3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

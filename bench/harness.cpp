@@ -1,0 +1,86 @@
+#include "harness.hpp"
+
+#include <cstdio>
+
+#include "policies/factory.hpp"
+
+namespace flexfetch::bench {
+
+sim::SimResult run_once(const workloads::ScenarioBundle& scenario,
+                        const std::string& policy_name,
+                        const device::WnicParams& wnic) {
+  sim::SimConfig config;
+  config.wnic = wnic;
+  auto policy = policies::make_policy(policy_name, scenario.profiles,
+                                      &scenario.oracle_future);
+  sim::Simulator simulator(config, scenario.programs, *policy);
+  return simulator.run();
+}
+
+void print_table_header(const std::string& axis,
+                        const std::vector<std::string>& columns) {
+  std::printf("%-14s", axis.c_str());
+  for (const auto& c : columns) std::printf(" %14s", c.c_str());
+  std::printf("\n");
+}
+
+void print_table_row(double axis_value, const std::vector<double>& cells) {
+  std::printf("%-14.2f", axis_value);
+  for (const double v : cells) std::printf(" %14.1f", v);
+  std::printf("\n");
+}
+
+namespace {
+
+std::vector<std::string> display_names(const std::vector<std::string>& names) {
+  std::vector<std::string> out;
+  for (const auto& n : names) {
+    if (n == "flexfetch") out.push_back("FlexFetch");
+    else if (n == "flexfetch-static") out.push_back("FlexFetch-static");
+    else if (n == "bluefs") out.push_back("BlueFS");
+    else if (n == "disk-only") out.push_back("Disk-only");
+    else if (n == "wnic-only") out.push_back("WNIC-only");
+    else if (n == "oracle") out.push_back("Oracle");
+    else out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace
+
+void print_figure(const std::string& figure_label,
+                  const workloads::ScenarioBundle& scenario,
+                  const SweepSpec& spec) {
+  const device::WnicParams base = device::WnicParams::cisco_aironet350();
+
+  std::printf("=== %s : %s ===\n", figure_label.c_str(), scenario.name.c_str());
+  std::printf("(energy in joules; rows are the sweep axis)\n\n");
+
+  std::printf("(a) WNIC latency sweep at 11 Mbps\n");
+  print_table_header("latency[ms]", display_names(spec.policies));
+  for (const double ms : spec.latencies_ms) {
+    std::vector<double> cells;
+    cells.reserve(spec.policies.size());
+    for (const auto& p : spec.policies) {
+      cells.push_back(
+          run_once(scenario, p, base.with_latency(units::ms(ms)))
+              .total_energy());
+    }
+    print_table_row(ms, cells);
+  }
+
+  std::printf("\n(b) WNIC bandwidth sweep at 1 ms latency\n");
+  print_table_header("bw[Mbps]", display_names(spec.policies));
+  for (const double mbps : spec.bandwidths_mbps) {
+    std::vector<double> cells;
+    cells.reserve(spec.policies.size());
+    for (const auto& p : spec.policies) {
+      cells.push_back(run_once(scenario, p, base.with_bandwidth_mbps(mbps))
+                          .total_energy());
+    }
+    print_table_row(mbps, cells);
+  }
+  std::printf("\n");
+}
+
+}  // namespace flexfetch::bench

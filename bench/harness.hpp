@@ -1,0 +1,39 @@
+// Shared harness for the per-figure benchmark binaries: runs policy sweeps
+// over WNIC latency and bandwidth and prints the paper-style series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace flexfetch::bench {
+
+/// Sweep axes used throughout the paper's evaluation (Section 3.3): WNIC
+/// latency at fixed 11 Mbps, and the 802.11b bandwidths at fixed 1 ms.
+struct SweepSpec {
+  std::vector<double> latencies_ms = {0.0,  1.0,  3.0,  5.0,  7.0,  9.0, 12.0,
+                                      15.0, 20.0, 30.0, 50.0, 70.0, 100.0};
+  std::vector<double> bandwidths_mbps = {1.0, 2.0, 5.5, 11.0};
+  /// Policy factory names (see policies::make_policy).
+  std::vector<std::string> policies;
+};
+
+/// Runs one scenario under one policy with the given WNIC parameters.
+sim::SimResult run_once(const workloads::ScenarioBundle& scenario,
+                        const std::string& policy_name,
+                        const device::WnicParams& wnic);
+
+/// Prints "(a) energy vs latency" and "(b) energy vs bandwidth" tables for
+/// the scenario — the two panels of each figure in Section 3.3.
+void print_figure(const std::string& figure_label,
+                  const workloads::ScenarioBundle& scenario,
+                  const SweepSpec& spec);
+
+/// Prints one header + one row per sweep point; helper for ablations.
+void print_table_header(const std::string& axis,
+                        const std::vector<std::string>& columns);
+void print_table_row(double axis_value, const std::vector<double>& cells);
+
+}  // namespace flexfetch::bench

@@ -1,0 +1,102 @@
+// Inspects FlexFetch's internals on one scenario: the recorded profile's
+// burst/stage structure, the per-stage device choices, and how often each
+// adaptation mechanism fired.
+//
+//   ./build/examples/inspect_flexfetch [scenario] [seed]
+//
+// scenario: grep+make | mplayer | thunderbird | forced-spinup | acroread
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/format.hpp"
+#include "core/flexfetch.hpp"
+#include "core/stage.hpp"
+#include "policies/factory.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/scenarios.hpp"
+
+using namespace flexfetch;
+
+namespace {
+
+workloads::ScenarioBundle pick_scenario(const std::string& name,
+                                        std::uint64_t seed) {
+  if (name == "grep+make") return workloads::scenario_grep_make(seed);
+  if (name == "mplayer") return workloads::scenario_mplayer(seed);
+  if (name == "thunderbird") return workloads::scenario_thunderbird(seed);
+  if (name == "forced-spinup") return workloads::scenario_forced_spinup(seed);
+  if (name == "acroread") return workloads::scenario_stale_acroread(seed);
+  std::fprintf(stderr, "unknown scenario '%s'\n", name.c_str());
+  std::exit(1);
+}
+
+void run_variant(const char* label, core::FlexFetchConfig config,
+                 const workloads::ScenarioBundle& scenario) {
+  core::FlexFetchPolicy policy(config, scenario.profiles);
+  sim::Simulator simulator(sim::SimConfig{}, scenario.programs, policy);
+  const sim::SimResult r = simulator.run();
+
+  std::printf("\n-- %s --\n", label);
+  std::printf("energy %s (disk %s, wnic %s), makespan %s\n",
+              format_joules(r.total_energy()).c_str(),
+              format_joules(r.disk_energy()).c_str(),
+              format_joules(r.wnic_energy()).c_str(),
+              format_seconds(r.makespan).c_str());
+  std::printf("stage choices:");
+  for (const auto kind : policy.stage_choices()) {
+    std::printf(" %s", device::to_string(kind));
+  }
+  std::printf("\ndecision log:\n");
+  for (const auto& d : policy.decision_log()) {
+    std::printf("  t=%8.1fs %-10s stage=%2zu bursts[%3zu,+%3zu) "
+                "disk(T=%7.2fs E=%8.2fJ) net(T=%7.2fs E=%8.2fJ) -> %s\n",
+                d.time,
+                d.origin == core::DecisionRecord::Origin::kStageEntry
+                    ? "stage"
+                    : "splice",
+                d.stage, d.first_burst, d.burst_count, d.disk.time,
+                d.disk.energy, d.network.time, d.network.energy,
+                device::to_string(d.decision));
+  }
+  const auto& st = policy.stats();
+  std::printf("\nstages=%llu splice-reevals=%llu splice-switches=%llu "
+              "audit-overrides=%llu free-rides=%llu cache-filtered=%llu\n",
+              static_cast<unsigned long long>(st.stages_entered),
+              static_cast<unsigned long long>(st.splice_reevaluations),
+              static_cast<unsigned long long>(st.splice_switches),
+              static_cast<unsigned long long>(st.audit_overrides),
+              static_cast<unsigned long long>(st.free_rider_redirects),
+              static_cast<unsigned long long>(st.cache_filtered_requests));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "thunderbird";
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  const auto scenario = pick_scenario(name, seed);
+
+  // Profile structure.
+  const core::Profile merged =
+      core::Profile::merge(scenario.profiles, scenario.name);
+  std::printf("profile '%s': %zu bursts, %s, span %s\n", merged.program().c_str(),
+              merged.size(), format_bytes(merged.total_bytes()).c_str(),
+              format_seconds(merged.span_seconds()).c_str());
+  const auto stages = core::segment_stages(merged, 40.0);
+  std::printf("%zu evaluation stages:\n", stages.size());
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    std::printf("  stage %2zu: bursts [%4zu, %4zu)  start %9s  len %8s  %10s\n",
+                i, stages[i].first_burst, stages[i].end_burst(),
+                format_seconds(stages[i].start).c_str(),
+                format_seconds(stages[i].length).c_str(),
+                format_bytes(stages[i].bytes).c_str());
+  }
+
+  run_variant("FlexFetch (adaptive)", core::FlexFetchConfig{}, scenario);
+  run_variant("FlexFetch-static", core::FlexFetchConfig::static_variant(),
+              scenario);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Roaming user: watches a movie while walking through a building — the
+// 802.11b link rate follows the signal (11 -> 2 -> 11 -> 1 Mbps). The
+// paper motivates adaptivity with exactly this: "wireless network
+// bandwidth may be changing with the variation of reception strength when
+// user changes the location of his computer" (Section 1.1).
+//
+//   ./build/examples/roaming_user [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/format.hpp"
+#include "core/flexfetch.hpp"
+#include "policies/factory.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/scenarios.hpp"
+
+using namespace flexfetch;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  const auto scenario = workloads::scenario_mplayer(seed);
+  const Seconds span = scenario.programs[0].trace.end_time();
+
+  // Walk: strong signal at the desk, weak in the stairwell, strong in the
+  // lounge, nearly dead in the garden.
+  sim::SimConfig config;
+  config.wnic.bandwidth_schedule = {
+      {span * 0.25, units::mbps(2.0)},
+      {span * 0.50, units::mbps(11.0)},
+      {span * 0.75, units::mbps(1.0)},
+  };
+
+  std::printf("roaming schedule over %s of playback:\n",
+              format_seconds(span).c_str());
+  std::printf("  [%8s .. %8s) 11.0 Mbps (desk)\n", "0 s",
+              format_seconds(span * 0.25).c_str());
+  std::printf("  [%8s .. %8s)  2.0 Mbps (stairwell)\n",
+              format_seconds(span * 0.25).c_str(),
+              format_seconds(span * 0.50).c_str());
+  std::printf("  [%8s .. %8s) 11.0 Mbps (lounge)\n",
+              format_seconds(span * 0.50).c_str(),
+              format_seconds(span * 0.75).c_str());
+  std::printf("  [%8s ..      end)  1.0 Mbps (garden)\n\n",
+              format_seconds(span * 0.75).c_str());
+
+  std::printf("%-18s %12s %12s %12s %10s\n", "policy", "energy", "disk",
+              "wnic", "makespan");
+  for (const char* name : {"flexfetch", "bluefs", "disk-only", "wnic-only"}) {
+    auto policy = policies::make_policy(name, scenario.profiles,
+                                        &scenario.oracle_future);
+    sim::Simulator simulator(config, scenario.programs, *policy);
+    const auto r = simulator.run();
+    std::printf("%-18s %12s %12s %12s %10s\n", r.policy.c_str(),
+                format_joules(r.total_energy()).c_str(),
+                format_joules(r.disk_energy()).c_str(),
+                format_joules(r.wnic_energy()).c_str(),
+                format_seconds(r.makespan).c_str());
+    if (std::string(name) == "flexfetch") {
+      auto* ff = dynamic_cast<core::FlexFetchPolicy*>(policy.get());
+      std::printf("  stage choices:");
+      for (const auto c : ff->stage_choices()) {
+        std::printf(" %c", c == device::DeviceKind::kDisk ? 'D' : 'n');
+      }
+      std::printf("\n  (D = disk, n = network; watch the source follow the"
+                  " signal)\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Trace toolbox — the command-line counterpart of the paper's modified
+// strace collection pipeline (Section 3.2).
+//
+//   trace_tools generate <app> <out.trace> [structure_seed] [run_seed]
+//       Synthesizes one of the Table 3 application traces to a file.
+//       apps: grep | make | xmms | mplayer | thunderbird | acroread
+//   trace_tools import <strace.log> <out.trace>
+//       Converts `strace -ttt -T` output into the native trace format.
+//   trace_tools inspect <in.trace>
+//       Prints Table 3-style statistics and the I/O burst structure.
+//   trace_tools profile <in.trace> <out.profile>
+//       Records a FlexFetch profile (bursts + think times) from a trace.
+//
+//   ./build/examples/trace_tools generate grep /tmp/grep.trace
+//   ./build/examples/trace_tools inspect /tmp/grep.trace
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/format.hpp"
+#include "core/profile.hpp"
+#include "trace/strace_import.hpp"
+#include "trace/trace_io.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/scenarios.hpp"
+
+using namespace flexfetch;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_tools generate <app> <out.trace> [sseed] [rseed]\n"
+               "  trace_tools import <strace.log> <out.trace>\n"
+               "  trace_tools inspect <in.trace>\n"
+               "  trace_tools profile <in.trace> <out.profile>\n");
+  return 2;
+}
+
+trace::Trace generate(const std::string& app, std::uint64_t s, std::uint64_t r) {
+  if (app == "grep") return workloads::grep_trace(workloads::GrepParams{}, s, r);
+  if (app == "make") return workloads::make_trace(workloads::MakeParams{}, s, r);
+  if (app == "xmms") return workloads::xmms_trace(workloads::XmmsParams{}, s, r);
+  if (app == "mplayer") {
+    return workloads::mplayer_trace(workloads::MplayerParams{}, s, r);
+  }
+  if (app == "thunderbird") {
+    return workloads::thunderbird_trace(workloads::ThunderbirdParams{}, s, r);
+  }
+  if (app == "acroread") {
+    return workloads::acroread_trace(workloads::AcroreadParams{}, s, r);
+  }
+  throw ConfigError("unknown app '" + app + "'");
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::uint64_t sseed =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  const std::uint64_t rseed =
+      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+  const trace::Trace t = generate(argv[2], sseed, rseed);
+  trace::save_trace(argv[3], t);
+  const auto s = t.stats();
+  std::printf("wrote %s: %zu records, %zu files, %s\n", argv[3], s.records,
+              s.distinct_files, format_bytes(s.footprint).c_str());
+  return 0;
+}
+
+int cmd_import(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const trace::Trace t = trace::import_strace_file(argv[2]);
+  trace::save_trace(argv[3], t);
+  std::printf("imported %zu records from %s\n", t.size(), argv[2]);
+  return 0;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const trace::Trace t = trace::load_trace(argv[2]);
+  const auto s = t.stats();
+  std::printf("trace '%s'\n", t.name().c_str());
+  std::printf("  records:   %zu (%zu reads, %zu writes)\n", s.records,
+              s.reads, s.writes);
+  std::printf("  files:     %zu, footprint %s\n", s.distinct_files,
+              format_bytes(s.footprint).c_str());
+  std::printf("  volume:    %s read, %s written\n",
+              format_bytes(s.bytes_read).c_str(),
+              format_bytes(s.bytes_written).c_str());
+  std::printf("  span:      %s\n", format_seconds(s.duration).c_str());
+
+  const auto bursts =
+      core::extract_bursts(t, workloads::kProfileBurstThreshold);
+  Bytes burst_bytes = 0;
+  Seconds longest_think = 0.0;
+  for (const auto& b : bursts) {
+    burst_bytes += b.total_bytes();
+    longest_think = std::max(longest_think, b.think_before);
+  }
+  std::printf("  bursts:    %zu (threshold %s), longest think %s\n",
+              bursts.size(),
+              format_seconds(workloads::kProfileBurstThreshold).c_str(),
+              format_seconds(longest_think).c_str());
+  if (!bursts.empty()) {
+    std::printf("  avg burst: %s across %.1f requests\n",
+                format_bytes(burst_bytes / bursts.size()).c_str(),
+                static_cast<double>(s.reads + s.writes) /
+                    static_cast<double>(bursts.size()));
+  }
+  return 0;
+}
+
+int cmd_profile(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const trace::Trace t = trace::load_trace(argv[2]);
+  const core::Profile p =
+      core::Profile::from_trace(t, workloads::kProfileBurstThreshold);
+  std::ofstream os(argv[3]);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", argv[3]);
+    return 1;
+  }
+  p.write(os);
+  std::printf("recorded profile '%s': %zu bursts, %s over %s\n",
+              p.program().c_str(), p.size(),
+              format_bytes(p.total_bytes()).c_str(),
+              format_seconds(p.span_seconds()).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "generate") return cmd_generate(argc, argv);
+    if (cmd == "import") return cmd_import(argc, argv);
+    if (cmd == "inspect") return cmd_inspect(argc, argv);
+    if (cmd == "profile") return cmd_profile(argc, argv);
+    return usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

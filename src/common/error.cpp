@@ -1,0 +1,14 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace flexfetch::detail {
+
+void assert_fail(const char* expr, std::source_location loc) {
+  std::ostringstream os;
+  os << "assertion `" << expr << "` failed at " << loc.file_name() << ':'
+     << loc.line() << " in " << loc.function_name();
+  throw InternalError(os.str());
+}
+
+}  // namespace flexfetch::detail

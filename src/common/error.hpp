@@ -1,0 +1,59 @@
+// Error handling for FlexFetch.
+//
+// The library is exception-based at API boundaries (invalid configuration,
+// malformed traces) and assertion-based for internal invariants.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace flexfetch {
+
+/// Base class of all errors thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid user-supplied configuration (device parameters, policy knobs...).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+/// Malformed or inconsistent trace input.
+class TraceError : public Error {
+ public:
+  explicit TraceError(const std::string& what) : Error("trace error: " + what) {}
+};
+
+/// Internal invariant violation; always indicates a library bug.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error("internal error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, std::source_location loc);
+}  // namespace detail
+
+/// Checks an internal invariant; throws InternalError on failure.
+/// Kept on in all build types: the simulator is cheap relative to the
+/// confidence the checks buy.
+#define FF_ASSERT(expr)                                                       \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::flexfetch::detail::assert_fail(#expr, std::source_location::current()); \
+    }                                                                         \
+  } while (false)
+
+/// Validates a user-facing precondition; throws ConfigError on failure.
+#define FF_REQUIRE(expr, msg)                 \
+  do {                                        \
+    if (!(expr)) {                            \
+      throw ::flexfetch::ConfigError(msg);    \
+    }                                         \
+  } while (false)
+
+}  // namespace flexfetch

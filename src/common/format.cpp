@@ -1,0 +1,44 @@
+#include "common/format.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace flexfetch {
+
+std::string format_bytes(Bytes bytes) {
+  const auto b = static_cast<double>(bytes);
+  if (bytes < kKiB) return strprintf("%llu B", static_cast<unsigned long long>(bytes));
+  if (bytes < kMiB) return strprintf("%.1f KiB", b / static_cast<double>(kKiB));
+  if (bytes < kGiB) return strprintf("%.1f MiB", b / static_cast<double>(kMiB));
+  return strprintf("%.2f GiB", b / static_cast<double>(kGiB));
+}
+
+std::string format_seconds(Seconds s) {
+  if (s < 0) return "-" + format_seconds(-s);
+  if (s < 1e-3) return strprintf("%.1f us", s * 1e6);
+  if (s < 1.0) return strprintf("%.1f ms", s * 1e3);
+  if (s < 120.0) return strprintf("%.2f s", s);
+  return strprintf("%.1f min", s / 60.0);
+}
+
+std::string format_joules(Joules j) { return strprintf("%.1f J", j); }
+
+std::string strprintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed <= 0) {
+    va_end(args2);
+    return {};
+  }
+  std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+  std::vsnprintf(buf.data(), buf.size(), fmt, args2);
+  va_end(args2);
+  return std::string(buf.data(), static_cast<std::size_t>(needed));
+}
+
+}  // namespace flexfetch

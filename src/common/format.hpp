@@ -1,0 +1,22 @@
+// Human-readable formatting helpers (std::format is unavailable on GCC 12).
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace flexfetch {
+
+/// "1.5 KiB", "240.0 MiB", ...
+std::string format_bytes(Bytes bytes);
+
+/// "12.3 ms", "4.56 s", "2.1 min", ...
+std::string format_seconds(Seconds s);
+
+/// "1522.4 J"
+std::string format_joules(Joules j);
+
+/// printf-style helper returning std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace flexfetch

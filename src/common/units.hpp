@@ -1,0 +1,58 @@
+// Units and conversions used throughout FlexFetch.
+//
+// Conventions (documented once, used everywhere):
+//   * time      : double, seconds
+//   * energy    : double, joules
+//   * power     : double, watts
+//   * size      : std::uint64_t, bytes
+//   * bandwidth : double, bytes per second
+#pragma once
+
+#include <cstdint>
+
+namespace flexfetch {
+
+using Seconds = double;
+using Joules  = double;
+using Watts   = double;
+using Bytes   = std::uint64_t;
+using BytesPerSecond = double;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/// Linux page size assumed by the buffer-cache substrate.
+inline constexpr Bytes kPageSize = 4 * kKiB;
+
+/// Maximum Linux readahead/prefetch window the paper assumes (Section 2.1).
+inline constexpr Bytes kMaxPrefetchWindow = 128 * kKiB;
+
+namespace units {
+
+/// Megabits per second -> bytes per second (network vendors use decimal mega).
+constexpr BytesPerSecond mbps(double megabits) { return megabits * 1e6 / 8.0; }
+
+/// Megabytes per second -> bytes per second (disk vendors use decimal mega).
+constexpr BytesPerSecond mb_per_s(double megabytes) { return megabytes * 1e6; }
+
+constexpr Seconds ms(double milliseconds) { return milliseconds * 1e-3; }
+constexpr Seconds us(double microseconds) { return microseconds * 1e-6; }
+constexpr Seconds minutes(double m) { return m * 60.0; }
+
+constexpr Bytes kib(std::uint64_t n) { return n * kKiB; }
+constexpr Bytes mib(std::uint64_t n) { return n * kMiB; }
+
+}  // namespace units
+
+/// Number of whole pages covering `bytes` (ceiling division).
+constexpr std::uint64_t pages_for(Bytes bytes) {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+
+/// Transfer time of `size` bytes at `bw` bytes/second.
+constexpr Seconds transfer_time(Bytes size, BytesPerSecond bw) {
+  return bw > 0.0 ? static_cast<double>(size) / bw : 0.0;
+}
+
+}  // namespace flexfetch

@@ -1,0 +1,81 @@
+#include "core/burst.hpp"
+
+#include "common/error.hpp"
+
+namespace flexfetch::core {
+
+Bytes IOBurst::total_bytes() const {
+  Bytes sum = 0;
+  for (const auto& r : requests) sum += r.size;
+  return sum;
+}
+
+BurstTracker::BurstTracker(Seconds burst_threshold, Bytes max_merge)
+    : threshold_(burst_threshold), max_merge_(max_merge) {
+  FF_REQUIRE(burst_threshold > 0.0, "burst threshold must be positive");
+  FF_REQUIRE(max_merge >= kPageSize, "merge cap below one page");
+}
+
+void BurstTracker::on_record(const trace::SyscallRecord& r) {
+  if (!r.is_data_transfer()) return;
+  total_bytes_ += r.size;
+
+  const Seconds gap = has_open_ || !bursts_.empty()
+                          ? std::max(0.0, r.timestamp - last_end_)
+                          : r.timestamp;
+  if (!has_open_) {
+    open_ = IOBurst{};
+    open_.think_before = gap;
+    open_.start = r.timestamp;
+    has_open_ = true;
+  } else if (gap > threshold_) {
+    // Think time exceeds the burst threshold: close the burst and start a
+    // new one (Section 2.1: such gaps cannot be masked by prefetching).
+    bursts_.push_back(std::move(open_));
+    open_ = IOBurst{};
+    open_.think_before = gap;
+    open_.start = r.timestamp;
+  }
+  append_request(r);
+  last_end_ = r.timestamp + r.duration;
+  open_.duration = last_end_ - open_.start;
+}
+
+void BurstTracker::append_request(const trace::SyscallRecord& r) {
+  const bool is_write = r.op == trace::OpType::kWrite;
+  if (!open_.requests.empty()) {
+    BurstRequest& last = open_.requests.back();
+    // Merge sequential same-file, same-direction continuations up to the
+    // prefetch window — the expected consequence of I/O scheduling and
+    // prefetching (Section 2.1).
+    if (last.inode == r.inode && last.is_write == is_write &&
+        last.offset + last.size == r.offset && last.size + r.size <= max_merge_) {
+      last.size += r.size;
+      return;
+    }
+  }
+  open_.requests.push_back(BurstRequest{
+      .inode = r.inode, .offset = r.offset, .size = r.size, .is_write = is_write});
+}
+
+void BurstTracker::finish() {
+  if (has_open_) {
+    bursts_.push_back(std::move(open_));
+    open_ = IOBurst{};
+    has_open_ = false;
+  }
+}
+
+std::vector<IOBurst> BurstTracker::take_bursts() {
+  finish();
+  return std::move(bursts_);
+}
+
+std::vector<IOBurst> extract_bursts(const trace::Trace& trace,
+                                    Seconds burst_threshold, Bytes max_merge) {
+  BurstTracker tracker(burst_threshold, max_merge);
+  for (const auto& r : trace) tracker.on_record(r);
+  return tracker.take_bursts();
+}
+
+}  // namespace flexfetch::core

@@ -1,0 +1,79 @@
+// I/O burst extraction (Section 2.1).
+//
+// An I/O burst is a maximal run of read/write syscalls whose inter-call
+// think times stay below the burst threshold (the disk's average access
+// time). Within a burst, sequential same-file requests are merged into
+// single requests of up to 128 KiB — the paper's model of kernel readahead
+// and request merging — and are assumed to move at device peak bandwidth.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace flexfetch::core {
+
+/// One (possibly merged) request inside a burst.
+struct BurstRequest {
+  trace::Inode inode = 0;
+  Bytes offset = 0;
+  Bytes size = 0;
+  bool is_write = false;
+};
+
+struct IOBurst {
+  /// Think time between the previous burst's end and this burst's start
+  /// (for the first burst: time from profile origin).
+  Seconds think_before = 0.0;
+  Seconds start = 0.0;     ///< Profiled timestamp of the first call.
+  Seconds duration = 0.0;  ///< Profiled span from first call to last byte.
+  std::vector<BurstRequest> requests;
+
+  Bytes total_bytes() const;
+  Seconds end() const { return start + duration; }
+};
+
+/// Incremental burst extraction; feed records in timestamp order.
+class BurstTracker {
+ public:
+  /// `burst_threshold`: think times above this end the burst (Section 2.1
+  /// sets it to the disk's average access time).
+  /// `max_merge`: cap for merged sequential requests (Linux's 128 KiB
+  /// prefetch window).
+  explicit BurstTracker(Seconds burst_threshold,
+                        Bytes max_merge = kMaxPrefetchWindow);
+
+  /// Processes one syscall record (non-transfers are ignored).
+  void on_record(const trace::SyscallRecord& r);
+
+  /// Closes the currently open burst (end of run / end of observation).
+  void finish();
+
+  /// Bursts completed so far (finish() to include the open one).
+  const std::vector<IOBurst>& bursts() const { return bursts_; }
+  std::vector<IOBurst> take_bursts();
+
+  /// Total data-transfer bytes observed so far (open burst included).
+  Bytes total_bytes() const { return total_bytes_; }
+
+  Seconds burst_threshold() const { return threshold_; }
+
+ private:
+  void append_request(const trace::SyscallRecord& r);
+
+  Seconds threshold_;
+  Bytes max_merge_;
+  std::vector<IOBurst> bursts_;
+  IOBurst open_;
+  bool has_open_ = false;
+  Seconds last_end_ = 0.0;  ///< End (ts+duration) of the previous record.
+  Bytes total_bytes_ = 0;
+};
+
+/// One-shot burst extraction from a whole trace.
+std::vector<IOBurst> extract_bursts(const trace::Trace& trace,
+                                    Seconds burst_threshold,
+                                    Bytes max_merge = kMaxPrefetchWindow);
+
+}  // namespace flexfetch::core

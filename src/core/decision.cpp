@@ -1,0 +1,30 @@
+#include "core/decision.hpp"
+
+#include "common/error.hpp"
+
+namespace flexfetch::core {
+
+device::DeviceKind decide_source(const Estimate& disk, const Estimate& network,
+                                 double loss_rate) {
+  FF_REQUIRE(loss_rate >= 0.0, "loss rate must be non-negative");
+
+  // Rule 1: disk dominates.
+  if (disk.time < network.time && disk.energy < network.energy) {
+    return device::DeviceKind::kDisk;
+  }
+  // Rule 2: network dominates.
+  if (network.time < disk.time && network.energy < disk.energy) {
+    return device::DeviceKind::kNetwork;
+  }
+  // Rule 3: network saves energy at a bounded, worthwhile performance loss.
+  if (network.energy < disk.energy && disk.energy > 0.0 && disk.time > 0.0) {
+    const double energy_saving = (disk.energy - network.energy) / disk.energy;
+    const double time_loss = (network.time - disk.time) / disk.time;
+    if (energy_saving >= time_loss && time_loss < loss_rate) {
+      return device::DeviceKind::kNetwork;
+    }
+  }
+  return device::DeviceKind::kDisk;
+}
+
+}  // namespace flexfetch::core

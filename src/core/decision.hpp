@@ -1,0 +1,26 @@
+// The FlexFetch data-source decision rule (Section 2.2).
+#pragma once
+
+#include "common/units.hpp"
+#include "device/request.hpp"
+
+namespace flexfetch::core {
+
+/// Estimated cost of servicing an evaluation stage from one source.
+struct Estimate {
+  Seconds time = 0.0;
+  Joules energy = 0.0;
+};
+
+/// Applies the paper's three rules, given the estimates for both sources
+/// and the user's maximum tolerable I/O performance loss rate (e.g. 0.25):
+///
+///  1. T_disk < T_net  and E_disk < E_net                      -> disk
+///  2. T_net  < T_disk and E_net  < E_disk                     -> network
+///  3. E_net < E_disk and (E_disk-E_net)/E_disk >= (T_net-T_disk)/T_disk
+///     and (T_net-T_disk)/T_disk < loss_rate                   -> network
+///     otherwise                                               -> disk
+device::DeviceKind decide_source(const Estimate& disk, const Estimate& network,
+                                 double loss_rate);
+
+}  // namespace flexfetch::core

@@ -1,0 +1,43 @@
+// Per-source execution time / energy estimation (Section 2.2).
+//
+// FlexFetch maintains an on-line simulator for each device: to estimate
+// T_disk/E_disk and T_network/E_network for an evaluation stage, it replays
+// the stage's profiled bursts (including inter-burst think times, during
+// which the device may time out into its low-power state) on a *copy* of
+// the live device model, so estimation and actual simulation share one
+// code path and the estimate reflects the device's current power state.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "core/decision.hpp"
+#include "core/profile.hpp"
+#include "device/disk.hpp"
+#include "device/wnic.hpp"
+#include "os/file_layout.hpp"
+
+namespace flexfetch::core {
+
+/// Returns true if a profiled request's data is resident in the buffer
+/// cache and would not reach a device (Section 2.3.2 filtering).
+using CacheFilter = std::function<bool(const BurstRequest&)>;
+
+class SourceEstimator {
+ public:
+  /// Estimates servicing `bursts` from the disk, starting at `start_time`
+  /// with the disk in the state captured by `live_disk`.
+  /// `filter` (optional) drops cache-resident requests.
+  static Estimate estimate_disk(const device::Disk& live_disk,
+                                std::span<const IOBurst> bursts,
+                                Seconds start_time, os::FileLayout& layout,
+                                const CacheFilter* filter = nullptr);
+
+  /// Estimates servicing `bursts` from the remote server over the WNIC.
+  static Estimate estimate_network(const device::Wnic& live_wnic,
+                                   std::span<const IOBurst> bursts,
+                                   Seconds start_time,
+                                   const CacheFilter* filter = nullptr);
+};
+
+}  // namespace flexfetch::core

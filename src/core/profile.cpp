@@ -1,0 +1,117 @@
+#include "core/profile.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace flexfetch::core {
+
+Profile Profile::from_trace(const trace::Trace& trace, Seconds burst_threshold) {
+  return Profile(trace.name(), extract_bursts(trace, burst_threshold));
+}
+
+Profile Profile::merge(const std::vector<Profile>& profiles, std::string name) {
+  std::vector<IOBurst> all;
+  for (const auto& p : profiles) {
+    all.insert(all.end(), p.bursts().begin(), p.bursts().end());
+  }
+  std::stable_sort(all.begin(), all.end(), [](const IOBurst& a, const IOBurst& b) {
+    return a.start < b.start;
+  });
+  // Recompute think gaps against the interleaved order.
+  Seconds prev_end = 0.0;
+  for (auto& b : all) {
+    b.think_before = std::max(0.0, b.start - prev_end);
+    prev_end = std::max(prev_end, b.end());
+  }
+  return Profile(std::move(name), std::move(all));
+}
+
+std::span<const IOBurst> Profile::span(std::size_t first, std::size_t count) const {
+  FF_ASSERT(first <= bursts_.size());
+  count = std::min(count, bursts_.size() - first);
+  return std::span<const IOBurst>(bursts_.data() + first, count);
+}
+
+Bytes Profile::total_bytes() const {
+  Bytes sum = 0;
+  for (const auto& b : bursts_) sum += b.total_bytes();
+  return sum;
+}
+
+Seconds Profile::span_seconds() const {
+  return bursts_.empty() ? 0.0 : bursts_.back().end();
+}
+
+std::vector<Bytes> Profile::byte_prefix_sums() const {
+  std::vector<Bytes> sums(bursts_.size() + 1, 0);
+  for (std::size_t i = 0; i < bursts_.size(); ++i) {
+    sums[i + 1] = sums[i] + bursts_[i].total_bytes();
+  }
+  return sums;
+}
+
+void Profile::write(std::ostream& os) const {
+  os << "# flexfetch-profile v1 name=" << program_ << '\n';
+  for (const auto& b : bursts_) {
+    os << strprintf("burst,%.9f,%.9f,%.9f,%zu\n", b.think_before, b.start,
+                    b.duration, b.requests.size());
+    for (const auto& r : b.requests) {
+      os << strprintf("req,%llu,%llu,%llu,%d\n",
+                      static_cast<unsigned long long>(r.inode),
+                      static_cast<unsigned long long>(r.offset),
+                      static_cast<unsigned long long>(r.size),
+                      r.is_write ? 1 : 0);
+    }
+  }
+}
+
+Profile Profile::read(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) ||
+      line.rfind("# flexfetch-profile v1", 0) != 0) {
+    throw TraceError("bad profile header");
+  }
+  Profile p;
+  const auto name_pos = line.find("name=");
+  if (name_pos != std::string::npos) p.program_ = line.substr(name_pos + 5);
+
+  IOBurst* open = nullptr;
+  std::size_t expected = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    std::getline(ls, tag, ',');
+    if (tag == "burst") {
+      if (open != nullptr && open->requests.size() != expected) {
+        throw TraceError("profile: truncated burst");
+      }
+      IOBurst b;
+      char c = 0;
+      ls >> b.think_before >> c >> b.start >> c >> b.duration >> c >> expected;
+      p.bursts_.push_back(b);
+      open = &p.bursts_.back();
+    } else if (tag == "req") {
+      if (open == nullptr) throw TraceError("profile: request before burst");
+      BurstRequest r;
+      char c = 0;
+      int w = 0;
+      ls >> r.inode >> c >> r.offset >> c >> r.size >> c >> w;
+      r.is_write = w != 0;
+      open->requests.push_back(r);
+    } else {
+      throw TraceError("profile: unknown tag '" + tag + "'");
+    }
+  }
+  if (open != nullptr && open->requests.size() != expected) {
+    throw TraceError("profile: truncated final burst");
+  }
+  return p;
+}
+
+}  // namespace flexfetch::core

@@ -1,0 +1,57 @@
+// Program execution profiles (Section 2.1).
+//
+// A profile is the device-independent record of one program run: the
+// sequence of I/O bursts and the think times between them. It is what
+// FlexFetch records during an execution and consults in the next one.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/burst.hpp"
+
+namespace flexfetch::core {
+
+class Profile {
+ public:
+  Profile() = default;
+  Profile(std::string program, std::vector<IOBurst> bursts)
+      : program_(std::move(program)), bursts_(std::move(bursts)) {}
+
+  /// Builds a profile by burst-extracting a syscall trace.
+  static Profile from_trace(const trace::Trace& trace, Seconds burst_threshold);
+
+  /// Merges several concurrently running programs' profiles into one
+  /// aggregate profile, interleaving bursts by start time (Section 2.3.3:
+  /// "FlexFetch merges these programs' profiles and forms evaluation stage
+  /// on the aggregate profile").
+  static Profile merge(const std::vector<Profile>& profiles, std::string name);
+
+  const std::string& program() const { return program_; }
+  void set_program(std::string name) { program_ = std::move(name); }
+
+  bool empty() const { return bursts_.empty(); }
+  std::size_t size() const { return bursts_.size(); }
+  const IOBurst& operator[](std::size_t i) const { return bursts_[i]; }
+  const std::vector<IOBurst>& bursts() const { return bursts_; }
+  std::span<const IOBurst> span(std::size_t first, std::size_t count) const;
+
+  Bytes total_bytes() const;
+  /// Profiled wall span: from origin to the end of the last burst.
+  Seconds span_seconds() const;
+
+  /// Cumulative bytes of the first n bursts (prefix sums; index 0 -> 0).
+  std::vector<Bytes> byte_prefix_sums() const;
+
+  // Text serialization (versioned, line-oriented).
+  void write(std::ostream& os) const;
+  static Profile read(std::istream& is);
+
+ private:
+  std::string program_;
+  std::vector<IOBurst> bursts_;
+};
+
+}  // namespace flexfetch::core

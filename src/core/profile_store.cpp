@@ -1,0 +1,62 @@
+#include "core/profile_store.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace flexfetch::core {
+
+namespace fs = std::filesystem;
+
+ProfileStore::ProfileStore(std::string directory)
+    : directory_(std::move(directory)) {
+  fs::create_directories(directory_);
+}
+
+void ProfileStore::put(Profile profile) {
+  FF_REQUIRE(!profile.program().empty(), "profile store: unnamed profile");
+  profiles_[profile.program()] = std::move(profile);
+}
+
+std::optional<Profile> ProfileStore::get(const std::string& program) const {
+  auto it = profiles_.find(program);
+  if (it == profiles_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ProfileStore::contains(const std::string& program) const {
+  return profiles_.contains(program);
+}
+
+std::string ProfileStore::path_for(const std::string& program) const {
+  std::string safe;
+  for (const char c : program) {
+    safe += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+             c == '_')
+                ? c
+                : '_';
+  }
+  return directory_ + "/" + safe + ".profile";
+}
+
+void ProfileStore::flush() const {
+  if (directory_.empty()) return;
+  for (const auto& [name, profile] : profiles_) {
+    std::ofstream os(path_for(name));
+    if (!os) throw Error("profile store: cannot write " + path_for(name));
+    profile.write(os);
+  }
+}
+
+void ProfileStore::load() {
+  if (directory_.empty()) return;
+  for (const auto& entry : fs::directory_iterator(directory_)) {
+    if (entry.path().extension() != ".profile") continue;
+    std::ifstream is(entry.path());
+    if (!is) throw Error("profile store: cannot read " + entry.path().string());
+    put(Profile::read(is));
+  }
+}
+
+}  // namespace flexfetch::core

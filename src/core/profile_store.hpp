@@ -1,0 +1,45 @@
+// Persistent storage of per-program profiles.
+//
+// At the end of a run the freshly recorded profile replaces the old one
+// for future use (Section 2.3.1); the store is the component that keeps
+// them between runs — in memory, optionally backed by a directory.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/profile.hpp"
+
+namespace flexfetch::core {
+
+class ProfileStore {
+ public:
+  ProfileStore() = default;
+
+  /// A store persisted under `directory` (one file per program).
+  explicit ProfileStore(std::string directory);
+
+  /// Records/replaces the profile for its program.
+  void put(Profile profile);
+
+  /// Looks up a profile by program name.
+  std::optional<Profile> get(const std::string& program) const;
+
+  bool contains(const std::string& program) const;
+  std::size_t size() const { return profiles_.size(); }
+
+  /// Writes all profiles to the backing directory (no-op if in-memory).
+  void flush() const;
+
+  /// Loads every profile file found in the backing directory.
+  void load();
+
+ private:
+  std::string path_for(const std::string& program) const;
+
+  std::string directory_;
+  std::map<std::string, Profile> profiles_;
+};
+
+}  // namespace flexfetch::core

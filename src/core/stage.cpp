@@ -1,0 +1,34 @@
+#include "core/stage.hpp"
+
+#include "common/error.hpp"
+
+namespace flexfetch::core {
+
+std::vector<Stage> segment_stages(const Profile& profile, Seconds min_length) {
+  FF_REQUIRE(min_length > 0.0, "stage length must be positive");
+  std::vector<Stage> stages;
+  if (profile.empty()) return stages;
+
+  Stage open;
+  open.first_burst = 0;
+  open.start = profile[0].start;
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const IOBurst& b = profile[i];
+    if (open.burst_count == 0) {
+      open.start = b.start;
+    }
+    ++open.burst_count;
+    open.bytes += b.total_bytes();
+    open.length = b.end() - open.start;
+    // The stage closes as soon as its span *just exceeds* the threshold.
+    if (open.length >= min_length) {
+      stages.push_back(open);
+      open = Stage{};
+      open.first_burst = i + 1;
+    }
+  }
+  if (open.burst_count > 0) stages.push_back(open);
+  return stages;
+}
+
+}  // namespace flexfetch::core

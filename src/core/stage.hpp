@@ -1,0 +1,30 @@
+// Evaluation-stage segmentation (Section 2.2).
+//
+// To evaluate decisions in a timely manner, FlexFetch groups consecutive
+// I/O bursts — including the think times between them — into evaluation
+// stages whose profiled length just exceeds a threshold (40 s in the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/profile.hpp"
+
+namespace flexfetch::core {
+
+struct Stage {
+  std::size_t first_burst = 0;
+  std::size_t burst_count = 0;
+  Seconds start = 0.0;   ///< Profiled start of the first burst.
+  Seconds length = 0.0;  ///< Profiled span including inter-burst thinks.
+  Bytes bytes = 0;
+
+  std::size_t end_burst() const { return first_burst + burst_count; }
+};
+
+/// Splits a profile into evaluation stages of at least `min_length`
+/// profiled seconds each ("whose length just exceeds a pre-determined
+/// threshold"). The final stage may be shorter.
+std::vector<Stage> segment_stages(const Profile& profile, Seconds min_length);
+
+}  // namespace flexfetch::core

@@ -1,0 +1,56 @@
+#include "device/adaptive_timeout.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexfetch::device {
+
+AdaptiveTimeoutController::AdaptiveTimeoutController(
+    AdaptiveTimeoutConfig config)
+    : config_(config) {
+  FF_REQUIRE(config.min_timeout > 0, "adaptive timeout: non-positive floor");
+  FF_REQUIRE(config.max_timeout >= config.min_timeout,
+             "adaptive timeout: inverted bounds");
+  FF_REQUIRE(config.increase_factor > 1.0,
+             "adaptive timeout: increase factor must exceed 1");
+  FF_REQUIRE(config.decay_factor > 0.0 && config.decay_factor <= 1.0,
+             "adaptive timeout: decay factor out of (0,1]");
+}
+
+void AdaptiveTimeoutController::observe(Disk& disk,
+                                        const ServiceResult& result) {
+  if (timeout_ == 0.0) timeout_ = disk.params().spin_down_timeout;
+  ++stats_.observations;
+
+  if (has_last_) {
+    const Seconds idle_gap = std::max(0.0, result.arrival - last_completion_);
+    // Did this idle period reach the (then-current) timeout at all?
+    if (idle_gap > timeout_) {
+      // The disk spun down. Energy-justified only if the time it would
+      // have stayed down exceeds the break-even residence.
+      const Seconds down_span = idle_gap - timeout_;
+      if (down_span < disk.break_even_time()) {
+        ++stats_.premature_spin_downs;
+        ++stats_.increases;
+        timeout_ = std::min(timeout_ * config_.increase_factor,
+                            config_.max_timeout);
+      } else {
+        timeout_ = std::max(timeout_ * config_.decay_factor,
+                            config_.min_timeout);
+      }
+    } else {
+      // No spin-down happened; slowly drift back down so the disk keeps
+      // saving once the bursty pattern ends.
+      timeout_ =
+          std::max(timeout_ * config_.decay_factor, config_.min_timeout);
+    }
+  }
+
+  disk.set_spin_down_timeout(timeout_);
+  last_completion_ = result.completion;
+  has_last_ = true;
+  stats_.final_timeout = timeout_;
+}
+
+}  // namespace flexfetch::device

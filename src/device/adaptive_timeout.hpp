@@ -1,0 +1,52 @@
+// Adaptive disk spin-down timeout (Douglis et al. '94 / Helmbold et al.
+// '96 — the paper's Section 4 related work on timeout selection).
+//
+// The fixed 20 s laptop-mode timeout is wrong for some workloads: sparse
+// request streams with ~20 s gaps (the Thunderbird email phase) make the
+// disk thrash through premature spin-downs, each costing the full
+// transition energy and a spin-up delay. The controller watches the idle
+// gap before every disk request:
+//   * if the disk spun down but stayed down for less than the break-even
+//     time, the spin-down lost energy -> the timeout doubles (capped);
+//   * otherwise the timeout decays multiplicatively toward its floor, so
+//     the disk resumes saving aggressively once the thrashing pattern ends.
+#pragma once
+
+#include "device/disk.hpp"
+
+namespace flexfetch::device {
+
+struct AdaptiveTimeoutConfig {
+  Seconds min_timeout = 2.0;
+  Seconds max_timeout = 120.0;
+  double increase_factor = 2.0;   ///< On a premature spin-down.
+  double decay_factor = 0.95;     ///< On a justified cycle or no cycle.
+};
+
+struct AdaptiveTimeoutStats {
+  std::uint64_t observations = 0;
+  std::uint64_t premature_spin_downs = 0;
+  std::uint64_t increases = 0;
+  Seconds final_timeout = 0.0;
+};
+
+class AdaptiveTimeoutController {
+ public:
+  explicit AdaptiveTimeoutController(AdaptiveTimeoutConfig config = {});
+
+  /// Observes one serviced disk request and retunes the disk's timeout.
+  /// Call after every disk service with its ServiceResult.
+  void observe(Disk& disk, const ServiceResult& result);
+
+  Seconds current_timeout() const { return timeout_; }
+  const AdaptiveTimeoutStats& stats() const { return stats_; }
+
+ private:
+  AdaptiveTimeoutConfig config_;
+  Seconds timeout_ = 0.0;  ///< 0 = adopt the disk's configured value first.
+  Seconds last_completion_ = 0.0;
+  bool has_last_ = false;
+  AdaptiveTimeoutStats stats_;
+};
+
+}  // namespace flexfetch::device

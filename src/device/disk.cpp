@@ -1,0 +1,191 @@
+#include "device/disk.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexfetch::device {
+
+const char* to_string(DiskState s) {
+  switch (s) {
+    case DiskState::kIdle: return "idle";
+    case DiskState::kSpinningDown: return "spinning-down";
+    case DiskState::kStandby: return "standby";
+    case DiskState::kSpinningUp: return "spinning-up";
+  }
+  return "?";
+}
+
+Disk::Disk(DiskParams params) : params_(params) { params_.validate(); }
+
+void Disk::begin_spin_down() {
+  FF_ASSERT(state_ == DiskState::kIdle);
+  meter_.add(EnergyCategory::kSpinDown, params_.spin_down_energy);
+  ++counters_.spin_downs;
+  state_ = DiskState::kSpinningDown;
+  transition_end_ = now_ + params_.spin_down_time;
+}
+
+void Disk::begin_spin_up() {
+  FF_ASSERT(state_ == DiskState::kStandby);
+  meter_.add(EnergyCategory::kSpinUp, params_.spin_up_energy);
+  ++counters_.spin_ups;
+  state_ = DiskState::kSpinningUp;
+  transition_end_ = now_ + params_.spin_up_time;
+}
+
+void Disk::advance_to(Seconds t) {
+  while (now_ < t) {
+    switch (state_) {
+      case DiskState::kIdle: {
+        const Seconds deadline = idle_since_ + params_.spin_down_timeout;
+        if (t < deadline) {
+          meter_.add(EnergyCategory::kIdle, params_.idle_power * (t - now_));
+          now_ = t;
+        } else {
+          meter_.add(EnergyCategory::kIdle,
+                     params_.idle_power * (deadline - now_));
+          now_ = deadline;
+          begin_spin_down();
+        }
+        break;
+      }
+      case DiskState::kSpinningDown: {
+        // Transition energy was charged as a lump at begin_spin_down().
+        const Seconds step = std::min(t, transition_end_);
+        now_ = step;
+        if (now_ >= transition_end_) state_ = DiskState::kStandby;
+        break;
+      }
+      case DiskState::kStandby: {
+        meter_.add(EnergyCategory::kStandby, params_.standby_power * (t - now_));
+        now_ = t;
+        break;
+      }
+      case DiskState::kSpinningUp: {
+        const Seconds step = std::min(t, transition_end_);
+        now_ = step;
+        if (now_ >= transition_end_) {
+          state_ = DiskState::kIdle;
+          idle_since_ = now_;
+        }
+        break;
+      }
+    }
+  }
+}
+
+void Disk::make_ready() {
+  if (state_ == DiskState::kSpinningDown) {
+    // A request that arrives mid-spin-down must wait out the spin-down;
+    // real disks cannot abort the unload sequence.
+    advance_to(transition_end_);
+  }
+  if (state_ == DiskState::kStandby) {
+    begin_spin_up();
+  }
+  if (state_ == DiskState::kSpinningUp) {
+    advance_to(transition_end_);
+  }
+  FF_ASSERT(state_ == DiskState::kIdle);
+}
+
+ServiceResult Disk::service(Seconds t, const DeviceRequest& req) {
+  FF_REQUIRE(req.size > 0, "disk request with zero size");
+  const Seconds arrival = std::max(t, now_);
+  advance_to(arrival);
+  const Joules energy_before = meter_.total();
+
+  make_ready();
+  const Seconds start = now_;
+
+  const bool sequential =
+      next_sequential_lba_.has_value() && *next_sequential_lba_ == req.lba;
+  if (sequential) {
+    ++counters_.sequential_hits;
+  } else {
+    const Bytes head = next_sequential_lba_.value_or(0);
+    const Bytes distance = head > req.lba ? head - req.lba : req.lba - head;
+    const Seconds positioning =
+        params_.seek_time(distance == 0 ? 1 : distance) +
+        params_.avg_rotation_time;
+    meter_.add(EnergyCategory::kActiveTransfer,
+               params_.active_power * positioning);
+    counters_.seek_time += positioning;
+    now_ += positioning;
+  }
+
+  const Seconds xfer = transfer_time(req.size, params_.bandwidth);
+  meter_.add(EnergyCategory::kActiveTransfer, params_.active_power * xfer);
+  now_ += xfer;
+
+  ++counters_.requests;
+  if (req.is_write) {
+    counters_.bytes_written += req.size;
+  } else {
+    counters_.bytes_read += req.size;
+  }
+
+  state_ = DiskState::kIdle;
+  idle_since_ = now_;
+  busy_until_ = now_;
+  next_sequential_lba_ = req.lba + req.size;
+
+  return ServiceResult{
+      .arrival = arrival,
+      .start = start,
+      .completion = now_,
+      .energy = meter_.total() - energy_before,
+  };
+}
+
+ServiceResult Disk::estimate(Seconds t, const DeviceRequest& req) const {
+  Disk copy = *this;
+  return copy.service(t, req);
+}
+
+void Disk::force_spin_up(Seconds t) {
+  advance_to(std::max(t, now_));
+  if (state_ == DiskState::kStandby) {
+    begin_spin_up();
+  } else if (state_ == DiskState::kSpinningDown) {
+    advance_to(transition_end_);
+    begin_spin_up();
+  }
+  // kIdle / kSpinningUp: already (heading) up; nothing to do.
+}
+
+Seconds Disk::time_to_ready(Seconds t) const {
+  const Seconds at = std::max(t, now_);
+  switch (state_) {
+    case DiskState::kIdle: {
+      const Seconds deadline = idle_since_ + params_.spin_down_timeout;
+      if (at < deadline) return 0.0;
+      // Would have spun down by `at`: wait out (remaining) spin-down + up.
+      const Seconds spin_down_end = deadline + params_.spin_down_time;
+      const Seconds wait = spin_down_end > at ? spin_down_end - at : 0.0;
+      return wait + params_.spin_up_time;
+    }
+    case DiskState::kSpinningDown: {
+      const Seconds wait = transition_end_ > at ? transition_end_ - at : 0.0;
+      return wait + params_.spin_up_time;
+    }
+    case DiskState::kStandby:
+      return params_.spin_up_time;
+    case DiskState::kSpinningUp:
+      return transition_end_ > at ? transition_end_ - at : 0.0;
+  }
+  return 0.0;
+}
+
+void Disk::reset_accounting() {
+  meter_.reset();
+  counters_ = DiskCounters{};
+}
+
+void Disk::set_spin_down_timeout(Seconds timeout) {
+  FF_REQUIRE(timeout > 0, "disk: non-positive spin-down timeout");
+  params_.spin_down_timeout = timeout;
+}
+
+}  // namespace flexfetch::device

@@ -1,0 +1,111 @@
+// Timeline simulator of a laptop hard disk with dynamic power management.
+//
+// The model follows the four-state description of Section 1.1: the disk
+// transfers in the active state, spins idly in the idle state, and is spun
+// down to standby after `spin_down_timeout` of inactivity. Transition costs
+// (Table 1) are charged as energy lumps when the transition starts.
+//
+// Disk objects have value semantics: FlexFetch's on-line estimator copies
+// the live disk and replays hypothetical requests on the copy, so estimation
+// and simulation share one code path (Section 2.2: "we maintain an on-line
+// simulator for each device").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "device/disk_params.hpp"
+#include "device/energy_meter.hpp"
+#include "device/request.hpp"
+
+namespace flexfetch::device {
+
+enum class DiskState : std::uint8_t {
+  kIdle,          ///< Platters spinning, no transfer in progress.
+  kSpinningDown,  ///< In transition to standby.
+  kStandby,       ///< Spun down.
+  kSpinningUp,    ///< In transition to idle/active.
+};
+
+const char* to_string(DiskState s);
+
+struct DiskCounters {
+  std::uint64_t requests = 0;
+  std::uint64_t sequential_hits = 0;  ///< Requests that skipped positioning.
+  std::uint64_t spin_ups = 0;
+  std::uint64_t spin_downs = 0;
+  Bytes bytes_read = 0;
+  Bytes bytes_written = 0;
+  Seconds seek_time = 0.0;  ///< Total head positioning (seek + rotation).
+};
+
+class Disk {
+ public:
+  explicit Disk(DiskParams params = DiskParams::hitachi_dk23da());
+
+  const DiskParams& params() const { return params_; }
+
+  /// Advances the internal clock to `t`, integrating idle/standby energy and
+  /// performing any timeout-driven spin-down. Idempotent for t <= now().
+  void advance_to(Seconds t);
+
+  /// Services a request arriving at time `t` (clamped to now() if earlier).
+  /// Handles spin-up from standby, head positioning and the transfer.
+  ServiceResult service(Seconds t, const DeviceRequest& req);
+
+  /// Estimates servicing `req` at `t` without mutating this disk.
+  ServiceResult estimate(Seconds t, const DeviceRequest& req) const;
+
+  /// Externally forces the disk towards the spinning state at time `t`
+  /// (e.g. a BlueFS ghost hint). No-op if already spinning or spinning up.
+  void force_spin_up(Seconds t);
+
+  /// Delay until a request arriving at `t` would start transferring its
+  /// first byte, ignoring positioning (used by reactive policies).
+  Seconds time_to_ready(Seconds t) const;
+
+  DiskState state() const { return state_; }
+  Seconds now() const { return now_; }
+  bool is_spinning() const {
+    return state_ == DiskState::kIdle || state_ == DiskState::kSpinningUp;
+  }
+
+  /// End of the most recent transfer; the I/O scheduler must not dispatch
+  /// the next request before this.
+  Seconds busy_until() const { return busy_until_; }
+
+  /// Start of the current idle period (only meaningful in kIdle).
+  Seconds idle_since() const { return idle_since_; }
+
+  const EnergyMeter& meter() const { return meter_; }
+  const DiskCounters& counters() const { return counters_; }
+
+  Seconds break_even_time() const { return params_.break_even_time(); }
+
+  /// Resets energy/counter accounting without touching the power state.
+  void reset_accounting();
+
+  /// Retunes the spin-down timeout (adaptive DPM controllers). Takes
+  /// effect from the current idle period onwards; must not be called while
+  /// the disk is mid-transition into an already-committed spin-down.
+  void set_spin_down_timeout(Seconds timeout);
+
+ private:
+  void begin_spin_down();
+  void begin_spin_up();
+  /// Brings the disk to the spinning (kIdle) state, waiting out or paying
+  /// for whatever transitions are needed. Returns when state_ == kIdle.
+  void make_ready();
+
+  DiskParams params_;
+  DiskState state_ = DiskState::kIdle;
+  Seconds now_ = 0.0;
+  Seconds idle_since_ = 0.0;
+  Seconds transition_end_ = 0.0;  ///< Valid in kSpinningUp/kSpinningDown.
+  Seconds busy_until_ = 0.0;
+  std::optional<Bytes> next_sequential_lba_;
+  EnergyMeter meter_;
+  DiskCounters counters_;
+};
+
+}  // namespace flexfetch::device

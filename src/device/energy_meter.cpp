@@ -1,0 +1,67 @@
+#include "device/energy_meter.hpp"
+
+#include <sstream>
+
+#include "device/request.hpp"
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace flexfetch::device {
+
+const char* to_string(DeviceKind kind) {
+  return kind == DeviceKind::kDisk ? "disk" : "network";
+}
+
+DeviceKind other(DeviceKind kind) {
+  return kind == DeviceKind::kDisk ? DeviceKind::kNetwork : DeviceKind::kDisk;
+}
+
+const char* to_string(EnergyCategory c) {
+  switch (c) {
+    case EnergyCategory::kActiveTransfer: return "active-transfer";
+    case EnergyCategory::kIdle: return "idle";
+    case EnergyCategory::kStandby: return "standby";
+    case EnergyCategory::kSpinUp: return "spin-up";
+    case EnergyCategory::kSpinDown: return "spin-down";
+    case EnergyCategory::kCamIdle: return "cam-idle";
+    case EnergyCategory::kPsmIdle: return "psm-idle";
+    case EnergyCategory::kSend: return "send";
+    case EnergyCategory::kRecv: return "recv";
+    case EnergyCategory::kModeSwitch: return "mode-switch";
+    case EnergyCategory::kCount: break;
+  }
+  return "?";
+}
+
+void EnergyMeter::add(EnergyCategory c, Joules j) {
+  FF_ASSERT(c != EnergyCategory::kCount);
+  FF_ASSERT(j >= 0.0);
+  joules_[static_cast<std::size_t>(c)] += j;
+}
+
+Joules EnergyMeter::total() const {
+  Joules sum = 0.0;
+  for (const auto j : joules_) sum += j;
+  return sum;
+}
+
+Joules EnergyMeter::transition_energy() const {
+  return (*this)[EnergyCategory::kSpinUp] + (*this)[EnergyCategory::kSpinDown] +
+         (*this)[EnergyCategory::kModeSwitch];
+}
+
+void EnergyMeter::reset() { joules_.fill(0.0); }
+
+std::string EnergyMeter::report() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < joules_.size(); ++i) {
+    if (joules_[i] <= 0.0) continue;
+    os << "  " << to_string(static_cast<EnergyCategory>(i)) << ": "
+       << format_joules(joules_[i]) << '\n';
+  }
+  os << "  total: " << format_joules(total()) << '\n';
+  return os.str();
+}
+
+}  // namespace flexfetch::device

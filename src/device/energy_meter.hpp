@@ -1,0 +1,53 @@
+// Per-category energy accounting.
+//
+// Every joule a device model spends is attributed to exactly one category,
+// so tests can assert energy conservation: sum(categories) == total().
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace flexfetch::device {
+
+enum class EnergyCategory : std::size_t {
+  kActiveTransfer,  ///< Disk read/write, head positioning included.
+  kIdle,            ///< Disk spinning idle.
+  kStandby,         ///< Disk spun down.
+  kSpinUp,
+  kSpinDown,
+  kCamIdle,   ///< WNIC idle in continuously-aware mode.
+  kPsmIdle,   ///< WNIC idle in power-saving mode.
+  kSend,      ///< WNIC transmitting.
+  kRecv,      ///< WNIC receiving.
+  kModeSwitch,  ///< WNIC CAM<->PSM transitions.
+  kCount,
+};
+
+const char* to_string(EnergyCategory c);
+
+class EnergyMeter {
+ public:
+  void add(EnergyCategory c, Joules j);
+
+  Joules operator[](EnergyCategory c) const {
+    return joules_[static_cast<std::size_t>(c)];
+  }
+
+  Joules total() const;
+
+  /// Energy spent on power-state transitions (spin-up/down, mode switches).
+  Joules transition_energy() const;
+
+  void reset();
+
+  /// Multi-line human-readable breakdown (categories with zero omitted).
+  std::string report() const;
+
+ private:
+  std::array<Joules, static_cast<std::size_t>(EnergyCategory::kCount)> joules_{};
+};
+
+}  // namespace flexfetch::device

@@ -1,0 +1,42 @@
+// Device-level request and service-result types.
+//
+// A DeviceRequest is what reaches a storage device after the OS layer
+// (buffer cache, readahead, scheduler) has transformed application syscalls.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace flexfetch::device {
+
+/// Which of the two replicated data sources services a request.
+enum class DeviceKind : std::uint8_t {
+  kDisk,
+  kNetwork,
+};
+
+const char* to_string(DeviceKind kind);
+DeviceKind other(DeviceKind kind);
+
+struct DeviceRequest {
+  /// Linear byte address on the disk (from the file-layout mapper).
+  /// Ignored by the network device.
+  Bytes lba = 0;
+  Bytes size = 0;
+  bool is_write = false;
+};
+
+/// Outcome of servicing one request on a device.
+struct ServiceResult {
+  Seconds arrival = 0.0;     ///< When the request reached the device.
+  Seconds start = 0.0;       ///< When the device began the transfer
+                             ///< (after spin-up / wake / positioning).
+  Seconds completion = 0.0;  ///< When the last byte was delivered.
+  Joules energy = 0.0;       ///< Energy attributable to this request,
+                             ///< including transition costs it triggered.
+
+  Seconds service_time() const { return completion - arrival; }
+};
+
+}  // namespace flexfetch::device

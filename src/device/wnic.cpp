@@ -1,0 +1,184 @@
+#include "device/wnic.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexfetch::device {
+
+const char* to_string(WnicState s) {
+  switch (s) {
+    case WnicState::kCam: return "cam";
+    case WnicState::kSwitchingToPsm: return "cam->psm";
+    case WnicState::kPsm: return "psm";
+    case WnicState::kSwitchingToCam: return "psm->cam";
+  }
+  return "?";
+}
+
+Wnic::Wnic(WnicParams params) : params_(params) { params_.validate(); }
+
+void Wnic::begin_sleep() {
+  FF_ASSERT(state_ == WnicState::kCam);
+  meter_.add(EnergyCategory::kModeSwitch, params_.cam_to_psm_energy);
+  ++counters_.sleeps;
+  state_ = WnicState::kSwitchingToPsm;
+  transition_end_ = now_ + params_.cam_to_psm_delay;
+}
+
+void Wnic::begin_wake() {
+  FF_ASSERT(state_ == WnicState::kPsm);
+  meter_.add(EnergyCategory::kModeSwitch, params_.psm_to_cam_energy);
+  ++counters_.wakes;
+  state_ = WnicState::kSwitchingToCam;
+  transition_end_ = now_ + params_.psm_to_cam_delay;
+}
+
+void Wnic::advance_to(Seconds t) {
+  while (now_ < t) {
+    switch (state_) {
+      case WnicState::kCam: {
+        const Seconds deadline = idle_since_ + params_.psm_timeout;
+        if (t < deadline) {
+          meter_.add(EnergyCategory::kCamIdle, params_.cam_idle_power * (t - now_));
+          now_ = t;
+        } else {
+          meter_.add(EnergyCategory::kCamIdle,
+                     params_.cam_idle_power * (deadline - now_));
+          now_ = deadline;
+          begin_sleep();
+        }
+        break;
+      }
+      case WnicState::kSwitchingToPsm: {
+        const Seconds step = std::min(t, transition_end_);
+        now_ = step;
+        if (now_ >= transition_end_) state_ = WnicState::kPsm;
+        break;
+      }
+      case WnicState::kPsm: {
+        meter_.add(EnergyCategory::kPsmIdle, params_.psm_idle_power * (t - now_));
+        now_ = t;
+        break;
+      }
+      case WnicState::kSwitchingToCam: {
+        const Seconds step = std::min(t, transition_end_);
+        now_ = step;
+        if (now_ >= transition_end_) {
+          state_ = WnicState::kCam;
+          idle_since_ = now_;
+        }
+        break;
+      }
+    }
+  }
+}
+
+void Wnic::make_cam() {
+  if (state_ == WnicState::kSwitchingToPsm) {
+    advance_to(transition_end_);  // Cannot abort an in-flight switch.
+  }
+  if (state_ == WnicState::kPsm) {
+    begin_wake();
+  }
+  if (state_ == WnicState::kSwitchingToCam) {
+    advance_to(transition_end_);
+  }
+  FF_ASSERT(state_ == WnicState::kCam);
+}
+
+ServiceResult Wnic::service(Seconds t, const DeviceRequest& req) {
+  FF_REQUIRE(req.size > 0, "wnic request with zero size");
+  const Seconds arrival = std::max(t, now_);
+  advance_to(arrival);
+  const Joules energy_before = meter_.total();
+
+  ++counters_.requests;
+  if (req.is_write) {
+    counters_.bytes_sent += req.size;
+  } else {
+    counters_.bytes_received += req.size;
+  }
+
+  // Single-packet requests are delivered within PSM at the next beacon
+  // ("switches back to CAM if more than one packet is ready").
+  const bool psm_deliverable = req.size <= params_.psm_packet_threshold;
+  if (state_ == WnicState::kPsm && psm_deliverable) {
+    ++counters_.psm_transfers;
+    const Seconds start = now_;
+    const Seconds lat = params_.latency + params_.psm_beacon_wait;
+    meter_.add(EnergyCategory::kPsmIdle, params_.psm_idle_power * lat);
+    now_ += lat;
+    const Seconds xfer = transfer_time(req.size, params_.bandwidth_at(now_));
+    const Watts p = req.is_write ? params_.psm_send_power : params_.psm_recv_power;
+    meter_.add(req.is_write ? EnergyCategory::kSend : EnergyCategory::kRecv,
+               p * xfer);
+    now_ += xfer;
+    busy_until_ = now_;
+    return ServiceResult{.arrival = arrival,
+                         .start = start,
+                         .completion = now_,
+                         .energy = meter_.total() - energy_before};
+  }
+
+  make_cam();
+  const Seconds start = now_;
+
+  // The transfer is a pipeline of RPCs against the remote server; each
+  // round trip pays the request latency with the radio active (the card
+  // keeps exchanging frames with the access point while the server
+  // responds), then streams its payload.
+  const std::uint64_t rpcs =
+      (req.size + params_.rpc_bytes - 1) / params_.rpc_bytes;
+  const Seconds lat = params_.latency * static_cast<double>(rpcs);
+  const Watts p = req.is_write ? params_.cam_send_power : params_.cam_recv_power;
+  // Roaming: the transfer runs at the link rate in effect when it starts
+  // (rate changes mid-transfer are quantized to request boundaries).
+  const Seconds xfer = transfer_time(req.size, params_.bandwidth_at(now_));
+  meter_.add(req.is_write ? EnergyCategory::kSend : EnergyCategory::kRecv,
+             p * (lat + xfer));
+  now_ += lat + xfer;
+
+  state_ = WnicState::kCam;
+  idle_since_ = now_;
+  busy_until_ = now_;
+
+  return ServiceResult{.arrival = arrival,
+                       .start = start,
+                       .completion = now_,
+                       .energy = meter_.total() - energy_before};
+}
+
+ServiceResult Wnic::estimate(Seconds t, const DeviceRequest& req) const {
+  Wnic copy = *this;
+  return copy.service(t, req);
+}
+
+Seconds Wnic::time_to_ready(Seconds t) const {
+  const Seconds at = std::max(t, now_);
+  switch (state_) {
+    case WnicState::kCam: {
+      const Seconds deadline = idle_since_ + params_.psm_timeout;
+      if (at < deadline) return 0.0;
+      const Seconds switch_end = deadline + params_.cam_to_psm_delay;
+      const Seconds wait = switch_end > at ? switch_end - at : 0.0;
+      return wait + params_.psm_to_cam_delay;
+    }
+    case WnicState::kSwitchingToPsm: {
+      const Seconds wait = transition_end_ > at ? transition_end_ - at : 0.0;
+      return wait + params_.psm_to_cam_delay;
+    }
+    case WnicState::kPsm:
+      return params_.psm_to_cam_delay;
+    case WnicState::kSwitchingToCam:
+      return transition_end_ > at ? transition_end_ - at : 0.0;
+  }
+  return 0.0;
+}
+
+void Wnic::reset_accounting() {
+  meter_.reset();
+  counters_ = WnicCounters{};
+}
+
+}  // namespace flexfetch::device

@@ -1,0 +1,85 @@
+// Timeline simulator of an 802.11 wireless NIC with CAM/PSM power management.
+//
+// Models the Cisco Aironet 350 behaviour described in Sections 1.1 and 3.1:
+// the card idles in the continuously-aware mode (CAM), drops to the
+// power-saving mode (PSM) after `psm_timeout` of inactivity, and wakes back
+// to CAM to transfer data — except that a single-packet request can be
+// delivered in PSM at the next beacon. Mode-switch costs (Table 2) are
+// charged as energy lumps when the switch starts.
+//
+// Like Disk, Wnic has value semantics so the FlexFetch estimator can replay
+// hypothetical requests on a copy of the live device.
+#pragma once
+
+#include <cstdint>
+
+#include "device/energy_meter.hpp"
+#include "device/request.hpp"
+#include "device/wnic_params.hpp"
+
+namespace flexfetch::device {
+
+enum class WnicState : std::uint8_t {
+  kCam,             ///< Awake, radio continuously on.
+  kSwitchingToPsm,  ///< In transition CAM -> PSM.
+  kPsm,             ///< Power-saving, radio duty-cycled to beacons.
+  kSwitchingToCam,  ///< In transition PSM -> CAM.
+};
+
+const char* to_string(WnicState s);
+
+struct WnicCounters {
+  std::uint64_t requests = 0;
+  std::uint64_t psm_transfers = 0;  ///< Serviced without leaving PSM.
+  std::uint64_t wakes = 0;          ///< PSM -> CAM switches.
+  std::uint64_t sleeps = 0;         ///< CAM -> PSM switches.
+  Bytes bytes_sent = 0;
+  Bytes bytes_received = 0;
+};
+
+class Wnic {
+ public:
+  explicit Wnic(WnicParams params = WnicParams::cisco_aironet350());
+
+  const WnicParams& params() const { return params_; }
+
+  /// Advances the internal clock, integrating idle energy and performing
+  /// the timeout-driven CAM->PSM switch. Idempotent for t <= now().
+  void advance_to(Seconds t);
+
+  /// Services a request arriving at `t` (clamped to now() if earlier).
+  /// A read is a receive (the data flows from the server); a write is a send.
+  ServiceResult service(Seconds t, const DeviceRequest& req);
+
+  /// Estimates servicing `req` at `t` without mutating this card.
+  ServiceResult estimate(Seconds t, const DeviceRequest& req) const;
+
+  /// Delay until a request arriving at `t` could start transferring.
+  Seconds time_to_ready(Seconds t) const;
+
+  WnicState state() const { return state_; }
+  Seconds now() const { return now_; }
+  Seconds busy_until() const { return busy_until_; }
+
+  const EnergyMeter& meter() const { return meter_; }
+  const WnicCounters& counters() const { return counters_; }
+
+  void reset_accounting();
+
+ private:
+  void begin_sleep();
+  void begin_wake();
+  /// Brings the card to CAM, waiting out/paying for transitions.
+  void make_cam();
+
+  WnicParams params_;
+  WnicState state_ = WnicState::kCam;
+  Seconds now_ = 0.0;
+  Seconds idle_since_ = 0.0;
+  Seconds transition_end_ = 0.0;
+  Seconds busy_until_ = 0.0;
+  EnergyMeter meter_;
+  WnicCounters counters_;
+};
+
+}  // namespace flexfetch::device

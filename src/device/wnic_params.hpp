@@ -1,0 +1,96 @@
+// Wireless NIC model parameters.
+//
+// Defaults reproduce Table 2 of the paper (Cisco Aironet 350): CAM/PSM
+// idle/recv/send powers, mode-switch delays and energies, 800 ms CAM->PSM
+// idle timeout, and the 802.11b rate set.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace flexfetch::device {
+
+/// One step of a piecewise-constant link-rate schedule: from `start`
+/// onwards the link runs at `bandwidth` (until the next step).
+struct BandwidthStep {
+  Seconds start = 0.0;
+  BytesPerSecond bandwidth = 0.0;
+};
+
+struct WnicParams {
+  // Power-saving mode (radio mostly off, wakes for beacons).
+  Watts psm_idle_power = 0.39;
+  Watts psm_recv_power = 1.42;
+  Watts psm_send_power = 2.48;
+
+  // Continuously-aware mode.
+  Watts cam_idle_power = 1.41;
+  Watts cam_recv_power = 2.61;
+  Watts cam_send_power = 3.69;
+
+  Seconds cam_to_psm_delay = 0.41;
+  Joules cam_to_psm_energy = 0.53;
+  Seconds psm_to_cam_delay = 0.40;
+  Joules psm_to_cam_energy = 0.51;
+
+  /// CAM idle period after which the card drops to PSM (adaptive PM of the
+  /// Aironet 350, Section 3.1).
+  Seconds psm_timeout = 0.8;
+
+  /// Link bandwidth. 802.11b supports 1, 2, 5.5 and 11 Mbps depending on
+  /// signal quality; the evaluation sweeps over these.
+  BytesPerSecond bandwidth = units::mbps(11.0);
+
+  /// Optional roaming schedule: the 802.11b rate adapts to signal quality
+  /// as the user moves (Section 3.3: "bandwidth may be changing with the
+  /// variation of reception strength when user changes the location of his
+  /// computer"). Steps must be sorted by start time; empty = fixed rate.
+  /// Before the first step the base `bandwidth` applies.
+  std::vector<BandwidthStep> bandwidth_schedule;
+
+  /// Effective link rate at simulation time `t`.
+  BytesPerSecond bandwidth_at(Seconds t) const;
+
+  /// One-way request latency to the remote storage server (server load,
+  /// congestion, retransmissions). The evaluation sweeps this.
+  Seconds latency = units::ms(1.0);
+
+  /// Remote-storage RPC granularity: a large request is fetched from the
+  /// server as a pipeline of RPCs of at most this size, and each RPC pays
+  /// the request latency with the radio active (the card is exchanging
+  /// request/response frames while it waits). This is what makes network
+  /// access latency-sensitive for bulk data (every Figure (a) sweep).
+  Bytes rpc_bytes = 16 * kKiB;
+
+  /// Requests no larger than this can be serviced without leaving PSM
+  /// ("switches back to CAM if more than one packet is ready"): a single
+  /// packet is delivered at the next beacon.
+  Bytes psm_packet_threshold = 1500;
+
+  /// Mean extra delay waiting for a PSM beacon (100 ms beacon interval).
+  Seconds psm_beacon_wait = 0.05;
+
+  /// The four 802.11b rates used in the paper's bandwidth sweeps.
+  static constexpr std::array<double, 4> k80211bRatesMbps{1.0, 2.0, 5.5, 11.0};
+
+  void validate() const;
+
+  /// The Cisco Aironet 350 card the paper simulates (same as the defaults).
+  static WnicParams cisco_aironet350() { return WnicParams{}; }
+
+  WnicParams with_bandwidth_mbps(double mbps) const {
+    WnicParams p = *this;
+    p.bandwidth = units::mbps(mbps);
+    return p;
+  }
+
+  WnicParams with_latency(Seconds lat) const {
+    WnicParams p = *this;
+    p.latency = lat;
+    return p;
+  }
+};
+
+}  // namespace flexfetch::device

@@ -1,0 +1,111 @@
+#include "hoard/hoard_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace flexfetch::hoard {
+
+HoardSet::HoardSet(HoardConfig config) : config_(config) {
+  FF_REQUIRE(config.recency_half_life > 0, "hoard: non-positive half-life");
+  FF_REQUIRE(config.co_access_window >= 0, "hoard: negative co-access window");
+  FF_REQUIRE(config.cluster_bonus >= 0, "hoard: negative cluster bonus");
+}
+
+double HoardSet::decayed_weight(const FileState& f, Seconds now) const {
+  const Seconds dt = now - f.weight_time;
+  if (dt <= 0) return f.weight;
+  return f.weight * std::exp2(-dt / config_.recency_half_life);
+}
+
+void HoardSet::link(trace::Inode a, trace::Inode b) {
+  auto& na = files_[a].neighbours;
+  if (std::find(na.begin(), na.end(), b) == na.end() &&
+      na.size() < config_.max_neighbours) {
+    na.push_back(b);
+    ++stats_.co_access_links;
+  }
+}
+
+void HoardSet::record_access(trace::Inode inode, Bytes offset, Bytes size,
+                             Seconds now) {
+  FileState& f = files_[inode];
+  f.weight = decayed_weight(f, now) + 1.0;
+  f.weight_time = now;
+  f.extent = std::max(f.extent, offset + size);
+  ++f.accesses;
+  ++stats_.accesses;
+  stats_.distinct_files = files_.size();
+
+  // Semantic clustering: an access shortly after an access to a different
+  // file links the two (they belong to one activity).
+  if (last_inode_ != 0 && last_inode_ != inode &&
+      now - last_time_ <= config_.co_access_window) {
+    link(inode, last_inode_);
+    link(last_inode_, inode);
+  }
+  last_inode_ = inode;
+  last_time_ = now;
+}
+
+void HoardSet::record_trace(const trace::Trace& trace) {
+  for (const auto& r : trace) {
+    if (!r.is_data_transfer()) continue;
+    record_access(r.inode, r.offset, r.size, r.timestamp);
+  }
+}
+
+double HoardSet::priority(trace::Inode inode, Seconds now) const {
+  auto it = files_.find(inode);
+  if (it == files_.end()) return 0.0;
+  const FileState& f = it->second;
+  double p = decayed_weight(f, now);
+  // Neighbour bonus: proportional to the neighbours' own decayed weights,
+  // so clusters rise and fall together.
+  for (const auto n : f.neighbours) {
+    auto nit = files_.find(n);
+    if (nit == files_.end()) continue;
+    p += config_.cluster_bonus * decayed_weight(nit->second, now);
+  }
+  return p;
+}
+
+std::vector<HoardCandidate> HoardSet::ranked(Seconds now) const {
+  std::vector<HoardCandidate> out;
+  out.reserve(files_.size());
+  for (const auto& [inode, f] : files_) {
+    out.push_back(HoardCandidate{.inode = inode,
+                                 .size = f.extent,
+                                 .priority = priority(inode, now)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HoardCandidate& a, const HoardCandidate& b) {
+              if (a.priority != b.priority) return a.priority > b.priority;
+              return a.inode < b.inode;  // Deterministic ties.
+            });
+  return out;
+}
+
+std::vector<HoardCandidate> HoardSet::select(Bytes budget, Seconds now) const {
+  std::vector<HoardCandidate> out;
+  Bytes used = 0;
+  for (const auto& c : ranked(now)) {
+    if (used + c.size > budget) continue;  // Skip, keep trying smaller files.
+    out.push_back(c);
+    used += c.size;
+  }
+  return out;
+}
+
+double HoardSet::hit_confidence(Bytes budget, Seconds now) const {
+  if (stats_.accesses == 0) return 0.0;
+  const auto chosen = select(budget, now);
+  std::uint64_t covered = 0;
+  for (const auto& c : chosen) {
+    covered += files_.at(c.inode).accesses;
+  }
+  return static_cast<double>(covered) / static_cast<double>(stats_.accesses);
+}
+
+}  // namespace flexfetch::hoard

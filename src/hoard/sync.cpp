@@ -1,0 +1,83 @@
+#include "hoard/sync.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace flexfetch::hoard {
+
+SyncManager::SyncManager(SyncConfig config) : config_(config) {
+  FF_REQUIRE(config.interval > 0, "sync: non-positive interval");
+}
+
+void SyncManager::on_local_write(trace::Inode inode, Bytes bytes, Seconds now) {
+  FF_REQUIRE(bytes > 0, "sync: zero-byte write");
+  Debt& d = upload_[inode];
+  if (d.bytes == 0) d.first = now;
+  d.bytes += bytes;
+  pending_upload_ += bytes;
+}
+
+void SyncManager::on_remote_update(trace::Inode inode, Bytes bytes, Seconds now) {
+  FF_REQUIRE(bytes > 0, "sync: zero-byte update");
+  Debt& d = download_[inode];
+  if (d.bytes == 0) d.first = now;
+  d.bytes += bytes;
+  pending_download_ += bytes;
+}
+
+Seconds SyncManager::oldest_debt_age(Seconds now) const {
+  Seconds oldest = now;
+  bool any = false;
+  for (const auto& [ino, d] : upload_) {
+    oldest = std::min(oldest, d.first);
+    any = true;
+  }
+  return any ? now - oldest : 0.0;
+}
+
+std::vector<SyncItem> SyncManager::take_batch(Seconds now) {
+  (void)now;
+  std::vector<SyncItem> out;
+  Bytes budget = config_.max_batch_bytes == 0
+                     ? std::numeric_limits<Bytes>::max()
+                     : config_.max_batch_bytes;
+
+  auto drain = [&](std::map<trace::Inode, Debt>& debts, Bytes& pending,
+                   bool upload) {
+    // Oldest debt first: collect entries sorted by first-dirty time.
+    std::vector<std::pair<trace::Inode, Debt>> ordered(debts.begin(),
+                                                       debts.end());
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second.first != b.second.first) {
+                  return a.second.first < b.second.first;
+                }
+                return a.first < b.first;
+              });
+    for (const auto& [inode, debt] : ordered) {
+      if (budget == 0) break;
+      const Bytes take = std::min(debt.bytes, budget);
+      out.push_back(SyncItem{.inode = inode,
+                             .bytes = take,
+                             .upload = upload,
+                             .first_dirty = debt.first});
+      budget -= take;
+      pending -= take;
+      (upload ? stats_.uploaded : stats_.downloaded) += take;
+      if (take == debt.bytes) {
+        debts.erase(inode);
+      } else {
+        debts[inode].bytes -= take;
+      }
+    }
+  };
+
+  drain(upload_, pending_upload_, /*upload=*/true);
+  drain(download_, pending_download_, /*upload=*/false);
+  if (!out.empty()) ++stats_.batches;
+  return out;
+}
+
+}  // namespace flexfetch::hoard

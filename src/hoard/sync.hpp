@@ -1,0 +1,88 @@
+// Replica synchronization bookkeeping.
+//
+// The paper assumes "data sets of workloads are available on both local
+// hard disk and remote server and synced" and leaves the synchronization
+// mechanism to the hoarding system (Section 5). This manager is that
+// mechanism's core: it tracks divergence between the replicas — local
+// writes that must be uploaded, remote updates that must be re-fetched —
+// and hands out bounded sync batches for a daemon to ship over the WNIC.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "trace/trace.hpp"
+
+namespace flexfetch::hoard {
+
+struct SyncConfig {
+  /// Period of the background sync daemon.
+  Seconds interval = 120.0;
+  /// Upload debt that triggers an immediate (out-of-cycle) sync.
+  Bytes pressure_bytes = 16 * kMiB;
+  /// Largest batch shipped per cycle (0 = unbounded).
+  Bytes max_batch_bytes = 0;
+};
+
+/// One unit of pending replica traffic.
+struct SyncItem {
+  trace::Inode inode = 0;
+  Bytes bytes = 0;
+  bool upload = true;  ///< true: local -> server; false: server -> local.
+  Seconds first_dirty = 0.0;
+};
+
+struct SyncStats {
+  std::uint64_t batches = 0;
+  Bytes uploaded = 0;
+  Bytes downloaded = 0;
+};
+
+class SyncManager {
+ public:
+  explicit SyncManager(SyncConfig config = {});
+
+  const SyncConfig& config() const { return config_; }
+
+  /// A local write diverged the local replica: `bytes` must reach the
+  /// server eventually.
+  void on_local_write(trace::Inode inode, Bytes bytes, Seconds now);
+
+  /// The server-side copy changed (e.g. another client synced): the local
+  /// replica must re-fetch.
+  void on_remote_update(trace::Inode inode, Bytes bytes, Seconds now);
+
+  Bytes pending_upload() const { return pending_upload_; }
+  Bytes pending_download() const { return pending_download_; }
+  bool pressure() const { return pending_upload_ >= config_.pressure_bytes; }
+
+  /// Age of the oldest un-synced local write (0 when clean) — the
+  /// divergence-window metric.
+  Seconds oldest_debt_age(Seconds now) const;
+
+  /// Drains up to max_batch_bytes of pending work, oldest first; uploads
+  /// before downloads. Marks the drained debt as synced.
+  std::vector<SyncItem> take_batch(Seconds now);
+
+  /// Next time the daemon should wake after `now`.
+  Seconds next_wakeup(Seconds now) const { return now + config_.interval; }
+
+  const SyncStats& stats() const { return stats_; }
+
+ private:
+  struct Debt {
+    Bytes bytes = 0;
+    Seconds first = 0.0;
+  };
+
+  SyncConfig config_;
+  std::map<trace::Inode, Debt> upload_;
+  std::map<trace::Inode, Debt> download_;
+  Bytes pending_upload_ = 0;
+  Bytes pending_download_ = 0;
+  SyncStats stats_;
+};
+
+}  // namespace flexfetch::hoard

@@ -1,0 +1,168 @@
+#include "os/buffer_cache.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexfetch::os {
+
+BufferCache::BufferCache(BufferCacheConfig config)
+    : capacity_(config.capacity_pages),
+      kin_(static_cast<std::size_t>(config.kin_fraction *
+                                    static_cast<double>(config.capacity_pages))),
+      kout_(static_cast<std::size_t>(config.kout_fraction *
+                                     static_cast<double>(config.capacity_pages))) {
+  FF_REQUIRE(capacity_ >= 4, "buffer cache: capacity too small");
+  FF_REQUIRE(config.kin_fraction > 0.0 && config.kin_fraction < 1.0,
+             "buffer cache: kin fraction out of (0,1)");
+  FF_REQUIRE(config.kout_fraction > 0.0, "buffer cache: kout fraction <= 0");
+  kin_ = std::max<std::size_t>(kin_, 1);
+  kout_ = std::max<std::size_t>(kout_, 1);
+}
+
+bool BufferCache::lookup(const PageId& id, Seconds /*now*/) {
+  ++stats_.lookups;
+  auto it = table_.find(id);
+  if (it == table_.end()) {
+    if (ghost_table_.contains(id)) ++stats_.ghost_hits;
+    return false;
+  }
+  ++stats_.hits;
+  Entry& e = it->second;
+  if (e.queue == Queue::kAm) {
+    am_.splice(am_.begin(), am_, e.pos);  // Promote to MRU.
+  }
+  // 2Q: a hit in A1in leaves the page in place (FIFO order unchanged).
+  return true;
+}
+
+bool BufferCache::contains(const PageId& id) const { return table_.contains(id); }
+
+std::vector<DirtyPage> BufferCache::fill(const PageId& id, Seconds now) {
+  std::vector<DirtyPage> flushed;
+  if (table_.contains(id)) return flushed;  // Already resident.
+  insert_new(id, /*dirty=*/false, now, flushed);
+  return flushed;
+}
+
+std::vector<DirtyPage> BufferCache::write(const PageId& id, Seconds now) {
+  std::vector<DirtyPage> flushed;
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Entry& e = it->second;
+    if (!e.dirty) {
+      e.dirty = true;
+      e.dirtied_at = now;
+      ++dirty_count_;
+    }
+    if (e.queue == Queue::kAm) am_.splice(am_.begin(), am_, e.pos);
+    return flushed;
+  }
+  insert_new(id, /*dirty=*/true, now, flushed);
+  return flushed;
+}
+
+void BufferCache::insert_new(const PageId& id, bool dirty, Seconds now,
+                             std::vector<DirtyPage>& flushed) {
+  make_room(flushed);
+  ++stats_.insertions;
+  Entry e;
+  e.dirty = dirty;
+  e.dirtied_at = dirty ? now : 0.0;
+  if (dirty) ++dirty_count_;
+  auto ghost = ghost_table_.find(id);
+  if (ghost != ghost_table_.end()) {
+    // Re-reference of a recently evicted page: admit straight to Am.
+    a1out_.erase(ghost->second);
+    ghost_table_.erase(ghost);
+    am_.push_front(id);
+    e.queue = Queue::kAm;
+    e.pos = am_.begin();
+  } else {
+    a1in_.push_front(id);
+    e.queue = Queue::kA1in;
+    e.pos = a1in_.begin();
+  }
+  table_.emplace(id, e);
+}
+
+void BufferCache::make_room(std::vector<DirtyPage>& flushed) {
+  if (table_.size() < capacity_) return;
+  // 2Q "reclaim": prefer shrinking an over-quota A1in, else take the Am LRU.
+  if (a1in_.size() > kin_ || am_.empty()) {
+    FF_ASSERT(!a1in_.empty());
+    const PageId victim = a1in_.back();
+    evict(victim, flushed);
+    push_ghost(victim);
+  } else {
+    const PageId victim = am_.back();
+    evict(victim, flushed);
+  }
+}
+
+void BufferCache::evict(const PageId& id, std::vector<DirtyPage>& flushed) {
+  auto it = table_.find(id);
+  FF_ASSERT(it != table_.end());
+  Entry& e = it->second;
+  if (e.dirty) {
+    flushed.push_back(DirtyPage{id, e.dirtied_at});
+    --dirty_count_;
+  }
+  if (e.queue == Queue::kA1in) {
+    a1in_.erase(e.pos);
+  } else {
+    am_.erase(e.pos);
+  }
+  table_.erase(it);
+  ++stats_.evictions;
+}
+
+void BufferCache::push_ghost(const PageId& id) {
+  a1out_.push_front(id);
+  ghost_table_[id] = a1out_.begin();
+  while (a1out_.size() > kout_) {
+    ghost_table_.erase(a1out_.back());
+    a1out_.pop_back();
+  }
+}
+
+void BufferCache::mark_clean(const PageId& id) {
+  auto it = table_.find(id);
+  if (it == table_.end()) return;
+  if (it->second.dirty) {
+    it->second.dirty = false;
+    --dirty_count_;
+  }
+}
+
+std::vector<DirtyPage> BufferCache::dirty_pages() const {
+  std::vector<DirtyPage> out;
+  out.reserve(dirty_count_);
+  for (const auto& [id, e] : table_) {
+    if (e.dirty) out.push_back(DirtyPage{id, e.dirtied_at});
+  }
+  std::sort(out.begin(), out.end(), [](const DirtyPage& a, const DirtyPage& b) {
+    return a.dirtied_at < b.dirtied_at;
+  });
+  return out;
+}
+
+std::vector<DirtyPage> BufferCache::dirty_pages_older_than(Seconds now,
+                                                           Seconds min_age) const {
+  std::vector<DirtyPage> out = dirty_pages();
+  std::erase_if(out, [&](const DirtyPage& d) {
+    return now - d.dirtied_at < min_age;
+  });
+  return out;
+}
+
+void BufferCache::clear() {
+  a1in_.clear();
+  am_.clear();
+  a1out_.clear();
+  table_.clear();
+  ghost_table_.clear();
+  dirty_count_ = 0;
+}
+
+}  // namespace flexfetch::os

@@ -1,0 +1,120 @@
+// 2Q buffer cache (Johnson & Shasha, VLDB'94) — the "2Q-like page
+// replacement algorithm" the paper's simulator uses for the Linux buffer
+// cache (Section 3.1).
+//
+// Three structures:
+//   * A1in : FIFO of pages seen once recently (hot admission buffer),
+//   * A1out: ghost FIFO of page ids recently evicted from A1in,
+//   * Am   : LRU of pages re-referenced after leaving A1in.
+//
+// A page hit in A1out on (re)admission goes straight to Am; a brand-new page
+// goes to A1in. Dirty state is tracked per page so the write-back substrate
+// can find flush candidates.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "os/page.hpp"
+
+namespace flexfetch::os {
+
+struct BufferCacheConfig {
+  /// Total cache capacity in pages (default 64 MiB of 4 KiB pages — a
+  /// laptop-era memory budget).
+  std::size_t capacity_pages = 16384;
+  /// A1in capacity as a fraction of total (2Q paper recommends ~25%).
+  double kin_fraction = 0.25;
+  /// A1out ghost capacity as a fraction of total (2Q recommends ~50%).
+  double kout_fraction = 0.50;
+};
+
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t ghost_hits = 0;  ///< Misses whose id was in A1out.
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  double hit_rate() const {
+    return lookups ? static_cast<double>(hits) / static_cast<double>(lookups) : 0.0;
+  }
+};
+
+/// A dirty page due for write-back.
+struct DirtyPage {
+  PageId page;
+  Seconds dirtied_at = 0.0;
+};
+
+class BufferCache {
+ public:
+  explicit BufferCache(BufferCacheConfig config = {});
+
+  /// True and promotes the page if resident (a cache hit).
+  bool lookup(const PageId& id, Seconds now);
+
+  /// True without promoting or counting a lookup (used by FlexFetch's
+  /// Section 2.3.2 profile filtering).
+  bool contains(const PageId& id) const;
+
+  /// Inserts a clean page fetched from a device. Returns any dirty pages
+  /// evicted to make room (the caller must flush them).
+  std::vector<DirtyPage> fill(const PageId& id, Seconds now);
+
+  /// Inserts/marks a page dirty (application write). Returns evicted dirty
+  /// pages, as fill().
+  std::vector<DirtyPage> write(const PageId& id, Seconds now);
+
+  /// Marks a page clean after its write-back completed.
+  void mark_clean(const PageId& id);
+
+  /// All dirty pages, oldest first.
+  std::vector<DirtyPage> dirty_pages() const;
+
+  /// Dirty pages whose age at `now` is at least `min_age`, oldest first.
+  std::vector<DirtyPage> dirty_pages_older_than(Seconds now, Seconds min_age) const;
+
+  std::size_t size() const { return table_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t dirty_count() const { return dirty_count_; }
+  const CacheStats& stats() const { return stats_; }
+
+  /// Drops every page (clean and dirty) — test helper / remount semantics.
+  void clear();
+
+ private:
+  enum class Queue : std::uint8_t { kA1in, kAm };
+
+  struct Entry {
+    Queue queue;
+    std::list<PageId>::iterator pos;
+    bool dirty = false;
+    Seconds dirtied_at = 0.0;
+  };
+
+  /// Ensures a free slot, evicting per 2Q; collects evicted dirty pages.
+  void make_room(std::vector<DirtyPage>& flushed);
+  void insert_new(const PageId& id, bool dirty, Seconds now,
+                  std::vector<DirtyPage>& flushed);
+  void evict(const PageId& id, std::vector<DirtyPage>& flushed);
+  void push_ghost(const PageId& id);
+
+  std::size_t capacity_;
+  std::size_t kin_;
+  std::size_t kout_;
+
+  std::list<PageId> a1in_;  ///< front = newest, back = FIFO eviction end.
+  std::list<PageId> am_;    ///< front = MRU, back = LRU.
+  std::list<PageId> a1out_;  ///< ghost ids, front = newest.
+  std::unordered_map<PageId, Entry, PageIdHash> table_;
+  std::unordered_map<PageId, std::list<PageId>::iterator, PageIdHash> ghost_table_;
+  std::size_t dirty_count_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace flexfetch::os

@@ -1,0 +1,56 @@
+#include "os/file_layout.hpp"
+
+#include "common/error.hpp"
+
+namespace flexfetch::os {
+
+FileLayout::FileLayout(Bytes capacity, std::uint64_t seed, Bytes min_gap,
+                       Bytes max_gap)
+    : capacity_(capacity), min_gap_(min_gap), max_gap_(max_gap), rng_(seed) {
+  FF_REQUIRE(capacity > 0, "file layout: zero capacity");
+  FF_REQUIRE(min_gap <= max_gap, "file layout: min_gap > max_gap");
+}
+
+void FileLayout::ensure(trace::Inode inode, Bytes size) {
+  auto it = start_.find(inode);
+  if (it != start_.end()) {
+    Bytes& ext = extent_[inode];
+    if (size > ext) {
+      // Growing the extent keeps the file contiguous by model assumption;
+      // if the growth collides with the next allocation we still treat the
+      // address range as logically contiguous for seek purposes.
+      if (it->second + size > next_free_) next_free_ = it->second + size;
+      ext = size;
+    }
+    return;
+  }
+  const Bytes gap = min_gap_ + rng_.uniform_int(0, max_gap_ - min_gap_);
+  const Bytes start = next_free_ + gap;
+  if (start + size > capacity_) {
+    throw ConfigError("file layout: disk capacity exhausted");
+  }
+  start_[inode] = start;
+  extent_[inode] = size;
+  next_free_ = start + size;
+}
+
+void FileLayout::place_all(const std::map<trace::Inode, Bytes>& extents) {
+  for (const auto& [inode, size] : extents) ensure(inode, size);
+}
+
+bool FileLayout::contains(trace::Inode inode) const {
+  return start_.contains(inode);
+}
+
+Bytes FileLayout::extent_of(trace::Inode inode) const {
+  auto it = extent_.find(inode);
+  return it == extent_.end() ? 0 : it->second;
+}
+
+Bytes FileLayout::lba(trace::Inode inode, Bytes offset) const {
+  auto it = start_.find(inode);
+  FF_REQUIRE(it != start_.end(), "file layout: unknown inode");
+  return it->second + offset;
+}
+
+}  // namespace flexfetch::os

@@ -1,0 +1,65 @@
+#include "os/io_scheduler.hpp"
+
+#include "common/error.hpp"
+
+namespace flexfetch::os {
+
+void CScanScheduler::submit(const device::DeviceRequest& req) {
+  FF_REQUIRE(req.size > 0, "scheduler: zero-size request");
+  ++stats_.submitted;
+
+  // Try to merge with the predecessor (ends exactly where req starts).
+  if (!queue_.empty()) {
+    auto next = queue_.lower_bound(req.lba);
+    if (next != queue_.begin()) {
+      auto prev = std::prev(next);
+      device::DeviceRequest& p = prev->second;
+      if (p.is_write == req.is_write && p.lba + p.size == req.lba) {
+        p.size += req.size;
+        ++stats_.merged;
+        // The grown request may now abut its successor; fold that in too.
+        if (next != queue_.end() && next->second.is_write == p.is_write &&
+            p.lba + p.size == next->first) {
+          p.size += next->second.size;
+          queue_.erase(next);
+          ++stats_.merged;
+        }
+        return;
+      }
+    }
+    // Try to merge with the successor (req ends exactly where it starts).
+    if (next != queue_.end() && next->second.is_write == req.is_write &&
+        req.lba + req.size == next->first) {
+      device::DeviceRequest grown = next->second;
+      grown.lba = req.lba;
+      grown.size += req.size;
+      queue_.erase(next);
+      queue_.emplace(grown.lba, grown);
+      ++stats_.merged;
+      return;
+    }
+  }
+
+  auto [it, inserted] = queue_.emplace(req.lba, req);
+  if (!inserted) {
+    // Overlapping start: widen the existing entry (rare; conservative).
+    it->second.size = std::max(it->second.size, req.size);
+    ++stats_.merged;
+  }
+}
+
+std::optional<device::DeviceRequest> CScanScheduler::dispatch() {
+  if (queue_.empty()) return std::nullopt;
+  auto it = queue_.lower_bound(head_);
+  if (it == queue_.end()) {
+    it = queue_.begin();  // C-SCAN wrap: jump back to the lowest LBA.
+    ++stats_.sweeps;
+  }
+  device::DeviceRequest req = it->second;
+  queue_.erase(it);
+  head_ = req.lba + req.size;
+  ++stats_.dispatched;
+  return req;
+}
+
+}  // namespace flexfetch::os

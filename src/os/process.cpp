@@ -1,0 +1,23 @@
+#include "os/process.hpp"
+
+#include "common/error.hpp"
+
+namespace flexfetch::os {
+
+void ProcessTable::register_program(trace::ProcessGroup pgid, std::string name,
+                                    bool profiled) {
+  programs_[pgid] = Program{std::move(name), profiled};
+}
+
+const std::string& ProcessTable::name_of(trace::ProcessGroup pgid) const {
+  static const std::string kUnknown = "<unknown>";
+  auto it = programs_.find(pgid);
+  return it == programs_.end() ? kUnknown : it->second.name;
+}
+
+bool ProcessTable::is_profiled(trace::ProcessGroup pgid) const {
+  auto it = programs_.find(pgid);
+  return it != programs_.end() && it->second.profiled;
+}
+
+}  // namespace flexfetch::os

@@ -1,0 +1,35 @@
+// Process-group bookkeeping (Section 2.1): FlexFetch associates all file
+// accesses of processes in one Linux process group with one program, so a
+// `make` spawning many `gcc`s is profiled as a single program.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "trace/record.hpp"
+
+namespace flexfetch::os {
+
+class ProcessTable {
+ public:
+  /// Declares that process group `pgid` belongs to program `name`.
+  /// `profiled` marks programs FlexFetch tracks (Section 2.3.3 separates
+  /// profiled programs from other disk users such as system write-back).
+  void register_program(trace::ProcessGroup pgid, std::string name,
+                        bool profiled = true);
+
+  bool known(trace::ProcessGroup pgid) const { return programs_.contains(pgid); }
+  const std::string& name_of(trace::ProcessGroup pgid) const;
+  bool is_profiled(trace::ProcessGroup pgid) const;
+
+  std::size_t size() const { return programs_.size(); }
+
+ private:
+  struct Program {
+    std::string name;
+    bool profiled = true;
+  };
+  std::unordered_map<trace::ProcessGroup, Program> programs_;
+};
+
+}  // namespace flexfetch::os

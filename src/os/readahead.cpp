@@ -1,0 +1,57 @@
+#include "os/readahead.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexfetch::os {
+
+Readahead::Readahead(ReadaheadConfig config) : config_(config) {
+  FF_REQUIRE(config.min_window_pages >= 1, "readahead: min window < 1 page");
+  FF_REQUIRE(config.max_window_pages >= config.min_window_pages,
+             "readahead: max window below min window");
+}
+
+PageRange Readahead::on_read(Inode inode, Bytes offset, Bytes size) {
+  FF_REQUIRE(size > 0, "readahead: zero-size read");
+  const std::uint64_t first = page_index(offset);
+  const std::uint64_t last_end = page_end_index(offset, size);
+  const std::uint64_t demand = last_end - first;
+
+  Stream& s = streams_[inode];
+  // Sequential continuation: the read starts at or before the expected
+  // next demanded page and does not end before it.
+  const bool sequential =
+      s.window != 0 && first <= s.next_demand && last_end >= s.next_demand;
+
+  std::uint64_t want_end;
+  if (sequential) {
+    // Keep the already-prefetched area resident; when the demand closes in
+    // on the prefetched edge (within half a window), issue the next ahead
+    // window, doubling its size up to the 32-page / 128 KiB cap — the
+    // two-window readahead of Section 3.1.
+    want_end = std::max(last_end, s.prefetch_end);
+    if (last_end + s.window / 2 >= s.prefetch_end) {
+      s.window = std::min(s.window * 2, config_.max_window_pages);
+      want_end = std::max(want_end, last_end + s.window);
+    }
+  } else {
+    // Fresh or non-sequential access: restart with the minimum window.
+    s.window = config_.min_window_pages;
+    want_end = first + std::max(demand, config_.min_window_pages);
+  }
+  s.next_demand = last_end;
+  s.prefetch_end = want_end;
+
+  return PageRange{
+      .inode = inode, .first_page = first, .page_count = want_end - first};
+}
+
+void Readahead::forget(Inode inode) { streams_.erase(inode); }
+
+std::uint64_t Readahead::window_pages(Inode inode) const {
+  auto it = streams_.find(inode);
+  return it == streams_.end() ? config_.min_window_pages : it->second.window;
+}
+
+}  // namespace flexfetch::os

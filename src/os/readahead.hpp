@@ -1,0 +1,61 @@
+// Two-window sequential readahead — the paper's simulator "emulates ... the
+// two-window readahead policy that prefetches up to 32 pages" (Section 3.1).
+//
+// Per open file stream we keep a current window and an ahead window. A read
+// that continues the sequential stream grows the window (doubling, Linux
+// style) up to 32 pages = 128 KiB; a non-sequential read resets it. The
+// engine turns each application read into the page range the kernel would
+// actually request from the device.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "os/page.hpp"
+
+namespace flexfetch::os {
+
+struct ReadaheadConfig {
+  std::uint64_t min_window_pages = 4;   ///< Initial window (16 KiB).
+  std::uint64_t max_window_pages = 32;  ///< Cap (128 KiB), per the paper.
+};
+
+/// A contiguous page range the kernel wants resident.
+struct PageRange {
+  Inode inode = 0;
+  std::uint64_t first_page = 0;
+  std::uint64_t page_count = 0;
+
+  std::uint64_t end_page() const { return first_page + page_count; }
+  Bytes offset() const { return first_page * kPageSize; }
+  Bytes size() const { return page_count * kPageSize; }
+};
+
+class Readahead {
+ public:
+  explicit Readahead(ReadaheadConfig config = {});
+
+  /// Computes the page range to make resident for a read of
+  /// [offset, offset+size) in `inode`, including the prefetch extension.
+  /// Updates the per-file sequential-detection state.
+  PageRange on_read(Inode inode, Bytes offset, Bytes size);
+
+  /// Forgets per-file state (file closed).
+  void forget(Inode inode);
+
+  /// Current window size in pages for a file (min window if unknown).
+  std::uint64_t window_pages(Inode inode) const;
+
+ private:
+  struct Stream {
+    std::uint64_t next_demand = 0;   ///< Expected next demanded page.
+    std::uint64_t prefetch_end = 0;  ///< End of the area already requested.
+    std::uint64_t window = 0;        ///< Current ahead-window; 0 = fresh.
+  };
+
+  ReadaheadConfig config_;
+  std::unordered_map<Inode, Stream> streams_;
+};
+
+}  // namespace flexfetch::os

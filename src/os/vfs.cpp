@@ -1,0 +1,133 @@
+#include "os/vfs.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexfetch::os {
+
+Bytes ReadPlan::bytes_to_fetch() const {
+  Bytes total = 0;
+  for (const auto& f : fetches) total += f.size();
+  return total;
+}
+
+Vfs::Vfs(VfsConfig config)
+    : cache_(config.cache),
+      readahead_(config.readahead),
+      writeback_(config.writeback) {}
+
+ReadPlan Vfs::plan_read(const trace::SyscallRecord& r, Seconds now,
+                        Bytes file_extent) {
+  FF_REQUIRE(r.op == trace::OpType::kRead, "plan_read: not a read record");
+  ReadPlan plan;
+
+  const PageRange want = readahead_.on_read(r.inode, r.offset, r.size);
+  const std::uint64_t demand_first = page_index(r.offset);
+  const std::uint64_t demand_end = page_end_index(r.offset, r.size);
+  plan.pages_demanded = demand_end - demand_first;
+
+  // Prefetch stops at end-of-file; demand is always honoured.
+  std::uint64_t want_end = want.end_page();
+  if (file_extent > 0) {
+    want_end = std::max(demand_end,
+                        std::min(want_end, page_end_index(0, file_extent)));
+  }
+
+  std::optional<PageRange> open_run;
+  for (std::uint64_t p = want.first_page; p < want_end; ++p) {
+    const PageId id{r.inode, p};
+    const bool demanded = p >= demand_first && p < demand_end;
+    bool resident;
+    if (demanded) {
+      resident = cache_.lookup(id, now);
+      if (resident) ++plan.pages_hit;
+    } else {
+      // Readahead pages do not count as application lookups.
+      resident = cache_.contains(id);
+    }
+    if (resident) {
+      if (open_run) {
+        plan.fetches.push_back(*open_run);
+        open_run.reset();
+      }
+      continue;
+    }
+    // Miss: schedule the fetch and make the page resident.
+    auto evicted = cache_.fill(id, now);
+    plan.evicted_dirty.insert(plan.evicted_dirty.end(), evicted.begin(),
+                              evicted.end());
+    if (open_run && open_run->end_page() == p) {
+      ++open_run->page_count;
+    } else {
+      if (open_run) plan.fetches.push_back(*open_run);
+      open_run = PageRange{.inode = r.inode, .first_page = p, .page_count = 1};
+    }
+  }
+  if (open_run) plan.fetches.push_back(*open_run);
+  return plan;
+}
+
+WritePlan Vfs::plan_write(const trace::SyscallRecord& r, Seconds now) {
+  FF_REQUIRE(r.op == trace::OpType::kWrite, "plan_write: not a write record");
+  WritePlan plan;
+  const std::uint64_t first = page_index(r.offset);
+  const std::uint64_t end = page_end_index(r.offset, r.size);
+  for (std::uint64_t p = first; p < end; ++p) {
+    auto evicted = cache_.write(PageId{r.inode, p}, now);
+    plan.evicted_dirty.insert(plan.evicted_dirty.end(), evicted.begin(),
+                              evicted.end());
+    ++plan.pages_dirtied;
+  }
+  return plan;
+}
+
+std::vector<DirtyPage> Vfs::select_writeback(Seconds now,
+                                             bool device_active) const {
+  return writeback_.select_flush(cache_, now, device_active);
+}
+
+void Vfs::complete_writeback(const std::vector<DirtyPage>& pages) {
+  for (const auto& d : pages) cache_.mark_clean(d.page);
+}
+
+std::vector<PageRange> Vfs::coalesce(std::vector<PageId> pages) {
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  std::vector<PageRange> out;
+  for (const PageId& id : pages) {
+    if (!out.empty() && out.back().inode == id.inode &&
+        out.back().end_page() == id.index) {
+      ++out.back().page_count;
+    } else {
+      out.push_back(PageRange{.inode = id.inode, .first_page = id.index,
+                              .page_count = 1});
+    }
+  }
+  return out;
+}
+
+std::vector<PageRange> Vfs::coalesce_ordered(const std::vector<PageId>& pages) {
+  std::vector<PageRange> out;
+  for (const PageId& id : pages) {
+    if (!out.empty() && out.back().inode == id.inode &&
+        out.back().end_page() == id.index) {
+      ++out.back().page_count;
+    } else {
+      out.push_back(PageRange{.inode = id.inode, .first_page = id.index,
+                              .page_count = 1});
+    }
+  }
+  return out;
+}
+
+bool Vfs::range_cached(Inode inode, Bytes offset, Bytes size) const {
+  const std::uint64_t first = page_index(offset);
+  const std::uint64_t end = page_end_index(offset, size);
+  for (std::uint64_t p = first; p < end; ++p) {
+    if (!cache_.contains(PageId{inode, p})) return false;
+  }
+  return true;
+}
+
+}  // namespace flexfetch::os

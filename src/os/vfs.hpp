@@ -1,0 +1,86 @@
+// The VFS layer: turns application read/write syscalls into device page
+// fetches, going through the buffer cache and readahead, and exposes
+// write-back flush planning. This is the glue the simulator drives.
+#pragma once
+
+#include <vector>
+
+#include "os/buffer_cache.hpp"
+#include "os/readahead.hpp"
+#include "os/writeback.hpp"
+#include "trace/record.hpp"
+
+namespace flexfetch::os {
+
+struct VfsConfig {
+  BufferCacheConfig cache;
+  ReadaheadConfig readahead;
+  WritebackConfig writeback;
+};
+
+/// Outcome of planning a read syscall.
+struct ReadPlan {
+  /// Contiguous page ranges that must be fetched from a device
+  /// (miss runs inside the demanded+readahead window).
+  std::vector<PageRange> fetches;
+  std::uint64_t pages_demanded = 0;
+  std::uint64_t pages_hit = 0;  ///< Demanded pages already resident.
+  /// Dirty pages evicted while inserting the fetched pages; the caller must
+  /// write these to a device synchronously.
+  std::vector<DirtyPage> evicted_dirty;
+
+  bool fully_cached() const { return fetches.empty(); }
+  Bytes bytes_to_fetch() const;
+};
+
+/// Outcome of planning a write syscall (writes are buffered).
+struct WritePlan {
+  std::uint64_t pages_dirtied = 0;
+  std::vector<DirtyPage> evicted_dirty;  ///< Forced synchronous flushes.
+};
+
+class Vfs {
+ public:
+  explicit Vfs(VfsConfig config = {});
+
+  /// Plans a read: returns miss ranges (with readahead applied) and inserts
+  /// the to-be-fetched pages into the cache. `file_extent`, when non-zero,
+  /// caps the readahead at end-of-file (the kernel never prefetches past
+  /// EOF); the demanded range is never truncated.
+  ReadPlan plan_read(const trace::SyscallRecord& r, Seconds now,
+                     Bytes file_extent = 0);
+
+  /// Plans a buffered write: dirties the covered pages.
+  WritePlan plan_write(const trace::SyscallRecord& r, Seconds now);
+
+  /// Dirty pages the write-back policy wants flushed now.
+  std::vector<DirtyPage> select_writeback(Seconds now, bool device_active) const;
+
+  /// Marks pages clean after their flush completed.
+  void complete_writeback(const std::vector<DirtyPage>& pages);
+
+  /// Coalesces pages into per-inode contiguous ranges (flush batching),
+  /// sorting by (inode, page) first.
+  static std::vector<PageRange> coalesce(std::vector<PageId> pages);
+
+  /// Coalesces adjacent runs while preserving the given order — used for
+  /// write-back, which submits oldest-dirty-first and leaves reordering to
+  /// the I/O scheduler.
+  static std::vector<PageRange> coalesce_ordered(const std::vector<PageId>& pages);
+
+  /// True if every page of [offset, offset+size) in `inode` is resident —
+  /// FlexFetch's Section 2.3.2 cache filter uses this.
+  bool range_cached(Inode inode, Bytes offset, Bytes size) const;
+
+  BufferCache& cache() { return cache_; }
+  const BufferCache& cache() const { return cache_; }
+  Readahead& readahead() { return readahead_; }
+  const WritebackPolicy& writeback() const { return writeback_; }
+
+ private:
+  BufferCache cache_;
+  Readahead readahead_;
+  WritebackPolicy writeback_;
+};
+
+}  // namespace flexfetch::os

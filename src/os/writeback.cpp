@@ -1,0 +1,30 @@
+#include "os/writeback.hpp"
+
+#include "common/error.hpp"
+
+namespace flexfetch::os {
+
+WritebackPolicy::WritebackPolicy(WritebackConfig config) : config_(config) {
+  FF_REQUIRE(config.dirty_expire > 0, "writeback: dirty_expire must be positive");
+  FF_REQUIRE(config.laptop_mode_expire >= config.dirty_expire,
+             "writeback: laptop-mode expiry below normal expiry");
+  FF_REQUIRE(config.flush_interval > 0, "writeback: flush interval must be positive");
+}
+
+std::vector<DirtyPage> WritebackPolicy::select_flush(const BufferCache& cache,
+                                                     Seconds now,
+                                                     bool device_active) const {
+  if (cache.dirty_count() == 0) return {};
+
+  if (device_active) {
+    // Laptop mode: the device is already powered — flush everything that
+    // has reached the normal expiry, plus piggyback the rest (eager flush).
+    return cache.dirty_pages();
+  }
+  if (cache.dirty_count() >= config_.dirty_pressure_pages) {
+    return cache.dirty_pages();  // Memory pressure overrides power saving.
+  }
+  return cache.dirty_pages_older_than(now, config_.laptop_mode_expire);
+}
+
+}  // namespace flexfetch::os

@@ -1,0 +1,49 @@
+// Asynchronous write-back with Linux laptop-mode behaviour (Section 3.1):
+// dirty pages are flushed eagerly while the target device is in a
+// high-power state, and flushes are delayed (up to a long expiry or a
+// memory-pressure threshold) while the device is in a low-power state.
+#pragma once
+
+#include <vector>
+
+#include "os/buffer_cache.hpp"
+
+namespace flexfetch::os {
+
+struct WritebackConfig {
+  /// Normal dirty expiry (Linux dirty_expire_centisecs default, 30 s).
+  Seconds dirty_expire = 30.0;
+  /// Laptop-mode maximum age of dirty data while the device sleeps
+  /// (Linux laptop_mode lm_dirty_expire, 10 min).
+  Seconds laptop_mode_expire = 600.0;
+  /// Memory-pressure threshold: flush regardless of device state when this
+  /// many pages are dirty.
+  std::size_t dirty_pressure_pages = 4096;
+  /// Period of the background flusher thread (pdflush wakeup).
+  Seconds flush_interval = 5.0;
+};
+
+class WritebackPolicy {
+ public:
+  explicit WritebackPolicy(WritebackConfig config = {});
+
+  const WritebackConfig& config() const { return config_; }
+
+  /// Dirty pages that must be flushed at `now`.
+  ///
+  /// `device_active` — whether the write-back target is currently in a
+  /// high-power state (disk spinning / WNIC in CAM). Laptop mode flushes
+  /// everything eagerly in that case ("eager writing back dirty blocks to
+  /// active disks"), and otherwise only what has exceeded the laptop-mode
+  /// expiry or what memory pressure forces out.
+  std::vector<DirtyPage> select_flush(const BufferCache& cache, Seconds now,
+                                      bool device_active) const;
+
+  /// Next time the background flusher should run after `now`.
+  Seconds next_wakeup(Seconds now) const { return now + config_.flush_interval; }
+
+ private:
+  WritebackConfig config_;
+};
+
+}  // namespace flexfetch::os

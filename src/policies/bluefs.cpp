@@ -1,0 +1,69 @@
+#include "policies/bluefs.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace flexfetch::policies {
+
+using device::DeviceKind;
+
+BlueFSPolicy::BlueFSPolicy(BlueFSConfig config) : config_(config) {
+  FF_REQUIRE(config.hint_half_life >= 0.0, "bluefs: negative hint half-life");
+}
+
+void BlueFSPolicy::begin(sim::SimContext& ctx) {
+  if (config_.ghost_hint_threshold <= 0.0) {
+    const auto& p = ctx.disk().params();
+    config_.ghost_hint_threshold = p.spin_up_energy + p.spin_down_energy;
+  }
+}
+
+void BlueFSPolicy::decay_hints(Seconds now) {
+  if (config_.hint_half_life <= 0.0 || hints_ <= 0.0) return;
+  const Seconds dt = now - last_hint_time_;
+  if (dt > 0.0) {
+    hints_ *= std::exp2(-dt / config_.hint_half_life);
+  }
+}
+
+DeviceKind BlueFSPolicy::select(const sim::RequestContext& req,
+                                sim::SimContext& ctx) {
+  const Seconds now = ctx.now();
+  // Per-request cost with the devices exactly as they are now — BlueFS
+  // tracks only the present state and recent requests.
+  const auto disk_est = ctx.disk().estimate(now, req.request);
+  const auto net_est = ctx.wnic().estimate(now, req.request);
+
+  if (disk_est.energy <= net_est.energy) {
+    ++stats_.disk_selections;
+    return DeviceKind::kDisk;
+  }
+
+  // The network is cheaper right now. If the disk is asleep, part of the
+  // reason is the spin-up cost baked into its estimate: issue a ghost hint
+  // worth the savings an already-spinning disk would have offered.
+  if (!ctx.disk().is_spinning()) {
+    const auto& dp = ctx.disk().params();
+    const Seconds positioning = dp.avg_seek_time + dp.avg_rotation_time;
+    const Joules disk_if_active =
+        dp.active_power *
+        (positioning + transfer_time(req.request.size, dp.bandwidth));
+    const Joules hint = net_est.energy - disk_if_active;
+    if (hint > 0.0) {
+      decay_hints(now);
+      hints_ += hint;
+      last_hint_time_ = now;
+      stats_.hints_issued += hint;
+      if (hints_ >= config_.ghost_hint_threshold) {
+        ctx.disk().force_spin_up(now);
+        hints_ = 0.0;
+        ++stats_.ghost_spin_ups;
+      }
+    }
+  }
+  ++stats_.net_selections;
+  return DeviceKind::kNetwork;
+}
+
+}  // namespace flexfetch::policies

@@ -1,0 +1,62 @@
+// BlueFS-like reactive policy (Nightingale & Flinn, OSDI'04) — the
+// representative prior scheme the paper compares against (Sections 1.2,
+// 3.1).
+//
+// For each request the policy estimates the access cost on both devices in
+// their *current* power states and picks the cheaper one. Since a standby
+// disk carries the full spin-up cost in its per-request estimate, requests
+// drift to the network; every such diversion accumulates a *ghost hint* —
+// the energy the request would have saved had the disk been spinning.
+// When accumulated hints exceed the spin-up + spin-down investment, the
+// disk is proactively spun up. This reproduces the reactive,
+// recent-history-only behaviour the paper critiques (no knowledge of
+// future access patterns, oscillation under mixed workloads).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/context.hpp"
+#include "sim/policy.hpp"
+
+namespace flexfetch::policies {
+
+struct BlueFSConfig {
+  /// Accumulated foregone savings (J) that trigger a disk spin-up;
+  /// <= 0 derives spin-up + spin-down energy from the disk parameters.
+  Joules ghost_hint_threshold = 0.0;
+  /// Exponential decay period of accumulated hints (0 = no decay). The
+  /// default keeps hints forever: BlueFS keeps hoping an active disk would
+  /// have served the traffic better — exactly the oscillation the paper
+  /// criticises in Section 3.3.2.
+  Seconds hint_half_life = 0.0;
+};
+
+struct BlueFSStats {
+  std::uint64_t disk_selections = 0;
+  std::uint64_t net_selections = 0;
+  std::uint64_t ghost_spin_ups = 0;
+  Joules hints_issued = 0.0;
+};
+
+class BlueFSPolicy : public sim::Policy {
+ public:
+  explicit BlueFSPolicy(BlueFSConfig config = {});
+
+  void begin(sim::SimContext& ctx) override;
+  device::DeviceKind select(const sim::RequestContext& req,
+                            sim::SimContext& ctx) override;
+  std::string name() const override { return "BlueFS"; }
+
+  const BlueFSStats& stats() const { return stats_; }
+  Joules pending_hints() const { return hints_; }
+
+ private:
+  void decay_hints(Seconds now);
+
+  BlueFSConfig config_;
+  Joules hints_ = 0.0;
+  Seconds last_hint_time_ = 0.0;
+  BlueFSStats stats_;
+};
+
+}  // namespace flexfetch::policies

@@ -1,0 +1,33 @@
+#include "policies/factory.hpp"
+
+#include "common/error.hpp"
+
+namespace flexfetch::policies {
+
+std::unique_ptr<sim::Policy> make_policy(const std::string& name,
+                                         const std::vector<core::Profile>& profiles,
+                                         const trace::Trace* future,
+                                         double loss_rate) {
+  if (name == "disk-only") return std::make_unique<DiskOnlyPolicy>();
+  if (name == "wnic-only") return std::make_unique<WnicOnlyPolicy>();
+  if (name == "bluefs") return std::make_unique<BlueFSPolicy>();
+  if (name == "flexfetch" || name == "flexfetch-static") {
+    FF_REQUIRE(!profiles.empty(), "make_policy: FlexFetch needs profiles");
+    core::FlexFetchConfig config = name == "flexfetch"
+                                       ? core::FlexFetchConfig{}
+                                       : core::FlexFetchConfig::static_variant();
+    config.loss_rate = loss_rate;
+    return std::make_unique<core::FlexFetchPolicy>(config, profiles);
+  }
+  if (name == "oracle") {
+    FF_REQUIRE(future != nullptr, "make_policy: Oracle needs the future trace");
+    return std::make_unique<OraclePolicy>(*future, loss_rate);
+  }
+  throw ConfigError("unknown policy '" + name + "'");
+}
+
+std::vector<std::string> standard_policy_names() {
+  return {"flexfetch", "bluefs", "disk-only", "wnic-only"};
+}
+
+}  // namespace flexfetch::policies

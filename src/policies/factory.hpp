@@ -1,0 +1,29 @@
+// Construction of the standard policy set compared in the paper's
+// evaluation, used by the benchmark harness and examples.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flexfetch.hpp"
+#include "policies/bluefs.hpp"
+#include "policies/fixed.hpp"
+#include "policies/oracle.hpp"
+
+namespace flexfetch::policies {
+
+/// Builds one of: "disk-only", "wnic-only", "bluefs", "flexfetch",
+/// "flexfetch-static", "oracle". FlexFetch variants need `profiles`
+/// (the recorded prior-run profiles); Oracle needs `future` (the trace to
+/// be replayed). Throws ConfigError for unknown names or missing inputs.
+std::unique_ptr<sim::Policy> make_policy(
+    const std::string& name,
+    const std::vector<core::Profile>& profiles = {},
+    const trace::Trace* future = nullptr,
+    double loss_rate = 0.25);
+
+/// The four policies of Figures 1-3 in paper order.
+std::vector<std::string> standard_policy_names();
+
+}  // namespace flexfetch::policies

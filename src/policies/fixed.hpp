@@ -1,0 +1,27 @@
+// Fixed-source baseline policies: Disk-only and WNIC-only (Section 3.1).
+#pragma once
+
+#include "sim/context.hpp"
+#include "sim/policy.hpp"
+
+namespace flexfetch::policies {
+
+/// Always services requests from the local hard disk.
+class DiskOnlyPolicy : public sim::Policy {
+ public:
+  device::DeviceKind select(const sim::RequestContext&, sim::SimContext&) override {
+    return device::DeviceKind::kDisk;
+  }
+  std::string name() const override { return "Disk-only"; }
+};
+
+/// Always services requests from the remote storage over the WNIC.
+class WnicOnlyPolicy : public sim::Policy {
+ public:
+  device::DeviceKind select(const sim::RequestContext&, sim::SimContext&) override {
+    return device::DeviceKind::kNetwork;
+  }
+  std::string name() const override { return "WNIC-only"; }
+};
+
+}  // namespace flexfetch::policies

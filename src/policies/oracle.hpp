@@ -1,0 +1,22 @@
+// Oracle policy: FlexFetch given a *perfect* profile — the burst structure
+// of the very trace about to be replayed. Serves as the upper bound for
+// the ablation study (how much of the possible saving does a one-run-old
+// profile capture?).
+#pragma once
+
+#include "core/flexfetch.hpp"
+#include "trace/trace.hpp"
+
+namespace flexfetch::policies {
+
+class OraclePolicy : public core::FlexFetchPolicy {
+ public:
+  /// `burst_threshold` <= 0 uses the disk access time, as FlexFetch does.
+  explicit OraclePolicy(const trace::Trace& future,
+                        double loss_rate = 0.25,
+                        Seconds burst_threshold = 0.020);
+
+  std::string name() const override { return "Oracle"; }
+};
+
+}  // namespace flexfetch::policies

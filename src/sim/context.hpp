@@ -1,0 +1,42 @@
+// Read/write view of the simulated machine handed to policies.
+#pragma once
+
+#include "common/units.hpp"
+#include "device/disk.hpp"
+#include "device/wnic.hpp"
+#include "os/file_layout.hpp"
+#include "os/process.hpp"
+#include "os/vfs.hpp"
+
+namespace flexfetch::sim {
+
+class SimContext {
+ public:
+  SimContext(device::Disk& disk, device::Wnic& wnic, os::Vfs& vfs,
+             os::FileLayout& layout, os::ProcessTable& processes)
+      : disk_(disk), wnic_(wnic), vfs_(vfs), layout_(layout),
+        processes_(processes) {}
+
+  Seconds now() const { return now_; }
+  void set_now(Seconds t) { now_ = t; }
+
+  device::Disk& disk() { return disk_; }
+  const device::Disk& disk() const { return disk_; }
+  device::Wnic& wnic() { return wnic_; }
+  const device::Wnic& wnic() const { return wnic_; }
+
+  os::Vfs& vfs() { return vfs_; }
+  const os::Vfs& vfs() const { return vfs_; }
+  os::FileLayout& layout() { return layout_; }
+  const os::ProcessTable& processes() const { return processes_; }
+
+ private:
+  Seconds now_ = 0.0;
+  device::Disk& disk_;
+  device::Wnic& wnic_;
+  os::Vfs& vfs_;
+  os::FileLayout& layout_;
+  os::ProcessTable& processes_;
+};
+
+}  // namespace flexfetch::sim

@@ -1,0 +1,61 @@
+// The data-source policy interface.
+//
+// A Policy decides, for every device-level request, whether it is serviced
+// by the local disk or by the remote server over the WNIC (the two replicas
+// of Section 1). Policies observe syscalls and service results so that
+// history-aware schemes (FlexFetch) and reactive schemes (BlueFS) can both
+// be expressed.
+#pragma once
+
+#include <string>
+
+#include "device/request.hpp"
+#include "trace/record.hpp"
+
+namespace flexfetch::sim {
+
+class SimContext;
+
+/// Everything a policy may inspect about one device-level request.
+struct RequestContext {
+  device::DeviceRequest request;
+  /// Originating syscall, or nullptr for write-back traffic.
+  const trace::SyscallRecord* syscall = nullptr;
+  trace::ProcessGroup pgid = 0;
+  /// Whether the owning program is profiled by FlexFetch (Section 2.3.3
+  /// distinguishes profiled programs from other disk users).
+  bool profiled = true;
+  /// Data available only on the local disk (e.g. the xmms MP3 collection of
+  /// Section 3.3.4); the simulator forces such requests to the disk.
+  bool disk_pinned = false;
+  bool is_writeback = false;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Called once before the simulation starts.
+  virtual void begin(SimContext& /*ctx*/) {}
+
+  /// Chooses the device for a request. Called only for requests that are
+  /// not disk-pinned.
+  virtual device::DeviceKind select(const RequestContext& req, SimContext& ctx) = 0;
+
+  /// Observes every application syscall (including cache hits); lets
+  /// history-aware policies maintain the current run's profile.
+  virtual void on_syscall(const trace::SyscallRecord& /*r*/, SimContext& /*ctx*/) {}
+
+  /// Observes the outcome of every serviced device request, including
+  /// disk-pinned ones the policy did not choose.
+  virtual void observe(const RequestContext& /*req*/, device::DeviceKind /*used*/,
+                       const device::ServiceResult& /*result*/,
+                       SimContext& /*ctx*/) {}
+
+  /// Called once after the last request completes.
+  virtual void end(SimContext& /*ctx*/) {}
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace flexfetch::sim

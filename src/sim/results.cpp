@@ -1,0 +1,33 @@
+#include "sim/results.hpp"
+
+#include <sstream>
+
+#include "common/format.hpp"
+
+namespace flexfetch::sim {
+
+std::string SimResult::report() const {
+  std::ostringstream os;
+  os << "policy: " << policy << '\n';
+  os << "  makespan: " << format_seconds(makespan)
+     << "  io-time: " << format_seconds(io_time) << '\n';
+  os << "  energy total: " << format_joules(total_energy())
+     << "  (disk " << format_joules(disk_energy()) << ", wnic "
+     << format_joules(wnic_energy()) << ")\n";
+  os << "  disk: " << disk_requests << " reqs, " << format_bytes(disk_bytes)
+     << ", " << disk_counters.spin_ups << " spin-ups\n";
+  os << "  wnic: " << net_requests << " reqs, " << format_bytes(net_bytes)
+     << ", " << wnic_counters.wakes << " wakes, " << wnic_counters.psm_transfers
+     << " psm-transfers\n";
+  os << "  cache: " << cache_stats.lookups << " lookups, "
+     << strprintf("%.1f%%", cache_stats.hit_rate() * 100.0) << " hit rate\n";
+  if (sync_batches > 0) {
+    os << "  sync: " << format_bytes(sync_bytes) << " in " << sync_batches
+       << " batches\n";
+  }
+  os << "  disk energy breakdown:\n" << disk_meter.report();
+  os << "  wnic energy breakdown:\n" << wnic_meter.report();
+  return os.str();
+}
+
+}  // namespace flexfetch::sim

@@ -1,0 +1,62 @@
+// Results of one policy's simulation run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "device/disk.hpp"
+#include "device/wnic.hpp"
+#include "os/buffer_cache.hpp"
+#include "os/io_scheduler.hpp"
+
+namespace flexfetch::sim {
+
+/// One serviced device request (optional per-request log for diagnostics).
+struct RequestLogEntry {
+  Seconds arrival = 0.0;
+  Seconds completion = 0.0;
+  device::DeviceKind device = device::DeviceKind::kDisk;
+  Bytes size = 0;
+  Joules energy = 0.0;
+  trace::ProcessGroup pgid = 0;
+  bool is_writeback = false;
+};
+
+struct SimResult {
+  std::string policy;
+
+  /// Completion time of the last application syscall.
+  Seconds makespan = 0.0;
+  /// Sum over syscalls of their service delays (time the applications
+  /// spent blocked on I/O) — the paper's "I/O execution time".
+  Seconds io_time = 0.0;
+
+  device::EnergyMeter disk_meter;
+  device::EnergyMeter wnic_meter;
+  device::DiskCounters disk_counters;
+  device::WnicCounters wnic_counters;
+  os::CacheStats cache_stats;
+  os::SchedulerStats scheduler_stats;
+
+  std::uint64_t syscalls = 0;
+  std::uint64_t disk_requests = 0;
+  std::uint64_t net_requests = 0;
+  Bytes disk_bytes = 0;
+  Bytes net_bytes = 0;
+
+  /// Replica synchronization traffic (only with SimConfig::enable_sync).
+  std::uint64_t sync_batches = 0;
+  Bytes sync_bytes = 0;
+
+  std::vector<RequestLogEntry> request_log;  ///< Only if logging enabled.
+
+  Joules disk_energy() const { return disk_meter.total(); }
+  Joules wnic_energy() const { return wnic_meter.total(); }
+  Joules total_energy() const { return disk_energy() + wnic_energy(); }
+
+  /// Multi-line human-readable summary.
+  std::string report() const;
+};
+
+}  // namespace flexfetch::sim

@@ -1,0 +1,317 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexfetch::sim {
+
+Simulator::Simulator(SimConfig config, std::vector<ProgramSpec> programs,
+                     Policy& policy)
+    : config_(config),
+      policy_(policy),
+      disk_(config.disk),
+      wnic_(config.wnic),
+      vfs_(config.vfs),
+      layout_(config.disk.capacity, config.layout_seed),
+      ctx_(disk_, wnic_, vfs_, layout_, processes_) {
+  FF_REQUIRE(!programs.empty(), "simulator: no programs");
+  trace::ProcessGroup next_pgid = 1;
+  for (auto& spec : programs) {
+    Program p;
+    p.spec = std::move(spec);
+    // Precompute closed-loop think times: gap before record i is the traced
+    // inter-call distance minus the traced service duration of record i-1.
+    const auto& t = p.spec.trace;
+    p.think.resize(t.size(), 0.0);
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      const Seconds gap = t[i].timestamp - (t[i - 1].timestamp + t[i - 1].duration);
+      p.think[i] = std::max(0.0, gap);
+    }
+    const trace::ProcessGroup pgid =
+        t.empty() ? next_pgid++ : t[0].pgid;
+    processes_.register_program(pgid, p.spec.name, p.spec.profiled);
+    if (p.spec.disk_pinned) {
+      for (const auto ino : t.file_set()) pinned_inodes_.insert(ino);
+    }
+    programs_.push_back(std::move(p));
+  }
+}
+
+void Simulator::schedule(Seconds t, EventKind kind, std::size_t program) {
+  queue_.push(Event{t, next_seq_++, kind, program});
+}
+
+SimResult Simulator::run() {
+  result_ = SimResult{};
+  result_.policy = policy_.name();
+
+  for (std::size_t i = 0; i < programs_.size(); ++i) {
+    const auto& tr = programs_[i].spec.trace;
+    if (tr.empty()) continue;
+    // Pre-place the program's files so disk layout follows inode order,
+    // mirroring the paper's sequential file mapping.
+    layout_.place_all(tr.file_extents());
+    schedule(tr.start_time(), EventKind::kSyscall, i);
+    ++active_programs_;
+  }
+  if (config_.enable_writeback) {
+    schedule(vfs_.writeback().next_wakeup(0.0), EventKind::kFlusher, 0);
+  }
+  if (config_.enable_sync) {
+    sync_.emplace(config_.sync);
+    schedule(sync_->next_wakeup(0.0), EventKind::kSync, 0);
+  }
+  if (config_.adaptive_disk_timeout) {
+    timeout_controller_.emplace(config_.adaptive_timeout);
+  }
+
+  policy_.begin(ctx_);
+
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    ctx_.set_now(ev.time);
+    if (ev.kind == EventKind::kSyscall) {
+      handle_syscall(ev);
+    } else if (ev.kind == EventKind::kFlusher && active_programs_ > 0) {
+      run_flusher(ev.time);
+      schedule(vfs_.writeback().next_wakeup(ev.time), EventKind::kFlusher, 0);
+    } else if (ev.kind == EventKind::kSync &&
+               (active_programs_ > 0 ||
+                (sync_ && sync_->pending_upload() > 0))) {
+      run_sync(ev.time);
+      if (active_programs_ > 0 || sync_->pending_upload() > 0) {
+        schedule(sync_->next_wakeup(ev.time), EventKind::kSync, 0);
+      }
+    }
+  }
+
+  policy_.end(ctx_);
+
+  // Account trailing idle/standby energy up to the end of the run so every
+  // policy is charged over the same window it produced.
+  disk_.advance_to(result_.makespan);
+  wnic_.advance_to(result_.makespan);
+
+  result_.disk_meter = disk_.meter();
+  result_.wnic_meter = wnic_.meter();
+  result_.disk_counters = disk_.counters();
+  result_.wnic_counters = wnic_.counters();
+  result_.cache_stats = vfs_.cache().stats();
+  result_.scheduler_stats = scheduler_.stats();
+  return result_;
+}
+
+void Simulator::handle_syscall(const Event& ev) {
+  Program& p = programs_[ev.program];
+  FF_ASSERT(!p.done());
+  const trace::SyscallRecord& r = p.spec.trace[p.cursor];
+
+  policy_.on_syscall(r, ctx_);
+
+  Seconds completion = ev.time;
+  switch (r.op) {
+    case trace::OpType::kRead: {
+      auto plan = vfs_.plan_read(r, ev.time, layout_.extent_of(r.inode));
+      if (!plan.evicted_dirty.empty()) {
+        completion = std::max(completion,
+                              flush_dirty(ev.time, plan.evicted_dirty, &p));
+      }
+      if (!plan.fetches.empty()) {
+        completion = std::max(
+            completion, service_ranges(completion, plan.fetches, &r, p, false));
+      }
+      break;
+    }
+    case trace::OpType::kWrite: {
+      auto plan = vfs_.plan_write(r, ev.time);
+      if (!plan.evicted_dirty.empty()) {
+        completion = std::max(completion,
+                              flush_dirty(ev.time, plan.evicted_dirty, &p));
+      }
+      // Local writes diverge the replica; the sync daemon will upload them.
+      if (sync_) sync_->on_local_write(r.inode, r.size, ev.time);
+      break;
+    }
+    case trace::OpType::kClose:
+      vfs_.readahead().forget(r.inode);
+      break;
+    case trace::OpType::kOpen:
+    case trace::OpType::kSeek:
+      break;
+  }
+
+  ++result_.syscalls;
+  result_.io_time += completion - ev.time;
+  result_.makespan = std::max(result_.makespan, completion);
+
+  ++p.cursor;
+  if (!p.done()) {
+    schedule(completion + p.think[p.cursor], EventKind::kSyscall, ev.program);
+  } else {
+    --active_programs_;
+  }
+}
+
+Seconds Simulator::service_ranges(Seconds t,
+                                  const std::vector<os::PageRange>& ranges,
+                                  const trace::SyscallRecord* origin,
+                                  const Program& program, bool is_writeback) {
+  Seconds completion = t;
+  std::optional<RequestContext> disk_rc;
+
+  for (const auto& range : ranges) {
+    layout_.ensure(range.inode, range.offset() + range.size());
+    RequestContext rc;
+    rc.request = device::DeviceRequest{
+        .lba = layout_.lba(range.inode, range.offset()),
+        .size = range.size(),
+        .is_write = is_writeback,
+    };
+    rc.syscall = origin;
+    rc.pgid = origin != nullptr ? origin->pgid
+                                : (program.spec.trace.empty()
+                                       ? 0
+                                       : program.spec.trace[0].pgid);
+    rc.profiled = program.spec.profiled;
+    rc.disk_pinned =
+        program.spec.disk_pinned || pinned_inodes_.contains(range.inode);
+    rc.is_writeback = is_writeback;
+
+    const device::DeviceKind kind = choose_device(rc);
+    if (kind == device::DeviceKind::kDisk) {
+      if (config_.use_cscan) {
+        // Disk requests of one call go through the C-SCAN scheduler so
+        // they are serviced in elevator order and LBA-adjacent ranges
+        // merge.
+        scheduler_.submit(rc.request);
+        // All ranges of one call share identity fields; keep one
+        // representative context for the batch.
+        if (!disk_rc) disk_rc = rc;
+      } else {
+        completion = std::max(completion, dispatch(t, rc, kind));
+      }
+    } else {
+      completion = std::max(completion, dispatch(t, rc, kind));
+    }
+  }
+
+  if (disk_rc) {
+    Seconds cursor = t;
+    while (auto req = scheduler_.dispatch()) {
+      disk_rc->request = *req;
+      cursor = dispatch(cursor, *disk_rc, device::DeviceKind::kDisk);
+      completion = std::max(completion, cursor);
+    }
+  }
+  return completion;
+}
+
+Seconds Simulator::flush_dirty(Seconds t, const std::vector<os::DirtyPage>& dirty,
+                               const Program* program) {
+  std::vector<os::PageId> pages;
+  pages.reserve(dirty.size());
+  for (const auto& d : dirty) pages.push_back(d.page);
+  // Oldest-dirty-first submission; the I/O scheduler (if enabled) reorders
+  // for the head, exactly as pdflush + elevator divide the work.
+  const auto ranges = os::Vfs::coalesce_ordered(pages);
+  // Write-back issued by the kernel (periodic flusher) is not attributed to
+  // any profiled program.
+  static const Program kSystem = [] {
+    Program p;
+    p.spec.name = "<writeback>";
+    p.spec.profiled = false;
+    return p;
+  }();
+  const Seconds completion =
+      service_ranges(t, ranges, nullptr, program != nullptr ? *program : kSystem,
+                     /*is_writeback=*/true);
+  vfs_.complete_writeback(dirty);
+  return completion;
+}
+
+void Simulator::run_sync(Seconds t) {
+  FF_ASSERT(sync_.has_value());
+  const auto batch = sync_->take_batch(t);
+  Seconds cursor = t;
+  for (const auto& item : batch) {
+    // Replica traffic goes to the server by definition: always the WNIC.
+    const device::DeviceRequest req{
+        .lba = 0, .size = item.bytes, .is_write = item.upload};
+    const auto res = wnic_.service(cursor, req);
+    cursor = res.completion;
+    ++result_.net_requests;
+    result_.net_bytes += item.bytes;
+    result_.sync_bytes += item.bytes;
+    result_.makespan = std::max(result_.makespan, res.completion);
+    if (config_.collect_request_log) {
+      result_.request_log.push_back(RequestLogEntry{
+          .arrival = res.arrival,
+          .completion = res.completion,
+          .device = device::DeviceKind::kNetwork,
+          .size = item.bytes,
+          .energy = res.energy,
+          .pgid = 0,
+          .is_writeback = true,
+      });
+    }
+  }
+  if (!batch.empty()) ++result_.sync_batches;
+}
+
+void Simulator::run_flusher(Seconds t) {
+  disk_.advance_to(t);
+  wnic_.advance_to(t);
+  const bool device_active =
+      disk_.is_spinning() || wnic_.state() == device::WnicState::kCam;
+  const auto dirty = vfs_.select_writeback(t, device_active);
+  if (!dirty.empty()) flush_dirty(t, dirty, nullptr);
+}
+
+device::DeviceKind Simulator::choose_device(RequestContext& rc) {
+  if (rc.disk_pinned) return device::DeviceKind::kDisk;
+  return policy_.select(rc, ctx_);
+}
+
+Seconds Simulator::dispatch(Seconds t, const RequestContext& rc,
+                            device::DeviceKind kind) {
+  device::ServiceResult res;
+  if (kind == device::DeviceKind::kDisk) {
+    res = disk_.service(t, rc.request);
+    if (timeout_controller_) timeout_controller_->observe(disk_, res);
+    ++result_.disk_requests;
+    result_.disk_bytes += rc.request.size;
+  } else {
+    res = wnic_.service(t, rc.request);
+    ++result_.net_requests;
+    result_.net_bytes += rc.request.size;
+  }
+  policy_.observe(rc, kind, res, ctx_);
+  log_request(rc, kind, res);
+  return res.completion;
+}
+
+void Simulator::log_request(const RequestContext& rc, device::DeviceKind kind,
+                            const device::ServiceResult& res) {
+  if (!config_.collect_request_log) return;
+  result_.request_log.push_back(RequestLogEntry{
+      .arrival = res.arrival,
+      .completion = res.completion,
+      .device = kind,
+      .size = rc.request.size,
+      .energy = res.energy,
+      .pgid = rc.pgid,
+      .is_writeback = rc.is_writeback,
+  });
+}
+
+SimResult simulate(const SimConfig& config, const trace::Trace& trace,
+                   Policy& policy) {
+  std::vector<ProgramSpec> programs;
+  programs.push_back(ProgramSpec{.trace = trace, .name = trace.name()});
+  Simulator sim(config, std::move(programs), policy);
+  return sim.run();
+}
+
+}  // namespace flexfetch::sim

@@ -1,0 +1,146 @@
+// Trace-driven discrete-event simulator of the mobile I/O stack.
+//
+// Replays one or more syscall traces closed-loop (request i+1 becomes ready
+// `think time` after request i completes, so wall-clock time depends on the
+// chosen devices), through the VFS (buffer cache + readahead), to the disk
+// and WNIC power models, under a pluggable data-source Policy. This is the
+// counterpart of the simulator described in Section 3.1 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "device/adaptive_timeout.hpp"
+#include "device/disk.hpp"
+#include "device/wnic.hpp"
+#include "hoard/sync.hpp"
+#include "os/file_layout.hpp"
+#include "os/io_scheduler.hpp"
+#include "os/process.hpp"
+#include "os/vfs.hpp"
+#include "sim/context.hpp"
+#include "sim/policy.hpp"
+#include "sim/results.hpp"
+#include "trace/trace.hpp"
+
+namespace flexfetch::sim {
+
+/// One program participating in a simulation.
+struct ProgramSpec {
+  trace::Trace trace;
+  std::string name;
+  /// Tracked by FlexFetch profiles (Section 2.3.3 distinguishes profiled
+  /// programs from other disk users).
+  bool profiled = true;
+  /// Data exists only on the local disk (forces all its requests there),
+  /// like the xmms MP3 files of Section 3.3.4.
+  bool disk_pinned = false;
+};
+
+struct SimConfig {
+  device::DiskParams disk = device::DiskParams::hitachi_dk23da_distance();
+  device::WnicParams wnic = device::WnicParams::cisco_aironet350();
+  os::VfsConfig vfs;
+  std::uint64_t layout_seed = 42;
+  /// Run the periodic background flusher (asynchronous write-back).
+  bool enable_writeback = true;
+  /// Order batched disk requests with the C-SCAN elevator (false = FIFO,
+  /// for the scheduler ablation; only measurable with the kDistance disk
+  /// seek model).
+  bool use_cscan = true;
+  /// Run the replica synchronization daemon: local writes accumulate
+  /// upload debt that is periodically shipped to the server over the WNIC
+  /// (the hoarding-system traffic the paper's Section 5 assumes away).
+  bool enable_sync = false;
+  hoard::SyncConfig sync;
+  /// Adapt the disk's spin-down timeout at run time (Douglis/Helmbold
+  /// style, the paper's Section 4 related work) instead of the fixed
+  /// laptop-mode 20 s.
+  bool adaptive_disk_timeout = false;
+  device::AdaptiveTimeoutConfig adaptive_timeout;
+  /// Keep a per-request log in the result (memory-hungry; off by default).
+  bool collect_request_log = false;
+};
+
+class Simulator {
+ public:
+  /// The policy is owned by the caller and must outlive run(); this allows
+  /// callers to inspect policy state (e.g. recorded profiles) afterwards.
+  Simulator(SimConfig config, std::vector<ProgramSpec> programs, Policy& policy);
+
+  /// Runs the whole simulation and returns the aggregate result.
+  SimResult run();
+
+ private:
+  struct Program {
+    ProgramSpec spec;
+    std::size_t cursor = 0;
+    std::vector<Seconds> think;  ///< think[i] = gap before record i.
+    bool done() const { return cursor >= spec.trace.size(); }
+  };
+
+  enum class EventKind : std::uint8_t { kSyscall, kFlusher, kSync };
+
+  struct Event {
+    Seconds time;
+    std::uint64_t seq;  ///< Tie-breaker for deterministic ordering.
+    EventKind kind;
+    std::size_t program;  ///< Valid for kSyscall.
+
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  void schedule(Seconds t, EventKind kind, std::size_t program);
+  void handle_syscall(const Event& ev);
+  void run_flusher(Seconds t);
+  void run_sync(Seconds t);
+
+  /// Services page ranges on policy-chosen devices; returns the completion
+  /// time of the last range.
+  Seconds service_ranges(Seconds t, const std::vector<os::PageRange>& ranges,
+                         const trace::SyscallRecord* origin,
+                         const Program& program, bool is_writeback);
+
+  /// Synchronously flushes dirty pages evicted under pressure.
+  Seconds flush_dirty(Seconds t, const std::vector<os::DirtyPage>& dirty,
+                      const Program* program);
+
+  device::DeviceKind choose_device(RequestContext& rc);
+  Seconds dispatch(Seconds t, const RequestContext& rc, device::DeviceKind kind);
+  void log_request(const RequestContext& rc, device::DeviceKind kind,
+                   const device::ServiceResult& res);
+
+  SimConfig config_;
+  std::vector<Program> programs_;
+  Policy& policy_;
+
+  device::Disk disk_;
+  device::Wnic wnic_;
+  os::Vfs vfs_;
+  os::FileLayout layout_;
+  os::ProcessTable processes_;
+  os::CScanScheduler scheduler_;
+  std::optional<hoard::SyncManager> sync_;
+  std::optional<device::AdaptiveTimeoutController> timeout_controller_;
+  SimContext ctx_;
+
+  std::set<trace::Inode> pinned_inodes_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t active_programs_ = 0;
+  SimResult result_;
+};
+
+/// Convenience: simulate a single trace under a policy.
+SimResult simulate(const SimConfig& config, const trace::Trace& trace,
+                   Policy& policy);
+
+}  // namespace flexfetch::sim

@@ -1,0 +1,94 @@
+#include "trace/builder.hpp"
+
+#include "common/error.hpp"
+
+namespace flexfetch::trace {
+
+TraceBuilder& TraceBuilder::process(Pid pid, ProcessGroup pgid) {
+  pid_ = pid;
+  pgid_ = pgid;
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::think(Seconds dt) {
+  FF_REQUIRE(dt >= 0.0, "think time must be non-negative");
+  now_ += dt;
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::at(Seconds t) {
+  FF_REQUIRE(t >= now_, "TraceBuilder::at cannot move time backwards");
+  now_ = t;
+  return *this;
+}
+
+SyscallRecord TraceBuilder::make(OpType op, Inode inode, Bytes offset,
+                                 Bytes size, Seconds duration) const {
+  SyscallRecord r;
+  r.pid = pid_;
+  r.pgid = pgid_;
+  r.fd = 3;
+  r.inode = inode;
+  r.offset = offset;
+  r.size = size;
+  r.op = op;
+  r.timestamp = now_;
+  r.duration = duration;
+  return r;
+}
+
+TraceBuilder& TraceBuilder::read(Inode inode, Bytes offset, Bytes size,
+                                 Seconds duration) {
+  trace_.push_back(make(OpType::kRead, inode, offset, size, duration));
+  now_ += duration;
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::write(Inode inode, Bytes offset, Bytes size,
+                                  Seconds duration) {
+  trace_.push_back(make(OpType::kWrite, inode, offset, size, duration));
+  now_ += duration;
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::open(Inode inode) {
+  trace_.push_back(make(OpType::kOpen, inode, 0, 0, 0.0));
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::close(Inode inode) {
+  trace_.push_back(make(OpType::kClose, inode, 0, 0, 0.0));
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::read_file(Inode inode, Bytes file_size, Bytes chunk,
+                                      Seconds per_call_think) {
+  FF_REQUIRE(chunk > 0, "read_file: chunk must be positive");
+  for (Bytes off = 0; off < file_size; off += chunk) {
+    const Bytes n = std::min(chunk, file_size - off);
+    read(inode, off, n);
+    if (off + n < file_size) think(per_call_think);
+  }
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::write_file(Inode inode, Bytes file_size, Bytes chunk,
+                                       Seconds per_call_think) {
+  FF_REQUIRE(chunk > 0, "write_file: chunk must be positive");
+  for (Bytes off = 0; off < file_size; off += chunk) {
+    const Bytes n = std::min(chunk, file_size - off);
+    write(inode, off, n);
+    if (off + n < file_size) think(per_call_think);
+  }
+  return *this;
+}
+
+Trace TraceBuilder::build() {
+  trace_.validate();
+  Trace out = std::move(trace_);
+  trace_ = Trace(out.name());
+  now_ = 0.0;
+  return out;
+}
+
+}  // namespace flexfetch::trace

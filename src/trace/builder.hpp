@@ -1,0 +1,60 @@
+// Fluent builder for constructing traces programmatically.
+//
+// Used by tests and by the synthetic workload generators. The builder keeps
+// a virtual clock; `think(dt)` advances it, read/write emit records at the
+// current time and advance it by the recorded call duration.
+#pragma once
+
+#include "trace/trace.hpp"
+
+namespace flexfetch::trace {
+
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(std::string name = "trace") : trace_(std::move(name)) {}
+
+  /// Sets identity for subsequently emitted records.
+  TraceBuilder& process(Pid pid, ProcessGroup pgid);
+
+  /// Advances the virtual clock (think/compute time between calls).
+  TraceBuilder& think(Seconds dt);
+
+  /// Jumps the virtual clock to an absolute time (must not go backwards).
+  TraceBuilder& at(Seconds t);
+
+  /// Emits a read record of `size` bytes at (inode, offset).
+  /// `duration` is the recorded service time in the profiled run.
+  TraceBuilder& read(Inode inode, Bytes offset, Bytes size, Seconds duration = 0.0);
+
+  /// Emits a write record.
+  TraceBuilder& write(Inode inode, Bytes offset, Bytes size, Seconds duration = 0.0);
+
+  /// Emits an open/close marker (no data transfer).
+  TraceBuilder& open(Inode inode);
+  TraceBuilder& close(Inode inode);
+
+  /// Reads a whole file as a run of sequential `chunk`-sized calls.
+  TraceBuilder& read_file(Inode inode, Bytes file_size, Bytes chunk,
+                          Seconds per_call_think = 0.0);
+
+  /// Writes a whole file sequentially in `chunk`-sized calls.
+  TraceBuilder& write_file(Inode inode, Bytes file_size, Bytes chunk,
+                           Seconds per_call_think = 0.0);
+
+  Seconds now() const { return now_; }
+  const Trace& peek() const { return trace_; }
+
+  /// Finalizes: validates and returns the trace (builder left empty).
+  Trace build();
+
+ private:
+  SyscallRecord make(OpType op, Inode inode, Bytes offset, Bytes size,
+                     Seconds duration) const;
+
+  Trace trace_;
+  Seconds now_ = 0.0;
+  Pid pid_ = 1000;
+  ProcessGroup pgid_ = 1000;
+};
+
+}  // namespace flexfetch::trace

@@ -1,0 +1,46 @@
+// Importer for strace-collected syscall logs.
+//
+// The paper collected its traces with a modified strace (Section 3.2). This
+// importer accepts the closest standard format — `strace -f -ttt -T -e
+// trace=open,close,read,write,lseek` output — and converts it into a Trace:
+//
+//   1180000000.123456 read(3, "..."..., 4096) = 4096 <0.000042>
+//   1180000000.125001 open("/usr/include/stdio.h", O_RDONLY) = 3 <0.000011>
+//   1180000000.125100 lseek(3, 1024, SEEK_SET) = 1024 <0.000003>
+//
+// With `-f`, lines are prefixed by the pid:
+//
+//   2501  1180000000.123456 write(4, "...", 512) = 512 <0.000020>
+//
+// strace does not report inode numbers, so the importer tracks the
+// (pid, fd) -> path mapping from open()/close() and assigns stable
+// synthetic inodes per path; file offsets are tracked per descriptor the
+// way the kernel would (read/write advance, lseek repositions).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace flexfetch::trace {
+
+struct StraceImportOptions {
+  /// Process group assigned to all imported records (strace does not log
+  /// pgids; the paper groups one traced program per import).
+  ProcessGroup pgid = 1;
+  /// Shift timestamps so the first record starts at zero.
+  bool rebase_time = true;
+  /// Ignore unparseable lines instead of throwing.
+  bool lenient = true;
+};
+
+/// Parses an strace log into a Trace. Throws TraceError on malformed input
+/// unless options.lenient is set.
+Trace import_strace(std::istream& is, const std::string& name,
+                    const StraceImportOptions& options = {});
+
+Trace import_strace_file(const std::string& path,
+                         const StraceImportOptions& options = {});
+
+}  // namespace flexfetch::trace

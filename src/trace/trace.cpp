@@ -1,0 +1,136 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace flexfetch::trace {
+
+const char* to_string(OpType op) {
+  switch (op) {
+    case OpType::kOpen: return "open";
+    case OpType::kClose: return "close";
+    case OpType::kRead: return "read";
+    case OpType::kWrite: return "write";
+    case OpType::kSeek: return "seek";
+  }
+  return "?";
+}
+
+std::string to_string(const SyscallRecord& r) {
+  return strprintf("%.6f %s pid=%u pgid=%u fd=%d ino=%llu off=%llu size=%llu dur=%.6f",
+                   r.timestamp, to_string(r.op), r.pid, r.pgid, r.fd,
+                   static_cast<unsigned long long>(r.inode),
+                   static_cast<unsigned long long>(r.offset),
+                   static_cast<unsigned long long>(r.size), r.duration);
+}
+
+void Trace::push_back(const SyscallRecord& r) {
+  if (r.is_data_transfer() && r.size == 0) {
+    throw TraceError("data-transfer record with zero size: " + to_string(r));
+  }
+  if (r.timestamp < 0.0) {
+    throw TraceError("record with negative timestamp: " + to_string(r));
+  }
+  if (!records_.empty() && r.timestamp < records_.back().timestamp) {
+    records_.push_back(r);
+    sort_records();
+  } else {
+    records_.push_back(r);
+  }
+}
+
+void Trace::merge(const Trace& other) {
+  records_.insert(records_.end(), other.records_.begin(), other.records_.end());
+  sort_records();
+}
+
+void Trace::append_after(const Trace& other, Seconds gap) {
+  FF_REQUIRE(gap >= 0.0, "append_after: negative gap");
+  const Seconds base = empty() ? 0.0 : end_time();
+  Trace shifted = other;
+  shifted.shift(base + gap - shifted.start_time());
+  merge(shifted);
+}
+
+void Trace::shift(Seconds delta) {
+  if (!records_.empty() && records_.front().timestamp + delta < 0.0) {
+    throw TraceError("shift would produce negative timestamps");
+  }
+  for (auto& r : records_) r.timestamp += delta;
+}
+
+Seconds Trace::start_time() const {
+  return records_.empty() ? 0.0 : records_.front().timestamp;
+}
+
+Seconds Trace::end_time() const {
+  Seconds end = 0.0;
+  for (const auto& r : records_) {
+    end = std::max(end, r.timestamp + r.duration);
+  }
+  return end;
+}
+
+TraceStats Trace::stats() const {
+  TraceStats s;
+  s.records = records_.size();
+  std::map<Inode, Bytes> extents = file_extents();
+  s.distinct_files = extents.size();
+  for (const auto& [ino, extent] : extents) s.footprint += extent;
+  for (const auto& r : records_) {
+    if (r.op == OpType::kRead) {
+      ++s.reads;
+      s.bytes_read += r.size;
+    } else if (r.op == OpType::kWrite) {
+      ++s.writes;
+      s.bytes_written += r.size;
+    }
+  }
+  s.duration = empty() ? 0.0 : end_time() - start_time();
+  return s;
+}
+
+std::set<Inode> Trace::file_set() const {
+  std::set<Inode> files;
+  for (const auto& r : records_) {
+    if (r.is_data_transfer()) files.insert(r.inode);
+  }
+  return files;
+}
+
+std::map<Inode, Bytes> Trace::file_extents() const {
+  std::map<Inode, Bytes> extents;
+  for (const auto& r : records_) {
+    if (!r.is_data_transfer()) continue;
+    Bytes& e = extents[r.inode];
+    e = std::max(e, r.end_offset());
+  }
+  return extents;
+}
+
+void Trace::validate() const {
+  Seconds prev = 0.0;
+  for (const auto& r : records_) {
+    if (r.timestamp < prev) {
+      throw TraceError("records out of order at t=" + std::to_string(r.timestamp));
+    }
+    if (r.is_data_transfer() && r.size == 0) {
+      throw TraceError("zero-size transfer: " + to_string(r));
+    }
+    if (r.duration < 0.0) {
+      throw TraceError("negative duration: " + to_string(r));
+    }
+    prev = r.timestamp;
+  }
+}
+
+void Trace::sort_records() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const SyscallRecord& a, const SyscallRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+}  // namespace flexfetch::trace

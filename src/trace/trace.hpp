@@ -1,0 +1,84 @@
+// Trace container: an ordered sequence of syscall records plus metadata.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace flexfetch::trace {
+
+/// Summary statistics of a trace (drives Table 3 style reporting).
+struct TraceStats {
+  std::size_t records = 0;
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+  std::size_t distinct_files = 0;
+  Bytes bytes_read = 0;
+  Bytes bytes_written = 0;
+  /// Total footprint: sum over files of the highest offset touched.
+  Bytes footprint = 0;
+  Seconds duration = 0.0;
+};
+
+/// An ordered (by timestamp) sequence of syscall records.
+///
+/// Invariants maintained by the class:
+///  * records are sorted by timestamp (stable for ties),
+///  * every data-transfer record has size > 0.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Appends a record; throws TraceError if a data transfer has zero size.
+  void push_back(const SyscallRecord& r);
+
+  /// Appends all records of `other`, then restores timestamp order.
+  /// Used to compose concurrent-program scenarios.
+  void merge(const Trace& other);
+
+  /// Appends `other` shifted so it starts `gap` seconds after this trace
+  /// ends. Used to compose sequential scenarios (grep then make).
+  void append_after(const Trace& other, Seconds gap);
+
+  /// Shifts all timestamps by delta (may not produce negative times).
+  void shift(Seconds delta);
+
+  bool empty() const { return records_.empty(); }
+  std::size_t size() const { return records_.size(); }
+  const SyscallRecord& operator[](std::size_t i) const { return records_[i]; }
+  const SyscallRecord& at(std::size_t i) const { return records_.at(i); }
+
+  auto begin() const { return records_.begin(); }
+  auto end() const { return records_.end(); }
+  const std::vector<SyscallRecord>& records() const { return records_; }
+
+  Seconds start_time() const;
+  Seconds end_time() const;  ///< Last record's timestamp + duration.
+
+  TraceStats stats() const;
+
+  /// Set of distinct inodes touched by data transfers.
+  std::set<Inode> file_set() const;
+
+  /// Per-file maximum end offset (an approximation of file sizes).
+  std::map<Inode, Bytes> file_extents() const;
+
+  /// Verifies ordering/invariants; throws TraceError on violation.
+  void validate() const;
+
+ private:
+  void sort_records();
+
+  std::string name_;
+  std::vector<SyscallRecord> records_;
+};
+
+}  // namespace flexfetch::trace

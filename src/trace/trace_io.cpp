@@ -1,0 +1,98 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace flexfetch::trace {
+namespace {
+
+OpType parse_op(std::string_view s) {
+  if (s == "open") return OpType::kOpen;
+  if (s == "close") return OpType::kClose;
+  if (s == "read") return OpType::kRead;
+  if (s == "write") return OpType::kWrite;
+  if (s == "seek") return OpType::kSeek;
+  throw TraceError("unknown op '" + std::string(s) + "'");
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, sep)) out.push_back(field);
+  return out;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os << "# flexfetch-trace v1 name=" << trace.name() << '\n';
+  for (const auto& r : trace) {
+    os << strprintf("%.9f,%s,%u,%u,%d,%llu,%llu,%llu,%.9f\n", r.timestamp,
+                    to_string(r.op), r.pid, r.pgid, r.fd,
+                    static_cast<unsigned long long>(r.inode),
+                    static_cast<unsigned long long>(r.offset),
+                    static_cast<unsigned long long>(r.size), r.duration);
+  }
+}
+
+Trace read_trace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) throw TraceError("empty trace stream");
+  constexpr std::string_view kMagic = "# flexfetch-trace v1";
+  if (line.rfind(kMagic, 0) != 0) {
+    throw TraceError("bad trace header: '" + line + "'");
+  }
+  Trace trace;
+  const auto name_pos = line.find("name=");
+  if (name_pos != std::string::npos) {
+    trace.set_name(line.substr(name_pos + 5));
+  }
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split(line, ',');
+    if (fields.size() != 9) {
+      throw TraceError("line " + std::to_string(lineno) + ": expected 9 fields, got " +
+                       std::to_string(fields.size()));
+    }
+    try {
+      SyscallRecord r;
+      r.timestamp = std::stod(fields[0]);
+      r.op = parse_op(fields[1]);
+      r.pid = static_cast<Pid>(std::stoul(fields[2]));
+      r.pgid = static_cast<ProcessGroup>(std::stoul(fields[3]));
+      r.fd = static_cast<Fd>(std::stoi(fields[4]));
+      r.inode = std::stoull(fields[5]);
+      r.offset = std::stoull(fields[6]);
+      r.size = std::stoull(fields[7]);
+      r.duration = std::stod(fields[8]);
+      trace.push_back(r);
+    } catch (const TraceError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw TraceError("line " + std::to_string(lineno) + ": " + e.what());
+    }
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path, const Trace& trace) {
+  std::ofstream os(path);
+  if (!os) throw TraceError("cannot open for writing: " + path);
+  write_trace(os, trace);
+  if (!os) throw TraceError("write failed: " + path);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw TraceError("cannot open for reading: " + path);
+  return read_trace(is);
+}
+
+}  // namespace flexfetch::trace

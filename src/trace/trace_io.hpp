@@ -1,0 +1,22 @@
+// Text (CSV) serialization of traces — the interchange format between the
+// trace collectors/generators and the simulator.
+//
+// Format: one header line `# flexfetch-trace v1 name=<name>` followed by one
+// record per line:
+//   timestamp,op,pid,pgid,fd,inode,offset,size,duration
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace flexfetch::trace {
+
+void write_trace(std::ostream& os, const Trace& trace);
+Trace read_trace(std::istream& is);
+
+void save_trace(const std::string& path, const Trace& trace);
+Trace load_trace(const std::string& path);
+
+}  // namespace flexfetch::trace

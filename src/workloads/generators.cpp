@@ -1,0 +1,270 @@
+#include "workloads/generators.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "trace/builder.hpp"
+
+namespace flexfetch::workloads {
+
+using trace::Trace;
+using trace::TraceBuilder;
+
+namespace {
+
+/// Samples `count` file sizes with a lognormal shape, rescaled to sum to
+/// `total` (at least one page each).
+std::vector<Bytes> sample_file_sizes(std::size_t count, Bytes total, Rng& rng) {
+  FF_REQUIRE(count > 0, "workload: zero files");
+  std::vector<double> raw(count);
+  double sum = 0.0;
+  for (auto& r : raw) {
+    r = rng.lognormal(0.0, 0.8);
+    sum += r;
+  }
+  std::vector<Bytes> sizes(count);
+  Bytes assigned = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto share = static_cast<Bytes>(
+        raw[i] / sum * static_cast<double>(total));
+    sizes[i] = std::max<Bytes>(share, kPageSize);
+    assigned += sizes[i];
+  }
+  // Give any rounding remainder to the last file.
+  if (assigned < total) sizes.back() += total - assigned;
+  return sizes;
+}
+
+/// Positive think time around `mean` with lognormal jitter.
+Seconds jittered_think(Seconds mean, Rng& rng, double sigma = 0.45) {
+  if (mean <= 0.0) return 0.0;
+  return mean * rng.lognormal(-sigma * sigma / 2.0, sigma);
+}
+
+}  // namespace
+
+Trace grep_trace(const GrepParams& p, std::uint64_t structure_seed,
+                 std::uint64_t run_seed) {
+  Rng structure(structure_seed ^ 0x67726570ULL);  // "grep"
+  Rng run(run_seed ^ 0x67726570ULL);
+  const auto sizes = sample_file_sizes(p.file_count, p.total_bytes, structure);
+
+  TraceBuilder b("grep");
+  b.process(p.pid, p.pid);
+  for (std::size_t i = 0; i < p.file_count; ++i) {
+    const trace::Inode ino = p.inode_base + i;
+    b.open(ino);
+    b.read_file(ino, sizes[i], p.read_chunk);
+    b.close(ino);
+    b.think(jittered_think(p.per_file_think_mean, run));
+  }
+  return b.build();
+}
+
+Trace make_trace(const MakeParams& p, std::uint64_t structure_seed,
+                 std::uint64_t run_seed) {
+  Rng structure(structure_seed ^ 0x6d616b65ULL);  // "make"
+  Rng run(run_seed ^ 0x6d616b65ULL);
+
+  const trace::Inode src_base = p.inode_base;
+  const trace::Inode hdr_base = p.inode_base + 100'000;
+  const trace::Inode obj_base = p.inode_base + 200'000;
+  const trace::Inode image_ino = p.inode_base + 299'999;
+
+  std::vector<Bytes> src_sizes(p.compile_units);
+  for (auto& s : src_sizes) {
+    s = std::max<Bytes>(
+        static_cast<Bytes>(structure.lognormal(0.0, 0.6) *
+                           static_cast<double>(p.source_mean)),
+        kPageSize);
+  }
+  std::vector<Bytes> hdr_sizes(p.header_pool);
+  for (auto& s : hdr_sizes) {
+    s = std::max<Bytes>(
+        static_cast<Bytes>(structure.lognormal(0.0, 0.6) *
+                           static_cast<double>(p.header_mean)),
+        kPageSize);
+  }
+
+  TraceBuilder b("make");
+  // `make` spawns one gcc per unit; all share the make process group.
+  b.process(p.pid, p.pid);
+
+  std::vector<Bytes> obj_sizes(p.compile_units, 0);
+  for (std::size_t unit = 0; unit < p.compile_units; ++unit) {
+    const trace::Inode src = src_base + unit;
+    b.open(src);
+    b.read_file(src, src_sizes[unit], 16 * kKiB);
+    b.close(src);
+
+    // Preprocessing reads the unit's headers back to back, then the bulk
+    // of the compilation runs without I/O.
+    const std::size_t hdr_count =
+        run.uniform_int(p.headers_per_unit_min, p.headers_per_unit_max);
+    for (std::size_t h = 0; h < hdr_count; ++h) {
+      // Zipf-ranked header selection: a few headers are included by nearly
+      // every unit (cache reuse), most are rare.
+      const std::size_t rank =
+          static_cast<std::size_t>(run.zipf(p.header_pool, 1.1)) - 1;
+      const trace::Inode hdr = hdr_base + rank;
+      b.open(hdr);
+      b.read_file(hdr, hdr_sizes[rank], 16 * kKiB);
+      b.close(hdr);
+      b.think(jittered_think(8e-3, run));  // Preprocessing between includes.
+    }
+
+    b.think(jittered_think(p.compile_think_mean, run));  // Compilation.
+
+    const Bytes obj = std::max<Bytes>(
+        static_cast<Bytes>(run.lognormal(0.0, 0.4) *
+                           static_cast<double>(p.object_mean)),
+        kPageSize);
+    obj_sizes[unit] = obj;
+    b.open(obj_base + unit);
+    b.write_file(obj_base + unit, obj, 32 * kKiB);
+    b.close(obj_base + unit);
+    b.think(jittered_think(0.05, run));  // make bookkeeping.
+  }
+
+  // Link phase: re-read all objects, write the image.
+  for (std::size_t unit = 0; unit < p.compile_units; ++unit) {
+    b.read_file(obj_base + unit, obj_sizes[unit], 64 * kKiB);
+    b.think(jittered_think(4e-3, run));
+  }
+  b.think(jittered_think(2.0, run));  // Relocation/symbol resolution.
+  b.write_file(image_ino, p.image_bytes, 128 * kKiB);
+  return b.build();
+}
+
+Trace xmms_trace(const XmmsParams& p, std::uint64_t structure_seed,
+                 std::uint64_t run_seed) {
+  Rng structure(structure_seed ^ 0x786d6d73ULL);  // "xmms"
+  Rng run(run_seed ^ 0x786d6d73ULL);
+  const auto sizes =
+      sample_file_sizes(p.song_count, p.song_mean * p.song_count, structure);
+
+  // Playback pacing: one chunk per (chunk / bitrate) seconds.
+  const double bytes_per_second = p.bitrate_kbps * 1000.0 / 8.0;
+  const Seconds period =
+      static_cast<double>(p.read_chunk) / bytes_per_second;
+
+  TraceBuilder b("xmms");
+  b.process(p.pid, p.pid);
+  for (std::size_t i = 0; i < p.song_count; ++i) {
+    const trace::Inode ino = p.inode_base + i;
+    b.open(ino);
+    for (Bytes off = 0; off < sizes[i]; off += p.read_chunk) {
+      if (p.max_duration > 0.0 && b.now() >= p.max_duration) return b.build();
+      const Bytes n = std::min<Bytes>(p.read_chunk, sizes[i] - off);
+      b.read(ino, off, n);
+      b.think(jittered_think(period, run, 0.1));
+    }
+    b.close(ino);
+  }
+  return b.build();
+}
+
+Trace mplayer_trace(const MplayerParams& p, std::uint64_t structure_seed,
+                    std::uint64_t run_seed) {
+  Rng structure(structure_seed ^ 0x6d706c61ULL);  // "mpla"
+  Rng run(run_seed ^ 0x6d706c61ULL);
+  const auto aux_sizes =
+      sample_file_sizes(p.aux_files, p.aux_mean * p.aux_files, structure);
+
+  TraceBuilder b("mplayer");
+  b.process(p.pid, p.pid);
+
+  // Startup burst: codecs, fonts, config.
+  for (std::size_t i = 0; i < p.aux_files; ++i) {
+    const trace::Inode ino = p.inode_base + 1000 + i;
+    b.read_file(ino, aux_sizes[i], 32 * kKiB);
+    b.think(jittered_think(1e-3, run));
+  }
+  b.think(jittered_think(0.8, run));  // Demuxer startup.
+
+  // Playback: the demuxer refills its buffer with a small read every
+  // chunk_period — continuous but sparse access (Section 3.3.2).
+  for (std::size_t m = 0; m < p.movie_count; ++m) {
+    const trace::Inode ino = p.inode_base + m;
+    b.open(ino);
+    for (Bytes off = 0; off < p.movie_bytes; off += p.read_chunk) {
+      const Bytes n = std::min<Bytes>(p.read_chunk, p.movie_bytes - off);
+      b.read(ino, off, n);
+      b.think(jittered_think(p.chunk_period, run, 0.08));
+    }
+    b.close(ino);
+    b.think(jittered_think(2.5, run));  // Next item in the playlist.
+  }
+  return b.build();
+}
+
+Trace thunderbird_trace(const ThunderbirdParams& p,
+                        std::uint64_t structure_seed, std::uint64_t run_seed) {
+  Rng structure(structure_seed ^ 0x74686e64ULL);  // "thnd"
+  Rng run(run_seed ^ 0x74686e64ULL);
+  const auto small_sizes =
+      sample_file_sizes(p.small_files, p.small_mean * p.small_files, structure);
+
+  const trace::Inode mbox_base = p.inode_base;
+  const trace::Inode small_base = p.inode_base + 1000;
+
+  TraceBuilder b("thunderbird");
+  b.process(p.pid, p.pid);
+
+  // Startup: enumerate the profile — configuration, index and attachment
+  // cache files are all touched while building folder views.
+  for (std::size_t i = 0; i < p.small_files; ++i) {
+    b.read_file(small_base + i, small_sizes[i], 16 * kKiB);
+    b.think(jittered_think(2e-3, run));
+  }
+  b.think(jittered_think(3.0, run));
+
+  // Phase 1: the user opens emails one after another with long think times
+  // in between (Section 3.3.3: "reads several emails one after another with
+  // considerable think time in between").
+  for (std::size_t e = 0; e < p.emails_read; ++e) {
+    const std::size_t mbox = run.uniform_int(0, p.mailbox_count - 1);
+    const Bytes max_off = p.mailbox_bytes > p.email_read_bytes
+                              ? p.mailbox_bytes - p.email_read_bytes
+                              : 0;
+    Bytes off = max_off > 0 ? run.uniform_int(0, max_off / kPageSize) * kPageSize : 0;
+    for (Bytes got = 0; got < p.email_read_bytes; got += 16 * kKiB) {
+      const Bytes n = std::min<Bytes>(16 * kKiB, p.email_read_bytes - got);
+      b.read(mbox_base + mbox, off + got, n);
+    }
+    // Occasionally consult an index/attachment file.
+    if (run.chance(0.5)) {
+      const std::size_t i = run.uniform_int(0, p.small_files - 1);
+      b.read_file(small_base + i, std::min<Bytes>(small_sizes[i], 8 * kKiB),
+                  8 * kKiB);
+    }
+    b.think(jittered_think(p.read_think_mean, run, 0.3));
+  }
+
+  // Phase 2: full-text search quickly scans every mail file (bursty).
+  for (std::size_t m = 0; m < p.mailbox_count; ++m) {
+    b.read_file(mbox_base + m, p.mailbox_bytes, p.search_chunk);
+    b.think(jittered_think(0.02, run));
+  }
+  return b.build();
+}
+
+Trace acroread_trace(const AcroreadParams& p, std::uint64_t structure_seed,
+                     std::uint64_t run_seed) {
+  Rng run(run_seed ^ 0x6163726fULL);  // "acro"
+  (void)structure_seed;  // File sizes are fixed by the params.
+
+  TraceBuilder b("acroread");
+  b.process(p.pid, p.pid);
+  for (std::size_t s = 0; s < p.searches; ++s) {
+    const trace::Inode ino = p.inode_base + (s % p.file_count);
+    // A keyword search decompresses and scans the whole document: one
+    // sequential burst over the file.
+    b.read_file(ino, p.file_bytes, p.scan_chunk);
+    b.think(jittered_think(p.interval, run, 0.1));
+  }
+  return b.build();
+}
+
+}  // namespace flexfetch::workloads

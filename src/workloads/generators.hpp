@@ -1,0 +1,29 @@
+// Synthetic trace generators for the six Table 3 applications.
+#pragma once
+
+#include "common/rng.hpp"
+#include "trace/trace.hpp"
+#include "workloads/params.hpp"
+
+namespace flexfetch::workloads {
+
+/// Each generator is deterministic in (params, structure_seed, run_seed):
+/// structure_seed fixes the file population, run_seed varies think times
+/// between executions of "the same program".
+trace::Trace grep_trace(const GrepParams& p = {}, std::uint64_t structure_seed = 1,
+                        std::uint64_t run_seed = 1);
+trace::Trace make_trace(const MakeParams& p = {}, std::uint64_t structure_seed = 1,
+                        std::uint64_t run_seed = 1);
+trace::Trace xmms_trace(const XmmsParams& p = {}, std::uint64_t structure_seed = 1,
+                        std::uint64_t run_seed = 1);
+trace::Trace mplayer_trace(const MplayerParams& p = {},
+                           std::uint64_t structure_seed = 1,
+                           std::uint64_t run_seed = 1);
+trace::Trace thunderbird_trace(const ThunderbirdParams& p = {},
+                               std::uint64_t structure_seed = 1,
+                               std::uint64_t run_seed = 1);
+trace::Trace acroread_trace(const AcroreadParams& p = {},
+                            std::uint64_t structure_seed = 1,
+                            std::uint64_t run_seed = 1);
+
+}  // namespace flexfetch::workloads

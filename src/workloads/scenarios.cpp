@@ -1,0 +1,131 @@
+#include "workloads/scenarios.hpp"
+
+namespace flexfetch::workloads {
+
+using core::Profile;
+using sim::ProgramSpec;
+using trace::Trace;
+
+namespace {
+
+/// Shifts `second` to begin `gap` seconds after `first` ends.
+Trace after(const Trace& first, Trace second, Seconds gap) {
+  second.shift(first.end_time() + gap - second.start_time());
+  return second;
+}
+
+Profile record_profile(const Trace& t) {
+  return Profile::from_trace(t, kProfileBurstThreshold);
+}
+
+Trace merge_all(std::initializer_list<const Trace*> traces, std::string name) {
+  Trace merged(std::move(name));
+  for (const Trace* t : traces) merged.merge(*t);
+  return merged;
+}
+
+/// grep followed by make, as two profiled programs. `run` selects the
+/// execution (profiling runs and evaluation runs use different run seeds
+/// but the same structure seed, so they touch the same files).
+struct GrepMake {
+  Trace grep;
+  Trace make;
+};
+
+GrepMake build_grep_make(std::uint64_t seed, std::uint64_t run) {
+  GrepMake g;
+  g.grep = grep_trace(GrepParams{}, seed, run);
+  g.make = after(g.grep, make_trace(MakeParams{}, seed, run), 2.0);
+  return g;
+}
+
+}  // namespace
+
+ScenarioBundle scenario_grep_make(std::uint64_t seed) {
+  const GrepMake prior = build_grep_make(seed, /*run=*/seed * 2);
+  GrepMake eval = build_grep_make(seed, /*run=*/seed * 2 + 1);
+
+  ScenarioBundle b;
+  b.name = "grep+make";
+  b.oracle_future = merge_all({&eval.grep, &eval.make}, "grep+make");
+  b.profiles = {record_profile(prior.grep), record_profile(prior.make)};
+  b.programs.push_back(ProgramSpec{.trace = std::move(eval.grep), .name = "grep"});
+  b.programs.push_back(ProgramSpec{.trace = std::move(eval.make), .name = "make"});
+  return b;
+}
+
+ScenarioBundle scenario_mplayer(std::uint64_t seed) {
+  Trace prior = mplayer_trace(MplayerParams{}, seed, seed * 2);
+  Trace eval = mplayer_trace(MplayerParams{}, seed, seed * 2 + 1);
+
+  ScenarioBundle b;
+  b.name = "mplayer";
+  b.oracle_future = eval;
+  b.profiles = {record_profile(prior)};
+  b.programs.push_back(ProgramSpec{.trace = std::move(eval), .name = "mplayer"});
+  return b;
+}
+
+ScenarioBundle scenario_thunderbird(std::uint64_t seed) {
+  Trace prior = thunderbird_trace(ThunderbirdParams{}, seed, seed * 2);
+  Trace eval = thunderbird_trace(ThunderbirdParams{}, seed, seed * 2 + 1);
+
+  ScenarioBundle b;
+  b.name = "thunderbird";
+  b.oracle_future = eval;
+  b.profiles = {record_profile(prior)};
+  b.programs.push_back(
+      ProgramSpec{.trace = std::move(eval), .name = "thunderbird"});
+  return b;
+}
+
+ScenarioBundle scenario_forced_spinup(std::uint64_t seed) {
+  const GrepMake prior = build_grep_make(seed, /*run=*/seed * 2);
+  GrepMake eval = build_grep_make(seed, /*run=*/seed * 2 + 1);
+
+  // xmms plays MP3s that exist only on the local disk, for as long as the
+  // programming session lasts (Section 3.3.4).
+  XmmsParams xp;
+  xp.max_duration = eval.make.end_time();
+  Trace xmms = xmms_trace(xp, seed, seed * 2 + 1);
+
+  ScenarioBundle b;
+  b.name = "grep+make/xmms";
+  b.oracle_future = merge_all({&eval.grep, &eval.make}, "grep+make");
+  b.profiles = {record_profile(prior.grep), record_profile(prior.make)};
+  b.programs.push_back(ProgramSpec{.trace = std::move(eval.grep), .name = "grep"});
+  b.programs.push_back(ProgramSpec{.trace = std::move(eval.make), .name = "make"});
+  b.programs.push_back(ProgramSpec{.trace = std::move(xmms),
+                                   .name = "xmms",
+                                   .profiled = false,
+                                   .disk_pinned = true});
+  return b;
+}
+
+ScenarioBundle scenario_stale_acroread(std::uint64_t seed) {
+  // The profile was recorded from a light run: 2 MB PDFs at 25 s intervals
+  // (longer than the disk spin-down timeout). The current execution scans
+  // 20 MB PDFs every 10 s.
+  Trace prior =
+      acroread_trace(AcroreadParams::stale_profile_run(), seed, seed * 2);
+  Trace eval = acroread_trace(AcroreadParams{}, seed, seed * 2 + 1);
+
+  ScenarioBundle b;
+  b.name = "acroread(stale-profile)";
+  b.oracle_future = eval;
+  b.profiles = {record_profile(prior)};
+  b.programs.push_back(ProgramSpec{.trace = std::move(eval), .name = "acroread"});
+  return b;
+}
+
+std::vector<ScenarioBundle> all_scenarios(std::uint64_t seed) {
+  std::vector<ScenarioBundle> out;
+  out.push_back(scenario_grep_make(seed));
+  out.push_back(scenario_mplayer(seed));
+  out.push_back(scenario_thunderbird(seed));
+  out.push_back(scenario_forced_spinup(seed));
+  out.push_back(scenario_stale_acroread(seed));
+  return out;
+}
+
+}  // namespace flexfetch::workloads

@@ -1,0 +1,210 @@
+#include "os/buffer_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace flexfetch::os {
+namespace {
+
+BufferCacheConfig small_config(std::size_t pages) {
+  BufferCacheConfig c;
+  c.capacity_pages = pages;
+  return c;
+}
+
+TEST(BufferCache, MissThenHit) {
+  BufferCache c(small_config(16));
+  const PageId p{1, 0};
+  EXPECT_FALSE(c.lookup(p, 0.0));
+  c.fill(p, 0.0);
+  EXPECT_TRUE(c.lookup(p, 1.0));
+  EXPECT_EQ(c.stats().lookups, 2u);
+  EXPECT_EQ(c.stats().hits, 1u);
+}
+
+TEST(BufferCache, ContainsDoesNotCountLookups) {
+  BufferCache c(small_config(16));
+  c.fill(PageId{1, 0}, 0.0);
+  EXPECT_TRUE(c.contains(PageId{1, 0}));
+  EXPECT_FALSE(c.contains(PageId{1, 1}));
+  EXPECT_EQ(c.stats().lookups, 0u);
+}
+
+TEST(BufferCache, FillIsIdempotent) {
+  BufferCache c(small_config(16));
+  c.fill(PageId{1, 0}, 0.0);
+  c.fill(PageId{1, 0}, 1.0);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.stats().insertions, 1u);
+}
+
+TEST(BufferCache, EvictsWhenFull) {
+  BufferCache c(small_config(8));
+  for (std::uint64_t i = 0; i < 12; ++i) c.fill(PageId{1, i}, 0.0);
+  EXPECT_EQ(c.size(), 8u);
+  EXPECT_EQ(c.stats().evictions, 4u);
+}
+
+TEST(BufferCache, FirstTouchGoesToA1inFifoEviction) {
+  // With capacity 8 and kin 25% (=2), scanning many once-touched pages
+  // evicts in FIFO order: a pure scan cannot pollute the hot set.
+  BufferCache c(small_config(8));
+  for (std::uint64_t i = 0; i < 8; ++i) c.fill(PageId{1, i}, 0.0);
+  // Pages 0..5 were pushed out of A1in as new ones arrived.
+  c.fill(PageId{2, 100}, 1.0);
+  EXPECT_FALSE(c.contains(PageId{1, 0}));
+}
+
+TEST(BufferCache, GhostHitPromotesToAm) {
+  BufferCache c(small_config(8));
+  // Fill enough to push page {1,0} through A1in and out into the ghost list.
+  c.fill(PageId{1, 0}, 0.0);
+  for (std::uint64_t i = 1; i < 12; ++i) c.fill(PageId{1, i}, 0.0);
+  ASSERT_FALSE(c.contains(PageId{1, 0}));
+  EXPECT_FALSE(c.lookup(PageId{1, 0}, 1.0));
+  EXPECT_GE(c.stats().ghost_hits, 1u);
+  // Re-admission of a ghost page goes to Am (the hot LRU).
+  c.fill(PageId{1, 0}, 1.0);
+  // Scanning new pages now must NOT evict the re-admitted page quickly:
+  for (std::uint64_t i = 100; i < 104; ++i) c.fill(PageId{2, i}, 2.0);
+  EXPECT_TRUE(c.contains(PageId{1, 0}));
+}
+
+TEST(BufferCache, HotPagesSurviveScans) {
+  BufferCache c(small_config(32));
+  const PageId hot{9, 0};
+  // Make `hot` a proper Am resident: touch, evict to ghost, re-admit.
+  c.fill(hot, 0.0);
+  for (std::uint64_t i = 0; i < 40; ++i) c.fill(PageId{1, i}, 0.0);
+  c.fill(hot, 1.0);
+  ASSERT_TRUE(c.contains(hot));
+  // A long scan of one-shot pages must not evict the hot page.
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    c.fill(PageId{2, i}, 2.0);
+    c.lookup(hot, 2.0);  // Keep it recently used.
+  }
+  EXPECT_TRUE(c.contains(hot));
+}
+
+TEST(BufferCache, WriteMarksDirty) {
+  BufferCache c(small_config(16));
+  c.write(PageId{1, 0}, 5.0);
+  EXPECT_EQ(c.dirty_count(), 1u);
+  const auto dirty = c.dirty_pages();
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0].page, (PageId{1, 0}));
+  EXPECT_DOUBLE_EQ(dirty[0].dirtied_at, 5.0);
+}
+
+TEST(BufferCache, RewriteKeepsOriginalDirtyTime) {
+  BufferCache c(small_config(16));
+  c.write(PageId{1, 0}, 5.0);
+  c.write(PageId{1, 0}, 9.0);
+  EXPECT_EQ(c.dirty_count(), 1u);
+  EXPECT_DOUBLE_EQ(c.dirty_pages()[0].dirtied_at, 5.0);
+}
+
+TEST(BufferCache, MarkCleanClearsDirty) {
+  BufferCache c(small_config(16));
+  c.write(PageId{1, 0}, 5.0);
+  c.mark_clean(PageId{1, 0});
+  EXPECT_EQ(c.dirty_count(), 0u);
+  EXPECT_TRUE(c.contains(PageId{1, 0}));  // Still resident, just clean.
+}
+
+TEST(BufferCache, MarkCleanOnAbsentPageIsNoOp) {
+  BufferCache c(small_config(16));
+  EXPECT_NO_THROW(c.mark_clean(PageId{3, 3}));
+}
+
+TEST(BufferCache, EvictingDirtyPageReturnsItForFlush) {
+  BufferCache c(small_config(8));
+  c.write(PageId{1, 0}, 1.0);
+  std::vector<DirtyPage> flushed;
+  for (std::uint64_t i = 1; i < 16 && flushed.empty(); ++i) {
+    flushed = c.fill(PageId{2, i}, 2.0);
+  }
+  ASSERT_FALSE(flushed.empty());
+  EXPECT_EQ(flushed[0].page, (PageId{1, 0}));
+  EXPECT_EQ(c.dirty_count(), 0u);
+}
+
+TEST(BufferCache, DirtyPagesSortedOldestFirst) {
+  BufferCache c(small_config(16));
+  c.write(PageId{1, 2}, 3.0);
+  c.write(PageId{1, 0}, 1.0);
+  c.write(PageId{1, 1}, 2.0);
+  const auto dirty = c.dirty_pages();
+  ASSERT_EQ(dirty.size(), 3u);
+  EXPECT_DOUBLE_EQ(dirty[0].dirtied_at, 1.0);
+  EXPECT_DOUBLE_EQ(dirty[2].dirtied_at, 3.0);
+}
+
+TEST(BufferCache, DirtyPagesOlderThanFilters) {
+  BufferCache c(small_config(16));
+  c.write(PageId{1, 0}, 0.0);
+  c.write(PageId{1, 1}, 50.0);
+  const auto old = c.dirty_pages_older_than(60.0, 30.0);
+  ASSERT_EQ(old.size(), 1u);
+  EXPECT_EQ(old[0].page, (PageId{1, 0}));
+}
+
+TEST(BufferCache, WritePromotesAmResidents) {
+  BufferCache c(small_config(16));
+  c.write(PageId{1, 0}, 0.0);
+  EXPECT_TRUE(c.lookup(PageId{1, 0}, 1.0));
+}
+
+TEST(BufferCache, ClearDropsEverything) {
+  BufferCache c(small_config(16));
+  c.fill(PageId{1, 0}, 0.0);
+  c.write(PageId{1, 1}, 0.0);
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.dirty_count(), 0u);
+  EXPECT_FALSE(c.contains(PageId{1, 0}));
+}
+
+TEST(BufferCache, HitRateComputation) {
+  BufferCache c(small_config(16));
+  c.fill(PageId{1, 0}, 0.0);
+  c.lookup(PageId{1, 0}, 0.0);  // Hit.
+  c.lookup(PageId{1, 1}, 0.0);  // Miss.
+  EXPECT_DOUBLE_EQ(c.stats().hit_rate(), 0.5);
+}
+
+TEST(BufferCache, RejectsTinyCapacity) {
+  EXPECT_THROW(BufferCache(small_config(2)), ConfigError);
+}
+
+TEST(BufferCache, RejectsBadFractions) {
+  BufferCacheConfig c;
+  c.kin_fraction = 0.0;
+  EXPECT_THROW(BufferCache{c}, ConfigError);
+  c = BufferCacheConfig{};
+  c.kin_fraction = 1.5;
+  EXPECT_THROW(BufferCache{c}, ConfigError);
+}
+
+TEST(PageId, HashAndOrdering) {
+  PageIdHash h;
+  EXPECT_EQ(h(PageId{1, 2}), h(PageId{1, 2}));
+  EXPECT_NE(h(PageId{1, 2}), h(PageId{2, 1}));
+  EXPECT_LT((PageId{1, 2}), (PageId{1, 3}));
+  EXPECT_LT((PageId{1, 9}), (PageId{2, 0}));
+}
+
+TEST(PageId, IndexHelpers) {
+  EXPECT_EQ(page_index(0), 0u);
+  EXPECT_EQ(page_index(4095), 0u);
+  EXPECT_EQ(page_index(4096), 1u);
+  EXPECT_EQ(page_end_index(0, 1), 1u);
+  EXPECT_EQ(page_end_index(0, 4096), 1u);
+  EXPECT_EQ(page_end_index(0, 4097), 2u);
+  EXPECT_EQ(page_end_index(4000, 200), 2u);  // Straddles a boundary.
+  EXPECT_EQ(page_end_index(100, 0), 0u);     // Empty range.
+}
+
+}  // namespace
+}  // namespace flexfetch::os

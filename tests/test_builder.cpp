@@ -1,0 +1,120 @@
+#include "trace/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace flexfetch::trace {
+namespace {
+
+TEST(Builder, EmitsRecordsAtVirtualClock) {
+  TraceBuilder b("t");
+  b.read(1, 0, 100);
+  b.think(2.0);
+  b.read(1, 100, 100);
+  const Trace t = b.build();
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t[0].timestamp, 0.0);
+  EXPECT_DOUBLE_EQ(t[1].timestamp, 2.0);
+}
+
+TEST(Builder, DurationAdvancesClock) {
+  TraceBuilder b;
+  b.read(1, 0, 100, 0.5);
+  b.read(1, 100, 100);
+  const Trace t = b.build();
+  EXPECT_DOUBLE_EQ(t[1].timestamp, 0.5);
+}
+
+TEST(Builder, ProcessSetsIdentity) {
+  TraceBuilder b;
+  b.process(11, 22);
+  b.read(1, 0, 10);
+  const Trace t = b.build();
+  EXPECT_EQ(t[0].pid, 11u);
+  EXPECT_EQ(t[0].pgid, 22u);
+}
+
+TEST(Builder, AtJumpsForwardOnly) {
+  TraceBuilder b;
+  b.at(5.0);
+  b.read(1, 0, 10);
+  EXPECT_THROW(b.at(1.0), ConfigError);
+  const Trace t = b.build();
+  EXPECT_DOUBLE_EQ(t[0].timestamp, 5.0);
+}
+
+TEST(Builder, NegativeThinkRejected) {
+  TraceBuilder b;
+  EXPECT_THROW(b.think(-1.0), ConfigError);
+}
+
+TEST(Builder, ReadFileChunksSequentially) {
+  TraceBuilder b;
+  b.read_file(3, 10 * 1024, 4 * 1024);
+  const Trace t = b.build();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].offset, 0u);
+  EXPECT_EQ(t[0].size, 4096u);
+  EXPECT_EQ(t[1].offset, 4096u);
+  EXPECT_EQ(t[2].offset, 8192u);
+  EXPECT_EQ(t[2].size, 10u * 1024u - 8192u);
+}
+
+TEST(Builder, WriteFileEmitsWrites) {
+  TraceBuilder b;
+  b.write_file(3, 8 * 1024, 4 * 1024);
+  const Trace t = b.build();
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].op, OpType::kWrite);
+  EXPECT_EQ(t[1].op, OpType::kWrite);
+}
+
+TEST(Builder, ReadFileWithThinkBetweenChunks) {
+  TraceBuilder b;
+  b.read_file(3, 12 * 1024, 4 * 1024, 0.1);
+  const Trace t = b.build();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t[1].timestamp, 0.1);
+  EXPECT_DOUBLE_EQ(t[2].timestamp, 0.2);
+}
+
+TEST(Builder, ZeroChunkRejected) {
+  TraceBuilder b;
+  EXPECT_THROW(b.read_file(1, 100, 0), ConfigError);
+}
+
+TEST(Builder, OpenCloseAreMarkers) {
+  TraceBuilder b;
+  b.open(5);
+  b.read(5, 0, 10);
+  b.close(5);
+  const Trace t = b.build();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].op, OpType::kOpen);
+  EXPECT_EQ(t[2].op, OpType::kClose);
+  EXPECT_EQ(t[0].size, 0u);
+}
+
+TEST(Builder, BuildResetsBuilder) {
+  TraceBuilder b("x");
+  b.read(1, 0, 10);
+  const Trace first = b.build();
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.now(), 0.0);
+  b.read(2, 0, 10);
+  const Trace second = b.build();
+  EXPECT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].inode, 2u);
+  EXPECT_EQ(second.name(), "x");
+}
+
+TEST(Builder, PeekDoesNotConsume) {
+  TraceBuilder b;
+  b.read(1, 0, 10);
+  EXPECT_EQ(b.peek().size(), 1u);
+  EXPECT_EQ(b.build().size(), 1u);
+}
+
+}  // namespace
+}  // namespace flexfetch::trace

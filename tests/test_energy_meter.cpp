@@ -1,0 +1,86 @@
+#include "device/energy_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "device/request.hpp"
+
+namespace flexfetch::device {
+namespace {
+
+TEST(EnergyMeter, StartsEmpty) {
+  EnergyMeter m;
+  EXPECT_DOUBLE_EQ(m.total(), 0.0);
+  EXPECT_DOUBLE_EQ(m[EnergyCategory::kIdle], 0.0);
+}
+
+TEST(EnergyMeter, AccumulatesPerCategory) {
+  EnergyMeter m;
+  m.add(EnergyCategory::kIdle, 1.5);
+  m.add(EnergyCategory::kIdle, 0.5);
+  m.add(EnergyCategory::kSpinUp, 5.0);
+  EXPECT_DOUBLE_EQ(m[EnergyCategory::kIdle], 2.0);
+  EXPECT_DOUBLE_EQ(m[EnergyCategory::kSpinUp], 5.0);
+  EXPECT_DOUBLE_EQ(m.total(), 7.0);
+}
+
+TEST(EnergyMeter, TotalIsSumOfAllCategories) {
+  EnergyMeter m;
+  double expected = 0.0;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(EnergyCategory::kCount);
+       ++i) {
+    m.add(static_cast<EnergyCategory>(i), static_cast<double>(i) + 1.0);
+    expected += static_cast<double>(i) + 1.0;
+  }
+  EXPECT_DOUBLE_EQ(m.total(), expected);
+}
+
+TEST(EnergyMeter, TransitionEnergyCoversSpinAndModeSwitch) {
+  EnergyMeter m;
+  m.add(EnergyCategory::kSpinUp, 5.0);
+  m.add(EnergyCategory::kSpinDown, 2.94);
+  m.add(EnergyCategory::kModeSwitch, 0.53);
+  m.add(EnergyCategory::kIdle, 100.0);  // Not a transition.
+  EXPECT_DOUBLE_EQ(m.transition_energy(), 8.47);
+}
+
+TEST(EnergyMeter, NegativeEnergyRejected) {
+  EnergyMeter m;
+  EXPECT_THROW(m.add(EnergyCategory::kIdle, -0.1), InternalError);
+}
+
+TEST(EnergyMeter, ResetClearsEverything) {
+  EnergyMeter m;
+  m.add(EnergyCategory::kSend, 3.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.total(), 0.0);
+}
+
+TEST(EnergyMeter, ReportOmitsZeroCategoriesAndShowsTotal) {
+  EnergyMeter m;
+  m.add(EnergyCategory::kRecv, 1.0);
+  const std::string r = m.report();
+  EXPECT_NE(r.find("recv"), std::string::npos);
+  EXPECT_EQ(r.find("spin-up"), std::string::npos);
+  EXPECT_NE(r.find("total"), std::string::npos);
+}
+
+TEST(DeviceKind, OtherFlips) {
+  EXPECT_EQ(other(DeviceKind::kDisk), DeviceKind::kNetwork);
+  EXPECT_EQ(other(DeviceKind::kNetwork), DeviceKind::kDisk);
+}
+
+TEST(DeviceKind, Names) {
+  EXPECT_STREQ(to_string(DeviceKind::kDisk), "disk");
+  EXPECT_STREQ(to_string(DeviceKind::kNetwork), "network");
+}
+
+TEST(EnergyCategory, AllNamesDefined) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(EnergyCategory::kCount);
+       ++i) {
+    EXPECT_STRNE(to_string(static_cast<EnergyCategory>(i)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace flexfetch::device

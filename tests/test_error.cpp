@@ -1,0 +1,61 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexfetch {
+namespace {
+
+TEST(Error, HierarchyIsCatchableAsError) {
+  EXPECT_THROW(throw ConfigError("x"), Error);
+  EXPECT_THROW(throw TraceError("x"), Error);
+  EXPECT_THROW(throw InternalError("x"), Error);
+}
+
+TEST(Error, MessagesCarryPrefix) {
+  try {
+    throw ConfigError("bad knob");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "config error: bad knob");
+  }
+  try {
+    throw TraceError("bad line");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "trace error: bad line");
+  }
+}
+
+TEST(Assert, PassingAssertIsSilent) {
+  EXPECT_NO_THROW(FF_ASSERT(1 + 1 == 2));
+}
+
+TEST(Assert, FailingAssertThrowsInternalError) {
+  EXPECT_THROW(FF_ASSERT(false), InternalError);
+}
+
+TEST(Assert, MessageNamesExpressionAndLocation) {
+  try {
+    FF_ASSERT(2 < 1);
+    FAIL() << "should have thrown";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Require, ThrowsConfigErrorWithMessage) {
+  try {
+    FF_REQUIRE(false, "knob must be positive");
+    FAIL() << "should have thrown";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("knob must be positive"),
+              std::string::npos);
+  }
+}
+
+TEST(Require, PassingIsSilent) {
+  EXPECT_NO_THROW(FF_REQUIRE(true, "never"));
+}
+
+}  // namespace
+}  // namespace flexfetch

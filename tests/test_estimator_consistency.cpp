@@ -1,0 +1,116 @@
+// Validates the paper's Section 2.2 premise end-to-end: the on-line
+// estimators' (T, E) predictions for a profile must track what the full
+// simulator actually measures when the same workload runs on that device.
+// Exact agreement is impossible (the simulator adds readahead, cache and
+// write-back effects the profile abstracts away), but the estimates must
+// be well within decision-making accuracy.
+#include <gtest/gtest.h>
+
+#include "core/estimator.hpp"
+#include "policies/fixed.hpp"
+#include "sim/simulator.hpp"
+#include "trace/builder.hpp"
+
+namespace flexfetch::core {
+namespace {
+
+struct Shape {
+  const char* name;
+  int bursts;
+  Bytes bytes_per_burst;
+  Seconds gap;
+};
+
+class EstimatorConsistency : public ::testing::TestWithParam<Shape> {};
+
+trace::Trace build_trace(const Shape& s) {
+  trace::TraceBuilder b(s.name);
+  b.process(60, 60);
+  for (int i = 0; i < s.bursts; ++i) {
+    // Distinct files so the buffer cache cannot absorb repeats.
+    b.read_file(100 + static_cast<trace::Inode>(i), s.bytes_per_burst,
+                128 * kKiB);
+    b.think(s.gap);
+  }
+  return b.build();
+}
+
+TEST_P(EstimatorConsistency, DiskEstimateTracksDiskOnlyRun) {
+  const trace::Trace t = build_trace(GetParam());
+  const Profile profile = Profile::from_trace(t, 0.020);
+
+  sim::SimConfig config;
+  device::Disk disk(config.disk);
+  os::FileLayout layout(config.disk.capacity, config.layout_seed);
+  const Estimate est = SourceEstimator::estimate_disk(
+      disk, profile.span(0, profile.size()), 0.0, layout);
+
+  policies::DiskOnlyPolicy policy;
+  const auto r = sim::simulate(config, t, policy);
+
+  // Energy: the measured run additionally pays the WNIC's PSM floor and
+  // the trailing rundown; compare against the disk meter only.
+  EXPECT_NEAR(est.energy, r.disk_energy(), 0.30 * r.disk_energy())
+      << GetParam().name;
+  // Time: the whole-run span must agree closely (think-dominated).
+  EXPECT_NEAR(est.time, r.makespan, 0.15 * r.makespan) << GetParam().name;
+}
+
+TEST_P(EstimatorConsistency, NetworkEstimateTracksWnicOnlyRun) {
+  const trace::Trace t = build_trace(GetParam());
+  const Profile profile = Profile::from_trace(t, 0.020);
+
+  sim::SimConfig config;
+  device::Wnic wnic(config.wnic);
+  const Estimate est = SourceEstimator::estimate_network(
+      wnic, profile.span(0, profile.size()), 0.0);
+
+  policies::WnicOnlyPolicy policy;
+  const auto r = sim::simulate(config, t, policy);
+
+  EXPECT_NEAR(est.energy, r.wnic_energy(), 0.30 * r.wnic_energy())
+      << GetParam().name;
+  EXPECT_NEAR(est.time, r.makespan, 0.15 * r.makespan) << GetParam().name;
+}
+
+TEST_P(EstimatorConsistency, EstimatesRankDevicesLikeMeasurements) {
+  // The decision only needs the *ordering* to be right: whenever the two
+  // measured runs differ by more than 20 %, the estimates must agree on
+  // which device is cheaper.
+  const trace::Trace t = build_trace(GetParam());
+  const Profile profile = Profile::from_trace(t, 0.020);
+
+  sim::SimConfig config;
+  device::Disk disk(config.disk);
+  device::Wnic wnic(config.wnic);
+  os::FileLayout layout(config.disk.capacity, config.layout_seed);
+  const Estimate est_disk = SourceEstimator::estimate_disk(
+      disk, profile.span(0, profile.size()), 0.0, layout);
+  const Estimate est_net = SourceEstimator::estimate_network(
+      wnic, profile.span(0, profile.size()), 0.0);
+
+  policies::DiskOnlyPolicy dp;
+  policies::WnicOnlyPolicy wp;
+  const Joules disk_measured = sim::simulate(config, t, dp).total_energy();
+  const Joules net_measured = sim::simulate(config, t, wp).total_energy();
+
+  if (disk_measured < 0.8 * net_measured) {
+    EXPECT_LT(est_disk.energy, est_net.energy) << GetParam().name;
+  } else if (net_measured < 0.8 * disk_measured) {
+    EXPECT_LT(est_net.energy, est_disk.energy) << GetParam().name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EstimatorConsistency,
+    ::testing::Values(
+        Shape{"bursty_large", 4, 16 * kMiB, 1.0},
+        Shape{"paced_medium", 20, 2 * kMiB, 30.0},
+        Shape{"sparse_small", 15, 128 * kKiB, 25.0},
+        Shape{"dense_small", 40, 256 * kKiB, 3.0}),
+    [](const ::testing::TestParamInfo<Shape>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace flexfetch::core

@@ -1,0 +1,105 @@
+#include "os/file_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace flexfetch::os {
+namespace {
+
+TEST(FileLayout, PlacesFilesSequentiallyWithGaps) {
+  FileLayout layout(1 * kGiB, /*seed=*/1, /*min_gap=*/4096, /*max_gap=*/8192);
+  layout.ensure(1, 100 * kKiB);
+  layout.ensure(2, 50 * kKiB);
+  const Bytes lba1 = layout.lba(1, 0);
+  const Bytes lba2 = layout.lba(2, 0);
+  EXPECT_GE(lba1, 4096u);  // First gap applied before file 1.
+  // File 2 starts after file 1's end plus a gap in [4096, 8192].
+  EXPECT_GE(lba2, lba1 + 100 * kKiB + 4096);
+  EXPECT_LE(lba2, lba1 + 100 * kKiB + 8192);
+}
+
+TEST(FileLayout, OffsetIsLinearWithinFile) {
+  FileLayout layout(1 * kGiB);
+  layout.ensure(1, 1 * kMiB);
+  const Bytes base = layout.lba(1, 0);
+  EXPECT_EQ(layout.lba(1, 4096), base + 4096);
+  EXPECT_EQ(layout.lba(1, 999), base + 999);
+}
+
+TEST(FileLayout, EnsureIsIdempotent) {
+  FileLayout layout(1 * kGiB);
+  layout.ensure(1, 100);
+  const Bytes lba = layout.lba(1, 0);
+  layout.ensure(1, 100);
+  layout.ensure(1, 50);  // Smaller: no change.
+  EXPECT_EQ(layout.lba(1, 0), lba);
+  EXPECT_EQ(layout.file_count(), 1u);
+}
+
+TEST(FileLayout, GrowingAFileKeepsItsStart) {
+  FileLayout layout(1 * kGiB);
+  layout.ensure(1, 100);
+  const Bytes lba = layout.lba(1, 0);
+  layout.ensure(1, 10 * kKiB);
+  EXPECT_EQ(layout.lba(1, 0), lba);
+}
+
+TEST(FileLayout, UnknownInodeThrows) {
+  FileLayout layout(1 * kGiB);
+  EXPECT_THROW(layout.lba(42, 0), ConfigError);
+  EXPECT_FALSE(layout.contains(42));
+}
+
+TEST(FileLayout, DeterministicForSameSeed) {
+  FileLayout a(1 * kGiB, 7);
+  FileLayout b(1 * kGiB, 7);
+  for (trace::Inode i = 1; i <= 20; ++i) {
+    a.ensure(i, 10 * kKiB);
+    b.ensure(i, 10 * kKiB);
+  }
+  for (trace::Inode i = 1; i <= 20; ++i) {
+    EXPECT_EQ(a.lba(i, 0), b.lba(i, 0)) << "inode " << i;
+  }
+}
+
+TEST(FileLayout, DifferentSeedsProduceDifferentGaps) {
+  FileLayout a(1 * kGiB, 1);
+  FileLayout b(1 * kGiB, 2);
+  bool any_diff = false;
+  for (trace::Inode i = 1; i <= 10; ++i) {
+    a.ensure(i, 10 * kKiB);
+    b.ensure(i, 10 * kKiB);
+    any_diff |= (a.lba(i, 0) != b.lba(i, 0));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FileLayout, PlaceAllOrdersByInode) {
+  FileLayout layout(1 * kGiB, 3);
+  std::map<trace::Inode, Bytes> extents{{5, 4096}, {1, 4096}, {3, 4096}};
+  layout.place_all(extents);
+  EXPECT_LT(layout.lba(1, 0), layout.lba(3, 0));
+  EXPECT_LT(layout.lba(3, 0), layout.lba(5, 0));
+}
+
+TEST(FileLayout, CapacityExhaustionThrows) {
+  FileLayout layout(1 * kMiB, 1, 0, 0);
+  EXPECT_THROW(layout.ensure(1, 2 * kMiB), ConfigError);
+}
+
+TEST(FileLayout, RejectsBadConstruction) {
+  EXPECT_THROW(FileLayout(0), ConfigError);
+  EXPECT_THROW(FileLayout(kGiB, 1, 100, 50), ConfigError);
+}
+
+TEST(FileLayout, TracksBytesAllocated) {
+  FileLayout layout(1 * kGiB, 1, 0, 0);
+  layout.ensure(1, 1000);
+  layout.ensure(2, 2000);
+  EXPECT_EQ(layout.bytes_allocated(), 3000u);
+  EXPECT_EQ(layout.file_count(), 2u);
+}
+
+}  // namespace
+}  // namespace flexfetch::os

@@ -1,0 +1,206 @@
+// End-to-end reproduction checks: the paper's qualitative claims (Section
+// 3.3) must hold on the synthetic scenarios at the default network
+// conditions (11 Mbps, 1 ms).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "policies/factory.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace flexfetch {
+namespace {
+
+using workloads::ScenarioBundle;
+
+std::map<std::string, sim::SimResult> run_all(const ScenarioBundle& scenario,
+                                              const sim::SimConfig& config,
+                                              bool with_static = false) {
+  std::vector<std::string> names = policies::standard_policy_names();
+  if (with_static) names.push_back("flexfetch-static");
+  std::map<std::string, sim::SimResult> out;
+  for (const auto& name : names) {
+    auto policy = policies::make_policy(name, scenario.profiles,
+                                        &scenario.oracle_future);
+    sim::Simulator simulator(config, scenario.programs, *policy);
+    out[name] = simulator.run();
+  }
+  return out;
+}
+
+// Section 3.3.1 / Figure 1: with a fast, low-latency WNIC the ordering is
+// BlueFS > Disk-only > WNIC-only > FlexFetch.
+TEST(Integration, GrepMakeOrderingMatchesFigure1) {
+  // Zero network latency, as the paper's leftmost Figure 1(a) point.
+  sim::SimConfig config;
+  config.wnic = config.wnic.with_latency(0.0);
+  const auto r = run_all(workloads::scenario_grep_make(1), config);
+  const Joules ff = r.at("flexfetch").total_energy();
+  const Joules bluefs = r.at("bluefs").total_energy();
+  const Joules disk = r.at("disk-only").total_energy();
+  const Joules wnic = r.at("wnic-only").total_energy();
+  EXPECT_LT(ff, wnic);
+  EXPECT_LT(wnic, disk);
+  // BlueFS wastes at least what Disk-only spends (our BlueFS degenerates
+  // to Disk-only once the disk is pinned up; the paper's is notably worse
+  // — deviation recorded in EXPERIMENTS.md).
+  EXPECT_LT(disk, bluefs);
+}
+
+// Section 3.3.2 / Figure 2: FlexFetch tracks WNIC-only; BlueFS is at least
+// as expensive as Disk-only; the disk is the wrong device for sparse
+// streaming.
+TEST(Integration, MplayerMatchesFigure2) {
+  const auto r = run_all(workloads::scenario_mplayer(1), sim::SimConfig{});
+  const Joules ff = r.at("flexfetch").total_energy();
+  const Joules wnic = r.at("wnic-only").total_energy();
+  const Joules disk = r.at("disk-only").total_energy();
+  const Joules bluefs = r.at("bluefs").total_energy();
+  EXPECT_NEAR(ff, wnic, 0.07 * wnic);   // "almost the same as WNIC-only".
+  EXPECT_GT(disk, 1.3 * ff);            // The disk wastes idle energy.
+  // BlueFS wastes energy on both devices: dozens of futile ghost-hint spin
+  // cycles on top of serving the stream over the WNIC. (Deviation from the
+  // paper noted in EXPERIMENTS.md: our duty-cycled Disk-only is itself
+  // costly, so BlueFS lands below it rather than above.)
+  EXPECT_GT(bluefs, 1.4 * ff);
+  EXPECT_GT(bluefs, 1.4 * wnic);
+}
+
+// Section 3.3.2 / Figure 2(b): at low WNIC bandwidth FlexFetch switches to
+// the local disk and saves substantially versus WNIC-only.
+TEST(Integration, MplayerSwitchesToDiskAtLowBandwidth) {
+  sim::SimConfig config;
+  config.wnic = config.wnic.with_bandwidth_mbps(1.0);
+  const auto scenario = workloads::scenario_mplayer(1);
+  const auto r = run_all(scenario, config);
+  const auto& ff = r.at("flexfetch");
+  const auto& wnic = r.at("wnic-only");
+  EXPECT_GT(ff.disk_bytes, ff.net_bytes);  // Switched to the disk.
+  // Paper: "up to 45% less than WNIC-only". Our duty-cycle calibration
+  // yields a smaller but clearly significant saving; demand >= 15%.
+  EXPECT_LT(ff.total_energy(), 0.85 * wnic.total_energy());
+}
+
+// Section 3.3.3 / Figure 3: FlexFetch beats BlueFS by a clear margin
+// (paper: ~17%); Disk-only is expensive for the sparse email phase.
+TEST(Integration, ThunderbirdMatchesFigure3) {
+  const auto r = run_all(workloads::scenario_thunderbird(1), sim::SimConfig{});
+  const Joules ff = r.at("flexfetch").total_energy();
+  const Joules bluefs = r.at("bluefs").total_energy();
+  const Joules disk = r.at("disk-only").total_energy();
+  EXPECT_LT(ff, 0.92 * bluefs);
+  EXPECT_GT(disk, 1.5 * ff);
+}
+
+// Section 3.3.3: "For WNIC with latency over 15 msec, WNIC-only consumes
+// even more energy than Disk-only" — the crossover must exist within the
+// sweep range.
+TEST(Integration, ThunderbirdWnicCrossoverAppearsWithLatency) {
+  const auto scenario = workloads::scenario_thunderbird(1);
+  sim::SimConfig low;
+  low.wnic = low.wnic.with_latency(units::ms(1));
+  sim::SimConfig high;
+  high.wnic = high.wnic.with_latency(units::ms(50));
+  const auto at_low = run_all(scenario, low);
+  const auto at_high = run_all(scenario, high);
+  // At low latency the WNIC wins; at high latency it loses to the disk.
+  EXPECT_LT(at_low.at("wnic-only").total_energy(),
+            at_low.at("disk-only").total_energy());
+  EXPECT_GT(at_high.at("wnic-only").total_energy(),
+            at_high.at("disk-only").total_energy());
+}
+
+// Section 3.3.4 / Figure 4: with xmms pinning the disk up, adaptive
+// FlexFetch rides the spun-up disk and substantially beats FlexFetch-static.
+TEST(Integration, ForcedSpinupMatchesFigure4) {
+  const auto r =
+      run_all(workloads::scenario_forced_spinup(1), sim::SimConfig{}, true);
+  const Joules ff = r.at("flexfetch").total_energy();
+  const Joules ff_static = r.at("flexfetch-static").total_energy();
+  const Joules disk = r.at("disk-only").total_energy();
+  EXPECT_LT(ff, 0.85 * ff_static);  // The adaptation pays off.
+  EXPECT_LE(ff, 1.05 * disk);       // Riding the disk ~= Disk-only.
+}
+
+// Section 3.3.4: at high WNIC latency both variants converge on the disk
+// ("their curves merge eventually").
+TEST(Integration, ForcedSpinupVariantsMergeAtHighLatency) {
+  const auto scenario = workloads::scenario_forced_spinup(1);
+  sim::SimConfig fast;  // 1 ms default.
+  sim::SimConfig slow;
+  slow.wnic = slow.wnic.with_latency(units::ms(100));
+  const auto at_fast = run_all(scenario, fast, true);
+  const auto at_slow = run_all(scenario, slow, true);
+  const Joules gap_fast = at_fast.at("flexfetch-static").total_energy() -
+                          at_fast.at("flexfetch").total_energy();
+  const Joules gap_slow = at_slow.at("flexfetch-static").total_energy() -
+                          at_slow.at("flexfetch").total_energy();
+  // The curves converge: once latency makes the network clearly worse,
+  // even the static variant's profile decisions land on the disk.
+  EXPECT_LT(gap_slow, 0.25 * gap_fast);
+  EXPECT_NEAR(at_slow.at("flexfetch").total_energy(),
+              at_slow.at("flexfetch-static").total_energy(),
+              0.05 * at_slow.at("flexfetch-static").total_energy());
+}
+
+// Section 3.3.5 / Figure 5: with a stale profile, adaptive FlexFetch
+// corrects itself after one stage (much better than static, modestly worse
+// than BlueFS).
+TEST(Integration, StaleAcroreadMatchesFigure5) {
+  const auto r = run_all(workloads::scenario_stale_acroread(1),
+                         sim::SimConfig{}, true);
+  const Joules ff = r.at("flexfetch").total_energy();
+  const Joules ff_static = r.at("flexfetch-static").total_energy();
+  const Joules bluefs = r.at("bluefs").total_energy();
+  EXPECT_LT(ff, 0.75 * ff_static);  // Paper: ~36% less than static.
+  EXPECT_GE(ff, bluefs);            // Paper: ~15% more than BlueFS.
+  EXPECT_LT(ff, 1.35 * bluefs);     // ...but in the same league.
+}
+
+// Across every scenario — and across trace seeds, so the reproduction is
+// not tuned to one lucky draw — FlexFetch must track the better fixed
+// policy: the paper's headline claim.
+TEST(Integration, FlexFetchTracksTheBestFixedPolicyEverywhere) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    for (const auto& scenario : workloads::all_scenarios(seed)) {
+      const auto r = run_all(scenario, sim::SimConfig{});
+      const Joules ff = r.at("flexfetch").total_energy();
+      const Joules best = std::min(r.at("disk-only").total_energy(),
+                                   r.at("wnic-only").total_energy());
+      EXPECT_LT(ff, 1.15 * best) << scenario.name << " seed " << seed;
+    }
+  }
+}
+
+// WNIC-only must degrade with latency on request-heavy workloads — the
+// mechanism behind every Figure (a) sweep.
+TEST(Integration, WnicOnlyEnergyGrowsWithLatency) {
+  const auto scenario = workloads::scenario_grep_make(1);
+  Joules prev = 0.0;
+  for (const double ms : {0.0, 10.0, 30.0}) {
+    sim::SimConfig config;
+    config.wnic = config.wnic.with_latency(units::ms(ms));
+    auto policy = policies::make_policy("wnic-only");
+    sim::Simulator simulator(config, scenario.programs, *policy);
+    const Joules e = simulator.run().total_energy();
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+// Oracle (perfect profile) must not lose badly to FlexFetch anywhere.
+TEST(Integration, OracleIsCompetitiveWithFlexFetch) {
+  for (const auto& scenario : workloads::all_scenarios(1)) {
+    auto oracle = policies::make_policy("oracle", {}, &scenario.oracle_future);
+    sim::Simulator so(sim::SimConfig{}, scenario.programs, *oracle);
+    const Joules oracle_energy = so.run().total_energy();
+    auto ff = policies::make_policy("flexfetch", scenario.profiles);
+    sim::Simulator sf(sim::SimConfig{}, scenario.programs, *ff);
+    const Joules ff_energy = sf.run().total_energy();
+    EXPECT_LT(oracle_energy, 1.25 * ff_energy) << scenario.name;
+  }
+}
+
+}  // namespace
+}  // namespace flexfetch

@@ -1,0 +1,132 @@
+#include "os/io_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace flexfetch::os {
+namespace {
+
+device::DeviceRequest req(Bytes lba, Bytes size, bool write = false) {
+  return device::DeviceRequest{.lba = lba, .size = size, .is_write = write};
+}
+
+TEST(CScan, EmptyDispatchReturnsNothing) {
+  CScanScheduler s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.dispatch().has_value());
+}
+
+TEST(CScan, DispatchesInAscendingLbaOrder) {
+  CScanScheduler s;
+  s.submit(req(300, 10));
+  s.submit(req(100, 10));
+  s.submit(req(200, 10));
+  EXPECT_EQ(s.dispatch()->lba, 100u);
+  EXPECT_EQ(s.dispatch()->lba, 200u);
+  EXPECT_EQ(s.dispatch()->lba, 300u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(CScan, ServesFromHeadPositionFirst) {
+  CScanScheduler s;
+  s.set_head(250);
+  s.submit(req(100, 10));
+  s.submit(req(300, 10));
+  // C-SCAN continues upward from the head, then wraps.
+  EXPECT_EQ(s.dispatch()->lba, 300u);
+  EXPECT_EQ(s.dispatch()->lba, 100u);
+  EXPECT_EQ(s.stats().sweeps, 1u);
+}
+
+TEST(CScan, HeadAdvancesPastDispatchedRequest) {
+  CScanScheduler s;
+  s.submit(req(100, 50));
+  s.dispatch();
+  EXPECT_EQ(s.head(), 150u);
+}
+
+TEST(CScan, WrapsInOneDirectionOnly) {
+  CScanScheduler s;
+  s.set_head(150);
+  s.submit(req(100, 10));
+  s.submit(req(200, 10));
+  s.submit(req(120, 10));
+  // Upward sweep: 200; wrap to lowest: 100, then 120.
+  EXPECT_EQ(s.dispatch()->lba, 200u);
+  EXPECT_EQ(s.dispatch()->lba, 100u);
+  EXPECT_EQ(s.dispatch()->lba, 120u);
+}
+
+TEST(CScan, MergesWithPredecessor) {
+  CScanScheduler s;
+  s.submit(req(100, 50));
+  s.submit(req(150, 50));  // Starts exactly at predecessor's end.
+  EXPECT_EQ(s.pending(), 1u);
+  const auto r = s.dispatch();
+  EXPECT_EQ(r->lba, 100u);
+  EXPECT_EQ(r->size, 100u);
+  EXPECT_EQ(s.stats().merged, 1u);
+}
+
+TEST(CScan, MergesWithSuccessor) {
+  CScanScheduler s;
+  s.submit(req(150, 50));
+  s.submit(req(100, 50));  // Ends exactly at successor's start.
+  EXPECT_EQ(s.pending(), 1u);
+  const auto r = s.dispatch();
+  EXPECT_EQ(r->lba, 100u);
+  EXPECT_EQ(r->size, 100u);
+}
+
+TEST(CScan, BridgeMergeJoinsThreeRequests) {
+  CScanScheduler s;
+  s.submit(req(100, 50));
+  s.submit(req(200, 50));
+  s.submit(req(150, 50));  // Bridges the gap between the two.
+  EXPECT_EQ(s.pending(), 1u);
+  const auto r = s.dispatch();
+  EXPECT_EQ(r->lba, 100u);
+  EXPECT_EQ(r->size, 150u);
+  EXPECT_EQ(s.stats().merged, 2u);
+}
+
+TEST(CScan, DoesNotMergeAcrossDirections) {
+  CScanScheduler s;
+  s.submit(req(100, 50, /*write=*/false));
+  s.submit(req(150, 50, /*write=*/true));
+  EXPECT_EQ(s.pending(), 2u);
+}
+
+TEST(CScan, DoesNotMergeNonAdjacent) {
+  CScanScheduler s;
+  s.submit(req(100, 10));
+  s.submit(req(200, 10));
+  EXPECT_EQ(s.pending(), 2u);
+}
+
+TEST(CScan, ZeroSizeRejected) {
+  CScanScheduler s;
+  EXPECT_THROW(s.submit(req(0, 0)), ConfigError);
+}
+
+TEST(CScan, StatsCountSubmissionsAndDispatches) {
+  CScanScheduler s;
+  s.submit(req(1, 1));
+  s.submit(req(1000, 1));
+  s.dispatch();
+  EXPECT_EQ(s.stats().submitted, 2u);
+  EXPECT_EQ(s.stats().dispatched, 1u);
+}
+
+TEST(CScan, PreservesWriteFlagThroughMerge) {
+  CScanScheduler s;
+  s.submit(req(100, 50, true));
+  s.submit(req(150, 50, true));
+  const auto r = s.dispatch();
+  EXPECT_TRUE(r->is_write);
+  EXPECT_EQ(r->size, 100u);
+}
+
+}  // namespace
+}  // namespace flexfetch::os

@@ -1,0 +1,245 @@
+// Physical-model properties: monotonicity and conservation laws that must
+// hold across parameter grids, expressed as parameterized sweeps.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "core/burst.hpp"
+#include "core/profile.hpp"
+#include "device/disk.hpp"
+#include "device/wnic.hpp"
+#include "hoard/sync.hpp"
+#include "trace/builder.hpp"
+
+namespace flexfetch {
+namespace {
+
+/// Runs a fixed request timeline against a disk and returns total energy.
+Joules disk_timeline_energy(const device::DiskParams& params) {
+  device::Disk disk(params);
+  Seconds t = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    const auto res = disk.service(
+        t, device::DeviceRequest{.lba = static_cast<Bytes>(i) * kMiB,
+                                 .size = 256 * kKiB});
+    t = res.completion + (i % 3 == 0 ? 30.0 : 2.0);  // Mixed gaps.
+  }
+  disk.advance_to(t + 60.0);
+  return disk.meter().total();
+}
+
+Joules wnic_timeline_energy(const device::WnicParams& params) {
+  device::Wnic wnic(params);
+  Seconds t = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    const auto res =
+        wnic.service(t, device::DeviceRequest{.size = 256 * kKiB});
+    t = res.completion + (i % 3 == 0 ? 5.0 : 0.3);
+  }
+  wnic.advance_to(t + 10.0);
+  return wnic.meter().total();
+}
+
+// ---------------------------------------------------------------------------
+
+class DiskPowerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiskPowerSweep, EnergyIsMonotonicInIdlePower) {
+  device::DiskParams lo = device::DiskParams::hitachi_dk23da();
+  device::DiskParams hi = lo;
+  lo.idle_power = GetParam();
+  hi.idle_power = GetParam() + 0.2;
+  hi.active_power = std::max(hi.active_power, hi.idle_power);
+  lo.active_power = std::max(lo.active_power, lo.idle_power);
+  EXPECT_LE(disk_timeline_energy(lo), disk_timeline_energy(hi) + 1e-9);
+}
+
+TEST_P(DiskPowerSweep, EnergyIsMonotonicInTransitionCost) {
+  device::DiskParams lo = device::DiskParams::hitachi_dk23da();
+  lo.idle_power = GetParam();
+  lo.active_power = std::max(lo.active_power, lo.idle_power);
+  device::DiskParams hi = lo;
+  hi.spin_up_energy += 3.0;
+  hi.spin_down_energy += 2.0;
+  EXPECT_LE(disk_timeline_energy(lo), disk_timeline_energy(hi) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(IdlePowers, DiskPowerSweep,
+                         ::testing::Values(0.8, 1.2, 1.6, 2.0));
+
+class DiskTimeoutSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiskTimeoutSweep, BreakEvenIndependentOfTimeout) {
+  device::DiskParams p = device::DiskParams::hitachi_dk23da();
+  p.spin_down_timeout = GetParam();
+  EXPECT_NEAR(p.break_even_time(), 5.0724, 0.0001);
+}
+
+TEST_P(DiskTimeoutSweep, SpinCountsFallAsTimeoutRises) {
+  device::DiskParams shorter = device::DiskParams::hitachi_dk23da();
+  shorter.spin_down_timeout = GetParam();
+  device::DiskParams longer = shorter;
+  longer.spin_down_timeout = GetParam() * 4.0;
+
+  auto spin_downs = [](const device::DiskParams& params) {
+    device::Disk disk(params);
+    Seconds t = 0.0;
+    for (int i = 0; i < 10; ++i) {
+      const auto res =
+          disk.service(t, device::DeviceRequest{.lba = 0, .size = 4096});
+      t = res.completion + 25.0;
+    }
+    disk.advance_to(t + 300.0);
+    return disk.counters().spin_downs;
+  };
+  EXPECT_GE(spin_downs(shorter), spin_downs(longer));
+}
+
+INSTANTIATE_TEST_SUITE_P(Timeouts, DiskTimeoutSweep,
+                         ::testing::Values(5.0, 10.0, 20.0));
+
+class WnicLatencySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WnicLatencySweep, EnergyIsMonotonicInLatency) {
+  const auto lo = device::WnicParams::cisco_aironet350().with_latency(
+      units::ms(GetParam()));
+  const auto hi = device::WnicParams::cisco_aironet350().with_latency(
+      units::ms(GetParam() + 5.0));
+  EXPECT_LE(wnic_timeline_energy(lo), wnic_timeline_energy(hi) + 1e-9);
+}
+
+TEST_P(WnicLatencySweep, ServiceTimeScalesWithRpcCount) {
+  device::Wnic wnic(device::WnicParams::cisco_aironet350().with_latency(
+      units::ms(GetParam())));
+  const auto small = wnic.estimate(0.0, device::DeviceRequest{.size = 16384});
+  const auto large =
+      wnic.estimate(0.0, device::DeviceRequest{.size = 4 * 16384});
+  // 4x the RPCs: at least 3 extra latencies beyond the bandwidth term.
+  EXPECT_GE(large.service_time() - small.service_time(),
+            3.0 * units::ms(GetParam()) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Latencies, WnicLatencySweep,
+                         ::testing::Values(0.0, 2.0, 10.0, 40.0));
+
+class WnicBandwidthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WnicBandwidthSweep, TransferEnergyFallsWithBandwidth) {
+  const auto slow =
+      device::WnicParams::cisco_aironet350().with_bandwidth_mbps(GetParam());
+  const auto fast = device::WnicParams::cisco_aironet350().with_bandwidth_mbps(
+      GetParam() * 2.0);
+  EXPECT_GE(wnic_timeline_energy(slow), wnic_timeline_energy(fast) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, WnicBandwidthSweep,
+                         ::testing::Values(1.0, 2.0, 5.5));
+
+// ---------------------------------------------------------------------------
+// Burst extraction properties over random traces.
+
+class BurstThresholdSweep : public ::testing::TestWithParam<double> {};
+
+trace::Trace random_trace(std::uint64_t seed) {
+  Rng rng(seed);
+  trace::TraceBuilder b("rand");
+  b.process(60, 60);
+  for (int i = 0; i < 300; ++i) {
+    b.read(1 + rng.uniform_int(0, 20),
+           rng.uniform_int(0, 1000) * kPageSize,
+           (1 + rng.uniform_int(0, 16)) * kPageSize);
+    b.think(rng.exponential(0.05));
+  }
+  return b.build();
+}
+
+TEST_P(BurstThresholdSweep, TotalBytesAreConserved) {
+  const trace::Trace t = random_trace(
+      static_cast<std::uint64_t>(GetParam() * 1000));
+  const auto bursts = core::extract_bursts(t, GetParam());
+  Bytes total = 0;
+  for (const auto& b : bursts) total += b.total_bytes();
+  EXPECT_EQ(total, t.stats().bytes_read + t.stats().bytes_written);
+}
+
+TEST_P(BurstThresholdSweep, FinerThresholdNeverMerges) {
+  const trace::Trace t = random_trace(99);
+  const auto fine = core::extract_bursts(t, GetParam());
+  const auto coarse = core::extract_bursts(t, GetParam() * 4.0);
+  EXPECT_GE(fine.size(), coarse.size());
+}
+
+TEST_P(BurstThresholdSweep, ThinkTimesPartitionTheSpan) {
+  const trace::Trace t = random_trace(7);
+  const auto bursts = core::extract_bursts(t, GetParam());
+  Seconds reconstructed = 0.0;
+  for (const auto& b : bursts) reconstructed += b.think_before + b.duration;
+  // think gaps + burst durations tile the profiled span exactly.
+  EXPECT_NEAR(reconstructed, t.end_time(), 1e-6);
+}
+
+TEST_P(BurstThresholdSweep, InterBurstGapsExceedTheThreshold) {
+  const trace::Trace t = random_trace(13);
+  const auto bursts = core::extract_bursts(t, GetParam());
+  // Every burst after the first begins with a gap that could not be masked.
+  for (std::size_t i = 1; i < bursts.size(); ++i) {
+    EXPECT_GT(bursts[i].think_before, GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, BurstThresholdSweep,
+                         ::testing::Values(0.005, 0.020, 0.080));
+
+// ---------------------------------------------------------------------------
+// Profile serialization fuzz.
+
+class ProfileFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProfileFuzz, SerializationRoundTripsRandomProfiles) {
+  const core::Profile p =
+      core::Profile::from_trace(random_trace(GetParam()), 0.020);
+  std::stringstream ss;
+  p.write(ss);
+  const core::Profile q = core::Profile::read(ss);
+  ASSERT_EQ(q.size(), p.size());
+  EXPECT_EQ(q.total_bytes(), p.total_bytes());
+  EXPECT_NEAR(q.span_seconds(), p.span_seconds(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------------------------
+// Sync conservation.
+
+class SyncFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SyncFuzz, BytesAreConservedThroughBatches) {
+  Rng rng(GetParam());
+  hoard::SyncConfig config;
+  config.max_batch_bytes = 64 * kKiB;
+  hoard::SyncManager sync(config);
+  Bytes written = 0;
+  Bytes shipped = 0;
+  Seconds t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const Bytes n = (1 + rng.uniform_int(0, 31)) * kKiB;
+    sync.on_local_write(1 + rng.uniform_int(0, 9), n, t);
+    written += n;
+    t += rng.exponential(2.0);
+    if (rng.chance(0.3)) {
+      for (const auto& item : sync.take_batch(t)) shipped += item.bytes;
+    }
+  }
+  while (sync.pending_upload() > 0) {
+    for (const auto& item : sync.take_batch(t)) shipped += item.bytes;
+  }
+  EXPECT_EQ(shipped, written);
+  EXPECT_EQ(sync.stats().uploaded, written);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyncFuzz, ::testing::Values(11u, 22u, 33u));
+
+}  // namespace
+}  // namespace flexfetch

@@ -1,0 +1,97 @@
+// The Section 5 overhead accounting added to FlexFetch: counters must
+// move with the work performed, and the charged energy must be orders of
+// magnitude below the I/O energy at stake.
+#include <gtest/gtest.h>
+
+#include "core/flexfetch.hpp"
+#include "sim/simulator.hpp"
+#include "trace/builder.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace flexfetch::core {
+namespace {
+
+trace::Trace paced(int n) {
+  trace::TraceBuilder b("paced");
+  b.process(60, 60);
+  for (int i = 0; i < n; ++i) {
+    b.read(1, static_cast<Bytes>(i) * 256 * 1024, 256 * 1024);
+    b.think(4.0);
+  }
+  return b.build();
+}
+
+TEST(OverheadAccounting, CountersTrackWork) {
+  const trace::Trace t = paced(30);
+  FlexFetchPolicy policy(FlexFetchConfig{}, Profile::from_trace(t, 0.020));
+  sim::simulate(sim::SimConfig{}, t, policy);
+  const auto& s = policy.stats();
+  EXPECT_EQ(s.syscalls_tracked, 30u);
+  EXPECT_GT(s.estimator_requests_replayed, 0u);
+  EXPECT_GT(s.shadow_requests_replayed, 0u);
+  EXPECT_EQ(s.overhead_ops(), s.syscalls_tracked +
+                                  s.estimator_requests_replayed +
+                                  s.shadow_requests_replayed);
+}
+
+TEST(OverheadAccounting, EnergyScalesWithPerOpCost) {
+  const trace::Trace t = paced(10);
+  FlexFetchConfig config;
+  config.overhead_per_op = 1e-3;
+  FlexFetchPolicy policy(config, Profile::from_trace(t, 0.020));
+  sim::simulate(sim::SimConfig{}, t, policy);
+  EXPECT_DOUBLE_EQ(policy.overhead_energy(),
+                   static_cast<double>(policy.stats().overhead_ops()) * 1e-3);
+}
+
+TEST(OverheadAccounting, ZeroCostDisablesTheCharge) {
+  const trace::Trace t = paced(10);
+  FlexFetchConfig config;
+  config.overhead_per_op = 0.0;
+  FlexFetchPolicy policy(config, Profile::from_trace(t, 0.020));
+  sim::simulate(sim::SimConfig{}, t, policy);
+  EXPECT_DOUBLE_EQ(policy.overhead_energy(), 0.0);
+  EXPECT_GT(policy.stats().overhead_ops(), 0u);  // Still counted.
+}
+
+TEST(OverheadAccounting, StaticVariantDoesNoShadowWork) {
+  const trace::Trace t = paced(20);
+  FlexFetchPolicy policy(FlexFetchConfig::static_variant(),
+                         Profile::from_trace(t, 0.020));
+  sim::simulate(sim::SimConfig{}, t, policy);
+  EXPECT_EQ(policy.stats().shadow_requests_replayed, 0u);
+}
+
+TEST(OverheadAccounting, OverheadIsNegligibleOnPaperScenarios) {
+  // The paper's claim: "such simulation causes minimal overhead, since
+  // only a small amount of computation is needed in every 40-second
+  // stage" (Section 2.2). At the default 2 uJ/op, the scheme's spend must
+  // be under 0.1% of the I/O energy on every scenario.
+  for (const auto& scenario : workloads::all_scenarios(1)) {
+    FlexFetchPolicy policy(FlexFetchConfig{}, scenario.profiles);
+    sim::Simulator simulator(sim::SimConfig{}, scenario.programs, policy);
+    const auto r = simulator.run();
+    EXPECT_LT(policy.overhead_energy(), 1e-3 * r.total_energy())
+        << scenario.name;
+  }
+}
+
+TEST(DecisionRecord, FieldsAreFilledCoherently) {
+  const trace::Trace t = paced(30);
+  FlexFetchPolicy policy(FlexFetchConfig{}, Profile::from_trace(t, 0.020));
+  sim::simulate(sim::SimConfig{}, t, policy);
+  ASSERT_FALSE(policy.decision_log().empty());
+  Seconds prev = -1.0;
+  for (const auto& d : policy.decision_log()) {
+    EXPECT_GE(d.time, prev);  // Log is chronological.
+    prev = d.time;
+    EXPECT_GT(d.burst_count, 0u);
+    EXPECT_GE(d.disk.time, 0.0);
+    EXPECT_GE(d.network.time, 0.0);
+    EXPECT_GE(d.disk.energy, 0.0);
+    EXPECT_GE(d.network.energy, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace flexfetch::core

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "policies/bluefs.hpp"
+#include "policies/factory.hpp"
+#include "policies/fixed.hpp"
+#include "policies/oracle.hpp"
+#include "sim/simulator.hpp"
+#include "trace/builder.hpp"
+
+namespace flexfetch::policies {
+namespace {
+
+using device::DeviceKind;
+
+trace::Trace paced_trace(int n = 30) {
+  trace::TraceBuilder b("paced");
+  b.process(60, 60);
+  for (int i = 0; i < n; ++i) {
+    b.read(1, static_cast<Bytes>(i) * 256 * 1024, 256 * 1024);
+    b.think(4.0);
+  }
+  return b.build();
+}
+
+trace::Trace bursty_trace() {
+  trace::TraceBuilder b("bursty");
+  b.process(61, 61);
+  b.read_file(1, 60 * kMiB, 128 * 1024);
+  return b.build();
+}
+
+TEST(FixedPolicies, Names) {
+  EXPECT_EQ(DiskOnlyPolicy{}.name(), "Disk-only");
+  EXPECT_EQ(WnicOnlyPolicy{}.name(), "WNIC-only");
+}
+
+TEST(BlueFS, UsesSpinningDiskForBulkData) {
+  BlueFSPolicy policy;
+  const auto r = sim::simulate(sim::SimConfig{}, bursty_trace(), policy);
+  // A spinning disk is cheaper per-request for 128 KiB chunks.
+  EXPECT_GT(r.disk_requests, r.net_requests);
+  EXPECT_GT(policy.stats().disk_selections, 0u);
+}
+
+TEST(BlueFS, AvoidsSpinningUpForSparseSmallRequests) {
+  trace::TraceBuilder b("sparse");
+  b.process(60, 60);
+  for (int i = 0; i < 10; ++i) {
+    b.read(1, static_cast<Bytes>(i) * 8192, 8192);
+    b.think(30.0);  // Disk spins down in between.
+  }
+  BlueFSPolicy policy;
+  const auto r = sim::simulate(sim::SimConfig{}, b.build(), policy);
+  // After the disk first spins down, small requests go to the network.
+  EXPECT_GT(r.net_requests, 0u);
+  EXPECT_GT(policy.stats().net_selections, 0u);
+}
+
+TEST(BlueFS, GhostHintsAccumulateAndTriggerSpinUp) {
+  // Many network-served requests while the disk sleeps accumulate hints
+  // until the disk is proactively spun up.
+  trace::TraceBuilder b("stream");
+  b.process(60, 60);
+  b.think(30.0);  // Let the disk spin down first.
+  for (int i = 0; i < 400; ++i) {
+    b.read(1, static_cast<Bytes>(i) * 256 * 1024, 256 * 1024);
+    b.think(1.0);
+  }
+  BlueFSPolicy policy;
+  sim::simulate(sim::SimConfig{}, b.build(), policy);
+  EXPECT_GT(policy.stats().hints_issued, 0.0);
+  EXPECT_GT(policy.stats().ghost_spin_ups, 0u);
+}
+
+TEST(BlueFS, HintsDecayOverTime) {
+  BlueFSConfig config;
+  config.hint_half_life = 1.0;
+  BlueFSPolicy policy(config);
+  // One isolated network request while the disk sleeps issues a hint;
+  // after many half-lives the pending amount must be negligible.
+  trace::TraceBuilder b("one");
+  b.process(60, 60);
+  b.think(30.0);
+  b.read(1, 0, 256 * 1024);
+  b.think(60.0);
+  b.read(1, 256 * 1024, 256 * 1024);
+  sim::simulate(sim::SimConfig{}, b.build(), policy);
+  EXPECT_LT(policy.pending_hints(), policy.stats().hints_issued);
+}
+
+TEST(BlueFS, RejectsNegativeHalfLife) {
+  BlueFSConfig c;
+  c.hint_half_life = -1.0;
+  EXPECT_THROW(BlueFSPolicy{c}, ConfigError);
+}
+
+TEST(Oracle, NameAndBehaviour) {
+  const trace::Trace t = paced_trace();
+  OraclePolicy policy(t);
+  EXPECT_EQ(policy.name(), "Oracle");
+  const auto r = sim::simulate(sim::SimConfig{}, t, policy);
+  // Perfect knowledge of the paced workload: network.
+  EXPECT_GT(r.net_requests, 0u);
+}
+
+TEST(Oracle, CompetitiveWithFixedPoliciesOnBothShapes) {
+  for (const trace::Trace& t : {paced_trace(), bursty_trace()}) {
+    OraclePolicy oracle(t);
+    const auto oracle_result = sim::simulate(sim::SimConfig{}, t, oracle);
+    DiskOnlyPolicy disk;
+    const auto disk_result = sim::simulate(sim::SimConfig{}, t, disk);
+    WnicOnlyPolicy wnic;
+    const auto wnic_result = sim::simulate(sim::SimConfig{}, t, wnic);
+    const Joules best =
+        std::min(disk_result.total_energy(), wnic_result.total_energy());
+    // The oracle should be within a small tolerance of the better fixed
+    // policy (it can also beat both by switching mid-run).
+    EXPECT_LT(oracle_result.total_energy(), best * 1.10) << t.name();
+  }
+}
+
+TEST(Factory, BuildsEveryKnownPolicy) {
+  const trace::Trace t = paced_trace(5);
+  const std::vector<core::Profile> profiles{
+      core::Profile::from_trace(t, 0.020)};
+  for (const std::string name :
+       {"disk-only", "wnic-only", "bluefs", "flexfetch", "flexfetch-static",
+        "oracle"}) {
+    auto policy = make_policy(name, profiles, &t);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_FALSE(policy->name().empty());
+  }
+}
+
+TEST(Factory, PolicyNamesMatchPaperLabels) {
+  const trace::Trace t = paced_trace(5);
+  const std::vector<core::Profile> profiles{
+      core::Profile::from_trace(t, 0.020)};
+  EXPECT_EQ(make_policy("flexfetch", profiles)->name(), "FlexFetch");
+  EXPECT_EQ(make_policy("flexfetch-static", profiles)->name(),
+            "FlexFetch-static");
+  EXPECT_EQ(make_policy("bluefs")->name(), "BlueFS");
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW(make_policy("nonsense"), ConfigError);
+}
+
+TEST(Factory, FlexFetchWithoutProfilesThrows) {
+  EXPECT_THROW(make_policy("flexfetch"), ConfigError);
+}
+
+TEST(Factory, OracleWithoutFutureThrows) {
+  EXPECT_THROW(make_policy("oracle"), ConfigError);
+}
+
+TEST(Factory, StandardPolicySetMatchesPaperOrder) {
+  const auto names = standard_policy_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "flexfetch");
+  EXPECT_EQ(names[1], "bluefs");
+  EXPECT_EQ(names[2], "disk-only");
+  EXPECT_EQ(names[3], "wnic-only");
+}
+
+}  // namespace
+}  // namespace flexfetch::policies

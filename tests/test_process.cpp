@@ -1,0 +1,41 @@
+#include "os/process.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexfetch::os {
+namespace {
+
+TEST(ProcessTable, RegisterAndLookup) {
+  ProcessTable t;
+  t.register_program(100, "make");
+  EXPECT_TRUE(t.known(100));
+  EXPECT_EQ(t.name_of(100), "make");
+  EXPECT_TRUE(t.is_profiled(100));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(ProcessTable, UnknownGroup) {
+  ProcessTable t;
+  EXPECT_FALSE(t.known(5));
+  EXPECT_EQ(t.name_of(5), "<unknown>");
+  EXPECT_FALSE(t.is_profiled(5));
+}
+
+TEST(ProcessTable, UnprofiledProgram) {
+  ProcessTable t;
+  t.register_program(200, "xmms", /*profiled=*/false);
+  EXPECT_TRUE(t.known(200));
+  EXPECT_FALSE(t.is_profiled(200));
+}
+
+TEST(ProcessTable, ReRegisterOverwrites) {
+  ProcessTable t;
+  t.register_program(100, "old", true);
+  t.register_program(100, "new", false);
+  EXPECT_EQ(t.name_of(100), "new");
+  EXPECT_FALSE(t.is_profiled(100));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+}  // namespace
+}  // namespace flexfetch::os

@@ -1,0 +1,131 @@
+#include "core/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "trace/builder.hpp"
+
+namespace flexfetch::core {
+namespace {
+
+Profile sample_profile() {
+  trace::TraceBuilder b("prog");
+  b.read(1, 0, 8192);
+  b.think(1.0);
+  b.read_file(2, 64 * 1024, 16 * 1024);
+  b.think(2.0);
+  b.write(3, 0, 4096);
+  return Profile::from_trace(b.build(), 0.020);
+}
+
+TEST(Profile, FromTraceExtractsBursts) {
+  const Profile p = sample_profile();
+  EXPECT_EQ(p.program(), "prog");
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.total_bytes(), 8192u + 64u * 1024u + 4096u);
+}
+
+TEST(Profile, SpanSeconds) {
+  const Profile p = sample_profile();
+  EXPECT_NEAR(p.span_seconds(), 3.0, 1e-9);
+}
+
+TEST(Profile, EmptyProfile) {
+  Profile p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.total_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(p.span_seconds(), 0.0);
+  EXPECT_TRUE(p.byte_prefix_sums().size() == 1 && p.byte_prefix_sums()[0] == 0);
+}
+
+TEST(Profile, BytePrefixSums) {
+  const Profile p = sample_profile();
+  const auto sums = p.byte_prefix_sums();
+  ASSERT_EQ(sums.size(), 4u);
+  EXPECT_EQ(sums[0], 0u);
+  EXPECT_EQ(sums[1], 8192u);
+  EXPECT_EQ(sums[2], 8192u + 64u * 1024u);
+  EXPECT_EQ(sums[3], p.total_bytes());
+}
+
+TEST(Profile, SpanViewClampsCount) {
+  const Profile p = sample_profile();
+  EXPECT_EQ(p.span(0, 2).size(), 2u);
+  EXPECT_EQ(p.span(2, 10).size(), 1u);
+  EXPECT_EQ(p.span(3, 10).size(), 0u);
+}
+
+TEST(Profile, MergeInterleavesByStartTime) {
+  trace::TraceBuilder a("a");
+  a.read(1, 0, 4096);
+  a.think(10.0);
+  a.read(1, 4096, 4096);
+  trace::TraceBuilder b("b");
+  b.at(5.0);
+  b.read(2, 0, 4096);
+  const Profile merged = Profile::merge(
+      {Profile::from_trace(a.build(), 0.02), Profile::from_trace(b.build(), 0.02)},
+      "ab");
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].requests[0].inode, 1u);
+  EXPECT_EQ(merged[1].requests[0].inode, 2u);
+  EXPECT_EQ(merged[2].requests[0].inode, 1u);
+  // Think gaps recomputed against the interleaved order.
+  EXPECT_NEAR(merged[1].think_before, 5.0, 1e-9);
+  EXPECT_NEAR(merged[2].think_before, 5.0, 1e-9);
+  EXPECT_EQ(merged.program(), "ab");
+}
+
+TEST(Profile, MergeOfSingleProfileKeepsBursts) {
+  const Profile p = sample_profile();
+  const Profile m = Profile::merge({p}, "solo");
+  EXPECT_EQ(m.size(), p.size());
+  EXPECT_EQ(m.total_bytes(), p.total_bytes());
+}
+
+TEST(Profile, SerializationRoundTrip) {
+  const Profile p = sample_profile();
+  std::stringstream ss;
+  p.write(ss);
+  const Profile q = Profile::read(ss);
+  EXPECT_EQ(q.program(), p.program());
+  ASSERT_EQ(q.size(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(q[i].think_before, p[i].think_before, 1e-9);
+    EXPECT_NEAR(q[i].start, p[i].start, 1e-9);
+    EXPECT_NEAR(q[i].duration, p[i].duration, 1e-9);
+    ASSERT_EQ(q[i].requests.size(), p[i].requests.size());
+    for (std::size_t j = 0; j < p[i].requests.size(); ++j) {
+      EXPECT_EQ(q[i].requests[j].inode, p[i].requests[j].inode);
+      EXPECT_EQ(q[i].requests[j].offset, p[i].requests[j].offset);
+      EXPECT_EQ(q[i].requests[j].size, p[i].requests[j].size);
+      EXPECT_EQ(q[i].requests[j].is_write, p[i].requests[j].is_write);
+    }
+  }
+}
+
+TEST(Profile, ReadRejectsBadHeader) {
+  std::stringstream ss("garbage\n");
+  EXPECT_THROW(Profile::read(ss), TraceError);
+}
+
+TEST(Profile, ReadRejectsRequestBeforeBurst) {
+  std::stringstream ss("# flexfetch-profile v1 name=x\nreq,1,0,100,0\n");
+  EXPECT_THROW(Profile::read(ss), TraceError);
+}
+
+TEST(Profile, ReadRejectsTruncatedBurst) {
+  std::stringstream ss(
+      "# flexfetch-profile v1 name=x\nburst,0.0,0.0,1.0,2\nreq,1,0,100,0\n");
+  EXPECT_THROW(Profile::read(ss), TraceError);
+}
+
+TEST(Profile, ReadRejectsUnknownTag) {
+  std::stringstream ss("# flexfetch-profile v1 name=x\nbogus,1,2\n");
+  EXPECT_THROW(Profile::read(ss), TraceError);
+}
+
+}  // namespace
+}  // namespace flexfetch::core

@@ -1,0 +1,95 @@
+#include "core/profile_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "trace/builder.hpp"
+
+namespace flexfetch::core {
+namespace {
+
+Profile named_profile(const std::string& name) {
+  trace::TraceBuilder b(name);
+  b.read(1, 0, 4096);
+  return Profile::from_trace(b.build(), 0.020);
+}
+
+TEST(ProfileStore, PutGetRoundTrip) {
+  ProfileStore store;
+  store.put(named_profile("make"));
+  ASSERT_TRUE(store.contains("make"));
+  const auto p = store.get("make");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->program(), "make");
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ProfileStore, GetMissingReturnsNullopt) {
+  ProfileStore store;
+  EXPECT_FALSE(store.get("nope").has_value());
+  EXPECT_FALSE(store.contains("nope"));
+}
+
+TEST(ProfileStore, PutReplacesExisting) {
+  ProfileStore store;
+  store.put(named_profile("prog"));
+  trace::TraceBuilder b("prog");
+  b.read(9, 0, 8192);
+  b.think(1.0);
+  b.read(9, 8192, 8192);
+  store.put(Profile::from_trace(b.build(), 0.020));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.get("prog")->size(), 2u);
+}
+
+TEST(ProfileStore, RejectsUnnamedProfile) {
+  ProfileStore store;
+  EXPECT_THROW(store.put(Profile{}), ConfigError);
+}
+
+TEST(ProfileStore, FlushAndLoadDirectory) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "flexfetch_store_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  {
+    ProfileStore store(dir);
+    store.put(named_profile("grep"));
+    store.put(named_profile("make"));
+    store.flush();
+  }
+  ProfileStore loaded(dir);
+  loaded.load();
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_TRUE(loaded.contains("grep"));
+  EXPECT_TRUE(loaded.contains("make"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ProfileStore, SanitizesProgramNamesInPaths) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "flexfetch_store_sanitize")
+          .string();
+  std::filesystem::remove_all(dir);
+  {
+    ProfileStore store(dir);
+    store.put(named_profile("a/b c:d"));
+    EXPECT_NO_THROW(store.flush());
+  }
+  ProfileStore loaded(dir);
+  loaded.load();
+  EXPECT_EQ(loaded.size(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ProfileStore, InMemoryFlushIsNoOp) {
+  ProfileStore store;
+  store.put(named_profile("x"));
+  EXPECT_NO_THROW(store.flush());
+  EXPECT_NO_THROW(store.load());
+}
+
+}  // namespace
+}  // namespace flexfetch::core

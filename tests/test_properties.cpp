@@ -1,0 +1,211 @@
+// Property-based suites: invariants that must hold for every
+// (scenario x policy x network condition) combination, expressed as
+// parameterized gtest sweeps.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "policies/factory.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace flexfetch {
+namespace {
+
+workloads::ScenarioBundle scenario_by_name(const std::string& name) {
+  if (name == "grep+make") return workloads::scenario_grep_make(1);
+  if (name == "mplayer") return workloads::scenario_mplayer(1);
+  if (name == "thunderbird") return workloads::scenario_thunderbird(1);
+  if (name == "forced-spinup") return workloads::scenario_forced_spinup(1);
+  return workloads::scenario_stale_acroread(1);
+}
+
+sim::SimResult run(const workloads::ScenarioBundle& scenario,
+                   const std::string& policy_name,
+                   const sim::SimConfig& config = {}) {
+  auto policy = policies::make_policy(policy_name, scenario.profiles,
+                                      &scenario.oracle_future);
+  sim::Simulator simulator(config, scenario.programs, *policy);
+  return simulator.run();
+}
+
+// ---------------------------------------------------------------------------
+// Invariants over scenario x policy.
+
+using Combo = std::tuple<std::string, std::string>;
+
+class PolicyInvariants : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(PolicyInvariants, EnergyAccountingIsConsistent) {
+  const auto& [scenario_name, policy_name] = GetParam();
+  const auto scenario = scenario_by_name(scenario_name);
+  const auto r = run(scenario, policy_name);
+
+  // Conservation: total is exactly the sum of the two device meters, and
+  // each meter is the sum of its categories.
+  EXPECT_NEAR(r.total_energy(), r.disk_energy() + r.wnic_energy(), 1e-6);
+  Joules disk_sum = 0.0;
+  Joules wnic_sum = 0.0;
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(device::EnergyCategory::kCount); ++i) {
+    const auto c = static_cast<device::EnergyCategory>(i);
+    EXPECT_GE(r.disk_meter[c], 0.0);
+    EXPECT_GE(r.wnic_meter[c], 0.0);
+    disk_sum += r.disk_meter[c];
+    wnic_sum += r.wnic_meter[c];
+  }
+  EXPECT_NEAR(disk_sum, r.disk_energy(), 1e-6);
+  EXPECT_NEAR(wnic_sum, r.wnic_energy(), 1e-6);
+}
+
+TEST_P(PolicyInvariants, PhysicalLowerBoundsHold) {
+  const auto& [scenario_name, policy_name] = GetParam();
+  const auto scenario = scenario_by_name(scenario_name);
+  const auto r = run(scenario, policy_name);
+
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_GT(r.syscalls, 0u);
+  // Both devices burn at least their lowest-power floor over the run.
+  const auto& dp = device::DiskParams::hitachi_dk23da();
+  const auto& wp = device::WnicParams::cisco_aironet350();
+  EXPECT_GE(r.disk_energy(), dp.standby_power * r.makespan * 0.99);
+  EXPECT_GE(r.wnic_energy(), wp.psm_idle_power * r.makespan * 0.99);
+  // And no more than the highest-power ceiling.
+  EXPECT_LE(r.disk_energy(),
+            dp.active_power * r.makespan + 100.0);  // + transition lumps.
+  EXPECT_LE(r.wnic_energy(), wp.cam_send_power * r.makespan + 100.0);
+}
+
+TEST_P(PolicyInvariants, SimulationIsDeterministic) {
+  const auto& [scenario_name, policy_name] = GetParam();
+  const auto scenario = scenario_by_name(scenario_name);
+  const auto a = run(scenario, policy_name);
+  const auto b = run(scenario, policy_name);
+  EXPECT_DOUBLE_EQ(a.total_energy(), b.total_energy());
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.disk_requests, b.disk_requests);
+  EXPECT_EQ(a.net_requests, b.net_requests);
+  EXPECT_EQ(a.syscalls, b.syscalls);
+}
+
+TEST_P(PolicyInvariants, RequestAccountingIsCoherent) {
+  const auto& [scenario_name, policy_name] = GetParam();
+  const auto scenario = scenario_by_name(scenario_name);
+  const auto r = run(scenario, policy_name);
+  EXPECT_EQ(r.disk_requests, r.disk_counters.requests);
+  EXPECT_EQ(r.net_requests, r.wnic_counters.requests);
+  EXPECT_EQ(r.disk_bytes,
+            r.disk_counters.bytes_read + r.disk_counters.bytes_written);
+  EXPECT_EQ(r.net_bytes,
+            r.wnic_counters.bytes_received + r.wnic_counters.bytes_sent);
+  // Cache lookups happen for every demanded page.
+  EXPECT_GT(r.cache_stats.lookups, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenariosAllPolicies, PolicyInvariants,
+    ::testing::Combine(
+        ::testing::Values("grep+make", "mplayer", "thunderbird",
+                          "forced-spinup", "stale-acroread"),
+        ::testing::Values("flexfetch", "flexfetch-static", "bluefs",
+                          "disk-only", "wnic-only", "oracle")),
+    [](const ::testing::TestParamInfo<Combo>& param_info) {
+      std::string s =
+          std::get<0>(param_info.param) + "_" + std::get<1>(param_info.param);
+      for (auto& c : s) {
+        if (c == '+' || c == '-' || c == '/') c = '_';
+      }
+      return s;
+    });
+
+// ---------------------------------------------------------------------------
+// Monotonicity sweeps over network conditions.
+
+class LatencySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LatencySweep, WnicOnlyNeverGetsCheaperWithMoreLatency) {
+  const auto scenario = workloads::scenario_thunderbird(1);
+  sim::SimConfig base;
+  base.wnic = base.wnic.with_latency(units::ms(GetParam()));
+  sim::SimConfig slower;
+  slower.wnic = slower.wnic.with_latency(units::ms(GetParam() + 10.0));
+  const Joules e1 = run(scenario, "wnic-only", base).total_energy();
+  const Joules e2 = run(scenario, "wnic-only", slower).total_energy();
+  EXPECT_LE(e1, e2 * 1.001);
+}
+
+TEST_P(LatencySweep, DiskOnlyIsLatencyInsensitive) {
+  const auto scenario = workloads::scenario_mplayer(1);
+  sim::SimConfig config;
+  config.wnic = config.wnic.with_latency(units::ms(GetParam()));
+  const Joules e = run(scenario, "disk-only", config).total_energy();
+  sim::SimConfig fast;
+  const Joules e0 = run(scenario, "disk-only", fast).total_energy();
+  EXPECT_NEAR(e, e0, 0.01 * e0);
+}
+
+TEST_P(LatencySweep, FlexFetchStaysWithinLossBoundOfBestFixed) {
+  const auto scenario = workloads::scenario_grep_make(1);
+  sim::SimConfig config;
+  config.wnic = config.wnic.with_latency(units::ms(GetParam()));
+  const Joules ff = run(scenario, "flexfetch", config).total_energy();
+  const Joules disk = run(scenario, "disk-only", config).total_energy();
+  const Joules wnic = run(scenario, "wnic-only", config).total_energy();
+  EXPECT_LT(ff, 1.20 * std::min(disk, wnic));
+}
+
+INSTANTIATE_TEST_SUITE_P(Latencies, LatencySweep,
+                         ::testing::Values(0.0, 5.0, 15.0, 30.0));
+
+class BandwidthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BandwidthSweep, WnicOnlyNeverGetsCheaperWithLessBandwidth) {
+  const auto scenario = workloads::scenario_mplayer(1);
+  sim::SimConfig base;
+  base.wnic = base.wnic.with_bandwidth_mbps(GetParam());
+  sim::SimConfig faster;
+  faster.wnic = faster.wnic.with_bandwidth_mbps(GetParam() * 2.0);
+  const Joules slow_e = run(scenario, "wnic-only", base).total_energy();
+  const Joules fast_e = run(scenario, "wnic-only", faster).total_energy();
+  EXPECT_GE(slow_e, fast_e * 0.999);
+}
+
+TEST_P(BandwidthSweep, FlexFetchNeverLosesBadlyToBothFixedPolicies) {
+  const auto scenario = workloads::scenario_mplayer(1);
+  sim::SimConfig config;
+  config.wnic = config.wnic.with_bandwidth_mbps(GetParam());
+  const Joules ff = run(scenario, "flexfetch", config).total_energy();
+  const Joules disk = run(scenario, "disk-only", config).total_energy();
+  const Joules wnic = run(scenario, "wnic-only", config).total_energy();
+  EXPECT_LT(ff, 1.20 * std::min(disk, wnic));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths80211b, BandwidthSweep,
+                         ::testing::Values(1.0, 2.0, 5.5, 11.0));
+
+// ---------------------------------------------------------------------------
+// Loss-rate sweep: the knob must be honoured.
+
+class LossRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossRateSweep, MakespanLossStaysNearTheConfiguredBound) {
+  const auto scenario = workloads::scenario_grep_make(1);
+  const double loss_rate = GetParam();
+  auto ff = policies::make_policy("flexfetch", scenario.profiles, nullptr,
+                                  loss_rate);
+  sim::Simulator sf(sim::SimConfig{}, scenario.programs, *ff);
+  const auto ff_result = sf.run();
+  const auto disk_result = run(scenario, "disk-only");
+  // The paper's rule bounds the I/O-time extension per stage; end-to-end
+  // makespan (which includes identical think times) must stay within a
+  // comfortable envelope of the bound.
+  EXPECT_LT(ff_result.makespan,
+            disk_result.makespan * (1.0 + loss_rate + 0.25));
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossRateSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5));
+
+}  // namespace
+}  // namespace flexfetch

@@ -1,0 +1,168 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace flexfetch::trace {
+namespace {
+
+SyscallRecord rec(Seconds t, OpType op, Inode ino, Bytes off, Bytes size,
+                  Seconds dur = 0.0) {
+  SyscallRecord r;
+  r.pid = 100;
+  r.pgid = 100;
+  r.inode = ino;
+  r.offset = off;
+  r.size = size;
+  r.op = op;
+  r.timestamp = t;
+  r.duration = dur;
+  return r;
+}
+
+TEST(Record, OpToString) {
+  EXPECT_STREQ(to_string(OpType::kOpen), "open");
+  EXPECT_STREQ(to_string(OpType::kClose), "close");
+  EXPECT_STREQ(to_string(OpType::kRead), "read");
+  EXPECT_STREQ(to_string(OpType::kWrite), "write");
+  EXPECT_STREQ(to_string(OpType::kSeek), "seek");
+}
+
+TEST(Record, DataTransferClassification) {
+  EXPECT_TRUE(rec(0, OpType::kRead, 1, 0, 10).is_data_transfer());
+  EXPECT_TRUE(rec(0, OpType::kWrite, 1, 0, 10).is_data_transfer());
+  EXPECT_FALSE(rec(0, OpType::kOpen, 1, 0, 0).is_data_transfer());
+  EXPECT_FALSE(rec(0, OpType::kSeek, 1, 0, 0).is_data_transfer());
+}
+
+TEST(Record, EndOffset) {
+  EXPECT_EQ(rec(0, OpType::kRead, 1, 100, 50).end_offset(), 150u);
+}
+
+TEST(Trace, PushBackKeepsOrder) {
+  Trace t("t");
+  t.push_back(rec(1.0, OpType::kRead, 1, 0, 10));
+  t.push_back(rec(0.5, OpType::kRead, 2, 0, 10));  // Out of order on purpose.
+  t.push_back(rec(2.0, OpType::kRead, 3, 0, 10));
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t[0].timestamp, 0.5);
+  EXPECT_DOUBLE_EQ(t[1].timestamp, 1.0);
+  EXPECT_DOUBLE_EQ(t[2].timestamp, 2.0);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Trace, RejectsZeroSizeTransfer) {
+  Trace t;
+  EXPECT_THROW(t.push_back(rec(0.0, OpType::kRead, 1, 0, 0)), TraceError);
+  EXPECT_NO_THROW(t.push_back(rec(0.0, OpType::kOpen, 1, 0, 0)));
+}
+
+TEST(Trace, RejectsNegativeTimestamp) {
+  Trace t;
+  EXPECT_THROW(t.push_back(rec(-1.0, OpType::kRead, 1, 0, 8)), TraceError);
+}
+
+TEST(Trace, StartAndEndTimes) {
+  Trace t;
+  t.push_back(rec(1.0, OpType::kRead, 1, 0, 10, 0.5));
+  t.push_back(rec(3.0, OpType::kRead, 1, 10, 10, 0.25));
+  EXPECT_DOUBLE_EQ(t.start_time(), 1.0);
+  EXPECT_DOUBLE_EQ(t.end_time(), 3.25);
+}
+
+TEST(Trace, EmptyTimes) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.start_time(), 0.0);
+  EXPECT_DOUBLE_EQ(t.end_time(), 0.0);
+}
+
+TEST(Trace, StatsCountsReadsAndWrites) {
+  Trace t;
+  t.push_back(rec(0.0, OpType::kRead, 1, 0, 100));
+  t.push_back(rec(1.0, OpType::kWrite, 2, 0, 50));
+  t.push_back(rec(2.0, OpType::kRead, 1, 100, 100));
+  t.push_back(rec(3.0, OpType::kOpen, 3, 0, 0));
+  const TraceStats s = t.stats();
+  EXPECT_EQ(s.records, 4u);
+  EXPECT_EQ(s.reads, 2u);
+  EXPECT_EQ(s.writes, 1u);
+  EXPECT_EQ(s.bytes_read, 200u);
+  EXPECT_EQ(s.bytes_written, 50u);
+  EXPECT_EQ(s.distinct_files, 2u);  // Only data-transfer files counted.
+  EXPECT_EQ(s.footprint, 200u + 50u);
+}
+
+TEST(Trace, FileSetIgnoresNonTransfers) {
+  Trace t;
+  t.push_back(rec(0.0, OpType::kOpen, 9, 0, 0));
+  t.push_back(rec(1.0, OpType::kRead, 1, 0, 10));
+  const auto files = t.file_set();
+  EXPECT_EQ(files.size(), 1u);
+  EXPECT_TRUE(files.contains(1u));
+}
+
+TEST(Trace, FileExtentsTrackMaxEndOffset) {
+  Trace t;
+  t.push_back(rec(0.0, OpType::kRead, 1, 0, 100));
+  t.push_back(rec(1.0, OpType::kRead, 1, 500, 100));
+  t.push_back(rec(2.0, OpType::kRead, 1, 50, 10));
+  const auto extents = t.file_extents();
+  EXPECT_EQ(extents.at(1), 600u);
+}
+
+TEST(Trace, ShiftMovesAllTimestamps) {
+  Trace t;
+  t.push_back(rec(1.0, OpType::kRead, 1, 0, 10));
+  t.push_back(rec(2.0, OpType::kRead, 1, 10, 10));
+  t.shift(5.0);
+  EXPECT_DOUBLE_EQ(t.start_time(), 6.0);
+  t.shift(-6.0);
+  EXPECT_DOUBLE_EQ(t.start_time(), 0.0);
+}
+
+TEST(Trace, ShiftRejectsNegativeResult) {
+  Trace t;
+  t.push_back(rec(1.0, OpType::kRead, 1, 0, 10));
+  EXPECT_THROW(t.shift(-2.0), TraceError);
+}
+
+TEST(Trace, MergeInterleavesByTimestamp) {
+  Trace a;
+  a.push_back(rec(0.0, OpType::kRead, 1, 0, 10));
+  a.push_back(rec(2.0, OpType::kRead, 1, 10, 10));
+  Trace b;
+  b.push_back(rec(1.0, OpType::kRead, 2, 0, 10));
+  a.merge(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[1].inode, 2u);
+}
+
+TEST(Trace, AppendAfterPlacesSecondTraceAfterFirst) {
+  Trace a;
+  a.push_back(rec(0.0, OpType::kRead, 1, 0, 10, 1.0));
+  Trace b;
+  b.push_back(rec(100.0, OpType::kRead, 2, 0, 10));
+  a.append_after(b, 2.0);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a[1].timestamp, 3.0);  // end (1.0) + gap (2.0).
+}
+
+TEST(Trace, ValidateDetectsNegativeDuration) {
+  Trace t;
+  auto r = rec(0.0, OpType::kRead, 1, 0, 10);
+  r.duration = -1.0;
+  t.push_back(r);
+  EXPECT_THROW(t.validate(), TraceError);
+}
+
+TEST(Record, ToStringMentionsFields) {
+  const std::string s = to_string(rec(1.5, OpType::kWrite, 42, 100, 200));
+  EXPECT_NE(s.find("write"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("200"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexfetch::trace

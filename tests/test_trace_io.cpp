@@ -1,0 +1,92 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "trace/builder.hpp"
+
+namespace flexfetch::trace {
+namespace {
+
+Trace sample_trace() {
+  TraceBuilder b("sample");
+  b.process(7, 8);
+  b.open(1);
+  b.read(1, 0, 4096, 0.001);
+  b.think(0.5);
+  b.write(2, 100, 512, 0.002);
+  b.close(1);
+  return b.build();
+}
+
+TEST(TraceIo, RoundTripPreservesRecords) {
+  const Trace original = sample_trace();
+  std::stringstream ss;
+  write_trace(ss, original);
+  const Trace loaded = read_trace(ss);
+  EXPECT_EQ(loaded.name(), "sample");
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].op, original[i].op) << i;
+    EXPECT_EQ(loaded[i].inode, original[i].inode) << i;
+    EXPECT_EQ(loaded[i].offset, original[i].offset) << i;
+    EXPECT_EQ(loaded[i].size, original[i].size) << i;
+    EXPECT_EQ(loaded[i].pid, original[i].pid) << i;
+    EXPECT_EQ(loaded[i].pgid, original[i].pgid) << i;
+    EXPECT_NEAR(loaded[i].timestamp, original[i].timestamp, 1e-9) << i;
+    EXPECT_NEAR(loaded[i].duration, original[i].duration, 1e-9) << i;
+  }
+}
+
+TEST(TraceIo, RejectsEmptyStream) {
+  std::stringstream ss;
+  EXPECT_THROW(read_trace(ss), TraceError);
+}
+
+TEST(TraceIo, RejectsBadHeader) {
+  std::stringstream ss("not a trace\n");
+  EXPECT_THROW(read_trace(ss), TraceError);
+}
+
+TEST(TraceIo, RejectsWrongFieldCount) {
+  std::stringstream ss("# flexfetch-trace v1 name=x\n1.0,read,1,1\n");
+  EXPECT_THROW(read_trace(ss), TraceError);
+}
+
+TEST(TraceIo, RejectsUnknownOp) {
+  std::stringstream ss(
+      "# flexfetch-trace v1 name=x\n1.0,frobnicate,1,1,3,5,0,10,0.0\n");
+  EXPECT_THROW(read_trace(ss), TraceError);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::stringstream ss(
+      "# flexfetch-trace v1 name=x\n"
+      "\n"
+      "# a comment\n"
+      "1.0,read,1,1,3,5,0,10,0.0\n");
+  const Trace t = read_trace(ss);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TraceIo, SaveAndLoadFile) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "flexfetch_trace_io_test.csv")
+          .string();
+  const Trace original = sample_trace();
+  save_trace(path, original);
+  const Trace loaded = load_trace(path);
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.name(), original.name());
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/path/trace.csv"), TraceError);
+}
+
+}  // namespace
+}  // namespace flexfetch::trace

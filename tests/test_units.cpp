@@ -1,0 +1,61 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexfetch {
+namespace {
+
+TEST(Units, ByteConstants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+  EXPECT_EQ(kPageSize, 4096u);
+  EXPECT_EQ(kMaxPrefetchWindow, 128u * 1024u);
+}
+
+TEST(Units, MbpsIsDecimalMegabitsPerSecond) {
+  EXPECT_DOUBLE_EQ(units::mbps(11.0), 11e6 / 8.0);
+  EXPECT_DOUBLE_EQ(units::mbps(1.0), 125000.0);
+}
+
+TEST(Units, MbPerSIsDecimalMegabytes) {
+  EXPECT_DOUBLE_EQ(units::mb_per_s(35.0), 35e6);
+}
+
+TEST(Units, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(units::ms(13.0), 0.013);
+  EXPECT_DOUBLE_EQ(units::us(500.0), 0.0005);
+  EXPECT_DOUBLE_EQ(units::minutes(2.0), 120.0);
+}
+
+TEST(Units, SizeHelpers) {
+  EXPECT_EQ(units::kib(16), 16u * 1024u);
+  EXPECT_EQ(units::mib(3), 3u * 1024u * 1024u);
+}
+
+TEST(Units, PagesForRoundsUp) {
+  EXPECT_EQ(pages_for(0), 0u);
+  EXPECT_EQ(pages_for(1), 1u);
+  EXPECT_EQ(pages_for(4096), 1u);
+  EXPECT_EQ(pages_for(4097), 2u);
+  EXPECT_EQ(pages_for(128 * kKiB), 32u);
+}
+
+TEST(Units, TransferTime) {
+  EXPECT_DOUBLE_EQ(transfer_time(35'000'000, units::mb_per_s(35.0)), 1.0);
+  EXPECT_DOUBLE_EQ(transfer_time(0, units::mbps(11.0)), 0.0);
+  // Zero bandwidth treated as instantaneous rather than dividing by zero.
+  EXPECT_DOUBLE_EQ(transfer_time(1024, 0.0), 0.0);
+}
+
+TEST(Units, TransferTime11MbpsOf128KiB) {
+  // 128 KiB at 11 Mbps is ~95 ms: the WNIC is an order of magnitude slower
+  // than the disk for bulk data, which drives the paper's trade-off.
+  const Seconds t = transfer_time(128 * kKiB, units::mbps(11.0));
+  EXPECT_NEAR(t, 0.0953, 0.0005);
+  const Seconds disk = transfer_time(128 * kKiB, units::mb_per_s(35.0));
+  EXPECT_LT(disk, t / 20.0);
+}
+
+}  // namespace
+}  // namespace flexfetch
