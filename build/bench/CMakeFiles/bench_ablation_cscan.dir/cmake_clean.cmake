@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cscan.dir/bench_ablation_cscan.cpp.o"
+  "CMakeFiles/bench_ablation_cscan.dir/bench_ablation_cscan.cpp.o.d"
+  "bench_ablation_cscan"
+  "bench_ablation_cscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

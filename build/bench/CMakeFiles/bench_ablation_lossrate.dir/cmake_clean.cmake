@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lossrate.dir/bench_ablation_lossrate.cpp.o"
+  "CMakeFiles/bench_ablation_lossrate.dir/bench_ablation_lossrate.cpp.o.d"
+  "bench_ablation_lossrate"
+  "bench_ablation_lossrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lossrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

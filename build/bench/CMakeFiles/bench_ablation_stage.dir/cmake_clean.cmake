@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stage.dir/bench_ablation_stage.cpp.o"
+  "CMakeFiles/bench_ablation_stage.dir/bench_ablation_stage.cpp.o.d"
+  "bench_ablation_stage"
+  "bench_ablation_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_grep_make.dir/bench_fig1_grep_make.cpp.o"
+  "CMakeFiles/bench_fig1_grep_make.dir/bench_fig1_grep_make.cpp.o.d"
+  "bench_fig1_grep_make"
+  "bench_fig1_grep_make.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_grep_make.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_mplayer.dir/bench_fig2_mplayer.cpp.o"
+  "CMakeFiles/bench_fig2_mplayer.dir/bench_fig2_mplayer.cpp.o.d"
+  "bench_fig2_mplayer"
+  "bench_fig2_mplayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_mplayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_thunderbird.dir/bench_fig3_thunderbird.cpp.o"
+  "CMakeFiles/bench_fig3_thunderbird.dir/bench_fig3_thunderbird.cpp.o.d"
+  "bench_fig3_thunderbird"
+  "bench_fig3_thunderbird.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_thunderbird.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

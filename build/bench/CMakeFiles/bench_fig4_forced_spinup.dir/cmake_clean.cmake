@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_forced_spinup.dir/bench_fig4_forced_spinup.cpp.o"
+  "CMakeFiles/bench_fig4_forced_spinup.dir/bench_fig4_forced_spinup.cpp.o.d"
+  "bench_fig4_forced_spinup"
+  "bench_fig4_forced_spinup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_forced_spinup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

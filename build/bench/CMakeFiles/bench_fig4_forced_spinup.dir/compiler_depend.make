@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_forced_spinup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_acroread.dir/bench_fig5_acroread.cpp.o"
+  "CMakeFiles/bench_fig5_acroread.dir/bench_fig5_acroread.cpp.o.d"
+  "bench_fig5_acroread"
+  "bench_fig5_acroread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_acroread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexfetch_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/flexfetch_bench_harness.dir/harness.cpp.o.d"
+  "libflexfetch_bench_harness.a"
+  "libflexfetch_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexfetch_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoard_planner.dir/hoard_planner.cpp.o"
+  "CMakeFiles/hoard_planner.dir/hoard_planner.cpp.o.d"
+  "hoard_planner"
+  "hoard_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoard_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

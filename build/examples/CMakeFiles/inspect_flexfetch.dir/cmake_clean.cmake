@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_flexfetch.dir/inspect_flexfetch.cpp.o"
+  "CMakeFiles/inspect_flexfetch.dir/inspect_flexfetch.cpp.o.d"
+  "inspect_flexfetch"
+  "inspect_flexfetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_flexfetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

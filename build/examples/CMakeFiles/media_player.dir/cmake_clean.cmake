@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_player.dir/media_player.cpp.o"
+  "CMakeFiles/media_player.dir/media_player.cpp.o.d"
+  "media_player"
+  "media_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

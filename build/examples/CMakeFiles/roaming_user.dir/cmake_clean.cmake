@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roaming_user.dir/roaming_user.cpp.o"
+  "CMakeFiles/roaming_user.dir/roaming_user.cpp.o.d"
+  "roaming_user"
+  "roaming_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roaming_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexfetch_common.dir/error.cpp.o"
+  "CMakeFiles/flexfetch_common.dir/error.cpp.o.d"
+  "CMakeFiles/flexfetch_common.dir/format.cpp.o"
+  "CMakeFiles/flexfetch_common.dir/format.cpp.o.d"
+  "CMakeFiles/flexfetch_common.dir/stats.cpp.o"
+  "CMakeFiles/flexfetch_common.dir/stats.cpp.o.d"
+  "libflexfetch_common.a"
+  "libflexfetch_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexfetch_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/burst.cpp" "src/core/CMakeFiles/flexfetch_core.dir/burst.cpp.o" "gcc" "src/core/CMakeFiles/flexfetch_core.dir/burst.cpp.o.d"
+  "/root/repo/src/core/decision.cpp" "src/core/CMakeFiles/flexfetch_core.dir/decision.cpp.o" "gcc" "src/core/CMakeFiles/flexfetch_core.dir/decision.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/flexfetch_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/flexfetch_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/flexfetch.cpp" "src/core/CMakeFiles/flexfetch_core.dir/flexfetch.cpp.o" "gcc" "src/core/CMakeFiles/flexfetch_core.dir/flexfetch.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/flexfetch_core.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/flexfetch_core.dir/profile.cpp.o.d"
+  "/root/repo/src/core/profile_store.cpp" "src/core/CMakeFiles/flexfetch_core.dir/profile_store.cpp.o" "gcc" "src/core/CMakeFiles/flexfetch_core.dir/profile_store.cpp.o.d"
+  "/root/repo/src/core/stage.cpp" "src/core/CMakeFiles/flexfetch_core.dir/stage.cpp.o" "gcc" "src/core/CMakeFiles/flexfetch_core.dir/stage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flexfetch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/flexfetch_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/flexfetch_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/flexfetch_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexfetch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hoard/CMakeFiles/flexfetch_hoard.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexfetch_core.dir/burst.cpp.o"
+  "CMakeFiles/flexfetch_core.dir/burst.cpp.o.d"
+  "CMakeFiles/flexfetch_core.dir/decision.cpp.o"
+  "CMakeFiles/flexfetch_core.dir/decision.cpp.o.d"
+  "CMakeFiles/flexfetch_core.dir/estimator.cpp.o"
+  "CMakeFiles/flexfetch_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/flexfetch_core.dir/flexfetch.cpp.o"
+  "CMakeFiles/flexfetch_core.dir/flexfetch.cpp.o.d"
+  "CMakeFiles/flexfetch_core.dir/profile.cpp.o"
+  "CMakeFiles/flexfetch_core.dir/profile.cpp.o.d"
+  "CMakeFiles/flexfetch_core.dir/profile_store.cpp.o"
+  "CMakeFiles/flexfetch_core.dir/profile_store.cpp.o.d"
+  "CMakeFiles/flexfetch_core.dir/stage.cpp.o"
+  "CMakeFiles/flexfetch_core.dir/stage.cpp.o.d"
+  "libflexfetch_core.a"
+  "libflexfetch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexfetch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/adaptive_timeout.cpp" "src/device/CMakeFiles/flexfetch_device.dir/adaptive_timeout.cpp.o" "gcc" "src/device/CMakeFiles/flexfetch_device.dir/adaptive_timeout.cpp.o.d"
+  "/root/repo/src/device/disk.cpp" "src/device/CMakeFiles/flexfetch_device.dir/disk.cpp.o" "gcc" "src/device/CMakeFiles/flexfetch_device.dir/disk.cpp.o.d"
+  "/root/repo/src/device/energy_meter.cpp" "src/device/CMakeFiles/flexfetch_device.dir/energy_meter.cpp.o" "gcc" "src/device/CMakeFiles/flexfetch_device.dir/energy_meter.cpp.o.d"
+  "/root/repo/src/device/params.cpp" "src/device/CMakeFiles/flexfetch_device.dir/params.cpp.o" "gcc" "src/device/CMakeFiles/flexfetch_device.dir/params.cpp.o.d"
+  "/root/repo/src/device/wnic.cpp" "src/device/CMakeFiles/flexfetch_device.dir/wnic.cpp.o" "gcc" "src/device/CMakeFiles/flexfetch_device.dir/wnic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flexfetch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexfetch_device.dir/adaptive_timeout.cpp.o"
+  "CMakeFiles/flexfetch_device.dir/adaptive_timeout.cpp.o.d"
+  "CMakeFiles/flexfetch_device.dir/disk.cpp.o"
+  "CMakeFiles/flexfetch_device.dir/disk.cpp.o.d"
+  "CMakeFiles/flexfetch_device.dir/energy_meter.cpp.o"
+  "CMakeFiles/flexfetch_device.dir/energy_meter.cpp.o.d"
+  "CMakeFiles/flexfetch_device.dir/params.cpp.o"
+  "CMakeFiles/flexfetch_device.dir/params.cpp.o.d"
+  "CMakeFiles/flexfetch_device.dir/wnic.cpp.o"
+  "CMakeFiles/flexfetch_device.dir/wnic.cpp.o.d"
+  "libflexfetch_device.a"
+  "libflexfetch_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexfetch_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

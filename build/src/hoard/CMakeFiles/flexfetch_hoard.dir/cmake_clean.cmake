@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexfetch_hoard.dir/hoard_set.cpp.o"
+  "CMakeFiles/flexfetch_hoard.dir/hoard_set.cpp.o.d"
+  "CMakeFiles/flexfetch_hoard.dir/sync.cpp.o"
+  "CMakeFiles/flexfetch_hoard.dir/sync.cpp.o.d"
+  "libflexfetch_hoard.a"
+  "libflexfetch_hoard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexfetch_hoard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

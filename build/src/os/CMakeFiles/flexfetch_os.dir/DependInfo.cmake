@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/buffer_cache.cpp" "src/os/CMakeFiles/flexfetch_os.dir/buffer_cache.cpp.o" "gcc" "src/os/CMakeFiles/flexfetch_os.dir/buffer_cache.cpp.o.d"
+  "/root/repo/src/os/file_layout.cpp" "src/os/CMakeFiles/flexfetch_os.dir/file_layout.cpp.o" "gcc" "src/os/CMakeFiles/flexfetch_os.dir/file_layout.cpp.o.d"
+  "/root/repo/src/os/io_scheduler.cpp" "src/os/CMakeFiles/flexfetch_os.dir/io_scheduler.cpp.o" "gcc" "src/os/CMakeFiles/flexfetch_os.dir/io_scheduler.cpp.o.d"
+  "/root/repo/src/os/process.cpp" "src/os/CMakeFiles/flexfetch_os.dir/process.cpp.o" "gcc" "src/os/CMakeFiles/flexfetch_os.dir/process.cpp.o.d"
+  "/root/repo/src/os/readahead.cpp" "src/os/CMakeFiles/flexfetch_os.dir/readahead.cpp.o" "gcc" "src/os/CMakeFiles/flexfetch_os.dir/readahead.cpp.o.d"
+  "/root/repo/src/os/vfs.cpp" "src/os/CMakeFiles/flexfetch_os.dir/vfs.cpp.o" "gcc" "src/os/CMakeFiles/flexfetch_os.dir/vfs.cpp.o.d"
+  "/root/repo/src/os/writeback.cpp" "src/os/CMakeFiles/flexfetch_os.dir/writeback.cpp.o" "gcc" "src/os/CMakeFiles/flexfetch_os.dir/writeback.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flexfetch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/flexfetch_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/flexfetch_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexfetch_os.dir/buffer_cache.cpp.o"
+  "CMakeFiles/flexfetch_os.dir/buffer_cache.cpp.o.d"
+  "CMakeFiles/flexfetch_os.dir/file_layout.cpp.o"
+  "CMakeFiles/flexfetch_os.dir/file_layout.cpp.o.d"
+  "CMakeFiles/flexfetch_os.dir/io_scheduler.cpp.o"
+  "CMakeFiles/flexfetch_os.dir/io_scheduler.cpp.o.d"
+  "CMakeFiles/flexfetch_os.dir/process.cpp.o"
+  "CMakeFiles/flexfetch_os.dir/process.cpp.o.d"
+  "CMakeFiles/flexfetch_os.dir/readahead.cpp.o"
+  "CMakeFiles/flexfetch_os.dir/readahead.cpp.o.d"
+  "CMakeFiles/flexfetch_os.dir/vfs.cpp.o"
+  "CMakeFiles/flexfetch_os.dir/vfs.cpp.o.d"
+  "CMakeFiles/flexfetch_os.dir/writeback.cpp.o"
+  "CMakeFiles/flexfetch_os.dir/writeback.cpp.o.d"
+  "libflexfetch_os.a"
+  "libflexfetch_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexfetch_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexfetch_policies.dir/bluefs.cpp.o"
+  "CMakeFiles/flexfetch_policies.dir/bluefs.cpp.o.d"
+  "CMakeFiles/flexfetch_policies.dir/factory.cpp.o"
+  "CMakeFiles/flexfetch_policies.dir/factory.cpp.o.d"
+  "CMakeFiles/flexfetch_policies.dir/oracle.cpp.o"
+  "CMakeFiles/flexfetch_policies.dir/oracle.cpp.o.d"
+  "libflexfetch_policies.a"
+  "libflexfetch_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexfetch_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexfetch_sim.dir/results.cpp.o"
+  "CMakeFiles/flexfetch_sim.dir/results.cpp.o.d"
+  "CMakeFiles/flexfetch_sim.dir/simulator.cpp.o"
+  "CMakeFiles/flexfetch_sim.dir/simulator.cpp.o.d"
+  "libflexfetch_sim.a"
+  "libflexfetch_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexfetch_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexfetch_trace.dir/builder.cpp.o"
+  "CMakeFiles/flexfetch_trace.dir/builder.cpp.o.d"
+  "CMakeFiles/flexfetch_trace.dir/strace_import.cpp.o"
+  "CMakeFiles/flexfetch_trace.dir/strace_import.cpp.o.d"
+  "CMakeFiles/flexfetch_trace.dir/trace.cpp.o"
+  "CMakeFiles/flexfetch_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/flexfetch_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/flexfetch_trace.dir/trace_io.cpp.o.d"
+  "libflexfetch_trace.a"
+  "libflexfetch_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexfetch_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexfetch_workloads.dir/generators.cpp.o"
+  "CMakeFiles/flexfetch_workloads.dir/generators.cpp.o.d"
+  "CMakeFiles/flexfetch_workloads.dir/scenarios.cpp.o"
+  "CMakeFiles/flexfetch_workloads.dir/scenarios.cpp.o.d"
+  "libflexfetch_workloads.a"
+  "libflexfetch_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexfetch_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffer_cache.dir/test_buffer_cache.cpp.o"
+  "CMakeFiles/test_buffer_cache.dir/test_buffer_cache.cpp.o.d"
+  "test_buffer_cache"
+  "test_buffer_cache.pdb"
+  "test_buffer_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffer_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

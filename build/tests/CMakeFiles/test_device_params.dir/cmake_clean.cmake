@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_params.dir/test_device_params.cpp.o"
+  "CMakeFiles/test_device_params.dir/test_device_params.cpp.o.d"
+  "test_device_params"
+  "test_device_params.pdb"
+  "test_device_params[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_estimator_consistency.dir/test_estimator_consistency.cpp.o"
+  "CMakeFiles/test_estimator_consistency.dir/test_estimator_consistency.cpp.o.d"
+  "test_estimator_consistency"
+  "test_estimator_consistency.pdb"
+  "test_estimator_consistency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_estimator_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

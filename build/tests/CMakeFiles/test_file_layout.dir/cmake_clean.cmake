@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_file_layout.dir/test_file_layout.cpp.o"
+  "CMakeFiles/test_file_layout.dir/test_file_layout.cpp.o.d"
+  "test_file_layout"
+  "test_file_layout.pdb"
+  "test_file_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_file_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flexfetch.dir/test_flexfetch.cpp.o"
+  "CMakeFiles/test_flexfetch.dir/test_flexfetch.cpp.o.d"
+  "test_flexfetch"
+  "test_flexfetch.pdb"
+  "test_flexfetch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flexfetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hoard.dir/test_hoard.cpp.o"
+  "CMakeFiles/test_hoard.dir/test_hoard.cpp.o.d"
+  "test_hoard"
+  "test_hoard.pdb"
+  "test_hoard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hoard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

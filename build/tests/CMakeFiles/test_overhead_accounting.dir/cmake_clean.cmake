@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overhead_accounting.dir/test_overhead_accounting.cpp.o"
+  "CMakeFiles/test_overhead_accounting.dir/test_overhead_accounting.cpp.o.d"
+  "test_overhead_accounting"
+  "test_overhead_accounting.pdb"
+  "test_overhead_accounting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overhead_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/test_rng.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_rng.dir/test_rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policies/CMakeFiles/flexfetch_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/flexfetch_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/flexfetch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexfetch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/flexfetch_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/flexfetch_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/hoard/CMakeFiles/flexfetch_hoard.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/flexfetch_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexfetch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

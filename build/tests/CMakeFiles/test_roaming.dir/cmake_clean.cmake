@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roaming.dir/test_roaming.cpp.o"
+  "CMakeFiles/test_roaming.dir/test_roaming.cpp.o.d"
+  "test_roaming"
+  "test_roaming.pdb"
+  "test_roaming[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

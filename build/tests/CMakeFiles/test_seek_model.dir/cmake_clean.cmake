@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seek_model.dir/test_seek_model.cpp.o"
+  "CMakeFiles/test_seek_model.dir/test_seek_model.cpp.o.d"
+  "test_seek_model"
+  "test_seek_model.pdb"
+  "test_seek_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seek_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

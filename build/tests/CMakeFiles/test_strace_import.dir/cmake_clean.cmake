@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strace_import.dir/test_strace_import.cpp.o"
+  "CMakeFiles/test_strace_import.dir/test_strace_import.cpp.o.d"
+  "test_strace_import"
+  "test_strace_import.pdb"
+  "test_strace_import[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strace_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

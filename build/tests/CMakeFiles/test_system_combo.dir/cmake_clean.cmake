@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_combo.dir/test_system_combo.cpp.o"
+  "CMakeFiles/test_system_combo.dir/test_system_combo.cpp.o.d"
+  "test_system_combo"
+  "test_system_combo.pdb"
+  "test_system_combo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_combo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wnic.dir/test_wnic.cpp.o"
+  "CMakeFiles/test_wnic.dir/test_wnic.cpp.o.d"
+  "test_wnic"
+  "test_wnic.pdb"
+  "test_wnic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
