@@ -14,17 +14,25 @@ using namespace flexfetch;
 
 namespace {
 
-void run_sweep(const workloads::ScenarioBundle& scenario) {
+void run_lossrate_sweep(const workloads::ScenarioBundle& scenario, int jobs) {
   std::printf("--- %s ---\n", scenario.name.c_str());
   std::printf("%-12s %14s %14s %14s %14s\n", "loss_rate", "energy[J]",
               "makespan[s]", "disk[J]", "wnic[J]");
-  for (const double rate : {0.0, 0.05, 0.10, 0.25, 0.50, 1.0, 4.0}) {
-    core::FlexFetchConfig config;
-    config.loss_rate = rate;
-    core::FlexFetchPolicy policy(config, scenario.profiles);
-    sim::Simulator simulator(sim::SimConfig{}, scenario.programs, policy);
-    const auto r = simulator.run();
-    std::printf("%-12.2f %14.1f %14.1f %14.1f %14.1f\n", rate,
+  const std::vector<double> rates = {0.0, 0.05, 0.10, 0.25, 0.50, 1.0, 4.0};
+  std::vector<sim::SweepCell> cells;
+  for (const double rate : rates) {
+    sim::SweepCell cell;
+    cell.scenario = &scenario;
+    cell.policy = "flexfetch";
+    cell.loss_rate = rate;
+    cell.axis = "loss_rate";
+    cell.axis_value = rate;
+    cells.push_back(std::move(cell));
+  }
+  const auto results = sim::run_sweep(cells, {.jobs = jobs});
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("%-12.2f %14.1f %14.1f %14.1f %14.1f\n", rates[i],
                 r.total_energy(), r.makespan, r.disk_energy(),
                 r.wnic_energy());
   }
@@ -43,10 +51,11 @@ BENCHMARK(BM_LossRateDecision);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs_flag(argc, argv);
   std::printf("=== Ablation A: maximum tolerable performance loss rate ===\n");
   std::printf("(paper uses 25%%; rule 3 of Section 2.2)\n\n");
-  run_sweep(workloads::scenario_grep_make(1));
-  run_sweep(workloads::scenario_mplayer(1));
+  run_lossrate_sweep(workloads::scenario_grep_make(1), jobs);
+  run_lossrate_sweep(workloads::scenario_mplayer(1), jobs);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

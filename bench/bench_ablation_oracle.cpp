@@ -13,21 +13,23 @@ using namespace flexfetch;
 
 namespace {
 
-void run_scenarios() {
+void run_scenarios(int jobs) {
   std::printf("%-24s %12s %12s %12s %12s %10s\n", "scenario", "FlexFetch",
               "Oracle", "Disk-only", "WNIC-only", "FF/Oracle");
   const auto wnic = device::WnicParams::cisco_aironet350();
-  for (const auto& scenario : workloads::all_scenarios(1)) {
-    const double ff =
-        bench::run_once(scenario, "flexfetch", wnic).total_energy();
-    const double oracle =
-        bench::run_once(scenario, "oracle", wnic).total_energy();
-    const double disk =
-        bench::run_once(scenario, "disk-only", wnic).total_energy();
-    const double net =
-        bench::run_once(scenario, "wnic-only", wnic).total_energy();
+  const auto scenarios = workloads::all_scenarios(1);
+  std::vector<const workloads::ScenarioBundle*> refs;
+  for (const auto& s : scenarios) refs.push_back(&s);
+  const auto cells = sim::make_grid(
+      refs, {"flexfetch", "oracle", "disk-only", "wnic-only"}, {wnic});
+  const auto results = sim::run_sweep(cells, {.jobs = jobs});
+  for (std::size_t i = 0; i < results.size(); i += 4) {
+    const double ff = results[i].total_energy();
+    const double oracle = results[i + 1].total_energy();
     std::printf("%-24s %12.1f %12.1f %12.1f %12.1f %10.3f\n",
-                scenario.name.c_str(), ff, oracle, disk, net, ff / oracle);
+                cells[i].scenario->name.c_str(), ff, oracle,
+                results[i + 2].total_energy(), results[i + 3].total_energy(),
+                ff / oracle);
   }
   std::printf("\n");
 }
@@ -45,8 +47,9 @@ BENCHMARK(BM_OracleGrepMake)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs_flag(argc, argv);
   std::printf("=== Ablation D: FlexFetch vs clairvoyant Oracle ===\n\n");
-  run_scenarios();
+  run_scenarios(jobs);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

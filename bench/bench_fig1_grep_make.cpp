@@ -27,6 +27,7 @@ BENCHMARK(BM_SimulateGrepMakeFlexFetch)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   bench::SweepSpec spec;
+  spec.jobs = bench::parse_jobs_flag(argc, argv);
   spec.policies = {"flexfetch", "bluefs", "disk-only", "wnic-only"};
   bench::print_figure("Figure 1 (grep+make)", workloads::scenario_grep_make(1),
                       spec);

@@ -27,6 +27,7 @@ BENCHMARK(BM_SimulateMplayerFlexFetch)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   bench::SweepSpec spec;
+  spec.jobs = bench::parse_jobs_flag(argc, argv);
   spec.policies = {"flexfetch", "bluefs", "disk-only", "wnic-only"};
   bench::print_figure("Figure 2 (mplayer)", workloads::scenario_mplayer(1),
                       spec);

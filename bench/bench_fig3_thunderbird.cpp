@@ -28,6 +28,7 @@ BENCHMARK(BM_SimulateThunderbirdFlexFetch)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   bench::SweepSpec spec;
+  spec.jobs = bench::parse_jobs_flag(argc, argv);
   spec.policies = {"flexfetch", "bluefs", "disk-only", "wnic-only"};
   bench::print_figure("Figure 3 (Thunderbird)",
                       workloads::scenario_thunderbird(1), spec);

@@ -29,6 +29,7 @@ BENCHMARK(BM_SimulateAcroreadFlexFetch)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   bench::SweepSpec spec;
+  spec.jobs = bench::parse_jobs_flag(argc, argv);
   spec.policies = {"flexfetch", "flexfetch-static", "bluefs", "disk-only",
                    "wnic-only"};
   bench::print_figure("Figure 5 (Acroread, stale profile)",

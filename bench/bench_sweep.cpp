@@ -1,0 +1,159 @@
+// Full evaluation-grid sweep driver: every Section 3.3 scenario under the
+// standard policy set across all 17 WNIC sweep points, fanned out by the
+// parallel sweep engine.
+//
+//   ./build/bench/bench_sweep [--jobs N] [--policies a,b,c] [--seed S]
+//                             [--out FILE] [--no-serial]
+//
+// Runs the grid once serially (jobs=1, the baseline) and once with N
+// workers, verifies the parallel results are bit-identical to the serial
+// ones, and writes a machine-readable BENCH_sweep.json with per-cell
+// energy/time plus the wall-clock speedup — the perf trajectory record
+// tracked across PRs.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "policies/factory.hpp"
+#include "sim/sweep.hpp"
+#include "workloads/scenarios.hpp"
+
+using namespace flexfetch;
+
+namespace {
+
+double wall_seconds_since(
+    std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(pos));
+      break;
+    }
+    out.push_back(s.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Field-by-field equality over everything the JSON emitter records.
+bool results_identical(const sim::SimResult& a, const sim::SimResult& b) {
+  return a.policy == b.policy && a.makespan == b.makespan &&
+         a.io_time == b.io_time && a.total_energy() == b.total_energy() &&
+         a.disk_energy() == b.disk_energy() &&
+         a.wnic_energy() == b.wnic_energy() && a.syscalls == b.syscalls &&
+         a.disk_requests == b.disk_requests &&
+         a.net_requests == b.net_requests && a.disk_bytes == b.disk_bytes &&
+         a.net_bytes == b.net_bytes;
+}
+
+}  // namespace
+
+int run(int argc, char** argv);
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_sweep: %s\n", e.what());
+    return 1;
+  }
+}
+
+int run(int argc, char** argv) {
+  int jobs = bench::parse_jobs_flag(argc, argv);
+  std::uint64_t seed = 1;
+  std::string out_path = "BENCH_sweep.json";
+  std::vector<std::string> policy_names = policies::standard_policy_names();
+  bool run_serial_baseline = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--policies") == 0 && i + 1 < argc) {
+      policy_names = split_csv(argv[++i]);
+    } else if (std::strcmp(argv[i], "--no-serial") == 0) {
+      run_serial_baseline = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs N] [--policies a,b,c] [--seed S] "
+                   "[--out FILE] [--no-serial]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  jobs = sim::resolve_jobs(jobs);
+
+  const auto scenarios = workloads::all_scenarios(seed);
+  bench::SweepSpec spec;
+  spec.policies = policy_names;
+
+  std::vector<sim::SweepCell> cells;
+  for (const auto& scenario : scenarios) {
+    auto figure = bench::figure_cells(scenario, spec);
+    cells.insert(cells.end(), figure.begin(), figure.end());
+  }
+  std::printf("sweep grid: %zu scenarios x %zu policies x %zu points = %zu "
+              "cells, jobs=%d\n",
+              scenarios.size(), spec.policies.size(),
+              spec.latencies_ms.size() + spec.bandwidths_mbps.size(),
+              cells.size(), jobs);
+
+  sim::SweepRunInfo info;
+  info.jobs = jobs;
+
+  std::vector<sim::SimResult> serial;
+  if (run_serial_baseline) {
+    const auto t0 = std::chrono::steady_clock::now();
+    serial = sim::run_sweep(cells, {.jobs = 1});
+    info.serial_wall_seconds = wall_seconds_since(t0);
+    std::printf("serial  (jobs=1): %.2f s\n", info.serial_wall_seconds);
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto parallel = sim::run_sweep(cells, {.jobs = jobs});
+  info.wall_seconds = wall_seconds_since(t1);
+  std::printf("parallel (jobs=%d): %.2f s", jobs, info.wall_seconds);
+  if (run_serial_baseline) std::printf("  speedup=%.2fx", info.speedup());
+  std::printf("\n");
+
+  if (run_serial_baseline) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (!results_identical(serial[i], parallel[i])) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION at cell %zu (%s / %s): parallel "
+                     "result differs from serial baseline\n",
+                     i, cells[i].scenario->name.c_str(),
+                     cells[i].policy.c_str());
+        return 1;
+      }
+    }
+    std::printf("determinism: parallel results identical to serial baseline "
+                "(%zu cells)\n",
+                cells.size());
+  }
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  sim::write_sweep_json(os, cells, parallel, info);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

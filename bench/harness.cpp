@@ -1,6 +1,8 @@
 #include "harness.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "policies/factory.hpp"
 
@@ -9,12 +11,11 @@ namespace flexfetch::bench {
 sim::SimResult run_once(const workloads::ScenarioBundle& scenario,
                         const std::string& policy_name,
                         const device::WnicParams& wnic) {
-  sim::SimConfig config;
-  config.wnic = wnic;
-  auto policy = policies::make_policy(policy_name, scenario.profiles,
-                                      &scenario.oracle_future);
-  sim::Simulator simulator(config, scenario.programs, *policy);
-  return simulator.run();
+  sim::SweepCell cell;
+  cell.scenario = &scenario;
+  cell.policy = policy_name;
+  cell.wnic = wnic;
+  return sim::run_cell(cell);
 }
 
 void print_table_header(const std::string& axis,
@@ -28,6 +29,23 @@ void print_table_row(double axis_value, const std::vector<double>& cells) {
   std::printf("%-14.2f", axis_value);
   for (const double v : cells) std::printf(" %14.1f", v);
   std::printf("\n");
+}
+
+int parse_jobs_flag(int& argc, char** argv) {
+  int jobs = 0;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::atoi(argv[i] + 7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return jobs;
 }
 
 namespace {
@@ -48,37 +66,69 @@ std::vector<std::string> display_names(const std::vector<std::string>& names) {
 
 }  // namespace
 
+std::vector<sim::SweepCell> figure_cells(
+    const workloads::ScenarioBundle& scenario, const SweepSpec& spec) {
+  const device::WnicParams base = device::WnicParams::cisco_aironet350();
+  std::vector<sim::SweepCell> cells;
+  cells.reserve((spec.latencies_ms.size() + spec.bandwidths_mbps.size()) *
+                spec.policies.size());
+  for (const double ms : spec.latencies_ms) {
+    for (const auto& p : spec.policies) {
+      sim::SweepCell cell;
+      cell.scenario = &scenario;
+      cell.policy = p;
+      cell.wnic = base.with_latency(units::ms(ms));
+      cell.axis = "latency_ms";
+      cell.axis_value = ms;
+      cells.push_back(std::move(cell));
+    }
+  }
+  for (const double mbps : spec.bandwidths_mbps) {
+    for (const auto& p : spec.policies) {
+      sim::SweepCell cell;
+      cell.scenario = &scenario;
+      cell.policy = p;
+      cell.wnic = base.with_bandwidth_mbps(mbps);
+      cell.axis = "bandwidth_mbps";
+      cell.axis_value = mbps;
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
 void print_figure(const std::string& figure_label,
                   const workloads::ScenarioBundle& scenario,
                   const SweepSpec& spec) {
-  const device::WnicParams base = device::WnicParams::cisco_aironet350();
+  const auto cells = figure_cells(scenario, spec);
+  const auto results = sim::run_sweep(cells, {.jobs = spec.jobs});
 
   std::printf("=== %s : %s ===\n", figure_label.c_str(), scenario.name.c_str());
   std::printf("(energy in joules; rows are the sweep axis)\n\n");
 
+  // Results arrive in the same row-major (axis point, policy) order the
+  // cells were built in; walk them back out as table rows.
+  std::size_t i = 0;
   std::printf("(a) WNIC latency sweep at 11 Mbps\n");
   print_table_header("latency[ms]", display_names(spec.policies));
   for (const double ms : spec.latencies_ms) {
-    std::vector<double> cells;
-    cells.reserve(spec.policies.size());
-    for (const auto& p : spec.policies) {
-      cells.push_back(
-          run_once(scenario, p, base.with_latency(units::ms(ms)))
-              .total_energy());
+    std::vector<double> row;
+    row.reserve(spec.policies.size());
+    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+      row.push_back(results[i++].total_energy());
     }
-    print_table_row(ms, cells);
+    print_table_row(ms, row);
   }
 
   std::printf("\n(b) WNIC bandwidth sweep at 1 ms latency\n");
   print_table_header("bw[Mbps]", display_names(spec.policies));
   for (const double mbps : spec.bandwidths_mbps) {
-    std::vector<double> cells;
-    cells.reserve(spec.policies.size());
-    for (const auto& p : spec.policies) {
-      cells.push_back(run_once(scenario, p, base.with_bandwidth_mbps(mbps))
-                          .total_energy());
+    std::vector<double> row;
+    row.reserve(spec.policies.size());
+    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+      row.push_back(results[i++].total_energy());
     }
-    print_table_row(mbps, cells);
+    print_table_row(mbps, row);
   }
   std::printf("\n");
 }

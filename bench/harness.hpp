@@ -1,11 +1,14 @@
 // Shared harness for the per-figure benchmark binaries: runs policy sweeps
-// over WNIC latency and bandwidth and prints the paper-style series.
+// over WNIC latency and bandwidth and prints the paper-style series. The
+// grid is fanned out across worker threads by the sweep engine
+// (sim/sweep.hpp); results are deterministic and printed in grid order.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "workloads/scenarios.hpp"
 
 namespace flexfetch::bench {
@@ -18,6 +21,8 @@ struct SweepSpec {
   std::vector<double> bandwidths_mbps = {1.0, 2.0, 5.5, 11.0};
   /// Policy factory names (see policies::make_policy).
   std::vector<std::string> policies;
+  /// Worker threads; <= 0 resolves FF_JOBS then hardware_concurrency().
+  int jobs = 0;
 };
 
 /// Runs one scenario under one policy with the given WNIC parameters.
@@ -25,8 +30,14 @@ sim::SimResult run_once(const workloads::ScenarioBundle& scenario,
                         const std::string& policy_name,
                         const device::WnicParams& wnic);
 
+/// Builds the figure's (a) latency-panel and (b) bandwidth-panel cells, in
+/// the row-major order print_figure prints them.
+std::vector<sim::SweepCell> figure_cells(
+    const workloads::ScenarioBundle& scenario, const SweepSpec& spec);
+
 /// Prints "(a) energy vs latency" and "(b) energy vs bandwidth" tables for
-/// the scenario — the two panels of each figure in Section 3.3.
+/// the scenario — the two panels of each figure in Section 3.3. Cells run
+/// in parallel per `spec.jobs`.
 void print_figure(const std::string& figure_label,
                   const workloads::ScenarioBundle& scenario,
                   const SweepSpec& spec);
@@ -35,5 +46,9 @@ void print_figure(const std::string& figure_label,
 void print_table_header(const std::string& axis,
                         const std::vector<std::string>& columns);
 void print_table_row(double axis_value, const std::vector<double>& cells);
+
+/// Strips a `--jobs N` flag from argv (so later flag parsers, e.g. google
+/// benchmark, never see it) and returns N; returns 0 if absent.
+int parse_jobs_flag(int& argc, char** argv);
 
 }  // namespace flexfetch::bench

@@ -1,34 +1,49 @@
 // Runs every Section 3.3 scenario under the full policy set at the default
 // network conditions (11 Mbps, 1 ms) and prints an energy comparison table.
+// The (scenario, policy) grid is fanned out by the parallel sweep engine.
 //
-//   ./build/examples/compare_policies [seed]
+//   ./build/examples/compare_policies [seed] [--jobs N]
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/format.hpp"
-#include "policies/factory.hpp"
-#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "workloads/scenarios.hpp"
 
 int main(int argc, char** argv) {
   using namespace flexfetch;
-  const std::uint64_t seed =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  std::uint64_t seed = 1;
+  int jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else {
+      seed = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
 
   const std::vector<std::string> policy_names = {
       "flexfetch", "flexfetch-static", "bluefs", "disk-only", "wnic-only",
       "oracle"};
 
-  for (const auto& scenario : workloads::all_scenarios(seed)) {
+  const auto scenarios = workloads::all_scenarios(seed);
+  std::vector<const workloads::ScenarioBundle*> refs;
+  refs.reserve(scenarios.size());
+  for (const auto& s : scenarios) refs.push_back(&s);
+
+  const auto cells = sim::make_grid(
+      refs, policy_names, {device::WnicParams::cisco_aironet350()});
+  const auto results = sim::run_sweep(cells, {.jobs = jobs});
+
+  std::size_t i = 0;
+  for (const auto& scenario : scenarios) {
     std::printf("=== %s ===\n", scenario.name.c_str());
     std::printf("%-18s %12s %12s %12s %10s\n", "policy", "energy", "disk",
                 "wnic", "makespan");
-    for (const auto& name : policy_names) {
-      auto policy = policies::make_policy(name, scenario.profiles,
-                                          &scenario.oracle_future);
-      sim::Simulator simulator(sim::SimConfig{}, scenario.programs, *policy);
-      const sim::SimResult r = simulator.run();
+    for (std::size_t p = 0; p < policy_names.size(); ++p) {
+      const sim::SimResult& r = results[i++];
       std::printf("%-18s %12s %12s %12s %10s\n", r.policy.c_str(),
                   format_joules(r.total_energy()).c_str(),
                   format_joules(r.disk_energy()).c_str(),

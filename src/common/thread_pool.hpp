@@ -1,0 +1,119 @@
+// Fixed-size worker pool with a single FIFO task queue.
+//
+// Built for the sweep engine (sim/sweep.hpp): sweep cells are coarse,
+// independent jobs, so a plain mutex-protected queue is plenty — workers
+// pull the next task when free, which is work-stealing-equivalent for
+// tasks this size. Results stay deterministic because callers index their
+// output slots by submission order, never by completion order.
+//
+// Exceptions thrown by a task are captured in its future and rethrown at
+// get(), so parallel_for can propagate the first failure to the caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace flexfetch {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` uses default_concurrency(). A 1-thread pool executes
+  /// tasks strictly in submission order (FIFO queue, single consumer).
+  explicit ThreadPool(unsigned threads = 0) {
+    if (threads == 0) threads = default_concurrency();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Hardware concurrency, never less than 1.
+  static unsigned default_concurrency() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+  /// Enqueues `fn` and returns a future for its result. The future holds
+  /// any exception the task throws.
+  template <typename Fn>
+  std::future<std::invoke_result_t<Fn>> submit(Fn&& fn) {
+    using R = std::invoke_result_t<Fn>;
+    // packaged_task is move-only; std::function requires copyable targets.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ set and drained.
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Runs fn(0) .. fn(n-1) on the pool and blocks until all complete.
+/// If any invocation throws, rethrows the lowest-index exception after
+/// every task has finished (no task is cancelled mid-flight).
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  std::vector<std::future<void>> pending;
+  pending.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pending.push_back(pool.submit([i, &fn] { fn(i); }));
+  }
+  std::exception_ptr first;
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace flexfetch

@@ -50,11 +50,7 @@ std::vector<DirtyPage> BufferCache::write(const PageId& id, Seconds now) {
   auto it = table_.find(id);
   if (it != table_.end()) {
     Entry& e = it->second;
-    if (!e.dirty) {
-      e.dirty = true;
-      e.dirtied_at = now;
-      ++dirty_count_;
-    }
+    if (!e.dirty) mark_dirty(id, e, now);
     if (e.queue == Queue::kAm) am_.splice(am_.begin(), am_, e.pos);
     return flushed;
   }
@@ -62,14 +58,23 @@ std::vector<DirtyPage> BufferCache::write(const PageId& id, Seconds now) {
   return flushed;
 }
 
+void BufferCache::mark_dirty(const PageId& id, Entry& e, Seconds now) {
+  e.dirty = true;
+  e.dirtied_at = now;
+  // Simulation time only moves forward, so this is an O(1) append on the
+  // hot path; the backward scan runs only for out-of-order timestamps
+  // (direct API use) and keeps the sorted-by-age invariant regardless.
+  auto pos = dirty_.end();
+  while (pos != dirty_.begin() && std::prev(pos)->dirtied_at > now) --pos;
+  e.dirty_pos = dirty_.insert(pos, DirtyPage{id, now});
+}
+
 void BufferCache::insert_new(const PageId& id, bool dirty, Seconds now,
                              std::vector<DirtyPage>& flushed) {
   make_room(flushed);
   ++stats_.insertions;
   Entry e;
-  e.dirty = dirty;
-  e.dirtied_at = dirty ? now : 0.0;
-  if (dirty) ++dirty_count_;
+  if (dirty) mark_dirty(id, e, now);
   auto ghost = ghost_table_.find(id);
   if (ghost != ghost_table_.end()) {
     // Re-reference of a recently evicted page: admit straight to Am.
@@ -106,7 +111,7 @@ void BufferCache::evict(const PageId& id, std::vector<DirtyPage>& flushed) {
   Entry& e = it->second;
   if (e.dirty) {
     flushed.push_back(DirtyPage{id, e.dirtied_at});
-    --dirty_count_;
+    dirty_.erase(e.dirty_pos);
   }
   if (e.queue == Queue::kA1in) {
     a1in_.erase(e.pos);
@@ -129,30 +134,26 @@ void BufferCache::push_ghost(const PageId& id) {
 void BufferCache::mark_clean(const PageId& id) {
   auto it = table_.find(id);
   if (it == table_.end()) return;
-  if (it->second.dirty) {
-    it->second.dirty = false;
-    --dirty_count_;
+  Entry& e = it->second;
+  if (e.dirty) {
+    e.dirty = false;
+    dirty_.erase(e.dirty_pos);
   }
 }
 
 std::vector<DirtyPage> BufferCache::dirty_pages() const {
-  std::vector<DirtyPage> out;
-  out.reserve(dirty_count_);
-  for (const auto& [id, e] : table_) {
-    if (e.dirty) out.push_back(DirtyPage{id, e.dirtied_at});
-  }
-  std::sort(out.begin(), out.end(), [](const DirtyPage& a, const DirtyPage& b) {
-    return a.dirtied_at < b.dirtied_at;
-  });
-  return out;
+  return {dirty_.begin(), dirty_.end()};
 }
 
 std::vector<DirtyPage> BufferCache::dirty_pages_older_than(Seconds now,
                                                            Seconds min_age) const {
-  std::vector<DirtyPage> out = dirty_pages();
-  std::erase_if(out, [&](const DirtyPage& d) {
-    return now - d.dirtied_at < min_age;
-  });
+  std::vector<DirtyPage> out;
+  if (dirty_.empty()) return out;
+  // The list is ordered by dirtied_at, so eligible pages form a prefix.
+  for (const DirtyPage& d : dirty_) {
+    if (now - d.dirtied_at < min_age) break;
+    out.push_back(d);
+  }
   return out;
 }
 
@@ -160,9 +161,9 @@ void BufferCache::clear() {
   a1in_.clear();
   am_.clear();
   a1out_.clear();
+  dirty_.clear();
   table_.clear();
   ghost_table_.clear();
-  dirty_count_ = 0;
 }
 
 }  // namespace flexfetch::os

@@ -73,15 +73,18 @@ class BufferCache {
   /// Marks a page clean after its write-back completed.
   void mark_clean(const PageId& id);
 
-  /// All dirty pages, oldest first.
+  /// All dirty pages, oldest first. O(dirty) — reads the insertion-ordered
+  /// dirty list (dirtied_at is monotone in simulation time, so insertion
+  /// order IS age order).
   std::vector<DirtyPage> dirty_pages() const;
 
   /// Dirty pages whose age at `now` is at least `min_age`, oldest first.
+  /// O(matches) — a prefix scan of the dirty list.
   std::vector<DirtyPage> dirty_pages_older_than(Seconds now, Seconds min_age) const;
 
   std::size_t size() const { return table_.size(); }
   std::size_t capacity() const { return capacity_; }
-  std::size_t dirty_count() const { return dirty_count_; }
+  std::size_t dirty_count() const { return dirty_.size(); }
   const CacheStats& stats() const { return stats_; }
 
   /// Drops every page (clean and dirty) — test helper / remount semantics.
@@ -95,7 +98,11 @@ class BufferCache {
     std::list<PageId>::iterator pos;
     bool dirty = false;
     Seconds dirtied_at = 0.0;
+    /// Valid iff dirty: this page's node in dirty_ (O(1) mark_clean/evict).
+    std::list<DirtyPage>::iterator dirty_pos;
   };
+
+  void mark_dirty(const PageId& id, Entry& e, Seconds now);
 
   /// Ensures a free slot, evicting per 2Q; collects evicted dirty pages.
   void make_room(std::vector<DirtyPage>& flushed);
@@ -111,9 +118,12 @@ class BufferCache {
   std::list<PageId> a1in_;  ///< front = newest, back = FIFO eviction end.
   std::list<PageId> am_;    ///< front = MRU, back = LRU.
   std::list<PageId> a1out_;  ///< ghost ids, front = newest.
+  /// Dirty pages in dirtying order (front = oldest). Simulation time only
+  /// moves forward, so the list stays sorted by dirtied_at without ever
+  /// being resorted; the flusher's age queries become prefix scans.
+  std::list<DirtyPage> dirty_;
   std::unordered_map<PageId, Entry, PageIdHash> table_;
   std::unordered_map<PageId, std::list<PageId>::iterator, PageIdHash> ghost_table_;
-  std::size_t dirty_count_ = 0;
   CacheStats stats_;
 };
 

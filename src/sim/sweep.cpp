@@ -1,0 +1,128 @@
+#include "sim/sweep.hpp"
+
+#include <cstdlib>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+#include "policies/factory.hpp"
+
+namespace flexfetch::sim {
+
+int resolve_jobs(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("FF_JOBS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return static_cast<int>(ThreadPool::default_concurrency());
+}
+
+SimResult run_cell(const SweepCell& cell) {
+  FF_REQUIRE(cell.scenario != nullptr, "sweep: cell has no scenario");
+  SimConfig config = cell.config;
+  config.wnic = cell.wnic;
+  auto policy = policies::make_policy(cell.policy, cell.scenario->profiles,
+                                      &cell.scenario->oracle_future,
+                                      cell.loss_rate);
+  Simulator simulator(config, cell.scenario->programs, *policy);
+  return simulator.run();
+}
+
+std::vector<SimResult> run_sweep(const std::vector<SweepCell>& cells,
+                                 const SweepOptions& options) {
+  std::vector<SimResult> results(cells.size());
+  const int jobs = resolve_jobs(options.jobs);
+  if (jobs <= 1 || cells.size() <= 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      results[i] = run_cell(cells[i]);
+    }
+    return results;
+  }
+  ThreadPool pool(static_cast<unsigned>(jobs));
+  parallel_for(pool, cells.size(),
+               [&](std::size_t i) { results[i] = run_cell(cells[i]); });
+  return results;
+}
+
+std::vector<SweepCell> make_grid(
+    const std::vector<const workloads::ScenarioBundle*>& scenarios,
+    const std::vector<std::string>& policies,
+    const std::vector<device::WnicParams>& wnics, const SimConfig& base) {
+  std::vector<SweepCell> cells;
+  cells.reserve(scenarios.size() * policies.size() * wnics.size());
+  for (const auto* scenario : scenarios) {
+    for (const auto& policy : policies) {
+      for (const auto& wnic : wnics) {
+        SweepCell cell;
+        cell.scenario = scenario;
+        cell.policy = policy;
+        cell.wnic = wnic;
+        cell.config = base;
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_sweep_json(std::ostream& os, const std::vector<SweepCell>& cells,
+                      const std::vector<SimResult>& results,
+                      const SweepRunInfo& info) {
+  FF_REQUIRE(cells.size() == results.size(),
+             "write_sweep_json: cells/results size mismatch");
+  const unsigned hw = info.hardware_concurrency != 0
+                          ? info.hardware_concurrency
+                          : ThreadPool::default_concurrency();
+  os << "{\n";
+  os << "  \"jobs\": " << info.jobs << ",\n";
+  os << "  \"hardware_concurrency\": " << hw << ",\n";
+  os << "  \"wall_seconds\": " << info.wall_seconds << ",\n";
+  os << "  \"serial_wall_seconds\": " << info.serial_wall_seconds << ",\n";
+  os << "  \"speedup\": " << info.speedup() << ",\n";
+  os << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const SweepCell& c = cells[i];
+    const SimResult& r = results[i];
+    os << "    {\"scenario\": ";
+    write_json_string(os, c.scenario != nullptr ? c.scenario->name : "");
+    os << ", \"policy\": ";
+    write_json_string(os, c.policy);
+    if (!c.axis.empty()) {
+      os << ", \"axis\": ";
+      write_json_string(os, c.axis);
+      os << ", \"axis_value\": " << c.axis_value;
+    }
+    os << ", \"latency_ms\": " << c.wnic.latency * 1e3;
+    os << ", \"bandwidth_mbps\": " << c.wnic.bandwidth / units::mbps(1.0);
+    os << ", \"energy_j\": " << r.total_energy();
+    os << ", \"disk_energy_j\": " << r.disk_energy();
+    os << ", \"wnic_energy_j\": " << r.wnic_energy();
+    os << ", \"makespan_s\": " << r.makespan;
+    os << ", \"io_time_s\": " << r.io_time;
+    os << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+}  // namespace flexfetch::sim

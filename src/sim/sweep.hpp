@@ -1,0 +1,101 @@
+// Parallel sweep engine for the paper's evaluation grids.
+//
+// The whole Section 3.3 evaluation is a grid of independent trace-driven
+// simulations: (scenario, policy, WNIC parameters) cells. Each cell
+// constructs its own Simulator and policy from a shared *read-only*
+// ScenarioBundle, so cells can run concurrently on a thread pool without
+// any synchronisation beyond the task queue.
+//
+// Thread-safety contract: run_sweep may read each ScenarioBundle from many
+// threads at once, so bundles must not be mutated for the duration of the
+// call (they are only read through const references; ScenarioBundle has no
+// mutable members or lazily-populated caches, and every RNG in the stack is
+// an explicitly seeded, per-simulator instance — see DESIGN.md).
+//
+// Determinism guarantee: results are returned in grid (submission) order
+// and each cell's SimResult is bit-identical whether the grid runs on one
+// worker or many — scheduling affects only wall-clock time.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/results.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace flexfetch::sim {
+
+/// One cell of an evaluation grid. `scenario` must outlive the sweep call.
+struct SweepCell {
+  const workloads::ScenarioBundle* scenario = nullptr;
+  /// Policy factory name (see policies::make_policy).
+  std::string policy;
+  device::WnicParams wnic;
+  /// Base simulator configuration; its `wnic` member is replaced by the
+  /// cell's `wnic` above.
+  SimConfig config;
+  /// Maximum tolerable performance loss rate handed to the policy factory
+  /// (FlexFetch variants and Oracle; ignored by the fixed policies).
+  double loss_rate = 0.25;
+  /// Optional sweep-axis annotation carried through to the JSON emitter
+  /// (e.g. axis = "latency_ms", axis_value = 5.0).
+  std::string axis;
+  double axis_value = 0.0;
+};
+
+struct SweepOptions {
+  /// Worker count. <= 0 resolves via the FF_JOBS environment variable,
+  /// falling back to hardware_concurrency(); 1 runs inline on the calling
+  /// thread (the serial baseline).
+  int jobs = 0;
+};
+
+/// Resolves an effective worker count: `requested` if positive, else
+/// FF_JOBS if set to a positive integer, else hardware concurrency.
+int resolve_jobs(int requested);
+
+/// Runs one cell: builds the policy and a fresh Simulator, returns the
+/// result. This is the unit of work the engine fans out.
+SimResult run_cell(const SweepCell& cell);
+
+/// Runs every cell and returns results in grid order (results[i] is
+/// cells[i]). Cells fan out across resolve_jobs(options.jobs) workers;
+/// the first cell failure is rethrown after in-flight cells finish.
+std::vector<SimResult> run_sweep(const std::vector<SweepCell>& cells,
+                                 const SweepOptions& options = {});
+
+/// Cartesian-grid helper: one cell per (scenario, policy, wnic), wnics
+/// innermost — the row-major order the figure tables print in.
+std::vector<SweepCell> make_grid(
+    const std::vector<const workloads::ScenarioBundle*>& scenarios,
+    const std::vector<std::string>& policies,
+    const std::vector<device::WnicParams>& wnics, const SimConfig& base = {});
+
+/// Timing metadata recorded alongside the per-cell results.
+struct SweepRunInfo {
+  int jobs = 1;
+  /// Host cores at measurement time (contextualises the speedup; a 1-core
+  /// host cannot show one). Filled by write_sweep_json if left at 0.
+  unsigned hardware_concurrency = 0;
+  double wall_seconds = 0.0;
+  /// Wall-clock of a jobs=1 reference run of the same grid, if one was
+  /// taken (<= 0 means not measured).
+  double serial_wall_seconds = 0.0;
+
+  double speedup() const {
+    return (serial_wall_seconds > 0.0 && wall_seconds > 0.0)
+               ? serial_wall_seconds / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Emits the machine-readable sweep record: run metadata plus one JSON
+/// object per cell (scenario, policy, wnic point, energy/time). Keys are
+/// stable across PRs so perf trajectories can be diffed.
+void write_sweep_json(std::ostream& os, const std::vector<SweepCell>& cells,
+                      const std::vector<SimResult>& results,
+                      const SweepRunInfo& info);
+
+}  // namespace flexfetch::sim

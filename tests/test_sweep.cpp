@@ -1,0 +1,154 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+#include "device/energy_meter.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace flexfetch {
+namespace {
+
+/// Bit-exact equality over every observable of a SimResult (doubles are
+/// compared with ==: the determinism contract is *identical* results, not
+/// merely close ones).
+void expect_identical(const sim::SimResult& a, const sim::SimResult& b) {
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.io_time, b.io_time);
+  for (std::size_t c = 0;
+       c < static_cast<std::size_t>(device::EnergyCategory::kCount); ++c) {
+    const auto cat = static_cast<device::EnergyCategory>(c);
+    EXPECT_EQ(a.disk_meter[cat], b.disk_meter[cat]) << to_string(cat);
+    EXPECT_EQ(a.wnic_meter[cat], b.wnic_meter[cat]) << to_string(cat);
+  }
+  EXPECT_EQ(a.disk_counters.requests, b.disk_counters.requests);
+  EXPECT_EQ(a.disk_counters.sequential_hits, b.disk_counters.sequential_hits);
+  EXPECT_EQ(a.disk_counters.spin_ups, b.disk_counters.spin_ups);
+  EXPECT_EQ(a.disk_counters.spin_downs, b.disk_counters.spin_downs);
+  EXPECT_EQ(a.disk_counters.bytes_read, b.disk_counters.bytes_read);
+  EXPECT_EQ(a.disk_counters.bytes_written, b.disk_counters.bytes_written);
+  EXPECT_EQ(a.disk_counters.seek_time, b.disk_counters.seek_time);
+  EXPECT_EQ(a.wnic_counters.requests, b.wnic_counters.requests);
+  EXPECT_EQ(a.wnic_counters.psm_transfers, b.wnic_counters.psm_transfers);
+  EXPECT_EQ(a.wnic_counters.wakes, b.wnic_counters.wakes);
+  EXPECT_EQ(a.wnic_counters.sleeps, b.wnic_counters.sleeps);
+  EXPECT_EQ(a.wnic_counters.bytes_sent, b.wnic_counters.bytes_sent);
+  EXPECT_EQ(a.wnic_counters.bytes_received, b.wnic_counters.bytes_received);
+  EXPECT_EQ(a.cache_stats.lookups, b.cache_stats.lookups);
+  EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits);
+  EXPECT_EQ(a.cache_stats.ghost_hits, b.cache_stats.ghost_hits);
+  EXPECT_EQ(a.cache_stats.insertions, b.cache_stats.insertions);
+  EXPECT_EQ(a.cache_stats.evictions, b.cache_stats.evictions);
+  EXPECT_EQ(a.scheduler_stats.submitted, b.scheduler_stats.submitted);
+  EXPECT_EQ(a.scheduler_stats.merged, b.scheduler_stats.merged);
+  EXPECT_EQ(a.scheduler_stats.dispatched, b.scheduler_stats.dispatched);
+  EXPECT_EQ(a.scheduler_stats.sweeps, b.scheduler_stats.sweeps);
+  EXPECT_EQ(a.syscalls, b.syscalls);
+  EXPECT_EQ(a.disk_requests, b.disk_requests);
+  EXPECT_EQ(a.net_requests, b.net_requests);
+  EXPECT_EQ(a.disk_bytes, b.disk_bytes);
+  EXPECT_EQ(a.net_bytes, b.net_bytes);
+  EXPECT_EQ(a.sync_batches, b.sync_batches);
+  EXPECT_EQ(a.sync_bytes, b.sync_bytes);
+}
+
+TEST(Sweep, ParallelGridIsBitIdenticalToSerial) {
+  const auto scenarios = workloads::all_scenarios(1);
+  ASSERT_EQ(scenarios.size(), 5u);
+  std::vector<const workloads::ScenarioBundle*> refs;
+  for (const auto& s : scenarios) refs.push_back(&s);
+
+  const auto cells = sim::make_grid(
+      refs, {"flexfetch", "disk-only"},
+      {device::WnicParams::cisco_aironet350(),
+       device::WnicParams::cisco_aironet350().with_latency(units::ms(20.0))});
+  ASSERT_EQ(cells.size(), 5u * 2u * 2u);
+
+  const auto serial = sim::run_sweep(cells, {.jobs = 1});
+  // On a single-core host hardware_concurrency() is 1; force a genuinely
+  // concurrent pool so the test still exercises cross-thread determinism.
+  const int jobs =
+      std::max(4, static_cast<int>(ThreadPool::default_concurrency()));
+  const auto parallel = sim::run_sweep(cells, {.jobs = jobs});
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(cells[i].scenario->name + " / " + cells[i].policy);
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST(Sweep, RepeatedParallelRunsAgree) {
+  const auto scenario = workloads::scenario_mplayer(1);
+  const auto cells =
+      sim::make_grid({&scenario}, {"flexfetch", "wnic-only"},
+                     {device::WnicParams::cisco_aironet350()});
+  const auto a = sim::run_sweep(cells, {.jobs = 4});
+  const auto b = sim::run_sweep(cells, {.jobs = 4});
+  for (std::size_t i = 0; i < a.size(); ++i) expect_identical(a[i], b[i]);
+}
+
+TEST(Sweep, MakeGridOrdersWnicsInnermost) {
+  const auto scenario = workloads::scenario_mplayer(1);
+  const auto wnics = {device::WnicParams::cisco_aironet350(),
+                      device::WnicParams::cisco_aironet350()
+                          .with_bandwidth_mbps(2.0)};
+  const auto cells =
+      sim::make_grid({&scenario}, {"disk-only", "wnic-only"}, wnics);
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].policy, "disk-only");
+  EXPECT_EQ(cells[1].policy, "disk-only");
+  EXPECT_EQ(cells[2].policy, "wnic-only");
+  EXPECT_EQ(cells[1].wnic.bandwidth, units::mbps(2.0));
+}
+
+TEST(Sweep, UnknownPolicyPropagatesFromWorkers) {
+  const auto scenario = workloads::scenario_mplayer(1);
+  const auto cells = sim::make_grid({&scenario}, {"no-such-policy"},
+                                    {device::WnicParams::cisco_aironet350()});
+  EXPECT_THROW(sim::run_sweep(cells, {.jobs = 1}), ConfigError);
+  EXPECT_THROW(sim::run_sweep(cells, {.jobs = 4}), ConfigError);
+}
+
+TEST(Sweep, ResolveJobsPrefersExplicitThenEnv) {
+  EXPECT_EQ(sim::resolve_jobs(3), 3);
+  ::setenv("FF_JOBS", "7", 1);
+  EXPECT_EQ(sim::resolve_jobs(0), 7);
+  EXPECT_EQ(sim::resolve_jobs(2), 2);
+  ::setenv("FF_JOBS", "not-a-number", 1);
+  EXPECT_EQ(sim::resolve_jobs(0),
+            static_cast<int>(ThreadPool::default_concurrency()));
+  ::unsetenv("FF_JOBS");
+  EXPECT_EQ(sim::resolve_jobs(0),
+            static_cast<int>(ThreadPool::default_concurrency()));
+}
+
+TEST(Sweep, JsonEmitterRecordsCellsAndSpeedup) {
+  const auto scenario = workloads::scenario_mplayer(1);
+  const auto cells = sim::make_grid({&scenario}, {"disk-only"},
+                                    {device::WnicParams::cisco_aironet350()});
+  const auto results = sim::run_sweep(cells, {.jobs = 1});
+  sim::SweepRunInfo info;
+  info.jobs = 4;
+  info.wall_seconds = 2.0;
+  info.serial_wall_seconds = 8.0;
+  std::ostringstream os;
+  sim::write_sweep_json(os, cells, results, info);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"jobs\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"speedup\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"policy\": \"disk-only\""), std::string::npos);
+  EXPECT_NE(json.find("\"scenario\": "), std::string::npos);
+  EXPECT_NE(json.find("\"energy_j\": "), std::string::npos);
+  EXPECT_NE(json.find("\"bandwidth_mbps\": 11"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexfetch

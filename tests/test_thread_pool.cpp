@@ -1,0 +1,88 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace flexfetch {
+namespace {
+
+TEST(ThreadPool, DefaultConcurrencyIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_concurrency(), 1u);
+  ThreadPool pool;
+  EXPECT_EQ(pool.size(), ThreadPool::default_concurrency());
+}
+
+TEST(ThreadPool, SubmitReturnsTaskValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SingleWorkerExecutesInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> pending;
+  for (int i = 0; i < 64; ++i) {
+    pending.push_back(pool.submit([i, &order] { order.push_back(i); }));
+  }
+  for (auto& f : pending) f.get();
+  std::vector<int> expected(64);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 500;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(pool, kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexFailure) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    parallel_for(pool, 32, [&](std::size_t i) {
+      if (i == 3) throw std::invalid_argument("index 3");
+      if (i == 20) throw std::runtime_error("index 20");
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "index 3");
+  }
+  // No task was cancelled: everything except the two throwers ran.
+  EXPECT_EQ(completed.load(), 30);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ran.fetch_add(1);
+      });
+    }
+  }  // join
+  EXPECT_EQ(ran.load(), 100);
+}
+
+}  // namespace
+}  // namespace flexfetch
