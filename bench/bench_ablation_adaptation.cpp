@@ -78,11 +78,13 @@ BENCHMARK(BM_AdaptiveFlexFetchForcedSpinup)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::parse_harness_flags(argc, argv, /*telemetry_flags=*/false);
   std::printf("=== Ablation B: Section 2.3 adaptation mechanisms ===\n\n");
   run_scenario(workloads::scenario_forced_spinup(1));
   run_scenario(workloads::scenario_stale_acroread(1));
   run_scenario(workloads::scenario_thunderbird(1));
   benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 2;
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

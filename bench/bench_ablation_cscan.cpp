@@ -78,10 +78,12 @@ BENCHMARK(BM_ScatterFlushFifo)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::parse_harness_flags(argc, argv, /*telemetry_flags=*/false);
   std::printf("=== Ablation E: C-SCAN elevator vs FIFO dispatch ===\n");
   std::printf("(distance-dependent seek model; scattered write-back batch)\n\n");
   print_comparison();
   benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 2;
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -51,12 +51,14 @@ BENCHMARK(BM_LossRateDecision);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs_flag(argc, argv);
+  const int jobs =
+      bench::parse_harness_flags(argc, argv, /*telemetry_flags=*/false).jobs;
   std::printf("=== Ablation A: maximum tolerable performance loss rate ===\n");
   std::printf("(paper uses 25%%; rule 3 of Section 2.2)\n\n");
   run_lossrate_sweep(workloads::scenario_grep_make(1), jobs);
   run_lossrate_sweep(workloads::scenario_mplayer(1), jobs);
   benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 2;
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -47,10 +47,12 @@ BENCHMARK(BM_OracleGrepMake)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs_flag(argc, argv);
+  const int jobs =
+      bench::parse_harness_flags(argc, argv, /*telemetry_flags=*/false).jobs;
   std::printf("=== Ablation D: FlexFetch vs clairvoyant Oracle ===\n\n");
   run_scenarios(jobs);
   benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 2;
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -67,9 +67,11 @@ BENCHMARK(BM_DecisionEvaluation);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::parse_harness_flags(argc, argv, /*telemetry_flags=*/false);
   std::printf("=== Ablation H: scheme overhead vs energy saved ===\n\n");
   report();
   benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 2;
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -47,11 +47,13 @@ BENCHMARK(BM_StageSegmentation);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::parse_harness_flags(argc, argv, /*telemetry_flags=*/false);
   std::printf("=== Ablation C: evaluation-stage length ===\n");
   std::printf("(paper uses 40 s)\n\n");
   run_sweep(workloads::scenario_grep_make(1));
   run_sweep(workloads::scenario_stale_acroread(1));
   benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 2;
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

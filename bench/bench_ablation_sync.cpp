@@ -60,10 +60,12 @@ BENCHMARK(BM_GrepMakeWithSync)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::parse_harness_flags(argc, argv, /*telemetry_flags=*/false);
   std::printf("=== Ablation F: replica synchronization overhead ===\n\n");
   print_sweep(workloads::scenario_grep_make(1), "flexfetch");
   print_sweep(workloads::scenario_grep_make(1), "disk-only");
   benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 2;
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

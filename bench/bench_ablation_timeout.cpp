@@ -58,11 +58,13 @@ BENCHMARK(BM_AdaptiveTimeoutThunderbird)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::parse_harness_flags(argc, argv, /*telemetry_flags=*/false);
   std::printf("=== Ablation G: disk spin-down timeout (fixed vs adaptive) ===\n\n");
   sweep(workloads::scenario_thunderbird(1), "disk-only");
   sweep(workloads::scenario_mplayer(1), "disk-only");
   sweep(workloads::scenario_thunderbird(1), "flexfetch");
   benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 2;
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

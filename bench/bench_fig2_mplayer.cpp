@@ -27,11 +27,15 @@ BENCHMARK(BM_SimulateMplayerFlexFetch)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   bench::SweepSpec spec;
-  spec.jobs = bench::parse_jobs_flag(argc, argv);
+  const auto opts = bench::parse_harness_flags(argc, argv);
+  spec.jobs = opts.jobs;
+  spec.metrics = opts.metrics;
+  spec.trace_out = opts.trace_out;
   spec.policies = {"flexfetch", "bluefs", "disk-only", "wnic-only"};
   bench::print_figure("Figure 2 (mplayer)", workloads::scenario_mplayer(1),
                       spec);
   benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 2;
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

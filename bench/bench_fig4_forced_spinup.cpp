@@ -29,12 +29,16 @@ BENCHMARK(BM_SimulateForcedSpinupFlexFetch)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   bench::SweepSpec spec;
-  spec.jobs = bench::parse_jobs_flag(argc, argv);
+  const auto opts = bench::parse_harness_flags(argc, argv);
+  spec.jobs = opts.jobs;
+  spec.metrics = opts.metrics;
+  spec.trace_out = opts.trace_out;
   spec.policies = {"flexfetch", "flexfetch-static", "bluefs", "disk-only",
                    "wnic-only"};
   bench::print_figure("Figure 4 (grep+make / xmms)",
                       workloads::scenario_forced_spinup(1), spec);
   benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 2;
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

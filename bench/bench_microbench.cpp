@@ -1,8 +1,19 @@
 // Performance microbenchmarks of the simulation substrates: how fast do
 // the building blocks run? (Simulation throughput is what makes the
 // parameter sweeps in the figure benches cheap.)
+//
+// Also measures the telemetry overhead contract (near-zero when disabled):
+// the same full simulation is timed with telemetry off and on, both results
+// are checked for equality, and the pair is recorded in BENCH_telemetry.json
+// (path overridable with --telemetry-out FILE).
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "core/burst.hpp"
 #include "core/estimator.hpp"
@@ -90,6 +101,114 @@ void BM_FullSimulationDiskOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSimulationDiskOnly)->Unit(benchmark::kMillisecond);
 
+void BM_FullSimulationTelemetryOn(benchmark::State& state) {
+  const auto trace = workloads::grep_trace();
+  sim::SimConfig config;
+  config.telemetry.enabled = true;
+  for (auto _ : state) {
+    policies::DiskOnlyPolicy policy;
+    benchmark::DoNotOptimize(
+        sim::simulate(config, trace, policy).total_energy());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(trace.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_FullSimulationTelemetryOn)->Unit(benchmark::kMillisecond);
+
+/// Min-of-K wall-clock of one full grep simulation under `config`.
+double min_sim_millis(const sim::SimConfig& config, const trace::Trace& trace,
+                      sim::SimResult* out) {
+  constexpr int kRuns = 5;
+  double best = 1e18;
+  for (int i = 0; i < kRuns; ++i) {
+    policies::DiskOnlyPolicy policy;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = sim::simulate(config, trace, policy);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    best = std::min(best, ms);
+    if (out != nullptr) *out = std::move(result);
+  }
+  return best;
+}
+
+/// Times telemetry-off vs telemetry-on, asserts identical simulation
+/// outcomes, and records both in a JSON file diffable across PRs.
+int record_telemetry_overhead(const std::string& out_path) {
+  const auto trace = workloads::grep_trace();
+  sim::SimConfig off;
+  sim::SimConfig on;
+  on.telemetry.enabled = true;
+
+  sim::SimResult r_off, r_on;
+  const double off_ms = min_sim_millis(off, trace, &r_off);
+  const double on_ms = min_sim_millis(on, trace, &r_on);
+
+  const bool identical = r_off.total_energy() == r_on.total_energy() &&
+                         r_off.makespan == r_on.makespan &&
+                         r_off.io_time == r_on.io_time &&
+                         r_off.syscalls == r_on.syscalls &&
+                         r_off.disk_requests == r_on.disk_requests &&
+                         r_off.net_requests == r_on.net_requests;
+  if (!identical) {
+    std::fprintf(stderr,
+                 "TELEMETRY PERTURBATION: enabling telemetry changed the "
+                 "simulation result\n");
+    return 1;
+  }
+
+  const double overhead_pct =
+      off_ms > 0.0 ? (on_ms / off_ms - 1.0) * 100.0 : 0.0;
+  std::printf("telemetry overhead (grep, disk-only, min of 5): "
+              "off=%.2f ms on=%.2f ms (%+.1f%%), results identical\n",
+              off_ms, on_ms, overhead_pct);
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  os << "{\n";
+  os << "  \"scenario\": \"grep (disk-only)\",\n";
+  os << "  \"runs\": 5,\n";
+  os << "  \"telemetry_off_ms\": " << off_ms << ",\n";
+  os << "  \"telemetry_on_ms\": " << on_ms << ",\n";
+  os << "  \"overhead_pct\": " << overhead_pct << ",\n";
+  os << "  \"events_emitted\": " << r_on.metrics.value("telemetry.events_emitted") << ",\n";
+  os << "  \"results_identical\": true\n";
+  os << "}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string telemetry_out = "BENCH_telemetry.json";
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry-out") == 0 && i + 1 < argc) {
+      telemetry_out = argv[++i];
+    } else if (std::strncmp(argv[i], "--telemetry-out=", 16) == 0) {
+      telemetry_out = argv[i] + 16;
+    } else if (std::strncmp(argv[i], "--benchmark_", 12) == 0) {
+      argv[out++] = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--telemetry-out FILE] "
+                           "[--benchmark_*...]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+
+  if (const int rc = record_telemetry_overhead(telemetry_out); rc != 0) {
+    return rc;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 2;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -3,7 +3,8 @@
 // parallel sweep engine.
 //
 //   ./build/bench/bench_sweep [--jobs N] [--policies a,b,c] [--seed S]
-//                             [--out FILE] [--no-serial]
+//                             [--out FILE] [--no-serial] [--metrics]
+//                             [--trace-out FILE]
 //
 // Runs the grid once serially (jobs=1, the baseline) and once with N
 // workers, verifies the parallel results are bit-identical to the serial
@@ -16,12 +17,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "harness.hpp"
 #include "policies/factory.hpp"
 #include "sim/sweep.hpp"
+#include "telemetry/exporters.hpp"
 #include "workloads/scenarios.hpp"
 
 using namespace flexfetch;
@@ -75,13 +78,17 @@ int main(int argc, char** argv) {
 }
 
 int run(int argc, char** argv) {
-  int jobs = bench::parse_jobs_flag(argc, argv);
+  int jobs = 0;
   std::uint64_t seed = 1;
   std::string out_path = "BENCH_sweep.json";
+  std::string trace_out;
+  bool metrics = false;
   std::vector<std::string> policy_names = policies::standard_policy_names();
   bool run_serial_baseline = true;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
@@ -89,10 +96,15 @@ int run(int argc, char** argv) {
       policy_names = split_csv(argv[++i]);
     } else if (std::strcmp(argv[i], "--no-serial") == 0) {
       run_serial_baseline = false;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--policies a,b,c] [--seed S] "
-                   "[--out FILE] [--no-serial]\n",
+                   "[--out FILE] [--no-serial] [--metrics] "
+                   "[--trace-out FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -107,6 +119,18 @@ int run(int argc, char** argv) {
   for (const auto& scenario : scenarios) {
     auto figure = bench::figure_cells(scenario, spec);
     cells.insert(cells.end(), figure.begin(), figure.end());
+  }
+  if (metrics || !trace_out.empty()) {
+    for (auto& cell : cells) {
+      // Metrics-only telemetry: per-cell counters land in the JSON record
+      // without holding hundreds of event buffers.
+      cell.config.telemetry.enabled = true;
+      cell.config.telemetry.ring_capacity = 0;
+    }
+    if (!trace_out.empty()) {
+      cells[0].config.telemetry.ring_capacity =
+          telemetry::TelemetryConfig{}.ring_capacity;
+    }
   }
   std::printf("sweep grid: %zu scenarios x %zu policies x %zu points = %zu "
               "cells, jobs=%d\n",
@@ -155,5 +179,20 @@ int run(int argc, char** argv) {
   }
   sim::write_sweep_json(os, cells, parallel, info);
   std::printf("wrote %s\n", out_path.c_str());
+
+  if (!trace_out.empty()) {
+    std::ofstream trace_os(trace_out);
+    if (!trace_os) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_out.c_str());
+      return 1;
+    }
+    telemetry::write_chrome_trace(
+        trace_os,
+        std::span<const telemetry::TraceEvent>(parallel[0].trace_events),
+        parallel[0].trace_events_dropped, &parallel[0].metrics);
+    std::printf("wrote Chrome trace of cell 0 (%s / %s) to %s\n",
+                cells[0].scenario->name.c_str(), cells[0].policy.c_str(),
+                trace_out.c_str());
+  }
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "common/format.hpp"
 #include "device/disk.hpp"
 #include "device/wnic.hpp"
+#include "harness.hpp"
 #include "workloads/generators.hpp"
 
 using namespace flexfetch;
@@ -118,10 +119,12 @@ BENCHMARK(BM_TraceGeneration);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::parse_harness_flags(argc, argv, /*telemetry_flags=*/false);
   print_table1();
   print_table2();
   print_table3();
   benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 2;
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

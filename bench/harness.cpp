@@ -3,8 +3,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <span>
 
 #include "policies/factory.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace flexfetch::bench {
 
@@ -31,21 +35,36 @@ void print_table_row(double axis_value, const std::vector<double>& cells) {
   std::printf("\n");
 }
 
-int parse_jobs_flag(int& argc, char** argv) {
-  int jobs = 0;
+HarnessOptions parse_harness_flags(int& argc, char** argv,
+                                   bool telemetry_flags) {
+  HarnessOptions opts;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-      jobs = std::atoi(argv[i] + 7);
+    const char* a = argv[i];
+    if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
+      opts.jobs = std::atoi(argv[++i]);
+    } else if (std::strncmp(a, "--jobs=", 7) == 0) {
+      opts.jobs = std::atoi(a + 7);
+    } else if (telemetry_flags && std::strcmp(a, "--metrics") == 0) {
+      opts.metrics = true;
+    } else if (telemetry_flags && std::strcmp(a, "--trace-out") == 0 &&
+               i + 1 < argc) {
+      opts.trace_out = argv[++i];
+    } else if (telemetry_flags && std::strncmp(a, "--trace-out=", 12) == 0) {
+      opts.trace_out = a + 12;
+    } else if (std::strncmp(a, "--benchmark_", 12) == 0) {
+      argv[out++] = argv[i];  // Left for google-benchmark to parse.
     } else {
-      argv[out++] = argv[i];
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], a);
+      std::fprintf(stderr, "usage: %s [--jobs N]%s [--benchmark_*...]\n",
+                   argv[0],
+                   telemetry_flags ? " [--metrics] [--trace-out FILE]" : "");
+      std::exit(2);
     }
   }
   argc = out;
   argv[argc] = nullptr;
-  return jobs;
+  return opts;
 }
 
 namespace {
@@ -62,6 +81,26 @@ std::vector<std::string> display_names(const std::vector<std::string>& names) {
     else out.push_back(n);
   }
   return out;
+}
+
+/// Merges each policy's per-cell metrics and prints one block per policy.
+void print_metrics_summary(const SweepSpec& spec,
+                           const std::vector<sim::SweepCell>& cells,
+                           const std::vector<sim::SimResult>& results) {
+  std::printf("telemetry metrics, merged per policy (%zu cells each; "
+              "counters sum, gauges keep the last cell's value)\n",
+              spec.policies.empty() ? 0 : cells.size() / spec.policies.size());
+  for (const auto& p : spec.policies) {
+    telemetry::MetricsRegistry merged;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i].policy == p) merged.merge(results[i].metrics);
+    }
+    std::printf("[%s]\n", p.c_str());
+    for (const auto& [name, metric] : merged.items()) {
+      std::printf("  %-32s %.6g\n", name.c_str(), metric.value);
+    }
+  }
+  std::printf("\n");
 }
 
 }  // namespace
@@ -100,7 +139,18 @@ std::vector<sim::SweepCell> figure_cells(
 void print_figure(const std::string& figure_label,
                   const workloads::ScenarioBundle& scenario,
                   const SweepSpec& spec) {
-  const auto cells = figure_cells(scenario, spec);
+  auto cells = figure_cells(scenario, spec);
+  if (spec.metrics || !spec.trace_out.empty()) {
+    for (auto& cell : cells) {
+      // Metrics-only mode: exact counters, no per-cell event buffers.
+      cell.config.telemetry.enabled = true;
+      cell.config.telemetry.ring_capacity = 0;
+    }
+    if (!spec.trace_out.empty() && !cells.empty()) {
+      cells[0].config.telemetry.ring_capacity =
+          telemetry::TelemetryConfig{}.ring_capacity;
+    }
+  }
   const auto results = sim::run_sweep(cells, {.jobs = spec.jobs});
 
   std::printf("=== %s : %s ===\n", figure_label.c_str(), scenario.name.c_str());
@@ -131,6 +181,22 @@ void print_figure(const std::string& figure_label,
     print_table_row(mbps, row);
   }
   std::printf("\n");
+
+  if (spec.metrics) print_metrics_summary(spec, cells, results);
+  if (!spec.trace_out.empty() && !results.empty()) {
+    std::ofstream os(spec.trace_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   spec.trace_out.c_str());
+    } else {
+      telemetry::write_chrome_trace(
+          os, std::span<const telemetry::TraceEvent>(results[0].trace_events),
+          results[0].trace_events_dropped, &results[0].metrics);
+      std::printf("wrote Chrome trace of cell 0 (%s / %s) to %s\n",
+                  scenario.name.c_str(), cells[0].policy.c_str(),
+                  spec.trace_out.c_str());
+    }
+  }
 }
 
 }  // namespace flexfetch::bench

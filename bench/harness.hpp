@@ -23,6 +23,12 @@ struct SweepSpec {
   std::vector<std::string> policies;
   /// Worker threads; <= 0 resolves FF_JOBS then hardware_concurrency().
   int jobs = 0;
+  /// Collect per-cell telemetry metrics (metrics-only mode, no event
+  /// buffers) and print a merged per-policy summary after the figure.
+  bool metrics = false;
+  /// If non-empty, record full events for the figure's first cell and
+  /// write them there as Chrome trace_event JSON (chrome://tracing).
+  std::string trace_out;
 };
 
 /// Runs one scenario under one policy with the given WNIC parameters.
@@ -47,8 +53,22 @@ void print_table_header(const std::string& axis,
                         const std::vector<std::string>& columns);
 void print_table_row(double axis_value, const std::vector<double>& cells);
 
-/// Strips a `--jobs N` flag from argv (so later flag parsers, e.g. google
-/// benchmark, never see it) and returns N; returns 0 if absent.
-int parse_jobs_flag(int& argc, char** argv);
+/// Flags shared by the bench binaries, parsed by parse_harness_flags.
+struct HarnessOptions {
+  int jobs = 0;
+  bool metrics = false;
+  std::string trace_out;
+};
+
+/// Parses and strips the harness flags from argv:
+///   --jobs N        sweep worker threads
+///   --metrics       per-cell telemetry metrics + merged summary
+///   --trace-out F   Chrome trace of the first sweep cell (telemetry_flags)
+/// `--benchmark_*` flags are left in argv for google-benchmark. Any other
+/// argument prints a usage message and exits with status 2 — unknown flags
+/// are never silently ignored. Binaries without a telemetry surface pass
+/// telemetry_flags = false so --metrics/--trace-out are rejected too.
+HarnessOptions parse_harness_flags(int& argc, char** argv,
+                                   bool telemetry_flags = true);
 
 }  // namespace flexfetch::bench

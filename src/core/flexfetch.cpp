@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace flexfetch::core {
 
@@ -84,6 +85,19 @@ DeviceKind FlexFetchPolicy::evaluate(std::span<const IOBurst> bursts,
                                          .disk = disk,
                                          .network = net,
                                          .decision = decision});
+  if (auto* rec = ctx.recorder()) {
+    rec->instant(telemetry::Category::kPolicy,
+                 origin == DecisionRecord::Origin::kStageEntry
+                     ? "decision.stage"
+                     : "decision.splice",
+                 telemetry::track::kPolicy, now,
+                 {telemetry::num_arg("stage", static_cast<double>(stage_idx_)),
+                  telemetry::num_arg("disk_t_s", disk.time),
+                  telemetry::num_arg("disk_e_j", disk.energy),
+                  telemetry::num_arg("net_t_s", net.time),
+                  telemetry::num_arg("net_e_j", net.energy),
+                  telemetry::str_arg("choice", device::to_string(decision))});
+  }
   return decision;
 }
 
@@ -106,6 +120,14 @@ void FlexFetchPolicy::enter_stage(sim::SimContext& ctx) {
   }
   choice_ = trust_profile_ ? profile_choice_ : forced_device_;
   stage_choices_.push_back(choice_);
+  if (auto* rec = ctx.recorder()) {
+    rec->instant(telemetry::Category::kPolicy, "stage.enter",
+                 telemetry::track::kPolicy, now,
+                 {telemetry::num_arg("stage", static_cast<double>(stage_idx_)),
+                  telemetry::str_arg("choice", device::to_string(choice_)),
+                  telemetry::num_arg("trust_profile",
+                                     trust_profile_ ? 1.0 : 0.0)});
+  }
 
   if (config_.adapt_stage_audit) {
     shadow_disk_ = ctx.disk();
@@ -143,6 +165,7 @@ void FlexFetchPolicy::finish_stage(sim::SimContext& ctx) {
     const Estimate& net_est =
         choice_ == DeviceKind::kDisk ? alternative : actual;
     DeviceKind winner = decide_source(disk_est, net_est, config_.loss_rate);
+    const DeviceKind measured_winner = winner;
     // Hysteresis: only declare the alternative the winner when it is
     // materially better, so near-ties do not cause flip-flopping (each flip
     // risks a spin-up or a mode switch). A decisive loss (a clear regime
@@ -163,8 +186,29 @@ void FlexFetchPolicy::finish_stage(sim::SimContext& ctx) {
     } else {
       consecutive_audit_losses_ = 0;
     }
+    if (auto* rec = ctx.recorder()) {
+      // audit.win/loss reports the measured verdict (before hysteresis);
+      // profile.override below marks the verdicts that actually take effect.
+      rec->instant(
+          telemetry::Category::kPolicy,
+          measured_winner == choice_ ? "audit.win" : "audit.loss",
+          telemetry::track::kPolicy, now,
+          {telemetry::num_arg("stage", static_cast<double>(stage_idx_)),
+           telemetry::num_arg("actual_t_s", actual.time),
+           telemetry::num_arg("actual_e_j", actual.energy),
+           telemetry::num_arg("alt_t_s", alternative.time),
+           telemetry::num_arg("alt_e_j", alternative.energy),
+           telemetry::str_arg("winner", device::to_string(winner))});
+    }
     if (winner != choice_) {
       ++stats_.audit_overrides;
+      if (auto* rec = ctx.recorder()) {
+        rec->instant(
+            telemetry::Category::kPolicy, "profile.override",
+            telemetry::track::kPolicy, now,
+            {telemetry::num_arg("stage", static_cast<double>(stage_idx_)),
+             telemetry::str_arg("to", device::to_string(winner))});
+      }
     }
     if (std::getenv("FF_DEBUG_AUDIT") != nullptr) {
       std::fprintf(stderr,
@@ -181,6 +225,12 @@ void FlexFetchPolicy::finish_stage(sim::SimContext& ctx) {
     // profile used for the next stage").
     trust_profile_ = (winner == profile_choice_);
     forced_device_ = winner;
+  }
+  if (auto* rec = ctx.recorder()) {
+    rec->span(telemetry::Category::kPolicy, "stage", telemetry::track::kPolicy,
+              stage_entry_time_, now,
+              {telemetry::num_arg("stage", static_cast<double>(stage_idx_)),
+               telemetry::str_arg("choice", device::to_string(choice_))});
   }
   ++stage_idx_;
 }
@@ -243,6 +293,13 @@ void FlexFetchPolicy::maybe_splice_reevaluate(Seconds now,
     choice_ = decision;
     profile_choice_ = decision;
     ++stats_.splice_switches;
+    if (auto* rec = ctx.recorder()) {
+      rec->instant(
+          telemetry::Category::kPolicy, "splice.switch",
+          telemetry::track::kPolicy, now,
+          {telemetry::num_arg("stage", static_cast<double>(stage_idx_)),
+           telemetry::str_arg("to", device::to_string(decision))});
+    }
   }
 }
 
@@ -272,6 +329,10 @@ DeviceKind FlexFetchPolicy::select(const sim::RequestContext& /*req*/,
                                    sim::SimContext& ctx) {
   if (choice_ == DeviceKind::kNetwork && free_rider_active(ctx.now(), ctx)) {
     ++stats_.free_rider_redirects;
+    if (auto* rec = ctx.recorder()) {
+      rec->instant(telemetry::Category::kPolicy, "free_ride",
+                   telemetry::track::kPolicy, ctx.now());
+    }
     return DeviceKind::kDisk;
   }
   return choice_;
@@ -313,6 +374,21 @@ void FlexFetchPolicy::observe(const sim::RequestContext& req,
     last_actual_completion_ = result.completion;
     ++stats_.shadow_requests_replayed;
   }
+}
+
+void FlexFetchPolicy::export_metrics(telemetry::MetricsRegistry& m) const {
+  const auto num = [](std::uint64_t v) { return static_cast<double>(v); };
+  m.add("ff.stages_entered", num(stats_.stages_entered));
+  m.add("ff.splice_reevaluations", num(stats_.splice_reevaluations));
+  m.add("ff.splice_switches", num(stats_.splice_switches));
+  m.add("ff.audit_overrides", num(stats_.audit_overrides));
+  m.add("ff.free_rider_redirects", num(stats_.free_rider_redirects));
+  m.add("ff.cache_filtered_requests", num(stats_.cache_filtered_requests));
+  m.add("ff.estimator_requests_replayed",
+        num(stats_.estimator_requests_replayed));
+  m.add("ff.shadow_requests_replayed", num(stats_.shadow_requests_replayed));
+  m.add("ff.syscalls_tracked", num(stats_.syscalls_tracked));
+  m.set("ff.overhead_energy_j", overhead_energy());
 }
 
 void FlexFetchPolicy::end(sim::SimContext& ctx) {

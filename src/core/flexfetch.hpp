@@ -131,6 +131,7 @@ class FlexFetchPolicy : public sim::Policy {
                const device::ServiceResult& result,
                sim::SimContext& ctx) override;
   void end(sim::SimContext& ctx) override;
+  void export_metrics(telemetry::MetricsRegistry& metrics) const override;
   std::string name() const override;
 
   // Introspection.

@@ -18,8 +18,29 @@ const char* to_string(DiskState s) {
 
 Disk::Disk(DiskParams params) : params_(params) { params_.validate(); }
 
+void Disk::attach_telemetry(telemetry::Recorder* rec) {
+  telem_.attach(rec);
+  state_since_ = now_;
+}
+
+void Disk::note_state_end(DiskState ended, Seconds until) {
+  if (telem_) {
+    telem_->span(telemetry::Category::kDisk, to_string(ended),
+                 telemetry::track::kDiskPower, state_since_, until);
+  }
+  state_since_ = until;
+}
+
+void Disk::flush_telemetry() {
+  if (!telem_) return;
+  telem_->span(telemetry::Category::kDisk, to_string(state_),
+               telemetry::track::kDiskPower, state_since_, now_);
+  state_since_ = now_;
+}
+
 void Disk::begin_spin_down() {
   FF_ASSERT(state_ == DiskState::kIdle);
+  note_state_end(DiskState::kIdle, now_);
   meter_.add(EnergyCategory::kSpinDown, params_.spin_down_energy);
   ++counters_.spin_downs;
   state_ = DiskState::kSpinningDown;
@@ -28,6 +49,7 @@ void Disk::begin_spin_down() {
 
 void Disk::begin_spin_up() {
   FF_ASSERT(state_ == DiskState::kStandby);
+  note_state_end(DiskState::kStandby, now_);
   meter_.add(EnergyCategory::kSpinUp, params_.spin_up_energy);
   ++counters_.spin_ups;
   state_ = DiskState::kSpinningUp;
@@ -54,7 +76,10 @@ void Disk::advance_to(Seconds t) {
         // Transition energy was charged as a lump at begin_spin_down().
         const Seconds step = std::min(t, transition_end_);
         now_ = step;
-        if (now_ >= transition_end_) state_ = DiskState::kStandby;
+        if (now_ >= transition_end_) {
+          note_state_end(DiskState::kSpinningDown, now_);
+          state_ = DiskState::kStandby;
+        }
         break;
       }
       case DiskState::kStandby: {
@@ -66,6 +91,7 @@ void Disk::advance_to(Seconds t) {
         const Seconds step = std::min(t, transition_end_);
         now_ = step;
         if (now_ >= transition_end_) {
+          note_state_end(DiskState::kSpinningUp, now_);
           state_ = DiskState::kIdle;
           idle_since_ = now_;
         }
@@ -131,11 +157,21 @@ ServiceResult Disk::service(Seconds t, const DeviceRequest& req) {
   busy_until_ = now_;
   next_sequential_lba_ = req.lba + req.size;
 
+  const Joules energy = meter_.total() - energy_before;
+  if (telem_) {
+    telem_->span(telemetry::Category::kDisk,
+                 req.is_write ? "disk.write" : "disk.read",
+                 telemetry::track::kDiskIo, arrival, now_,
+                 {telemetry::num_arg("lba", static_cast<double>(req.lba)),
+                  telemetry::num_arg("bytes", static_cast<double>(req.size)),
+                  telemetry::num_arg("energy_j", energy)});
+  }
+
   return ServiceResult{
       .arrival = arrival,
       .start = start,
       .completion = now_,
-      .energy = meter_.total() - energy_before,
+      .energy = energy,
   };
 }
 
@@ -147,9 +183,17 @@ ServiceResult Disk::estimate(Seconds t, const DeviceRequest& req) const {
 void Disk::force_spin_up(Seconds t) {
   advance_to(std::max(t, now_));
   if (state_ == DiskState::kStandby) {
+    if (telem_) {
+      telem_->instant(telemetry::Category::kDisk, "disk.force_spin_up",
+                      telemetry::track::kDiskPower, now_);
+    }
     begin_spin_up();
   } else if (state_ == DiskState::kSpinningDown) {
     advance_to(transition_end_);
+    if (telem_) {
+      telem_->instant(telemetry::Category::kDisk, "disk.force_spin_up",
+                      telemetry::track::kDiskPower, now_);
+    }
     begin_spin_up();
   }
   // kIdle / kSpinningUp: already (heading) up; nothing to do.

@@ -17,6 +17,7 @@
 #include "device/disk_params.hpp"
 #include "device/energy_meter.hpp"
 #include "device/request.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace flexfetch::device {
 
@@ -90,9 +91,22 @@ class Disk {
   /// the disk is mid-transition into an already-committed spin-down.
   void set_spin_down_timeout(Seconds timeout);
 
+  /// Attaches this disk to a telemetry recorder: power-state spans land on
+  /// the disk.power track, service spans on disk.io. Copies of the disk
+  /// (estimator replicas, audit shadows) are always detached, so only the
+  /// live device narrates the timeline.
+  void attach_telemetry(telemetry::Recorder* rec);
+
+  /// Closes the open power-state span at now() — call once at end of run,
+  /// after the final advance_to().
+  void flush_telemetry();
+
  private:
   void begin_spin_down();
   void begin_spin_up();
+  /// Emits the span of the power state ending at `until` (no-op when
+  /// detached) and restarts span tracking there.
+  void note_state_end(DiskState ended, Seconds until);
   /// Brings the disk to the spinning (kIdle) state, waiting out or paying
   /// for whatever transitions are needed. Returns when state_ == kIdle.
   void make_ready();
@@ -106,6 +120,8 @@ class Disk {
   std::optional<Bytes> next_sequential_lba_;
   EnergyMeter meter_;
   DiskCounters counters_;
+  telemetry::RecorderHandle telem_;
+  Seconds state_since_ = 0.0;  ///< Start of the current power-state span.
 };
 
 }  // namespace flexfetch::device

@@ -18,8 +18,29 @@ const char* to_string(WnicState s) {
 
 Wnic::Wnic(WnicParams params) : params_(params) { params_.validate(); }
 
+void Wnic::attach_telemetry(telemetry::Recorder* rec) {
+  telem_.attach(rec);
+  state_since_ = now_;
+}
+
+void Wnic::note_state_end(WnicState ended, Seconds until) {
+  if (telem_) {
+    telem_->span(telemetry::Category::kWnic, to_string(ended),
+                 telemetry::track::kWnicPower, state_since_, until);
+  }
+  state_since_ = until;
+}
+
+void Wnic::flush_telemetry() {
+  if (!telem_) return;
+  telem_->span(telemetry::Category::kWnic, to_string(state_),
+               telemetry::track::kWnicPower, state_since_, now_);
+  state_since_ = now_;
+}
+
 void Wnic::begin_sleep() {
   FF_ASSERT(state_ == WnicState::kCam);
+  note_state_end(WnicState::kCam, now_);
   meter_.add(EnergyCategory::kModeSwitch, params_.cam_to_psm_energy);
   ++counters_.sleeps;
   state_ = WnicState::kSwitchingToPsm;
@@ -28,6 +49,7 @@ void Wnic::begin_sleep() {
 
 void Wnic::begin_wake() {
   FF_ASSERT(state_ == WnicState::kPsm);
+  note_state_end(WnicState::kPsm, now_);
   meter_.add(EnergyCategory::kModeSwitch, params_.psm_to_cam_energy);
   ++counters_.wakes;
   state_ = WnicState::kSwitchingToCam;
@@ -53,7 +75,10 @@ void Wnic::advance_to(Seconds t) {
       case WnicState::kSwitchingToPsm: {
         const Seconds step = std::min(t, transition_end_);
         now_ = step;
-        if (now_ >= transition_end_) state_ = WnicState::kPsm;
+        if (now_ >= transition_end_) {
+          note_state_end(WnicState::kSwitchingToPsm, now_);
+          state_ = WnicState::kPsm;
+        }
         break;
       }
       case WnicState::kPsm: {
@@ -65,6 +90,7 @@ void Wnic::advance_to(Seconds t) {
         const Seconds step = std::min(t, transition_end_);
         now_ = step;
         if (now_ >= transition_end_) {
+          note_state_end(WnicState::kSwitchingToCam, now_);
           state_ = WnicState::kCam;
           idle_since_ = now_;
         }
@@ -115,10 +141,19 @@ ServiceResult Wnic::service(Seconds t, const DeviceRequest& req) {
                p * xfer);
     now_ += xfer;
     busy_until_ = now_;
+    const Joules energy = meter_.total() - energy_before;
+    if (telem_) {
+      telem_->span(telemetry::Category::kWnic,
+                   req.is_write ? "wnic.send" : "wnic.recv",
+                   telemetry::track::kWnicIo, arrival, now_,
+                   {telemetry::num_arg("bytes", static_cast<double>(req.size)),
+                    telemetry::num_arg("energy_j", energy),
+                    telemetry::num_arg("psm", 1.0)});
+    }
     return ServiceResult{.arrival = arrival,
                          .start = start,
                          .completion = now_,
-                         .energy = meter_.total() - energy_before};
+                         .energy = energy};
   }
 
   make_cam();
@@ -143,10 +178,20 @@ ServiceResult Wnic::service(Seconds t, const DeviceRequest& req) {
   idle_since_ = now_;
   busy_until_ = now_;
 
+  const Joules energy = meter_.total() - energy_before;
+  if (telem_) {
+    telem_->span(telemetry::Category::kWnic,
+                 req.is_write ? "wnic.send" : "wnic.recv",
+                 telemetry::track::kWnicIo, arrival, now_,
+                 {telemetry::num_arg("bytes", static_cast<double>(req.size)),
+                  telemetry::num_arg("energy_j", energy),
+                  telemetry::num_arg("psm", 0.0)});
+  }
+
   return ServiceResult{.arrival = arrival,
                        .start = start,
                        .completion = now_,
-                       .energy = meter_.total() - energy_before};
+                       .energy = energy};
 }
 
 ServiceResult Wnic::estimate(Seconds t, const DeviceRequest& req) const {

@@ -16,6 +16,7 @@
 #include "device/energy_meter.hpp"
 #include "device/request.hpp"
 #include "device/wnic_params.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace flexfetch::device {
 
@@ -66,9 +67,21 @@ class Wnic {
 
   void reset_accounting();
 
+  /// Attaches this card to a telemetry recorder: power-state spans land on
+  /// the wnic.power track, transfer spans on wnic.io. Copies (estimator
+  /// replicas, audit shadows) are always detached.
+  void attach_telemetry(telemetry::Recorder* rec);
+
+  /// Closes the open power-state span at now() — call once at end of run,
+  /// after the final advance_to().
+  void flush_telemetry();
+
  private:
   void begin_sleep();
   void begin_wake();
+  /// Emits the span of the power state ending at `until` (no-op when
+  /// detached) and restarts span tracking there.
+  void note_state_end(WnicState ended, Seconds until);
   /// Brings the card to CAM, waiting out/paying for transitions.
   void make_cam();
 
@@ -80,6 +93,8 @@ class Wnic {
   Seconds busy_until_ = 0.0;
   EnergyMeter meter_;
   WnicCounters counters_;
+  telemetry::RecorderHandle telem_;
+  Seconds state_since_ = 0.0;  ///< Start of the current power-state span.
 };
 
 }  // namespace flexfetch::device

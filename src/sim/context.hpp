@@ -7,15 +7,17 @@
 #include "os/file_layout.hpp"
 #include "os/process.hpp"
 #include "os/vfs.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace flexfetch::sim {
 
 class SimContext {
  public:
   SimContext(device::Disk& disk, device::Wnic& wnic, os::Vfs& vfs,
-             os::FileLayout& layout, os::ProcessTable& processes)
+             os::FileLayout& layout, os::ProcessTable& processes,
+             telemetry::Recorder* recorder = nullptr)
       : disk_(disk), wnic_(wnic), vfs_(vfs), layout_(layout),
-        processes_(processes) {}
+        processes_(processes), recorder_(recorder) {}
 
   Seconds now() const { return now_; }
   void set_now(Seconds t) { now_ = t; }
@@ -30,6 +32,10 @@ class SimContext {
   os::FileLayout& layout() { return layout_; }
   const os::ProcessTable& processes() const { return processes_; }
 
+  /// The simulator's event recorder, or nullptr when telemetry is off.
+  /// Policies may emit their own events through it.
+  telemetry::Recorder* recorder() const { return recorder_; }
+
  private:
   Seconds now_ = 0.0;
   device::Disk& disk_;
@@ -37,6 +43,7 @@ class SimContext {
   os::Vfs& vfs_;
   os::FileLayout& layout_;
   os::ProcessTable& processes_;
+  telemetry::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace flexfetch::sim

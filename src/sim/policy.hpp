@@ -12,6 +12,10 @@
 #include "device/request.hpp"
 #include "trace/record.hpp"
 
+namespace flexfetch::telemetry {
+class MetricsRegistry;
+}
+
 namespace flexfetch::sim {
 
 class SimContext;
@@ -54,6 +58,10 @@ class Policy {
 
   /// Called once after the last request completes.
   virtual void end(SimContext& /*ctx*/) {}
+
+  /// Contributes policy-specific metrics to the run's registry (called by
+  /// the simulator after end() when telemetry is enabled).
+  virtual void export_metrics(telemetry::MetricsRegistry& /*metrics*/) const {}
 
   virtual std::string name() const = 0;
 };

@@ -9,6 +9,8 @@
 #include "device/wnic.hpp"
 #include "os/buffer_cache.hpp"
 #include "os/io_scheduler.hpp"
+#include "telemetry/event.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace flexfetch::sim {
 
@@ -50,6 +52,13 @@ struct SimResult {
   Bytes sync_bytes = 0;
 
   std::vector<RequestLogEntry> request_log;  ///< Only if logging enabled.
+
+  /// Telemetry (only populated when SimConfig::telemetry.enabled). The
+  /// metrics registry is always filled in that case; trace events are kept
+  /// only when the ring capacity is non-zero.
+  telemetry::MetricsRegistry metrics;
+  std::vector<telemetry::TraceEvent> trace_events;
+  std::uint64_t trace_events_dropped = 0;
 
   Joules disk_energy() const { return disk_meter.total(); }
   Joules wnic_energy() const { return wnic_meter.total(); }

@@ -14,8 +14,16 @@ Simulator::Simulator(SimConfig config, std::vector<ProgramSpec> programs,
       wnic_(config.wnic),
       vfs_(config.vfs),
       layout_(config.disk.capacity, config.layout_seed),
-      ctx_(disk_, wnic_, vfs_, layout_, processes_) {
+      recorder_(config.telemetry.enabled
+                    ? std::make_unique<telemetry::Recorder>(
+                          config.telemetry.ring_capacity)
+                    : nullptr),
+      ctx_(disk_, wnic_, vfs_, layout_, processes_, recorder_.get()) {
   FF_REQUIRE(!programs.empty(), "simulator: no programs");
+  if (recorder_) {
+    disk_.attach_telemetry(recorder_.get());
+    wnic_.attach_telemetry(recorder_.get());
+  }
   trace::ProcessGroup next_pgid = 1;
   for (auto& spec : programs) {
     Program p;
@@ -100,6 +108,16 @@ SimResult Simulator::run() {
   result_.wnic_counters = wnic_.counters();
   result_.cache_stats = vfs_.cache().stats();
   result_.scheduler_stats = scheduler_.stats();
+
+  if (recorder_) {
+    // Close the open power-state spans now that the devices sit at makespan.
+    disk_.flush_telemetry();
+    wnic_.flush_telemetry();
+    populate_metrics();
+    policy_.export_metrics(result_.metrics);
+    result_.trace_events = recorder_->take_events();
+    result_.trace_events_dropped = recorder_->dropped();
+  }
   return result_;
 }
 
@@ -140,6 +158,17 @@ void Simulator::handle_syscall(const Event& ev) {
     case trace::OpType::kOpen:
     case trace::OpType::kSeek:
       break;
+  }
+
+  if (recorder_ && completion > ev.time &&
+      (r.op == trace::OpType::kRead || r.op == trace::OpType::kWrite)) {
+    recorder_->span(
+        telemetry::Category::kSim,
+        r.op == trace::OpType::kRead ? "syscall.read" : "syscall.write",
+        telemetry::track::kSim, ev.time, completion,
+        {telemetry::num_arg("inode", static_cast<double>(r.inode)),
+         telemetry::num_arg("bytes", static_cast<double>(r.size)),
+         telemetry::num_arg("pgid", static_cast<double>(r.pgid))});
   }
 
   ++result_.syscalls;
@@ -198,6 +227,13 @@ Seconds Simulator::service_ranges(Seconds t,
   }
 
   if (disk_rc) {
+    if (recorder_) {
+      const auto depth = static_cast<std::uint64_t>(scheduler_.pending());
+      sched_max_depth_ = std::max(sched_max_depth_, depth);
+      recorder_->counter(telemetry::Category::kScheduler, "sched.depth",
+                         telemetry::track::kScheduler, t,
+                         static_cast<double>(depth));
+    }
     Seconds cursor = t;
     while (auto req = scheduler_.dispatch()) {
       disk_rc->request = *req;
@@ -228,6 +264,20 @@ Seconds Simulator::flush_dirty(Seconds t, const std::vector<os::DirtyPage>& dirt
       service_ranges(t, ranges, nullptr, program != nullptr ? *program : kSystem,
                      /*is_writeback=*/true);
   vfs_.complete_writeback(dirty);
+  if (recorder_) {
+    // Flushes triggered by eviction pressure block the evicting program
+    // (sync); the periodic flusher runs in the background.
+    const bool sync_flush = program != nullptr;
+    if (sync_flush) {
+      ++wb_sync_flushes_;
+    } else {
+      ++wb_periodic_flushes_;
+    }
+    recorder_->span(telemetry::Category::kWriteback,
+                    sync_flush ? "flush.sync" : "flush.periodic",
+                    telemetry::track::kWriteback, t, completion,
+                    {telemetry::num_arg("pages", static_cast<double>(dirty.size()))});
+  }
   return completion;
 }
 
@@ -263,6 +313,11 @@ void Simulator::run_sync(Seconds t) {
 void Simulator::run_flusher(Seconds t) {
   disk_.advance_to(t);
   wnic_.advance_to(t);
+  if (recorder_) {
+    recorder_->counter(telemetry::Category::kCache, "cache.dirty",
+                       telemetry::track::kWriteback, t,
+                       static_cast<double>(vfs_.cache().dirty_count()));
+  }
   const bool device_active =
       disk_.is_spinning() || wnic_.state() == device::WnicState::kCam;
   const auto dirty = vfs_.select_writeback(t, device_active);
@@ -304,6 +359,54 @@ void Simulator::log_request(const RequestContext& rc, device::DeviceKind kind,
       .pgid = rc.pgid,
       .is_writeback = rc.is_writeback,
   });
+}
+
+void Simulator::populate_metrics() {
+  FF_ASSERT(recorder_ != nullptr);
+  auto& m = result_.metrics;
+  const auto num = [](std::uint64_t v) { return static_cast<double>(v); };
+
+  m.add("sim.syscalls", num(result_.syscalls));
+  m.set("sim.makespan_s", result_.makespan);
+  m.set("sim.io_time_s", result_.io_time);
+  m.add("sim.disk_requests", num(result_.disk_requests));
+  m.add("sim.net_requests", num(result_.net_requests));
+  m.add("sim.disk_bytes", num(result_.disk_bytes));
+  m.add("sim.net_bytes", num(result_.net_bytes));
+  m.add("sim.sync_batches", num(result_.sync_batches));
+  m.add("sim.sync_bytes", num(result_.sync_bytes));
+
+  m.set("disk.energy_j", result_.disk_meter.total());
+  m.add("disk.requests", num(result_.disk_counters.requests));
+  m.add("disk.spin_ups", num(result_.disk_counters.spin_ups));
+  m.add("disk.spin_downs", num(result_.disk_counters.spin_downs));
+  m.add("disk.sequential_hits", num(result_.disk_counters.sequential_hits));
+  m.set("disk.seek_time_s", result_.disk_counters.seek_time);
+
+  m.set("wnic.energy_j", result_.wnic_meter.total());
+  m.add("wnic.requests", num(result_.wnic_counters.requests));
+  m.add("wnic.wakes", num(result_.wnic_counters.wakes));
+  m.add("wnic.sleeps", num(result_.wnic_counters.sleeps));
+  m.add("wnic.psm_transfers", num(result_.wnic_counters.psm_transfers));
+
+  m.add("cache.lookups", num(result_.cache_stats.lookups));
+  m.add("cache.hits", num(result_.cache_stats.hits));
+  m.add("cache.ghost_hits", num(result_.cache_stats.ghost_hits));
+  m.add("cache.insertions", num(result_.cache_stats.insertions));
+  m.add("cache.evictions", num(result_.cache_stats.evictions));
+  m.set("cache.hit_rate", result_.cache_stats.hit_rate());
+
+  m.add("sched.submitted", num(result_.scheduler_stats.submitted));
+  m.add("sched.merged", num(result_.scheduler_stats.merged));
+  m.add("sched.dispatched", num(result_.scheduler_stats.dispatched));
+  m.add("sched.sweeps", num(result_.scheduler_stats.sweeps));
+  m.set_max("sched.max_depth", num(sched_max_depth_));
+
+  m.add("wb.sync_flushes", num(wb_sync_flushes_));
+  m.add("wb.periodic_flushes", num(wb_periodic_flushes_));
+
+  m.add("telemetry.events_emitted", num(recorder_->emitted()));
+  m.add("telemetry.events_dropped", num(recorder_->dropped()));
 }
 
 SimResult simulate(const SimConfig& config, const trace::Trace& trace,

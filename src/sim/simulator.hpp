@@ -26,6 +26,8 @@
 #include "sim/context.hpp"
 #include "sim/policy.hpp"
 #include "sim/results.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
 #include "trace/trace.hpp"
 
 namespace flexfetch::sim {
@@ -65,6 +67,9 @@ struct SimConfig {
   device::AdaptiveTimeoutConfig adaptive_timeout;
   /// Keep a per-request log in the result (memory-hungry; off by default).
   bool collect_request_log = false;
+  /// Structured event tracing + metrics (off by default; when off, the
+  /// instrumentation cost is one null-pointer branch per site).
+  telemetry::TelemetryConfig telemetry;
 };
 
 class Simulator {
@@ -117,6 +122,8 @@ class Simulator {
   Seconds dispatch(Seconds t, const RequestContext& rc, device::DeviceKind kind);
   void log_request(const RequestContext& rc, device::DeviceKind kind,
                    const device::ServiceResult& res);
+  /// Fills result_.metrics from the run's final stats (telemetry only).
+  void populate_metrics();
 
   SimConfig config_;
   std::vector<Program> programs_;
@@ -130,6 +137,8 @@ class Simulator {
   os::CScanScheduler scheduler_;
   std::optional<hoard::SyncManager> sync_;
   std::optional<device::AdaptiveTimeoutController> timeout_controller_;
+  /// Must precede ctx_: ctx_ captures recorder_.get() at construction.
+  std::unique_ptr<telemetry::Recorder> recorder_;
   SimContext ctx_;
 
   std::set<trace::Inode> pinned_inodes_;
@@ -137,6 +146,11 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::size_t active_programs_ = 0;
   SimResult result_;
+
+  // Telemetry bookkeeping (only advanced when recorder_ is live).
+  std::uint64_t wb_sync_flushes_ = 0;
+  std::uint64_t wb_periodic_flushes_ = 0;
+  std::uint64_t sched_max_depth_ = 0;
 };
 
 /// Convenience: simulate a single trace under a policy.

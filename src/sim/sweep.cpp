@@ -119,6 +119,17 @@ void write_sweep_json(std::ostream& os, const std::vector<SweepCell>& cells,
     os << ", \"wnic_energy_j\": " << r.wnic_energy();
     os << ", \"makespan_s\": " << r.makespan;
     os << ", \"io_time_s\": " << r.io_time;
+    if (!r.metrics.empty()) {
+      os << ", \"metrics\": {";
+      bool first = true;
+      for (const auto& [name, metric] : r.metrics.items()) {
+        if (!first) os << ", ";
+        first = false;
+        write_json_string(os, name);
+        os << ": " << metric.value;
+      }
+      os << "}";
+    }
     os << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   os << "  ]\n";

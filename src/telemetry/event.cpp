@@ -1,0 +1,32 @@
+#include "telemetry/event.hpp"
+
+namespace flexfetch::telemetry {
+
+const char* to_string(Category c) {
+  switch (c) {
+    case Category::kSim: return "sim";
+    case Category::kDisk: return "disk";
+    case Category::kWnic: return "wnic";
+    case Category::kCache: return "cache";
+    case Category::kWriteback: return "writeback";
+    case Category::kScheduler: return "scheduler";
+    case Category::kPolicy: return "policy";
+  }
+  return "?";
+}
+
+const char* track_name(std::uint32_t track) {
+  switch (track) {
+    case track::kSim: return "sim.syscalls";
+    case track::kDiskPower: return "disk.power";
+    case track::kDiskIo: return "disk.io";
+    case track::kWnicPower: return "wnic.power";
+    case track::kWnicIo: return "wnic.io";
+    case track::kWriteback: return "writeback";
+    case track::kScheduler: return "scheduler";
+    case track::kPolicy: return "policy";
+  }
+  return "?";
+}
+
+}  // namespace flexfetch::telemetry

@@ -1,0 +1,90 @@
+// Structured trace events — the unit of the telemetry subsystem.
+//
+// Every instrumented component of the simulator (device power models, the
+// VFS substrates, the FlexFetch core, the simulator loop itself) describes
+// what happened as a typed TraceEvent: an instant, a [start, end) span, or
+// a counter sample, tagged with a category and placed on a named timeline
+// track. Events are plain values holding only numbers and pointers to
+// string literals, so emitting one never allocates and recorded events can
+// outlive the simulator that produced them.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace flexfetch::telemetry {
+
+/// Which subsystem emitted the event (the Chrome-trace "cat" field).
+enum class Category : std::uint8_t {
+  kSim,        ///< Simulator event loop (syscall service spans).
+  kDisk,       ///< Disk power model.
+  kWnic,       ///< WNIC power model.
+  kCache,      ///< Buffer cache.
+  kWriteback,  ///< Flush daemon / synchronous eviction flushes.
+  kScheduler,  ///< C-SCAN elevator.
+  kPolicy,     ///< Data-source policy (FlexFetch decisions, audits...).
+};
+
+const char* to_string(Category c);
+
+enum class Phase : std::uint8_t {
+  kInstant,  ///< A point in time.
+  kSpan,     ///< A [start, start+duration] interval.
+  kCounter,  ///< A sampled value (queue depth, dirty pages...).
+};
+
+/// Timeline lanes ("tid" in the Chrome trace): one per instrument so the
+/// power-state story of each device reads as an uninterrupted bar.
+namespace track {
+inline constexpr std::uint32_t kSim = 0;
+inline constexpr std::uint32_t kDiskPower = 1;
+inline constexpr std::uint32_t kDiskIo = 2;
+inline constexpr std::uint32_t kWnicPower = 3;
+inline constexpr std::uint32_t kWnicIo = 4;
+inline constexpr std::uint32_t kWriteback = 5;
+inline constexpr std::uint32_t kScheduler = 6;
+inline constexpr std::uint32_t kPolicy = 7;
+inline constexpr std::uint32_t kCount = 8;
+}  // namespace track
+
+const char* track_name(std::uint32_t track);
+
+/// One key/value annotation. Keys and string values must be string
+/// literals (or otherwise outlive every use of the event): events store
+/// raw pointers so the emission hot path never copies or allocates.
+struct Arg {
+  const char* key = nullptr;
+  const char* str = nullptr;  ///< nullptr = numeric argument.
+  double num = 0.0;
+};
+
+constexpr Arg num_arg(const char* key, double value) {
+  return Arg{key, nullptr, value};
+}
+constexpr Arg str_arg(const char* key, const char* value) {
+  return Arg{key, value, 0.0};
+}
+
+inline constexpr std::size_t kMaxArgs = 6;
+
+struct TraceEvent {
+  const char* name = "";  ///< String literal.
+  Category category = Category::kSim;
+  Phase phase = Phase::kInstant;
+  std::uint8_t n_args = 0;
+  std::uint32_t track = track::kSim;
+  /// Global emission order within one Recorder — the deterministic
+  /// tie-breaker for events sharing a timestamp.
+  std::uint64_t seq = 0;
+  Seconds start = 0.0;
+  Seconds duration = 0.0;  ///< kSpan only.
+  double value = 0.0;      ///< kCounter only.
+  std::array<Arg, kMaxArgs> args{};
+
+  Seconds end() const { return start + duration; }
+};
+
+}  // namespace flexfetch::telemetry

@@ -1,0 +1,33 @@
+// Trace exporters: Chrome trace_event JSON (chrome://tracing, Perfetto)
+// and a compact human-readable text timeline.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+
+#include "telemetry/event.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace flexfetch::telemetry {
+
+class Recorder;
+
+/// Writes the events as a Chrome trace_event JSON object (the "JSON Object
+/// Format": {"traceEvents": [...], ...}), loadable by chrome://tracing and
+/// ui.perfetto.dev. Timestamps are converted from simulated seconds to the
+/// format's microseconds. Metrics, when given, ride along in "otherData".
+/// Output is deterministic: events are written in emission (seq) order and
+/// metrics in sorted-name order.
+void write_chrome_trace(std::ostream& os, std::span<const TraceEvent> events,
+                        std::uint64_t dropped = 0,
+                        const MetricsRegistry* metrics = nullptr);
+
+/// Convenience overload over a live recorder.
+void write_chrome_trace(std::ostream& os, const Recorder& recorder,
+                        const MetricsRegistry* metrics = nullptr);
+
+/// Writes a line-per-event text timeline ordered by (time, seq) — the
+/// quick-look counterpart of the Chrome trace.
+void write_text_timeline(std::ostream& os, std::span<const TraceEvent> events);
+
+}  // namespace flexfetch::telemetry

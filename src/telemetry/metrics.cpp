@@ -1,0 +1,53 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexfetch::telemetry {
+
+Metric& MetricsRegistry::touch(std::string_view name, MetricKind kind) {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    it = metrics_.emplace(std::string(name), Metric{0.0, kind}).first;
+  } else {
+    FF_REQUIRE(it->second.kind == kind,
+               "metrics: '" + it->first + "' used with two different kinds");
+  }
+  return it->second;
+}
+
+void MetricsRegistry::add(std::string_view name, double delta) {
+  touch(name, MetricKind::kCounter).value += delta;
+}
+
+void MetricsRegistry::set(std::string_view name, double value) {
+  touch(name, MetricKind::kGauge).value = value;
+}
+
+void MetricsRegistry::set_max(std::string_view name, double value) {
+  Metric& m = touch(name, MetricKind::kMax);
+  m.value = std::max(m.value, value);
+}
+
+double MetricsRegistry::value(std::string_view name) const {
+  const auto it = metrics_.find(name);
+  return it != metrics_.end() ? it->second.value : 0.0;
+}
+
+bool MetricsRegistry::contains(std::string_view name) const {
+  return metrics_.contains(name);
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, m] : other.metrics_) {
+    Metric& mine = touch(name, m.kind);
+    switch (m.kind) {
+      case MetricKind::kCounter: mine.value += m.value; break;
+      case MetricKind::kGauge: mine.value = m.value; break;
+      case MetricKind::kMax: mine.value = std::max(mine.value, m.value); break;
+    }
+  }
+}
+
+}  // namespace flexfetch::telemetry

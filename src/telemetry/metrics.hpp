@@ -1,0 +1,63 @@
+// Named counters and gauges with deterministic ordering and merge.
+//
+// The registry is the aggregate face of telemetry: at the end of a run the
+// simulator snapshots every substrate's statistics into one flat namespace
+// ("cache.hits", "disk.spin_ups", "ff.audit_overrides"...) so sweeps can
+// carry per-cell metrics in their results and merge them across cells.
+// Keys are kept sorted (std::map), so iteration — and therefore every
+// exporter — is deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace flexfetch::telemetry {
+
+enum class MetricKind : std::uint8_t {
+  kCounter,  ///< Accumulates; merge adds.
+  kGauge,    ///< Last value wins; merge takes the other's value.
+  kMax,      ///< High-watermark; merge takes the maximum.
+};
+
+struct Metric {
+  double value = 0.0;
+  MetricKind kind = MetricKind::kCounter;
+};
+
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to a counter (created at zero on first use).
+  void add(std::string_view name, double delta = 1.0);
+  /// Sets a gauge.
+  void set(std::string_view name, double value);
+  /// Raises a high-watermark gauge.
+  void set_max(std::string_view name, double value);
+
+  /// Value of a metric, 0.0 if absent.
+  double value(std::string_view name) const;
+  bool contains(std::string_view name) const;
+  bool empty() const { return metrics_.empty(); }
+  std::size_t size() const { return metrics_.size(); }
+
+  /// Folds `other` in per metric kind: counters add, gauges take the
+  /// other's value, high-watermarks take the maximum. Using one name with
+  /// two different kinds is a ConfigError.
+  void merge(const MetricsRegistry& other);
+
+  /// Sorted name -> metric view (deterministic iteration order).
+  const std::map<std::string, Metric, std::less<>>& items() const {
+    return metrics_;
+  }
+
+  void clear() { metrics_.clear(); }
+
+ private:
+  Metric& touch(std::string_view name, MetricKind kind);
+
+  std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+}  // namespace flexfetch::telemetry

@@ -1,0 +1,101 @@
+#include "telemetry/recorder.hpp"
+
+#include <algorithm>
+
+namespace flexfetch::telemetry {
+
+namespace {
+
+void copy_args(TraceEvent& ev, std::initializer_list<Arg> args) {
+  const std::size_t n = std::min(args.size(), kMaxArgs);
+  std::copy_n(args.begin(), n, ev.args.begin());
+  ev.n_args = static_cast<std::uint8_t>(n);
+}
+
+}  // namespace
+
+Recorder::Recorder(std::size_t capacity) : capacity_(capacity) {}
+
+void Recorder::emit(TraceEvent ev) {
+  ev.seq = next_seq_++;
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  if (buf_.size() < capacity_) {
+    buf_.push_back(ev);
+    return;
+  }
+  buf_[head_] = ev;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void Recorder::instant(Category c, const char* name, std::uint32_t trk,
+                       Seconds t, std::initializer_list<Arg> args) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = c;
+  ev.phase = Phase::kInstant;
+  ev.track = trk;
+  ev.start = t;
+  copy_args(ev, args);
+  emit(ev);
+}
+
+void Recorder::span(Category c, const char* name, std::uint32_t trk,
+                    Seconds start, Seconds end,
+                    std::initializer_list<Arg> args) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = c;
+  ev.phase = Phase::kSpan;
+  ev.track = trk;
+  ev.start = start;
+  ev.duration = end > start ? end - start : 0.0;
+  copy_args(ev, args);
+  emit(ev);
+}
+
+void Recorder::counter(Category c, const char* name, std::uint32_t trk,
+                       Seconds t, double value) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = c;
+  ev.phase = Phase::kCounter;
+  ev.track = trk;
+  ev.start = t;
+  ev.value = value;
+  emit(ev);
+}
+
+std::vector<TraceEvent> Recorder::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(buf_.size());
+  if (buf_.size() == capacity_ && capacity_ > 0) {
+    // Full ring: the oldest retained event sits at head_.
+    out.insert(out.end(), buf_.begin() + static_cast<std::ptrdiff_t>(head_),
+               buf_.end());
+    out.insert(out.end(), buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+  } else {
+    out = buf_;
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Recorder::take_events() {
+  std::vector<TraceEvent> out = events();
+  buf_.clear();
+  head_ = 0;
+  return out;
+}
+
+void Recorder::clear() {
+  buf_.clear();
+  head_ = 0;
+  next_seq_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace flexfetch::telemetry

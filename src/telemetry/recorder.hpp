@@ -1,0 +1,92 @@
+// Per-simulator event recorder: a bounded ring buffer of TraceEvents.
+//
+// Sweep-safety contract: one Recorder belongs to exactly one Simulator
+// instance and is only touched from the thread running that simulation —
+// there is no shared mutable state, so sweep cells with telemetry enabled
+// can run concurrently. Event ordering is the emission order (seq), which
+// is deterministic because the simulator itself is.
+//
+// Cost contract: when no recorder is attached, every instrumentation point
+// reduces to a single null-pointer branch (see RecorderHandle); when one
+// is attached, emitting copies a fixed-size struct into the ring — no
+// allocation past the ring's growth to capacity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "telemetry/event.hpp"
+
+namespace flexfetch::telemetry {
+
+/// Telemetry knobs carried in SimConfig.
+struct TelemetryConfig {
+  bool enabled = false;
+  /// Ring capacity in events; the oldest events are dropped beyond it.
+  /// 0 = metrics-only mode: instrumentation runs (so counters and drop
+  /// tallies stay exact) but no event is retained — what sweeps use to
+  /// collect per-cell metrics without holding hundreds of event buffers.
+  std::size_t ring_capacity = std::size_t{1} << 16;
+};
+
+class Recorder {
+ public:
+  explicit Recorder(std::size_t capacity = std::size_t{1} << 16);
+
+  void instant(Category c, const char* name, std::uint32_t trk, Seconds t,
+               std::initializer_list<Arg> args = {});
+  void span(Category c, const char* name, std::uint32_t trk, Seconds start,
+            Seconds end, std::initializer_list<Arg> args = {});
+  void counter(Category c, const char* name, std::uint32_t trk, Seconds t,
+               double value);
+  void emit(TraceEvent ev);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Events currently retained (<= capacity).
+  std::size_t size() const { return buf_.size(); }
+  /// Total events ever emitted, including dropped ones.
+  std::uint64_t emitted() const { return next_seq_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Retained events in emission (seq) order.
+  std::vector<TraceEvent> events() const;
+  /// Moves the retained events out (emission order) and clears the ring.
+  std::vector<TraceEvent> take_events();
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> buf_;  ///< Grows to capacity, then wraps.
+  std::size_t head_ = 0;         ///< Next overwrite position once full.
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Non-owning attachment of an instrumented component to a Recorder that
+/// deliberately does not survive copying: device models are copied
+/// wholesale for estimation and shadow replay (Section 2.2 of the paper),
+/// and those hypothetical worlds must stay silent. The null check is the
+/// telemetry-off fast path — one predictable branch per instrumentation
+/// point.
+class RecorderHandle {
+ public:
+  RecorderHandle() = default;
+  RecorderHandle(const RecorderHandle& /*other*/) noexcept : rec_(nullptr) {}
+  RecorderHandle& operator=(const RecorderHandle& other) noexcept {
+    if (this != &other) rec_ = nullptr;
+    return *this;
+  }
+
+  void attach(Recorder* rec) { rec_ = rec; }
+  Recorder* get() const { return rec_; }
+  explicit operator bool() const { return rec_ != nullptr; }
+  Recorder* operator->() const { return rec_; }
+
+ private:
+  Recorder* rec_ = nullptr;
+};
+
+}  // namespace flexfetch::telemetry

@@ -1,0 +1,372 @@
+#include "telemetry/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "policies/fixed.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/metrics.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace flexfetch {
+namespace {
+
+using telemetry::Category;
+using telemetry::MetricsRegistry;
+using telemetry::Phase;
+using telemetry::Recorder;
+using telemetry::RecorderHandle;
+using telemetry::TraceEvent;
+namespace track = telemetry::track;
+
+// --- Recorder ring buffer ---------------------------------------------------
+
+TEST(Recorder, RingOverflowKeepsNewestInOrder) {
+  Recorder rec(4);
+  // 10 instants; names cycle so we can identify survivors.
+  static const char* const kNames[] = {"e0", "e1", "e2", "e3", "e4",
+                                       "e5", "e6", "e7", "e8", "e9"};
+  for (int i = 0; i < 10; ++i) {
+    rec.instant(Category::kSim, kNames[i], track::kSim,
+                static_cast<Seconds>(i));
+  }
+  EXPECT_EQ(rec.emitted(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  EXPECT_EQ(rec.size(), 4u);
+
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6u + i);  // newest 4 survive, oldest first
+    EXPECT_STREQ(events[i].name, kNames[6 + i]);
+  }
+}
+
+TEST(Recorder, ZeroCapacityIsMetricsOnly) {
+  Recorder rec(0);
+  for (int i = 0; i < 5; ++i) {
+    rec.instant(Category::kDisk, "x", track::kDiskIo, 0.0);
+  }
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.emitted(), 5u);   // instrumentation still counts
+  EXPECT_EQ(rec.dropped(), 5u);   // ...and tallies every drop
+  EXPECT_TRUE(rec.events().empty());
+  EXPECT_TRUE(rec.take_events().empty());
+}
+
+TEST(Recorder, TakeEventsDrainsButKeepsTallies) {
+  Recorder rec(8);
+  rec.instant(Category::kSim, "a", track::kSim, 1.0);
+  rec.instant(Category::kSim, "b", track::kSim, 2.0);
+  const auto taken = rec.take_events();
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.emitted(), 2u);
+}
+
+TEST(Recorder, HandleCopyDetaches) {
+  Recorder rec(8);
+  RecorderHandle h;
+  h.attach(&rec);
+  ASSERT_TRUE(h);
+
+  // Copies model estimator/shadow device clones: they must stay silent.
+  RecorderHandle copy(h);
+  EXPECT_FALSE(copy);
+  RecorderHandle assigned;
+  assigned.attach(&rec);
+  assigned = h;
+  EXPECT_FALSE(assigned);
+  EXPECT_TRUE(h);  // the original stays attached
+}
+
+// --- Metrics registry -------------------------------------------------------
+
+TEST(Metrics, CounterGaugeAndMaxSemantics) {
+  MetricsRegistry m;
+  m.add("c");
+  m.add("c", 2.5);
+  EXPECT_DOUBLE_EQ(m.value("c"), 3.5);
+
+  m.set("g", 7.0);
+  m.set("g", 4.0);
+  EXPECT_DOUBLE_EQ(m.value("g"), 4.0);
+
+  m.set_max("hw", 3.0);
+  m.set_max("hw", 9.0);
+  m.set_max("hw", 5.0);
+  EXPECT_DOUBLE_EQ(m.value("hw"), 9.0);
+
+  EXPECT_DOUBLE_EQ(m.value("absent"), 0.0);
+  EXPECT_FALSE(m.contains("absent"));
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(Metrics, MergeFoldsPerKind) {
+  MetricsRegistry a;
+  a.add("c", 10.0);
+  a.set("g", 1.0);
+  a.set_max("hw", 5.0);
+  a.add("only_a", 1.0);
+
+  MetricsRegistry b;
+  b.add("c", 4.0);
+  b.set("g", 2.0);
+  b.set_max("hw", 3.0);
+
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.value("c"), 14.0);   // counters add
+  EXPECT_DOUBLE_EQ(a.value("g"), 2.0);    // gauges take the other's value
+  EXPECT_DOUBLE_EQ(a.value("hw"), 5.0);   // high-watermarks take the max
+  EXPECT_DOUBLE_EQ(a.value("only_a"), 1.0);
+}
+
+TEST(Metrics, KindMismatchIsConfigError) {
+  MetricsRegistry m;
+  m.add("x");
+  EXPECT_THROW(m.set("x", 1.0), ConfigError);
+
+  MetricsRegistry counter, gauge;
+  counter.add("y");
+  gauge.set("y", 1.0);
+  EXPECT_THROW(counter.merge(gauge), ConfigError);
+}
+
+TEST(Metrics, ItemsIterateInSortedNameOrder) {
+  MetricsRegistry m;
+  m.add("zeta");
+  m.add("alpha");
+  m.add("mid");
+  std::vector<std::string> names;
+  for (const auto& [name, metric] : m.items()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+// --- Exporters --------------------------------------------------------------
+
+/// A tiny scripted run must export byte-for-byte stable Chrome-trace JSON:
+/// the golden below is the determinism contract for the exporter.
+TEST(Exporters, GoldenChromeTraceJson) {
+  Recorder rec(8);
+  rec.instant(Category::kPolicy, "free_ride", track::kPolicy, 1.5);
+  rec.span(Category::kDisk, "Active", track::kDiskPower, 0.0, 2.5,
+           {telemetry::num_arg("lba", 42.0),
+            telemetry::str_arg("op", "read")});
+  rec.counter(Category::kScheduler, "sched.depth", track::kScheduler, 3.0,
+              7.0);
+
+  MetricsRegistry metrics;
+  metrics.add("disk.requests", 1.0);
+
+  std::ostringstream os;
+  telemetry::write_chrome_trace(os, rec.events(), rec.dropped(), &metrics);
+
+  const std::string expected = R"({
+  "displayTimeUnit": "ms",
+  "otherData": {
+    "dropped_events": 0,
+    "disk.requests": 1
+  },
+  "traceEvents": [
+    {"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "flexfetch-sim"}},
+    {"name": "thread_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "sim.syscalls"}},
+    {"name": "thread_sort_index", "ph": "M", "pid": 1, "tid": 0, "args": {"sort_index": 0}},
+    {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1, "args": {"name": "disk.power"}},
+    {"name": "thread_sort_index", "ph": "M", "pid": 1, "tid": 1, "args": {"sort_index": 1}},
+    {"name": "thread_name", "ph": "M", "pid": 1, "tid": 2, "args": {"name": "disk.io"}},
+    {"name": "thread_sort_index", "ph": "M", "pid": 1, "tid": 2, "args": {"sort_index": 2}},
+    {"name": "thread_name", "ph": "M", "pid": 1, "tid": 3, "args": {"name": "wnic.power"}},
+    {"name": "thread_sort_index", "ph": "M", "pid": 1, "tid": 3, "args": {"sort_index": 3}},
+    {"name": "thread_name", "ph": "M", "pid": 1, "tid": 4, "args": {"name": "wnic.io"}},
+    {"name": "thread_sort_index", "ph": "M", "pid": 1, "tid": 4, "args": {"sort_index": 4}},
+    {"name": "thread_name", "ph": "M", "pid": 1, "tid": 5, "args": {"name": "writeback"}},
+    {"name": "thread_sort_index", "ph": "M", "pid": 1, "tid": 5, "args": {"sort_index": 5}},
+    {"name": "thread_name", "ph": "M", "pid": 1, "tid": 6, "args": {"name": "scheduler"}},
+    {"name": "thread_sort_index", "ph": "M", "pid": 1, "tid": 6, "args": {"sort_index": 6}},
+    {"name": "thread_name", "ph": "M", "pid": 1, "tid": 7, "args": {"name": "policy"}},
+    {"name": "thread_sort_index", "ph": "M", "pid": 1, "tid": 7, "args": {"sort_index": 7}},
+    {"name": "free_ride", "cat": "policy", "pid": 1, "tid": 7, "ts": 1500000, "ph": "i", "s": "t", "args": {}},
+    {"name": "Active", "cat": "disk", "pid": 1, "tid": 1, "ts": 0, "ph": "X", "dur": 2500000, "args": {"lba": 42, "op": "read"}},
+    {"name": "sched.depth", "cat": "scheduler", "pid": 1, "tid": 6, "ts": 3000000, "ph": "C", "args": {"value": 7}}
+  ]
+}
+)";
+  EXPECT_EQ(os.str(), expected);
+}
+
+/// Scans JSON for structural balance, skipping string contents.
+void expect_balanced_json(const std::string& json) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Exporters, RealSimulationTraceIsWellFormed) {
+  const auto trace = workloads::grep_trace();
+  sim::SimConfig config;
+  config.telemetry.enabled = true;
+  policies::DiskOnlyPolicy policy;
+  const auto r = sim::simulate(config, trace, policy);
+  ASSERT_FALSE(r.trace_events.empty());
+
+  std::ostringstream os;
+  telemetry::write_chrome_trace(os, r.trace_events, r.trace_events_dropped,
+                                &r.metrics);
+  const std::string json = os.str();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"disk.energy_j\""), std::string::npos);
+}
+
+TEST(Exporters, TextTimelineOrdersByTime) {
+  Recorder rec(8);
+  rec.instant(Category::kSim, "later", track::kSim, 2.0);
+  rec.instant(Category::kSim, "earlier", track::kSim, 1.0);
+  const auto events = rec.events();
+
+  std::ostringstream os;
+  telemetry::write_text_timeline(os, events);
+  const std::string text = os.str();
+  const auto earlier = text.find("earlier");
+  const auto later = text.find("later");
+  ASSERT_NE(earlier, std::string::npos);
+  ASSERT_NE(later, std::string::npos);
+  EXPECT_LT(earlier, later);
+}
+
+// --- Whole-simulator integration --------------------------------------------
+
+TEST(Telemetry, DiskPowerSpansTileTheTimeline) {
+  // Thunderbird's 22 s think times straddle the 20 s spin-down timeout, so
+  // the disk cycles idle -> spin-down -> standby -> spin-up repeatedly.
+  const auto trace = workloads::thunderbird_trace();
+  sim::SimConfig config;
+  config.telemetry.enabled = true;
+  policies::DiskOnlyPolicy policy;
+  const auto r = sim::simulate(config, trace, policy);
+  EXPECT_EQ(r.trace_events_dropped, 0u);
+
+  std::vector<const TraceEvent*> spans;
+  for (const auto& ev : r.trace_events) {
+    if (ev.track == track::kDiskPower && ev.phase == Phase::kSpan) {
+      spans.push_back(&ev);
+    }
+  }
+  ASSERT_GT(spans.size(), 2u);
+  EXPECT_DOUBLE_EQ(spans.front()->start, 0.0);
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    // The power-state story is gap-free: each state span begins where the
+    // previous one ended.
+    EXPECT_DOUBLE_EQ(spans[i]->start, spans[i - 1]->end());
+  }
+  EXPECT_GT(spans.back()->end(), 0.0);
+  EXPECT_LE(spans.back()->end(), r.makespan * (1.0 + 1e-12) + 1e-9);
+}
+
+TEST(Telemetry, MetricsMirrorSimulatorStatistics) {
+  const auto trace = workloads::grep_trace();
+  sim::SimConfig config;
+  config.telemetry.enabled = true;
+  config.telemetry.ring_capacity = 0;  // metrics-only
+  policies::DiskOnlyPolicy policy;
+  const auto r = sim::simulate(config, trace, policy);
+
+  EXPECT_TRUE(r.trace_events.empty());
+  EXPECT_DOUBLE_EQ(r.metrics.value("sim.syscalls"),
+                   static_cast<double>(r.syscalls));
+  EXPECT_DOUBLE_EQ(r.metrics.value("cache.hits"),
+                   static_cast<double>(r.cache_stats.hits));
+  EXPECT_DOUBLE_EQ(r.metrics.value("disk.energy_j"), r.disk_energy());
+  EXPECT_DOUBLE_EQ(r.metrics.value("sim.makespan_s"), r.makespan);
+  EXPECT_GT(r.metrics.value("telemetry.events_emitted"), 0.0);
+  // Every emitted event was dropped: that is what metrics-only means.
+  EXPECT_DOUBLE_EQ(r.metrics.value("telemetry.events_dropped"),
+                   r.metrics.value("telemetry.events_emitted"));
+}
+
+TEST(Telemetry, FlexFetchPolicyEmitsStageAndDecisionEvents) {
+  const auto scenario = workloads::scenario_mplayer(1);
+  auto cells = sim::make_grid({&scenario}, {"flexfetch"},
+                              {device::WnicParams::cisco_aironet350()});
+  ASSERT_EQ(cells.size(), 1u);
+  cells[0].config.telemetry.enabled = true;
+
+  const auto results = sim::run_sweep(cells, {.jobs = 1});
+  const sim::SimResult& r = results[0];
+  EXPECT_GE(r.metrics.value("ff.stages_entered"), 1.0);
+
+  bool saw_stage_enter = false;
+  bool saw_decision = false;
+  for (const auto& ev : r.trace_events) {
+    if (std::string_view(ev.name) == "stage.enter") saw_stage_enter = true;
+    if (std::string_view(ev.name) == "decision.stage") saw_decision = true;
+  }
+  EXPECT_TRUE(saw_stage_enter);
+  EXPECT_TRUE(saw_decision);
+}
+
+/// The acceptance contract of the whole subsystem: switching telemetry on
+/// (metrics-only, as sweeps do) must not perturb a single simulated number.
+TEST(Telemetry, SweepResultsBitIdenticalTelemetryOnVsOff) {
+  const auto scenario = workloads::scenario_mplayer(1);
+  auto cells_off = sim::make_grid({&scenario}, {"flexfetch", "disk-only"},
+                                  {device::WnicParams::cisco_aironet350()});
+  auto cells_on = cells_off;
+  for (auto& cell : cells_on) {
+    cell.config.telemetry.enabled = true;
+    cell.config.telemetry.ring_capacity = 0;
+  }
+
+  const auto off = sim::run_sweep(cells_off, {.jobs = 1});
+  const auto on = sim::run_sweep(cells_on, {.jobs = 1});
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    SCOPED_TRACE(cells_off[i].policy);
+    EXPECT_EQ(off[i].makespan, on[i].makespan);
+    EXPECT_EQ(off[i].io_time, on[i].io_time);
+    EXPECT_EQ(off[i].total_energy(), on[i].total_energy());
+    EXPECT_EQ(off[i].disk_energy(), on[i].disk_energy());
+    EXPECT_EQ(off[i].wnic_energy(), on[i].wnic_energy());
+    EXPECT_EQ(off[i].syscalls, on[i].syscalls);
+    EXPECT_EQ(off[i].disk_requests, on[i].disk_requests);
+    EXPECT_EQ(off[i].net_requests, on[i].net_requests);
+    EXPECT_EQ(off[i].disk_bytes, on[i].disk_bytes);
+    EXPECT_EQ(off[i].net_bytes, on[i].net_bytes);
+    EXPECT_TRUE(off[i].metrics.empty());   // off: no metrics collected
+    EXPECT_FALSE(on[i].metrics.empty());   // on: per-cell metrics present
+  }
+}
+
+}  // namespace
+}  // namespace flexfetch
