@@ -6,23 +6,30 @@
 // the same full simulation is timed with telemetry off and on, both results
 // are checked for equality, and the pair is recorded in BENCH_telemetry.json
 // (path overridable with --telemetry-out FILE).
+//
+// And records the arena hot-path speedups (2Q cache, C-SCAN, full-sim cell
+// throughput) against the pre-rewrite numbers in BENCH_hotpath.json (path
+// overridable with --hotpath-out FILE).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
 
 #include "core/burst.hpp"
 #include "core/estimator.hpp"
+#include "harness.hpp"
 #include "os/buffer_cache.hpp"
 #include "os/io_scheduler.hpp"
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "policies/fixed.hpp"
 #include "trace/builder.hpp"
 #include "workloads/generators.hpp"
+#include "workloads/scenarios.hpp"
 
 using namespace flexfetch;
 
@@ -64,6 +71,40 @@ void BM_CScanSubmitDispatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CScanSubmitDispatch);
+
+// Mixed merge workload: 3 of 4 submissions sequentially extend the previous
+// request (the merge fast path), 1 of 4 jumps to a new LBA.
+void BM_CScanMixedMerge(benchmark::State& state) {
+  os::CScanScheduler sched;
+  std::uint64_t i = 0;
+  Bytes lba = 0;
+  for (auto _ : state) {
+    if (i % 4 == 0) lba = (i * 7919) % (1ull << 30);
+    sched.submit(device::DeviceRequest{.lba = lba, .size = 4096});
+    lba += 4096;
+    ++i;
+    if (sched.pending() > 64) sched.dispatch();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CScanMixedMerge);
+
+// One full sweep cell (scenario x policy x WNIC) — the unit the sweep
+// engine fans out; cell wall-clock is what bounds the figure benches.
+void BM_FullSimCellThroughput(benchmark::State& state) {
+  static const workloads::ScenarioBundle scenario =
+      workloads::scenario_grep_make(1);
+  sim::SweepCell cell;
+  cell.scenario = &scenario;
+  cell.policy = "flexfetch";
+  cell.wnic = device::WnicParams::cisco_aironet350();
+  std::uint64_t syscalls = 0;
+  for (auto _ : state) {
+    syscalls = sim::run_cell(cell).syscalls;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(syscalls) * state.iterations());
+}
+BENCHMARK(BM_FullSimCellThroughput)->Unit(benchmark::kMillisecond);
 
 void BM_BurstExtraction(benchmark::State& state) {
   const auto trace = workloads::make_trace();
@@ -182,29 +223,204 @@ int record_telemetry_overhead(const std::string& out_path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Arena hot-path speedup record (BENCH_hotpath.json).
+//
+// The "before" figures were measured immediately prior to the arena rewrite
+// (list-based 2Q cache, std::map C-SCAN, per-run trace scans) on the same
+// machine and with the same workload loops as the live "after" measurement
+// below, Release build, -O2 -flto. They are recorded constants so every
+// rerun reports the delta against the same pre-rewrite state.
+
+struct HotpathBefore {
+  double cache_fill_evict_mops = 4.188;
+  double cache_lookup_hit_mops = 134.592;
+  double cscan_mixed_mops = 47.628;
+  double full_sim_grep_ms = 2.710;        // grep / disk-only, min of 5.
+  std::uint64_t full_sim_grep_syscalls = 6399;
+  double cell_total_ms = 107.18;          // 5 scenarios x 2 policies, min of 3.
+  double cell_syscalls_per_sec = 522579;
+};
+
+double secs_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Measures the current hot paths with the pre-rewrite workload loops and
+/// writes before/after/speedup tuples to `out_path`.
+int record_hotpath(const std::string& out_path) {
+  using Clock = std::chrono::steady_clock;
+  const HotpathBefore before;
+
+  // 1. 2Q fill/evict steady state (capacity 1024, sequential page stream).
+  double fill_evict_mops = 0.0;
+  {
+    os::BufferCacheConfig config;
+    config.capacity_pages = 1024;
+    os::BufferCache cache(config);
+    std::vector<os::DirtyPage> flushed;
+    flushed.reserve(16);
+    constexpr std::uint64_t kOps = 4'000'000;
+    for (std::uint64_t i = 0; i < 2048; ++i) cache.fill(os::PageId{1, i}, 0.0);
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 2048; i < kOps; ++i) {
+      cache.fill(os::PageId{1, i}, 0.0, flushed);
+    }
+    fill_evict_mops = static_cast<double>(kOps - 2048) / secs_since(t0) / 1e6;
+  }
+
+  // 2. 2Q lookup hit.
+  double lookup_hit_mops = 0.0;
+  {
+    os::BufferCache cache;
+    for (std::uint64_t i = 0; i < 1000; ++i) cache.fill(os::PageId{1, i}, 0.0);
+    constexpr std::uint64_t kOps = 20'000'000;
+    std::uint64_t hits = 0;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      hits += cache.lookup(os::PageId{1, i % 1000}, 0.0) ? 1u : 0u;
+    }
+    const double s = secs_since(t0);
+    benchmark::DoNotOptimize(hits);
+    lookup_hit_mops = static_cast<double>(kOps) / s / 1e6;
+  }
+
+  // 3. C-SCAN submit/dispatch, mixed merge workload (3 of 4 submissions
+  //    extend the previous request, 1 of 4 jumps).
+  double cscan_mops = 0.0;
+  {
+    os::CScanScheduler sched;
+    constexpr std::uint64_t kOps = 4'000'000;
+    Bytes lba = 0;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      if (i % 4 == 0) lba = (i * 7919) % (1ull << 30);
+      sched.submit(device::DeviceRequest{.lba = lba, .size = 4096});
+      lba += 4096;
+      if (sched.pending() > 64) sched.dispatch();
+    }
+    while (sched.dispatch()) {
+    }
+    cscan_mops = static_cast<double>(kOps) / secs_since(t0) / 1e6;
+  }
+
+  // 4. Full simulation, grep / disk-only (min of 5).
+  double full_sim_ms = 0.0;
+  std::uint64_t full_sim_syscalls = 0;
+  {
+    const auto trace = workloads::grep_trace();
+    double best = 1e18;
+    for (int r = 0; r < 5; ++r) {
+      policies::DiskOnlyPolicy policy;
+      const auto t0 = Clock::now();
+      const auto res = sim::simulate(sim::SimConfig{}, trace, policy);
+      best = std::min(best, secs_since(t0));
+      full_sim_syscalls = res.syscalls;
+    }
+    full_sim_ms = best * 1e3;
+  }
+
+  // 5. Full-sim cell throughput: every scenario x {flexfetch, disk-only},
+  //    each cell min of 3 — the headline number for the arena rewrite.
+  double cell_total_ms = 0.0;
+  double cell_syscalls_per_sec = 0.0;
+  {
+    const auto scenarios = workloads::all_scenarios(1);
+    const auto wnic = device::WnicParams::cisco_aironet350();
+    double total_best = 0.0;
+    std::uint64_t total_syscalls = 0;
+    for (const auto& scenario : scenarios) {
+      for (const char* policy : {"flexfetch", "disk-only"}) {
+        sim::SweepCell cell;
+        cell.scenario = &scenario;
+        cell.policy = policy;
+        cell.wnic = wnic;
+        double best = 1e18;
+        std::uint64_t syscalls = 0;
+        for (int r = 0; r < 3; ++r) {
+          const auto t0 = Clock::now();
+          syscalls = sim::run_cell(cell).syscalls;
+          best = std::min(best, secs_since(t0));
+        }
+        total_best += best;
+        total_syscalls += syscalls;
+      }
+    }
+    cell_total_ms = total_best * 1e3;
+    cell_syscalls_per_sec = static_cast<double>(total_syscalls) / total_best;
+  }
+
+  std::printf(
+      "hotpath: fill/evict %.2f Mops (%.2fx)  lookup %.2f Mops (%.2fx)  "
+      "cscan %.2f Mops (%.2fx)  grep sim %.3f ms (%.2fx)  "
+      "10-cell %.2f ms (%.2fx)\n",
+      fill_evict_mops, fill_evict_mops / before.cache_fill_evict_mops,
+      lookup_hit_mops, lookup_hit_mops / before.cache_lookup_hit_mops,
+      cscan_mops, cscan_mops / before.cscan_mixed_mops, full_sim_ms,
+      before.full_sim_grep_ms / full_sim_ms, cell_total_ms,
+      before.cell_total_ms / cell_total_ms);
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  // Every entry: before (pre-arena), after (measured now), speedup (>1 is
+  // an improvement regardless of the unit's direction).
+  os << "{\n";
+  os << "  \"note\": \"before = pre-arena-rewrite measurement on the same "
+        "machine and workload loops; Release -O2\",\n";
+  os << "  \"benchmarks\": [\n";
+  const auto row = [&os](const char* name, const char* unit, double b,
+                         double a, double speedup, bool last) {
+    os << "    {\"name\": \"" << name << "\", \"unit\": \"" << unit
+       << "\", \"before\": " << b << ", \"after\": " << a
+       << ", \"speedup\": " << speedup << "}" << (last ? "\n" : ",\n");
+  };
+  row("cache_fill_evict", "Mops/s", before.cache_fill_evict_mops,
+      fill_evict_mops, fill_evict_mops / before.cache_fill_evict_mops, false);
+  row("cache_lookup_hit", "Mops/s", before.cache_lookup_hit_mops,
+      lookup_hit_mops, lookup_hit_mops / before.cache_lookup_hit_mops, false);
+  row("cscan_mixed_merge", "Mops/s", before.cscan_mixed_mops, cscan_mops,
+      cscan_mops / before.cscan_mixed_mops, false);
+  row("full_sim_grep_disk_only", "ms", before.full_sim_grep_ms, full_sim_ms,
+      before.full_sim_grep_ms / full_sim_ms, false);
+  row("cell_throughput_10_cells", "ms", before.cell_total_ms, cell_total_ms,
+      before.cell_total_ms / cell_total_ms, true);
+  os << "  ],\n";
+  os << "  \"full_sim_grep_syscalls\": " << full_sim_syscalls << ",\n";
+  os << "  \"cell_syscalls_per_sec_before\": " << before.cell_syscalls_per_sec
+     << ",\n";
+  os << "  \"cell_syscalls_per_sec_after\": " << cell_syscalls_per_sec << "\n";
+  os << "}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (full_sim_syscalls != before.full_sim_grep_syscalls) {
+    std::fprintf(stderr,
+                 "HOTPATH PERTURBATION: grep simulation now issues %llu "
+                 "syscalls (expected %llu)\n",
+                 static_cast<unsigned long long>(full_sim_syscalls),
+                 static_cast<unsigned long long>(before.full_sim_grep_syscalls));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string telemetry_out = "BENCH_telemetry.json";
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--telemetry-out") == 0 && i + 1 < argc) {
-      telemetry_out = argv[++i];
-    } else if (std::strncmp(argv[i], "--telemetry-out=", 16) == 0) {
-      telemetry_out = argv[i] + 16;
-    } else if (std::strncmp(argv[i], "--benchmark_", 12) == 0) {
-      argv[out++] = argv[i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--telemetry-out FILE] "
-                           "[--benchmark_*...]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
-  argc = out;
-  argv[argc] = nullptr;
+  std::string hotpath_out = "BENCH_hotpath.json";
+  bench::ParsedFlags flags;
+  flags.add("telemetry-out", &telemetry_out, "FILE");
+  flags.add("hotpath-out", &hotpath_out, "FILE");
+  flags.parse(argc, argv);
 
   if (const int rc = record_telemetry_overhead(telemetry_out); rc != 0) {
+    return rc;
+  }
+  if (const int rc = record_hotpath(hotpath_out); rc != 0) {
     return rc;
   }
   benchmark::Initialize(&argc, argv);

@@ -84,31 +84,19 @@ int run(int argc, char** argv) {
   std::string trace_out;
   bool metrics = false;
   std::vector<std::string> policy_names = policies::standard_policy_names();
-  bool run_serial_baseline = true;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--policies") == 0 && i + 1 < argc) {
-      policy_names = split_csv(argv[++i]);
-    } else if (std::strcmp(argv[i], "--no-serial") == 0) {
-      run_serial_baseline = false;
-    } else if (std::strcmp(argv[i], "--metrics") == 0) {
-      metrics = true;
-    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
-      trace_out = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--jobs N] [--policies a,b,c] [--seed S] "
-                   "[--out FILE] [--no-serial] [--metrics] "
-                   "[--trace-out FILE]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
+  bool no_serial = false;
+  std::string policies_csv;
+  bench::ParsedFlags flags;
+  flags.add("jobs", &jobs, "N");
+  flags.add("policies", &policies_csv, "a,b,c");
+  flags.add("seed", &seed, "S");
+  flags.add("out", &out_path, "FILE");
+  flags.add("no-serial", &no_serial);
+  flags.add("metrics", &metrics);
+  flags.add("trace-out", &trace_out, "FILE");
+  flags.parse(argc, argv);
+  if (!policies_csv.empty()) policy_names = split_csv(policies_csv);
+  const bool run_serial_baseline = !no_serial;
   jobs = sim::resolve_jobs(jobs);
 
   const auto scenarios = workloads::all_scenarios(seed);

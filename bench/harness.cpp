@@ -35,35 +35,103 @@ void print_table_row(double axis_value, const std::vector<double>& cells) {
   std::printf("\n");
 }
 
-HarnessOptions parse_harness_flags(int& argc, char** argv,
-                                   bool telemetry_flags) {
-  HarnessOptions opts;
+void ParsedFlags::add(std::string name, bool* target) {
+  flags_.push_back(Flag{.name = "--" + std::move(name), .bool_target = target});
+}
+
+void ParsedFlags::add(std::string name, int* target, std::string value_name) {
+  flags_.push_back(Flag{.name = "--" + std::move(name),
+                        .value_name = std::move(value_name),
+                        .int_target = target});
+}
+
+void ParsedFlags::add(std::string name, std::uint64_t* target,
+                      std::string value_name) {
+  flags_.push_back(Flag{.name = "--" + std::move(name),
+                        .value_name = std::move(value_name),
+                        .u64_target = target});
+}
+
+void ParsedFlags::add(std::string name, std::string* target,
+                      std::string value_name) {
+  flags_.push_back(Flag{.name = "--" + std::move(name),
+                        .value_name = std::move(value_name),
+                        .string_target = target});
+}
+
+void ParsedFlags::usage_and_exit(const char* argv0,
+                                 const char* offending) const {
+  std::fprintf(stderr, "%s: unknown argument '%s'\n", argv0, offending);
+  std::fprintf(stderr, "usage: %s", argv0);
+  for (const Flag& f : flags_) {
+    if (f.value_name.empty()) {
+      std::fprintf(stderr, " [%s]", f.name.c_str());
+    } else {
+      std::fprintf(stderr, " [%s %s]", f.name.c_str(), f.value_name.c_str());
+    }
+  }
+  std::fprintf(stderr, " [--benchmark_*...]\n");
+  std::exit(2);
+}
+
+void ParsedFlags::parse(int& argc, char** argv) const {
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
-    if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
-      opts.jobs = std::atoi(argv[++i]);
-    } else if (std::strncmp(a, "--jobs=", 7) == 0) {
-      opts.jobs = std::atoi(a + 7);
-    } else if (telemetry_flags && std::strcmp(a, "--metrics") == 0) {
-      opts.metrics = true;
-    } else if (telemetry_flags && std::strcmp(a, "--trace-out") == 0 &&
-               i + 1 < argc) {
-      opts.trace_out = argv[++i];
-    } else if (telemetry_flags && std::strncmp(a, "--trace-out=", 12) == 0) {
-      opts.trace_out = a + 12;
-    } else if (std::strncmp(a, "--benchmark_", 12) == 0) {
-      argv[out++] = argv[i];  // Left for google-benchmark to parse.
+    const Flag* matched = nullptr;
+    const char* inline_value = nullptr;
+    for (const Flag& f : flags_) {
+      if (std::strcmp(a, f.name.c_str()) == 0) {
+        matched = &f;
+        break;
+      }
+      // `--flag=VALUE` spelling, only meaningful for value flags.
+      if (!f.value_name.empty() &&
+          std::strncmp(a, f.name.c_str(), f.name.size()) == 0 &&
+          a[f.name.size()] == '=') {
+        matched = &f;
+        inline_value = a + f.name.size() + 1;
+        break;
+      }
+    }
+    if (matched == nullptr) {
+      if (std::strncmp(a, "--benchmark_", 12) == 0) {
+        argv[out++] = argv[i];  // Left for google-benchmark to parse.
+        continue;
+      }
+      usage_and_exit(argv[0], a);
+    }
+    if (matched->bool_target != nullptr) {
+      *matched->bool_target = true;
+      continue;
+    }
+    const char* value = inline_value;
+    if (value == nullptr) {
+      if (i + 1 >= argc) usage_and_exit(argv[0], a);
+      value = argv[++i];
+    }
+    if (matched->int_target != nullptr) {
+      *matched->int_target = std::atoi(value);
+    } else if (matched->u64_target != nullptr) {
+      *matched->u64_target = std::strtoull(value, nullptr, 10);
     } else {
-      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], a);
-      std::fprintf(stderr, "usage: %s [--jobs N]%s [--benchmark_*...]\n",
-                   argv[0],
-                   telemetry_flags ? " [--metrics] [--trace-out FILE]" : "");
-      std::exit(2);
+      *matched->string_target = value;
     }
   }
   argc = out;
   argv[argc] = nullptr;
+}
+
+HarnessOptions parse_harness_flags(int& argc, char** argv,
+                                   bool telemetry_flags) {
+  HarnessOptions opts;
+  ParsedFlags flags;
+  flags.add("jobs", &opts.jobs, "N");
+  if (telemetry_flags) {
+    flags.add("metrics", &opts.metrics);
+    flags.add("trace-out", &opts.trace_out, "FILE");
+  }
+  flags.parse(argc, argv);
   return opts;
 }
 

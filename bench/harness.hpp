@@ -4,6 +4,7 @@
 // (sim/sweep.hpp); results are deterministic and printed in grid order.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,42 @@ void print_table_header(const std::string& axis,
                         const std::vector<std::string>& columns);
 void print_table_row(double axis_value, const std::vector<double>& cells);
 
+/// Declarative command-line flag table. Each bench binary registers the
+/// flags it understands (`add`), then calls `parse` once: recognised flags
+/// are stripped from argv, `--benchmark_*` flags are left in place for
+/// google-benchmark, and anything else prints a generated usage message and
+/// exits with status 2 — unknown flags are never silently ignored. Adding a
+/// new flag (e.g. `--hotpath-out`) is one `add` call; spelling variants
+/// (`--flag VALUE` and `--flag=VALUE`) and the usage line come for free.
+class ParsedFlags {
+ public:
+  /// Bare boolean flag: `--name` sets *target to true.
+  void add(std::string name, bool* target);
+  /// Integer flag: `--name N` or `--name=N`.
+  void add(std::string name, int* target, std::string value_name);
+  /// Unsigned 64-bit flag (seeds): `--name N` or `--name=N`.
+  void add(std::string name, std::uint64_t* target, std::string value_name);
+  /// String flag: `--name VALUE` or `--name=VALUE`.
+  void add(std::string name, std::string* target, std::string value_name);
+
+  /// Parses argv in place; on return argv holds only argv[0] and any
+  /// `--benchmark_*` flags (argc updated to match).
+  void parse(int& argc, char** argv) const;
+
+ private:
+  struct Flag {
+    std::string name;           // Including the leading "--".
+    std::string value_name;     // Empty for booleans.
+    bool* bool_target = nullptr;
+    int* int_target = nullptr;
+    std::uint64_t* u64_target = nullptr;
+    std::string* string_target = nullptr;
+  };
+  [[noreturn]] void usage_and_exit(const char* argv0,
+                                   const char* offending) const;
+  std::vector<Flag> flags_;
+};
+
 /// Flags shared by the bench binaries, parsed by parse_harness_flags.
 struct HarnessOptions {
   int jobs = 0;
@@ -60,14 +97,12 @@ struct HarnessOptions {
   std::string trace_out;
 };
 
-/// Parses and strips the harness flags from argv:
+/// Parses and strips the harness flags from argv via ParsedFlags:
 ///   --jobs N        sweep worker threads
 ///   --metrics       per-cell telemetry metrics + merged summary
 ///   --trace-out F   Chrome trace of the first sweep cell (telemetry_flags)
-/// `--benchmark_*` flags are left in argv for google-benchmark. Any other
-/// argument prints a usage message and exits with status 2 — unknown flags
-/// are never silently ignored. Binaries without a telemetry surface pass
-/// telemetry_flags = false so --metrics/--trace-out are rejected too.
+/// Binaries without a telemetry surface pass telemetry_flags = false so
+/// --metrics/--trace-out are rejected too.
 HarnessOptions parse_harness_flags(int& argc, char** argv,
                                    bool telemetry_flags = true);
 

@@ -20,6 +20,13 @@ struct BurstRequest {
   Bytes offset = 0;
   Bytes size = 0;
   bool is_write = false;
+
+  /// Page span [first_page(), end_page()) covered by the request — the unit
+  /// FlexFetch's cache filter (Section 2.3.2) checks for residency.
+  std::uint64_t first_page() const { return offset / kPageSize; }
+  std::uint64_t end_page() const {
+    return size == 0 ? first_page() : (offset + size - 1) / kPageSize + 1;
+  }
 };
 
 struct IOBurst {

@@ -45,7 +45,8 @@ std::optional<CacheFilter> FlexFetchPolicy::make_cache_filter(
   // Section 2.3.2: profiled requests whose data is resident in the buffer
   // cache will not reach any device and are removed before estimation.
   return CacheFilter([this, &ctx](const BurstRequest& r) {
-    const bool cached = ctx.vfs().range_cached(r.inode, r.offset, r.size);
+    const bool cached =
+        ctx.vfs().range_cached_pages(r.inode, r.first_page(), r.end_page());
     if (cached) ++stats_.cache_filtered_requests;
     return cached;
   });

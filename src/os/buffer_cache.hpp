@@ -10,13 +10,18 @@
 // A page hit in A1out on (re)admission goes straight to Am; a brand-new page
 // goes to A1in. Dirty state is tracked per page so the write-back substrate
 // can find flush candidates.
+//
+// Storage layout: every page (resident or ghost) lives in one slot of a flat
+// arena sized at construction to capacity + kout. The A1in/Am/A1out queues
+// and the age-ordered dirty list are intrusive doubly-linked chains of slot
+// indices, and a fixed-size open-addressing table maps PageId -> slot. After
+// construction no operation allocates: lookup/fill/write/mark_clean run
+// entirely inside the arena, and evicted dirty pages are appended to a
+// caller-owned scratch buffer.
 #pragma once
 
 #include <cstddef>
-#include <deque>
-#include <list>
-#include <optional>
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "os/page.hpp"
@@ -62,68 +67,110 @@ class BufferCache {
   /// Section 2.3.2 profile filtering).
   bool contains(const PageId& id) const;
 
-  /// Inserts a clean page fetched from a device. Returns any dirty pages
-  /// evicted to make room (the caller must flush them).
-  std::vector<DirtyPage> fill(const PageId& id, Seconds now);
+  /// Inserts a clean page fetched from a device. Dirty pages evicted to
+  /// make room are APPENDED to `flushed` (the caller owns the buffer and
+  /// must flush them); nothing is cleared.
+  void fill(const PageId& id, Seconds now, std::vector<DirtyPage>& flushed);
 
-  /// Inserts/marks a page dirty (application write). Returns evicted dirty
-  /// pages, as fill().
+  /// Inserts/marks a page dirty (application write). Evictions reported as
+  /// fill().
+  void write(const PageId& id, Seconds now, std::vector<DirtyPage>& flushed);
+
+  /// Allocating conveniences (tests / one-shot callers).
+  std::vector<DirtyPage> fill(const PageId& id, Seconds now);
   std::vector<DirtyPage> write(const PageId& id, Seconds now);
 
   /// Marks a page clean after its write-back completed.
   void mark_clean(const PageId& id);
 
-  /// All dirty pages, oldest first. O(dirty) — reads the insertion-ordered
-  /// dirty list (dirtied_at is monotone in simulation time, so insertion
-  /// order IS age order).
-  std::vector<DirtyPage> dirty_pages() const;
+  /// Appends all dirty pages, oldest first, to `out`. O(dirty) — reads the
+  /// insertion-ordered dirty chain (dirtied_at is monotone in simulation
+  /// time, so insertion order IS age order).
+  void append_dirty_pages(std::vector<DirtyPage>& out) const;
 
-  /// Dirty pages whose age at `now` is at least `min_age`, oldest first.
-  /// O(matches) — a prefix scan of the dirty list.
+  /// Appends dirty pages whose age at `now` is at least `min_age`, oldest
+  /// first. O(matches) — a prefix scan of the dirty chain.
+  void append_dirty_pages_older_than(Seconds now, Seconds min_age,
+                                     std::vector<DirtyPage>& out) const;
+
+  std::vector<DirtyPage> dirty_pages() const;
   std::vector<DirtyPage> dirty_pages_older_than(Seconds now, Seconds min_age) const;
 
-  std::size_t size() const { return table_.size(); }
+  std::size_t size() const { return a1in_.size + am_.size; }
   std::size_t capacity() const { return capacity_; }
-  std::size_t dirty_count() const { return dirty_.size(); }
+  std::size_t dirty_count() const { return dirty_list_.size; }
   const CacheStats& stats() const { return stats_; }
 
   /// Drops every page (clean and dirty) — test helper / remount semantics.
   void clear();
 
  private:
-  enum class Queue : std::uint8_t { kA1in, kAm };
+  static constexpr std::uint32_t kNull = 0xffffffffu;
 
-  struct Entry {
-    Queue queue;
-    std::list<PageId>::iterator pos;
+  /// Which chain a slot is linked into (kFree slots sit on the free list).
+  enum class Where : std::uint8_t { kFree, kA1in, kAm, kA1out };
+
+  struct Slot {
+    PageId id;
+    std::uint32_t prev = kNull;        ///< Queue chain (or free-list next).
+    std::uint32_t next = kNull;
+    std::uint32_t dirty_prev = kNull;  ///< Dirty chain, valid iff dirty.
+    std::uint32_t dirty_next = kNull;
+    Where where = Where::kFree;
     bool dirty = false;
     Seconds dirtied_at = 0.0;
-    /// Valid iff dirty: this page's node in dirty_ (O(1) mark_clean/evict).
-    std::list<DirtyPage>::iterator dirty_pos;
   };
 
-  void mark_dirty(const PageId& id, Entry& e, Seconds now);
+  /// Doubly-linked chain of slot indices; head = front (newest/MRU for the
+  /// queues, oldest for the dirty list).
+  struct Chain {
+    std::uint32_t head = kNull;
+    std::uint32_t tail = kNull;
+    std::size_t size = 0;
+  };
 
-  /// Ensures a free slot, evicting per 2Q; collects evicted dirty pages.
+  struct MapEntry {
+    PageId key;
+    std::uint32_t slot = kNull;  ///< kNull = empty bucket.
+  };
+
+  // Open-addressing table (linear probe, backward-shift deletion); sized at
+  // construction so it never rehashes.
+  std::uint32_t map_find(const PageId& id) const;
+  void map_insert(const PageId& id, std::uint32_t slot);
+  void map_erase(const PageId& id);
+
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t s);
+
+  void chain_push_front(Chain& c, std::uint32_t s);
+  void chain_unlink(Chain& c, std::uint32_t s);
+
+  void mark_dirty(std::uint32_t s, Seconds now);
+  void dirty_unlink(std::uint32_t s);
+
+  /// Ensures a free resident slot, evicting per 2Q; collects evicted dirty
+  /// pages.
   void make_room(std::vector<DirtyPage>& flushed);
   void insert_new(const PageId& id, bool dirty, Seconds now,
                   std::vector<DirtyPage>& flushed);
-  void evict(const PageId& id, std::vector<DirtyPage>& flushed);
-  void push_ghost(const PageId& id);
 
   std::size_t capacity_;
   std::size_t kin_;
   std::size_t kout_;
 
-  std::list<PageId> a1in_;  ///< front = newest, back = FIFO eviction end.
-  std::list<PageId> am_;    ///< front = MRU, back = LRU.
-  std::list<PageId> a1out_;  ///< ghost ids, front = newest.
-  /// Dirty pages in dirtying order (front = oldest). Simulation time only
-  /// moves forward, so the list stays sorted by dirtied_at without ever
+  std::vector<Slot> arena_;  ///< capacity_ + kout_ slots, fixed size.
+  std::uint32_t free_head_ = kNull;
+  std::vector<MapEntry> map_;
+  std::size_t map_mask_ = 0;
+
+  Chain a1in_;   ///< head = newest, tail = FIFO eviction end.
+  Chain am_;     ///< head = MRU, tail = LRU.
+  Chain a1out_;  ///< ghost ids, head = newest.
+  /// Dirty pages in dirtying order (head = oldest). Simulation time only
+  /// moves forward, so the chain stays sorted by dirtied_at without ever
   /// being resorted; the flusher's age queries become prefix scans.
-  std::list<DirtyPage> dirty_;
-  std::unordered_map<PageId, Entry, PageIdHash> table_;
-  std::unordered_map<PageId, std::list<PageId>::iterator, PageIdHash> ghost_table_;
+  Chain dirty_list_;
   CacheStats stats_;
 };
 

@@ -1,8 +1,22 @@
 #include "os/io_scheduler.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace flexfetch::os {
+
+namespace {
+
+/// First queue entry with start LBA >= lba.
+std::vector<device::DeviceRequest>::iterator lower_bound_lba(
+    std::vector<device::DeviceRequest>& queue, Bytes lba) {
+  return std::lower_bound(
+      queue.begin(), queue.end(), lba,
+      [](const device::DeviceRequest& r, Bytes key) { return r.lba < key; });
+}
+
+}  // namespace
 
 void CScanScheduler::submit(const device::DeviceRequest& req) {
   FF_REQUIRE(req.size > 0, "scheduler: zero-size request");
@@ -10,17 +24,17 @@ void CScanScheduler::submit(const device::DeviceRequest& req) {
 
   // Try to merge with the predecessor (ends exactly where req starts).
   if (!queue_.empty()) {
-    auto next = queue_.lower_bound(req.lba);
+    auto next = lower_bound_lba(queue_, req.lba);
     if (next != queue_.begin()) {
       auto prev = std::prev(next);
-      device::DeviceRequest& p = prev->second;
+      device::DeviceRequest& p = *prev;
       if (p.is_write == req.is_write && p.lba + p.size == req.lba) {
         p.size += req.size;
         ++stats_.merged;
         // The grown request may now abut its successor; fold that in too.
-        if (next != queue_.end() && next->second.is_write == p.is_write &&
-            p.lba + p.size == next->first) {
-          p.size += next->second.size;
+        if (next != queue_.end() && next->is_write == p.is_write &&
+            p.lba + p.size == next->lba) {
+          p.size += next->size;
           queue_.erase(next);
           ++stats_.merged;
         }
@@ -28,34 +42,34 @@ void CScanScheduler::submit(const device::DeviceRequest& req) {
       }
     }
     // Try to merge with the successor (req ends exactly where it starts).
-    if (next != queue_.end() && next->second.is_write == req.is_write &&
-        req.lba + req.size == next->first) {
-      device::DeviceRequest grown = next->second;
-      grown.lba = req.lba;
-      grown.size += req.size;
-      queue_.erase(next);
-      queue_.emplace(grown.lba, grown);
+    if (next != queue_.end() && next->is_write == req.is_write &&
+        req.lba + req.size == next->lba) {
+      next->lba = req.lba;
+      next->size += req.size;
       ++stats_.merged;
       return;
     }
+    if (next != queue_.end() && next->lba == req.lba) {
+      // Overlapping start: widen the existing entry (rare; conservative).
+      next->size = std::max(next->size, req.size);
+      ++stats_.merged;
+      return;
+    }
+    queue_.insert(next, req);
+    return;
   }
 
-  auto [it, inserted] = queue_.emplace(req.lba, req);
-  if (!inserted) {
-    // Overlapping start: widen the existing entry (rare; conservative).
-    it->second.size = std::max(it->second.size, req.size);
-    ++stats_.merged;
-  }
+  queue_.push_back(req);
 }
 
 std::optional<device::DeviceRequest> CScanScheduler::dispatch() {
   if (queue_.empty()) return std::nullopt;
-  auto it = queue_.lower_bound(head_);
+  auto it = lower_bound_lba(queue_, head_);
   if (it == queue_.end()) {
     it = queue_.begin();  // C-SCAN wrap: jump back to the lowest LBA.
     ++stats_.sweeps;
   }
-  device::DeviceRequest req = it->second;
+  const device::DeviceRequest req = *it;
   queue_.erase(it);
   head_ = req.lba + req.size;
   ++stats_.dispatched;

@@ -7,11 +7,15 @@
 // to the lowest LBA when it passes the end — one sweep direction only, as
 // C-SCAN prescribes. Adjacent requests of the same direction are merged on
 // insert.
+//
+// The queue is a flat vector sorted by start LBA (binary search + shift on
+// insert). Queue depths are small — one syscall's page ranges — so the flat
+// layout beats the former std::map node allocation on every submit.
 #pragma once
 
 #include <cstddef>
-#include <map>
 #include <optional>
+#include <vector>
 
 #include "device/request.hpp"
 
@@ -35,6 +39,10 @@ class CScanScheduler {
   /// dispatched request.
   std::optional<device::DeviceRequest> dispatch();
 
+  /// Pre-sizes the queue so steady-state submit()s below `n` pending
+  /// requests never allocate.
+  void reserve(std::size_t n) { queue_.reserve(n); }
+
   bool empty() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
   Bytes head() const { return head_; }
@@ -42,9 +50,9 @@ class CScanScheduler {
   const SchedulerStats& stats() const { return stats_; }
 
  private:
-  /// Keyed by start LBA. Writes and reads are kept as distinct entries
+  /// Sorted by start LBA. Writes and reads are kept as distinct entries
   /// unless contiguous with matching direction.
-  std::map<Bytes, device::DeviceRequest> queue_;
+  std::vector<device::DeviceRequest> queue_;
   Bytes head_ = 0;
   SchedulerStats stats_;
 };

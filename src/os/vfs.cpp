@@ -1,6 +1,7 @@
 #include "os/vfs.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/error.hpp"
 
@@ -12,19 +13,30 @@ Bytes ReadPlan::bytes_to_fetch() const {
   return total;
 }
 
+void ReadPlan::reset() {
+  fetches.clear();
+  evicted_dirty.clear();
+  pages_demanded = 0;
+  pages_hit = 0;
+}
+
+void WritePlan::reset() {
+  evicted_dirty.clear();
+  pages_dirtied = 0;
+}
+
 Vfs::Vfs(VfsConfig config)
     : cache_(config.cache),
       readahead_(config.readahead),
       writeback_(config.writeback) {}
 
-ReadPlan Vfs::plan_read(const trace::SyscallRecord& r, Seconds now,
-                        Bytes file_extent) {
+void Vfs::plan_read(const trace::SyscallRecord& r, Seconds now,
+                    Bytes file_extent, std::uint64_t demand_first,
+                    std::uint64_t demand_end, ReadPlan& plan) {
   FF_REQUIRE(r.op == trace::OpType::kRead, "plan_read: not a read record");
-  ReadPlan plan;
+  plan.reset();
 
   const PageRange want = readahead_.on_read(r.inode, r.offset, r.size);
-  const std::uint64_t demand_first = page_index(r.offset);
-  const std::uint64_t demand_end = page_end_index(r.offset, r.size);
   plan.pages_demanded = demand_end - demand_first;
 
   // Prefetch stops at end-of-file; demand is always honoured.
@@ -53,10 +65,9 @@ ReadPlan Vfs::plan_read(const trace::SyscallRecord& r, Seconds now,
       }
       continue;
     }
-    // Miss: schedule the fetch and make the page resident.
-    auto evicted = cache_.fill(id, now);
-    plan.evicted_dirty.insert(plan.evicted_dirty.end(), evicted.begin(),
-                              evicted.end());
+    // Miss: schedule the fetch and make the page resident; evicted dirty
+    // pages land directly in the plan's buffer.
+    cache_.fill(id, now, plan.evicted_dirty);
     if (open_run && open_run->end_page() == p) {
       ++open_run->page_count;
     } else {
@@ -65,21 +76,36 @@ ReadPlan Vfs::plan_read(const trace::SyscallRecord& r, Seconds now,
     }
   }
   if (open_run) plan.fetches.push_back(*open_run);
+}
+
+ReadPlan Vfs::plan_read(const trace::SyscallRecord& r, Seconds now,
+                        Bytes file_extent) {
+  ReadPlan plan;
+  plan_read(r, now, file_extent, page_index(r.offset),
+            page_end_index(r.offset, r.size), plan);
   return plan;
 }
 
-WritePlan Vfs::plan_write(const trace::SyscallRecord& r, Seconds now) {
+void Vfs::plan_write(const trace::SyscallRecord& r, Seconds now,
+                     std::uint64_t first, std::uint64_t end, WritePlan& plan) {
   FF_REQUIRE(r.op == trace::OpType::kWrite, "plan_write: not a write record");
-  WritePlan plan;
-  const std::uint64_t first = page_index(r.offset);
-  const std::uint64_t end = page_end_index(r.offset, r.size);
+  plan.reset();
   for (std::uint64_t p = first; p < end; ++p) {
-    auto evicted = cache_.write(PageId{r.inode, p}, now);
-    plan.evicted_dirty.insert(plan.evicted_dirty.end(), evicted.begin(),
-                              evicted.end());
+    cache_.write(PageId{r.inode, p}, now, plan.evicted_dirty);
     ++plan.pages_dirtied;
   }
+}
+
+WritePlan Vfs::plan_write(const trace::SyscallRecord& r, Seconds now) {
+  WritePlan plan;
+  plan_write(r, now, page_index(r.offset), page_end_index(r.offset, r.size),
+             plan);
   return plan;
+}
+
+void Vfs::select_writeback(Seconds now, bool device_active,
+                           std::vector<DirtyPage>& out) const {
+  writeback_.select_flush(cache_, now, device_active, out);
 }
 
 std::vector<DirtyPage> Vfs::select_writeback(Seconds now,
@@ -107,8 +133,9 @@ std::vector<PageRange> Vfs::coalesce(std::vector<PageId> pages) {
   return out;
 }
 
-std::vector<PageRange> Vfs::coalesce_ordered(const std::vector<PageId>& pages) {
-  std::vector<PageRange> out;
+void Vfs::coalesce_ordered_into(const std::vector<PageId>& pages,
+                                std::vector<PageRange>& out) {
+  out.clear();
   for (const PageId& id : pages) {
     if (!out.empty() && out.back().inode == id.inode &&
         out.back().end_page() == id.index) {
@@ -118,13 +145,22 @@ std::vector<PageRange> Vfs::coalesce_ordered(const std::vector<PageId>& pages) {
                               .page_count = 1});
     }
   }
+}
+
+std::vector<PageRange> Vfs::coalesce_ordered(const std::vector<PageId>& pages) {
+  std::vector<PageRange> out;
+  coalesce_ordered_into(pages, out);
   return out;
 }
 
 bool Vfs::range_cached(Inode inode, Bytes offset, Bytes size) const {
-  const std::uint64_t first = page_index(offset);
-  const std::uint64_t end = page_end_index(offset, size);
-  for (std::uint64_t p = first; p < end; ++p) {
+  return range_cached_pages(inode, page_index(offset),
+                            page_end_index(offset, size));
+}
+
+bool Vfs::range_cached_pages(Inode inode, std::uint64_t first_page,
+                             std::uint64_t end_page) const {
+  for (std::uint64_t p = first_page; p < end_page; ++p) {
     if (!cache_.contains(PageId{inode, p})) return false;
   }
   return true;

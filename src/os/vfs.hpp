@@ -31,29 +31,51 @@ struct ReadPlan {
 
   bool fully_cached() const { return fetches.empty(); }
   Bytes bytes_to_fetch() const;
+
+  /// Resets counters and empties the vectors, keeping their capacity —
+  /// callers on the hot path reuse one plan across calls.
+  void reset();
 };
 
 /// Outcome of planning a write syscall (writes are buffered).
 struct WritePlan {
   std::uint64_t pages_dirtied = 0;
   std::vector<DirtyPage> evicted_dirty;  ///< Forced synchronous flushes.
+
+  void reset();
 };
 
 class Vfs {
  public:
   explicit Vfs(VfsConfig config = {});
 
-  /// Plans a read: returns miss ranges (with readahead applied) and inserts
-  /// the to-be-fetched pages into the cache. `file_extent`, when non-zero,
-  /// caps the readahead at end-of-file (the kernel never prefetches past
-  /// EOF); the demanded range is never truncated.
+  /// Plans a read into a caller-owned plan (reset() + refilled; reusing one
+  /// plan across calls makes this allocation-free at steady state). Returns
+  /// miss ranges (with readahead applied) and inserts the to-be-fetched
+  /// pages into the cache. `file_extent`, when non-zero, caps the readahead
+  /// at end-of-file (the kernel never prefetches past EOF); the demanded
+  /// range is never truncated. `demand_first`/`demand_end` are the record's
+  /// page span (page_index/page_end_index of its byte range), which compiled
+  /// traces precompute.
+  void plan_read(const trace::SyscallRecord& r, Seconds now, Bytes file_extent,
+                 std::uint64_t demand_first, std::uint64_t demand_end,
+                 ReadPlan& plan);
+
+  /// Allocating convenience: derives the page span from the record.
   ReadPlan plan_read(const trace::SyscallRecord& r, Seconds now,
                      Bytes file_extent = 0);
 
-  /// Plans a buffered write: dirties the covered pages.
+  /// Plans a buffered write: dirties the pages of [first, end).
+  void plan_write(const trace::SyscallRecord& r, Seconds now,
+                  std::uint64_t first, std::uint64_t end, WritePlan& plan);
+
   WritePlan plan_write(const trace::SyscallRecord& r, Seconds now);
 
-  /// Dirty pages the write-back policy wants flushed now.
+  /// Appends the dirty pages the write-back policy wants flushed now to the
+  /// caller-owned `out` (cleared first).
+  void select_writeback(Seconds now, bool device_active,
+                        std::vector<DirtyPage>& out) const;
+
   std::vector<DirtyPage> select_writeback(Seconds now, bool device_active) const;
 
   /// Marks pages clean after their flush completed.
@@ -68,9 +90,17 @@ class Vfs {
   /// the I/O scheduler.
   static std::vector<PageRange> coalesce_ordered(const std::vector<PageId>& pages);
 
+  /// In-place variant: `out` is cleared and refilled (capacity kept).
+  static void coalesce_ordered_into(const std::vector<PageId>& pages,
+                                    std::vector<PageRange>& out);
+
   /// True if every page of [offset, offset+size) in `inode` is resident —
   /// FlexFetch's Section 2.3.2 cache filter uses this.
   bool range_cached(Inode inode, Bytes offset, Bytes size) const;
+
+  /// Page-span form for callers that already know the range's pages.
+  bool range_cached_pages(Inode inode, std::uint64_t first_page,
+                          std::uint64_t end_page) const;
 
   BufferCache& cache() { return cache_; }
   const BufferCache& cache() const { return cache_; }

@@ -11,20 +11,31 @@ WritebackPolicy::WritebackPolicy(WritebackConfig config) : config_(config) {
   FF_REQUIRE(config.flush_interval > 0, "writeback: flush interval must be positive");
 }
 
-std::vector<DirtyPage> WritebackPolicy::select_flush(const BufferCache& cache,
-                                                     Seconds now,
-                                                     bool device_active) const {
-  if (cache.dirty_count() == 0) return {};
+void WritebackPolicy::select_flush(const BufferCache& cache, Seconds now,
+                                   bool device_active,
+                                   std::vector<DirtyPage>& out) const {
+  out.clear();
+  if (cache.dirty_count() == 0) return;
 
   if (device_active) {
     // Laptop mode: the device is already powered — flush everything that
     // has reached the normal expiry, plus piggyback the rest (eager flush).
-    return cache.dirty_pages();
+    cache.append_dirty_pages(out);
+    return;
   }
   if (cache.dirty_count() >= config_.dirty_pressure_pages) {
-    return cache.dirty_pages();  // Memory pressure overrides power saving.
+    cache.append_dirty_pages(out);  // Memory pressure overrides power saving.
+    return;
   }
-  return cache.dirty_pages_older_than(now, config_.laptop_mode_expire);
+  cache.append_dirty_pages_older_than(now, config_.laptop_mode_expire, out);
+}
+
+std::vector<DirtyPage> WritebackPolicy::select_flush(const BufferCache& cache,
+                                                     Seconds now,
+                                                     bool device_active) const {
+  std::vector<DirtyPage> out;
+  select_flush(cache, now, device_active, out);
+  return out;
 }
 
 }  // namespace flexfetch::os

@@ -29,13 +29,18 @@ class WritebackPolicy {
 
   const WritebackConfig& config() const { return config_; }
 
-  /// Dirty pages that must be flushed at `now`.
+  /// Dirty pages that must be flushed at `now`, appended to the caller's
+  /// `out` (cleared first; keeping one buffer per caller makes periodic
+  /// flusher wakeups allocation-free, even the frequent empty ones).
   ///
   /// `device_active` — whether the write-back target is currently in a
   /// high-power state (disk spinning / WNIC in CAM). Laptop mode flushes
   /// everything eagerly in that case ("eager writing back dirty blocks to
   /// active disks"), and otherwise only what has exceeded the laptop-mode
   /// expiry or what memory pressure forces out.
+  void select_flush(const BufferCache& cache, Seconds now, bool device_active,
+                    std::vector<DirtyPage>& out) const;
+
   std::vector<DirtyPage> select_flush(const BufferCache& cache, Seconds now,
                                       bool device_active) const;
 

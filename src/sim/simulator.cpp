@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/error.hpp"
 
@@ -28,40 +29,57 @@ Simulator::Simulator(SimConfig config, std::vector<ProgramSpec> programs,
   for (auto& spec : programs) {
     Program p;
     p.spec = std::move(spec);
-    // Precompute closed-loop think times: gap before record i is the traced
-    // inter-call distance minus the traced service duration of record i-1.
-    const auto& t = p.spec.trace;
-    p.think.resize(t.size(), 0.0);
-    for (std::size_t i = 1; i < t.size(); ++i) {
-      const Seconds gap = t[i].timestamp - (t[i - 1].timestamp + t[i - 1].duration);
-      p.think[i] = std::max(0.0, gap);
+    // The compiled trace carries the closed-loop think times, per-record
+    // page spans, and file extents/sets derived once from the trace.
+    if (p.spec.compiled != nullptr) {
+      p.ct = p.spec.compiled.get();
+    } else {
+      p.owned = std::make_shared<trace::CompiledTrace>(p.spec.trace);
+      p.ct = p.owned.get();
     }
+    const auto& t = p.spec.trace;
     const trace::ProcessGroup pgid =
         t.empty() ? next_pgid++ : t[0].pgid;
     processes_.register_program(pgid, p.spec.name, p.spec.profiled);
     if (p.spec.disk_pinned) {
-      for (const auto ino : t.file_set()) pinned_inodes_.insert(ino);
+      for (const auto ino : p.ct->file_set()) pinned_inodes_.insert(ino);
     }
     programs_.push_back(std::move(p));
   }
+  // One pending syscall per program plus the flusher and sync timers; the
+  // heap never outgrows this, so it never reallocates mid-run.
+  queue_.reserve(programs_.size() + 2);
 }
 
 void Simulator::schedule(Seconds t, EventKind kind, std::size_t program) {
-  queue_.push(Event{t, next_seq_++, kind, program});
+  queue_.push_back(Event{t, next_seq_++, kind, program});
+  std::push_heap(queue_.begin(), queue_.end(), std::greater<>{});
+}
+
+Simulator::Event Simulator::pop_event() {
+  std::pop_heap(queue_.begin(), queue_.end(), std::greater<>{});
+  const Event e = queue_.back();
+  queue_.pop_back();
+  return e;
 }
 
 SimResult Simulator::run() {
   result_ = SimResult{};
   result_.policy = policy_.name();
 
+  std::size_t expected_requests = 0;
   for (std::size_t i = 0; i < programs_.size(); ++i) {
-    const auto& tr = programs_[i].spec.trace;
-    if (tr.empty()) continue;
+    const Program& p = programs_[i];
+    if (p.spec.trace.empty()) continue;
     // Pre-place the program's files so disk layout follows inode order,
     // mirroring the paper's sequential file mapping.
-    layout_.place_all(tr.file_extents());
-    schedule(tr.start_time(), EventKind::kSyscall, i);
+    layout_.place_all(p.ct->file_extents());
+    schedule(p.ct->start_time(), EventKind::kSyscall, i);
     ++active_programs_;
+    expected_requests += p.ct->data_transfers();
+  }
+  if (config_.collect_request_log) {
+    result_.request_log.reserve(expected_requests);
   }
   if (config_.enable_writeback) {
     schedule(vfs_.writeback().next_wakeup(0.0), EventKind::kFlusher, 0);
@@ -77,8 +95,7 @@ SimResult Simulator::run() {
   policy_.begin(ctx_);
 
   while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
+    const Event ev = pop_event();
     ctx_.set_now(ev.time);
     if (ev.kind == EventKind::kSyscall) {
       handle_syscall(ev);
@@ -131,22 +148,26 @@ void Simulator::handle_syscall(const Event& ev) {
   Seconds completion = ev.time;
   switch (r.op) {
     case trace::OpType::kRead: {
-      auto plan = vfs_.plan_read(r, ev.time, layout_.extent_of(r.inode));
-      if (!plan.evicted_dirty.empty()) {
-        completion = std::max(completion,
-                              flush_dirty(ev.time, plan.evicted_dirty, &p));
-      }
-      if (!plan.fetches.empty()) {
+      vfs_.plan_read(r, ev.time, layout_.extent_of(r.inode),
+                     p.ct->first_page(p.cursor), p.ct->end_page(p.cursor),
+                     read_plan_);
+      if (!read_plan_.evicted_dirty.empty()) {
         completion = std::max(
-            completion, service_ranges(completion, plan.fetches, &r, p, false));
+            completion, flush_dirty(ev.time, read_plan_.evicted_dirty, &p));
+      }
+      if (!read_plan_.fetches.empty()) {
+        completion = std::max(completion, service_ranges(completion,
+                                                         read_plan_.fetches,
+                                                         &r, p, false));
       }
       break;
     }
     case trace::OpType::kWrite: {
-      auto plan = vfs_.plan_write(r, ev.time);
-      if (!plan.evicted_dirty.empty()) {
-        completion = std::max(completion,
-                              flush_dirty(ev.time, plan.evicted_dirty, &p));
+      vfs_.plan_write(r, ev.time, p.ct->first_page(p.cursor),
+                      p.ct->end_page(p.cursor), write_plan_);
+      if (!write_plan_.evicted_dirty.empty()) {
+        completion = std::max(
+            completion, flush_dirty(ev.time, write_plan_.evicted_dirty, &p));
       }
       // Local writes diverge the replica; the sync daemon will upload them.
       if (sync_) sync_->on_local_write(r.inode, r.size, ev.time);
@@ -177,7 +198,8 @@ void Simulator::handle_syscall(const Event& ev) {
 
   ++p.cursor;
   if (!p.done()) {
-    schedule(completion + p.think[p.cursor], EventKind::kSyscall, ev.program);
+    schedule(completion + p.ct->think(p.cursor), EventKind::kSyscall,
+             ev.program);
   } else {
     --active_programs_;
   }
@@ -246,12 +268,13 @@ Seconds Simulator::service_ranges(Seconds t,
 
 Seconds Simulator::flush_dirty(Seconds t, const std::vector<os::DirtyPage>& dirty,
                                const Program* program) {
-  std::vector<os::PageId> pages;
-  pages.reserve(dirty.size());
-  for (const auto& d : dirty) pages.push_back(d.page);
+  flush_pages_.clear();
+  flush_pages_.reserve(dirty.size());
+  for (const auto& d : dirty) flush_pages_.push_back(d.page);
   // Oldest-dirty-first submission; the I/O scheduler (if enabled) reorders
   // for the head, exactly as pdflush + elevator divide the work.
-  const auto ranges = os::Vfs::coalesce_ordered(pages);
+  os::Vfs::coalesce_ordered_into(flush_pages_, flush_ranges_);
+  const auto& ranges = flush_ranges_;
   // Write-back issued by the kernel (periodic flusher) is not attributed to
   // any profiled program.
   static const Program kSystem = [] {
@@ -320,8 +343,8 @@ void Simulator::run_flusher(Seconds t) {
   }
   const bool device_active =
       disk_.is_spinning() || wnic_.state() == device::WnicState::kCam;
-  const auto dirty = vfs_.select_writeback(t, device_active);
-  if (!dirty.empty()) flush_dirty(t, dirty, nullptr);
+  vfs_.select_writeback(t, device_active, wb_scratch_);
+  if (!wb_scratch_.empty()) flush_dirty(t, wb_scratch_, nullptr);
 }
 
 device::DeviceKind Simulator::choose_device(RequestContext& rc) {

@@ -10,7 +10,6 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <set>
 #include <string>
 #include <vector>
@@ -28,6 +27,7 @@
 #include "sim/results.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/recorder.hpp"
+#include "trace/compiled.hpp"
 #include "trace/trace.hpp"
 
 namespace flexfetch::sim {
@@ -42,6 +42,11 @@ struct ProgramSpec {
   /// Data exists only on the local disk (forces all its requests there),
   /// like the xmms MP3 files of Section 3.3.4.
   bool disk_pinned = false;
+  /// Optional pre-compiled form of `trace` (derived data only — see
+  /// trace/compiled.hpp). Sharing one across simulations of the same trace
+  /// (e.g. a sweep grid) skips the per-Simulator compilation; when null the
+  /// Simulator compiles the trace itself.
+  std::shared_ptr<const trace::CompiledTrace> compiled;
 };
 
 struct SimConfig {
@@ -84,8 +89,11 @@ class Simulator {
  private:
   struct Program {
     ProgramSpec spec;
+    /// spec.compiled.get() or owned.get() — never null after construction.
+    const trace::CompiledTrace* ct = nullptr;
+    /// Holds the compilation when the spec did not ship one.
+    std::shared_ptr<const trace::CompiledTrace> owned;
     std::size_t cursor = 0;
-    std::vector<Seconds> think;  ///< think[i] = gap before record i.
     bool done() const { return cursor >= spec.trace.size(); }
   };
 
@@ -104,6 +112,7 @@ class Simulator {
   };
 
   void schedule(Seconds t, EventKind kind, std::size_t program);
+  Event pop_event();
   void handle_syscall(const Event& ev);
   void run_flusher(Seconds t);
   void run_sync(Seconds t);
@@ -142,10 +151,23 @@ class Simulator {
   SimContext ctx_;
 
   std::set<trace::Inode> pinned_inodes_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  /// Pre-reserved flat binary heap ordered by Event::operator> (min-heap on
+  /// (time, seq)); holds at most one event per program plus the flusher and
+  /// sync timers.
+  std::vector<Event> queue_;
   std::uint64_t next_seq_ = 0;
   std::size_t active_programs_ = 0;
   SimResult result_;
+
+  // Scratch buffers reused across events so the steady-state event loop
+  // performs no heap allocation. Planning (read_plan_/write_plan_) and
+  // flushing (flush_pages_/flush_ranges_, wb_scratch_) never nest with
+  // themselves, so one buffer each suffices.
+  os::ReadPlan read_plan_;
+  os::WritePlan write_plan_;
+  std::vector<os::DirtyPage> wb_scratch_;
+  std::vector<os::PageId> flush_pages_;
+  std::vector<os::PageRange> flush_ranges_;
 
   // Telemetry bookkeeping (only advanced when recorder_ is live).
   std::uint64_t wb_sync_flushes_ = 0;

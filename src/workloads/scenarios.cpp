@@ -24,6 +24,15 @@ Trace merge_all(std::initializer_list<const Trace*> traces, std::string name) {
   return merged;
 }
 
+/// Pre-compiles every program's trace so each sweep cell's Simulator reuses
+/// the shared derived arrays instead of recompiling per run.
+ScenarioBundle compiled(ScenarioBundle b) {
+  for (auto& p : b.programs) {
+    p.compiled = std::make_shared<const trace::CompiledTrace>(p.trace);
+  }
+  return b;
+}
+
 /// grep followed by make, as two profiled programs. `run` selects the
 /// execution (profiling runs and evaluation runs use different run seeds
 /// but the same structure seed, so they touch the same files).
@@ -51,7 +60,7 @@ ScenarioBundle scenario_grep_make(std::uint64_t seed) {
   b.profiles = {record_profile(prior.grep), record_profile(prior.make)};
   b.programs.push_back(ProgramSpec{.trace = std::move(eval.grep), .name = "grep"});
   b.programs.push_back(ProgramSpec{.trace = std::move(eval.make), .name = "make"});
-  return b;
+  return compiled(std::move(b));
 }
 
 ScenarioBundle scenario_mplayer(std::uint64_t seed) {
@@ -63,7 +72,7 @@ ScenarioBundle scenario_mplayer(std::uint64_t seed) {
   b.oracle_future = eval;
   b.profiles = {record_profile(prior)};
   b.programs.push_back(ProgramSpec{.trace = std::move(eval), .name = "mplayer"});
-  return b;
+  return compiled(std::move(b));
 }
 
 ScenarioBundle scenario_thunderbird(std::uint64_t seed) {
@@ -76,7 +85,7 @@ ScenarioBundle scenario_thunderbird(std::uint64_t seed) {
   b.profiles = {record_profile(prior)};
   b.programs.push_back(
       ProgramSpec{.trace = std::move(eval), .name = "thunderbird"});
-  return b;
+  return compiled(std::move(b));
 }
 
 ScenarioBundle scenario_forced_spinup(std::uint64_t seed) {
@@ -99,7 +108,7 @@ ScenarioBundle scenario_forced_spinup(std::uint64_t seed) {
                                    .name = "xmms",
                                    .profiled = false,
                                    .disk_pinned = true});
-  return b;
+  return compiled(std::move(b));
 }
 
 ScenarioBundle scenario_stale_acroread(std::uint64_t seed) {
@@ -115,7 +124,7 @@ ScenarioBundle scenario_stale_acroread(std::uint64_t seed) {
   b.oracle_future = eval;
   b.profiles = {record_profile(prior)};
   b.programs.push_back(ProgramSpec{.trace = std::move(eval), .name = "acroread"});
-  return b;
+  return compiled(std::move(b));
 }
 
 std::vector<ScenarioBundle> all_scenarios(std::uint64_t seed) {

@@ -187,6 +187,88 @@ TEST(BufferCache, RejectsBadFractions) {
   EXPECT_THROW(BufferCache{c}, ConfigError);
 }
 
+// --- Edge semantics pinned before the slot-arena rewrite (kept verbatim
+// --- afterwards; the arena must reproduce all of them bit-for-bit).
+
+TEST(BufferCache, GhostReadmissionViaWriteGoesToAm) {
+  BufferCache c(small_config(8));
+  c.fill(PageId{1, 0}, 0.0);
+  for (std::uint64_t i = 1; i < 12; ++i) c.fill(PageId{1, i}, 0.0);
+  ASSERT_FALSE(c.contains(PageId{1, 0}));
+  // Re-admission through the write path must also land in Am.
+  c.write(PageId{1, 0}, 1.0);
+  for (std::uint64_t i = 100; i < 104; ++i) c.fill(PageId{2, i}, 2.0);
+  EXPECT_TRUE(c.contains(PageId{1, 0}));
+  EXPECT_EQ(c.dirty_count(), 1u);
+}
+
+TEST(BufferCache, KinKoutBoundaryRounding) {
+  // capacity 5 with the default fractions: kin = floor(1.25) = 1,
+  // kout = floor(2.5) = 2. Both floors are pinned here so the arena
+  // rewrite cannot silently change the rounding.
+  BufferCache c(small_config(5));
+  for (std::uint64_t i = 0; i < 5; ++i) c.fill(PageId{1, i}, 0.0);
+  // Sixth insert: A1in (size 5) is over kin=1, so FIFO-evict page 0.
+  c.fill(PageId{1, 5}, 0.0);
+  EXPECT_FALSE(c.contains(PageId{1, 0}));
+  // Evict two more; the ghost list holds only kout=2 ids, so the oldest
+  // ghost (page 0) must have been dropped by now.
+  c.fill(PageId{1, 6}, 0.0);
+  c.fill(PageId{1, 7}, 0.0);
+  const auto ghost_hits_before = c.stats().ghost_hits;
+  EXPECT_FALSE(c.lookup(PageId{1, 0}, 1.0));
+  EXPECT_EQ(c.stats().ghost_hits, ghost_hits_before);  // Fell off A1out.
+  EXPECT_FALSE(c.lookup(PageId{1, 2}, 1.0));
+  EXPECT_EQ(c.stats().ghost_hits, ghost_hits_before + 1);  // Still a ghost.
+}
+
+TEST(BufferCache, DirtyEvictionOrderFollowsA1inFifo) {
+  BufferCache c(small_config(8));
+  c.write(PageId{1, 0}, 1.0);
+  c.write(PageId{1, 1}, 2.0);
+  c.write(PageId{1, 2}, 3.0);
+  // Fill until all three dirty pages have been evicted; evictions must
+  // come back in A1in FIFO order (insertion order) with their dirty times.
+  std::vector<DirtyPage> flushed;
+  for (std::uint64_t i = 0; i < 32 && flushed.size() < 3; ++i) {
+    const auto evicted = c.fill(PageId{2, i}, 10.0);
+    flushed.insert(flushed.end(), evicted.begin(), evicted.end());
+  }
+  ASSERT_EQ(flushed.size(), 3u);
+  EXPECT_EQ(flushed[0].page, (PageId{1, 0}));
+  EXPECT_DOUBLE_EQ(flushed[0].dirtied_at, 1.0);
+  EXPECT_EQ(flushed[1].page, (PageId{1, 1}));
+  EXPECT_EQ(flushed[2].page, (PageId{1, 2}));
+  EXPECT_EQ(c.dirty_count(), 0u);
+}
+
+TEST(BufferCache, MarkCleanOnEvictedPageIsNoOp) {
+  BufferCache c(small_config(8));
+  c.write(PageId{1, 0}, 1.0);
+  std::vector<DirtyPage> flushed;
+  for (std::uint64_t i = 0; i < 32 && flushed.empty(); ++i) {
+    flushed = c.fill(PageId{2, i}, 2.0);
+  }
+  ASSERT_FALSE(flushed.empty());
+  // The page now lives (at most) in the ghost list; completing its
+  // write-back must not resurrect it or touch the dirty list.
+  EXPECT_NO_THROW(c.mark_clean(PageId{1, 0}));
+  EXPECT_FALSE(c.contains(PageId{1, 0}));
+  EXPECT_EQ(c.dirty_count(), 0u);
+  const auto dirty_before = c.stats();
+  (void)dirty_before;
+}
+
+TEST(BufferCache, A1inHitDoesNotChangeFifoOrder) {
+  // 2Q: a hit in A1in leaves the page in place; it must still be the FIFO
+  // eviction victim.
+  BufferCache c(small_config(8));
+  for (std::uint64_t i = 0; i < 8; ++i) c.fill(PageId{1, i}, 0.0);
+  EXPECT_TRUE(c.lookup(PageId{1, 0}, 1.0));  // Hit the FIFO head.
+  c.fill(PageId{2, 0}, 2.0);                 // Forces one eviction.
+  EXPECT_FALSE(c.contains(PageId{1, 0}));    // Still evicted first.
+}
+
 TEST(PageId, HashAndOrdering) {
   PageIdHash h;
   EXPECT_EQ(h(PageId{1, 2}), h(PageId{1, 2}));
