@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   spec.jobs = opts.jobs;
   spec.metrics = opts.metrics;
   spec.trace_out = opts.trace_out;
+  spec.fault_seed = opts.fault_seed;
   spec.policies = {"flexfetch", "bluefs", "disk-only", "wnic-only"};
   bench::print_figure("Figure 2 (mplayer)", workloads::scenario_mplayer(1),
                       spec);

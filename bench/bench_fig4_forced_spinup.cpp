@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   spec.jobs = opts.jobs;
   spec.metrics = opts.metrics;
   spec.trace_out = opts.trace_out;
+  spec.fault_seed = opts.fault_seed;
   spec.policies = {"flexfetch", "flexfetch-static", "bluefs", "disk-only",
                    "wnic-only"};
   bench::print_figure("Figure 4 (grep+make / xmms)",

@@ -4,7 +4,7 @@
 //
 //   ./build/bench/bench_sweep [--jobs N] [--policies a,b,c] [--seed S]
 //                             [--out FILE] [--no-serial] [--metrics]
-//                             [--trace-out FILE]
+//                             [--trace-out FILE] [--fault-seed S]
 //
 // Runs the grid once serially (jobs=1, the baseline) and once with N
 // workers, verifies the parallel results are bit-identical to the serial
@@ -80,6 +80,7 @@ int main(int argc, char** argv) {
 int run(int argc, char** argv) {
   int jobs = 0;
   std::uint64_t seed = 1;
+  std::uint64_t fault_seed = 0;
   std::string out_path = "BENCH_sweep.json";
   std::string trace_out;
   bool metrics = false;
@@ -90,6 +91,7 @@ int run(int argc, char** argv) {
   flags.add("jobs", &jobs, "N");
   flags.add("policies", &policies_csv, "a,b,c");
   flags.add("seed", &seed, "S");
+  flags.add("fault-seed", &fault_seed, "S");
   flags.add("out", &out_path, "FILE");
   flags.add("no-serial", &no_serial);
   flags.add("metrics", &metrics);
@@ -102,6 +104,7 @@ int run(int argc, char** argv) {
   const auto scenarios = workloads::all_scenarios(seed);
   bench::SweepSpec spec;
   spec.policies = policy_names;
+  spec.fault_seed = fault_seed;
 
   std::vector<sim::SweepCell> cells;
   for (const auto& scenario : scenarios) {
@@ -125,6 +128,10 @@ int run(int argc, char** argv) {
               scenarios.size(), spec.policies.size(),
               spec.latencies_ms.size() + spec.bandwidths_mbps.size(),
               cells.size(), jobs);
+  if (fault_seed != 0) {
+    std::printf("fault injection: schedule seed %llu applied to every cell\n",
+                static_cast<unsigned long long>(fault_seed));
+  }
 
   sim::SweepRunInfo info;
   info.jobs = jobs;

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <span>
 
+#include "faults/schedule.hpp"
 #include "policies/factory.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/metrics.hpp"
@@ -127,6 +128,7 @@ HarnessOptions parse_harness_flags(int& argc, char** argv,
   HarnessOptions opts;
   ParsedFlags flags;
   flags.add("jobs", &opts.jobs, "N");
+  flags.add("fault-seed", &opts.fault_seed, "S");
   if (telemetry_flags) {
     flags.add("metrics", &opts.metrics);
     flags.add("trace-out", &opts.trace_out, "FILE");
@@ -176,6 +178,12 @@ void print_metrics_summary(const SweepSpec& spec,
 std::vector<sim::SweepCell> figure_cells(
     const workloads::ScenarioBundle& scenario, const SweepSpec& spec) {
   const device::WnicParams base = device::WnicParams::cisco_aironet350();
+  // One schedule per figure, shared by every cell: each cell's SimConfig
+  // copies it, so the grid stays embarrassingly parallel.
+  faults::FaultSchedule fault_schedule;
+  if (spec.fault_seed != 0) {
+    fault_schedule = faults::generate_schedule(spec.fault_seed);
+  }
   std::vector<sim::SweepCell> cells;
   cells.reserve((spec.latencies_ms.size() + spec.bandwidths_mbps.size()) *
                 spec.policies.size());
@@ -187,6 +195,7 @@ std::vector<sim::SweepCell> figure_cells(
       cell.wnic = base.with_latency(units::ms(ms));
       cell.axis = "latency_ms";
       cell.axis_value = ms;
+      cell.config.faults = fault_schedule;
       cells.push_back(std::move(cell));
     }
   }
@@ -198,6 +207,7 @@ std::vector<sim::SweepCell> figure_cells(
       cell.wnic = base.with_bandwidth_mbps(mbps);
       cell.axis = "bandwidth_mbps";
       cell.axis_value = mbps;
+      cell.config.faults = fault_schedule;
       cells.push_back(std::move(cell));
     }
   }

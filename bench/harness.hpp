@@ -30,6 +30,10 @@ struct SweepSpec {
   /// If non-empty, record full events for the figure's first cell and
   /// write them there as Chrome trace_event JSON (chrome://tracing).
   std::string trace_out;
+  /// Non-zero: inject the deterministic fault schedule generated from this
+  /// seed (WNIC outages/degradations + disk spin-up stalls) into every
+  /// cell. Zero (default) leaves the grid fault-free.
+  std::uint64_t fault_seed = 0;
 };
 
 /// Runs one scenario under one policy with the given WNIC parameters.
@@ -95,12 +99,14 @@ struct HarnessOptions {
   int jobs = 0;
   bool metrics = false;
   std::string trace_out;
+  std::uint64_t fault_seed = 0;
 };
 
 /// Parses and strips the harness flags from argv via ParsedFlags:
 ///   --jobs N        sweep worker threads
 ///   --metrics       per-cell telemetry metrics + merged summary
 ///   --trace-out F   Chrome trace of the first sweep cell (telemetry_flags)
+///   --fault-seed S  inject the fault schedule generated from seed S
 /// Binaries without a telemetry surface pass telemetry_flags = false so
 /// --metrics/--trace-out are rejected too.
 HarnessOptions parse_harness_flags(int& argc, char** argv,

@@ -5,11 +5,17 @@
 namespace flexfetch::core {
 namespace {
 
-/// Replays bursts on a device copy; Device is Disk or Wnic (both expose
-/// service(t, req) and meter()).
+/// Replays bursts on a detached copy of the live device; Device is Disk or
+/// Wnic (both expose detached_copy(), service(t, req) and meter()). The
+/// copy is explicitly detached from telemetry so a counterfactual replay
+/// can never emit phantom events into the live recorder; it shares the
+/// live device's fault schedule, so the estimate prices upcoming outages
+/// and stalls.
 template <typename Device, typename MakeRequest>
-Estimate replay(Device dev, std::span<const IOBurst> bursts, Seconds start_time,
-                const CacheFilter* filter, MakeRequest&& make_request) {
+Estimate replay(const Device& live, std::span<const IOBurst> bursts,
+                Seconds start_time, const CacheFilter* filter,
+                MakeRequest&& make_request) {
+  Device dev = live.detached_copy();
   const Joules energy_before = dev.meter().total();
   Seconds t = std::max(start_time, dev.now());
   for (const IOBurst& burst : bursts) {

@@ -5,6 +5,8 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
+#include "faults/audit.hpp"
+#include "faults/schedule.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace flexfetch::core {
@@ -61,10 +63,21 @@ DeviceKind FlexFetchPolicy::evaluate(std::span<const IOBurst> bursts,
   for (const IOBurst& b : bursts) {
     stats_.estimator_requests_replayed += 2 * b.requests.size();
   }
+  // Estimate-purity probe: the two counterfactual replays below must leave
+  // the live devices and the recorder untouched.
+  faults::SimAudit* audit = ctx.audit();
+  std::optional<faults::PuritySnapshot> purity;
+  if (audit != nullptr) {
+    purity = audit->capture(ctx.disk(), ctx.wnic(), ctx.recorder());
+  }
   const Estimate disk =
       SourceEstimator::estimate_disk(ctx.disk(), bursts, now, ctx.layout(), f);
   const Estimate net =
       SourceEstimator::estimate_network(ctx.wnic(), bursts, now, f);
+  if (audit != nullptr) {
+    audit->check_estimate_purity(*purity, ctx.disk(), ctx.wnic(),
+                                 ctx.recorder());
+  }
   DeviceKind decision = decide_source(disk, net, config_.loss_rate);
   // Hysteresis: abandoning the currently used source needs a clear
   // estimated win; switching itself costs a transition on one device and a
@@ -131,8 +144,10 @@ void FlexFetchPolicy::enter_stage(sim::SimContext& ctx) {
   }
 
   if (config_.adapt_stage_audit) {
-    shadow_disk_ = ctx.disk();
-    shadow_wnic_ = ctx.wnic();
+    // Detached copies: shadow replays must never emit into the live
+    // recorder (they share the fault schedule, like estimator replicas).
+    shadow_disk_ = ctx.disk().detached_copy();
+    shadow_wnic_ = ctx.wnic().detached_copy();
     shadow_disk_->reset_accounting();
     shadow_wnic_->reset_accounting();
     live_energy_at_stage_start_ =
@@ -326,8 +341,70 @@ bool FlexFetchPolicy::free_rider_active(Seconds now,
              ctx.disk().params().spin_down_timeout;
 }
 
+void FlexFetchPolicy::maybe_react_to_fault(sim::SimContext& ctx) {
+  if (!config_.adapt_fault_failover) return;
+  const faults::FaultSchedule* fs = ctx.faults();
+  if (fs == nullptr) return;
+  const Seconds now = ctx.now();
+  // Is the source we are about to dispatch to inside a fault window? For
+  // the disk, a spin-up stall only matters when a spin-up is actually
+  // pending (a spinning disk services through a stall window unaffected).
+  Seconds window_start = -1.0;
+  if (choice_ == DeviceKind::kNetwork) {
+    if (const faults::OutageWindow* w = fs->wnic.outage_at(now)) {
+      window_start = w->start;
+    }
+  } else if (!ctx.disk().is_spinning()) {
+    if (const faults::SpinUpStall* s = fs->disk.stall_at(now)) {
+      window_start = s->start;
+    }
+  }
+  // One reaction per window: the re-evaluation already priced the whole
+  // window into its decision, so repeating it every request inside the
+  // same window could only flip-flop.
+  if (window_start < 0.0 || window_start == last_fault_window_start_) return;
+  last_fault_window_start_ = window_start;
+  ++stats_.fault_reevaluations;
+  if (auto* rec = ctx.recorder()) {
+    rec->instant(telemetry::Category::kFault, "fault.reevaluate",
+                 telemetry::track::kFault, now,
+                 {telemetry::str_arg("source", device::to_string(choice_)),
+                  telemetry::num_arg("window_start", window_start)});
+  }
+  // Re-run the splice decision over the remainder of the stage. The
+  // estimators replay on copies that share the live fault schedule, so the
+  // faulted source is priced with the stall it would actually suffer — the
+  // normal decision rule then decides whether waiting out the fault beats
+  // switching (a short outage may well be cheaper than a spin-up).
+  const std::size_t n = splice_n_ - 1;
+  const std::size_t stage_end = stage_idx_ < stages_.size()
+                                    ? stages_[stage_idx_].end_burst()
+                                    : old_profile_.size();
+  DeviceKind decision;
+  if (!old_profile_.empty() && n < stage_end) {
+    decision = evaluate(old_profile_.span(n, stage_end - n), now, ctx,
+                        DecisionRecord::Origin::kSplice, n);
+  } else {
+    // No profiled horizon to price against: a disconnected network source
+    // falls back to the disk; a stalled disk has no cheaper alternative
+    // worth guessing at (the network may be faulted too), so stay put.
+    decision = choice_ == DeviceKind::kNetwork ? DeviceKind::kDisk : choice_;
+  }
+  if (decision != choice_) {
+    choice_ = decision;
+    if (trust_profile_) profile_choice_ = decision;
+    ++stats_.fault_switches;
+    if (auto* rec = ctx.recorder()) {
+      rec->instant(telemetry::Category::kFault, "fault.switch",
+                   telemetry::track::kFault, now,
+                   {telemetry::str_arg("to", device::to_string(decision))});
+    }
+  }
+}
+
 DeviceKind FlexFetchPolicy::select(const sim::RequestContext& /*req*/,
                                    sim::SimContext& ctx) {
+  maybe_react_to_fault(ctx);
   if (choice_ == DeviceKind::kNetwork && free_rider_active(ctx.now(), ctx)) {
     ++stats_.free_rider_redirects;
     if (auto* rec = ctx.recorder()) {
@@ -385,6 +462,8 @@ void FlexFetchPolicy::export_metrics(telemetry::MetricsRegistry& m) const {
   m.add("ff.audit_overrides", num(stats_.audit_overrides));
   m.add("ff.free_rider_redirects", num(stats_.free_rider_redirects));
   m.add("ff.cache_filtered_requests", num(stats_.cache_filtered_requests));
+  m.add("ff.fault_reevaluations", num(stats_.fault_reevaluations));
+  m.add("ff.fault_switches", num(stats_.fault_switches));
   m.add("ff.estimator_requests_replayed",
         num(stats_.estimator_requests_replayed));
   m.add("ff.shadow_requests_replayed", num(stats_.shadow_requests_replayed));

@@ -60,6 +60,11 @@ struct FlexFetchConfig {
   bool adapt_stage_audit = true;
   bool adapt_cache_filter = true;
   bool adapt_free_rider = true;
+  /// Graceful degradation under injected faults: when the chosen source is
+  /// inside a fault window at dispatch time (WNIC outage, or a disk
+  /// spin-up stall while the disk is down), re-run the splice decision rule
+  /// so the policy may switch sources instead of stalling through it.
+  bool adapt_fault_failover = true;
 
   /// CPU energy charged per elementary scheme operation (one request
   /// replayed by an on-line estimator / shadow device, or one syscall
@@ -76,6 +81,7 @@ struct FlexFetchConfig {
     c.adapt_stage_audit = false;
     c.adapt_cache_filter = false;
     c.adapt_free_rider = false;
+    c.adapt_fault_failover = false;
     return c;
   }
 };
@@ -101,6 +107,8 @@ struct FlexFetchStats {
   std::uint64_t audit_overrides = 0;
   std::uint64_t free_rider_redirects = 0;
   std::uint64_t cache_filtered_requests = 0;
+  std::uint64_t fault_reevaluations = 0;  ///< Fault-triggered decision reruns.
+  std::uint64_t fault_switches = 0;       ///< ...that changed the source.
 
   // Scheme-overhead accounting (Section 5's deferred question).
   std::uint64_t estimator_requests_replayed = 0;
@@ -164,6 +172,9 @@ class FlexFetchPolicy : public sim::Policy {
   void finish_stage(sim::SimContext& ctx);
   void maybe_advance_stage(Seconds now, sim::SimContext& ctx);
   void maybe_splice_reevaluate(Seconds now, sim::SimContext& ctx);
+  /// Pre-dispatch fault check: if the chosen source is currently faulted,
+  /// re-run the decision rule (once per fault window) and maybe switch.
+  void maybe_react_to_fault(sim::SimContext& ctx);
 
   /// Decision-rule evaluation over a burst span from the live device states.
   device::DeviceKind evaluate(std::span<const IOBurst> bursts, Seconds now,
@@ -212,6 +223,10 @@ class FlexFetchPolicy : public sim::Policy {
 
   // Free rider.
   Seconds last_external_disk_activity_ = -1e18;
+
+  // Fault failover: start of the last fault window already reacted to,
+  // so one window triggers at most one re-evaluation.
+  Seconds last_fault_window_start_ = -1.0;
 
   FlexFetchStats stats_;
   std::vector<DecisionRecord> decision_log_;

@@ -54,6 +54,23 @@ void Disk::begin_spin_up() {
   ++counters_.spin_ups;
   state_ = DiskState::kSpinningUp;
   transition_end_ = now_ + params_.spin_up_time;
+  if (faults_ != nullptr) {
+    if (const faults::SpinUpStall* stall = faults_->stall_at(now_)) {
+      // Head-load retries: the spin-up stretches and burns extra energy.
+      transition_end_ += stall->extra_time;
+      meter_.add(EnergyCategory::kSpinUp, stall->extra_energy);
+      ++counters_.spin_up_stalls;
+      counters_.stall_time += stall->extra_time;
+      pending_fault_delay_ += stall->extra_time;
+      if (telem_) {
+        telem_->instant(
+            telemetry::Category::kFault, "fault.disk.spin_up_stall",
+            telemetry::track::kFault, now_,
+            {telemetry::num_arg("extra_s", stall->extra_time),
+             telemetry::num_arg("extra_j", stall->extra_energy)});
+      }
+    }
+  }
 }
 
 void Disk::advance_to(Seconds t) {
@@ -121,6 +138,7 @@ ServiceResult Disk::service(Seconds t, const DeviceRequest& req) {
   const Seconds arrival = std::max(t, now_);
   advance_to(arrival);
   const Joules energy_before = meter_.total();
+  pending_fault_delay_ = 0.0;
 
   make_ready();
   const Seconds start = now_;
@@ -130,11 +148,18 @@ ServiceResult Disk::service(Seconds t, const DeviceRequest& req) {
   if (sequential) {
     ++counters_.sequential_hits;
   } else {
-    const Bytes head = next_sequential_lba_.value_or(0);
-    const Bytes distance = head > req.lba ? head - req.lba : req.lba - head;
-    const Seconds positioning =
-        params_.seek_time(distance == 0 ? 1 : distance) +
-        params_.avg_rotation_time;
+    Seconds positioning;
+    if (next_sequential_lba_.has_value()) {
+      const Bytes head = *next_sequential_lba_;
+      const Bytes distance = head > req.lba ? head - req.lba : req.lba - head;
+      positioning = params_.seek_time(distance == 0 ? 1 : distance) +
+                    params_.avg_rotation_time;
+    } else {
+      // First-ever request: the head position is unknown, so charge the
+      // average stroke — not the distance from LBA 0, which would price
+      // far files a near-full stroke on an arbitrary convention.
+      positioning = params_.avg_seek_time + params_.avg_rotation_time;
+    }
     meter_.add(EnergyCategory::kActiveTransfer,
                params_.active_power * positioning);
     counters_.seek_time += positioning;
@@ -172,11 +197,12 @@ ServiceResult Disk::service(Seconds t, const DeviceRequest& req) {
       .start = start,
       .completion = now_,
       .energy = energy,
+      .fault_delay = pending_fault_delay_,
   };
 }
 
 ServiceResult Disk::estimate(Seconds t, const DeviceRequest& req) const {
-  Disk copy = *this;
+  Disk copy = detached_copy();
   return copy.service(t, req);
 }
 
@@ -201,6 +227,18 @@ void Disk::force_spin_up(Seconds t) {
 
 Seconds Disk::time_to_ready(Seconds t) const {
   const Seconds at = std::max(t, now_);
+  // Spin-up duration for a spin-up beginning at `begin`, stall included —
+  // keeps this closed form consistent with what service()/make_ready()
+  // would actually do under an injected fault schedule.
+  const auto spin_up_from = [this](Seconds begin) {
+    Seconds d = params_.spin_up_time;
+    if (faults_ != nullptr) {
+      if (const faults::SpinUpStall* stall = faults_->stall_at(begin)) {
+        d += stall->extra_time;
+      }
+    }
+    return d;
+  };
   switch (state_) {
     case DiskState::kIdle: {
       const Seconds deadline = idle_since_ + params_.spin_down_timeout;
@@ -208,14 +246,14 @@ Seconds Disk::time_to_ready(Seconds t) const {
       // Would have spun down by `at`: wait out (remaining) spin-down + up.
       const Seconds spin_down_end = deadline + params_.spin_down_time;
       const Seconds wait = spin_down_end > at ? spin_down_end - at : 0.0;
-      return wait + params_.spin_up_time;
+      return wait + spin_up_from(at + wait);
     }
     case DiskState::kSpinningDown: {
       const Seconds wait = transition_end_ > at ? transition_end_ - at : 0.0;
-      return wait + params_.spin_up_time;
+      return wait + spin_up_from(at + wait);
     }
     case DiskState::kStandby:
-      return params_.spin_up_time;
+      return spin_up_from(at);
     case DiskState::kSpinningUp:
       return transition_end_ > at ? transition_end_ - at : 0.0;
   }

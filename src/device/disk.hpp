@@ -17,6 +17,7 @@
 #include "device/disk_params.hpp"
 #include "device/energy_meter.hpp"
 #include "device/request.hpp"
+#include "faults/schedule.hpp"
 #include "telemetry/recorder.hpp"
 
 namespace flexfetch::device {
@@ -38,6 +39,8 @@ struct DiskCounters {
   Bytes bytes_read = 0;
   Bytes bytes_written = 0;
   Seconds seek_time = 0.0;  ///< Total head positioning (seek + rotation).
+  std::uint64_t spin_up_stalls = 0;  ///< Spin-ups hit by an injected stall.
+  Seconds stall_time = 0.0;          ///< Extra spin-up time from stalls.
 };
 
 class Disk {
@@ -57,13 +60,30 @@ class Disk {
   /// Estimates servicing `req` at `t` without mutating this disk.
   ServiceResult estimate(Seconds t, const DeviceRequest& req) const;
 
+  /// A copy safe to mutate in counterfactual replays: identical timeline
+  /// state, but detached from the live telemetry recorder so hypothetical
+  /// requests never emit phantom events. (The copy constructor already
+  /// detaches — see RecorderHandle — this spelling makes the intent
+  /// explicit at every replay site.) The fault schedule pointer IS shared:
+  /// estimates must price the faults the live disk will face.
+  Disk detached_copy() const { return *this; }
+
   /// Externally forces the disk towards the spinning state at time `t`
   /// (e.g. a BlueFS ghost hint). No-op if already spinning or spinning up.
   void force_spin_up(Seconds t);
 
   /// Delay until a request arriving at `t` would start transferring its
   /// first byte, ignoring positioning (used by reactive policies).
+  /// Fault-aware: includes the stall of a spin-up that would begin inside
+  /// an injected stall window.
   Seconds time_to_ready(Seconds t) const;
+
+  /// Attaches a fault schedule (owned by the caller, must outlive the
+  /// disk and every copy). Spin-ups beginning inside a stall window take
+  /// longer and burn extra energy. nullptr detaches.
+  void set_fault_schedule(const faults::DiskFaultSchedule* schedule) {
+    faults_ = schedule;
+  }
 
   DiskState state() const { return state_; }
   Seconds now() const { return now_; }
@@ -122,6 +142,11 @@ class Disk {
   DiskCounters counters_;
   telemetry::RecorderHandle telem_;
   Seconds state_since_ = 0.0;  ///< Start of the current power-state span.
+  /// Shared with copies (see detached_copy); null = no injected faults.
+  const faults::DiskFaultSchedule* faults_ = nullptr;
+  /// Stall delay charged by begin_spin_up() since the last service()
+  /// entry; reported as ServiceResult::fault_delay.
+  Seconds pending_fault_delay_ = 0.0;
 };
 
 }  // namespace flexfetch::device

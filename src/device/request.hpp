@@ -35,6 +35,8 @@ struct ServiceResult {
   Seconds completion = 0.0;  ///< When the last byte was delivered.
   Joules energy = 0.0;       ///< Energy attributable to this request,
                              ///< including transition costs it triggered.
+  Seconds fault_delay = 0.0; ///< Portion of the wait caused by an injected
+                             ///< fault (outage stall, spin-up retry).
 
   Seconds service_time() const { return completion - arrival; }
 };

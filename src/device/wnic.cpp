@@ -113,10 +113,51 @@ void Wnic::make_cam() {
   FF_ASSERT(state_ == WnicState::kCam);
 }
 
+Seconds Wnic::wait_out_outage() {
+  if (faults_ == nullptr) return 0.0;
+  Seconds stalled = 0.0;
+  // Loop: waiting out one window can land exactly on (never inside)
+  // another, since validated windows are disjoint and sorted.
+  while (const faults::OutageWindow* w = faults_->outage_at(now_)) {
+    const Seconds resume = w->end;
+    const Seconds wait = resume - now_;
+    ++counters_.outage_stalls;
+    counters_.outage_wait += wait;
+    stalled += wait;
+    if (telem_) {
+      telem_->span(telemetry::Category::kFault, "fault.wnic.outage",
+                   telemetry::track::kFault, now_, resume,
+                   {telemetry::num_arg("wait_s", wait)});
+    }
+    // The radio keeps burning its power-state budget while disassociated
+    // (it may even drop to PSM mid-outage via the normal timeout).
+    advance_to(resume);
+  }
+  return stalled;
+}
+
+BytesPerSecond Wnic::effective_bandwidth(Seconds t) {
+  BytesPerSecond bw = params_.bandwidth_at(t);
+  if (faults_ != nullptr) {
+    const double factor = faults_->degradation_at(t);
+    if (factor != 1.0) {
+      bw *= factor;
+      ++counters_.degraded_transfers;
+      if (telem_) {
+        telem_->instant(telemetry::Category::kFault, "fault.wnic.degraded",
+                        telemetry::track::kFault, t,
+                        {telemetry::num_arg("factor", factor)});
+      }
+    }
+  }
+  return bw;
+}
+
 ServiceResult Wnic::service(Seconds t, const DeviceRequest& req) {
   FF_REQUIRE(req.size > 0, "wnic request with zero size");
   const Seconds arrival = std::max(t, now_);
   advance_to(arrival);
+  const Seconds fault_delay = wait_out_outage();
   const Joules energy_before = meter_.total();
 
   ++counters_.requests;
@@ -135,7 +176,7 @@ ServiceResult Wnic::service(Seconds t, const DeviceRequest& req) {
     const Seconds lat = params_.latency + params_.psm_beacon_wait;
     meter_.add(EnergyCategory::kPsmIdle, params_.psm_idle_power * lat);
     now_ += lat;
-    const Seconds xfer = transfer_time(req.size, params_.bandwidth_at(now_));
+    const Seconds xfer = transfer_time(req.size, effective_bandwidth(now_));
     const Watts p = req.is_write ? params_.psm_send_power : params_.psm_recv_power;
     meter_.add(req.is_write ? EnergyCategory::kSend : EnergyCategory::kRecv,
                p * xfer);
@@ -153,7 +194,8 @@ ServiceResult Wnic::service(Seconds t, const DeviceRequest& req) {
     return ServiceResult{.arrival = arrival,
                          .start = start,
                          .completion = now_,
-                         .energy = energy};
+                         .energy = energy,
+                         .fault_delay = fault_delay};
   }
 
   make_cam();
@@ -169,7 +211,7 @@ ServiceResult Wnic::service(Seconds t, const DeviceRequest& req) {
   const Watts p = req.is_write ? params_.cam_send_power : params_.cam_recv_power;
   // Roaming: the transfer runs at the link rate in effect when it starts
   // (rate changes mid-transfer are quantized to request boundaries).
-  const Seconds xfer = transfer_time(req.size, params_.bandwidth_at(now_));
+  const Seconds xfer = transfer_time(req.size, effective_bandwidth(now_));
   meter_.add(req.is_write ? EnergyCategory::kSend : EnergyCategory::kRecv,
              p * (lat + xfer));
   now_ += lat + xfer;
@@ -191,11 +233,12 @@ ServiceResult Wnic::service(Seconds t, const DeviceRequest& req) {
   return ServiceResult{.arrival = arrival,
                        .start = start,
                        .completion = now_,
-                       .energy = energy};
+                       .energy = energy,
+                       .fault_delay = fault_delay};
 }
 
 ServiceResult Wnic::estimate(Seconds t, const DeviceRequest& req) const {
-  Wnic copy = *this;
+  Wnic copy = detached_copy();
   return copy.service(t, req);
 }
 

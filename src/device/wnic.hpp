@@ -16,6 +16,7 @@
 #include "device/energy_meter.hpp"
 #include "device/request.hpp"
 #include "device/wnic_params.hpp"
+#include "faults/schedule.hpp"
 #include "telemetry/recorder.hpp"
 
 namespace flexfetch::device {
@@ -36,6 +37,9 @@ struct WnicCounters {
   std::uint64_t sleeps = 0;         ///< CAM -> PSM switches.
   Bytes bytes_sent = 0;
   Bytes bytes_received = 0;
+  std::uint64_t outage_stalls = 0;       ///< Requests stalled by an outage.
+  std::uint64_t degraded_transfers = 0;  ///< Transfers at a degraded rate.
+  Seconds outage_wait = 0.0;             ///< Total time waiting out outages.
 };
 
 class Wnic {
@@ -55,8 +59,25 @@ class Wnic {
   /// Estimates servicing `req` at `t` without mutating this card.
   ServiceResult estimate(Seconds t, const DeviceRequest& req) const;
 
+  /// A copy safe to mutate in counterfactual replays: identical timeline
+  /// state, detached from the live telemetry recorder (the copy
+  /// constructor already detaches — see RecorderHandle). The fault
+  /// schedule pointer IS shared: estimates must price the remainder of an
+  /// ongoing outage.
+  Wnic detached_copy() const { return *this; }
+
   /// Delay until a request arriving at `t` could start transferring.
+  /// Power-state readiness only: injected link outages gate transfers, not
+  /// CAM entry, and are surfaced via ServiceResult::fault_delay instead.
   Seconds time_to_ready(Seconds t) const;
+
+  /// Attaches a fault schedule (owned by the caller, must outlive the
+  /// card and every copy). Transfers cannot start inside an outage window
+  /// and run at a degraded rate inside a degradation window. nullptr
+  /// detaches.
+  void set_fault_schedule(const faults::WnicFaultSchedule* schedule) {
+    faults_ = schedule;
+  }
 
   WnicState state() const { return state_; }
   Seconds now() const { return now_; }
@@ -84,6 +105,11 @@ class Wnic {
   void note_state_end(WnicState ended, Seconds until);
   /// Brings the card to CAM, waiting out/paying for transitions.
   void make_cam();
+  /// Waits out any outage containing now_ (power-state timers keep
+  /// running); returns the stall length, 0 when not in an outage.
+  Seconds wait_out_outage();
+  /// Link rate at `t` with any degradation window applied.
+  BytesPerSecond effective_bandwidth(Seconds t);
 
   WnicParams params_;
   WnicState state_ = WnicState::kCam;
@@ -95,6 +121,8 @@ class Wnic {
   WnicCounters counters_;
   telemetry::RecorderHandle telem_;
   Seconds state_since_ = 0.0;  ///< Start of the current power-state span.
+  /// Shared with copies (see detached_copy); null = no injected faults.
+  const faults::WnicFaultSchedule* faults_ = nullptr;
 };
 
 }  // namespace flexfetch::device

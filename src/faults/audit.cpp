@@ -1,0 +1,207 @@
+#include "faults/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace flexfetch::faults {
+
+namespace {
+
+/// Per-power-state span-duration totals of one device's telemetry track.
+struct TrackTiling {
+  bool any = false;
+  Seconds first_start = 0.0;
+  Seconds last_end = 0.0;
+  /// Sum of span durations whose name matches the given state label.
+  Seconds total_for(std::span<const telemetry::TraceEvent> events,
+                    std::uint32_t track, const char* state) {
+    Seconds total = 0.0;
+    for (const auto& ev : events) {
+      if (ev.phase != telemetry::Phase::kSpan || ev.track != track) continue;
+      if (std::string_view(ev.name) == state) total += ev.duration;
+    }
+    return total;
+  }
+};
+
+}  // namespace
+
+void SimAudit::fail(const std::string& what) const {
+  throw InternalError("sim audit: " + what);
+}
+
+bool SimAudit::close(double a, double b) const {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= config_.energy_eps * scale;
+}
+
+void SimAudit::check_meter(const device::EnergyMeter& meter,
+                           Joules& last_total, const char* device) {
+  Joules sum = 0.0;
+  for (std::size_t c = 0;
+       c < static_cast<std::size_t>(device::EnergyCategory::kCount); ++c) {
+    const Joules j = meter[static_cast<device::EnergyCategory>(c)];
+    if (j < 0.0) {
+      fail(std::string(device) + " meter category " +
+           to_string(static_cast<device::EnergyCategory>(c)) + " is negative");
+    }
+    sum += j;
+  }
+  // total() is defined as the category sum, so this is exact by
+  // construction — the check guards against a future total cache drifting.
+  if (sum != meter.total()) {
+    fail(std::string(device) + " meter categories do not sum to total");
+  }
+  if (meter.total() < last_total) {
+    fail(std::string(device) + " meter total decreased");
+  }
+  last_total = meter.total();
+  checks_ += 3;
+}
+
+void SimAudit::on_event(Seconds event_time, const device::Disk& disk,
+                        const device::Wnic& wnic, const os::Vfs& vfs) {
+  if (event_time < last_event_time_) fail("event clock moved backwards");
+  if (disk.now() < last_disk_now_) fail("disk clock moved backwards");
+  if (wnic.now() < last_wnic_now_) fail("wnic clock moved backwards");
+  last_event_time_ = event_time;
+  last_disk_now_ = disk.now();
+  last_wnic_now_ = wnic.now();
+  checks_ += 3;
+
+  check_meter(disk.meter(), last_disk_total_, "disk");
+  check_meter(wnic.meter(), last_wnic_total_, "wnic");
+
+  const os::BufferCache& cache = vfs.cache();
+  const os::CacheStats& cs = cache.stats();
+  if (cs.insertions < cs.evictions) {
+    fail("cache evicted more pages than it inserted");
+  }
+  if (cache.size() != cs.insertions - cs.evictions) {
+    fail("cache resident pages != insertions - evictions");
+  }
+  if (cache.size() > cache.capacity()) fail("cache over capacity");
+  if (cache.dirty_count() > cache.size()) {
+    fail("cache dirty pages exceed resident pages");
+  }
+  if (cs.hits > cs.lookups) fail("cache hits exceed lookups");
+  checks_ += 5;
+}
+
+PuritySnapshot SimAudit::capture(const device::Disk& disk,
+                                 const device::Wnic& wnic,
+                                 const telemetry::Recorder* recorder) const {
+  return PuritySnapshot{
+      .disk_now = disk.now(),
+      .disk_state = disk.state(),
+      .disk_energy = disk.meter().total(),
+      .disk_requests = disk.counters().requests,
+      .disk_spin_ups = disk.counters().spin_ups,
+      .wnic_now = wnic.now(),
+      .wnic_state = wnic.state(),
+      .wnic_energy = wnic.meter().total(),
+      .wnic_requests = wnic.counters().requests,
+      .wnic_wakes = wnic.counters().wakes,
+      .recorder_emitted = recorder != nullptr ? recorder->emitted() : 0,
+  };
+}
+
+void SimAudit::check_estimate_purity(const PuritySnapshot& before,
+                                     const device::Disk& disk,
+                                     const device::Wnic& wnic,
+                                     const telemetry::Recorder* recorder) {
+  const PuritySnapshot after = capture(disk, wnic, recorder);
+  if (after.disk_now != before.disk_now ||
+      after.disk_state != before.disk_state ||
+      after.disk_energy != before.disk_energy ||
+      after.disk_requests != before.disk_requests ||
+      after.disk_spin_ups != before.disk_spin_ups) {
+    fail("counterfactual replay mutated the live disk");
+  }
+  if (after.wnic_now != before.wnic_now ||
+      after.wnic_state != before.wnic_state ||
+      after.wnic_energy != before.wnic_energy ||
+      after.wnic_requests != before.wnic_requests ||
+      after.wnic_wakes != before.wnic_wakes) {
+    fail("counterfactual replay mutated the live wnic");
+  }
+  if (after.recorder_emitted != before.recorder_emitted) {
+    fail("counterfactual replay leaked telemetry events into the recorder");
+  }
+  checks_ += 3;
+}
+
+void SimAudit::on_run_end(const device::Disk& disk, const device::Wnic& wnic,
+                          std::span<const telemetry::TraceEvent> events,
+                          std::uint64_t dropped) {
+  check_meter(disk.meter(), last_disk_total_, "disk");
+  check_meter(wnic.meter(), last_wnic_total_, "wnic");
+  // The power-span reconciliation needs the complete timeline; a lossy ring
+  // (or telemetry off) leaves nothing sound to check.
+  if (dropped != 0 || events.empty()) return;
+
+  for (const std::uint32_t track :
+       {telemetry::track::kDiskPower, telemetry::track::kWnicPower}) {
+    const char* which =
+        track == telemetry::track::kDiskPower ? "disk" : "wnic";
+    const Seconds final_now =
+        track == telemetry::track::kDiskPower ? disk.now() : wnic.now();
+    bool any = false;
+    Seconds cursor = 0.0;
+    for (const auto& ev : events) {
+      if (ev.phase != telemetry::Phase::kSpan || ev.track != track) continue;
+      if (!any) {
+        if (!close(ev.start, 0.0)) {
+          fail(std::string(which) + " power timeline does not start at 0");
+        }
+      } else if (!close(ev.start, cursor)) {
+        fail(std::string(which) + " power timeline has a gap or overlap at " +
+             format_seconds(ev.start));
+      }
+      cursor = ev.end();
+      any = true;
+      ++checks_;
+    }
+    if (any && !close(cursor, final_now)) {
+      fail(std::string(which) +
+           " power timeline does not tile up to the device clock");
+    }
+  }
+
+  TrackTiling tiling;
+  // Standby time carries no transfers, so its span integral must equal the
+  // metered standby energy; idle/CAM/PSM spans contain transfer time too,
+  // so their integrals only bound the idle-category energy from above.
+  const Seconds standby = tiling.total_for(
+      events, telemetry::track::kDiskPower, to_string(device::DiskState::kStandby));
+  const Joules standby_j = standby * disk.params().standby_power;
+  if (!close(standby_j, disk.meter()[device::EnergyCategory::kStandby])) {
+    fail("disk standby span integral does not match the meter");
+  }
+  const Seconds idle = tiling.total_for(
+      events, telemetry::track::kDiskPower, to_string(device::DiskState::kIdle));
+  if (disk.meter()[device::EnergyCategory::kIdle] >
+      idle * disk.params().idle_power + config_.energy_eps) {
+    fail("disk idle energy exceeds its span integral");
+  }
+  const Seconds cam = tiling.total_for(
+      events, telemetry::track::kWnicPower, to_string(device::WnicState::kCam));
+  if (wnic.meter()[device::EnergyCategory::kCamIdle] >
+      cam * wnic.params().cam_idle_power + config_.energy_eps) {
+    fail("wnic CAM idle energy exceeds its span integral");
+  }
+  const Seconds psm = tiling.total_for(
+      events, telemetry::track::kWnicPower, to_string(device::WnicState::kPsm));
+  if (wnic.meter()[device::EnergyCategory::kPsmIdle] >
+      psm * wnic.params().psm_idle_power + config_.energy_eps) {
+    fail("wnic PSM idle energy exceeds its span integral");
+  }
+  checks_ += 4;
+}
+
+}  // namespace flexfetch::faults

@@ -1,0 +1,115 @@
+// SimAudit: run-time invariant checker for the simulator.
+//
+// The simulator's determinism and energy accounting are contracts the rest
+// of the project leans on (sweep bit-identity, telemetry-on/off identity,
+// the estimator's counterfactual purity). SimAudit enforces them while a
+// simulation runs instead of trusting them:
+//
+//  * clock monotonicity — the event-loop clock and each device's internal
+//    clock never move backwards;
+//  * energy conservation — per-category meters are non-negative and
+//    non-decreasing, their sums match the meters' totals, and at end of
+//    run the power-state spans emitted to telemetry tile the device
+//    timeline with span-integral energies consistent with the meters;
+//  * cache page accounting — resident pages equal insertions minus
+//    evictions, dirty pages never exceed residents, hits never exceed
+//    lookups;
+//  * estimate purity — a counterfactual estimate()/decision pass leaves
+//    the live devices (clock, state, meters, counters) and the telemetry
+//    recorder byte-identical to before (the class of bug the detached
+//    device copies exist to prevent).
+//
+// A violation throws InternalError: an audit failure is a library bug, not
+// a user error. Auditing is off by default (SimConfig::audit.enabled); the
+// FLEXFETCH_AUDIT CMake option flips the default so a CI leg runs every
+// test with invariants enforced. The audit only observes — enabling it
+// never changes a simulation's results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/units.hpp"
+#include "device/disk.hpp"
+#include "device/wnic.hpp"
+#include "os/vfs.hpp"
+#include "telemetry/event.hpp"
+#include "telemetry/recorder.hpp"
+
+namespace flexfetch::faults {
+
+#ifdef FLEXFETCH_AUDIT_DEFAULT_ON
+inline constexpr bool kAuditDefaultEnabled = true;
+#else
+inline constexpr bool kAuditDefaultEnabled = false;
+#endif
+
+struct AuditConfig {
+  /// Defaults to the FLEXFETCH_AUDIT build option.
+  bool enabled = kAuditDefaultEnabled;
+  /// Absolute + relative tolerance for span-integral energy comparisons
+  /// (the meters accumulate in a different order than the audit sums, so
+  /// bit-equality is not expected there; everything else is exact).
+  double energy_eps = 1e-6;
+};
+
+/// Byte-comparable digest of everything a counterfactual replay must not
+/// touch. Captured before an estimate, checked after.
+struct PuritySnapshot {
+  Seconds disk_now = 0.0;
+  device::DiskState disk_state = device::DiskState::kIdle;
+  Joules disk_energy = 0.0;
+  std::uint64_t disk_requests = 0;
+  std::uint64_t disk_spin_ups = 0;
+  Seconds wnic_now = 0.0;
+  device::WnicState wnic_state = device::WnicState::kCam;
+  Joules wnic_energy = 0.0;
+  std::uint64_t wnic_requests = 0;
+  std::uint64_t wnic_wakes = 0;
+  std::uint64_t recorder_emitted = 0;
+};
+
+class SimAudit {
+ public:
+  explicit SimAudit(AuditConfig config = {}) : config_(config) {}
+
+  /// Invariant sweep after one event-loop iteration: clock monotonicity,
+  /// meter conservation, cache accounting.
+  void on_event(Seconds event_time, const device::Disk& disk,
+                const device::Wnic& wnic, const os::Vfs& vfs);
+
+  PuritySnapshot capture(const device::Disk& disk, const device::Wnic& wnic,
+                         const telemetry::Recorder* recorder) const;
+
+  /// Throws unless the live world matches `before` exactly.
+  void check_estimate_purity(const PuritySnapshot& before,
+                             const device::Disk& disk,
+                             const device::Wnic& wnic,
+                             const telemetry::Recorder* recorder);
+
+  /// End-of-run reconciliation of the telemetry power timelines against
+  /// the energy meters. Only meaningful when every event was retained
+  /// (`dropped == 0`); otherwise the span checks are skipped.
+  void on_run_end(const device::Disk& disk, const device::Wnic& wnic,
+                  std::span<const telemetry::TraceEvent> events,
+                  std::uint64_t dropped);
+
+  /// Total individual invariant checks performed (tests assert > 0).
+  std::uint64_t checks() const { return checks_; }
+
+ private:
+  void check_meter(const device::EnergyMeter& meter, Joules& last_total,
+                   const char* device);
+  [[noreturn]] void fail(const std::string& what) const;
+  bool close(double a, double b) const;
+
+  AuditConfig config_;
+  Seconds last_event_time_ = 0.0;
+  Seconds last_disk_now_ = 0.0;
+  Seconds last_wnic_now_ = 0.0;
+  Joules last_disk_total_ = 0.0;
+  Joules last_wnic_total_ = 0.0;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace flexfetch::faults

@@ -1,0 +1,103 @@
+#include "faults/schedule.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace flexfetch::faults {
+
+namespace {
+
+template <typename Window>
+void validate_windows(const std::vector<Window>& windows, const char* what) {
+  Seconds prev_end = -1.0;
+  for (const Window& w : windows) {
+    FF_REQUIRE(w.start >= 0.0,
+               std::string("fault schedule: negative ") + what + " start");
+    FF_REQUIRE(w.end > w.start,
+               std::string("fault schedule: empty ") + what + " window");
+    FF_REQUIRE(w.start >= prev_end,
+               std::string("fault schedule: ") + what +
+                   " windows overlap or are unsorted");
+    prev_end = w.end;
+  }
+}
+
+/// Draws sorted, disjoint windows with exponential inter-arrival times and
+/// exponential (capped) durations over [0, horizon).
+template <typename Window, typename Fill>
+std::vector<Window> draw_windows(Rng& rng, Seconds horizon, double per_hour,
+                                 Seconds mean_length, Seconds max_length,
+                                 Fill&& fill) {
+  std::vector<Window> windows;
+  if (per_hour <= 0.0 || horizon <= 0.0) return windows;
+  const Seconds mean_gap = 3600.0 / per_hour;
+  Seconds t = rng.exponential(mean_gap);
+  while (t < horizon) {
+    Window w;
+    w.start = t;
+    const Seconds len =
+        std::min(max_length, std::max(0.1, rng.exponential(mean_length)));
+    w.end = t + len;
+    fill(w, rng);
+    windows.push_back(w);
+    t = w.end + rng.exponential(mean_gap);
+  }
+  return windows;
+}
+
+}  // namespace
+
+void FaultSchedule::validate() const {
+  validate_windows(wnic.outages, "outage");
+  validate_windows(wnic.degradations, "degradation");
+  validate_windows(disk.spin_up_stalls, "spin-up stall");
+  for (const DegradationWindow& w : wnic.degradations) {
+    FF_REQUIRE(w.factor > 0.0 && w.factor <= 1.0,
+               "fault schedule: degradation factor outside (0, 1]");
+  }
+  for (const SpinUpStall& s : disk.spin_up_stalls) {
+    FF_REQUIRE(s.extra_time >= 0.0,
+               "fault schedule: negative spin-up stall extra time");
+    FF_REQUIRE(s.extra_energy >= 0.0,
+               "fault schedule: negative spin-up stall extra energy");
+  }
+}
+
+FaultSchedule generate_schedule(std::uint64_t seed,
+                                const FaultScheduleParams& params) {
+  FF_REQUIRE(params.horizon > 0.0, "fault schedule: non-positive horizon");
+  FF_REQUIRE(params.min_factor > 0.0 && params.max_factor <= 1.0 &&
+                 params.min_factor <= params.max_factor,
+             "fault schedule: degradation factor range outside (0, 1]");
+  // One forked stream per fault class, so tuning one class's rate never
+  // perturbs the windows another class draws.
+  Rng root(seed);
+  Rng outage_rng = root.fork();
+  Rng degradation_rng = root.fork();
+  Rng stall_rng = root.fork();
+
+  FaultSchedule schedule;
+  schedule.wnic.outages = draw_windows<OutageWindow>(
+      outage_rng, params.horizon, params.outages_per_hour, params.mean_outage,
+      params.max_outage, [](OutageWindow&, Rng&) {});
+  schedule.wnic.degradations = draw_windows<DegradationWindow>(
+      degradation_rng, params.horizon, params.degradations_per_hour,
+      params.mean_degradation, params.max_degradation,
+      [&params](DegradationWindow& w, Rng& rng) {
+        w.factor = rng.uniform(params.min_factor, params.max_factor);
+      });
+  schedule.disk.spin_up_stalls = draw_windows<SpinUpStall>(
+      stall_rng, params.horizon, params.stalls_per_hour,
+      params.mean_stall_window, /*max_length=*/4.0 * params.mean_stall_window,
+      [&params](SpinUpStall& s, Rng& rng) {
+        s.extra_time = std::min(params.max_stall_extra,
+                                rng.exponential(params.mean_stall_extra));
+        s.extra_energy = params.stall_energy_per_second * s.extra_time;
+      });
+  schedule.validate();
+  return schedule;
+}
+
+}  // namespace flexfetch::faults

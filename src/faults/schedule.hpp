@@ -1,0 +1,153 @@
+// Deterministic fault schedules for the device models.
+//
+// FlexFetch's value proposition is making the right source choice under
+// imperfect conditions, so the simulator can layer scripted faults on top
+// of the nominal device behaviour: WNIC disconnection windows (the card is
+// associated to no access point and no transfer can start) and step
+// degradations (rain fade, interference) on top of the roaming bandwidth
+// schedule, and disk spin-up stalls (retries on the first head load after
+// a park) that stretch the spin-up and burn extra energy.
+//
+// Schedules are plain data validated up front: windows are sorted and
+// disjoint, so the point queries below are O(log n) and allocation-free.
+// The query helpers are header-only on purpose — the device models include
+// this header without linking against the faults library, which keeps the
+// module graph acyclic (faults links device for the audit, not vice
+// versa). Devices hold a *pointer* to their schedule: copies made for
+// counterfactual estimation share it, so an estimate naturally prices the
+// remainder of an ongoing outage.
+//
+// Reproducibility contract: schedules are either hand-written or produced
+// by generate_schedule(seed, params), which draws every window from one
+// explicitly seeded Rng — the same seed always yields the same schedule,
+// on every platform.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace flexfetch::faults {
+
+/// A [start, end) interval during which the WNIC is disassociated: no
+/// transfer may begin; requests wait at the device (whose power-state
+/// timers keep running) until the window closes.
+struct OutageWindow {
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+};
+
+/// A [start, end) interval during which the effective link rate is the
+/// nominal (roaming-schedule) rate multiplied by `factor` (0 < factor <= 1).
+struct DegradationWindow {
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+  double factor = 1.0;
+};
+
+/// A disk spin-up beginning inside [start, end) takes `extra_time` longer
+/// and costs `extra_energy` more (head-load retries).
+struct SpinUpStall {
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+  Seconds extra_time = 0.0;
+  Joules extra_energy = 0.0;
+};
+
+namespace detail {
+
+/// Finds the window of a sorted, disjoint list containing `t`, or nullptr.
+template <typename Window>
+const Window* window_at(const std::vector<Window>& windows, Seconds t) {
+  // First window starting after t; its predecessor is the only candidate.
+  auto it = std::upper_bound(
+      windows.begin(), windows.end(), t,
+      [](Seconds v, const Window& w) { return v < w.start; });
+  if (it == windows.begin()) return nullptr;
+  const Window& w = *(it - 1);
+  return t < w.end ? &w : nullptr;
+}
+
+}  // namespace detail
+
+struct WnicFaultSchedule {
+  /// Disconnection windows, sorted by start, pairwise disjoint.
+  std::vector<OutageWindow> outages;
+  /// Rate-degradation windows, sorted by start, pairwise disjoint.
+  std::vector<DegradationWindow> degradations;
+
+  bool empty() const { return outages.empty() && degradations.empty(); }
+
+  /// The outage in effect at `t`, or nullptr.
+  const OutageWindow* outage_at(Seconds t) const {
+    return detail::window_at(outages, t);
+  }
+
+  /// Bandwidth multiplier in effect at `t` (1.0 outside every window).
+  double degradation_at(Seconds t) const {
+    const DegradationWindow* w = detail::window_at(degradations, t);
+    return w != nullptr ? w->factor : 1.0;
+  }
+};
+
+struct DiskFaultSchedule {
+  /// Spin-up stall windows, sorted by start, pairwise disjoint.
+  std::vector<SpinUpStall> spin_up_stalls;
+
+  bool empty() const { return spin_up_stalls.empty(); }
+
+  /// The stall affecting a spin-up that begins at `t`, or nullptr.
+  const SpinUpStall* stall_at(Seconds t) const {
+    return detail::window_at(spin_up_stalls, t);
+  }
+};
+
+/// The complete fault script of one simulation run, carried in SimConfig.
+/// An empty schedule is the default and is strictly equivalent to not
+/// attaching one: the device hot paths only consult it through a pointer
+/// the Simulator leaves null in that case.
+struct FaultSchedule {
+  WnicFaultSchedule wnic;
+  DiskFaultSchedule disk;
+
+  bool empty() const { return wnic.empty() && disk.empty(); }
+
+  /// Throws ConfigError unless every window list is sorted, disjoint and
+  /// physically meaningful (positive spans, factors in (0, 1]).
+  void validate() const;
+};
+
+/// Knobs of the seeded schedule generator. Means are for exponential
+/// inter-arrival/duration draws; a rate of 0 disables that fault class.
+struct FaultScheduleParams {
+  /// Schedule horizon: no window starts at or after this time.
+  Seconds horizon = 600.0;
+
+  /// WNIC disconnections (AP handoffs, dead spots).
+  double outages_per_hour = 12.0;
+  Seconds mean_outage = 8.0;
+  Seconds max_outage = 60.0;
+
+  /// WNIC rate degradations.
+  double degradations_per_hour = 6.0;
+  Seconds mean_degradation = 20.0;
+  Seconds max_degradation = 120.0;
+  double min_factor = 0.25;  ///< Degradation factors drawn from
+  double max_factor = 0.75;  ///< [min_factor, max_factor).
+
+  /// Disk spin-up stalls.
+  double stalls_per_hour = 6.0;
+  Seconds mean_stall_window = 15.0;
+  Seconds mean_stall_extra = 2.0;
+  Seconds max_stall_extra = 6.0;
+  Joules stall_energy_per_second = 2.5;  ///< ~ active power during retries.
+};
+
+/// Draws a reproducible fault schedule: same seed + params => identical
+/// schedule. The result always passes validate().
+FaultSchedule generate_schedule(std::uint64_t seed,
+                                const FaultScheduleParams& params = {});
+
+}  // namespace flexfetch::faults

@@ -9,15 +9,23 @@
 #include "os/vfs.hpp"
 #include "telemetry/recorder.hpp"
 
+namespace flexfetch::faults {
+struct FaultSchedule;
+class SimAudit;
+}  // namespace flexfetch::faults
+
 namespace flexfetch::sim {
 
 class SimContext {
  public:
   SimContext(device::Disk& disk, device::Wnic& wnic, os::Vfs& vfs,
              os::FileLayout& layout, os::ProcessTable& processes,
-             telemetry::Recorder* recorder = nullptr)
+             telemetry::Recorder* recorder = nullptr,
+             const faults::FaultSchedule* faults = nullptr,
+             faults::SimAudit* audit = nullptr)
       : disk_(disk), wnic_(wnic), vfs_(vfs), layout_(layout),
-        processes_(processes), recorder_(recorder) {}
+        processes_(processes), recorder_(recorder), faults_(faults),
+        audit_(audit) {}
 
   Seconds now() const { return now_; }
   void set_now(Seconds t) { now_ = t; }
@@ -36,6 +44,13 @@ class SimContext {
   /// Policies may emit their own events through it.
   telemetry::Recorder* recorder() const { return recorder_; }
 
+  /// The run's fault schedule, or nullptr when no faults are injected.
+  /// Policies may consult it to react to an ongoing outage/stall.
+  const faults::FaultSchedule* faults() const { return faults_; }
+
+  /// The run's invariant auditor, or nullptr when auditing is off.
+  faults::SimAudit* audit() const { return audit_; }
+
  private:
   Seconds now_ = 0.0;
   device::Disk& disk_;
@@ -44,6 +59,8 @@ class SimContext {
   os::FileLayout& layout_;
   os::ProcessTable& processes_;
   telemetry::Recorder* recorder_ = nullptr;
+  const faults::FaultSchedule* faults_ = nullptr;
+  faults::SimAudit* audit_ = nullptr;
 };
 
 }  // namespace flexfetch::sim

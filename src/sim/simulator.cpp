@@ -19,11 +19,20 @@ Simulator::Simulator(SimConfig config, std::vector<ProgramSpec> programs,
                     ? std::make_unique<telemetry::Recorder>(
                           config.telemetry.ring_capacity)
                     : nullptr),
-      ctx_(disk_, wnic_, vfs_, layout_, processes_, recorder_.get()) {
+      ctx_(disk_, wnic_, vfs_, layout_, processes_, recorder_.get(),
+           config_.faults.empty() ? nullptr : &config_.faults,
+           config_.audit.enabled ? &audit_.emplace(config_.audit) : nullptr) {
   FF_REQUIRE(!programs.empty(), "simulator: no programs");
   if (recorder_) {
     disk_.attach_telemetry(recorder_.get());
     wnic_.attach_telemetry(recorder_.get());
+  }
+  if (!config_.faults.empty()) {
+    // Schedules are owned by config_ and outlive the devices and every
+    // copy made of them (estimator replicas share the pointer).
+    config_.faults.validate();
+    disk_.set_fault_schedule(&config_.faults.disk);
+    wnic_.set_fault_schedule(&config_.faults.wnic);
   }
   trace::ProcessGroup next_pgid = 1;
   for (auto& spec : programs) {
@@ -110,6 +119,7 @@ SimResult Simulator::run() {
         schedule(sync_->next_wakeup(ev.time), EventKind::kSync, 0);
       }
     }
+    if (audit_) audit_->on_event(ev.time, disk_, wnic_, vfs_);
   }
 
   policy_.end(ctx_);
@@ -134,6 +144,12 @@ SimResult Simulator::run() {
     policy_.export_metrics(result_.metrics);
     result_.trace_events = recorder_->take_events();
     result_.trace_events_dropped = recorder_->dropped();
+  }
+  if (audit_) {
+    // With telemetry off the span is empty and on_run_end only re-checks
+    // the meters.
+    audit_->on_run_end(disk_, wnic_, result_.trace_events,
+                       result_.trace_events_dropped);
   }
   return result_;
 }
@@ -405,12 +421,18 @@ void Simulator::populate_metrics() {
   m.add("disk.spin_downs", num(result_.disk_counters.spin_downs));
   m.add("disk.sequential_hits", num(result_.disk_counters.sequential_hits));
   m.set("disk.seek_time_s", result_.disk_counters.seek_time);
+  m.add("disk.spin_up_stalls", num(result_.disk_counters.spin_up_stalls));
+  m.set("disk.stall_time_s", result_.disk_counters.stall_time);
 
   m.set("wnic.energy_j", result_.wnic_meter.total());
   m.add("wnic.requests", num(result_.wnic_counters.requests));
   m.add("wnic.wakes", num(result_.wnic_counters.wakes));
   m.add("wnic.sleeps", num(result_.wnic_counters.sleeps));
   m.add("wnic.psm_transfers", num(result_.wnic_counters.psm_transfers));
+  m.add("wnic.outage_stalls", num(result_.wnic_counters.outage_stalls));
+  m.add("wnic.degraded_transfers",
+        num(result_.wnic_counters.degraded_transfers));
+  m.set("wnic.outage_wait_s", result_.wnic_counters.outage_wait);
 
   m.add("cache.lookups", num(result_.cache_stats.lookups));
   m.add("cache.hits", num(result_.cache_stats.hits));

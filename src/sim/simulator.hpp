@@ -17,6 +17,8 @@
 #include "device/adaptive_timeout.hpp"
 #include "device/disk.hpp"
 #include "device/wnic.hpp"
+#include "faults/audit.hpp"
+#include "faults/schedule.hpp"
 #include "hoard/sync.hpp"
 #include "os/file_layout.hpp"
 #include "os/io_scheduler.hpp"
@@ -75,6 +77,13 @@ struct SimConfig {
   /// Structured event tracing + metrics (off by default; when off, the
   /// instrumentation cost is one null-pointer branch per site).
   telemetry::TelemetryConfig telemetry;
+  /// Deterministic injected faults (WNIC outages/degradations, disk
+  /// spin-up stalls). An empty schedule — the default — leaves the devices
+  /// entirely unhooked, so results are bit-identical to a fault-free build.
+  faults::FaultSchedule faults;
+  /// Run-time invariant checks (see faults/audit.hpp). Observation only:
+  /// enabling the audit never changes results, it can only throw.
+  faults::AuditConfig audit;
 };
 
 class Simulator {
@@ -148,6 +157,8 @@ class Simulator {
   std::optional<device::AdaptiveTimeoutController> timeout_controller_;
   /// Must precede ctx_: ctx_ captures recorder_.get() at construction.
   std::unique_ptr<telemetry::Recorder> recorder_;
+  /// Must precede ctx_ for the same reason (ctx_ captures &*audit_).
+  std::optional<faults::SimAudit> audit_;
   SimContext ctx_;
 
   std::set<trace::Inode> pinned_inodes_;

@@ -11,6 +11,7 @@ const char* to_string(Category c) {
     case Category::kWriteback: return "writeback";
     case Category::kScheduler: return "scheduler";
     case Category::kPolicy: return "policy";
+    case Category::kFault: return "fault";
   }
   return "?";
 }
@@ -25,6 +26,7 @@ const char* track_name(std::uint32_t track) {
     case track::kWriteback: return "writeback";
     case track::kScheduler: return "scheduler";
     case track::kPolicy: return "policy";
+    case track::kFault: return "faults";
   }
   return "?";
 }

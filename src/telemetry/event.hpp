@@ -26,6 +26,7 @@ enum class Category : std::uint8_t {
   kWriteback,  ///< Flush daemon / synchronous eviction flushes.
   kScheduler,  ///< C-SCAN elevator.
   kPolicy,     ///< Data-source policy (FlexFetch decisions, audits...).
+  kFault,      ///< Injected faults (outages, stalls) and fault reactions.
 };
 
 const char* to_string(Category c);
@@ -47,7 +48,8 @@ inline constexpr std::uint32_t kWnicIo = 4;
 inline constexpr std::uint32_t kWriteback = 5;
 inline constexpr std::uint32_t kScheduler = 6;
 inline constexpr std::uint32_t kPolicy = 7;
-inline constexpr std::uint32_t kCount = 8;
+inline constexpr std::uint32_t kFault = 8;
+inline constexpr std::uint32_t kCount = 9;
 }  // namespace track
 
 const char* track_name(std::uint32_t track);

@@ -67,6 +67,28 @@ TEST(Disk, RandomReadServiceFromIdle) {
   EXPECT_EQ(d.counters().bytes_read, 35'000'000u);
 }
 
+TEST(Disk, FirstRequestChargesAverageSeekNotDistanceFromZero) {
+  // Before the head position is known there is nothing to measure a seek
+  // distance from; the first request must pay the average stroke under the
+  // distance seek model too, regardless of how far from LBA 0 it lands.
+  const DiskParams p = DiskParams::hitachi_dk23da_distance();
+  Disk near_disk(p), far_disk(p);
+  const auto near_res = near_disk.service(0.0, read_req(4 * kKiB, 35'000));
+  const auto far_res =
+      far_disk.service(0.0, read_req(p.capacity - kMiB, 35'000));
+  const Seconds expected =
+      p.avg_seek_time + p.avg_rotation_time + 35'000 / p.bandwidth;
+  EXPECT_NEAR(near_res.completion - near_res.start, expected, kEps);
+  EXPECT_NEAR(far_res.completion - far_res.start, expected, kEps);
+  // Identical service: the LBA convention no longer leaks into the cost.
+  EXPECT_NEAR(near_res.energy, far_res.energy, kEps);
+
+  // The *second* non-contiguous request prices the real head movement.
+  const auto second =
+      far_disk.service(far_res.completion, read_req(0, 35'000));
+  EXPECT_GT(second.completion - second.start, expected);
+}
+
 TEST(Disk, SequentialContinuationSkipsPositioning) {
   Disk d;
   const auto first = d.service(0.0, read_req(0, 1'000'000));

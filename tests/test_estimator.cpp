@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "telemetry/recorder.hpp"
 #include "trace/builder.hpp"
 
 namespace flexfetch::core {
@@ -54,6 +55,36 @@ TEST(Estimator, EstimatesDoNotMutateLiveDevices) {
   EXPECT_DOUBLE_EQ(wnic.meter().total(), wnic_energy);
   EXPECT_EQ(disk.counters().requests, 0u);
   EXPECT_EQ(wnic.counters().requests, 0u);
+}
+
+TEST(Estimator, EstimatesNeverEmitTelemetry) {
+  // Regression: replaying bursts on copies of live devices must not leak
+  // hypothetical events into the real recorder stream. The copies used for
+  // estimation are detached (detached_copy()), so the event count is
+  // byte-for-byte unchanged across a whole estimate/decision pass.
+  telemetry::Recorder rec;
+  device::Disk disk;
+  device::Wnic wnic;
+  disk.attach_telemetry(&rec);
+  wnic.attach_telemetry(&rec);
+  // Prime the stream with real service so spans are actually being emitted.
+  disk.service(0.0, device::DeviceRequest{.lba = 0, .size = 64 * kKiB});
+  wnic.service(0.0, device::DeviceRequest{.lba = 0, .size = 256 * kKiB});
+  const std::uint64_t emitted = rec.emitted();
+  ASSERT_GT(emitted, 0u);
+
+  os::FileLayout layout(kGiB, 1, 0, 0);
+  const std::vector<IOBurst> bursts{single_burst(1'000'000)};
+  SourceEstimator::estimate_disk(disk, bursts, 2.0, layout);
+  SourceEstimator::estimate_network(wnic, bursts, 2.0);
+  disk.estimate(2.0, device::DeviceRequest{.lba = 0, .size = 64 * kKiB});
+  wnic.estimate(2.0, device::DeviceRequest{.lba = 0, .size = 64 * kKiB});
+  auto disk_copy = disk.detached_copy();
+  disk_copy.service(2.0, device::DeviceRequest{.lba = 0, .size = 64 * kKiB});
+  auto wnic_copy = wnic.detached_copy();
+  wnic_copy.service(2.0, device::DeviceRequest{.lba = 0, .size = 256 * kKiB});
+
+  EXPECT_EQ(rec.emitted(), emitted);
 }
 
 TEST(Estimator, ThinkTimeChargesIdleEnergy) {

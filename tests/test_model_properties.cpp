@@ -9,6 +9,7 @@
 #include "core/profile.hpp"
 #include "device/disk.hpp"
 #include "device/wnic.hpp"
+#include "faults/schedule.hpp"
 #include "hoard/sync.hpp"
 #include "trace/builder.hpp"
 
@@ -240,6 +241,127 @@ TEST_P(SyncFuzz, BytesAreConservedThroughBatches) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SyncFuzz, ::testing::Values(11u, 22u, 33u));
+
+// ---------------------------------------------------------------------------
+// Readiness: time_to_ready(t) is the contract the estimator prices spin-ups
+// and wakes with, so it must equal the pre-transfer delay actually observed
+// when a request is served at t — probed on a detached copy so the live
+// device is untouched, in every power state and across every transition
+// boundary.
+
+class ReadinessFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReadinessFuzz, DiskTimeToReadyMatchesObservedDelay) {
+  Rng rng(GetParam());
+  device::Disk disk;
+  Seconds t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += rng.exponential(12.0);  // Mean near the 20 s timeout: all states.
+    disk.advance_to(t);
+    const Seconds predicted = disk.time_to_ready(t);
+    auto probe = disk.detached_copy();
+    const auto res = probe.service(
+        t, device::DeviceRequest{.lba = rng.uniform_int(0, 1000) * kPageSize,
+                                 .size = 64 * kKiB});
+    EXPECT_NEAR(res.start - res.arrival, predicted, 1e-9)
+        << "state " << device::to_string(disk.state()) << " at t=" << t;
+    if (rng.chance(0.4)) {  // Occasionally really serve to vary the phase.
+      t = disk.service(t, device::DeviceRequest{.lba = 0, .size = 4096})
+              .completion;
+    }
+  }
+}
+
+TEST_P(ReadinessFuzz, DiskTimeToReadyPricesInjectedStalls) {
+  faults::DiskFaultSchedule schedule;
+  for (int i = 0; i < 60; ++i) {  // Stall window in every other 25 s slot.
+    schedule.spin_up_stalls.push_back({.start = i * 50.0,
+                                       .end = i * 50.0 + 25.0,
+                                       .extra_time = 2.5,
+                                       .extra_energy = 5.0});
+  }
+  Rng rng(GetParam());
+  device::Disk disk;
+  disk.set_fault_schedule(&schedule);
+  Seconds t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += rng.exponential(15.0);
+    disk.advance_to(t);
+    const Seconds predicted = disk.time_to_ready(t);
+    auto probe = disk.detached_copy();  // Copy shares the schedule.
+    const auto res = probe.service(
+        t, device::DeviceRequest{.lba = 0, .size = 64 * kKiB});
+    EXPECT_NEAR(res.start - res.arrival, predicted, 1e-9) << "t=" << t;
+  }
+}
+
+TEST_P(ReadinessFuzz, WnicTimeToReadyMatchesObservedDelay) {
+  Rng rng(GetParam());
+  device::Wnic wnic;
+  Seconds t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += rng.exponential(2.0);  // Mean near the CAM->PSM idle threshold.
+    wnic.advance_to(t);
+    const Seconds predicted = wnic.time_to_ready(t);
+    auto probe = wnic.detached_copy();
+    // Above psm_packet_threshold: the transfer always waits for full CAM,
+    // which is exactly the delay time_to_ready() promises.
+    const auto res =
+        probe.service(t, device::DeviceRequest{.size = 256 * kKiB});
+    EXPECT_NEAR(res.start - res.arrival, predicted, 1e-9)
+        << "state " << device::to_string(wnic.state()) << " at t=" << t;
+    if (rng.chance(0.4)) {
+      t = wnic.service(t, device::DeviceRequest{.size = 256 * kKiB})
+              .completion;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReadinessFuzz,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+TEST(Readiness, DiskBoundaryProbes) {
+  // Default DK23DA: spin-down fires at 20 s and completes at 22.3 s;
+  // probe just inside and outside each edge, plus deep standby.
+  for (const Seconds t : {0.0, 19.999999, 20.0, 20.000001, 21.0, 22.299999,
+                          22.3, 22.300001, 300.0}) {
+    device::Disk disk;
+    disk.advance_to(t);
+    auto probe = disk.detached_copy();
+    const auto res =
+        probe.service(t, device::DeviceRequest{.lba = 0, .size = 4096});
+    EXPECT_NEAR(res.start - res.arrival, disk.time_to_ready(t), 1e-9)
+        << "t=" << t;
+  }
+}
+
+TEST(Readiness, DiskTimeToReadyDuringForcedSpinUp) {
+  device::Disk disk;
+  disk.advance_to(60.0);
+  disk.force_spin_up(60.0);  // kSpinningUp without a pending request.
+  ASSERT_EQ(disk.state(), device::DiskState::kSpinningUp);
+  for (const Seconds dt : {0.0, 0.4, 0.8, 1.2, 1.5999}) {
+    auto probe = disk.detached_copy();
+    const auto res = probe.service(
+        60.0 + dt, device::DeviceRequest{.lba = 0, .size = 4096});
+    EXPECT_NEAR(res.start - res.arrival, disk.time_to_ready(60.0 + dt), 1e-9)
+        << "dt=" << dt;
+  }
+}
+
+TEST(Readiness, WnicBoundaryProbes) {
+  // Probe around the CAM->PSM idle switch and mid-transition instants.
+  for (const Seconds t :
+       {0.0, 0.5, 0.999999, 1.0, 1.000001, 1.05, 1.5, 10.0}) {
+    device::Wnic wnic;
+    wnic.advance_to(t);
+    auto probe = wnic.detached_copy();
+    const auto res =
+        probe.service(t, device::DeviceRequest{.size = 256 * kKiB});
+    EXPECT_NEAR(res.start - res.arrival, wnic.time_to_ready(t), 1e-9)
+        << "t=" << t;
+  }
+}
 
 }  // namespace
 }  // namespace flexfetch

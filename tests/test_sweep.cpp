@@ -10,6 +10,7 @@
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "device/energy_meter.hpp"
+#include "faults/schedule.hpp"
 #include "workloads/scenarios.hpp"
 
 namespace flexfetch {
@@ -35,12 +36,18 @@ void expect_identical(const sim::SimResult& a, const sim::SimResult& b) {
   EXPECT_EQ(a.disk_counters.bytes_read, b.disk_counters.bytes_read);
   EXPECT_EQ(a.disk_counters.bytes_written, b.disk_counters.bytes_written);
   EXPECT_EQ(a.disk_counters.seek_time, b.disk_counters.seek_time);
+  EXPECT_EQ(a.disk_counters.spin_up_stalls, b.disk_counters.spin_up_stalls);
+  EXPECT_EQ(a.disk_counters.stall_time, b.disk_counters.stall_time);
   EXPECT_EQ(a.wnic_counters.requests, b.wnic_counters.requests);
   EXPECT_EQ(a.wnic_counters.psm_transfers, b.wnic_counters.psm_transfers);
   EXPECT_EQ(a.wnic_counters.wakes, b.wnic_counters.wakes);
   EXPECT_EQ(a.wnic_counters.sleeps, b.wnic_counters.sleeps);
   EXPECT_EQ(a.wnic_counters.bytes_sent, b.wnic_counters.bytes_sent);
   EXPECT_EQ(a.wnic_counters.bytes_received, b.wnic_counters.bytes_received);
+  EXPECT_EQ(a.wnic_counters.outage_stalls, b.wnic_counters.outage_stalls);
+  EXPECT_EQ(a.wnic_counters.degraded_transfers,
+            b.wnic_counters.degraded_transfers);
+  EXPECT_EQ(a.wnic_counters.outage_wait, b.wnic_counters.outage_wait);
   EXPECT_EQ(a.cache_stats.lookups, b.cache_stats.lookups);
   EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits);
   EXPECT_EQ(a.cache_stats.ghost_hits, b.cache_stats.ghost_hits);
@@ -128,6 +135,57 @@ TEST(Sweep, ResolveJobsPrefersExplicitThenEnv) {
   ::unsetenv("FF_JOBS");
   EXPECT_EQ(sim::resolve_jobs(0),
             static_cast<int>(ThreadPool::default_concurrency()));
+}
+
+TEST(Sweep, FaultedGridIsBitIdenticalSerialVsParallel) {
+  // Fault injection must not disturb the determinism contract: the same
+  // seeded schedule applied to every cell yields bit-identical results
+  // (and identical JSON) whether the grid runs on one thread or many.
+  const auto scenario = workloads::scenario_mplayer(1);
+  auto cells =
+      sim::make_grid({&scenario}, {"flexfetch", "wnic-only", "disk-only"},
+                     {device::WnicParams::cisco_aironet350(),
+                      device::WnicParams::cisco_aironet350().with_latency(
+                          units::ms(20.0))});
+  const auto schedule = faults::generate_schedule(7);
+  ASSERT_FALSE(schedule.empty());
+  for (auto& cell : cells) cell.config.faults = schedule;
+
+  const auto serial = sim::run_sweep(cells, {.jobs = 1});
+  const int jobs =
+      std::max(4, static_cast<int>(ThreadPool::default_concurrency()));
+  const auto parallel = sim::run_sweep(cells, {.jobs = jobs});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(cells[i].policy);
+    expect_identical(serial[i], parallel[i]);
+  }
+
+  sim::SweepRunInfo info;
+  info.jobs = jobs;
+  std::ostringstream serial_json, parallel_json;
+  sim::write_sweep_json(serial_json, cells, serial, info);
+  sim::write_sweep_json(parallel_json, cells, parallel, info);
+  EXPECT_EQ(serial_json.str(), parallel_json.str());
+}
+
+TEST(Sweep, FaultedRunIsIdenticalWithTelemetryOnOrOff) {
+  // Telemetry observes; it must not perturb a faulted run either.
+  const auto scenario = workloads::scenario_mplayer(1);
+  auto cells = sim::make_grid({&scenario}, {"flexfetch"},
+                              {device::WnicParams::cisco_aironet350()});
+  for (auto& cell : cells) {
+    cell.config.faults = faults::generate_schedule(5);
+  }
+  const auto quiet = sim::run_sweep(cells, {.jobs = 1});
+  for (auto& cell : cells) cell.config.telemetry.enabled = true;
+  const auto traced = sim::run_sweep(cells, {.jobs = 1});
+  ASSERT_EQ(quiet.size(), traced.size());
+  for (std::size_t i = 0; i < quiet.size(); ++i) {
+    expect_identical(quiet[i], traced[i]);
+  }
+  EXPECT_FALSE(traced[0].trace_events.empty());
+  EXPECT_TRUE(quiet[0].trace_events.empty());
 }
 
 TEST(Sweep, JsonEmitterRecordsCellsAndSpeedup) {
