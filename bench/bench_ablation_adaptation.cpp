@@ -56,7 +56,7 @@ void run_scenario(const workloads::ScenarioBundle& scenario) {
     const auto r = simulator.run();
     const auto& s = policy.stats();
     std::printf("%-16s %12.1f %12.1f %9llu %9llu %9llu %9llu\n", v.label,
-                r.total_energy(), r.makespan,
+                r.total_energy().value(), r.makespan.value(),
                 static_cast<unsigned long long>(s.splice_switches),
                 static_cast<unsigned long long>(s.audit_overrides),
                 static_cast<unsigned long long>(s.free_rider_redirects),

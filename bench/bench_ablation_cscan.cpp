@@ -30,11 +30,11 @@ trace::Trace scatter_write_trace(std::size_t files, std::uint64_t seed) {
     std::swap(order[i - 1], order[rng.uniform_int(0, i - 1)]);
   }
   for (const auto ino : order) {
-    b.write(ino, 0, 8 * kKiB);
-    b.think(0.002);
+    b.write(ino, Bytes{0}, 8 * kKiB);
+    b.think(Seconds{0.002});
   }
-  b.think(45.0);          // Let the flusher drain the dirty set.
-  b.read(99'999, 0, 4096);  // Final marker read.
+  b.think(Seconds{45.0});          // Let the flusher drain the dirty set.
+  b.read(99'999, Bytes{0}, Bytes{4096});  // Final marker read.
   return b.build();
 }
 
@@ -53,8 +53,8 @@ void print_comparison() {
     for (const bool cscan : {false, true}) {
       const auto r = run(cscan, files);
       std::printf("%-8zu %12s %12.1f %14.3f %14.3f %10llu\n", files,
-                  cscan ? "C-SCAN" : "FIFO", r.total_energy(),
-                  r.disk_counters.seek_time, r.io_time,
+                  cscan ? "C-SCAN" : "FIFO", r.total_energy().value(),
+                  r.disk_counters.seek_time.value(), r.io_time.value(),
                   static_cast<unsigned long long>(r.scheduler_stats.merged));
     }
   }

@@ -33,15 +33,15 @@ void run_lossrate_sweep(const workloads::ScenarioBundle& scenario, int jobs) {
   for (std::size_t i = 0; i < rates.size(); ++i) {
     const auto& r = results[i];
     std::printf("%-12.2f %14.1f %14.1f %14.1f %14.1f\n", rates[i],
-                r.total_energy(), r.makespan, r.disk_energy(),
-                r.wnic_energy());
+                r.total_energy().value(), r.makespan.value(), r.disk_energy().value(),
+                r.wnic_energy().value());
   }
   std::printf("\n");
 }
 
 void BM_LossRateDecision(benchmark::State& state) {
-  const core::Estimate disk{.time = 10.0, .energy = 100.0};
-  const core::Estimate net{.time = 11.0, .energy = 60.0};
+  const core::Estimate disk{.time = Seconds{10.0}, .energy = Joules{100.0}};
+  const core::Estimate net{.time = Seconds{11.0}, .energy = Joules{60.0}};
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::decide_source(disk, net, 0.25));
   }

@@ -24,11 +24,11 @@ void run_scenarios(int jobs) {
       refs, {"flexfetch", "oracle", "disk-only", "wnic-only"}, {wnic});
   const auto results = sim::run_sweep(cells, {.jobs = jobs});
   for (std::size_t i = 0; i < results.size(); i += 4) {
-    const double ff = results[i].total_energy();
-    const double oracle = results[i + 1].total_energy();
+    const double ff = results[i].total_energy().value();
+    const double oracle = results[i + 1].total_energy().value();
     std::printf("%-24s %12.1f %12.1f %12.1f %12.1f %10.3f\n",
                 cells[i].scenario->name.c_str(), ff, oracle,
-                results[i + 2].total_energy(), results[i + 3].total_energy(),
+                results[i + 2].total_energy().value(), results[i + 3].total_energy().value(),
                 ff / oracle);
   }
   std::printf("\n");

@@ -28,12 +28,12 @@ void report() {
     const auto r = simulator.run();
 
     const double disk_e =
-        bench::run_once(scenario, "disk-only", wnic).total_energy();
+        bench::run_once(scenario, "disk-only", wnic).total_energy().value();
     const double net_e =
-        bench::run_once(scenario, "wnic-only", wnic).total_energy();
-    const double saving = std::min(disk_e, net_e) - r.total_energy();
+        bench::run_once(scenario, "wnic-only", wnic).total_energy().value();
+    const double saving = std::min(disk_e, net_e) - r.total_energy().value();
     const auto& s = ff.stats();
-    const double overhead = ff.overhead_energy();
+    const double overhead = ff.overhead_energy().value();
     std::printf("%-24s %10llu %10llu %10llu %12.4f %14.1f %12s\n",
                 scenario.name.c_str(),
                 static_cast<unsigned long long>(s.estimator_requests_replayed),
@@ -46,7 +46,7 @@ void report() {
   }
   std::printf("\n(overhead charged at %.1f uJ per scheme operation — a ~1 us"
               " slice of a 2 W mobile CPU)\n",
-              core::FlexFetchConfig{}.overhead_per_op * 1e6);
+              core::FlexFetchConfig{}.overhead_per_op.value() * 1e6);
 }
 
 void BM_DecisionEvaluation(benchmark::State& state) {
@@ -57,8 +57,8 @@ void BM_DecisionEvaluation(benchmark::State& state) {
   os::FileLayout layout(30 * kGiB);
   const auto span = merged.span(0, std::min<std::size_t>(merged.size(), 8));
   for (auto _ : state) {
-    const auto d = core::SourceEstimator::estimate_disk(disk, span, 0.0, layout);
-    const auto n = core::SourceEstimator::estimate_network(wnic, span, 0.0);
+    const auto d = core::SourceEstimator::estimate_disk(disk, span, Seconds{0.0}, layout);
+    const auto n = core::SourceEstimator::estimate_network(wnic, span, Seconds{0.0});
     benchmark::DoNotOptimize(core::decide_source(d, n, 0.25));
   }
 }

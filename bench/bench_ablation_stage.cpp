@@ -21,13 +21,13 @@ void run_sweep(const workloads::ScenarioBundle& scenario) {
               "energy[J]", "makespan[s]", "audits", "splices");
   for (const double len : {10.0, 20.0, 40.0, 80.0, 160.0}) {
     core::FlexFetchConfig config;
-    config.stage_min_length = len;
+    config.stage_min_length = Seconds{len};
     core::FlexFetchPolicy policy(config, scenario.profiles);
     sim::Simulator simulator(sim::SimConfig{}, scenario.programs, policy);
     const auto r = simulator.run();
     std::printf("%-14.0f %10llu %12.1f %12.1f %9llu %9llu\n", len,
                 static_cast<unsigned long long>(policy.stats().stages_entered),
-                r.total_energy(), r.makespan,
+                r.total_energy().value(), r.makespan.value(),
                 static_cast<unsigned long long>(policy.stats().audit_overrides),
                 static_cast<unsigned long long>(policy.stats().splice_switches));
   }
@@ -39,7 +39,7 @@ void BM_StageSegmentation(benchmark::State& state) {
   const auto merged =
       core::Profile::merge(scenario.profiles, "bench");
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::segment_stages(merged, 40.0).size());
+    benchmark::DoNotOptimize(core::segment_stages(merged, Seconds{40.0}).size());
   }
 }
 BENCHMARK(BM_StageSegmentation);

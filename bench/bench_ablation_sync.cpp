@@ -21,7 +21,7 @@ sim::SimResult run(const workloads::ScenarioBundle& scenario,
   sim::SimConfig config;
   if (sync_interval > 0) {
     config.enable_sync = true;
-    config.sync.interval = sync_interval;
+    config.sync.interval = Seconds{sync_interval};
   }
   auto policy = policies::make_policy(policy_name, scenario.profiles,
                                       &scenario.oracle_future);
@@ -35,15 +35,17 @@ void print_sweep(const workloads::ScenarioBundle& scenario,
               policy_name.c_str());
   std::printf("%-14s %12s %12s %12s %10s %12s\n", "interval[s]", "energy[J]",
               "overhead[%]", "sync[MB]", "batches", "makespan[s]");
-  const double base = run(scenario, policy_name, 0).total_energy();
+  const double base = run(scenario, policy_name, 0).total_energy().value();
   std::printf("%-14s %12.1f %12s %12s %10s %12s\n", "off", base, "-", "-",
               "-", "-");
   for (const double interval : {30.0, 120.0, 600.0}) {
     const auto r = run(scenario, policy_name, interval);
     std::printf("%-14.0f %12.1f %12.1f %12.2f %10llu %12.1f\n", interval,
-                r.total_energy(), (r.total_energy() / base - 1.0) * 100.0,
-                static_cast<double>(r.sync_bytes) / 1e6,
-                static_cast<unsigned long long>(r.sync_batches), r.makespan);
+                r.total_energy().value(),
+                (r.total_energy().value() / base - 1.0) * 100.0,
+                r.sync_bytes.as_double() / 1e6,
+                static_cast<unsigned long long>(r.sync_batches),
+                r.makespan.value());
   }
   std::printf("\n");
 }

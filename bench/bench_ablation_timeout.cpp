@@ -19,7 +19,7 @@ sim::SimResult run(const workloads::ScenarioBundle& scenario,
                    const std::string& policy_name, double timeout,
                    bool adaptive) {
   sim::SimConfig config;
-  if (timeout > 0) config.disk.spin_down_timeout = timeout;
+  if (timeout > 0) config.disk.spin_down_timeout = Seconds{timeout};
   config.adaptive_disk_timeout = adaptive;
   auto policy = policies::make_policy(policy_name, scenario.profiles,
                                       &scenario.oracle_future);
@@ -35,14 +35,14 @@ void sweep(const workloads::ScenarioBundle& scenario,
               "makespan[s]");
   for (const double timeout : {5.0, 10.0, 20.0, 40.0, 80.0}) {
     const auto r = run(scenario, policy_name, timeout, false);
-    std::printf("%-14.0f %12.1f %10llu %12.1f\n", timeout, r.total_energy(),
+    std::printf("%-14.0f %12.1f %10llu %12.1f\n", timeout, r.total_energy().value(),
                 static_cast<unsigned long long>(r.disk_counters.spin_ups),
-                r.makespan);
+                r.makespan.value());
   }
   const auto r = run(scenario, policy_name, 0, true);
-  std::printf("%-14s %12.1f %10llu %12.1f\n", "adaptive", r.total_energy(),
+  std::printf("%-14s %12.1f %10llu %12.1f\n", "adaptive", r.total_energy().value(),
               static_cast<unsigned long long>(r.disk_counters.spin_ups),
-              r.makespan);
+              r.makespan.value());
   std::printf("\n");
 }
 

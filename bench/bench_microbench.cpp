@@ -37,10 +37,10 @@ namespace {
 
 void BM_BufferCacheLookupHit(benchmark::State& state) {
   os::BufferCache cache;
-  for (std::uint64_t i = 0; i < 1000; ++i) cache.fill(os::PageId{1, i}, 0.0);
+  for (std::uint64_t i = 0; i < 1000; ++i) cache.fill(os::PageId{1, i}, Seconds{0.0});
   std::uint64_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.lookup(os::PageId{1, i % 1000}, 0.0));
+    benchmark::DoNotOptimize(cache.lookup(os::PageId{1, i % 1000}, Seconds{0.0}));
     ++i;
   }
   state.SetItemsProcessed(state.iterations());
@@ -53,7 +53,7 @@ void BM_BufferCacheFillEvict(benchmark::State& state) {
   os::BufferCache cache(config);
   std::uint64_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.fill(os::PageId{1, i++}, 0.0));
+    benchmark::DoNotOptimize(cache.fill(os::PageId{1, i++}, Seconds{0.0}));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -63,8 +63,8 @@ void BM_CScanSubmitDispatch(benchmark::State& state) {
   os::CScanScheduler sched;
   std::uint64_t lba = 0;
   for (auto _ : state) {
-    sched.submit(device::DeviceRequest{.lba = (lba * 7919) % (1 << 30),
-                                       .size = 4096});
+    sched.submit(device::DeviceRequest{.lba = Bytes{(lba * 7919) % (1 << 30)},
+                                       .size = Bytes{4096}});
     ++lba;
     if (sched.pending() > 64) sched.dispatch();
   }
@@ -77,11 +77,11 @@ BENCHMARK(BM_CScanSubmitDispatch);
 void BM_CScanMixedMerge(benchmark::State& state) {
   os::CScanScheduler sched;
   std::uint64_t i = 0;
-  Bytes lba = 0;
+  Bytes lba = Bytes{0};
   for (auto _ : state) {
-    if (i % 4 == 0) lba = (i * 7919) % (1ull << 30);
-    sched.submit(device::DeviceRequest{.lba = lba, .size = 4096});
-    lba += 4096;
+    if (i % 4 == 0) lba = Bytes{(i * 7919) % (1ull << 30)};
+    sched.submit(device::DeviceRequest{.lba = lba, .size = Bytes{4096}});
+    lba += Bytes{4096};
     ++i;
     if (sched.pending() > 64) sched.dispatch();
   }
@@ -109,7 +109,7 @@ BENCHMARK(BM_FullSimCellThroughput)->Unit(benchmark::kMillisecond);
 void BM_BurstExtraction(benchmark::State& state) {
   const auto trace = workloads::make_trace();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::extract_bursts(trace, 0.020).size());
+    benchmark::DoNotOptimize(core::extract_bursts(trace, Seconds{0.020}).size());
   }
   state.SetItemsProcessed(static_cast<int64_t>(trace.size()) *
                           state.iterations());
@@ -118,13 +118,13 @@ BENCHMARK(BM_BurstExtraction)->Unit(benchmark::kMillisecond);
 
 void BM_StageEstimate(benchmark::State& state) {
   const auto trace = workloads::mplayer_trace();
-  const auto profile = core::Profile::from_trace(trace, 0.020);
+  const auto profile = core::Profile::from_trace(trace, Seconds{0.020});
   device::Disk disk;
   os::FileLayout layout(30 * kGiB);
   const auto span = profile.span(0, std::min<std::size_t>(profile.size(), 16));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        core::SourceEstimator::estimate_disk(disk, span, 0.0, layout).energy);
+        core::SourceEstimator::estimate_disk(disk, span, Seconds{0.0}, layout).energy);
   }
 }
 BENCHMARK(BM_StageEstimate);
@@ -262,10 +262,10 @@ int record_hotpath(const std::string& out_path) {
     std::vector<os::DirtyPage> flushed;
     flushed.reserve(16);
     constexpr std::uint64_t kOps = 4'000'000;
-    for (std::uint64_t i = 0; i < 2048; ++i) cache.fill(os::PageId{1, i}, 0.0);
+    for (std::uint64_t i = 0; i < 2048; ++i) cache.fill(os::PageId{1, i}, Seconds{0.0});
     const auto t0 = Clock::now();
     for (std::uint64_t i = 2048; i < kOps; ++i) {
-      cache.fill(os::PageId{1, i}, 0.0, flushed);
+      cache.fill(os::PageId{1, i}, Seconds{0.0}, flushed);
     }
     fill_evict_mops = static_cast<double>(kOps - 2048) / secs_since(t0) / 1e6;
   }
@@ -274,12 +274,12 @@ int record_hotpath(const std::string& out_path) {
   double lookup_hit_mops = 0.0;
   {
     os::BufferCache cache;
-    for (std::uint64_t i = 0; i < 1000; ++i) cache.fill(os::PageId{1, i}, 0.0);
+    for (std::uint64_t i = 0; i < 1000; ++i) cache.fill(os::PageId{1, i}, Seconds{0.0});
     constexpr std::uint64_t kOps = 20'000'000;
     std::uint64_t hits = 0;
     const auto t0 = Clock::now();
     for (std::uint64_t i = 0; i < kOps; ++i) {
-      hits += cache.lookup(os::PageId{1, i % 1000}, 0.0) ? 1u : 0u;
+      hits += cache.lookup(os::PageId{1, i % 1000}, Seconds{0.0}) ? 1u : 0u;
     }
     const double s = secs_since(t0);
     benchmark::DoNotOptimize(hits);
@@ -292,12 +292,12 @@ int record_hotpath(const std::string& out_path) {
   {
     os::CScanScheduler sched;
     constexpr std::uint64_t kOps = 4'000'000;
-    Bytes lba = 0;
+    Bytes lba = Bytes{0};
     const auto t0 = Clock::now();
     for (std::uint64_t i = 0; i < kOps; ++i) {
-      if (i % 4 == 0) lba = (i * 7919) % (1ull << 30);
-      sched.submit(device::DeviceRequest{.lba = lba, .size = 4096});
-      lba += 4096;
+      if (i % 4 == 0) lba = Bytes{(i * 7919) % (1ull << 30)};
+      sched.submit(device::DeviceRequest{.lba = lba, .size = Bytes{4096}});
+      lba += Bytes{4096};
       if (sched.pending() > 64) sched.dispatch();
     }
     while (sched.dispatch()) {

@@ -20,33 +20,44 @@ namespace {
 void print_table1() {
   const auto p = device::DiskParams::hitachi_dk23da();
   std::printf("=== Table 1: Hitachi DK23DA hard disk parameters ===\n");
-  std::printf("  P_active    Active Power      %.2f W\n", p.active_power);
-  std::printf("  P_idle      Idle Power        %.2f W\n", p.idle_power);
-  std::printf("  P_standby   Standby Power     %.2f W\n", p.standby_power);
-  std::printf("  E_spinup    Spin up Energy    %.2f J\n", p.spin_up_energy);
-  std::printf("  E_spindown  Spin down Energy  %.2f J\n", p.spin_down_energy);
-  std::printf("  T_spinup    Spin up Time      %.2f s\n", p.spin_up_time);
-  std::printf("  T_spindown  Spin down Time    %.2f s\n", p.spin_down_time);
+  std::printf("  P_active    Active Power      %.2f W\n",
+              p.active_power.value());
+  std::printf("  P_idle      Idle Power        %.2f W\n", p.idle_power.value());
+  std::printf("  P_standby   Standby Power     %.2f W\n",
+              p.standby_power.value());
+  std::printf("  E_spinup    Spin up Energy    %.2f J\n",
+              p.spin_up_energy.value());
+  std::printf("  E_spindown  Spin down Energy  %.2f J\n",
+              p.spin_down_energy.value());
+  std::printf("  T_spinup    Spin up Time      %.2f s\n",
+              p.spin_up_time.value());
+  std::printf("  T_spindown  Spin down Time    %.2f s\n",
+              p.spin_down_time.value());
   std::printf("  bandwidth %.0f MB/s, avg seek %.0f ms, avg rotation %.0f ms, "
               "timeout %.0f s\n",
-              p.bandwidth / 1e6, p.avg_seek_time * 1e3,
-              p.avg_rotation_time * 1e3, p.spin_down_timeout);
-  std::printf("  derived break-even time: %.2f s\n\n", p.break_even_time());
+              p.bandwidth.value() / 1e6, p.avg_seek_time.value() * 1e3,
+              p.avg_rotation_time.value() * 1e3,
+              p.spin_down_timeout.value());
+  std::printf("  derived break-even time: %.2f s\n\n",
+              p.break_even_time().value());
 }
 
 void print_table2() {
   const auto p = device::WnicParams::cisco_aironet350();
   std::printf("=== Table 2: Cisco Aironet 350 WNIC parameters ===\n");
   std::printf("  PSM (idle/recv/send)       %.2f W / %.2f W / %.2f W\n",
-              p.psm_idle_power, p.psm_recv_power, p.psm_send_power);
+              p.psm_idle_power.value(), p.psm_recv_power.value(),
+              p.psm_send_power.value());
   std::printf("  CAM (idle/recv/send)       %.2f W / %.2f W / %.2f W\n",
-              p.cam_idle_power, p.cam_recv_power, p.cam_send_power);
+              p.cam_idle_power.value(), p.cam_recv_power.value(),
+              p.cam_send_power.value());
   std::printf("  CAM->PSM (delay/energy)    %.2f s / %.2f J\n",
-              p.cam_to_psm_delay, p.cam_to_psm_energy);
+              p.cam_to_psm_delay.value(), p.cam_to_psm_energy.value());
   std::printf("  PSM->CAM (delay/energy)    %.2f s / %.2f J\n",
-              p.psm_to_cam_delay, p.psm_to_cam_energy);
+              p.psm_to_cam_delay.value(), p.psm_to_cam_energy.value());
   std::printf("  PSM timeout %.1f s, bandwidth %.1f Mbps, latency %.1f ms\n\n",
-              p.psm_timeout, p.bandwidth * 8.0 / 1e6, p.latency * 1e3);
+              p.psm_timeout.value(), p.bandwidth.value() * 8.0 / 1e6,
+              p.latency.value() * 1e3);
 }
 
 void print_table3() {
@@ -69,7 +80,7 @@ void print_table3() {
   for (const auto& row : rows) {
     const auto s = row.trace.stats();
     std::printf("  %-12s %-24s %8zu %10.1f %10s\n", row.name, row.description,
-                s.distinct_files, static_cast<double>(s.footprint) / 1e6,
+                s.distinct_files, s.footprint.as_double() / 1e6,
                 format_seconds(s.duration).c_str());
   }
   std::printf("\n");
@@ -79,15 +90,15 @@ void print_table3() {
 
 void BM_DiskService(benchmark::State& state) {
   device::Disk disk;
-  Seconds t = 0.0;
-  const auto size = static_cast<Bytes>(state.range(0));
-  Bytes lba = 0;
+  Seconds t = Seconds{0.0};
+  const auto size = Bytes{static_cast<std::uint64_t>(state.range(0))};
+  Bytes lba = Bytes{0};
   for (auto _ : state) {
     const auto res =
         disk.service(t, device::DeviceRequest{.lba = lba, .size = size});
     benchmark::DoNotOptimize(res.energy);
-    t = res.completion + 0.001;
-    lba += size + 1;  // Non-sequential: exercise positioning.
+    t = res.completion + Seconds{0.001};
+    lba += size + Bytes{1};  // Non-sequential: exercise positioning.
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -95,12 +106,12 @@ BENCHMARK(BM_DiskService)->Arg(4096)->Arg(131072);
 
 void BM_WnicService(benchmark::State& state) {
   device::Wnic wnic;
-  Seconds t = 0.0;
-  const auto size = static_cast<Bytes>(state.range(0));
+  Seconds t = Seconds{0.0};
+  const auto size = Bytes{static_cast<std::uint64_t>(state.range(0))};
   for (auto _ : state) {
     const auto res = wnic.service(t, device::DeviceRequest{.size = size});
     benchmark::DoNotOptimize(res.energy);
-    t = res.completion + 0.001;
+    t = res.completion + Seconds{0.001};
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -37,7 +37,8 @@ void print_table_row(double axis_value, const std::vector<double>& cells) {
 }
 
 void ParsedFlags::add(std::string name, bool* target) {
-  flags_.push_back(Flag{.name = "--" + std::move(name), .bool_target = target});
+  flags_.push_back(
+      Flag{.name = "--" + std::move(name), .value_name = "", .bool_target = target});
 }
 
 void ParsedFlags::add(std::string name, int* target, std::string value_name) {
@@ -243,7 +244,7 @@ void print_figure(const std::string& figure_label,
     std::vector<double> row;
     row.reserve(spec.policies.size());
     for (std::size_t p = 0; p < spec.policies.size(); ++p) {
-      row.push_back(results[i++].total_energy());
+      row.push_back(results[i++].total_energy().value());
     }
     print_table_row(ms, row);
   }
@@ -254,7 +255,7 @@ void print_figure(const std::string& figure_label,
     std::vector<double> row;
     row.reserve(spec.policies.size());
     for (std::size_t p = 0; p < spec.policies.size(); ++p) {
-      row.push_back(results[i++].total_energy());
+      row.push_back(results[i++].total_energy().value());
     }
     print_table_row(mbps, row);
   }

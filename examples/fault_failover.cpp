@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   // the playback and stays down for a minute.
   sim::SimConfig config;
   const Seconds outage_start = span / 3.0;
-  const Seconds outage_end = outage_start + 60.0;
+  const Seconds outage_end = outage_start + Seconds{60.0};
   config.faults.wnic.outages.push_back(
       faults::OutageWindow{.start = outage_start, .end = outage_end});
   config.telemetry.enabled = true;
@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
       const bool fault = ev.category == telemetry::Category::kFault;
       const bool splice = std::strcmp(ev.name, "decision.splice") == 0;
       if (!fault && !splice) continue;
-      if (ev.start < outage_start - 60.0 || ev.start > outage_end + 60.0) {
+      if (ev.start < outage_start - Seconds{60.0} || ev.start > outage_end + Seconds{60.0}) {
         continue;
       }
       std::printf("    %9s  %-24s", format_seconds(ev.start).c_str(),

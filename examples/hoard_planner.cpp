@@ -30,8 +30,9 @@ void plan(const char* label, const trace::Trace& t) {
 
   std::printf("  %-14s %10s %12s\n", "budget", "files", "confidence");
   for (const double frac : {0.1, 0.25, 0.5, 0.75, 1.0}) {
-    const auto budget = static_cast<Bytes>(
-        frac * static_cast<double>(stats.footprint)) + kPageSize;
+    const auto budget =
+        Bytes{static_cast<std::uint64_t>(frac * stats.footprint.as_double())} +
+        kPageSize;
     const auto chosen = hs.select(budget, now);
     std::printf("  %-14s %10zu %11.1f%%\n", format_bytes(budget).c_str(),
                 chosen.size(), hs.hit_confidence(budget, now) * 100.0);

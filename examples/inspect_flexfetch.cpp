@@ -52,12 +52,12 @@ void run_variant(const char* label, core::FlexFetchConfig config,
   for (const auto& d : policy.decision_log()) {
     std::printf("  t=%8.1fs %-10s stage=%2zu bursts[%3zu,+%3zu) "
                 "disk(T=%7.2fs E=%8.2fJ) net(T=%7.2fs E=%8.2fJ) -> %s\n",
-                d.time,
+                d.time.value(),
                 d.origin == core::DecisionRecord::Origin::kStageEntry
                     ? "stage"
                     : "splice",
-                d.stage, d.first_burst, d.burst_count, d.disk.time,
-                d.disk.energy, d.network.time, d.network.energy,
+                d.stage, d.first_burst, d.burst_count, d.disk.time.value(),
+                d.disk.energy.value(), d.network.time.value(), d.network.energy.value(),
                 device::to_string(d.decision));
   }
   const auto& st = policy.stats();
@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
   std::printf("profile '%s': %zu bursts, %s, span %s\n", merged.program().c_str(),
               merged.size(), format_bytes(merged.total_bytes()).c_str(),
               format_seconds(merged.span_seconds()).c_str());
-  const auto stages = core::segment_stages(merged, 40.0);
+  const auto stages = core::segment_stages(merged, Seconds{40.0});
   std::printf("%zu evaluation stages:\n", stages.size());
   for (std::size_t i = 0; i < stages.size(); ++i) {
     std::printf("  stage %2zu: bursts [%4zu, %4zu)  start %9s  len %8s  %10s\n",

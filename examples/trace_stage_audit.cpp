@@ -34,7 +34,7 @@ int usage(const char* argv0) {
 }
 
 void print_event(const telemetry::TraceEvent& ev) {
-  std::printf("  t=%8.1fs  %-16s", ev.start, ev.name);
+  std::printf("  t=%8.1fs  %-16s", ev.start.value(), ev.name);
   for (std::size_t i = 0; i < ev.n_args; ++i) {
     const telemetry::Arg& a = ev.args[i];
     if (a.str != nullptr) {

@@ -95,8 +95,8 @@ int cmd_inspect(int argc, char** argv) {
 
   const auto bursts =
       core::extract_bursts(t, workloads::kProfileBurstThreshold);
-  Bytes burst_bytes = 0;
-  Seconds longest_think = 0.0;
+  Bytes burst_bytes = Bytes{0};
+  Seconds longest_think = Seconds{0.0};
   for (const auto& b : bursts) {
     burst_bytes += b.total_bytes();
     longest_think = std::max(longest_think, b.think_before);

@@ -7,22 +7,24 @@
 namespace flexfetch {
 
 std::string format_bytes(Bytes bytes) {
-  const auto b = static_cast<double>(bytes);
-  if (bytes < kKiB) return strprintf("%llu B", static_cast<unsigned long long>(bytes));
-  if (bytes < kMiB) return strprintf("%.1f KiB", b / static_cast<double>(kKiB));
-  if (bytes < kGiB) return strprintf("%.1f MiB", b / static_cast<double>(kMiB));
-  return strprintf("%.2f GiB", b / static_cast<double>(kGiB));
+  const double b = bytes.as_double();
+  if (bytes < kKiB)
+    return strprintf("%llu B",
+                     static_cast<unsigned long long>(bytes.value()));
+  if (bytes < kMiB) return strprintf("%.1f KiB", b / kKiB.as_double());
+  if (bytes < kGiB) return strprintf("%.1f MiB", b / kMiB.as_double());
+  return strprintf("%.2f GiB", b / kGiB.as_double());
 }
 
 std::string format_seconds(Seconds s) {
-  if (s < 0) return "-" + format_seconds(-s);
-  if (s < 1e-3) return strprintf("%.1f us", s * 1e6);
-  if (s < 1.0) return strprintf("%.1f ms", s * 1e3);
-  if (s < 120.0) return strprintf("%.2f s", s);
-  return strprintf("%.1f min", s / 60.0);
+  if (s < Seconds{}) return "-" + format_seconds(-s);
+  if (s < units::us(1000.0)) return strprintf("%.1f us", s.value() * 1e6);
+  if (s < Seconds{1.0}) return strprintf("%.1f ms", s.value() * 1e3);
+  if (s < Seconds{120.0}) return strprintf("%.2f s", s.value());
+  return strprintf("%.1f min", s.value() / 60.0);
 }
 
-std::string format_joules(Joules j) { return strprintf("%.1f J", j); }
+std::string format_joules(Joules j) { return strprintf("%.1f J", j.value()); }
 
 std::string strprintf(const char* fmt, ...) {
   va_list args;

@@ -1,24 +1,201 @@
-// Units and conversions used throughout FlexFetch.
+// Strong dimensional types used throughout FlexFetch.
 //
-// Conventions (documented once, used everywhere):
-//   * time      : double, seconds
-//   * energy    : double, joules
-//   * power     : double, watts
-//   * size      : std::uint64_t, bytes
-//   * bandwidth : double, bytes per second
+// FlexFetch's decision rule is an energy/time accounting argument: the
+// policy compares joules and seconds computed across the disk, WNIC, cache
+// and estimator layers. Until PR 6 these were bare `double` aliases, so a
+// watts-where-joules-expected bug compiled silently (exactly the class of
+// bug PR 5's seek-charging fix was). Each quantity is now a distinct
+// constexpr wrapper that only admits physically valid operations:
+//
+//   * same-dimension: q + q, q - q, -q, q += q, q -= q, comparisons
+//   * scalar scaling: q * s, s * q, q / s, q *= s, q /= s   (s: double)
+//   * ratios:         q / q -> double (dimensionless)
+//   * cross-dimension (and only these):
+//       Watts  * Seconds        -> Joules     (and commuted)
+//       Joules / Seconds        -> Watts
+//       Joules / Watts          -> Seconds
+//       Bytes  / BytesPerSecond -> Seconds
+//       BytesPerSecond * Seconds-> double     (fractional byte count)
+//
+// Everything else — `Joules + Watts`, `Seconds * Seconds` into a Seconds,
+// passing a raw double where a unit is expected — is a compile error (the
+// tests/compile_fail harness pins this). The wrappers are zero-overhead:
+// one public field's worth of storage, every operation constexpr and
+// inline, no virtuals, trivially copyable.
+//
+// Conventions (documented once, enforced by the compiler everywhere):
+//   * Seconds        : double-backed, seconds
+//   * Joules         : double-backed, joules
+//   * Watts          : double-backed, watts
+//   * Bytes          : uint64-backed, bytes
+//   * BytesPerSecond : double-backed, bytes per second
+//
+// Raw representations enter through the explicit constructors (or the
+// `units::` helpers) and leave through `.value()` — grep for `.value()` to
+// find every boundary where a quantity meets unit-less code (printf, JSON,
+// statistics).
 #pragma once
 
+#include <compare>
 #include <cstdint>
 
 namespace flexfetch {
 
-using Seconds = double;
-using Joules  = double;
-using Watts   = double;
-using Bytes   = std::uint64_t;
-using BytesPerSecond = double;
+namespace detail {
 
-inline constexpr Bytes kKiB = 1024;
+/// Strong wrapper over `double` for one physical dimension. `Tag` is an
+/// empty marker type; quantities with different tags do not mix except
+/// through the cross-dimension operators defined below.
+template <class Tag>
+class FloatQuantity {
+ public:
+  constexpr FloatQuantity() = default;
+  explicit constexpr FloatQuantity(double v) : v_(v) {}
+
+  /// The raw value in the dimension's SI unit.
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  // Same-dimension arithmetic.
+  [[nodiscard]] constexpr FloatQuantity operator+(FloatQuantity o) const {
+    return FloatQuantity{v_ + o.v_};
+  }
+  [[nodiscard]] constexpr FloatQuantity operator-(FloatQuantity o) const {
+    return FloatQuantity{v_ - o.v_};
+  }
+  [[nodiscard]] constexpr FloatQuantity operator-() const {
+    return FloatQuantity{-v_};
+  }
+  constexpr FloatQuantity& operator+=(FloatQuantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr FloatQuantity& operator-=(FloatQuantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+
+  // Scalar scaling.
+  [[nodiscard]] constexpr FloatQuantity operator*(double s) const {
+    return FloatQuantity{v_ * s};
+  }
+  [[nodiscard]] constexpr FloatQuantity operator/(double s) const {
+    return FloatQuantity{v_ / s};
+  }
+  constexpr FloatQuantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr FloatQuantity& operator/=(double s) {
+    v_ /= s;
+    return *this;
+  }
+  [[nodiscard]] friend constexpr FloatQuantity operator*(double s,
+                                                         FloatQuantity q) {
+    return FloatQuantity{s * q.v_};
+  }
+
+  /// Ratio of two same-dimension quantities is dimensionless.
+  [[nodiscard]] constexpr double operator/(FloatQuantity o) const {
+    return v_ / o.v_;
+  }
+
+  [[nodiscard]] constexpr auto operator<=>(const FloatQuantity&) const =
+      default;
+
+ private:
+  double v_ = 0.0;
+};
+
+}  // namespace detail
+
+using Seconds = detail::FloatQuantity<struct TimeDim>;
+using Joules = detail::FloatQuantity<struct EnergyDim>;
+using Watts = detail::FloatQuantity<struct PowerDim>;
+using BytesPerSecond = detail::FloatQuantity<struct BandwidthDim>;
+
+// Cross-dimension algebra: the only physically meaningful products and
+// quotients. Everything absent from this list is a compile error.
+[[nodiscard]] constexpr Joules operator*(Watts p, Seconds t) {
+  return Joules{p.value() * t.value()};
+}
+[[nodiscard]] constexpr Joules operator*(Seconds t, Watts p) {
+  return Joules{t.value() * p.value()};
+}
+[[nodiscard]] constexpr Watts operator/(Joules e, Seconds t) {
+  return Watts{e.value() / t.value()};
+}
+[[nodiscard]] constexpr Seconds operator/(Joules e, Watts p) {
+  return Seconds{e.value() / p.value()};
+}
+/// Fractional byte count moved in `t` at rate `bw` (double: callers decide
+/// how to round back into whole Bytes).
+[[nodiscard]] constexpr double operator*(BytesPerSecond bw, Seconds t) {
+  return bw.value() * t.value();
+}
+[[nodiscard]] constexpr double operator*(Seconds t, BytesPerSecond bw) {
+  return t.value() * bw.value();
+}
+
+/// Byte count: uint64-backed so sizes, offsets and LBAs stay exact. Admits
+/// integer-quantity arithmetic (sum/difference/min/max, integer scaling,
+/// ratio and remainder) plus Bytes / BytesPerSecond -> Seconds.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  explicit constexpr Bytes(std::uint64_t v) : v_(v) {}
+
+  /// The raw count of bytes.
+  [[nodiscard]] constexpr std::uint64_t value() const { return v_; }
+  /// The count as a double (rate and ratio math).
+  [[nodiscard]] constexpr double as_double() const {
+    return static_cast<double>(v_);
+  }
+
+  [[nodiscard]] constexpr Bytes operator+(Bytes o) const {
+    return Bytes{v_ + o.v_};
+  }
+  [[nodiscard]] constexpr Bytes operator-(Bytes o) const {
+    return Bytes{v_ - o.v_};
+  }
+  constexpr Bytes& operator+=(Bytes o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes o) {
+    v_ -= o.v_;
+    return *this;
+  }
+
+  // Integer scaling.
+  [[nodiscard]] constexpr Bytes operator*(std::uint64_t s) const {
+    return Bytes{v_ * s};
+  }
+  [[nodiscard]] constexpr Bytes operator/(std::uint64_t s) const {
+    return Bytes{v_ / s};
+  }
+  [[nodiscard]] friend constexpr Bytes operator*(std::uint64_t s, Bytes b) {
+    return Bytes{s * b.v_};
+  }
+
+  /// Ratio of two byte counts is a dimensionless (truncating) count.
+  [[nodiscard]] constexpr std::uint64_t operator/(Bytes o) const {
+    return v_ / o.v_;
+  }
+  [[nodiscard]] constexpr Bytes operator%(Bytes o) const {
+    return Bytes{v_ % o.v_};
+  }
+
+  [[nodiscard]] constexpr auto operator<=>(const Bytes&) const = default;
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+[[nodiscard]] constexpr Seconds operator/(Bytes size, BytesPerSecond bw) {
+  return Seconds{size.as_double() / bw.value()};
+}
+
+inline constexpr Bytes kKiB{1024};
 inline constexpr Bytes kMiB = 1024 * kKiB;
 inline constexpr Bytes kGiB = 1024 * kMiB;
 
@@ -31,28 +208,37 @@ inline constexpr Bytes kMaxPrefetchWindow = 128 * kKiB;
 namespace units {
 
 /// Megabits per second -> bytes per second (network vendors use decimal mega).
-constexpr BytesPerSecond mbps(double megabits) { return megabits * 1e6 / 8.0; }
+[[nodiscard]] constexpr BytesPerSecond mbps(double megabits) {
+  return BytesPerSecond{megabits * 1e6 / 8.0};
+}
 
 /// Megabytes per second -> bytes per second (disk vendors use decimal mega).
-constexpr BytesPerSecond mb_per_s(double megabytes) { return megabytes * 1e6; }
+[[nodiscard]] constexpr BytesPerSecond mb_per_s(double megabytes) {
+  return BytesPerSecond{megabytes * 1e6};
+}
 
-constexpr Seconds ms(double milliseconds) { return milliseconds * 1e-3; }
-constexpr Seconds us(double microseconds) { return microseconds * 1e-6; }
-constexpr Seconds minutes(double m) { return m * 60.0; }
+[[nodiscard]] constexpr Seconds ms(double milliseconds) {
+  return Seconds{milliseconds * 1e-3};
+}
+[[nodiscard]] constexpr Seconds us(double microseconds) {
+  return Seconds{microseconds * 1e-6};
+}
+[[nodiscard]] constexpr Seconds minutes(double m) { return Seconds{m * 60.0}; }
 
-constexpr Bytes kib(std::uint64_t n) { return n * kKiB; }
-constexpr Bytes mib(std::uint64_t n) { return n * kMiB; }
+[[nodiscard]] constexpr Bytes kib(std::uint64_t n) { return n * kKiB; }
+[[nodiscard]] constexpr Bytes mib(std::uint64_t n) { return n * kMiB; }
 
 }  // namespace units
 
 /// Number of whole pages covering `bytes` (ceiling division).
-constexpr std::uint64_t pages_for(Bytes bytes) {
-  return (bytes + kPageSize - 1) / kPageSize;
+[[nodiscard]] constexpr std::uint64_t pages_for(Bytes bytes) {
+  return (bytes.value() + kPageSize.value() - 1) / kPageSize.value();
 }
 
 /// Transfer time of `size` bytes at `bw` bytes/second.
-constexpr Seconds transfer_time(Bytes size, BytesPerSecond bw) {
-  return bw > 0.0 ? static_cast<double>(size) / bw : 0.0;
+[[nodiscard]] constexpr Seconds transfer_time(Bytes size, BytesPerSecond bw) {
+  return bw.value() > 0.0 ? Seconds{size.as_double() / bw.value()}
+                          : Seconds{};
 }
 
 }  // namespace flexfetch

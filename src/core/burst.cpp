@@ -5,14 +5,14 @@
 namespace flexfetch::core {
 
 Bytes IOBurst::total_bytes() const {
-  Bytes sum = 0;
+  Bytes sum = Bytes{0};
   for (const auto& r : requests) sum += r.size;
   return sum;
 }
 
 BurstTracker::BurstTracker(Seconds burst_threshold, Bytes max_merge)
     : threshold_(burst_threshold), max_merge_(max_merge) {
-  FF_REQUIRE(burst_threshold > 0.0, "burst threshold must be positive");
+  FF_REQUIRE(burst_threshold > Seconds{}, "burst threshold must be positive");
   FF_REQUIRE(max_merge >= kPageSize, "merge cap below one page");
 }
 
@@ -21,7 +21,7 @@ void BurstTracker::on_record(const trace::SyscallRecord& r) {
   total_bytes_ += r.size;
 
   const Seconds gap = has_open_ || !bursts_.empty()
-                          ? std::max(0.0, r.timestamp - last_end_)
+                          ? std::max(Seconds{}, r.timestamp - last_end_)
                           : r.timestamp;
   if (!has_open_) {
     open_ = IOBurst{};

@@ -17,24 +17,25 @@ namespace flexfetch::core {
 /// One (possibly merged) request inside a burst.
 struct BurstRequest {
   trace::Inode inode = 0;
-  Bytes offset = 0;
-  Bytes size = 0;
+  Bytes offset = Bytes{0};
+  Bytes size = Bytes{0};
   bool is_write = false;
 
   /// Page span [first_page(), end_page()) covered by the request — the unit
   /// FlexFetch's cache filter (Section 2.3.2) checks for residency.
   std::uint64_t first_page() const { return offset / kPageSize; }
   std::uint64_t end_page() const {
-    return size == 0 ? first_page() : (offset + size - 1) / kPageSize + 1;
+    return size == Bytes{} ? first_page()
+                           : (offset + size - Bytes{1}) / kPageSize + 1;
   }
 };
 
 struct IOBurst {
   /// Think time between the previous burst's end and this burst's start
   /// (for the first burst: time from profile origin).
-  Seconds think_before = 0.0;
-  Seconds start = 0.0;     ///< Profiled timestamp of the first call.
-  Seconds duration = 0.0;  ///< Profiled span from first call to last byte.
+  Seconds think_before = Seconds{0.0};
+  Seconds start = Seconds{0.0};     ///< Profiled timestamp of the first call.
+  Seconds duration = Seconds{0.0};  ///< Profiled span from first call to last byte.
   std::vector<BurstRequest> requests;
 
   Bytes total_bytes() const;
@@ -74,8 +75,8 @@ class BurstTracker {
   std::vector<IOBurst> bursts_;
   IOBurst open_;
   bool has_open_ = false;
-  Seconds last_end_ = 0.0;  ///< End (ts+duration) of the previous record.
-  Bytes total_bytes_ = 0;
+  Seconds last_end_ = Seconds{0.0};  ///< End (ts+duration) of the previous record.
+  Bytes total_bytes_ = Bytes{0};
 };
 
 /// One-shot burst extraction from a whole trace.

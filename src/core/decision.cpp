@@ -17,7 +17,7 @@ device::DeviceKind decide_source(const Estimate& disk, const Estimate& network,
     return device::DeviceKind::kNetwork;
   }
   // Rule 3: network saves energy at a bounded, worthwhile performance loss.
-  if (network.energy < disk.energy && disk.energy > 0.0 && disk.time > 0.0) {
+  if (network.energy < disk.energy && disk.energy > Joules{} && disk.time > Seconds{}) {
     const double energy_saving = (disk.energy - network.energy) / disk.energy;
     const double time_loss = (network.time - disk.time) / disk.time;
     if (energy_saving >= time_loss && time_loss < loss_rate) {

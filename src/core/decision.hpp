@@ -8,8 +8,8 @@ namespace flexfetch::core {
 
 /// Estimated cost of servicing an evaluation stage from one source.
 struct Estimate {
-  Seconds time = 0.0;
-  Joules energy = 0.0;
+  Seconds time = Seconds{0.0};
+  Joules energy = Joules{0.0};
 };
 
 /// Applies the paper's three rules, given the estimates for both sources

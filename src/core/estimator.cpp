@@ -64,7 +64,7 @@ Estimate SourceEstimator::estimate_network(const device::Wnic& live_wnic,
   return replay(live_wnic, bursts, start_time, filter,
                 [](const BurstRequest& r) {
                   return device::DeviceRequest{
-                      .lba = 0, .size = r.size, .is_write = r.is_write};
+                      .lba = Bytes{}, .size = r.size, .is_write = r.is_write};
                 });
 }
 

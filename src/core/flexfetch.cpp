@@ -16,7 +16,7 @@ using device::DeviceKind;
 FlexFetchPolicy::FlexFetchPolicy(FlexFetchConfig config, Profile profile)
     : config_(config), old_profile_(std::move(profile)) {
   FF_REQUIRE(config.loss_rate >= 0.0, "flexfetch: negative loss rate");
-  FF_REQUIRE(config.stage_min_length > 0.0, "flexfetch: non-positive stage length");
+  FF_REQUIRE(config.stage_min_length > Seconds{}, "flexfetch: non-positive stage length");
 }
 
 FlexFetchPolicy::FlexFetchPolicy(FlexFetchConfig config,
@@ -30,7 +30,7 @@ std::string FlexFetchPolicy::name() const {
 }
 
 void FlexFetchPolicy::begin(sim::SimContext& ctx) {
-  if (config_.burst_threshold <= 0.0) {
+  if (config_.burst_threshold <= Seconds{}) {
     // The paper sets the burst threshold to the disk's average access time.
     config_.burst_threshold = ctx.disk().params().access_time();
   }
@@ -106,10 +106,10 @@ DeviceKind FlexFetchPolicy::evaluate(std::span<const IOBurst> bursts,
                      : "decision.splice",
                  telemetry::track::kPolicy, now,
                  {telemetry::num_arg("stage", static_cast<double>(stage_idx_)),
-                  telemetry::num_arg("disk_t_s", disk.time),
-                  telemetry::num_arg("disk_e_j", disk.energy),
-                  telemetry::num_arg("net_t_s", net.time),
-                  telemetry::num_arg("net_e_j", net.energy),
+                  telemetry::num_arg("disk_t_s", disk.time.value()),
+                  telemetry::num_arg("disk_e_j", disk.energy.value()),
+                  telemetry::num_arg("net_t_s", net.time.value()),
+                  telemetry::num_arg("net_e_j", net.energy.value()),
                   telemetry::str_arg("choice", device::to_string(decision))});
   }
   return decision;
@@ -118,7 +118,7 @@ DeviceKind FlexFetchPolicy::evaluate(std::span<const IOBurst> bursts,
 void FlexFetchPolicy::enter_stage(sim::SimContext& ctx) {
   const Seconds now = ctx.now();
   stage_entry_time_ = now;
-  stage_bytes_done_ = 0;
+  stage_bytes_done_ = Bytes{};
   ++stats_.stages_entered;
 
   if (stage_idx_ < stages_.size()) {
@@ -187,7 +187,7 @@ void FlexFetchPolicy::finish_stage(sim::SimContext& ctx) {
     // risks a spin-up or a mode switch). A decisive loss (a clear regime
     // change) overrides at once; marginal losses must repeat.
     if (winner != choice_) {
-      const double saving = actual.energy > 0.0
+      const double saving = actual.energy > Joules{}
                                 ? 1.0 - alternative.energy / actual.energy
                                 : 0.0;
       if (saving < config_.audit_margin) {
@@ -210,10 +210,10 @@ void FlexFetchPolicy::finish_stage(sim::SimContext& ctx) {
           measured_winner == choice_ ? "audit.win" : "audit.loss",
           telemetry::track::kPolicy, now,
           {telemetry::num_arg("stage", static_cast<double>(stage_idx_)),
-           telemetry::num_arg("actual_t_s", actual.time),
-           telemetry::num_arg("actual_e_j", actual.energy),
-           telemetry::num_arg("alt_t_s", alternative.time),
-           telemetry::num_arg("alt_e_j", alternative.energy),
+           telemetry::num_arg("actual_t_s", actual.time.value()),
+           telemetry::num_arg("actual_e_j", actual.energy.value()),
+           telemetry::num_arg("alt_t_s", alternative.time.value()),
+           telemetry::num_arg("alt_e_j", alternative.energy.value()),
            telemetry::str_arg("winner", device::to_string(winner))});
     }
     if (winner != choice_) {
@@ -230,10 +230,10 @@ void FlexFetchPolicy::finish_stage(sim::SimContext& ctx) {
       std::fprintf(stderr,
                    "[audit] t=%.1f stage=%zu choice=%s profile=%s "
                    "actual=(%.1fs %.1fJ) alt=(%.1fs %.1fJ) winner=%s\n",
-                   now, stage_idx_, device::to_string(choice_),
-                   device::to_string(profile_choice_), actual.time,
-                   actual.energy, alternative.time, alternative.energy,
-                   device::to_string(winner));
+                   now.value(), stage_idx_, device::to_string(choice_),
+                   device::to_string(profile_choice_), actual.time.value(),
+                   actual.energy.value(), alternative.time.value(),
+                   alternative.energy.value(), device::to_string(winner));
     }
     // The profile regains control only when its own choice for the stage
     // proved the more energy-efficient one (Section 2.3.1: "Only when the
@@ -253,7 +253,7 @@ void FlexFetchPolicy::finish_stage(sim::SimContext& ctx) {
 
 void FlexFetchPolicy::maybe_advance_stage(Seconds now, sim::SimContext& ctx) {
   while (true) {
-    Bytes bytes_target = std::numeric_limits<Bytes>::max();
+    Bytes bytes_target{std::numeric_limits<std::uint64_t>::max()};
     Seconds length_target = config_.stage_min_length;
     if (stage_idx_ < stages_.size()) {
       const Stage& st = stages_[stage_idx_];
@@ -349,7 +349,7 @@ void FlexFetchPolicy::maybe_react_to_fault(sim::SimContext& ctx) {
   // Is the source we are about to dispatch to inside a fault window? For
   // the disk, a spin-up stall only matters when a spin-up is actually
   // pending (a spinning disk services through a stall window unaffected).
-  Seconds window_start = -1.0;
+  Seconds window_start = Seconds{-1.0};
   if (choice_ == DeviceKind::kNetwork) {
     if (const faults::OutageWindow* w = fs->wnic.outage_at(now)) {
       window_start = w->start;
@@ -362,14 +362,14 @@ void FlexFetchPolicy::maybe_react_to_fault(sim::SimContext& ctx) {
   // One reaction per window: the re-evaluation already priced the whole
   // window into its decision, so repeating it every request inside the
   // same window could only flip-flop.
-  if (window_start < 0.0 || window_start == last_fault_window_start_) return;
+  if (window_start < Seconds{} || window_start == last_fault_window_start_) return;
   last_fault_window_start_ = window_start;
   ++stats_.fault_reevaluations;
   if (auto* rec = ctx.recorder()) {
     rec->instant(telemetry::Category::kFault, "fault.reevaluate",
                  telemetry::track::kFault, now,
                  {telemetry::str_arg("source", device::to_string(choice_)),
-                  telemetry::num_arg("window_start", window_start)});
+                  telemetry::num_arg("window_start", window_start.value())});
   }
   // Re-run the splice decision over the remainder of the stage. The
   // estimators replay on copies that share the live fault schedule, so the
@@ -439,7 +439,7 @@ void FlexFetchPolicy::observe(const sim::RequestContext& req,
   // shadow timeline compresses when the alternative is faster.
   if (config_.adapt_stage_audit && shadow_disk_ && shadow_wnic_) {
     const Seconds think_gap =
-        std::max(0.0, result.arrival - last_actual_completion_);
+        std::max(Seconds{}, result.arrival - last_actual_completion_);
     const Seconds alt_arrival = last_shadow_completion_ + think_gap;
     const DeviceKind alt = req.disk_pinned
                                ? DeviceKind::kDisk
@@ -468,7 +468,7 @@ void FlexFetchPolicy::export_metrics(telemetry::MetricsRegistry& m) const {
         num(stats_.estimator_requests_replayed));
   m.add("ff.shadow_requests_replayed", num(stats_.shadow_requests_replayed));
   m.add("ff.syscalls_tracked", num(stats_.syscalls_tracked));
-  m.set("ff.overhead_energy_j", overhead_energy());
+  m.set("ff.overhead_energy_j", overhead_energy().value());
 }
 
 void FlexFetchPolicy::end(sim::SimContext& ctx) {

@@ -36,10 +36,10 @@ struct FlexFetchConfig {
   /// Maximum tolerable I/O performance loss rate (paper uses 25 %).
   double loss_rate = 0.25;
   /// Minimal profiled span of an evaluation stage (paper uses 40 s).
-  Seconds stage_min_length = 40.0;
+  Seconds stage_min_length = Seconds{40.0};
   /// I/O burst threshold; <= 0 derives it from the disk's average access
   /// time at begin() (the paper's choice).
-  Seconds burst_threshold = 0.0;
+  Seconds burst_threshold = Seconds{0.0};
   /// Data source used when no profile exists for the program.
   device::DeviceKind default_source = device::DeviceKind::kDisk;
   /// Relative energy margin the alternative device must win by before a
@@ -71,7 +71,7 @@ struct FlexFetchConfig {
   /// tracked). ~1 us on a ~2 W-active 2007 mobile CPU. This quantifies the
   /// "time, space, and energy overhead of applying the scheme" the paper's
   /// Section 5 defers; see FlexFetchPolicy::overhead_energy().
-  Joules overhead_per_op = 2e-6;
+  Joules overhead_per_op = Joules{2e-6};
 
   /// FlexFetch-static: profile-driven decisions with every run-time
   /// adaptation disabled.
@@ -88,7 +88,7 @@ struct FlexFetchConfig {
 
 /// One decision-rule evaluation, kept for diagnosis and tests.
 struct DecisionRecord {
-  Seconds time = 0.0;
+  Seconds time = Seconds{0.0};
   enum class Origin : std::uint8_t { kStageEntry, kSplice } origin =
       Origin::kStageEntry;
   std::size_t stage = 0;
@@ -193,12 +193,12 @@ class FlexFetchPolicy : public sim::Policy {
   // Current-run observation.
   std::optional<BurstTracker> tracker_;
   Profile new_profile_;
-  Bytes run_bytes_ = 0;
+  Bytes run_bytes_ = Bytes{0};
 
   // Stage machinery.
   std::size_t stage_idx_ = 0;
-  Seconds stage_entry_time_ = 0.0;
-  Bytes stage_bytes_done_ = 0;
+  Seconds stage_entry_time_ = Seconds{0.0};
+  Bytes stage_bytes_done_ = Bytes{0};
   device::DeviceKind choice_ = device::DeviceKind::kDisk;
   device::DeviceKind profile_choice_ = device::DeviceKind::kDisk;
   bool trust_profile_ = true;
@@ -216,17 +216,17 @@ class FlexFetchPolicy : public sim::Policy {
   // the same rule as stage-entry decisions.
   std::optional<device::Disk> shadow_disk_;
   std::optional<device::Wnic> shadow_wnic_;
-  Joules live_energy_at_stage_start_ = 0.0;
-  Seconds last_actual_completion_ = 0.0;
-  Seconds last_shadow_completion_ = 0.0;
+  Joules live_energy_at_stage_start_ = Joules{0.0};
+  Seconds last_actual_completion_ = Seconds{0.0};
+  Seconds last_shadow_completion_ = Seconds{0.0};
   std::uint32_t consecutive_audit_losses_ = 0;
 
   // Free rider.
-  Seconds last_external_disk_activity_ = -1e18;
+  Seconds last_external_disk_activity_ = Seconds{-1e18};
 
   // Fault failover: start of the last fault window already reacted to,
   // so one window triggers at most one re-evaluation.
-  Seconds last_fault_window_start_ = -1.0;
+  Seconds last_fault_window_start_ = Seconds{-1.0};
 
   FlexFetchStats stats_;
   std::vector<DecisionRecord> decision_log_;

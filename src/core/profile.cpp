@@ -23,9 +23,9 @@ Profile Profile::merge(const std::vector<Profile>& profiles, std::string name) {
     return a.start < b.start;
   });
   // Recompute think gaps against the interleaved order.
-  Seconds prev_end = 0.0;
+  Seconds prev_end = Seconds{0.0};
   for (auto& b : all) {
-    b.think_before = std::max(0.0, b.start - prev_end);
+    b.think_before = std::max(Seconds{}, b.start - prev_end);
     prev_end = std::max(prev_end, b.end());
   }
   return Profile(std::move(name), std::move(all));
@@ -38,17 +38,17 @@ std::span<const IOBurst> Profile::span(std::size_t first, std::size_t count) con
 }
 
 Bytes Profile::total_bytes() const {
-  Bytes sum = 0;
+  Bytes sum = Bytes{0};
   for (const auto& b : bursts_) sum += b.total_bytes();
   return sum;
 }
 
 Seconds Profile::span_seconds() const {
-  return bursts_.empty() ? 0.0 : bursts_.back().end();
+  return bursts_.empty() ? Seconds{} : bursts_.back().end();
 }
 
 std::vector<Bytes> Profile::byte_prefix_sums() const {
-  std::vector<Bytes> sums(bursts_.size() + 1, 0);
+  std::vector<Bytes> sums(bursts_.size() + 1, Bytes{});
   for (std::size_t i = 0; i < bursts_.size(); ++i) {
     sums[i + 1] = sums[i] + bursts_[i].total_bytes();
   }
@@ -58,13 +58,14 @@ std::vector<Bytes> Profile::byte_prefix_sums() const {
 void Profile::write(std::ostream& os) const {
   os << "# flexfetch-profile v1 name=" << program_ << '\n';
   for (const auto& b : bursts_) {
-    os << strprintf("burst,%.9f,%.9f,%.9f,%zu\n", b.think_before, b.start,
-                    b.duration, b.requests.size());
+    os << strprintf("burst,%.9f,%.9f,%.9f,%zu\n", b.think_before.value(),
+                    b.start.value(), b.duration.value(),
+                    b.requests.size());
     for (const auto& r : b.requests) {
       os << strprintf("req,%llu,%llu,%llu,%d\n",
                       static_cast<unsigned long long>(r.inode),
-                      static_cast<unsigned long long>(r.offset),
-                      static_cast<unsigned long long>(r.size),
+                      static_cast<unsigned long long>(r.offset.value()),
+                      static_cast<unsigned long long>(r.size.value()),
                       r.is_write ? 1 : 0);
     }
   }
@@ -93,7 +94,11 @@ Profile Profile::read(std::istream& is) {
       }
       IOBurst b;
       char c = 0;
-      ls >> b.think_before >> c >> b.start >> c >> b.duration >> c >> expected;
+      double think = 0.0, start = 0.0, duration = 0.0;
+      ls >> think >> c >> start >> c >> duration >> c >> expected;
+      b.think_before = Seconds{think};
+      b.start = Seconds{start};
+      b.duration = Seconds{duration};
       p.bursts_.push_back(b);
       open = &p.bursts_.back();
     } else if (tag == "req") {
@@ -101,7 +106,10 @@ Profile Profile::read(std::istream& is) {
       BurstRequest r;
       char c = 0;
       int w = 0;
-      ls >> r.inode >> c >> r.offset >> c >> r.size >> c >> w;
+      std::uint64_t offset = 0, size = 0;
+      ls >> r.inode >> c >> offset >> c >> size >> c >> w;
+      r.offset = Bytes{offset};
+      r.size = Bytes{size};
       r.is_write = w != 0;
       open->requests.push_back(r);
     } else {

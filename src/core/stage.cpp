@@ -5,7 +5,7 @@
 namespace flexfetch::core {
 
 std::vector<Stage> segment_stages(const Profile& profile, Seconds min_length) {
-  FF_REQUIRE(min_length > 0.0, "stage length must be positive");
+  FF_REQUIRE(min_length > Seconds{}, "stage length must be positive");
   std::vector<Stage> stages;
   if (profile.empty()) return stages;
 

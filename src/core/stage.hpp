@@ -15,9 +15,9 @@ namespace flexfetch::core {
 struct Stage {
   std::size_t first_burst = 0;
   std::size_t burst_count = 0;
-  Seconds start = 0.0;   ///< Profiled start of the first burst.
-  Seconds length = 0.0;  ///< Profiled span including inter-burst thinks.
-  Bytes bytes = 0;
+  Seconds start = Seconds{0.0};   ///< Profiled start of the first burst.
+  Seconds length = Seconds{0.0};  ///< Profiled span including inter-burst thinks.
+  Bytes bytes = Bytes{0};
 
   std::size_t end_burst() const { return first_burst + burst_count; }
 };

@@ -9,7 +9,8 @@ namespace flexfetch::device {
 AdaptiveTimeoutController::AdaptiveTimeoutController(
     AdaptiveTimeoutConfig config)
     : config_(config) {
-  FF_REQUIRE(config.min_timeout > 0, "adaptive timeout: non-positive floor");
+  FF_REQUIRE(config.min_timeout > Seconds{},
+             "adaptive timeout: non-positive floor");
   FF_REQUIRE(config.max_timeout >= config.min_timeout,
              "adaptive timeout: inverted bounds");
   FF_REQUIRE(config.increase_factor > 1.0,
@@ -20,11 +21,12 @@ AdaptiveTimeoutController::AdaptiveTimeoutController(
 
 void AdaptiveTimeoutController::observe(Disk& disk,
                                         const ServiceResult& result) {
-  if (timeout_ == 0.0) timeout_ = disk.params().spin_down_timeout;
+  if (timeout_ == Seconds{}) timeout_ = disk.params().spin_down_timeout;
   ++stats_.observations;
 
   if (has_last_) {
-    const Seconds idle_gap = std::max(0.0, result.arrival - last_completion_);
+    const Seconds idle_gap =
+        std::max(Seconds{}, result.arrival - last_completion_);
     // Did this idle period reach the (then-current) timeout at all?
     if (idle_gap > timeout_) {
       // The disk spun down. Energy-justified only if the time it would

@@ -17,8 +17,8 @@
 namespace flexfetch::device {
 
 struct AdaptiveTimeoutConfig {
-  Seconds min_timeout = 2.0;
-  Seconds max_timeout = 120.0;
+  Seconds min_timeout = Seconds{2.0};
+  Seconds max_timeout = Seconds{120.0};
   double increase_factor = 2.0;   ///< On a premature spin-down.
   double decay_factor = 0.95;     ///< On a justified cycle or no cycle.
 };
@@ -27,7 +27,7 @@ struct AdaptiveTimeoutStats {
   std::uint64_t observations = 0;
   std::uint64_t premature_spin_downs = 0;
   std::uint64_t increases = 0;
-  Seconds final_timeout = 0.0;
+  Seconds final_timeout = Seconds{0.0};
 };
 
 class AdaptiveTimeoutController {
@@ -43,8 +43,8 @@ class AdaptiveTimeoutController {
 
  private:
   AdaptiveTimeoutConfig config_;
-  Seconds timeout_ = 0.0;  ///< 0 = adopt the disk's configured value first.
-  Seconds last_completion_ = 0.0;
+  Seconds timeout_ = Seconds{0.0};  ///< 0 = adopt the disk's configured value first.
+  Seconds last_completion_ = Seconds{0.0};
   bool has_last_ = false;
   AdaptiveTimeoutStats stats_;
 };

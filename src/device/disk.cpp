@@ -66,8 +66,8 @@ void Disk::begin_spin_up() {
         telem_->instant(
             telemetry::Category::kFault, "fault.disk.spin_up_stall",
             telemetry::track::kFault, now_,
-            {telemetry::num_arg("extra_s", stall->extra_time),
-             telemetry::num_arg("extra_j", stall->extra_energy)});
+            {telemetry::num_arg("extra_s", stall->extra_time.value()),
+             telemetry::num_arg("extra_j", stall->extra_energy.value())});
       }
     }
   }
@@ -134,11 +134,11 @@ void Disk::make_ready() {
 }
 
 ServiceResult Disk::service(Seconds t, const DeviceRequest& req) {
-  FF_REQUIRE(req.size > 0, "disk request with zero size");
+  FF_REQUIRE(req.size > Bytes{}, "disk request with zero size");
   const Seconds arrival = std::max(t, now_);
   advance_to(arrival);
   const Joules energy_before = meter_.total();
-  pending_fault_delay_ = 0.0;
+  pending_fault_delay_ = Seconds{};
 
   make_ready();
   const Seconds start = now_;
@@ -152,7 +152,8 @@ ServiceResult Disk::service(Seconds t, const DeviceRequest& req) {
     if (next_sequential_lba_.has_value()) {
       const Bytes head = *next_sequential_lba_;
       const Bytes distance = head > req.lba ? head - req.lba : req.lba - head;
-      positioning = params_.seek_time(distance == 0 ? 1 : distance) +
+      positioning =
+          params_.seek_time(distance == Bytes{} ? Bytes{1} : distance) +
                     params_.avg_rotation_time;
     } else {
       // First-ever request: the head position is unknown, so charge the
@@ -187,9 +188,9 @@ ServiceResult Disk::service(Seconds t, const DeviceRequest& req) {
     telem_->span(telemetry::Category::kDisk,
                  req.is_write ? "disk.write" : "disk.read",
                  telemetry::track::kDiskIo, arrival, now_,
-                 {telemetry::num_arg("lba", static_cast<double>(req.lba)),
-                  telemetry::num_arg("bytes", static_cast<double>(req.size)),
-                  telemetry::num_arg("energy_j", energy)});
+                 {telemetry::num_arg("lba", req.lba.as_double()),
+                  telemetry::num_arg("bytes", req.size.as_double()),
+                  telemetry::num_arg("energy_j", energy.value())});
   }
 
   return ServiceResult{
@@ -242,22 +243,24 @@ Seconds Disk::time_to_ready(Seconds t) const {
   switch (state_) {
     case DiskState::kIdle: {
       const Seconds deadline = idle_since_ + params_.spin_down_timeout;
-      if (at < deadline) return 0.0;
+      if (at < deadline) return Seconds{};
       // Would have spun down by `at`: wait out (remaining) spin-down + up.
       const Seconds spin_down_end = deadline + params_.spin_down_time;
-      const Seconds wait = spin_down_end > at ? spin_down_end - at : 0.0;
+      const Seconds wait =
+          spin_down_end > at ? spin_down_end - at : Seconds{};
       return wait + spin_up_from(at + wait);
     }
     case DiskState::kSpinningDown: {
-      const Seconds wait = transition_end_ > at ? transition_end_ - at : 0.0;
+      const Seconds wait =
+          transition_end_ > at ? transition_end_ - at : Seconds{};
       return wait + spin_up_from(at + wait);
     }
     case DiskState::kStandby:
       return spin_up_from(at);
     case DiskState::kSpinningUp:
-      return transition_end_ > at ? transition_end_ - at : 0.0;
+      return transition_end_ > at ? transition_end_ - at : Seconds{};
   }
-  return 0.0;
+  return Seconds{};
 }
 
 void Disk::reset_accounting() {
@@ -266,7 +269,7 @@ void Disk::reset_accounting() {
 }
 
 void Disk::set_spin_down_timeout(Seconds timeout) {
-  FF_REQUIRE(timeout > 0, "disk: non-positive spin-down timeout");
+  FF_REQUIRE(timeout > Seconds{}, "disk: non-positive spin-down timeout");
   params_.spin_down_timeout = timeout;
 }
 

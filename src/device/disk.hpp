@@ -36,11 +36,11 @@ struct DiskCounters {
   std::uint64_t sequential_hits = 0;  ///< Requests that skipped positioning.
   std::uint64_t spin_ups = 0;
   std::uint64_t spin_downs = 0;
-  Bytes bytes_read = 0;
-  Bytes bytes_written = 0;
-  Seconds seek_time = 0.0;  ///< Total head positioning (seek + rotation).
+  Bytes bytes_read = Bytes{0};
+  Bytes bytes_written = Bytes{0};
+  Seconds seek_time = Seconds{0.0};  ///< Total head positioning (seek + rotation).
   std::uint64_t spin_up_stalls = 0;  ///< Spin-ups hit by an injected stall.
-  Seconds stall_time = 0.0;          ///< Extra spin-up time from stalls.
+  Seconds stall_time = Seconds{0.0};          ///< Extra spin-up time from stalls.
 };
 
 class Disk {
@@ -133,20 +133,20 @@ class Disk {
 
   DiskParams params_;
   DiskState state_ = DiskState::kIdle;
-  Seconds now_ = 0.0;
-  Seconds idle_since_ = 0.0;
-  Seconds transition_end_ = 0.0;  ///< Valid in kSpinningUp/kSpinningDown.
-  Seconds busy_until_ = 0.0;
+  Seconds now_ = Seconds{0.0};
+  Seconds idle_since_ = Seconds{0.0};
+  Seconds transition_end_ = Seconds{0.0};  ///< Valid in kSpinningUp/kSpinningDown.
+  Seconds busy_until_ = Seconds{0.0};
   std::optional<Bytes> next_sequential_lba_;
   EnergyMeter meter_;
   DiskCounters counters_;
   telemetry::RecorderHandle telem_;
-  Seconds state_since_ = 0.0;  ///< Start of the current power-state span.
+  Seconds state_since_ = Seconds{0.0};  ///< Start of the current power-state span.
   /// Shared with copies (see detached_copy); null = no injected faults.
   const faults::DiskFaultSchedule* faults_ = nullptr;
   /// Stall delay charged by begin_spin_up() since the last service()
   /// entry; reported as ServiceResult::fault_delay.
-  Seconds pending_fault_delay_ = 0.0;
+  Seconds pending_fault_delay_ = Seconds{0.0};
 };
 
 }  // namespace flexfetch::device

@@ -10,18 +10,18 @@
 namespace flexfetch::device {
 
 struct DiskParams {
-  Watts active_power = 2.0;    ///< P_active
-  Watts idle_power = 1.6;      ///< P_idle
-  Watts standby_power = 0.15;  ///< P_standby
-  Joules spin_up_energy = 5.0;
-  Joules spin_down_energy = 2.94;
-  Seconds spin_up_time = 1.6;
-  Seconds spin_down_time = 2.3;
+  Watts active_power = Watts{2.0};    ///< P_active
+  Watts idle_power = Watts{1.6};      ///< P_idle
+  Watts standby_power = Watts{0.15};  ///< P_standby
+  Joules spin_up_energy = Joules{5.0};
+  Joules spin_down_energy = Joules{2.94};
+  Seconds spin_up_time = Seconds{1.6};
+  Seconds spin_down_time = Seconds{2.3};
 
   Bytes capacity = 30 * kGiB;
-  BytesPerSecond bandwidth = 35e6;  ///< Peak sequential transfer rate.
-  Seconds avg_seek_time = 13e-3;
-  Seconds avg_rotation_time = 7e-3;
+  BytesPerSecond bandwidth = BytesPerSecond{35e6};  ///< Peak sequential transfer rate.
+  Seconds avg_seek_time = Seconds{13e-3};
+  Seconds avg_rotation_time = Seconds{7e-3};
 
   /// Head-positioning model. The paper uses the average seek+rotation
   /// time (kAverage). kDistance refines it with the classic concave
@@ -29,11 +29,11 @@ struct DiskParams {
   /// (C-SCAN) measurably better than FIFO dispatch.
   enum class SeekModel { kAverage, kDistance };
   SeekModel seek_model = SeekModel::kAverage;
-  Seconds min_seek_time = 1.5e-3;  ///< Track-to-track.
-  Seconds max_seek_time = 22e-3;   ///< Full stroke.
+  Seconds min_seek_time = Seconds{1.5e-3};  ///< Track-to-track.
+  Seconds max_seek_time = Seconds{22e-3};   ///< Full stroke.
 
   /// Idle period after which the disk spins down (Linux laptop-mode default).
-  Seconds spin_down_timeout = 20.0;
+  Seconds spin_down_timeout = Seconds{20.0};
 
   /// Average time to first byte of a random request — the paper's I/O burst
   /// threshold (Section 2.1).

@@ -36,12 +36,12 @@ const char* to_string(EnergyCategory c) {
 
 void EnergyMeter::add(EnergyCategory c, Joules j) {
   FF_ASSERT(c != EnergyCategory::kCount);
-  FF_ASSERT(j >= 0.0);
+  FF_ASSERT(j >= Joules{});
   joules_[static_cast<std::size_t>(c)] += j;
 }
 
 Joules EnergyMeter::total() const {
-  Joules sum = 0.0;
+  Joules sum = Joules{0.0};
   for (const auto j : joules_) sum += j;
   return sum;
 }
@@ -51,12 +51,12 @@ Joules EnergyMeter::transition_energy() const {
          (*this)[EnergyCategory::kModeSwitch];
 }
 
-void EnergyMeter::reset() { joules_.fill(0.0); }
+void EnergyMeter::reset() { joules_.fill(Joules{}); }
 
 std::string EnergyMeter::report() const {
   std::ostringstream os;
   for (std::size_t i = 0; i < joules_.size(); ++i) {
-    if (joules_[i] <= 0.0) continue;
+    if (joules_[i] <= Joules{}) continue;
     os << "  " << to_string(static_cast<EnergyCategory>(i)) << ": "
        << format_joules(joules_[i]) << '\n';
   }

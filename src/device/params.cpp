@@ -8,37 +8,38 @@
 namespace flexfetch::device {
 
 Seconds DiskParams::seek_time(Bytes distance) const {
-  if (distance == 0) return 0.0;
+  if (distance == Bytes{}) return Seconds{};
   if (seek_model == SeekModel::kAverage) return avg_seek_time;
   // Concave seek curve: short hops are dominated by settle time, long
   // strokes grow with the square root of the distance.
-  const double frac = std::sqrt(static_cast<double>(distance) /
-                                static_cast<double>(capacity));
+  const double frac = std::sqrt(distance.as_double() / capacity.as_double());
   return min_seek_time + (max_seek_time - min_seek_time) * std::min(frac, 1.0);
 }
 
 void DiskParams::validate() const {
-  FF_REQUIRE(active_power > 0 && idle_power > 0 && standby_power >= 0,
+  FF_REQUIRE(active_power > Watts{} && idle_power > Watts{} &&
+                 standby_power >= Watts{},
              "disk powers must be positive");
   FF_REQUIRE(idle_power > standby_power,
              "disk idle power must exceed standby power");
   FF_REQUIRE(active_power >= idle_power,
              "disk active power must be at least idle power");
-  FF_REQUIRE(spin_up_energy > 0 && spin_down_energy > 0,
+  FF_REQUIRE(spin_up_energy > Joules{} && spin_down_energy > Joules{},
              "disk transition energies must be positive");
-  FF_REQUIRE(spin_up_time > 0 && spin_down_time > 0,
+  FF_REQUIRE(spin_up_time > Seconds{} && spin_down_time > Seconds{},
              "disk transition times must be positive");
-  FF_REQUIRE(bandwidth > 0, "disk bandwidth must be positive");
-  FF_REQUIRE(avg_seek_time >= 0 && avg_rotation_time >= 0,
+  FF_REQUIRE(bandwidth > BytesPerSecond{}, "disk bandwidth must be positive");
+  FF_REQUIRE(avg_seek_time >= Seconds{} && avg_rotation_time >= Seconds{},
              "disk positioning times must be non-negative");
-  FF_REQUIRE(spin_down_timeout > 0, "disk spin-down timeout must be positive");
-  FF_REQUIRE(capacity > 0, "disk capacity must be positive");
-  FF_REQUIRE(min_seek_time >= 0 && max_seek_time >= min_seek_time,
+  FF_REQUIRE(spin_down_timeout > Seconds{},
+             "disk spin-down timeout must be positive");
+  FF_REQUIRE(capacity > Bytes{}, "disk capacity must be positive");
+  FF_REQUIRE(min_seek_time >= Seconds{} && max_seek_time >= min_seek_time,
              "disk seek-curve bounds inverted");
 }
 
 void WnicParams::validate() const {
-  FF_REQUIRE(psm_idle_power > 0 && cam_idle_power > 0,
+  FF_REQUIRE(psm_idle_power > Watts{} && cam_idle_power > Watts{},
              "wnic idle powers must be positive");
   FF_REQUIRE(cam_idle_power > psm_idle_power,
              "wnic CAM idle power must exceed PSM idle power");
@@ -46,17 +47,18 @@ void WnicParams::validate() const {
              "wnic CAM transfer powers must be at least CAM idle power");
   FF_REQUIRE(psm_recv_power >= psm_idle_power && psm_send_power >= psm_idle_power,
              "wnic PSM transfer powers must be at least PSM idle power");
-  FF_REQUIRE(cam_to_psm_delay > 0 && psm_to_cam_delay > 0,
+  FF_REQUIRE(cam_to_psm_delay > Seconds{} && psm_to_cam_delay > Seconds{},
              "wnic mode-switch delays must be positive");
-  FF_REQUIRE(cam_to_psm_energy > 0 && psm_to_cam_energy > 0,
+  FF_REQUIRE(cam_to_psm_energy > Joules{} && psm_to_cam_energy > Joules{},
              "wnic mode-switch energies must be positive");
-  FF_REQUIRE(psm_timeout > 0, "wnic PSM timeout must be positive");
-  FF_REQUIRE(bandwidth > 0, "wnic bandwidth must be positive");
-  FF_REQUIRE(latency >= 0, "wnic latency must be non-negative");
-  FF_REQUIRE(psm_beacon_wait >= 0, "wnic beacon wait must be non-negative");
-  FF_REQUIRE(rpc_bytes > 0, "wnic rpc size must be positive");
+  FF_REQUIRE(psm_timeout > Seconds{}, "wnic PSM timeout must be positive");
+  FF_REQUIRE(bandwidth > BytesPerSecond{}, "wnic bandwidth must be positive");
+  FF_REQUIRE(latency >= Seconds{}, "wnic latency must be non-negative");
+  FF_REQUIRE(psm_beacon_wait >= Seconds{},
+             "wnic beacon wait must be non-negative");
+  FF_REQUIRE(rpc_bytes > Bytes{}, "wnic rpc size must be positive");
   for (std::size_t i = 0; i < bandwidth_schedule.size(); ++i) {
-    FF_REQUIRE(bandwidth_schedule[i].bandwidth > 0,
+    FF_REQUIRE(bandwidth_schedule[i].bandwidth > BytesPerSecond{},
                "wnic schedule bandwidth must be positive");
     FF_REQUIRE(i == 0 || bandwidth_schedule[i - 1].start <=
                              bandwidth_schedule[i].start,

@@ -22,20 +22,20 @@ DeviceKind other(DeviceKind kind);
 struct DeviceRequest {
   /// Linear byte address on the disk (from the file-layout mapper).
   /// Ignored by the network device.
-  Bytes lba = 0;
-  Bytes size = 0;
+  Bytes lba = Bytes{0};
+  Bytes size = Bytes{0};
   bool is_write = false;
 };
 
 /// Outcome of servicing one request on a device.
 struct ServiceResult {
-  Seconds arrival = 0.0;     ///< When the request reached the device.
-  Seconds start = 0.0;       ///< When the device began the transfer
+  Seconds arrival = Seconds{0.0};     ///< When the request reached the device.
+  Seconds start = Seconds{0.0};       ///< When the device began the transfer
                              ///< (after spin-up / wake / positioning).
-  Seconds completion = 0.0;  ///< When the last byte was delivered.
-  Joules energy = 0.0;       ///< Energy attributable to this request,
+  Seconds completion = Seconds{0.0};  ///< When the last byte was delivered.
+  Joules energy = Joules{0.0};       ///< Energy attributable to this request,
                              ///< including transition costs it triggered.
-  Seconds fault_delay = 0.0; ///< Portion of the wait caused by an injected
+  Seconds fault_delay = Seconds{0.0}; ///< Portion of the wait caused by an injected
                              ///< fault (outage stall, spin-up retry).
 
   Seconds service_time() const { return completion - arrival; }

@@ -114,8 +114,8 @@ void Wnic::make_cam() {
 }
 
 Seconds Wnic::wait_out_outage() {
-  if (faults_ == nullptr) return 0.0;
-  Seconds stalled = 0.0;
+  if (faults_ == nullptr) return Seconds{};
+  Seconds stalled = Seconds{0.0};
   // Loop: waiting out one window can land exactly on (never inside)
   // another, since validated windows are disjoint and sorted.
   while (const faults::OutageWindow* w = faults_->outage_at(now_)) {
@@ -127,7 +127,7 @@ Seconds Wnic::wait_out_outage() {
     if (telem_) {
       telem_->span(telemetry::Category::kFault, "fault.wnic.outage",
                    telemetry::track::kFault, now_, resume,
-                   {telemetry::num_arg("wait_s", wait)});
+                   {telemetry::num_arg("wait_s", wait.value())});
     }
     // The radio keeps burning its power-state budget while disassociated
     // (it may even drop to PSM mid-outage via the normal timeout).
@@ -154,7 +154,7 @@ BytesPerSecond Wnic::effective_bandwidth(Seconds t) {
 }
 
 ServiceResult Wnic::service(Seconds t, const DeviceRequest& req) {
-  FF_REQUIRE(req.size > 0, "wnic request with zero size");
+  FF_REQUIRE(req.size > Bytes{}, "wnic request with zero size");
   const Seconds arrival = std::max(t, now_);
   advance_to(arrival);
   const Seconds fault_delay = wait_out_outage();
@@ -187,8 +187,8 @@ ServiceResult Wnic::service(Seconds t, const DeviceRequest& req) {
       telem_->span(telemetry::Category::kWnic,
                    req.is_write ? "wnic.send" : "wnic.recv",
                    telemetry::track::kWnicIo, arrival, now_,
-                   {telemetry::num_arg("bytes", static_cast<double>(req.size)),
-                    telemetry::num_arg("energy_j", energy),
+                   {telemetry::num_arg("bytes", req.size.as_double()),
+                    telemetry::num_arg("energy_j", energy.value()),
                     telemetry::num_arg("psm", 1.0)});
     }
     return ServiceResult{.arrival = arrival,
@@ -206,7 +206,7 @@ ServiceResult Wnic::service(Seconds t, const DeviceRequest& req) {
   // keeps exchanging frames with the access point while the server
   // responds), then streams its payload.
   const std::uint64_t rpcs =
-      (req.size + params_.rpc_bytes - 1) / params_.rpc_bytes;
+      (req.size + params_.rpc_bytes - Bytes{1}) / params_.rpc_bytes;
   const Seconds lat = params_.latency * static_cast<double>(rpcs);
   const Watts p = req.is_write ? params_.cam_send_power : params_.cam_recv_power;
   // Roaming: the transfer runs at the link rate in effect when it starts
@@ -225,8 +225,8 @@ ServiceResult Wnic::service(Seconds t, const DeviceRequest& req) {
     telem_->span(telemetry::Category::kWnic,
                  req.is_write ? "wnic.send" : "wnic.recv",
                  telemetry::track::kWnicIo, arrival, now_,
-                 {telemetry::num_arg("bytes", static_cast<double>(req.size)),
-                  telemetry::num_arg("energy_j", energy),
+                 {telemetry::num_arg("bytes", req.size.as_double()),
+                  telemetry::num_arg("energy_j", energy.value()),
                   telemetry::num_arg("psm", 0.0)});
   }
 
@@ -247,21 +247,22 @@ Seconds Wnic::time_to_ready(Seconds t) const {
   switch (state_) {
     case WnicState::kCam: {
       const Seconds deadline = idle_since_ + params_.psm_timeout;
-      if (at < deadline) return 0.0;
+      if (at < deadline) return Seconds{};
       const Seconds switch_end = deadline + params_.cam_to_psm_delay;
-      const Seconds wait = switch_end > at ? switch_end - at : 0.0;
+      const Seconds wait = switch_end > at ? switch_end - at : Seconds{};
       return wait + params_.psm_to_cam_delay;
     }
     case WnicState::kSwitchingToPsm: {
-      const Seconds wait = transition_end_ > at ? transition_end_ - at : 0.0;
+      const Seconds wait =
+          transition_end_ > at ? transition_end_ - at : Seconds{};
       return wait + params_.psm_to_cam_delay;
     }
     case WnicState::kPsm:
       return params_.psm_to_cam_delay;
     case WnicState::kSwitchingToCam:
-      return transition_end_ > at ? transition_end_ - at : 0.0;
+      return transition_end_ > at ? transition_end_ - at : Seconds{};
   }
-  return 0.0;
+  return Seconds{};
 }
 
 void Wnic::reset_accounting() {

@@ -35,11 +35,11 @@ struct WnicCounters {
   std::uint64_t psm_transfers = 0;  ///< Serviced without leaving PSM.
   std::uint64_t wakes = 0;          ///< PSM -> CAM switches.
   std::uint64_t sleeps = 0;         ///< CAM -> PSM switches.
-  Bytes bytes_sent = 0;
-  Bytes bytes_received = 0;
+  Bytes bytes_sent = Bytes{0};
+  Bytes bytes_received = Bytes{0};
   std::uint64_t outage_stalls = 0;       ///< Requests stalled by an outage.
   std::uint64_t degraded_transfers = 0;  ///< Transfers at a degraded rate.
-  Seconds outage_wait = 0.0;             ///< Total time waiting out outages.
+  Seconds outage_wait = Seconds{0.0};             ///< Total time waiting out outages.
 };
 
 class Wnic {
@@ -113,14 +113,14 @@ class Wnic {
 
   WnicParams params_;
   WnicState state_ = WnicState::kCam;
-  Seconds now_ = 0.0;
-  Seconds idle_since_ = 0.0;
-  Seconds transition_end_ = 0.0;
-  Seconds busy_until_ = 0.0;
+  Seconds now_ = Seconds{0.0};
+  Seconds idle_since_ = Seconds{0.0};
+  Seconds transition_end_ = Seconds{0.0};
+  Seconds busy_until_ = Seconds{0.0};
   EnergyMeter meter_;
   WnicCounters counters_;
   telemetry::RecorderHandle telem_;
-  Seconds state_since_ = 0.0;  ///< Start of the current power-state span.
+  Seconds state_since_ = Seconds{0.0};  ///< Start of the current power-state span.
   /// Shared with copies (see detached_copy); null = no injected faults.
   const faults::WnicFaultSchedule* faults_ = nullptr;
 };

@@ -15,29 +15,29 @@ namespace flexfetch::device {
 /// One step of a piecewise-constant link-rate schedule: from `start`
 /// onwards the link runs at `bandwidth` (until the next step).
 struct BandwidthStep {
-  Seconds start = 0.0;
-  BytesPerSecond bandwidth = 0.0;
+  Seconds start = Seconds{0.0};
+  BytesPerSecond bandwidth = BytesPerSecond{0.0};
 };
 
 struct WnicParams {
   // Power-saving mode (radio mostly off, wakes for beacons).
-  Watts psm_idle_power = 0.39;
-  Watts psm_recv_power = 1.42;
-  Watts psm_send_power = 2.48;
+  Watts psm_idle_power = Watts{0.39};
+  Watts psm_recv_power = Watts{1.42};
+  Watts psm_send_power = Watts{2.48};
 
   // Continuously-aware mode.
-  Watts cam_idle_power = 1.41;
-  Watts cam_recv_power = 2.61;
-  Watts cam_send_power = 3.69;
+  Watts cam_idle_power = Watts{1.41};
+  Watts cam_recv_power = Watts{2.61};
+  Watts cam_send_power = Watts{3.69};
 
-  Seconds cam_to_psm_delay = 0.41;
-  Joules cam_to_psm_energy = 0.53;
-  Seconds psm_to_cam_delay = 0.40;
-  Joules psm_to_cam_energy = 0.51;
+  Seconds cam_to_psm_delay = Seconds{0.41};
+  Joules cam_to_psm_energy = Joules{0.53};
+  Seconds psm_to_cam_delay = Seconds{0.40};
+  Joules psm_to_cam_energy = Joules{0.51};
 
   /// CAM idle period after which the card drops to PSM (adaptive PM of the
   /// Aironet 350, Section 3.1).
-  Seconds psm_timeout = 0.8;
+  Seconds psm_timeout = Seconds{0.8};
 
   /// Link bandwidth. 802.11b supports 1, 2, 5.5 and 11 Mbps depending on
   /// signal quality; the evaluation sweeps over these.
@@ -67,10 +67,10 @@ struct WnicParams {
   /// Requests no larger than this can be serviced without leaving PSM
   /// ("switches back to CAM if more than one packet is ready"): a single
   /// packet is delivered at the next beacon.
-  Bytes psm_packet_threshold = 1500;
+  Bytes psm_packet_threshold = Bytes{1500};
 
   /// Mean extra delay waiting for a PSM beacon (100 ms beacon interval).
-  Seconds psm_beacon_wait = 0.05;
+  Seconds psm_beacon_wait = Seconds{0.05};
 
   /// The four 802.11b rates used in the paper's bandwidth sweeps.
   static constexpr std::array<double, 4> k80211bRatesMbps{1.0, 2.0, 5.5, 11.0};

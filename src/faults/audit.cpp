@@ -15,12 +15,12 @@ namespace {
 /// Per-power-state span-duration totals of one device's telemetry track.
 struct TrackTiling {
   bool any = false;
-  Seconds first_start = 0.0;
-  Seconds last_end = 0.0;
+  Seconds first_start = Seconds{0.0};
+  Seconds last_end = Seconds{0.0};
   /// Sum of span durations whose name matches the given state label.
   Seconds total_for(std::span<const telemetry::TraceEvent> events,
                     std::uint32_t track, const char* state) {
-    Seconds total = 0.0;
+    Seconds total = Seconds{0.0};
     for (const auto& ev : events) {
       if (ev.phase != telemetry::Phase::kSpan || ev.track != track) continue;
       if (std::string_view(ev.name) == state) total += ev.duration;
@@ -42,11 +42,11 @@ bool SimAudit::close(double a, double b) const {
 
 void SimAudit::check_meter(const device::EnergyMeter& meter,
                            Joules& last_total, const char* device) {
-  Joules sum = 0.0;
+  Joules sum = Joules{0.0};
   for (std::size_t c = 0;
        c < static_cast<std::size_t>(device::EnergyCategory::kCount); ++c) {
     const Joules j = meter[static_cast<device::EnergyCategory>(c)];
-    if (j < 0.0) {
+    if (j < Joules{}) {
       fail(std::string(device) + " meter category " +
            to_string(static_cast<device::EnergyCategory>(c)) + " is negative");
     }
@@ -152,14 +152,14 @@ void SimAudit::on_run_end(const device::Disk& disk, const device::Wnic& wnic,
     const Seconds final_now =
         track == telemetry::track::kDiskPower ? disk.now() : wnic.now();
     bool any = false;
-    Seconds cursor = 0.0;
+    Seconds cursor = Seconds{0.0};
     for (const auto& ev : events) {
       if (ev.phase != telemetry::Phase::kSpan || ev.track != track) continue;
       if (!any) {
-        if (!close(ev.start, 0.0)) {
+        if (!close(ev.start.value(), 0.0)) {
           fail(std::string(which) + " power timeline does not start at 0");
         }
-      } else if (!close(ev.start, cursor)) {
+      } else if (!close(ev.start.value(), cursor.value())) {
         fail(std::string(which) + " power timeline has a gap or overlap at " +
              format_seconds(ev.start));
       }
@@ -167,7 +167,7 @@ void SimAudit::on_run_end(const device::Disk& disk, const device::Wnic& wnic,
       any = true;
       ++checks_;
     }
-    if (any && !close(cursor, final_now)) {
+    if (any && !close(cursor.value(), final_now.value())) {
       fail(std::string(which) +
            " power timeline does not tile up to the device clock");
     }
@@ -180,25 +180,26 @@ void SimAudit::on_run_end(const device::Disk& disk, const device::Wnic& wnic,
   const Seconds standby = tiling.total_for(
       events, telemetry::track::kDiskPower, to_string(device::DiskState::kStandby));
   const Joules standby_j = standby * disk.params().standby_power;
-  if (!close(standby_j, disk.meter()[device::EnergyCategory::kStandby])) {
+  if (!close(standby_j.value(),
+             disk.meter()[device::EnergyCategory::kStandby].value())) {
     fail("disk standby span integral does not match the meter");
   }
   const Seconds idle = tiling.total_for(
       events, telemetry::track::kDiskPower, to_string(device::DiskState::kIdle));
   if (disk.meter()[device::EnergyCategory::kIdle] >
-      idle * disk.params().idle_power + config_.energy_eps) {
+      idle * disk.params().idle_power + Joules{config_.energy_eps}) {
     fail("disk idle energy exceeds its span integral");
   }
   const Seconds cam = tiling.total_for(
       events, telemetry::track::kWnicPower, to_string(device::WnicState::kCam));
   if (wnic.meter()[device::EnergyCategory::kCamIdle] >
-      cam * wnic.params().cam_idle_power + config_.energy_eps) {
+      cam * wnic.params().cam_idle_power + Joules{config_.energy_eps}) {
     fail("wnic CAM idle energy exceeds its span integral");
   }
   const Seconds psm = tiling.total_for(
       events, telemetry::track::kWnicPower, to_string(device::WnicState::kPsm));
   if (wnic.meter()[device::EnergyCategory::kPsmIdle] >
-      psm * wnic.params().psm_idle_power + config_.energy_eps) {
+      psm * wnic.params().psm_idle_power + Joules{config_.energy_eps}) {
     fail("wnic PSM idle energy exceeds its span integral");
   }
   checks_ += 4;

@@ -56,14 +56,14 @@ struct AuditConfig {
 /// Byte-comparable digest of everything a counterfactual replay must not
 /// touch. Captured before an estimate, checked after.
 struct PuritySnapshot {
-  Seconds disk_now = 0.0;
+  Seconds disk_now = Seconds{0.0};
   device::DiskState disk_state = device::DiskState::kIdle;
-  Joules disk_energy = 0.0;
+  Joules disk_energy = Joules{0.0};
   std::uint64_t disk_requests = 0;
   std::uint64_t disk_spin_ups = 0;
-  Seconds wnic_now = 0.0;
+  Seconds wnic_now = Seconds{0.0};
   device::WnicState wnic_state = device::WnicState::kCam;
-  Joules wnic_energy = 0.0;
+  Joules wnic_energy = Joules{0.0};
   std::uint64_t wnic_requests = 0;
   std::uint64_t wnic_wakes = 0;
   std::uint64_t recorder_emitted = 0;
@@ -104,11 +104,11 @@ class SimAudit {
   bool close(double a, double b) const;
 
   AuditConfig config_;
-  Seconds last_event_time_ = 0.0;
-  Seconds last_disk_now_ = 0.0;
-  Seconds last_wnic_now_ = 0.0;
-  Joules last_disk_total_ = 0.0;
-  Joules last_wnic_total_ = 0.0;
+  Seconds last_event_time_ = Seconds{0.0};
+  Seconds last_disk_now_ = Seconds{0.0};
+  Seconds last_wnic_now_ = Seconds{0.0};
+  Joules last_disk_total_ = Joules{0.0};
+  Joules last_wnic_total_ = Joules{0.0};
   std::uint64_t checks_ = 0;
 };
 

@@ -11,9 +11,9 @@ namespace {
 
 template <typename Window>
 void validate_windows(const std::vector<Window>& windows, const char* what) {
-  Seconds prev_end = -1.0;
+  Seconds prev_end = Seconds{-1.0};
   for (const Window& w : windows) {
-    FF_REQUIRE(w.start >= 0.0,
+    FF_REQUIRE(w.start >= Seconds{},
                std::string("fault schedule: negative ") + what + " start");
     FF_REQUIRE(w.end > w.start,
                std::string("fault schedule: empty ") + what + " window");
@@ -31,18 +31,19 @@ std::vector<Window> draw_windows(Rng& rng, Seconds horizon, double per_hour,
                                  Seconds mean_length, Seconds max_length,
                                  Fill&& fill) {
   std::vector<Window> windows;
-  if (per_hour <= 0.0 || horizon <= 0.0) return windows;
-  const Seconds mean_gap = 3600.0 / per_hour;
-  Seconds t = rng.exponential(mean_gap);
+  if (per_hour <= 0.0 || horizon <= Seconds{}) return windows;
+  const Seconds mean_gap = Seconds{3600.0 / per_hour};
+  Seconds t = Seconds{rng.exponential(mean_gap.value())};
   while (t < horizon) {
     Window w;
     w.start = t;
     const Seconds len =
-        std::min(max_length, std::max(0.1, rng.exponential(mean_length)));
+        std::min(max_length,
+                 Seconds{std::max(0.1, rng.exponential(mean_length.value()))});
     w.end = t + len;
     fill(w, rng);
     windows.push_back(w);
-    t = w.end + rng.exponential(mean_gap);
+    t = w.end + Seconds{rng.exponential(mean_gap.value())};
   }
   return windows;
 }
@@ -58,16 +59,16 @@ void FaultSchedule::validate() const {
                "fault schedule: degradation factor outside (0, 1]");
   }
   for (const SpinUpStall& s : disk.spin_up_stalls) {
-    FF_REQUIRE(s.extra_time >= 0.0,
+    FF_REQUIRE(s.extra_time >= Seconds{},
                "fault schedule: negative spin-up stall extra time");
-    FF_REQUIRE(s.extra_energy >= 0.0,
+    FF_REQUIRE(s.extra_energy >= Joules{},
                "fault schedule: negative spin-up stall extra energy");
   }
 }
 
 FaultSchedule generate_schedule(std::uint64_t seed,
                                 const FaultScheduleParams& params) {
-  FF_REQUIRE(params.horizon > 0.0, "fault schedule: non-positive horizon");
+  FF_REQUIRE(params.horizon > Seconds{}, "fault schedule: non-positive horizon");
   FF_REQUIRE(params.min_factor > 0.0 && params.max_factor <= 1.0 &&
                  params.min_factor <= params.max_factor,
              "fault schedule: degradation factor range outside (0, 1]");
@@ -93,7 +94,7 @@ FaultSchedule generate_schedule(std::uint64_t seed,
       params.mean_stall_window, /*max_length=*/4.0 * params.mean_stall_window,
       [&params](SpinUpStall& s, Rng& rng) {
         s.extra_time = std::min(params.max_stall_extra,
-                                rng.exponential(params.mean_stall_extra));
+                                Seconds{rng.exponential(params.mean_stall_extra.value())});
         s.extra_energy = params.stall_energy_per_second * s.extra_time;
       });
   schedule.validate();

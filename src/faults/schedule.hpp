@@ -35,25 +35,25 @@ namespace flexfetch::faults {
 /// transfer may begin; requests wait at the device (whose power-state
 /// timers keep running) until the window closes.
 struct OutageWindow {
-  Seconds start = 0.0;
-  Seconds end = 0.0;
+  Seconds start = Seconds{0.0};
+  Seconds end = Seconds{0.0};
 };
 
 /// A [start, end) interval during which the effective link rate is the
 /// nominal (roaming-schedule) rate multiplied by `factor` (0 < factor <= 1).
 struct DegradationWindow {
-  Seconds start = 0.0;
-  Seconds end = 0.0;
+  Seconds start = Seconds{0.0};
+  Seconds end = Seconds{0.0};
   double factor = 1.0;
 };
 
 /// A disk spin-up beginning inside [start, end) takes `extra_time` longer
 /// and costs `extra_energy` more (head-load retries).
 struct SpinUpStall {
-  Seconds start = 0.0;
-  Seconds end = 0.0;
-  Seconds extra_time = 0.0;
-  Joules extra_energy = 0.0;
+  Seconds start = Seconds{0.0};
+  Seconds end = Seconds{0.0};
+  Seconds extra_time = Seconds{0.0};
+  Joules extra_energy = Joules{0.0};
 };
 
 namespace detail {
@@ -123,26 +123,26 @@ struct FaultSchedule {
 /// inter-arrival/duration draws; a rate of 0 disables that fault class.
 struct FaultScheduleParams {
   /// Schedule horizon: no window starts at or after this time.
-  Seconds horizon = 600.0;
+  Seconds horizon = Seconds{600.0};
 
   /// WNIC disconnections (AP handoffs, dead spots).
   double outages_per_hour = 12.0;
-  Seconds mean_outage = 8.0;
-  Seconds max_outage = 60.0;
+  Seconds mean_outage = Seconds{8.0};
+  Seconds max_outage = Seconds{60.0};
 
   /// WNIC rate degradations.
   double degradations_per_hour = 6.0;
-  Seconds mean_degradation = 20.0;
-  Seconds max_degradation = 120.0;
+  Seconds mean_degradation = Seconds{20.0};
+  Seconds max_degradation = Seconds{120.0};
   double min_factor = 0.25;  ///< Degradation factors drawn from
   double max_factor = 0.75;  ///< [min_factor, max_factor).
 
   /// Disk spin-up stalls.
   double stalls_per_hour = 6.0;
-  Seconds mean_stall_window = 15.0;
-  Seconds mean_stall_extra = 2.0;
-  Seconds max_stall_extra = 6.0;
-  Joules stall_energy_per_second = 2.5;  ///< ~ active power during retries.
+  Seconds mean_stall_window = Seconds{15.0};
+  Seconds mean_stall_extra = Seconds{2.0};
+  Seconds max_stall_extra = Seconds{6.0};
+  Watts stall_energy_per_second = Watts{2.5};  ///< ~ active power during retries.
 };
 
 /// Draws a reproducible fault schedule: same seed + params => identical

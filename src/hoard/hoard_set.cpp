@@ -8,14 +8,14 @@
 namespace flexfetch::hoard {
 
 HoardSet::HoardSet(HoardConfig config) : config_(config) {
-  FF_REQUIRE(config.recency_half_life > 0, "hoard: non-positive half-life");
-  FF_REQUIRE(config.co_access_window >= 0, "hoard: negative co-access window");
+  FF_REQUIRE(config.recency_half_life > Seconds{}, "hoard: non-positive half-life");
+  FF_REQUIRE(config.co_access_window >= Seconds{}, "hoard: negative co-access window");
   FF_REQUIRE(config.cluster_bonus >= 0, "hoard: negative cluster bonus");
 }
 
 double HoardSet::decayed_weight(const FileState& f, Seconds now) const {
   const Seconds dt = now - f.weight_time;
-  if (dt <= 0) return f.weight;
+  if (dt <= Seconds{}) return f.weight;
   return f.weight * std::exp2(-dt / config_.recency_half_life);
 }
 
@@ -89,7 +89,7 @@ std::vector<HoardCandidate> HoardSet::ranked(Seconds now) const {
 
 std::vector<HoardCandidate> HoardSet::select(Bytes budget, Seconds now) const {
   std::vector<HoardCandidate> out;
-  Bytes used = 0;
+  Bytes used = Bytes{0};
   for (const auto& c : ranked(now)) {
     if (used + c.size > budget) continue;  // Skip, keep trying smaller files.
     out.push_back(c);

@@ -23,10 +23,10 @@ namespace flexfetch::hoard {
 struct HoardConfig {
   /// Half-life of the recency weighting: an access loses half its priority
   /// contribution after this long.
-  Seconds recency_half_life = 3600.0;
+  Seconds recency_half_life = Seconds{3600.0};
   /// Accesses to different files within this window are treated as
   /// semantically related (simplified semantic distance).
-  Seconds co_access_window = 1.0;
+  Seconds co_access_window = Seconds{1.0};
   /// Priority bonus per co-access neighbour that is itself hoard-worthy.
   double cluster_bonus = 0.25;
   /// Cap on counted neighbours (keeps hub files from dominating).
@@ -35,7 +35,7 @@ struct HoardConfig {
 
 struct HoardCandidate {
   trace::Inode inode = 0;
-  Bytes size = 0;
+  Bytes size = Bytes{0};
   double priority = 0.0;
 };
 
@@ -76,10 +76,10 @@ class HoardSet {
 
  private:
   struct FileState {
-    Bytes extent = 0;
+    Bytes extent = Bytes{0};
     /// Decayed access weight, normalized to `weight_time`.
     double weight = 0.0;
-    Seconds weight_time = 0.0;
+    Seconds weight_time = Seconds{0.0};
     std::uint64_t accesses = 0;
     std::vector<trace::Inode> neighbours;
   };
@@ -90,7 +90,7 @@ class HoardSet {
   HoardConfig config_;
   std::unordered_map<trace::Inode, FileState> files_;
   trace::Inode last_inode_ = 0;
-  Seconds last_time_ = -1e18;
+  Seconds last_time_ = Seconds{-1e18};
   HoardStats stats_;
 };
 

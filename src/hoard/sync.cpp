@@ -8,21 +8,21 @@
 namespace flexfetch::hoard {
 
 SyncManager::SyncManager(SyncConfig config) : config_(config) {
-  FF_REQUIRE(config.interval > 0, "sync: non-positive interval");
+  FF_REQUIRE(config.interval > Seconds{}, "sync: non-positive interval");
 }
 
 void SyncManager::on_local_write(trace::Inode inode, Bytes bytes, Seconds now) {
-  FF_REQUIRE(bytes > 0, "sync: zero-byte write");
+  FF_REQUIRE(bytes > Bytes{}, "sync: zero-byte write");
   Debt& d = upload_[inode];
-  if (d.bytes == 0) d.first = now;
+  if (d.bytes == Bytes{}) d.first = now;
   d.bytes += bytes;
   pending_upload_ += bytes;
 }
 
 void SyncManager::on_remote_update(trace::Inode inode, Bytes bytes, Seconds now) {
-  FF_REQUIRE(bytes > 0, "sync: zero-byte update");
+  FF_REQUIRE(bytes > Bytes{}, "sync: zero-byte update");
   Debt& d = download_[inode];
-  if (d.bytes == 0) d.first = now;
+  if (d.bytes == Bytes{}) d.first = now;
   d.bytes += bytes;
   pending_download_ += bytes;
 }
@@ -34,14 +34,14 @@ Seconds SyncManager::oldest_debt_age(Seconds now) const {
     oldest = std::min(oldest, d.first);
     any = true;
   }
-  return any ? now - oldest : 0.0;
+  return any ? now - oldest : Seconds{};
 }
 
 std::vector<SyncItem> SyncManager::take_batch(Seconds now) {
   (void)now;
   std::vector<SyncItem> out;
-  Bytes budget = config_.max_batch_bytes == 0
-                     ? std::numeric_limits<Bytes>::max()
+  Bytes budget = config_.max_batch_bytes == Bytes{}
+                     ? Bytes{std::numeric_limits<std::uint64_t>::max()}
                      : config_.max_batch_bytes;
 
   auto drain = [&](std::map<trace::Inode, Debt>& debts, Bytes& pending,
@@ -57,7 +57,7 @@ std::vector<SyncItem> SyncManager::take_batch(Seconds now) {
                 return a.first < b.first;
               });
     for (const auto& [inode, debt] : ordered) {
-      if (budget == 0) break;
+      if (budget == Bytes{}) break;
       const Bytes take = std::min(debt.bytes, budget);
       out.push_back(SyncItem{.inode = inode,
                              .bytes = take,

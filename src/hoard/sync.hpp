@@ -19,25 +19,25 @@ namespace flexfetch::hoard {
 
 struct SyncConfig {
   /// Period of the background sync daemon.
-  Seconds interval = 120.0;
+  Seconds interval = Seconds{120.0};
   /// Upload debt that triggers an immediate (out-of-cycle) sync.
   Bytes pressure_bytes = 16 * kMiB;
   /// Largest batch shipped per cycle (0 = unbounded).
-  Bytes max_batch_bytes = 0;
+  Bytes max_batch_bytes = Bytes{0};
 };
 
 /// One unit of pending replica traffic.
 struct SyncItem {
   trace::Inode inode = 0;
-  Bytes bytes = 0;
+  Bytes bytes = Bytes{0};
   bool upload = true;  ///< true: local -> server; false: server -> local.
-  Seconds first_dirty = 0.0;
+  Seconds first_dirty = Seconds{0.0};
 };
 
 struct SyncStats {
   std::uint64_t batches = 0;
-  Bytes uploaded = 0;
-  Bytes downloaded = 0;
+  Bytes uploaded = Bytes{0};
+  Bytes downloaded = Bytes{0};
 };
 
 class SyncManager {
@@ -73,15 +73,15 @@ class SyncManager {
 
  private:
   struct Debt {
-    Bytes bytes = 0;
-    Seconds first = 0.0;
+    Bytes bytes = Bytes{0};
+    Seconds first = Seconds{0.0};
   };
 
   SyncConfig config_;
   std::map<trace::Inode, Debt> upload_;
   std::map<trace::Inode, Debt> download_;
-  Bytes pending_upload_ = 0;
-  Bytes pending_download_ = 0;
+  Bytes pending_upload_ = Bytes{0};
+  Bytes pending_download_ = Bytes{0};
   SyncStats stats_;
 };
 

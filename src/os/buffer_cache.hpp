@@ -53,7 +53,7 @@ struct CacheStats {
 /// A dirty page due for write-back.
 struct DirtyPage {
   PageId page;
-  Seconds dirtied_at = 0.0;
+  Seconds dirtied_at = Seconds{0.0};
 };
 
 class BufferCache {
@@ -118,7 +118,7 @@ class BufferCache {
     std::uint32_t dirty_next = kNull;
     Where where = Where::kFree;
     bool dirty = false;
-    Seconds dirtied_at = 0.0;
+    Seconds dirtied_at = Seconds{0.0};
   };
 
   /// Doubly-linked chain of slot indices; head = front (newest/MRU for the

@@ -7,7 +7,7 @@ namespace flexfetch::os {
 FileLayout::FileLayout(Bytes capacity, std::uint64_t seed, Bytes min_gap,
                        Bytes max_gap)
     : capacity_(capacity), min_gap_(min_gap), max_gap_(max_gap), rng_(seed) {
-  FF_REQUIRE(capacity > 0, "file layout: zero capacity");
+  FF_REQUIRE(capacity > Bytes{}, "file layout: zero capacity");
   FF_REQUIRE(min_gap <= max_gap, "file layout: min_gap > max_gap");
 }
 
@@ -24,7 +24,8 @@ void FileLayout::ensure(trace::Inode inode, Bytes size) {
     }
     return;
   }
-  const Bytes gap = min_gap_ + rng_.uniform_int(0, max_gap_ - min_gap_);
+  const Bytes gap =
+      min_gap_ + Bytes{rng_.uniform_int(0, (max_gap_ - min_gap_).value())};
   const Bytes start = next_free_ + gap;
   if (start + size > capacity_) {
     throw ConfigError("file layout: disk capacity exhausted");
@@ -44,7 +45,7 @@ bool FileLayout::contains(trace::Inode inode) const {
 
 Bytes FileLayout::extent_of(trace::Inode inode) const {
   auto it = extent_.find(inode);
-  return it == extent_.end() ? 0 : it->second;
+  return it == extent_.end() ? Bytes{} : it->second;
 }
 
 Bytes FileLayout::lba(trace::Inode inode, Bytes offset) const {

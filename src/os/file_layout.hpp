@@ -45,7 +45,7 @@ class FileLayout {
   Bytes capacity_;
   Bytes min_gap_;
   Bytes max_gap_;
-  Bytes next_free_ = 0;
+  Bytes next_free_ = Bytes{0};
   Rng rng_;
   std::unordered_map<trace::Inode, Bytes> start_;
   std::unordered_map<trace::Inode, Bytes> extent_;

@@ -19,7 +19,7 @@ std::vector<device::DeviceRequest>::iterator lower_bound_lba(
 }  // namespace
 
 void CScanScheduler::submit(const device::DeviceRequest& req) {
-  FF_REQUIRE(req.size > 0, "scheduler: zero-size request");
+  FF_REQUIRE(req.size > Bytes{}, "scheduler: zero-size request");
   ++stats_.submitted;
 
   // Try to merge with the predecessor (ends exactly where req starts).

@@ -53,7 +53,7 @@ class CScanScheduler {
   /// Sorted by start LBA. Writes and reads are kept as distinct entries
   /// unless contiguous with matching direction.
   std::vector<device::DeviceRequest> queue_;
-  Bytes head_ = 0;
+  Bytes head_ = Bytes{0};
   SchedulerStats stats_;
 };
 

@@ -37,7 +37,8 @@ constexpr std::uint64_t page_index(Bytes offset) { return offset / kPageSize; }
 
 /// Index one past the last page covering [offset, offset+size).
 constexpr std::uint64_t page_end_index(Bytes offset, Bytes size) {
-  return size == 0 ? page_index(offset) : (offset + size - 1) / kPageSize + 1;
+  return size == Bytes{} ? page_index(offset)
+                         : (offset + size - Bytes{1}) / kPageSize + 1;
 }
 
 }  // namespace flexfetch::os

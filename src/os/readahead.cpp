@@ -13,7 +13,7 @@ Readahead::Readahead(ReadaheadConfig config) : config_(config) {
 }
 
 PageRange Readahead::on_read(Inode inode, Bytes offset, Bytes size) {
-  FF_REQUIRE(size > 0, "readahead: zero-size read");
+  FF_REQUIRE(size > Bytes{}, "readahead: zero-size read");
   const std::uint64_t first = page_index(offset);
   const std::uint64_t last_end = page_end_index(offset, size);
   const std::uint64_t demand = last_end - first;

@@ -8,7 +8,7 @@
 namespace flexfetch::os {
 
 Bytes ReadPlan::bytes_to_fetch() const {
-  Bytes total = 0;
+  Bytes total = Bytes{0};
   for (const auto& f : fetches) total += f.size();
   return total;
 }
@@ -41,9 +41,9 @@ void Vfs::plan_read(const trace::SyscallRecord& r, Seconds now,
 
   // Prefetch stops at end-of-file; demand is always honoured.
   std::uint64_t want_end = want.end_page();
-  if (file_extent > 0) {
+  if (file_extent > Bytes{}) {
     want_end = std::max(demand_end,
-                        std::min(want_end, page_end_index(0, file_extent)));
+                        std::min(want_end, page_end_index(Bytes{}, file_extent)));
   }
 
   std::optional<PageRange> open_run;

@@ -63,7 +63,7 @@ class Vfs {
 
   /// Allocating convenience: derives the page span from the record.
   ReadPlan plan_read(const trace::SyscallRecord& r, Seconds now,
-                     Bytes file_extent = 0);
+                     Bytes file_extent = Bytes{});
 
   /// Plans a buffered write: dirties the pages of [first, end).
   void plan_write(const trace::SyscallRecord& r, Seconds now,

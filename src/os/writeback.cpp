@@ -5,10 +5,10 @@
 namespace flexfetch::os {
 
 WritebackPolicy::WritebackPolicy(WritebackConfig config) : config_(config) {
-  FF_REQUIRE(config.dirty_expire > 0, "writeback: dirty_expire must be positive");
+  FF_REQUIRE(config.dirty_expire > Seconds{}, "writeback: dirty_expire must be positive");
   FF_REQUIRE(config.laptop_mode_expire >= config.dirty_expire,
              "writeback: laptop-mode expiry below normal expiry");
-  FF_REQUIRE(config.flush_interval > 0, "writeback: flush interval must be positive");
+  FF_REQUIRE(config.flush_interval > Seconds{}, "writeback: flush interval must be positive");
 }
 
 void WritebackPolicy::select_flush(const BufferCache& cache, Seconds now,

@@ -12,15 +12,15 @@ namespace flexfetch::os {
 
 struct WritebackConfig {
   /// Normal dirty expiry (Linux dirty_expire_centisecs default, 30 s).
-  Seconds dirty_expire = 30.0;
+  Seconds dirty_expire = Seconds{30.0};
   /// Laptop-mode maximum age of dirty data while the device sleeps
   /// (Linux laptop_mode lm_dirty_expire, 10 min).
-  Seconds laptop_mode_expire = 600.0;
+  Seconds laptop_mode_expire = Seconds{600.0};
   /// Memory-pressure threshold: flush regardless of device state when this
   /// many pages are dirty.
   std::size_t dirty_pressure_pages = 4096;
   /// Period of the background flusher thread (pdflush wakeup).
-  Seconds flush_interval = 5.0;
+  Seconds flush_interval = Seconds{5.0};
 };
 
 class WritebackPolicy {

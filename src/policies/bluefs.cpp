@@ -9,20 +9,20 @@ namespace flexfetch::policies {
 using device::DeviceKind;
 
 BlueFSPolicy::BlueFSPolicy(BlueFSConfig config) : config_(config) {
-  FF_REQUIRE(config.hint_half_life >= 0.0, "bluefs: negative hint half-life");
+  FF_REQUIRE(config.hint_half_life >= Seconds{}, "bluefs: negative hint half-life");
 }
 
 void BlueFSPolicy::begin(sim::SimContext& ctx) {
-  if (config_.ghost_hint_threshold <= 0.0) {
+  if (config_.ghost_hint_threshold <= Joules{}) {
     const auto& p = ctx.disk().params();
     config_.ghost_hint_threshold = p.spin_up_energy + p.spin_down_energy;
   }
 }
 
 void BlueFSPolicy::decay_hints(Seconds now) {
-  if (config_.hint_half_life <= 0.0 || hints_ <= 0.0) return;
+  if (config_.hint_half_life <= Seconds{} || hints_ <= Joules{}) return;
   const Seconds dt = now - last_hint_time_;
-  if (dt > 0.0) {
+  if (dt > Seconds{}) {
     hints_ *= std::exp2(-dt / config_.hint_half_life);
   }
 }
@@ -50,14 +50,14 @@ DeviceKind BlueFSPolicy::select(const sim::RequestContext& req,
         dp.active_power *
         (positioning + transfer_time(req.request.size, dp.bandwidth));
     const Joules hint = net_est.energy - disk_if_active;
-    if (hint > 0.0) {
+    if (hint > Joules{}) {
       decay_hints(now);
       hints_ += hint;
       last_hint_time_ = now;
       stats_.hints_issued += hint;
       if (hints_ >= config_.ghost_hint_threshold) {
         ctx.disk().force_spin_up(now);
-        hints_ = 0.0;
+        hints_ = Joules{};
         ++stats_.ghost_spin_ups;
       }
     }

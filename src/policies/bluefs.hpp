@@ -23,19 +23,19 @@ namespace flexfetch::policies {
 struct BlueFSConfig {
   /// Accumulated foregone savings (J) that trigger a disk spin-up;
   /// <= 0 derives spin-up + spin-down energy from the disk parameters.
-  Joules ghost_hint_threshold = 0.0;
+  Joules ghost_hint_threshold = Joules{0.0};
   /// Exponential decay period of accumulated hints (0 = no decay). The
   /// default keeps hints forever: BlueFS keeps hoping an active disk would
   /// have served the traffic better — exactly the oscillation the paper
   /// criticises in Section 3.3.2.
-  Seconds hint_half_life = 0.0;
+  Seconds hint_half_life = Seconds{0.0};
 };
 
 struct BlueFSStats {
   std::uint64_t disk_selections = 0;
   std::uint64_t net_selections = 0;
   std::uint64_t ghost_spin_ups = 0;
-  Joules hints_issued = 0.0;
+  Joules hints_issued = Joules{0.0};
 };
 
 class BlueFSPolicy : public sim::Policy {
@@ -54,8 +54,8 @@ class BlueFSPolicy : public sim::Policy {
   void decay_hints(Seconds now);
 
   BlueFSConfig config_;
-  Joules hints_ = 0.0;
-  Seconds last_hint_time_ = 0.0;
+  Joules hints_ = Joules{0.0};
+  Seconds last_hint_time_ = Seconds{0.0};
   BlueFSStats stats_;
 };
 

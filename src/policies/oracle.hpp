@@ -14,7 +14,7 @@ class OraclePolicy : public core::FlexFetchPolicy {
   /// `burst_threshold` <= 0 uses the disk access time, as FlexFetch does.
   explicit OraclePolicy(const trace::Trace& future,
                         double loss_rate = 0.25,
-                        Seconds burst_threshold = 0.020);
+                        Seconds burst_threshold = Seconds{0.020});
 
   std::string name() const override { return "Oracle"; }
 };

@@ -52,7 +52,7 @@ class SimContext {
   faults::SimAudit* audit() const { return audit_; }
 
  private:
-  Seconds now_ = 0.0;
+  Seconds now_ = Seconds{0.0};
   device::Disk& disk_;
   device::Wnic& wnic_;
   os::Vfs& vfs_;

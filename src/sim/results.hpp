@@ -16,11 +16,11 @@ namespace flexfetch::sim {
 
 /// One serviced device request (optional per-request log for diagnostics).
 struct RequestLogEntry {
-  Seconds arrival = 0.0;
-  Seconds completion = 0.0;
+  Seconds arrival = Seconds{0.0};
+  Seconds completion = Seconds{0.0};
   device::DeviceKind device = device::DeviceKind::kDisk;
-  Bytes size = 0;
-  Joules energy = 0.0;
+  Bytes size = Bytes{0};
+  Joules energy = Joules{0.0};
   trace::ProcessGroup pgid = 0;
   bool is_writeback = false;
 };
@@ -29,10 +29,10 @@ struct SimResult {
   std::string policy;
 
   /// Completion time of the last application syscall.
-  Seconds makespan = 0.0;
+  Seconds makespan = Seconds{0.0};
   /// Sum over syscalls of their service delays (time the applications
   /// spent blocked on I/O) — the paper's "I/O execution time".
-  Seconds io_time = 0.0;
+  Seconds io_time = Seconds{0.0};
 
   device::EnergyMeter disk_meter;
   device::EnergyMeter wnic_meter;
@@ -44,12 +44,12 @@ struct SimResult {
   std::uint64_t syscalls = 0;
   std::uint64_t disk_requests = 0;
   std::uint64_t net_requests = 0;
-  Bytes disk_bytes = 0;
-  Bytes net_bytes = 0;
+  Bytes disk_bytes = Bytes{0};
+  Bytes net_bytes = Bytes{0};
 
   /// Replica synchronization traffic (only with SimConfig::enable_sync).
   std::uint64_t sync_batches = 0;
-  Bytes sync_bytes = 0;
+  Bytes sync_bytes = Bytes{0};
 
   std::vector<RequestLogEntry> request_log;  ///< Only if logging enabled.
 

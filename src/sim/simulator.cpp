@@ -91,11 +91,11 @@ SimResult Simulator::run() {
     result_.request_log.reserve(expected_requests);
   }
   if (config_.enable_writeback) {
-    schedule(vfs_.writeback().next_wakeup(0.0), EventKind::kFlusher, 0);
+    schedule(vfs_.writeback().next_wakeup(Seconds{}), EventKind::kFlusher, 0);
   }
   if (config_.enable_sync) {
     sync_.emplace(config_.sync);
-    schedule(sync_->next_wakeup(0.0), EventKind::kSync, 0);
+    schedule(sync_->next_wakeup(Seconds{}), EventKind::kSync, 0);
   }
   if (config_.adaptive_disk_timeout) {
     timeout_controller_.emplace(config_.adaptive_timeout);
@@ -113,9 +113,9 @@ SimResult Simulator::run() {
       schedule(vfs_.writeback().next_wakeup(ev.time), EventKind::kFlusher, 0);
     } else if (ev.kind == EventKind::kSync &&
                (active_programs_ > 0 ||
-                (sync_ && sync_->pending_upload() > 0))) {
+                (sync_ && sync_->pending_upload() > Bytes{}))) {
       run_sync(ev.time);
-      if (active_programs_ > 0 || sync_->pending_upload() > 0) {
+      if (active_programs_ > 0 || sync_->pending_upload() > Bytes{}) {
         schedule(sync_->next_wakeup(ev.time), EventKind::kSync, 0);
       }
     }
@@ -204,7 +204,7 @@ void Simulator::handle_syscall(const Event& ev) {
         r.op == trace::OpType::kRead ? "syscall.read" : "syscall.write",
         telemetry::track::kSim, ev.time, completion,
         {telemetry::num_arg("inode", static_cast<double>(r.inode)),
-         telemetry::num_arg("bytes", static_cast<double>(r.size)),
+         telemetry::num_arg("bytes", r.size.as_double()),
          telemetry::num_arg("pgid", static_cast<double>(r.pgid))});
   }
 
@@ -327,7 +327,7 @@ void Simulator::run_sync(Seconds t) {
   for (const auto& item : batch) {
     // Replica traffic goes to the server by definition: always the WNIC.
     const device::DeviceRequest req{
-        .lba = 0, .size = item.bytes, .is_write = item.upload};
+        .lba = Bytes{}, .size = item.bytes, .is_write = item.upload};
     const auto res = wnic_.service(cursor, req);
     cursor = res.completion;
     ++result_.net_requests;
@@ -406,25 +406,25 @@ void Simulator::populate_metrics() {
   const auto num = [](std::uint64_t v) { return static_cast<double>(v); };
 
   m.add("sim.syscalls", num(result_.syscalls));
-  m.set("sim.makespan_s", result_.makespan);
-  m.set("sim.io_time_s", result_.io_time);
+  m.set("sim.makespan_s", result_.makespan.value());
+  m.set("sim.io_time_s", result_.io_time.value());
   m.add("sim.disk_requests", num(result_.disk_requests));
   m.add("sim.net_requests", num(result_.net_requests));
-  m.add("sim.disk_bytes", num(result_.disk_bytes));
-  m.add("sim.net_bytes", num(result_.net_bytes));
+  m.add("sim.disk_bytes", num(result_.disk_bytes.value()));
+  m.add("sim.net_bytes", num(result_.net_bytes.value()));
   m.add("sim.sync_batches", num(result_.sync_batches));
-  m.add("sim.sync_bytes", num(result_.sync_bytes));
+  m.add("sim.sync_bytes", num(result_.sync_bytes.value()));
 
-  m.set("disk.energy_j", result_.disk_meter.total());
+  m.set("disk.energy_j", result_.disk_meter.total().value());
   m.add("disk.requests", num(result_.disk_counters.requests));
   m.add("disk.spin_ups", num(result_.disk_counters.spin_ups));
   m.add("disk.spin_downs", num(result_.disk_counters.spin_downs));
   m.add("disk.sequential_hits", num(result_.disk_counters.sequential_hits));
-  m.set("disk.seek_time_s", result_.disk_counters.seek_time);
+  m.set("disk.seek_time_s", result_.disk_counters.seek_time.value());
   m.add("disk.spin_up_stalls", num(result_.disk_counters.spin_up_stalls));
-  m.set("disk.stall_time_s", result_.disk_counters.stall_time);
+  m.set("disk.stall_time_s", result_.disk_counters.stall_time.value());
 
-  m.set("wnic.energy_j", result_.wnic_meter.total());
+  m.set("wnic.energy_j", result_.wnic_meter.total().value());
   m.add("wnic.requests", num(result_.wnic_counters.requests));
   m.add("wnic.wakes", num(result_.wnic_counters.wakes));
   m.add("wnic.sleeps", num(result_.wnic_counters.sleeps));
@@ -432,7 +432,7 @@ void Simulator::populate_metrics() {
   m.add("wnic.outage_stalls", num(result_.wnic_counters.outage_stalls));
   m.add("wnic.degraded_transfers",
         num(result_.wnic_counters.degraded_transfers));
-  m.set("wnic.outage_wait_s", result_.wnic_counters.outage_wait);
+  m.set("wnic.outage_wait_s", result_.wnic_counters.outage_wait.value());
 
   m.add("cache.lookups", num(result_.cache_stats.lookups));
   m.add("cache.hits", num(result_.cache_stats.hits));

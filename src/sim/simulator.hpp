@@ -48,7 +48,7 @@ struct ProgramSpec {
   /// trace/compiled.hpp). Sharing one across simulations of the same trace
   /// (e.g. a sweep grid) skips the per-Simulator compilation; when null the
   /// Simulator compiles the trace itself.
-  std::shared_ptr<const trace::CompiledTrace> compiled;
+  std::shared_ptr<const trace::CompiledTrace> compiled = nullptr;
 };
 
 struct SimConfig {

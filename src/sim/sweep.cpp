@@ -112,13 +112,13 @@ void write_sweep_json(std::ostream& os, const std::vector<SweepCell>& cells,
       write_json_string(os, c.axis);
       os << ", \"axis_value\": " << c.axis_value;
     }
-    os << ", \"latency_ms\": " << c.wnic.latency * 1e3;
+    os << ", \"latency_ms\": " << (c.wnic.latency * 1e3).value();
     os << ", \"bandwidth_mbps\": " << c.wnic.bandwidth / units::mbps(1.0);
-    os << ", \"energy_j\": " << r.total_energy();
-    os << ", \"disk_energy_j\": " << r.disk_energy();
-    os << ", \"wnic_energy_j\": " << r.wnic_energy();
-    os << ", \"makespan_s\": " << r.makespan;
-    os << ", \"io_time_s\": " << r.io_time;
+    os << ", \"energy_j\": " << r.total_energy().value();
+    os << ", \"disk_energy_j\": " << r.disk_energy().value();
+    os << ", \"wnic_energy_j\": " << r.wnic_energy().value();
+    os << ", \"makespan_s\": " << r.makespan.value();
+    os << ", \"io_time_s\": " << r.io_time.value();
     if (!r.metrics.empty()) {
       os << ", \"metrics\": {";
       bool first = true;

@@ -81,8 +81,8 @@ struct TraceEvent {
   /// Global emission order within one Recorder — the deterministic
   /// tie-breaker for events sharing a timestamp.
   std::uint64_t seq = 0;
-  Seconds start = 0.0;
-  Seconds duration = 0.0;  ///< kSpan only.
+  Seconds start = Seconds{0.0};
+  Seconds duration = Seconds{0.0};  ///< kSpan only.
   double value = 0.0;      ///< kCounter only.
   std::array<Arg, kMaxArgs> args{};
 

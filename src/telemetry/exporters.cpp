@@ -102,14 +102,14 @@ void write_chrome_trace(std::ostream& os, std::span<const TraceEvent> events,
     os << ", \"cat\": \"" << to_string(ev.category) << "\"";
     os << ", \"pid\": 1, \"tid\": " << ev.track;
     os << ", \"ts\": ";
-    write_num(os, ev.start * 1e6);
+    write_num(os, ev.start.value() * 1e6);
     switch (ev.phase) {
       case Phase::kInstant:
         os << ", \"ph\": \"i\", \"s\": \"t\"";
         break;
       case Phase::kSpan:
         os << ", \"ph\": \"X\", \"dur\": ";
-        write_num(os, ev.duration * 1e6);
+        write_num(os, ev.duration.value() * 1e6);
         break;
       case Phase::kCounter:
         os << ", \"ph\": \"C\"";
@@ -141,11 +141,11 @@ void write_text_timeline(std::ostream& os,
             });
   char buf[128];
   for (const TraceEvent* ev : order) {
-    std::snprintf(buf, sizeof(buf), "%12.6f  %-12s %-24s", ev->start,
+    std::snprintf(buf, sizeof(buf), "%12.6f  %-12s %-24s", ev->start.value(),
                   track_name(ev->track), ev->name);
     os << buf;
     if (ev->phase == Phase::kSpan) {
-      std::snprintf(buf, sizeof(buf), " dur=%.6fs", ev->duration);
+      std::snprintf(buf, sizeof(buf), " dur=%.6fs", ev->duration.value());
       os << buf;
     } else if (ev->phase == Phase::kCounter) {
       os << " value=";

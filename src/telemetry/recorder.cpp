@@ -52,7 +52,7 @@ void Recorder::span(Category c, const char* name, std::uint32_t trk,
   ev.phase = Phase::kSpan;
   ev.track = trk;
   ev.start = start;
-  ev.duration = end > start ? end - start : 0.0;
+  ev.duration = end > start ? end - start : Seconds{};
   copy_args(ev, args);
   emit(ev);
 }

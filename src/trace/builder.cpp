@@ -11,7 +11,7 @@ TraceBuilder& TraceBuilder::process(Pid pid, ProcessGroup pgid) {
 }
 
 TraceBuilder& TraceBuilder::think(Seconds dt) {
-  FF_REQUIRE(dt >= 0.0, "think time must be non-negative");
+  FF_REQUIRE(dt >= Seconds{}, "think time must be non-negative");
   now_ += dt;
   return *this;
 }
@@ -52,19 +52,19 @@ TraceBuilder& TraceBuilder::write(Inode inode, Bytes offset, Bytes size,
 }
 
 TraceBuilder& TraceBuilder::open(Inode inode) {
-  trace_.push_back(make(OpType::kOpen, inode, 0, 0, 0.0));
+  trace_.push_back(make(OpType::kOpen, inode, Bytes{}, Bytes{}, Seconds{}));
   return *this;
 }
 
 TraceBuilder& TraceBuilder::close(Inode inode) {
-  trace_.push_back(make(OpType::kClose, inode, 0, 0, 0.0));
+  trace_.push_back(make(OpType::kClose, inode, Bytes{}, Bytes{}, Seconds{}));
   return *this;
 }
 
 TraceBuilder& TraceBuilder::read_file(Inode inode, Bytes file_size, Bytes chunk,
                                       Seconds per_call_think) {
-  FF_REQUIRE(chunk > 0, "read_file: chunk must be positive");
-  for (Bytes off = 0; off < file_size; off += chunk) {
+  FF_REQUIRE(chunk > Bytes{}, "read_file: chunk must be positive");
+  for (Bytes off = Bytes{0}; off < file_size; off += chunk) {
     const Bytes n = std::min(chunk, file_size - off);
     read(inode, off, n);
     if (off + n < file_size) think(per_call_think);
@@ -74,8 +74,8 @@ TraceBuilder& TraceBuilder::read_file(Inode inode, Bytes file_size, Bytes chunk,
 
 TraceBuilder& TraceBuilder::write_file(Inode inode, Bytes file_size, Bytes chunk,
                                        Seconds per_call_think) {
-  FF_REQUIRE(chunk > 0, "write_file: chunk must be positive");
-  for (Bytes off = 0; off < file_size; off += chunk) {
+  FF_REQUIRE(chunk > Bytes{}, "write_file: chunk must be positive");
+  for (Bytes off = Bytes{0}; off < file_size; off += chunk) {
     const Bytes n = std::min(chunk, file_size - off);
     write(inode, off, n);
     if (off + n < file_size) think(per_call_think);
@@ -87,7 +87,7 @@ Trace TraceBuilder::build() {
   trace_.validate();
   Trace out = std::move(trace_);
   trace_ = Trace(out.name());
-  now_ = 0.0;
+  now_ = Seconds{};
   return out;
 }
 

@@ -24,10 +24,10 @@ class TraceBuilder {
 
   /// Emits a read record of `size` bytes at (inode, offset).
   /// `duration` is the recorded service time in the profiled run.
-  TraceBuilder& read(Inode inode, Bytes offset, Bytes size, Seconds duration = 0.0);
+  TraceBuilder& read(Inode inode, Bytes offset, Bytes size, Seconds duration = Seconds{0.0});
 
   /// Emits a write record.
-  TraceBuilder& write(Inode inode, Bytes offset, Bytes size, Seconds duration = 0.0);
+  TraceBuilder& write(Inode inode, Bytes offset, Bytes size, Seconds duration = Seconds{0.0});
 
   /// Emits an open/close marker (no data transfer).
   TraceBuilder& open(Inode inode);
@@ -35,11 +35,11 @@ class TraceBuilder {
 
   /// Reads a whole file as a run of sequential `chunk`-sized calls.
   TraceBuilder& read_file(Inode inode, Bytes file_size, Bytes chunk,
-                          Seconds per_call_think = 0.0);
+                          Seconds per_call_think = Seconds{0.0});
 
   /// Writes a whole file sequentially in `chunk`-sized calls.
   TraceBuilder& write_file(Inode inode, Bytes file_size, Bytes chunk,
-                           Seconds per_call_think = 0.0);
+                           Seconds per_call_think = Seconds{0.0});
 
   Seconds now() const { return now_; }
   const Trace& peek() const { return trace_; }
@@ -52,7 +52,7 @@ class TraceBuilder {
                      Seconds duration) const;
 
   Trace trace_;
-  Seconds now_ = 0.0;
+  Seconds now_ = Seconds{0.0};
   Pid pid_ = 1000;
   ProcessGroup pgid_ = 1000;
 };

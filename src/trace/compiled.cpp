@@ -11,14 +11,15 @@ namespace {
 constexpr std::uint64_t page_of(Bytes offset) { return offset / kPageSize; }
 
 constexpr std::uint64_t page_end_of(Bytes offset, Bytes size) {
-  return size == 0 ? page_of(offset) : (offset + size - 1) / kPageSize + 1;
+  return size == Bytes{} ? page_of(offset)
+                         : (offset + size - Bytes{1}) / kPageSize + 1;
 }
 
 }  // namespace
 
 CompiledTrace::CompiledTrace(const Trace& trace) {
   const std::size_t n = trace.size();
-  think_.resize(n, 0.0);
+  think_.resize(n, Seconds{});
   first_page_.resize(n, 0);
   end_page_.resize(n, 0);
   start_time_ = trace.start_time();
@@ -28,7 +29,7 @@ CompiledTrace::CompiledTrace(const Trace& trace) {
     if (i > 0) {
       const SyscallRecord& prev = trace[i - 1];
       const Seconds gap = r.timestamp - (prev.timestamp + prev.duration);
-      think_[i] = std::max(0.0, gap);
+      think_[i] = std::max(Seconds{}, gap);
     }
     if (r.is_data_transfer()) {
       first_page_[i] = page_of(r.offset);

@@ -52,7 +52,7 @@ class CompiledTrace {
   std::vector<std::uint64_t> first_page_;
   std::vector<std::uint64_t> end_page_;
   std::size_t data_transfers_ = 0;
-  Seconds start_time_ = 0.0;
+  Seconds start_time_ = Seconds{0.0};
   std::map<Inode, Bytes> file_extents_;
   std::set<Inode> file_set_;
 };

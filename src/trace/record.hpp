@@ -36,14 +36,14 @@ struct SyscallRecord {
   ProcessGroup pgid = 0;
   Fd fd = -1;
   Inode inode = 0;
-  Bytes offset = 0;
-  Bytes size = 0;
+  Bytes offset = Bytes{0};
+  Bytes size = Bytes{0};
   OpType op = OpType::kRead;
   /// Wall-clock start of the call, seconds from trace origin.
-  Seconds timestamp = 0.0;
+  Seconds timestamp = Seconds{0.0};
   /// How long the call took in the traced run. Only used to derive think
   /// times; replay recomputes service times from the simulated devices.
-  Seconds duration = 0.0;
+  Seconds duration = Seconds{0.0};
 
   bool is_data_transfer() const {
     return op == OpType::kRead || op == OpType::kWrite;

@@ -16,11 +16,11 @@ namespace {
 /// One parsed strace line.
 struct Line {
   Pid pid = 0;
-  Seconds timestamp = 0.0;
+  Seconds timestamp = Seconds{0.0};
   std::string_view syscall;
   std::string_view args;      ///< Text between the outer parentheses.
   long long result = -1;      ///< Value after '='.
-  Seconds duration = 0.0;     ///< <...> suffix, if present.
+  Seconds duration = Seconds{0.0};     ///< <...> suffix, if present.
 };
 
 bool skip_ws(std::string_view& s) {
@@ -74,7 +74,7 @@ std::optional<Line> parse_line(std::string_view s) {
 
   const auto ts = parse_double(s);
   if (!ts) return std::nullopt;
-  out.timestamp = *ts;
+  out.timestamp = Seconds{*ts};
 
   if (!skip_ws(s)) return std::nullopt;
   const auto paren = s.find('(');
@@ -100,7 +100,7 @@ std::optional<Line> parse_line(std::string_view s) {
   const auto open_angle = s.find('<');
   if (open_angle != std::string_view::npos) {
     std::string_view d = s.substr(open_angle + 1);
-    if (const auto dur = parse_double(d)) out.duration = *dur;
+    if (const auto dur = parse_double(d)) out.duration = Seconds{*dur};
   }
   return out;
 }
@@ -141,7 +141,7 @@ std::optional<SeekArgs> parse_seek(std::string_view args) {
 
 struct OpenFile {
   Inode inode = 0;
-  Bytes offset = 0;
+  Bytes offset = Bytes{0};
 };
 
 }  // namespace
@@ -175,7 +175,7 @@ Trace import_strace(std::istream& is, const std::string& name,
     if (!origin) origin = ln.timestamp;
     const Seconds t =
         options.rebase_time ? ln.timestamp - *origin : ln.timestamp;
-    if (t < 0) {
+    if (t < Seconds{}) {
       fail("timestamp before origin");
       continue;
     }
@@ -197,7 +197,7 @@ Trace import_strace(std::istream& is, const std::string& name,
       auto [it, inserted] = inode_by_path.try_emplace(*path, next_inode);
       if (inserted) ++next_inode;
       const auto fd = static_cast<Fd>(ln.result);
-      open_files[{ln.pid, fd}] = OpenFile{it->second, 0};
+      open_files[{ln.pid, fd}] = OpenFile{it->second, Bytes{}};
       r.op = OpType::kOpen;
       r.fd = fd;
       r.inode = it->second;
@@ -229,13 +229,13 @@ Trace import_strace(std::istream& is, const std::string& name,
       r.fd = static_cast<Fd>(*fd);
       r.inode = f.inode;
       r.offset = f.offset;
-      r.size = static_cast<Bytes>(ln.result);
+      r.size = Bytes{static_cast<std::uint64_t>(ln.result)};
       trace.push_back(r);
       // p{read,write} do not advance the descriptor; plain calls do. The
       // explicit offset of p* calls is the third argument, which we treat
       // as the running offset for simplicity of the common -e trace set.
       if (ln.syscall == "read" || ln.syscall == "write") {
-        f.offset += static_cast<Bytes>(ln.result);
+        f.offset += Bytes{static_cast<std::uint64_t>(ln.result)};
       }
     } else if (ln.syscall == "lseek" || ln.syscall == "_llseek") {
       const auto seek = parse_seek(ln.args);
@@ -247,10 +247,11 @@ Trace import_strace(std::istream& is, const std::string& name,
           {ln.pid, static_cast<Fd>(first_int(ln.args).value_or(-1))});
       if (it == open_files.end()) continue;
       // The kernel-resolved position is the return value for SEEK_CUR/END.
-      it->second.offset = ln.result >= 0
-                              ? static_cast<Bytes>(ln.result)
-                              : static_cast<Bytes>(
-                                    std::max<long long>(seek->offset, 0));
+      it->second.offset =
+          ln.result >= 0
+              ? Bytes{static_cast<std::uint64_t>(ln.result)}
+              : Bytes{static_cast<std::uint64_t>(
+                    std::max<long long>(seek->offset, 0))};
       r.op = OpType::kSeek;
       r.inode = it->second.inode;
       r.offset = it->second.offset;

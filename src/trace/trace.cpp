@@ -20,17 +20,18 @@ const char* to_string(OpType op) {
 
 std::string to_string(const SyscallRecord& r) {
   return strprintf("%.6f %s pid=%u pgid=%u fd=%d ino=%llu off=%llu size=%llu dur=%.6f",
-                   r.timestamp, to_string(r.op), r.pid, r.pgid, r.fd,
+                   r.timestamp.value(), to_string(r.op), r.pid, r.pgid, r.fd,
                    static_cast<unsigned long long>(r.inode),
-                   static_cast<unsigned long long>(r.offset),
-                   static_cast<unsigned long long>(r.size), r.duration);
+                   static_cast<unsigned long long>(r.offset.value()),
+                   static_cast<unsigned long long>(r.size.value()),
+                   r.duration.value());
 }
 
 void Trace::push_back(const SyscallRecord& r) {
-  if (r.is_data_transfer() && r.size == 0) {
+  if (r.is_data_transfer() && r.size == Bytes{}) {
     throw TraceError("data-transfer record with zero size: " + to_string(r));
   }
-  if (r.timestamp < 0.0) {
+  if (r.timestamp < Seconds{}) {
     throw TraceError("record with negative timestamp: " + to_string(r));
   }
   if (!records_.empty() && r.timestamp < records_.back().timestamp) {
@@ -47,26 +48,26 @@ void Trace::merge(const Trace& other) {
 }
 
 void Trace::append_after(const Trace& other, Seconds gap) {
-  FF_REQUIRE(gap >= 0.0, "append_after: negative gap");
-  const Seconds base = empty() ? 0.0 : end_time();
+  FF_REQUIRE(gap >= Seconds{}, "append_after: negative gap");
+  const Seconds base = empty() ? Seconds{} : end_time();
   Trace shifted = other;
   shifted.shift(base + gap - shifted.start_time());
   merge(shifted);
 }
 
 void Trace::shift(Seconds delta) {
-  if (!records_.empty() && records_.front().timestamp + delta < 0.0) {
+  if (!records_.empty() && records_.front().timestamp + delta < Seconds{}) {
     throw TraceError("shift would produce negative timestamps");
   }
   for (auto& r : records_) r.timestamp += delta;
 }
 
 Seconds Trace::start_time() const {
-  return records_.empty() ? 0.0 : records_.front().timestamp;
+  return records_.empty() ? Seconds{} : records_.front().timestamp;
 }
 
 Seconds Trace::end_time() const {
-  Seconds end = 0.0;
+  Seconds end = Seconds{0.0};
   for (const auto& r : records_) {
     end = std::max(end, r.timestamp + r.duration);
   }
@@ -88,7 +89,7 @@ TraceStats Trace::stats() const {
       s.bytes_written += r.size;
     }
   }
-  s.duration = empty() ? 0.0 : end_time() - start_time();
+  s.duration = empty() ? Seconds{} : end_time() - start_time();
   return s;
 }
 
@@ -111,15 +112,16 @@ std::map<Inode, Bytes> Trace::file_extents() const {
 }
 
 void Trace::validate() const {
-  Seconds prev = 0.0;
+  Seconds prev = Seconds{0.0};
   for (const auto& r : records_) {
     if (r.timestamp < prev) {
-      throw TraceError("records out of order at t=" + std::to_string(r.timestamp));
+      throw TraceError("records out of order at t=" +
+                       std::to_string(r.timestamp.value()));
     }
-    if (r.is_data_transfer() && r.size == 0) {
+    if (r.is_data_transfer() && r.size == Bytes{}) {
       throw TraceError("zero-size transfer: " + to_string(r));
     }
-    if (r.duration < 0.0) {
+    if (r.duration < Seconds{}) {
       throw TraceError("negative duration: " + to_string(r));
     }
     prev = r.timestamp;

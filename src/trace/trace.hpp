@@ -17,11 +17,11 @@ struct TraceStats {
   std::size_t reads = 0;
   std::size_t writes = 0;
   std::size_t distinct_files = 0;
-  Bytes bytes_read = 0;
-  Bytes bytes_written = 0;
+  Bytes bytes_read = Bytes{0};
+  Bytes bytes_written = Bytes{0};
   /// Total footprint: sum over files of the highest offset touched.
-  Bytes footprint = 0;
-  Seconds duration = 0.0;
+  Bytes footprint = Bytes{0};
+  Seconds duration = Seconds{0.0};
 };
 
 /// An ordered (by timestamp) sequence of syscall records.

@@ -32,11 +32,12 @@ std::vector<std::string> split(const std::string& line, char sep) {
 void write_trace(std::ostream& os, const Trace& trace) {
   os << "# flexfetch-trace v1 name=" << trace.name() << '\n';
   for (const auto& r : trace) {
-    os << strprintf("%.9f,%s,%u,%u,%d,%llu,%llu,%llu,%.9f\n", r.timestamp,
-                    to_string(r.op), r.pid, r.pgid, r.fd,
+    os << strprintf("%.9f,%s,%u,%u,%d,%llu,%llu,%llu,%.9f\n",
+                    r.timestamp.value(), to_string(r.op), r.pid, r.pgid, r.fd,
                     static_cast<unsigned long long>(r.inode),
-                    static_cast<unsigned long long>(r.offset),
-                    static_cast<unsigned long long>(r.size), r.duration);
+                    static_cast<unsigned long long>(r.offset.value()),
+                    static_cast<unsigned long long>(r.size.value()),
+                    r.duration.value());
   }
 }
 
@@ -63,15 +64,15 @@ Trace read_trace(std::istream& is) {
     }
     try {
       SyscallRecord r;
-      r.timestamp = std::stod(fields[0]);
+      r.timestamp = Seconds{std::stod(fields[0])};
       r.op = parse_op(fields[1]);
       r.pid = static_cast<Pid>(std::stoul(fields[2]));
       r.pgid = static_cast<ProcessGroup>(std::stoul(fields[3]));
       r.fd = static_cast<Fd>(std::stoi(fields[4]));
       r.inode = std::stoull(fields[5]);
-      r.offset = std::stoull(fields[6]);
-      r.size = std::stoull(fields[7]);
-      r.duration = std::stod(fields[8]);
+      r.offset = Bytes{std::stoull(fields[6])};
+      r.size = Bytes{std::stoull(fields[7])};
+      r.duration = Seconds{std::stod(fields[8])};
       trace.push_back(r);
     } catch (const TraceError&) {
       throw;

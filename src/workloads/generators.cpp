@@ -24,10 +24,10 @@ std::vector<Bytes> sample_file_sizes(std::size_t count, Bytes total, Rng& rng) {
     sum += r;
   }
   std::vector<Bytes> sizes(count);
-  Bytes assigned = 0;
+  Bytes assigned = Bytes{0};
   for (std::size_t i = 0; i < count; ++i) {
-    const auto share = static_cast<Bytes>(
-        raw[i] / sum * static_cast<double>(total));
+    const auto share = Bytes{
+        static_cast<std::uint64_t>(raw[i] / sum * total.as_double())};
     sizes[i] = std::max<Bytes>(share, kPageSize);
     assigned += sizes[i];
   }
@@ -38,7 +38,7 @@ std::vector<Bytes> sample_file_sizes(std::size_t count, Bytes total, Rng& rng) {
 
 /// Positive think time around `mean` with lognormal jitter.
 Seconds jittered_think(Seconds mean, Rng& rng, double sigma = 0.45) {
-  if (mean <= 0.0) return 0.0;
+  if (mean <= Seconds{}) return Seconds{};
   return mean * rng.lognormal(-sigma * sigma / 2.0, sigma);
 }
 
@@ -75,15 +75,15 @@ Trace make_trace(const MakeParams& p, std::uint64_t structure_seed,
   std::vector<Bytes> src_sizes(p.compile_units);
   for (auto& s : src_sizes) {
     s = std::max<Bytes>(
-        static_cast<Bytes>(structure.lognormal(0.0, 0.6) *
-                           static_cast<double>(p.source_mean)),
+        Bytes{static_cast<std::uint64_t>(structure.lognormal(0.0, 0.6) *
+                                         p.source_mean.as_double())},
         kPageSize);
   }
   std::vector<Bytes> hdr_sizes(p.header_pool);
   for (auto& s : hdr_sizes) {
     s = std::max<Bytes>(
-        static_cast<Bytes>(structure.lognormal(0.0, 0.6) *
-                           static_cast<double>(p.header_mean)),
+        Bytes{static_cast<std::uint64_t>(structure.lognormal(0.0, 0.6) *
+                                         p.header_mean.as_double())},
         kPageSize);
   }
 
@@ -91,7 +91,7 @@ Trace make_trace(const MakeParams& p, std::uint64_t structure_seed,
   // `make` spawns one gcc per unit; all share the make process group.
   b.process(p.pid, p.pid);
 
-  std::vector<Bytes> obj_sizes(p.compile_units, 0);
+  std::vector<Bytes> obj_sizes(p.compile_units, Bytes{});
   for (std::size_t unit = 0; unit < p.compile_units; ++unit) {
     const trace::Inode src = src_base + unit;
     b.open(src);
@@ -111,28 +111,28 @@ Trace make_trace(const MakeParams& p, std::uint64_t structure_seed,
       b.open(hdr);
       b.read_file(hdr, hdr_sizes[rank], 16 * kKiB);
       b.close(hdr);
-      b.think(jittered_think(8e-3, run));  // Preprocessing between includes.
+      b.think(jittered_think(Seconds{8e-3}, run));  // Preprocessing between includes.
     }
 
     b.think(jittered_think(p.compile_think_mean, run));  // Compilation.
 
     const Bytes obj = std::max<Bytes>(
-        static_cast<Bytes>(run.lognormal(0.0, 0.4) *
-                           static_cast<double>(p.object_mean)),
+        Bytes{static_cast<std::uint64_t>(run.lognormal(0.0, 0.4) *
+                                         p.object_mean.as_double())},
         kPageSize);
     obj_sizes[unit] = obj;
     b.open(obj_base + unit);
     b.write_file(obj_base + unit, obj, 32 * kKiB);
     b.close(obj_base + unit);
-    b.think(jittered_think(0.05, run));  // make bookkeeping.
+    b.think(jittered_think(Seconds{0.05}, run));  // make bookkeeping.
   }
 
   // Link phase: re-read all objects, write the image.
   for (std::size_t unit = 0; unit < p.compile_units; ++unit) {
     b.read_file(obj_base + unit, obj_sizes[unit], 64 * kKiB);
-    b.think(jittered_think(4e-3, run));
+    b.think(jittered_think(Seconds{4e-3}, run));
   }
-  b.think(jittered_think(2.0, run));  // Relocation/symbol resolution.
+  b.think(jittered_think(Seconds{2.0}, run));  // Relocation/symbol resolution.
   b.write_file(image_ino, p.image_bytes, 128 * kKiB);
   return b.build();
 }
@@ -147,15 +147,17 @@ Trace xmms_trace(const XmmsParams& p, std::uint64_t structure_seed,
   // Playback pacing: one chunk per (chunk / bitrate) seconds.
   const double bytes_per_second = p.bitrate_kbps * 1000.0 / 8.0;
   const Seconds period =
-      static_cast<double>(p.read_chunk) / bytes_per_second;
+      Seconds{p.read_chunk.as_double() / bytes_per_second};
 
   TraceBuilder b("xmms");
   b.process(p.pid, p.pid);
   for (std::size_t i = 0; i < p.song_count; ++i) {
     const trace::Inode ino = p.inode_base + i;
     b.open(ino);
-    for (Bytes off = 0; off < sizes[i]; off += p.read_chunk) {
-      if (p.max_duration > 0.0 && b.now() >= p.max_duration) return b.build();
+    for (Bytes off = Bytes{0}; off < sizes[i]; off += p.read_chunk) {
+      if (p.max_duration > Seconds{} && b.now() >= p.max_duration) {
+        return b.build();
+      }
       const Bytes n = std::min<Bytes>(p.read_chunk, sizes[i] - off);
       b.read(ino, off, n);
       b.think(jittered_think(period, run, 0.1));
@@ -179,22 +181,22 @@ Trace mplayer_trace(const MplayerParams& p, std::uint64_t structure_seed,
   for (std::size_t i = 0; i < p.aux_files; ++i) {
     const trace::Inode ino = p.inode_base + 1000 + i;
     b.read_file(ino, aux_sizes[i], 32 * kKiB);
-    b.think(jittered_think(1e-3, run));
+    b.think(jittered_think(Seconds{1e-3}, run));
   }
-  b.think(jittered_think(0.8, run));  // Demuxer startup.
+  b.think(jittered_think(Seconds{0.8}, run));  // Demuxer startup.
 
   // Playback: the demuxer refills its buffer with a small read every
   // chunk_period — continuous but sparse access (Section 3.3.2).
   for (std::size_t m = 0; m < p.movie_count; ++m) {
     const trace::Inode ino = p.inode_base + m;
     b.open(ino);
-    for (Bytes off = 0; off < p.movie_bytes; off += p.read_chunk) {
+    for (Bytes off = Bytes{0}; off < p.movie_bytes; off += p.read_chunk) {
       const Bytes n = std::min<Bytes>(p.read_chunk, p.movie_bytes - off);
       b.read(ino, off, n);
       b.think(jittered_think(p.chunk_period, run, 0.08));
     }
     b.close(ino);
-    b.think(jittered_think(2.5, run));  // Next item in the playlist.
+    b.think(jittered_think(Seconds{2.5}, run));  // Next item in the playlist.
   }
   return b.build();
 }
@@ -216,9 +218,9 @@ Trace thunderbird_trace(const ThunderbirdParams& p,
   // cache files are all touched while building folder views.
   for (std::size_t i = 0; i < p.small_files; ++i) {
     b.read_file(small_base + i, small_sizes[i], 16 * kKiB);
-    b.think(jittered_think(2e-3, run));
+    b.think(jittered_think(Seconds{2e-3}, run));
   }
-  b.think(jittered_think(3.0, run));
+  b.think(jittered_think(Seconds{3.0}, run));
 
   // Phase 1: the user opens emails one after another with long think times
   // in between (Section 3.3.3: "reads several emails one after another with
@@ -227,9 +229,11 @@ Trace thunderbird_trace(const ThunderbirdParams& p,
     const std::size_t mbox = run.uniform_int(0, p.mailbox_count - 1);
     const Bytes max_off = p.mailbox_bytes > p.email_read_bytes
                               ? p.mailbox_bytes - p.email_read_bytes
-                              : 0;
-    Bytes off = max_off > 0 ? run.uniform_int(0, max_off / kPageSize) * kPageSize : 0;
-    for (Bytes got = 0; got < p.email_read_bytes; got += 16 * kKiB) {
+                              : Bytes{};
+    Bytes off = max_off > Bytes{}
+                    ? run.uniform_int(0, max_off / kPageSize) * kPageSize
+                    : Bytes{};
+    for (Bytes got = Bytes{0}; got < p.email_read_bytes; got += 16 * kKiB) {
       const Bytes n = std::min<Bytes>(16 * kKiB, p.email_read_bytes - got);
       b.read(mbox_base + mbox, off + got, n);
     }
@@ -245,7 +249,7 @@ Trace thunderbird_trace(const ThunderbirdParams& p,
   // Phase 2: full-text search quickly scans every mail file (bursty).
   for (std::size_t m = 0; m < p.mailbox_count; ++m) {
     b.read_file(mbox_base + m, p.mailbox_bytes, p.search_chunk);
-    b.think(jittered_think(0.02, run));
+    b.think(jittered_think(Seconds{0.02}, run));
   }
   return b.build();
 }

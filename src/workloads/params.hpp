@@ -24,7 +24,7 @@ struct GrepParams {
   Bytes total_bytes = static_cast<Bytes>(50.4 * 1e6);
   Bytes read_chunk = 16 * kKiB;
   /// Tiny per-file processing time: grep is I/O-bound.
-  Seconds per_file_think_mean = 1.5e-3;
+  Seconds per_file_think_mean = Seconds{1.5e-3};
   trace::Inode inode_base = 10'000;
   trace::Pid pid = 2001;
 };
@@ -45,7 +45,7 @@ struct MakeParams {
   /// (0.8 s timeout) but far below the disk's 20 s spin-down timeout —
   /// exactly the "non-bursty" pattern for which the paper calls the WNIC
   /// energy efficient (Section 3.3.1).
-  Seconds compile_think_mean = 4.0;
+  Seconds compile_think_mean = Seconds{4.0};
   /// Final link phase: read all objects, write the kernel image.
   Bytes image_bytes = 4 * kMiB;
   trace::Inode inode_base = 20'000;
@@ -60,7 +60,7 @@ struct XmmsParams {
   double bitrate_kbps = 128.0;
   Bytes read_chunk = 64 * kKiB;
   /// Cap on how long the playlist plays (0 = play everything once).
-  Seconds max_duration = 0.0;
+  Seconds max_duration = Seconds{0.0};
   trace::Inode inode_base = 30'000;
   trace::Pid pid = 2003;
 };
@@ -78,7 +78,7 @@ struct MplayerParams {
   /// standby, which produces the paper's Figure 2(b) shape: the WNIC wins
   /// at high bandwidth, the disk below ~2 Mbps.
   Bytes read_chunk = 2 * kMiB;
-  Seconds chunk_period = 40.0;
+  Seconds chunk_period = Seconds{40.0};
   trace::Inode inode_base = 40'000;
   trace::Pid pid = 2004;
 };
@@ -95,7 +95,7 @@ struct ThunderbirdParams {
   /// User reading an email. Deliberately straddles the 20 s disk spin-down
   /// timeout: servicing these sparse small reads from the disk makes it
   /// thrash between idle and standby (the Section 3.3.3 motivation).
-  Seconds read_think_mean = 22.0;
+  Seconds read_think_mean = Seconds{22.0};
   Bytes search_chunk = 128 * kKiB;
   trace::Inode inode_base = 50'000;
   trace::Pid pid = 2005;
@@ -106,8 +106,8 @@ struct ThunderbirdParams {
 /// 2 MB PDFs with 25 s intervals (longer than the disk timeout).
 struct AcroreadParams {
   std::size_t file_count = 10;
-  Bytes file_bytes = static_cast<Bytes>(20e6);
-  Seconds interval = 10.0;
+  Bytes file_bytes = Bytes{20'000'000};
+  Seconds interval = Seconds{10.0};
   std::size_t searches = 12;          ///< Keyword searches performed.
   Bytes scan_chunk = 128 * kKiB;
   trace::Inode inode_base = 60'000;
@@ -116,8 +116,8 @@ struct AcroreadParams {
   /// The execution the out-of-date profile was recorded from.
   static AcroreadParams stale_profile_run() {
     AcroreadParams p;
-    p.file_bytes = static_cast<Bytes>(2e6);
-    p.interval = 25.0;
+    p.file_bytes = Bytes{2'000'000};
+    p.interval = Seconds{25.0};
     return p;
   }
 };

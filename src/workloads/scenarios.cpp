@@ -44,7 +44,7 @@ struct GrepMake {
 GrepMake build_grep_make(std::uint64_t seed, std::uint64_t run) {
   GrepMake g;
   g.grep = grep_trace(GrepParams{}, seed, run);
-  g.make = after(g.grep, make_trace(MakeParams{}, seed, run), 2.0);
+  g.make = after(g.grep, make_trace(MakeParams{}, seed, run), Seconds{2.0});
   return g;
 }
 

@@ -15,7 +15,7 @@ namespace flexfetch::workloads {
 
 /// Burst threshold used when recording profiles: the DK23DA's average
 /// access time (13 ms seek + 7 ms rotation), per Section 2.1.
-inline constexpr Seconds kProfileBurstThreshold = 0.020;
+inline constexpr Seconds kProfileBurstThreshold = Seconds{0.020};
 
 struct ScenarioBundle {
   std::string name;

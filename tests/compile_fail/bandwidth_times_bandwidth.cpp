@@ -1,0 +1,10 @@
+// Must NOT compile: bandwidth squared has no meaning here.
+#include "common/units.hpp"
+
+using namespace flexfetch;
+
+int main() {
+  auto bad = units::mbps(11.0) * units::mbps(2.0);
+  (void)bad;
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Must NOT compile: adding a bare integer to a byte count.
+#include "common/units.hpp"
+
+using namespace flexfetch;
+
+int main() {
+  auto bad = Bytes{4096} + 1;
+  (void)bad;
+  return 0;
+}

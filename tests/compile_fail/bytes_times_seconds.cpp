@@ -1,0 +1,10 @@
+// Must NOT compile: byte-seconds have no meaning here.
+#include "common/units.hpp"
+
+using namespace flexfetch;
+
+int main() {
+  auto bad = Bytes{1024} * Seconds{1.0};
+  (void)bad;
+  return 0;
+}

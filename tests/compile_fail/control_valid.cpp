@@ -1,0 +1,29 @@
+// Positive control for the does-not-compile harness: exercises every
+// operation the unit system is supposed to admit. If this file stops
+// compiling, the harness's include path or flags are broken and the
+// WILL_FAIL cases below prove nothing.
+#include "common/units.hpp"
+
+using namespace flexfetch;
+
+int main() {
+  constexpr Seconds t = Seconds{2.0} + units::ms(500.0) - Seconds{0.1};
+  constexpr Watts p{1.5};
+  constexpr Joules e = p * t + t * p;
+  constexpr Watts back = e / t;
+  constexpr Seconds horizon = e / back;
+  constexpr double ratio = e / (p * t);
+  constexpr Bytes total = 3 * kMiB + units::kib(64) - Bytes{1};
+  constexpr std::uint64_t pages = total / kPageSize;
+  constexpr Bytes rem = total % kPageSize;
+  constexpr Seconds xfer = total / units::mbps(11.0);
+  constexpr double frac_bytes = units::mbps(11.0) * t;
+  constexpr bool cmp = t <= horizon && e >= Joules{} && total > rem;
+  constexpr Seconds scaled = 2.0 * t / 4.0;
+  static_assert(pages > 0 && cmp);
+  static_assert(scaled.value() > 0.0 && ratio == 2.0);
+  static_assert(frac_bytes > 0.0 && xfer.value() > 0.0);
+  static_assert(transfer_time(kMiB, units::mb_per_s(35.0)).value() > 0.0);
+  static_assert(pages_for(Bytes{4097}) == 2);
+  return 0;
+}

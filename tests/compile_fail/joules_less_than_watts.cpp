@@ -1,0 +1,10 @@
+// Must NOT compile: cross-dimension comparison.
+#include "common/units.hpp"
+
+using namespace flexfetch;
+
+int main() {
+  bool bad = Joules{1.0} < Watts{1.0};
+  (void)bad;
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Must NOT compile: adding energy to power.
+#include "common/units.hpp"
+
+using namespace flexfetch;
+
+int main() {
+  auto bad = Joules{1.0} + Watts{2.0};
+  (void)bad;
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Must NOT compile: raw double must be wrapped explicitly.
+#include "common/units.hpp"
+
+using namespace flexfetch;
+
+int main() {
+  Seconds bad = 1.5;
+  (void)bad;
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Must NOT compile: time per energy is not part of the algebra.
+#include "common/units.hpp"
+
+using namespace flexfetch;
+
+int main() {
+  auto bad = Seconds{1.0} / Joules{1.0};
+  (void)bad;
+  return 0;
+}

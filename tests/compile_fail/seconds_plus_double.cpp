@@ -1,0 +1,10 @@
+// Must NOT compile: adding a bare scalar to a time.
+#include "common/units.hpp"
+
+using namespace flexfetch;
+
+int main() {
+  auto bad = Seconds{1.0} + 1.0;
+  (void)bad;
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Must NOT compile: seconds * seconds is not a time.
+#include "common/units.hpp"
+
+using namespace flexfetch;
+
+int main() {
+  Seconds bad = Seconds{2.0} * Seconds{3.0};
+  (void)bad;
+  return 0;
+}

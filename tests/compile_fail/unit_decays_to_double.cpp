@@ -1,0 +1,10 @@
+// Must NOT compile: units never decay implicitly.
+#include "common/units.hpp"
+
+using namespace flexfetch;
+
+int main() {
+  double bad = Joules{1.0};
+  (void)bad;
+  return 0;
+}

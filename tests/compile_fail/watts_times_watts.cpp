@@ -1,0 +1,10 @@
+// Must NOT compile: power squared has no meaning here.
+#include "common/units.hpp"
+
+using namespace flexfetch;
+
+int main() {
+  auto bad = Watts{2.0} * Watts{2.0};
+  (void)bad;
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Must NOT compile: power is not energy.
+#include "common/units.hpp"
+
+using namespace flexfetch;
+
+int main() {
+  Joules bad = Watts{2.0};
+  (void)bad;
+  return 0;
+}

@@ -10,72 +10,72 @@
 namespace flexfetch::device {
 namespace {
 
-DeviceRequest small_read(Bytes lba = 0) {
-  return DeviceRequest{.lba = lba, .size = 4096, .is_write = false};
+DeviceRequest small_read(Bytes lba = Bytes{0}) {
+  return DeviceRequest{.lba = lba, .size = Bytes{4096}, .is_write = false};
 }
 
 TEST(AdaptiveTimeout, AdoptsDiskTimeoutInitially) {
   Disk disk;
   AdaptiveTimeoutController c;
-  const auto r = disk.service(0.0, small_read());
+  const auto r = disk.service(Seconds{0.0}, small_read());
   c.observe(disk, r);
-  EXPECT_DOUBLE_EQ(c.current_timeout(), 20.0);
+  EXPECT_DOUBLE_EQ(c.current_timeout().value(), 20.0);
 }
 
 TEST(AdaptiveTimeout, PrematureSpinDownDoublesTimeout) {
   Disk disk;
   AdaptiveTimeoutController c;
-  auto r = disk.service(0.0, small_read());
+  auto r = disk.service(Seconds{0.0}, small_read());
   c.observe(disk, r);
   // Next request 22 s later: the disk spun down at 20 s, stayed down ~2 s
   // (< break-even 5.07 s) -> premature -> timeout doubles.
-  r = disk.service(r.completion + 22.0, small_read(1 * kGiB));
+  r = disk.service(r.completion + Seconds{22.0}, small_read(1 * kGiB));
   c.observe(disk, r);
-  EXPECT_DOUBLE_EQ(c.current_timeout(), 40.0);
+  EXPECT_DOUBLE_EQ(c.current_timeout().value(), 40.0);
   EXPECT_EQ(c.stats().premature_spin_downs, 1u);
-  EXPECT_DOUBLE_EQ(disk.params().spin_down_timeout, 40.0);
+  EXPECT_DOUBLE_EQ(disk.params().spin_down_timeout.value(), 40.0);
 }
 
 TEST(AdaptiveTimeout, JustifiedSpinDownDecays) {
   Disk disk;
   AdaptiveTimeoutController c;
-  auto r = disk.service(0.0, small_read());
+  auto r = disk.service(Seconds{0.0}, small_read());
   c.observe(disk, r);
   // 200 s gap: the spin-down clearly paid off -> timeout decays slightly.
-  r = disk.service(r.completion + 200.0, small_read(1 * kGiB));
+  r = disk.service(r.completion + Seconds{200.0}, small_read(1 * kGiB));
   c.observe(disk, r);
-  EXPECT_NEAR(c.current_timeout(), 20.0 * 0.95, 1e-9);
+  EXPECT_NEAR(c.current_timeout().value(), 20.0 * 0.95, 1e-9);
   EXPECT_EQ(c.stats().premature_spin_downs, 0u);
 }
 
 TEST(AdaptiveTimeout, BusyPeriodsDecayTowardFloor) {
   AdaptiveTimeoutConfig config;
-  config.min_timeout = 15.0;
+  config.min_timeout = Seconds{15.0};
   Disk disk;
   AdaptiveTimeoutController c(config);
-  auto r = disk.service(0.0, small_read());
+  auto r = disk.service(Seconds{0.0}, small_read());
   c.observe(disk, r);
   for (int i = 0; i < 200; ++i) {
-    r = disk.service(r.completion + 1.0, small_read());  // Never idle long.
+    r = disk.service(r.completion + Seconds{1.0}, small_read());  // Never idle long.
     c.observe(disk, r);
   }
-  EXPECT_NEAR(c.current_timeout(), 15.0, 1e-9);  // Clamped at the floor.
+  EXPECT_NEAR(c.current_timeout().value(), 15.0, 1e-9);  // Clamped at the floor.
 }
 
 TEST(AdaptiveTimeout, CapAtMaxTimeout) {
   AdaptiveTimeoutConfig config;
-  config.max_timeout = 50.0;
+  config.max_timeout = Seconds{50.0};
   Disk disk;
   AdaptiveTimeoutController c(config);
-  auto r = disk.service(0.0, small_read());
+  auto r = disk.service(Seconds{0.0}, small_read());
   c.observe(disk, r);
   // Repeated premature cycles: 20 -> 40 -> 50 (cap).
   for (int i = 0; i < 4; ++i) {
-    const Seconds gap = c.current_timeout() + 2.0;  // Always premature.
+    const Seconds gap = c.current_timeout() + Seconds{2.0};  // Always premature.
     r = disk.service(r.completion + gap, small_read(1 * kGiB));
     c.observe(disk, r);
   }
-  EXPECT_DOUBLE_EQ(c.current_timeout(), 50.0);
+  EXPECT_DOUBLE_EQ(c.current_timeout().value(), 50.0);
 }
 
 TEST(AdaptiveTimeout, RaisedTimeoutStopsTheThrash) {
@@ -85,12 +85,12 @@ TEST(AdaptiveTimeout, RaisedTimeoutStopsTheThrash) {
   Disk fixed;
   Disk adaptive;
   AdaptiveTimeoutController c;
-  ServiceResult rf = fixed.service(0.0, small_read());
-  ServiceResult ra = adaptive.service(0.0, small_read());
+  ServiceResult rf = fixed.service(Seconds{0.0}, small_read());
+  ServiceResult ra = adaptive.service(Seconds{0.0}, small_read());
   c.observe(adaptive, ra);
   for (int i = 1; i <= 20; ++i) {
-    rf = fixed.service(rf.completion + 22.0, small_read(Bytes(i) * kMiB));
-    ra = adaptive.service(ra.completion + 22.0, small_read(Bytes(i) * kMiB));
+    rf = fixed.service(rf.completion + Seconds{22.0}, small_read(static_cast<std::uint64_t>(i) * kMiB));
+    ra = adaptive.service(ra.completion + Seconds{22.0}, small_read(static_cast<std::uint64_t>(i) * kMiB));
     c.observe(adaptive, ra);
   }
   EXPECT_LT(adaptive.counters().spin_ups + 5, fixed.counters().spin_ups);
@@ -99,10 +99,10 @@ TEST(AdaptiveTimeout, RaisedTimeoutStopsTheThrash) {
 
 TEST(AdaptiveTimeout, ConfigValidation) {
   AdaptiveTimeoutConfig c;
-  c.min_timeout = 0.0;
+  c.min_timeout = Seconds{0.0};
   EXPECT_THROW(AdaptiveTimeoutController{c}, ConfigError);
   c = AdaptiveTimeoutConfig{};
-  c.max_timeout = 1.0;  // Below min.
+  c.max_timeout = Seconds{1.0};  // Below min.
   EXPECT_THROW(AdaptiveTimeoutController{c}, ConfigError);
   c = AdaptiveTimeoutConfig{};
   c.increase_factor = 1.0;
@@ -117,8 +117,8 @@ TEST(AdaptiveTimeout, SimulatorIntegrationReducesThrashEnergy) {
   trace::TraceBuilder b("sparse");
   b.process(60, 60);
   for (int i = 0; i < 20; ++i) {
-    b.read(1, static_cast<Bytes>(i) * 64 * 1024, 64 * 1024);
-    b.think(22.0);
+    b.read(1, Bytes{static_cast<std::uint64_t>(i) * 64 * 1024}, Bytes{64 * 1024});
+    b.think(Seconds{22.0});
   }
   const trace::Trace t = b.build();
 
@@ -136,9 +136,9 @@ TEST(AdaptiveTimeout, SimulatorIntegrationReducesThrashEnergy) {
 
 TEST(Disk, SetSpinDownTimeoutValidates) {
   Disk d;
-  EXPECT_THROW(d.set_spin_down_timeout(0.0), ConfigError);
-  d.set_spin_down_timeout(5.0);
-  EXPECT_DOUBLE_EQ(d.params().spin_down_timeout, 5.0);
+  EXPECT_THROW(d.set_spin_down_timeout(Seconds{0.0}), ConfigError);
+  d.set_spin_down_timeout(Seconds{5.0});
+  EXPECT_DOUBLE_EQ(d.params().spin_down_timeout.value(), 5.0);
 }
 
 }  // namespace

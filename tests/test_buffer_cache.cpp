@@ -16,16 +16,16 @@ BufferCacheConfig small_config(std::size_t pages) {
 TEST(BufferCache, MissThenHit) {
   BufferCache c(small_config(16));
   const PageId p{1, 0};
-  EXPECT_FALSE(c.lookup(p, 0.0));
-  c.fill(p, 0.0);
-  EXPECT_TRUE(c.lookup(p, 1.0));
+  EXPECT_FALSE(c.lookup(p, Seconds{0.0}));
+  c.fill(p, Seconds{0.0});
+  EXPECT_TRUE(c.lookup(p, Seconds{1.0}));
   EXPECT_EQ(c.stats().lookups, 2u);
   EXPECT_EQ(c.stats().hits, 1u);
 }
 
 TEST(BufferCache, ContainsDoesNotCountLookups) {
   BufferCache c(small_config(16));
-  c.fill(PageId{1, 0}, 0.0);
+  c.fill(PageId{1, 0}, Seconds{0.0});
   EXPECT_TRUE(c.contains(PageId{1, 0}));
   EXPECT_FALSE(c.contains(PageId{1, 1}));
   EXPECT_EQ(c.stats().lookups, 0u);
@@ -33,15 +33,15 @@ TEST(BufferCache, ContainsDoesNotCountLookups) {
 
 TEST(BufferCache, FillIsIdempotent) {
   BufferCache c(small_config(16));
-  c.fill(PageId{1, 0}, 0.0);
-  c.fill(PageId{1, 0}, 1.0);
+  c.fill(PageId{1, 0}, Seconds{0.0});
+  c.fill(PageId{1, 0}, Seconds{1.0});
   EXPECT_EQ(c.size(), 1u);
   EXPECT_EQ(c.stats().insertions, 1u);
 }
 
 TEST(BufferCache, EvictsWhenFull) {
   BufferCache c(small_config(8));
-  for (std::uint64_t i = 0; i < 12; ++i) c.fill(PageId{1, i}, 0.0);
+  for (std::uint64_t i = 0; i < 12; ++i) c.fill(PageId{1, i}, Seconds{0.0});
   EXPECT_EQ(c.size(), 8u);
   EXPECT_EQ(c.stats().evictions, 4u);
 }
@@ -50,24 +50,24 @@ TEST(BufferCache, FirstTouchGoesToA1inFifoEviction) {
   // With capacity 8 and kin 25% (=2), scanning many once-touched pages
   // evicts in FIFO order: a pure scan cannot pollute the hot set.
   BufferCache c(small_config(8));
-  for (std::uint64_t i = 0; i < 8; ++i) c.fill(PageId{1, i}, 0.0);
+  for (std::uint64_t i = 0; i < 8; ++i) c.fill(PageId{1, i}, Seconds{0.0});
   // Pages 0..5 were pushed out of A1in as new ones arrived.
-  c.fill(PageId{2, 100}, 1.0);
+  c.fill(PageId{2, 100}, Seconds{1.0});
   EXPECT_FALSE(c.contains(PageId{1, 0}));
 }
 
 TEST(BufferCache, GhostHitPromotesToAm) {
   BufferCache c(small_config(8));
   // Fill enough to push page {1,0} through A1in and out into the ghost list.
-  c.fill(PageId{1, 0}, 0.0);
-  for (std::uint64_t i = 1; i < 12; ++i) c.fill(PageId{1, i}, 0.0);
+  c.fill(PageId{1, 0}, Seconds{0.0});
+  for (std::uint64_t i = 1; i < 12; ++i) c.fill(PageId{1, i}, Seconds{0.0});
   ASSERT_FALSE(c.contains(PageId{1, 0}));
-  EXPECT_FALSE(c.lookup(PageId{1, 0}, 1.0));
+  EXPECT_FALSE(c.lookup(PageId{1, 0}, Seconds{1.0}));
   EXPECT_GE(c.stats().ghost_hits, 1u);
   // Re-admission of a ghost page goes to Am (the hot LRU).
-  c.fill(PageId{1, 0}, 1.0);
+  c.fill(PageId{1, 0}, Seconds{1.0});
   // Scanning new pages now must NOT evict the re-admitted page quickly:
-  for (std::uint64_t i = 100; i < 104; ++i) c.fill(PageId{2, i}, 2.0);
+  for (std::uint64_t i = 100; i < 104; ++i) c.fill(PageId{2, i}, Seconds{2.0});
   EXPECT_TRUE(c.contains(PageId{1, 0}));
 }
 
@@ -75,39 +75,39 @@ TEST(BufferCache, HotPagesSurviveScans) {
   BufferCache c(small_config(32));
   const PageId hot{9, 0};
   // Make `hot` a proper Am resident: touch, evict to ghost, re-admit.
-  c.fill(hot, 0.0);
-  for (std::uint64_t i = 0; i < 40; ++i) c.fill(PageId{1, i}, 0.0);
-  c.fill(hot, 1.0);
+  c.fill(hot, Seconds{0.0});
+  for (std::uint64_t i = 0; i < 40; ++i) c.fill(PageId{1, i}, Seconds{0.0});
+  c.fill(hot, Seconds{1.0});
   ASSERT_TRUE(c.contains(hot));
   // A long scan of one-shot pages must not evict the hot page.
   for (std::uint64_t i = 0; i < 200; ++i) {
-    c.fill(PageId{2, i}, 2.0);
-    c.lookup(hot, 2.0);  // Keep it recently used.
+    c.fill(PageId{2, i}, Seconds{2.0});
+    c.lookup(hot, Seconds{2.0});  // Keep it recently used.
   }
   EXPECT_TRUE(c.contains(hot));
 }
 
 TEST(BufferCache, WriteMarksDirty) {
   BufferCache c(small_config(16));
-  c.write(PageId{1, 0}, 5.0);
+  c.write(PageId{1, 0}, Seconds{5.0});
   EXPECT_EQ(c.dirty_count(), 1u);
   const auto dirty = c.dirty_pages();
   ASSERT_EQ(dirty.size(), 1u);
   EXPECT_EQ(dirty[0].page, (PageId{1, 0}));
-  EXPECT_DOUBLE_EQ(dirty[0].dirtied_at, 5.0);
+  EXPECT_DOUBLE_EQ(dirty[0].dirtied_at.value(), 5.0);
 }
 
 TEST(BufferCache, RewriteKeepsOriginalDirtyTime) {
   BufferCache c(small_config(16));
-  c.write(PageId{1, 0}, 5.0);
-  c.write(PageId{1, 0}, 9.0);
+  c.write(PageId{1, 0}, Seconds{5.0});
+  c.write(PageId{1, 0}, Seconds{9.0});
   EXPECT_EQ(c.dirty_count(), 1u);
-  EXPECT_DOUBLE_EQ(c.dirty_pages()[0].dirtied_at, 5.0);
+  EXPECT_DOUBLE_EQ(c.dirty_pages()[0].dirtied_at.value(), 5.0);
 }
 
 TEST(BufferCache, MarkCleanClearsDirty) {
   BufferCache c(small_config(16));
-  c.write(PageId{1, 0}, 5.0);
+  c.write(PageId{1, 0}, Seconds{5.0});
   c.mark_clean(PageId{1, 0});
   EXPECT_EQ(c.dirty_count(), 0u);
   EXPECT_TRUE(c.contains(PageId{1, 0}));  // Still resident, just clean.
@@ -120,10 +120,10 @@ TEST(BufferCache, MarkCleanOnAbsentPageIsNoOp) {
 
 TEST(BufferCache, EvictingDirtyPageReturnsItForFlush) {
   BufferCache c(small_config(8));
-  c.write(PageId{1, 0}, 1.0);
+  c.write(PageId{1, 0}, Seconds{1.0});
   std::vector<DirtyPage> flushed;
   for (std::uint64_t i = 1; i < 16 && flushed.empty(); ++i) {
-    flushed = c.fill(PageId{2, i}, 2.0);
+    flushed = c.fill(PageId{2, i}, Seconds{2.0});
   }
   ASSERT_FALSE(flushed.empty());
   EXPECT_EQ(flushed[0].page, (PageId{1, 0}));
@@ -132,34 +132,34 @@ TEST(BufferCache, EvictingDirtyPageReturnsItForFlush) {
 
 TEST(BufferCache, DirtyPagesSortedOldestFirst) {
   BufferCache c(small_config(16));
-  c.write(PageId{1, 2}, 3.0);
-  c.write(PageId{1, 0}, 1.0);
-  c.write(PageId{1, 1}, 2.0);
+  c.write(PageId{1, 2}, Seconds{3.0});
+  c.write(PageId{1, 0}, Seconds{1.0});
+  c.write(PageId{1, 1}, Seconds{2.0});
   const auto dirty = c.dirty_pages();
   ASSERT_EQ(dirty.size(), 3u);
-  EXPECT_DOUBLE_EQ(dirty[0].dirtied_at, 1.0);
-  EXPECT_DOUBLE_EQ(dirty[2].dirtied_at, 3.0);
+  EXPECT_DOUBLE_EQ(dirty[0].dirtied_at.value(), 1.0);
+  EXPECT_DOUBLE_EQ(dirty[2].dirtied_at.value(), 3.0);
 }
 
 TEST(BufferCache, DirtyPagesOlderThanFilters) {
   BufferCache c(small_config(16));
-  c.write(PageId{1, 0}, 0.0);
-  c.write(PageId{1, 1}, 50.0);
-  const auto old = c.dirty_pages_older_than(60.0, 30.0);
+  c.write(PageId{1, 0}, Seconds{0.0});
+  c.write(PageId{1, 1}, Seconds{50.0});
+  const auto old = c.dirty_pages_older_than(Seconds{60.0}, Seconds{30.0});
   ASSERT_EQ(old.size(), 1u);
   EXPECT_EQ(old[0].page, (PageId{1, 0}));
 }
 
 TEST(BufferCache, WritePromotesAmResidents) {
   BufferCache c(small_config(16));
-  c.write(PageId{1, 0}, 0.0);
-  EXPECT_TRUE(c.lookup(PageId{1, 0}, 1.0));
+  c.write(PageId{1, 0}, Seconds{0.0});
+  EXPECT_TRUE(c.lookup(PageId{1, 0}, Seconds{1.0}));
 }
 
 TEST(BufferCache, ClearDropsEverything) {
   BufferCache c(small_config(16));
-  c.fill(PageId{1, 0}, 0.0);
-  c.write(PageId{1, 1}, 0.0);
+  c.fill(PageId{1, 0}, Seconds{0.0});
+  c.write(PageId{1, 1}, Seconds{0.0});
   c.clear();
   EXPECT_EQ(c.size(), 0u);
   EXPECT_EQ(c.dirty_count(), 0u);
@@ -168,9 +168,9 @@ TEST(BufferCache, ClearDropsEverything) {
 
 TEST(BufferCache, HitRateComputation) {
   BufferCache c(small_config(16));
-  c.fill(PageId{1, 0}, 0.0);
-  c.lookup(PageId{1, 0}, 0.0);  // Hit.
-  c.lookup(PageId{1, 1}, 0.0);  // Miss.
+  c.fill(PageId{1, 0}, Seconds{0.0});
+  c.lookup(PageId{1, 0}, Seconds{0.0});  // Hit.
+  c.lookup(PageId{1, 1}, Seconds{0.0});  // Miss.
   EXPECT_DOUBLE_EQ(c.stats().hit_rate(), 0.5);
 }
 
@@ -192,12 +192,12 @@ TEST(BufferCache, RejectsBadFractions) {
 
 TEST(BufferCache, GhostReadmissionViaWriteGoesToAm) {
   BufferCache c(small_config(8));
-  c.fill(PageId{1, 0}, 0.0);
-  for (std::uint64_t i = 1; i < 12; ++i) c.fill(PageId{1, i}, 0.0);
+  c.fill(PageId{1, 0}, Seconds{0.0});
+  for (std::uint64_t i = 1; i < 12; ++i) c.fill(PageId{1, i}, Seconds{0.0});
   ASSERT_FALSE(c.contains(PageId{1, 0}));
   // Re-admission through the write path must also land in Am.
-  c.write(PageId{1, 0}, 1.0);
-  for (std::uint64_t i = 100; i < 104; ++i) c.fill(PageId{2, i}, 2.0);
+  c.write(PageId{1, 0}, Seconds{1.0});
+  for (std::uint64_t i = 100; i < 104; ++i) c.fill(PageId{2, i}, Seconds{2.0});
   EXPECT_TRUE(c.contains(PageId{1, 0}));
   EXPECT_EQ(c.dirty_count(), 1u);
 }
@@ -207,36 +207,36 @@ TEST(BufferCache, KinKoutBoundaryRounding) {
   // kout = floor(2.5) = 2. Both floors are pinned here so the arena
   // rewrite cannot silently change the rounding.
   BufferCache c(small_config(5));
-  for (std::uint64_t i = 0; i < 5; ++i) c.fill(PageId{1, i}, 0.0);
+  for (std::uint64_t i = 0; i < 5; ++i) c.fill(PageId{1, i}, Seconds{0.0});
   // Sixth insert: A1in (size 5) is over kin=1, so FIFO-evict page 0.
-  c.fill(PageId{1, 5}, 0.0);
+  c.fill(PageId{1, 5}, Seconds{0.0});
   EXPECT_FALSE(c.contains(PageId{1, 0}));
   // Evict two more; the ghost list holds only kout=2 ids, so the oldest
   // ghost (page 0) must have been dropped by now.
-  c.fill(PageId{1, 6}, 0.0);
-  c.fill(PageId{1, 7}, 0.0);
+  c.fill(PageId{1, 6}, Seconds{0.0});
+  c.fill(PageId{1, 7}, Seconds{0.0});
   const auto ghost_hits_before = c.stats().ghost_hits;
-  EXPECT_FALSE(c.lookup(PageId{1, 0}, 1.0));
+  EXPECT_FALSE(c.lookup(PageId{1, 0}, Seconds{1.0}));
   EXPECT_EQ(c.stats().ghost_hits, ghost_hits_before);  // Fell off A1out.
-  EXPECT_FALSE(c.lookup(PageId{1, 2}, 1.0));
+  EXPECT_FALSE(c.lookup(PageId{1, 2}, Seconds{1.0}));
   EXPECT_EQ(c.stats().ghost_hits, ghost_hits_before + 1);  // Still a ghost.
 }
 
 TEST(BufferCache, DirtyEvictionOrderFollowsA1inFifo) {
   BufferCache c(small_config(8));
-  c.write(PageId{1, 0}, 1.0);
-  c.write(PageId{1, 1}, 2.0);
-  c.write(PageId{1, 2}, 3.0);
+  c.write(PageId{1, 0}, Seconds{1.0});
+  c.write(PageId{1, 1}, Seconds{2.0});
+  c.write(PageId{1, 2}, Seconds{3.0});
   // Fill until all three dirty pages have been evicted; evictions must
   // come back in A1in FIFO order (insertion order) with their dirty times.
   std::vector<DirtyPage> flushed;
   for (std::uint64_t i = 0; i < 32 && flushed.size() < 3; ++i) {
-    const auto evicted = c.fill(PageId{2, i}, 10.0);
+    const auto evicted = c.fill(PageId{2, i}, Seconds{10.0});
     flushed.insert(flushed.end(), evicted.begin(), evicted.end());
   }
   ASSERT_EQ(flushed.size(), 3u);
   EXPECT_EQ(flushed[0].page, (PageId{1, 0}));
-  EXPECT_DOUBLE_EQ(flushed[0].dirtied_at, 1.0);
+  EXPECT_DOUBLE_EQ(flushed[0].dirtied_at.value(), 1.0);
   EXPECT_EQ(flushed[1].page, (PageId{1, 1}));
   EXPECT_EQ(flushed[2].page, (PageId{1, 2}));
   EXPECT_EQ(c.dirty_count(), 0u);
@@ -244,10 +244,10 @@ TEST(BufferCache, DirtyEvictionOrderFollowsA1inFifo) {
 
 TEST(BufferCache, MarkCleanOnEvictedPageIsNoOp) {
   BufferCache c(small_config(8));
-  c.write(PageId{1, 0}, 1.0);
+  c.write(PageId{1, 0}, Seconds{1.0});
   std::vector<DirtyPage> flushed;
   for (std::uint64_t i = 0; i < 32 && flushed.empty(); ++i) {
-    flushed = c.fill(PageId{2, i}, 2.0);
+    flushed = c.fill(PageId{2, i}, Seconds{2.0});
   }
   ASSERT_FALSE(flushed.empty());
   // The page now lives (at most) in the ghost list; completing its
@@ -263,9 +263,9 @@ TEST(BufferCache, A1inHitDoesNotChangeFifoOrder) {
   // 2Q: a hit in A1in leaves the page in place; it must still be the FIFO
   // eviction victim.
   BufferCache c(small_config(8));
-  for (std::uint64_t i = 0; i < 8; ++i) c.fill(PageId{1, i}, 0.0);
-  EXPECT_TRUE(c.lookup(PageId{1, 0}, 1.0));  // Hit the FIFO head.
-  c.fill(PageId{2, 0}, 2.0);                 // Forces one eviction.
+  for (std::uint64_t i = 0; i < 8; ++i) c.fill(PageId{1, i}, Seconds{0.0});
+  EXPECT_TRUE(c.lookup(PageId{1, 0}, Seconds{1.0}));  // Hit the FIFO head.
+  c.fill(PageId{2, 0}, Seconds{2.0});                 // Forces one eviction.
   EXPECT_FALSE(c.contains(PageId{1, 0}));    // Still evicted first.
 }
 
@@ -278,14 +278,14 @@ TEST(PageId, HashAndOrdering) {
 }
 
 TEST(PageId, IndexHelpers) {
-  EXPECT_EQ(page_index(0), 0u);
-  EXPECT_EQ(page_index(4095), 0u);
-  EXPECT_EQ(page_index(4096), 1u);
-  EXPECT_EQ(page_end_index(0, 1), 1u);
-  EXPECT_EQ(page_end_index(0, 4096), 1u);
-  EXPECT_EQ(page_end_index(0, 4097), 2u);
-  EXPECT_EQ(page_end_index(4000, 200), 2u);  // Straddles a boundary.
-  EXPECT_EQ(page_end_index(100, 0), 0u);     // Empty range.
+  EXPECT_EQ(page_index(Bytes{0}), 0u);
+  EXPECT_EQ(page_index(Bytes{4095}), 0u);
+  EXPECT_EQ(page_index(Bytes{4096}), 1u);
+  EXPECT_EQ(page_end_index(Bytes{0}, Bytes{1}), 1u);
+  EXPECT_EQ(page_end_index(Bytes{0}, Bytes{4096}), 1u);
+  EXPECT_EQ(page_end_index(Bytes{0}, Bytes{4097}), 2u);
+  EXPECT_EQ(page_end_index(Bytes{4000}, Bytes{200}), 2u);  // Straddles a boundary.
+  EXPECT_EQ(page_end_index(Bytes{100}, Bytes{0}), 0u);     // Empty range.
 }
 
 }  // namespace

@@ -9,27 +9,27 @@ namespace {
 
 TEST(Builder, EmitsRecordsAtVirtualClock) {
   TraceBuilder b("t");
-  b.read(1, 0, 100);
-  b.think(2.0);
-  b.read(1, 100, 100);
+  b.read(1, Bytes{0}, Bytes{100});
+  b.think(Seconds{2.0});
+  b.read(1, Bytes{100}, Bytes{100});
   const Trace t = b.build();
   ASSERT_EQ(t.size(), 2u);
-  EXPECT_DOUBLE_EQ(t[0].timestamp, 0.0);
-  EXPECT_DOUBLE_EQ(t[1].timestamp, 2.0);
+  EXPECT_DOUBLE_EQ(t[0].timestamp.value(), 0.0);
+  EXPECT_DOUBLE_EQ(t[1].timestamp.value(), 2.0);
 }
 
 TEST(Builder, DurationAdvancesClock) {
   TraceBuilder b;
-  b.read(1, 0, 100, 0.5);
-  b.read(1, 100, 100);
+  b.read(1, Bytes{0}, Bytes{100}, Seconds{0.5});
+  b.read(1, Bytes{100}, Bytes{100});
   const Trace t = b.build();
-  EXPECT_DOUBLE_EQ(t[1].timestamp, 0.5);
+  EXPECT_DOUBLE_EQ(t[1].timestamp.value(), 0.5);
 }
 
 TEST(Builder, ProcessSetsIdentity) {
   TraceBuilder b;
   b.process(11, 22);
-  b.read(1, 0, 10);
+  b.read(1, Bytes{0}, Bytes{10});
   const Trace t = b.build();
   EXPECT_EQ(t[0].pid, 11u);
   EXPECT_EQ(t[0].pgid, 22u);
@@ -37,33 +37,33 @@ TEST(Builder, ProcessSetsIdentity) {
 
 TEST(Builder, AtJumpsForwardOnly) {
   TraceBuilder b;
-  b.at(5.0);
-  b.read(1, 0, 10);
-  EXPECT_THROW(b.at(1.0), ConfigError);
+  b.at(Seconds{5.0});
+  b.read(1, Bytes{0}, Bytes{10});
+  EXPECT_THROW(b.at(Seconds{1.0}), ConfigError);
   const Trace t = b.build();
-  EXPECT_DOUBLE_EQ(t[0].timestamp, 5.0);
+  EXPECT_DOUBLE_EQ(t[0].timestamp.value(), 5.0);
 }
 
 TEST(Builder, NegativeThinkRejected) {
   TraceBuilder b;
-  EXPECT_THROW(b.think(-1.0), ConfigError);
+  EXPECT_THROW(b.think(Seconds{-1.0}), ConfigError);
 }
 
 TEST(Builder, ReadFileChunksSequentially) {
   TraceBuilder b;
-  b.read_file(3, 10 * 1024, 4 * 1024);
+  b.read_file(3, Bytes{10 * 1024}, Bytes{4 * 1024});
   const Trace t = b.build();
   ASSERT_EQ(t.size(), 3u);
-  EXPECT_EQ(t[0].offset, 0u);
-  EXPECT_EQ(t[0].size, 4096u);
-  EXPECT_EQ(t[1].offset, 4096u);
-  EXPECT_EQ(t[2].offset, 8192u);
-  EXPECT_EQ(t[2].size, 10u * 1024u - 8192u);
+  EXPECT_EQ(t[0].offset, Bytes{0});
+  EXPECT_EQ(t[0].size, Bytes{4096});
+  EXPECT_EQ(t[1].offset, Bytes{4096});
+  EXPECT_EQ(t[2].offset, Bytes{8192});
+  EXPECT_EQ(t[2].size, Bytes{10u * 1024u - 8192u});
 }
 
 TEST(Builder, WriteFileEmitsWrites) {
   TraceBuilder b;
-  b.write_file(3, 8 * 1024, 4 * 1024);
+  b.write_file(3, Bytes{8 * 1024}, Bytes{4 * 1024});
   const Trace t = b.build();
   ASSERT_EQ(t.size(), 2u);
   EXPECT_EQ(t[0].op, OpType::kWrite);
@@ -72,37 +72,37 @@ TEST(Builder, WriteFileEmitsWrites) {
 
 TEST(Builder, ReadFileWithThinkBetweenChunks) {
   TraceBuilder b;
-  b.read_file(3, 12 * 1024, 4 * 1024, 0.1);
+  b.read_file(3, Bytes{12 * 1024}, Bytes{4 * 1024}, Seconds{0.1});
   const Trace t = b.build();
   ASSERT_EQ(t.size(), 3u);
-  EXPECT_DOUBLE_EQ(t[1].timestamp, 0.1);
-  EXPECT_DOUBLE_EQ(t[2].timestamp, 0.2);
+  EXPECT_DOUBLE_EQ(t[1].timestamp.value(), 0.1);
+  EXPECT_DOUBLE_EQ(t[2].timestamp.value(), 0.2);
 }
 
 TEST(Builder, ZeroChunkRejected) {
   TraceBuilder b;
-  EXPECT_THROW(b.read_file(1, 100, 0), ConfigError);
+  EXPECT_THROW(b.read_file(1, Bytes{100}, Bytes{0}), ConfigError);
 }
 
 TEST(Builder, OpenCloseAreMarkers) {
   TraceBuilder b;
   b.open(5);
-  b.read(5, 0, 10);
+  b.read(5, Bytes{0}, Bytes{10});
   b.close(5);
   const Trace t = b.build();
   ASSERT_EQ(t.size(), 3u);
   EXPECT_EQ(t[0].op, OpType::kOpen);
   EXPECT_EQ(t[2].op, OpType::kClose);
-  EXPECT_EQ(t[0].size, 0u);
+  EXPECT_EQ(t[0].size, Bytes{0});
 }
 
 TEST(Builder, BuildResetsBuilder) {
   TraceBuilder b("x");
-  b.read(1, 0, 10);
+  b.read(1, Bytes{0}, Bytes{10});
   const Trace first = b.build();
   EXPECT_EQ(first.size(), 1u);
-  EXPECT_DOUBLE_EQ(b.now(), 0.0);
-  b.read(2, 0, 10);
+  EXPECT_DOUBLE_EQ(b.now().value(), 0.0);
+  b.read(2, Bytes{0}, Bytes{10});
   const Trace second = b.build();
   EXPECT_EQ(second.size(), 1u);
   EXPECT_EQ(second[0].inode, 2u);
@@ -111,7 +111,7 @@ TEST(Builder, BuildResetsBuilder) {
 
 TEST(Builder, PeekDoesNotConsume) {
   TraceBuilder b;
-  b.read(1, 0, 10);
+  b.read(1, Bytes{0}, Bytes{10});
   EXPECT_EQ(b.peek().size(), 1u);
   EXPECT_EQ(b.build().size(), 1u);
 }

@@ -8,64 +8,64 @@
 namespace flexfetch::core {
 namespace {
 
-constexpr Seconds kThreshold = 0.020;  // Disk access time, per the paper.
+constexpr Seconds kThreshold = Seconds{0.020};  // Disk access time, per the paper.
 
 TEST(BurstTracker, SingleBurstForBackToBackCalls) {
   trace::TraceBuilder b;
-  b.read(1, 0, 4096);
-  b.think(0.001);
-  b.read(1, 4096, 4096);
-  b.think(0.005);
-  b.read(2, 0, 4096);
+  b.read(1, Bytes{0}, Bytes{4096});
+  b.think(Seconds{0.001});
+  b.read(1, Bytes{4096}, Bytes{4096});
+  b.think(Seconds{0.005});
+  b.read(2, Bytes{0}, Bytes{4096});
   const auto bursts = extract_bursts(b.build(), kThreshold);
   ASSERT_EQ(bursts.size(), 1u);
-  EXPECT_EQ(bursts[0].total_bytes(), 3u * 4096u);
+  EXPECT_EQ(bursts[0].total_bytes(), Bytes{3u * 4096u});
 }
 
 TEST(BurstTracker, GapAboveThresholdSplitsBursts) {
   trace::TraceBuilder b;
-  b.read(1, 0, 4096);
-  b.think(0.5);
-  b.read(1, 4096, 4096);
+  b.read(1, Bytes{0}, Bytes{4096});
+  b.think(Seconds{0.5});
+  b.read(1, Bytes{4096}, Bytes{4096});
   const auto bursts = extract_bursts(b.build(), kThreshold);
   ASSERT_EQ(bursts.size(), 2u);
-  EXPECT_NEAR(bursts[1].think_before, 0.5, 1e-9);
+  EXPECT_NEAR(bursts[1].think_before.value(), 0.5, 1e-9);
 }
 
 TEST(BurstTracker, GapExactlyAtThresholdStaysInBurst) {
   trace::TraceBuilder b;
-  b.read(1, 0, 4096);
+  b.read(1, Bytes{0}, Bytes{4096});
   b.think(kThreshold);  // Not strictly greater.
-  b.read(1, 4096, 4096);
+  b.read(1, Bytes{4096}, Bytes{4096});
   const auto bursts = extract_bursts(b.build(), kThreshold);
   EXPECT_EQ(bursts.size(), 1u);
 }
 
 TEST(BurstTracker, SequentialSameFileCallsMerge) {
   trace::TraceBuilder b;
-  b.read_file(1, 64 * 1024, 16 * 1024);  // 4 sequential calls.
+  b.read_file(1, Bytes{64 * 1024}, Bytes{16 * 1024});  // 4 sequential calls.
   const auto bursts = extract_bursts(b.build(), kThreshold);
   ASSERT_EQ(bursts.size(), 1u);
   ASSERT_EQ(bursts[0].requests.size(), 1u);  // Merged into one.
-  EXPECT_EQ(bursts[0].requests[0].size, 64u * 1024u);
+  EXPECT_EQ(bursts[0].requests[0].size, Bytes{64u * 1024u});
 }
 
 TEST(BurstTracker, MergeCapsAt128KiB) {
   trace::TraceBuilder b;
-  b.read_file(1, 300 * 1024, 32 * 1024);
+  b.read_file(1, Bytes{300 * 1024}, Bytes{32 * 1024});
   const auto bursts = extract_bursts(b.build(), kThreshold);
   ASSERT_EQ(bursts.size(), 1u);
   // 300 KiB at a 128 KiB cap: requests of 128, 128, 44 KiB.
   ASSERT_EQ(bursts[0].requests.size(), 3u);
-  EXPECT_EQ(bursts[0].requests[0].size, 128u * 1024u);
-  EXPECT_EQ(bursts[0].requests[1].size, 128u * 1024u);
-  EXPECT_EQ(bursts[0].requests[2].size, 300u * 1024u - 256u * 1024u);
+  EXPECT_EQ(bursts[0].requests[0].size, Bytes{128u * 1024u});
+  EXPECT_EQ(bursts[0].requests[1].size, Bytes{128u * 1024u});
+  EXPECT_EQ(bursts[0].requests[2].size, Bytes{300u * 1024u - 256u * 1024u});
 }
 
 TEST(BurstTracker, NonSequentialSameFileDoesNotMerge) {
   trace::TraceBuilder b;
-  b.read(1, 0, 4096);
-  b.read(1, 100 * 4096, 4096);  // Jump.
+  b.read(1, Bytes{0}, Bytes{4096});
+  b.read(1, Bytes{100 * 4096}, Bytes{4096});  // Jump.
   const auto bursts = extract_bursts(b.build(), kThreshold);
   ASSERT_EQ(bursts.size(), 1u);
   EXPECT_EQ(bursts[0].requests.size(), 2u);
@@ -73,16 +73,16 @@ TEST(BurstTracker, NonSequentialSameFileDoesNotMerge) {
 
 TEST(BurstTracker, DifferentFilesDoNotMerge) {
   trace::TraceBuilder b;
-  b.read(1, 0, 4096);
-  b.read(2, 4096, 4096);
+  b.read(1, Bytes{0}, Bytes{4096});
+  b.read(2, Bytes{4096}, Bytes{4096});
   const auto bursts = extract_bursts(b.build(), kThreshold);
   EXPECT_EQ(bursts[0].requests.size(), 2u);
 }
 
 TEST(BurstTracker, ReadThenWriteDoesNotMerge) {
   trace::TraceBuilder b;
-  b.read(1, 0, 4096);
-  b.write(1, 4096, 4096);
+  b.read(1, Bytes{0}, Bytes{4096});
+  b.write(1, Bytes{4096}, Bytes{4096});
   const auto bursts = extract_bursts(b.build(), kThreshold);
   ASSERT_EQ(bursts[0].requests.size(), 2u);
   EXPECT_FALSE(bursts[0].requests[0].is_write);
@@ -93,10 +93,10 @@ TEST(BurstTracker, InterleavedSequentialStreamsStayUnmergedAcrossFiles) {
   // Interleaving breaks the "last request" adjacency: the simple merger is
   // per-burst-tail, which matches the paper's single-stream readahead model.
   trace::TraceBuilder b;
-  b.read(1, 0, 4096);
-  b.read(2, 0, 4096);
-  b.read(1, 4096, 4096);
-  b.read(2, 4096, 4096);
+  b.read(1, Bytes{0}, Bytes{4096});
+  b.read(2, Bytes{0}, Bytes{4096});
+  b.read(1, Bytes{4096}, Bytes{4096});
+  b.read(2, Bytes{4096}, Bytes{4096});
   const auto bursts = extract_bursts(b.build(), kThreshold);
   EXPECT_EQ(bursts[0].requests.size(), 4u);
 }
@@ -104,7 +104,7 @@ TEST(BurstTracker, InterleavedSequentialStreamsStayUnmergedAcrossFiles) {
 TEST(BurstTracker, NonTransfersAreIgnored) {
   trace::TraceBuilder b;
   b.open(1);
-  b.read(1, 0, 4096);
+  b.read(1, Bytes{0}, Bytes{4096});
   b.close(1);
   const auto bursts = extract_bursts(b.build(), kThreshold);
   ASSERT_EQ(bursts.size(), 1u);
@@ -113,34 +113,34 @@ TEST(BurstTracker, NonTransfersAreIgnored) {
 
 TEST(BurstTracker, OpenCloseGapsDoNotResetThinkAccounting) {
   trace::TraceBuilder b;
-  b.read(1, 0, 4096);
-  b.think(0.5);
+  b.read(1, Bytes{0}, Bytes{4096});
+  b.think(Seconds{0.5});
   b.open(2);  // Marker inside the gap.
-  b.read(2, 0, 4096);
+  b.read(2, Bytes{0}, Bytes{4096});
   const auto bursts = extract_bursts(b.build(), kThreshold);
   ASSERT_EQ(bursts.size(), 2u);
-  EXPECT_NEAR(bursts[1].think_before, 0.5, 1e-9);
+  EXPECT_NEAR(bursts[1].think_before.value(), 0.5, 1e-9);
 }
 
 TEST(BurstTracker, FirstBurstThinkBeforeIsStartOffset) {
   trace::TraceBuilder b;
-  b.at(3.0);
-  b.read(1, 0, 4096);
+  b.at(Seconds{3.0});
+  b.read(1, Bytes{0}, Bytes{4096});
   const auto bursts = extract_bursts(b.build(), kThreshold);
   ASSERT_EQ(bursts.size(), 1u);
-  EXPECT_NEAR(bursts[0].think_before, 3.0, 1e-9);
-  EXPECT_NEAR(bursts[0].start, 3.0, 1e-9);
+  EXPECT_NEAR(bursts[0].think_before.value(), 3.0, 1e-9);
+  EXPECT_NEAR(bursts[0].start.value(), 3.0, 1e-9);
 }
 
 TEST(BurstTracker, DurationSpansFirstToLastByte) {
   trace::TraceBuilder b;
-  b.read(1, 0, 4096, 0.002);
-  b.think(0.010);
-  b.read(1, 4096, 4096, 0.003);
+  b.read(1, Bytes{0}, Bytes{4096}, Seconds{0.002});
+  b.think(Seconds{0.010});
+  b.read(1, Bytes{4096}, Bytes{4096}, Seconds{0.003});
   const auto bursts = extract_bursts(b.build(), kThreshold);
   ASSERT_EQ(bursts.size(), 1u);
-  EXPECT_NEAR(bursts[0].duration, 0.002 + 0.010 + 0.003, 1e-9);
-  EXPECT_NEAR(bursts[0].end(), bursts[0].start + bursts[0].duration, 1e-12);
+  EXPECT_NEAR(bursts[0].duration.value(), 0.002 + 0.010 + 0.003, 1e-9);
+  EXPECT_NEAR(bursts[0].end().value(), (bursts[0].start + bursts[0].duration).value(), 1e-12);
 }
 
 TEST(BurstTracker, IncrementalTotalBytes) {
@@ -148,14 +148,14 @@ TEST(BurstTracker, IncrementalTotalBytes) {
   trace::SyscallRecord r;
   r.op = trace::OpType::kRead;
   r.inode = 1;
-  r.size = 1000;
-  r.timestamp = 0.0;
+  r.size = Bytes{1000};
+  r.timestamp = Seconds{0.0};
   t.on_record(r);
-  EXPECT_EQ(t.total_bytes(), 1000u);
-  r.timestamp = 5.0;
-  r.offset = 1000;
+  EXPECT_EQ(t.total_bytes(), Bytes{1000});
+  r.timestamp = Seconds{5.0};
+  r.offset = Bytes{1000};
   t.on_record(r);
-  EXPECT_EQ(t.total_bytes(), 2000u);
+  EXPECT_EQ(t.total_bytes(), Bytes{2000});
   EXPECT_EQ(t.bursts().size(), 1u);  // Second burst still open.
   t.finish();
   EXPECT_EQ(t.bursts().size(), 2u);
@@ -166,7 +166,7 @@ TEST(BurstTracker, FinishIsIdempotent) {
   trace::SyscallRecord r;
   r.op = trace::OpType::kRead;
   r.inode = 1;
-  r.size = 100;
+  r.size = Bytes{100};
   t.on_record(r);
   t.finish();
   t.finish();
@@ -178,7 +178,7 @@ TEST(BurstTracker, TakeBurstsDrains) {
   trace::SyscallRecord r;
   r.op = trace::OpType::kRead;
   r.inode = 1;
-  r.size = 100;
+  r.size = Bytes{100};
   t.on_record(r);
   const auto bursts = t.take_bursts();
   EXPECT_EQ(bursts.size(), 1u);
@@ -186,15 +186,15 @@ TEST(BurstTracker, TakeBurstsDrains) {
 }
 
 TEST(BurstTracker, RejectsBadConfig) {
-  EXPECT_THROW(BurstTracker(0.0), ConfigError);
-  EXPECT_THROW(BurstTracker(0.02, 100), ConfigError);  // Below one page.
+  EXPECT_THROW(BurstTracker(Seconds{0.0}), ConfigError);
+  EXPECT_THROW(BurstTracker(Seconds{0.02}, Bytes{100}), ConfigError);  // Below one page.
 }
 
 TEST(IOBurst, TotalBytesSumsRequests) {
   IOBurst b;
-  b.requests.push_back(BurstRequest{.inode = 1, .offset = 0, .size = 100});
-  b.requests.push_back(BurstRequest{.inode = 2, .offset = 0, .size = 50});
-  EXPECT_EQ(b.total_bytes(), 150u);
+  b.requests.push_back(BurstRequest{.inode = 1, .offset = Bytes{0}, .size = Bytes{100}});
+  b.requests.push_back(BurstRequest{.inode = 2, .offset = Bytes{0}, .size = Bytes{50}});
+  EXPECT_EQ(b.total_bytes(), Bytes{150});
 }
 
 }  // namespace

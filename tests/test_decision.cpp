@@ -12,86 +12,86 @@ using device::DeviceKind;
 Estimate est(Seconds t, Joules e) { return Estimate{.time = t, .energy = e}; }
 
 TEST(Decision, Rule1DiskDominates) {
-  EXPECT_EQ(decide_source(est(10, 50), est(20, 100), 0.25), DeviceKind::kDisk);
+  EXPECT_EQ(decide_source(est(Seconds{10}, Joules{50}), est(Seconds{20}, Joules{100}), 0.25), DeviceKind::kDisk);
 }
 
 TEST(Decision, Rule2NetworkDominates) {
-  EXPECT_EQ(decide_source(est(20, 100), est(10, 50), 0.25),
+  EXPECT_EQ(decide_source(est(Seconds{20}, Joules{100}), est(Seconds{10}, Joules{50}), 0.25),
             DeviceKind::kNetwork);
 }
 
 TEST(Decision, Rule3NetworkSavesEnergyWithinLossRate) {
   // Network: 10% slower, 50% cheaper. Saving (0.5) >= loss (0.1) < 0.25.
-  EXPECT_EQ(decide_source(est(10, 100), est(11, 50), 0.25),
+  EXPECT_EQ(decide_source(est(Seconds{10}, Joules{100}), est(Seconds{11}, Joules{50}), 0.25),
             DeviceKind::kNetwork);
 }
 
 TEST(Decision, Rule3RejectsWhenLossExceedsRate) {
   // Network: 30% slower (> 25% loss rate) even though it halves energy.
-  EXPECT_EQ(decide_source(est(10, 100), est(13, 50), 0.25), DeviceKind::kDisk);
+  EXPECT_EQ(decide_source(est(Seconds{10}, Joules{100}), est(Seconds{13}, Joules{50}), 0.25), DeviceKind::kDisk);
 }
 
 TEST(Decision, Rule3RejectsWhenSavingBelowLoss) {
   // Network: 20% slower but only 10% cheaper: x < n.
-  EXPECT_EQ(decide_source(est(10, 100), est(12, 90), 0.25), DeviceKind::kDisk);
+  EXPECT_EQ(decide_source(est(Seconds{10}, Joules{100}), est(Seconds{12}, Joules{90}), 0.25), DeviceKind::kDisk);
 }
 
 TEST(Decision, LossRateBoundaryIsExclusive) {
   // Loss exactly equals the rate: "n > m" in the paper means rejection at
   // equality of n and m (the condition requires n < m).
-  EXPECT_EQ(decide_source(est(10, 100), est(12.5, 50), 0.25),
+  EXPECT_EQ(decide_source(est(Seconds{10}, Joules{100}), est(Seconds{12.5}, Joules{50}), 0.25),
             DeviceKind::kDisk);
 }
 
 TEST(Decision, SavingEqualToLossIsAccepted) {
   // (E_disk-E_net)/E_disk == (T_net-T_disk)/T_disk: ">=" accepts.
-  EXPECT_EQ(decide_source(est(10, 100), est(11, 90), 0.25),
+  EXPECT_EQ(decide_source(est(Seconds{10}, Joules{100}), est(Seconds{11}, Joules{90}), 0.25),
             DeviceKind::kNetwork);
 }
 
 TEST(Decision, DiskFasterButNetworkNotCheaperFallsToDisk) {
-  EXPECT_EQ(decide_source(est(10, 100), est(12, 100), 0.25),
+  EXPECT_EQ(decide_source(est(Seconds{10}, Joules{100}), est(Seconds{12}, Joules{100}), 0.25),
             DeviceKind::kDisk);
 }
 
 TEST(Decision, NetworkFasterButDiskCheaperFallsToDisk) {
   // The asymmetric fall-through of the paper's rules: no rule selects the
   // network when the disk is the cheaper source.
-  EXPECT_EQ(decide_source(est(10, 50), est(8, 100), 0.25), DeviceKind::kDisk);
+  EXPECT_EQ(decide_source(est(Seconds{10}, Joules{50}), est(Seconds{8}, Joules{100}), 0.25), DeviceKind::kDisk);
 }
 
 TEST(Decision, ExactTieFallsToDisk) {
-  EXPECT_EQ(decide_source(est(10, 100), est(10, 100), 0.25),
+  EXPECT_EQ(decide_source(est(Seconds{10}, Joules{100}), est(Seconds{10}, Joules{100}), 0.25),
             DeviceKind::kDisk);
 }
 
 TEST(Decision, ZeroLossRateStillAllowsDominatingNetwork) {
-  EXPECT_EQ(decide_source(est(20, 100), est(10, 50), 0.0),
+  EXPECT_EQ(decide_source(est(Seconds{20}, Joules{100}), est(Seconds{10}, Joules{50}), 0.0),
             DeviceKind::kNetwork);
   // But rejects any slowdown.
-  EXPECT_EQ(decide_source(est(10, 100), est(10.1, 10), 0.0),
+  EXPECT_EQ(decide_source(est(Seconds{10}, Joules{100}), est(Seconds{10.1}, Joules{10}), 0.0),
             DeviceKind::kDisk);
 }
 
 TEST(Decision, HigherLossRateAdmitsSlowerNetwork) {
   // 50% slower, 60% cheaper: rejected at 25% loss rate, accepted at 100%.
-  EXPECT_EQ(decide_source(est(10, 100), est(15, 40), 0.25), DeviceKind::kDisk);
-  EXPECT_EQ(decide_source(est(10, 100), est(15, 40), 1.0),
+  EXPECT_EQ(decide_source(est(Seconds{10}, Joules{100}), est(Seconds{15}, Joules{40}), 0.25), DeviceKind::kDisk);
+  EXPECT_EQ(decide_source(est(Seconds{10}, Joules{100}), est(Seconds{15}, Joules{40}), 1.0),
             DeviceKind::kNetwork);
 }
 
 TEST(Decision, ZeroCostEstimatesFallToDisk) {
-  EXPECT_EQ(decide_source(est(0, 0), est(0, 0), 0.25), DeviceKind::kDisk);
+  EXPECT_EQ(decide_source(est(Seconds{0}, Joules{0}), est(Seconds{0}, Joules{0}), 0.25), DeviceKind::kDisk);
 }
 
 TEST(Decision, NegativeLossRateRejected) {
-  EXPECT_THROW(decide_source(est(1, 1), est(1, 1), -0.1), ConfigError);
+  EXPECT_THROW(decide_source(est(Seconds{1}, Joules{1}), est(Seconds{1}, Joules{1}), -0.1), ConfigError);
 }
 
 TEST(Decision, EnergySavingAccountsRelativeToDisk) {
   // 100 -> 80 J is a 20% saving; 10 -> 11.5 s is a 15% loss; accepted at
   // the paper's 25% threshold.
-  EXPECT_EQ(decide_source(est(10, 100), est(11.5, 80), 0.25),
+  EXPECT_EQ(decide_source(est(Seconds{10}, Joules{100}), est(Seconds{11.5}, Joules{80}), 0.25),
             DeviceKind::kNetwork);
 }
 

@@ -10,28 +10,28 @@ namespace {
 // Table 1 of the paper: the Hitachi DK23DA parameters.
 TEST(DiskParams, DefaultsMatchTable1) {
   const DiskParams p = DiskParams::hitachi_dk23da();
-  EXPECT_DOUBLE_EQ(p.active_power, 2.0);
-  EXPECT_DOUBLE_EQ(p.idle_power, 1.6);
-  EXPECT_DOUBLE_EQ(p.standby_power, 0.15);
-  EXPECT_DOUBLE_EQ(p.spin_up_energy, 5.0);
-  EXPECT_DOUBLE_EQ(p.spin_down_energy, 2.94);
-  EXPECT_DOUBLE_EQ(p.spin_up_time, 1.6);
-  EXPECT_DOUBLE_EQ(p.spin_down_time, 2.3);
-  EXPECT_DOUBLE_EQ(p.bandwidth, 35e6);
-  EXPECT_DOUBLE_EQ(p.avg_seek_time, 0.013);
-  EXPECT_DOUBLE_EQ(p.avg_rotation_time, 0.007);
-  EXPECT_DOUBLE_EQ(p.spin_down_timeout, 20.0);
-  EXPECT_EQ(p.capacity, 30ull * 1024 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(p.active_power.value(), 2.0);
+  EXPECT_DOUBLE_EQ(p.idle_power.value(), 1.6);
+  EXPECT_DOUBLE_EQ(p.standby_power.value(), 0.15);
+  EXPECT_DOUBLE_EQ(p.spin_up_energy.value(), 5.0);
+  EXPECT_DOUBLE_EQ(p.spin_down_energy.value(), 2.94);
+  EXPECT_DOUBLE_EQ(p.spin_up_time.value(), 1.6);
+  EXPECT_DOUBLE_EQ(p.spin_down_time.value(), 2.3);
+  EXPECT_DOUBLE_EQ(p.bandwidth.value(), 35e6);
+  EXPECT_DOUBLE_EQ(p.avg_seek_time.value(), 0.013);
+  EXPECT_DOUBLE_EQ(p.avg_rotation_time.value(), 0.007);
+  EXPECT_DOUBLE_EQ(p.spin_down_timeout.value(), 20.0);
+  EXPECT_EQ(p.capacity, Bytes{30ull * 1024 * 1024 * 1024});
 }
 
 TEST(DiskParams, AccessTimeIsSeekPlusRotation) {
-  EXPECT_DOUBLE_EQ(DiskParams{}.access_time(), 0.020);
+  EXPECT_DOUBLE_EQ(DiskParams{}.access_time().value(), 0.020);
 }
 
 TEST(DiskParams, BreakEvenTimeHandComputed) {
   // (E_up + E_down - P_standby*(T_up + T_down)) / (P_idle - P_standby)
   // = (7.94 - 0.15*3.9) / 1.45 = 5.0724...
-  EXPECT_NEAR(DiskParams{}.break_even_time(), 5.0724, 0.0001);
+  EXPECT_NEAR(DiskParams{}.break_even_time().value(), 5.0724, 0.0001);
 }
 
 TEST(DiskParams, ValidateAcceptsDefaults) {
@@ -40,38 +40,38 @@ TEST(DiskParams, ValidateAcceptsDefaults) {
 
 TEST(DiskParams, ValidateRejectsBadPowerOrdering) {
   DiskParams p;
-  p.standby_power = 2.0;  // Above idle.
+  p.standby_power = Watts{2.0};  // Above idle.
   EXPECT_THROW(p.validate(), ConfigError);
   p = DiskParams{};
-  p.idle_power = 3.0;  // Above active.
+  p.idle_power = Watts{3.0};  // Above active.
   EXPECT_THROW(p.validate(), ConfigError);
 }
 
 TEST(DiskParams, ValidateRejectsNonPositiveBandwidthOrTimeout) {
   DiskParams p;
-  p.bandwidth = 0.0;
+  p.bandwidth = BytesPerSecond{0.0};
   EXPECT_THROW(p.validate(), ConfigError);
   p = DiskParams{};
-  p.spin_down_timeout = 0.0;
+  p.spin_down_timeout = Seconds{0.0};
   EXPECT_THROW(p.validate(), ConfigError);
 }
 
 // Table 2 of the paper: the Cisco Aironet 350 parameters.
 TEST(WnicParams, DefaultsMatchTable2) {
   const WnicParams p = WnicParams::cisco_aironet350();
-  EXPECT_DOUBLE_EQ(p.psm_idle_power, 0.39);
-  EXPECT_DOUBLE_EQ(p.psm_recv_power, 1.42);
-  EXPECT_DOUBLE_EQ(p.psm_send_power, 2.48);
-  EXPECT_DOUBLE_EQ(p.cam_idle_power, 1.41);
-  EXPECT_DOUBLE_EQ(p.cam_recv_power, 2.61);
-  EXPECT_DOUBLE_EQ(p.cam_send_power, 3.69);
-  EXPECT_DOUBLE_EQ(p.cam_to_psm_delay, 0.41);
-  EXPECT_DOUBLE_EQ(p.cam_to_psm_energy, 0.53);
-  EXPECT_DOUBLE_EQ(p.psm_to_cam_delay, 0.40);
-  EXPECT_DOUBLE_EQ(p.psm_to_cam_energy, 0.51);
-  EXPECT_DOUBLE_EQ(p.psm_timeout, 0.8);
-  EXPECT_DOUBLE_EQ(p.bandwidth, 11e6 / 8.0);
-  EXPECT_DOUBLE_EQ(p.latency, 0.001);
+  EXPECT_DOUBLE_EQ(p.psm_idle_power.value(), 0.39);
+  EXPECT_DOUBLE_EQ(p.psm_recv_power.value(), 1.42);
+  EXPECT_DOUBLE_EQ(p.psm_send_power.value(), 2.48);
+  EXPECT_DOUBLE_EQ(p.cam_idle_power.value(), 1.41);
+  EXPECT_DOUBLE_EQ(p.cam_recv_power.value(), 2.61);
+  EXPECT_DOUBLE_EQ(p.cam_send_power.value(), 3.69);
+  EXPECT_DOUBLE_EQ(p.cam_to_psm_delay.value(), 0.41);
+  EXPECT_DOUBLE_EQ(p.cam_to_psm_energy.value(), 0.53);
+  EXPECT_DOUBLE_EQ(p.psm_to_cam_delay.value(), 0.40);
+  EXPECT_DOUBLE_EQ(p.psm_to_cam_energy.value(), 0.51);
+  EXPECT_DOUBLE_EQ(p.psm_timeout.value(), 0.8);
+  EXPECT_DOUBLE_EQ(p.bandwidth.value(), 11e6 / 8.0);
+  EXPECT_DOUBLE_EQ(p.latency.value(), 0.001);
 }
 
 TEST(WnicParams, RateSetIs80211b) {
@@ -85,11 +85,11 @@ TEST(WnicParams, RateSetIs80211b) {
 TEST(WnicParams, WithBandwidthAndLatencyAreNonDestructive) {
   const WnicParams base;
   const WnicParams bw = base.with_bandwidth_mbps(2.0);
-  EXPECT_DOUBLE_EQ(bw.bandwidth, 2e6 / 8.0);
-  EXPECT_DOUBLE_EQ(base.bandwidth, 11e6 / 8.0);
-  const WnicParams lat = base.with_latency(0.02);
-  EXPECT_DOUBLE_EQ(lat.latency, 0.02);
-  EXPECT_DOUBLE_EQ(base.latency, 0.001);
+  EXPECT_DOUBLE_EQ(bw.bandwidth.value(), 2e6 / 8.0);
+  EXPECT_DOUBLE_EQ(base.bandwidth.value(), 11e6 / 8.0);
+  const WnicParams lat = base.with_latency(Seconds{0.02});
+  EXPECT_DOUBLE_EQ(lat.latency.value(), 0.02);
+  EXPECT_DOUBLE_EQ(base.latency.value(), 0.001);
 }
 
 TEST(WnicParams, ValidateAcceptsDefaults) {
@@ -98,16 +98,16 @@ TEST(WnicParams, ValidateAcceptsDefaults) {
 
 TEST(WnicParams, ValidateRejectsInvertedPowers) {
   WnicParams p;
-  p.psm_idle_power = 2.0;  // Above CAM idle.
+  p.psm_idle_power = Watts{2.0};  // Above CAM idle.
   EXPECT_THROW(p.validate(), ConfigError);
   p = WnicParams{};
-  p.cam_recv_power = 0.5;  // Below CAM idle.
+  p.cam_recv_power = Watts{0.5};  // Below CAM idle.
   EXPECT_THROW(p.validate(), ConfigError);
 }
 
 TEST(WnicParams, ValidateRejectsNegativeLatency) {
   WnicParams p;
-  p.latency = -0.001;
+  p.latency = -Seconds{0.001};
   EXPECT_THROW(p.validate(), ConfigError);
 }
 

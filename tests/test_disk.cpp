@@ -17,54 +17,54 @@ TEST(Disk, StartsSpinningIdle) {
   Disk d;
   EXPECT_EQ(d.state(), DiskState::kIdle);
   EXPECT_TRUE(d.is_spinning());
-  EXPECT_DOUBLE_EQ(d.now(), 0.0);
+  EXPECT_DOUBLE_EQ(d.now().value(), 0.0);
 }
 
 TEST(Disk, IdleEnergyIntegration) {
   Disk d;
-  d.advance_to(10.0);
+  d.advance_to(Seconds{10.0});
   EXPECT_EQ(d.state(), DiskState::kIdle);
-  EXPECT_NEAR(d.meter()[EnergyCategory::kIdle], 16.0, kEps);  // 10 s * 1.6 W.
-  EXPECT_NEAR(d.meter().total(), 16.0, kEps);
+  EXPECT_NEAR(d.meter()[EnergyCategory::kIdle].value(), 16.0, kEps);  // 10 s * 1.6 W.
+  EXPECT_NEAR(d.meter().total().value(), 16.0, kEps);
 }
 
 TEST(Disk, AdvanceIsIdempotentBackwards) {
   Disk d;
-  d.advance_to(5.0);
+  d.advance_to(Seconds{5.0});
   const Joules e = d.meter().total();
-  d.advance_to(3.0);  // No-op.
-  EXPECT_DOUBLE_EQ(d.meter().total(), e);
-  EXPECT_DOUBLE_EQ(d.now(), 5.0);
+  d.advance_to(Seconds{3.0});  // No-op.
+  EXPECT_DOUBLE_EQ(d.meter().total().value(), e.value());
+  EXPECT_DOUBLE_EQ(d.now().value(), 5.0);
 }
 
 TEST(Disk, SpinsDownAfterTimeout) {
   Disk d;
-  d.advance_to(21.0);  // Timeout at 20 s, spin-down takes 2.3 s.
+  d.advance_to(Seconds{21.0});  // Timeout at 20 s, spin-down takes 2.3 s.
   EXPECT_EQ(d.state(), DiskState::kSpinningDown);
-  d.advance_to(22.3);
+  d.advance_to(Seconds{22.3});
   EXPECT_EQ(d.state(), DiskState::kStandby);
-  EXPECT_NEAR(d.meter()[EnergyCategory::kIdle], 32.0, kEps);      // 20 * 1.6.
-  EXPECT_NEAR(d.meter()[EnergyCategory::kSpinDown], 2.94, kEps);  // Lump.
+  EXPECT_NEAR(d.meter()[EnergyCategory::kIdle].value(), 32.0, kEps);      // 20 * 1.6.
+  EXPECT_NEAR(d.meter()[EnergyCategory::kSpinDown].value(), 2.94, kEps);  // Lump.
   EXPECT_EQ(d.counters().spin_downs, 1u);
 }
 
 TEST(Disk, StandbyEnergyIntegration) {
   Disk d;
-  d.advance_to(122.3);  // 100 s of standby after the 22.3 s rundown.
+  d.advance_to(Seconds{122.3});  // 100 s of standby after the 22.3 s rundown.
   EXPECT_EQ(d.state(), DiskState::kStandby);
-  EXPECT_NEAR(d.meter()[EnergyCategory::kStandby], 15.0, kEps);  // 100 * 0.15.
+  EXPECT_NEAR(d.meter()[EnergyCategory::kStandby].value(), 15.0, kEps);  // 100 * 0.15.
 }
 
 TEST(Disk, RandomReadServiceFromIdle) {
   Disk d;
-  const auto res = d.service(0.0, read_req(1000, 35'000'000));
+  const auto res = d.service(Seconds{0.0}, read_req(Bytes{1000}, Bytes{35'000'000}));
   // Positioning 20 ms, transfer 1.0 s, all at 2 W active power.
-  EXPECT_NEAR(res.start, 0.0, kEps);
-  EXPECT_NEAR(res.completion, 1.020, kEps);
-  EXPECT_NEAR(res.energy, 2.0 * 1.020, kEps);
+  EXPECT_NEAR(res.start.value(), 0.0, kEps);
+  EXPECT_NEAR(res.completion.value(), 1.020, kEps);
+  EXPECT_NEAR(res.energy.value(), 2.0 * 1.020, kEps);
   EXPECT_EQ(d.state(), DiskState::kIdle);
   EXPECT_EQ(d.counters().requests, 1u);
-  EXPECT_EQ(d.counters().bytes_read, 35'000'000u);
+  EXPECT_EQ(d.counters().bytes_read, Bytes{35'000'000});
 }
 
 TEST(Disk, FirstRequestChargesAverageSeekNotDistanceFromZero) {
@@ -73,153 +73,153 @@ TEST(Disk, FirstRequestChargesAverageSeekNotDistanceFromZero) {
   // distance seek model too, regardless of how far from LBA 0 it lands.
   const DiskParams p = DiskParams::hitachi_dk23da_distance();
   Disk near_disk(p), far_disk(p);
-  const auto near_res = near_disk.service(0.0, read_req(4 * kKiB, 35'000));
+  const auto near_res = near_disk.service(Seconds{0.0}, read_req(4 * kKiB, Bytes{35'000}));
   const auto far_res =
-      far_disk.service(0.0, read_req(p.capacity - kMiB, 35'000));
+      far_disk.service(Seconds{0.0}, read_req(p.capacity - kMiB, Bytes{35'000}));
   const Seconds expected =
-      p.avg_seek_time + p.avg_rotation_time + 35'000 / p.bandwidth;
-  EXPECT_NEAR(near_res.completion - near_res.start, expected, kEps);
-  EXPECT_NEAR(far_res.completion - far_res.start, expected, kEps);
+      p.avg_seek_time + p.avg_rotation_time + Bytes{35'000} / p.bandwidth;
+  EXPECT_NEAR((near_res.completion - near_res.start).value(), expected.value(), kEps);
+  EXPECT_NEAR((far_res.completion - far_res.start).value(), expected.value(), kEps);
   // Identical service: the LBA convention no longer leaks into the cost.
-  EXPECT_NEAR(near_res.energy, far_res.energy, kEps);
+  EXPECT_NEAR(near_res.energy.value(), far_res.energy.value(), kEps);
 
   // The *second* non-contiguous request prices the real head movement.
   const auto second =
-      far_disk.service(far_res.completion, read_req(0, 35'000));
+      far_disk.service(far_res.completion, read_req(Bytes{0}, Bytes{35'000}));
   EXPECT_GT(second.completion - second.start, expected);
 }
 
 TEST(Disk, SequentialContinuationSkipsPositioning) {
   Disk d;
-  const auto first = d.service(0.0, read_req(0, 1'000'000));
-  const auto second = d.service(first.completion, read_req(1'000'000, 1'000'000));
+  const auto first = d.service(Seconds{0.0}, read_req(Bytes{0}, Bytes{1'000'000}));
+  const auto second = d.service(first.completion, read_req(Bytes{1'000'000}, Bytes{1'000'000}));
   // Second request continues at the head position: transfer time only.
-  EXPECT_NEAR(second.completion - second.arrival, 1'000'000 / 35e6, kEps);
+  EXPECT_NEAR((second.completion - second.arrival).value(), 1'000'000 / 35e6, kEps);
   EXPECT_EQ(d.counters().sequential_hits, 1u);
 }
 
 TEST(Disk, NonContiguousRequestPaysPositioning) {
   Disk d;
-  const auto first = d.service(0.0, read_req(0, 1'000'000));
-  const auto second = d.service(first.completion, read_req(9'000'000, 1'000'000));
-  EXPECT_NEAR(second.completion - second.arrival, 0.020 + 1'000'000 / 35e6, kEps);
+  const auto first = d.service(Seconds{0.0}, read_req(Bytes{0}, Bytes{1'000'000}));
+  const auto second = d.service(first.completion, read_req(Bytes{9'000'000}, Bytes{1'000'000}));
+  EXPECT_NEAR((second.completion - second.arrival).value(), 0.020 + 1'000'000 / 35e6, kEps);
   EXPECT_EQ(d.counters().sequential_hits, 0u);
 }
 
 TEST(Disk, ServiceFromStandbyPaysSpinUp) {
   Disk d;
-  d.advance_to(60.0);  // Well into standby.
+  d.advance_to(Seconds{60.0});  // Well into standby.
   ASSERT_EQ(d.state(), DiskState::kStandby);
-  const auto res = d.service(60.0, read_req(0, 3'500'000));
-  EXPECT_NEAR(res.start, 61.6, kEps);  // 1.6 s spin-up first.
-  EXPECT_NEAR(res.completion, 61.6 + 0.020 + 0.1, kEps);
+  const auto res = d.service(Seconds{60.0}, read_req(Bytes{0}, Bytes{3'500'000}));
+  EXPECT_NEAR(res.start.value(), 61.6, kEps);  // 1.6 s spin-up first.
+  EXPECT_NEAR(res.completion.value(), 61.6 + 0.020 + 0.1, kEps);
   // Energy: spin-up lump 5 J + (0.12 s at 2 W).
-  EXPECT_NEAR(res.energy, 5.0 + 0.24, kEps);
+  EXPECT_NEAR(res.energy.value(), 5.0 + 0.24, kEps);
   EXPECT_EQ(d.counters().spin_ups, 1u);
 }
 
 TEST(Disk, ServiceDuringSpinDownWaitsOutTheTransition) {
   Disk d;
-  d.advance_to(21.0);  // Mid spin-down (20.0 .. 22.3).
+  d.advance_to(Seconds{21.0});  // Mid spin-down (20.0 .. 22.3).
   ASSERT_EQ(d.state(), DiskState::kSpinningDown);
-  const auto res = d.service(21.0, read_req(0, 35'000));
+  const auto res = d.service(Seconds{21.0}, read_req(Bytes{0}, Bytes{35'000}));
   // Must wait until 22.3, then spin up (1.6 s) -> start at 23.9.
-  EXPECT_NEAR(res.start, 23.9, kEps);
+  EXPECT_NEAR(res.start.value(), 23.9, kEps);
   EXPECT_EQ(d.counters().spin_ups, 1u);
   EXPECT_EQ(d.counters().spin_downs, 1u);
 }
 
 TEST(Disk, RequestBeforeNowIsClampedToNow) {
   Disk d;
-  const auto first = d.service(0.0, read_req(0, 35'000'000));  // Ends 1.02.
-  const auto second = d.service(0.5, read_req(0, 35'000));
-  EXPECT_GE(second.arrival, first.completion - kEps);
+  const auto first = d.service(Seconds{0.0}, read_req(Bytes{0}, Bytes{35'000'000}));  // Ends 1.02.
+  const auto second = d.service(Seconds{0.5}, read_req(Bytes{0}, Bytes{35'000}));
+  EXPECT_GE(second.arrival, first.completion - Seconds{kEps});
 }
 
 TEST(Disk, IdleTimerResetsAfterService) {
   Disk d;
-  d.service(15.0, read_req(0, 35'000));
-  d.advance_to(30.0);  // Only ~15 s since the request: still spinning.
+  d.service(Seconds{15.0}, read_req(Bytes{0}, Bytes{35'000}));
+  d.advance_to(Seconds{30.0});  // Only ~15 s since the request: still spinning.
   EXPECT_EQ(d.state(), DiskState::kIdle);
-  d.advance_to(60.0);
+  d.advance_to(Seconds{60.0});
   EXPECT_EQ(d.state(), DiskState::kStandby);
 }
 
 TEST(Disk, EstimateDoesNotMutate) {
   Disk d;
-  d.advance_to(5.0);
+  d.advance_to(Seconds{5.0});
   const Joules before = d.meter().total();
-  const auto est = d.estimate(5.0, read_req(0, 1'000'000));
-  EXPECT_GT(est.energy, 0.0);
-  EXPECT_DOUBLE_EQ(d.meter().total(), before);
+  const auto est = d.estimate(Seconds{5.0}, read_req(Bytes{0}, Bytes{1'000'000}));
+  EXPECT_GT(est.energy, Joules{0.0});
+  EXPECT_DOUBLE_EQ(d.meter().total().value(), before.value());
   EXPECT_EQ(d.counters().requests, 0u);
-  EXPECT_DOUBLE_EQ(d.now(), 5.0);
+  EXPECT_DOUBLE_EQ(d.now().value(), 5.0);
 }
 
 TEST(Disk, ForceSpinUpFromStandby) {
   Disk d;
-  d.advance_to(60.0);
-  d.force_spin_up(60.0);
+  d.advance_to(Seconds{60.0});
+  d.force_spin_up(Seconds{60.0});
   EXPECT_EQ(d.state(), DiskState::kSpinningUp);
-  d.advance_to(61.6);
+  d.advance_to(Seconds{61.6});
   EXPECT_EQ(d.state(), DiskState::kIdle);
   EXPECT_EQ(d.counters().spin_ups, 1u);
-  EXPECT_NEAR(d.meter()[EnergyCategory::kSpinUp], 5.0, kEps);
+  EXPECT_NEAR(d.meter()[EnergyCategory::kSpinUp].value(), 5.0, kEps);
 }
 
 TEST(Disk, ForceSpinUpWhileSpinningIsNoOp) {
   Disk d;
-  d.advance_to(5.0);
-  d.force_spin_up(5.0);
+  d.advance_to(Seconds{5.0});
+  d.force_spin_up(Seconds{5.0});
   EXPECT_EQ(d.state(), DiskState::kIdle);
   EXPECT_EQ(d.counters().spin_ups, 0u);
 }
 
 TEST(Disk, TimeToReadyPerState) {
   Disk d;
-  EXPECT_DOUBLE_EQ(d.time_to_ready(5.0), 0.0);  // Idle, before timeout.
+  EXPECT_DOUBLE_EQ(d.time_to_ready((Seconds{5.0})).value(), 0.0);  // Idle, before timeout.
   // At t=21 the disk would be mid-spin-down: wait 1.3 s + 1.6 s spin-up.
-  EXPECT_NEAR(d.time_to_ready(21.0), 1.3 + 1.6, kEps);
+  EXPECT_NEAR(d.time_to_ready((Seconds{21.0})).value(), 1.3 + 1.6, kEps);
   // Deep standby: just the spin-up.
-  EXPECT_NEAR(d.time_to_ready(100.0), 1.6, kEps);
+  EXPECT_NEAR(d.time_to_ready((Seconds{100.0})).value(), 1.6, kEps);
 }
 
 TEST(Disk, BreakEvenMatchesParams) {
   Disk d;
-  EXPECT_DOUBLE_EQ(d.break_even_time(), d.params().break_even_time());
+  EXPECT_DOUBLE_EQ(d.break_even_time().value(), d.params().break_even_time().value());
 }
 
 TEST(Disk, ZeroSizeRequestRejected) {
   Disk d;
-  EXPECT_THROW(d.service(0.0, read_req(0, 0)), ConfigError);
+  EXPECT_THROW(d.service(Seconds{0.0}, read_req(Bytes{0}, Bytes{0})), ConfigError);
 }
 
 TEST(Disk, ResetAccountingKeepsPowerState) {
   Disk d;
-  d.advance_to(60.0);
+  d.advance_to(Seconds{60.0});
   ASSERT_EQ(d.state(), DiskState::kStandby);
   d.reset_accounting();
-  EXPECT_DOUBLE_EQ(d.meter().total(), 0.0);
+  EXPECT_DOUBLE_EQ(d.meter().total().value(), 0.0);
   EXPECT_EQ(d.state(), DiskState::kStandby);
 }
 
 TEST(Disk, WriteCountsBytesWritten) {
   Disk d;
-  d.service(0.0, DeviceRequest{.lba = 0, .size = 4096, .is_write = true});
-  EXPECT_EQ(d.counters().bytes_written, 4096u);
-  EXPECT_EQ(d.counters().bytes_read, 0u);
+  d.service(Seconds{0.0}, DeviceRequest{.lba = Bytes{0}, .size = Bytes{4096}, .is_write = true});
+  EXPECT_EQ(d.counters().bytes_written, Bytes{4096});
+  EXPECT_EQ(d.counters().bytes_read, Bytes{0});
 }
 
 TEST(Disk, EnergyConservationOverScriptedTimeline) {
   Disk d;
-  d.service(0.0, read_req(0, 1'000'000));
-  d.service(30.0, read_req(5'000'000, 2'000'000));  // Forces a spin cycle.
-  d.advance_to(100.0);
+  d.service(Seconds{0.0}, read_req(Bytes{0}, Bytes{1'000'000}));
+  d.service(Seconds{30.0}, read_req(Bytes{5'000'000}, Bytes{2'000'000}));  // Forces a spin cycle.
+  d.advance_to(Seconds{100.0});
   const auto& m = d.meter();
   const Joules sum = m[EnergyCategory::kActiveTransfer] +
                      m[EnergyCategory::kIdle] + m[EnergyCategory::kStandby] +
                      m[EnergyCategory::kSpinUp] + m[EnergyCategory::kSpinDown];
-  EXPECT_NEAR(sum, m.total(), kEps);
+  EXPECT_NEAR(sum.value(), m.total().value(), kEps);
   EXPECT_EQ(d.counters().spin_ups, 1u);
   EXPECT_EQ(d.counters().spin_downs, 2u);  // After each idle timeout.
 }

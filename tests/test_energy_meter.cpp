@@ -10,18 +10,18 @@ namespace {
 
 TEST(EnergyMeter, StartsEmpty) {
   EnergyMeter m;
-  EXPECT_DOUBLE_EQ(m.total(), 0.0);
-  EXPECT_DOUBLE_EQ(m[EnergyCategory::kIdle], 0.0);
+  EXPECT_DOUBLE_EQ(m.total().value(), 0.0);
+  EXPECT_DOUBLE_EQ(m[EnergyCategory::kIdle].value(), 0.0);
 }
 
 TEST(EnergyMeter, AccumulatesPerCategory) {
   EnergyMeter m;
-  m.add(EnergyCategory::kIdle, 1.5);
-  m.add(EnergyCategory::kIdle, 0.5);
-  m.add(EnergyCategory::kSpinUp, 5.0);
-  EXPECT_DOUBLE_EQ(m[EnergyCategory::kIdle], 2.0);
-  EXPECT_DOUBLE_EQ(m[EnergyCategory::kSpinUp], 5.0);
-  EXPECT_DOUBLE_EQ(m.total(), 7.0);
+  m.add(EnergyCategory::kIdle, Joules{1.5});
+  m.add(EnergyCategory::kIdle, Joules{0.5});
+  m.add(EnergyCategory::kSpinUp, Joules{5.0});
+  EXPECT_DOUBLE_EQ(m[EnergyCategory::kIdle].value(), 2.0);
+  EXPECT_DOUBLE_EQ(m[EnergyCategory::kSpinUp].value(), 5.0);
+  EXPECT_DOUBLE_EQ(m.total().value(), 7.0);
 }
 
 TEST(EnergyMeter, TotalIsSumOfAllCategories) {
@@ -29,36 +29,36 @@ TEST(EnergyMeter, TotalIsSumOfAllCategories) {
   double expected = 0.0;
   for (std::size_t i = 0; i < static_cast<std::size_t>(EnergyCategory::kCount);
        ++i) {
-    m.add(static_cast<EnergyCategory>(i), static_cast<double>(i) + 1.0);
+    m.add(static_cast<EnergyCategory>(i), Joules{static_cast<double>(i) + 1.0});
     expected += static_cast<double>(i) + 1.0;
   }
-  EXPECT_DOUBLE_EQ(m.total(), expected);
+  EXPECT_DOUBLE_EQ(m.total().value(), expected);
 }
 
 TEST(EnergyMeter, TransitionEnergyCoversSpinAndModeSwitch) {
   EnergyMeter m;
-  m.add(EnergyCategory::kSpinUp, 5.0);
-  m.add(EnergyCategory::kSpinDown, 2.94);
-  m.add(EnergyCategory::kModeSwitch, 0.53);
-  m.add(EnergyCategory::kIdle, 100.0);  // Not a transition.
-  EXPECT_DOUBLE_EQ(m.transition_energy(), 8.47);
+  m.add(EnergyCategory::kSpinUp, Joules{5.0});
+  m.add(EnergyCategory::kSpinDown, Joules{2.94});
+  m.add(EnergyCategory::kModeSwitch, Joules{0.53});
+  m.add(EnergyCategory::kIdle, Joules{100.0});  // Not a transition.
+  EXPECT_DOUBLE_EQ(m.transition_energy().value(), 8.47);
 }
 
 TEST(EnergyMeter, NegativeEnergyRejected) {
   EnergyMeter m;
-  EXPECT_THROW(m.add(EnergyCategory::kIdle, -0.1), InternalError);
+  EXPECT_THROW(m.add(EnergyCategory::kIdle, Joules{-0.1}), InternalError);
 }
 
 TEST(EnergyMeter, ResetClearsEverything) {
   EnergyMeter m;
-  m.add(EnergyCategory::kSend, 3.0);
+  m.add(EnergyCategory::kSend, Joules{3.0});
   m.reset();
-  EXPECT_DOUBLE_EQ(m.total(), 0.0);
+  EXPECT_DOUBLE_EQ(m.total().value(), 0.0);
 }
 
 TEST(EnergyMeter, ReportOmitsZeroCategoriesAndShowsTotal) {
   EnergyMeter m;
-  m.add(EnergyCategory::kRecv, 1.0);
+  m.add(EnergyCategory::kRecv, Joules{1.0});
   const std::string r = m.report();
   EXPECT_NE(r.find("recv"), std::string::npos);
   EXPECT_EQ(r.find("spin-up"), std::string::npos);

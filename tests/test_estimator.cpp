@@ -11,48 +11,48 @@ namespace {
 constexpr double kEps = 1e-6;
 
 std::vector<IOBurst> bursts_of(const trace::Trace& t) {
-  return extract_bursts(t, 0.020);
+  return extract_bursts(t, Seconds{0.020});
 }
 
-IOBurst single_burst(Bytes size, Seconds think_before = 0.0) {
+IOBurst single_burst(Bytes size, Seconds think_before = Seconds{0.0}) {
   IOBurst b;
   b.think_before = think_before;
-  b.requests.push_back(BurstRequest{.inode = 1, .offset = 0, .size = size});
+  b.requests.push_back(BurstRequest{.inode = 1, .offset = Bytes{0}, .size = size});
   return b;
 }
 
 TEST(Estimator, DiskEstimateForOneBurstFromIdle) {
   device::Disk disk;
-  os::FileLayout layout(kGiB, 1, 0, 0);  // Deterministic zero gaps.
-  const std::vector<IOBurst> bursts{single_burst(35'000'000)};
-  const Estimate e = SourceEstimator::estimate_disk(disk, bursts, 0.0, layout);
+  os::FileLayout layout(kGiB, 1, Bytes{0}, Bytes{0});  // Deterministic zero gaps.
+  const std::vector<IOBurst> bursts{single_burst(Bytes{35'000'000})};
+  const Estimate e = SourceEstimator::estimate_disk(disk, bursts, Seconds{0.0}, layout);
   // Positioning 20 ms + transfer 1 s, at 2 W active power. The horizon
   // ends with the burst: no hypothetical rundown is charged.
-  EXPECT_NEAR(e.time, 1.020, kEps);
-  EXPECT_NEAR(e.energy, 2.04, kEps);
+  EXPECT_NEAR(e.time.value(), 1.020, kEps);
+  EXPECT_NEAR(e.energy.value(), 2.04, kEps);
 }
 
 TEST(Estimator, NetworkEstimateForOneBurstFromCam) {
   device::Wnic wnic;
-  const std::vector<IOBurst> bursts{single_burst(1'375'000)};  // 1 s at 11 Mbps.
-  const Estimate e = SourceEstimator::estimate_network(wnic, bursts, 0.0);
+  const std::vector<IOBurst> bursts{single_burst(Bytes{1'375'000})};  // 1 s at 11 Mbps.
+  const Estimate e = SourceEstimator::estimate_network(wnic, bursts, Seconds{0.0});
   // 84 RPCs of <= 16 KiB, each paying 1 ms latency, then the transfer,
   // all at CAM recv power.
-  EXPECT_NEAR(e.time, 84 * 0.001 + 1.0, kEps);
-  EXPECT_NEAR(e.energy, (84 * 0.001 + 1.0) * 2.61, kEps);
+  EXPECT_NEAR(e.time.value(), 84 * 0.001 + 1.0, kEps);
+  EXPECT_NEAR(e.energy.value(), (84 * 0.001 + 1.0) * 2.61, kEps);
 }
 
 TEST(Estimator, EstimatesDoNotMutateLiveDevices) {
   device::Disk disk;
   device::Wnic wnic;
   os::FileLayout layout(kGiB);
-  const std::vector<IOBurst> bursts{single_burst(1'000'000)};
+  const std::vector<IOBurst> bursts{single_burst(Bytes{1'000'000})};
   const Joules disk_energy = disk.meter().total();
   const Joules wnic_energy = wnic.meter().total();
-  SourceEstimator::estimate_disk(disk, bursts, 0.0, layout);
-  SourceEstimator::estimate_network(wnic, bursts, 0.0);
-  EXPECT_DOUBLE_EQ(disk.meter().total(), disk_energy);
-  EXPECT_DOUBLE_EQ(wnic.meter().total(), wnic_energy);
+  SourceEstimator::estimate_disk(disk, bursts, Seconds{0.0}, layout);
+  SourceEstimator::estimate_network(wnic, bursts, Seconds{0.0});
+  EXPECT_DOUBLE_EQ(disk.meter().total().value(), disk_energy.value());
+  EXPECT_DOUBLE_EQ(wnic.meter().total().value(), wnic_energy.value());
   EXPECT_EQ(disk.counters().requests, 0u);
   EXPECT_EQ(wnic.counters().requests, 0u);
 }
@@ -68,130 +68,130 @@ TEST(Estimator, EstimatesNeverEmitTelemetry) {
   disk.attach_telemetry(&rec);
   wnic.attach_telemetry(&rec);
   // Prime the stream with real service so spans are actually being emitted.
-  disk.service(0.0, device::DeviceRequest{.lba = 0, .size = 64 * kKiB});
-  wnic.service(0.0, device::DeviceRequest{.lba = 0, .size = 256 * kKiB});
+  disk.service(Seconds{0.0}, device::DeviceRequest{.lba = Bytes{0}, .size = 64 * kKiB});
+  wnic.service(Seconds{0.0}, device::DeviceRequest{.lba = Bytes{0}, .size = 256 * kKiB});
   const std::uint64_t emitted = rec.emitted();
   ASSERT_GT(emitted, 0u);
 
-  os::FileLayout layout(kGiB, 1, 0, 0);
-  const std::vector<IOBurst> bursts{single_burst(1'000'000)};
-  SourceEstimator::estimate_disk(disk, bursts, 2.0, layout);
-  SourceEstimator::estimate_network(wnic, bursts, 2.0);
-  disk.estimate(2.0, device::DeviceRequest{.lba = 0, .size = 64 * kKiB});
-  wnic.estimate(2.0, device::DeviceRequest{.lba = 0, .size = 64 * kKiB});
+  os::FileLayout layout(kGiB, 1, Bytes{0}, Bytes{0});
+  const std::vector<IOBurst> bursts{single_burst(Bytes{1'000'000})};
+  SourceEstimator::estimate_disk(disk, bursts, Seconds{2.0}, layout);
+  SourceEstimator::estimate_network(wnic, bursts, Seconds{2.0});
+  disk.estimate(Seconds{2.0}, device::DeviceRequest{.lba = Bytes{0}, .size = 64 * kKiB});
+  wnic.estimate(Seconds{2.0}, device::DeviceRequest{.lba = Bytes{0}, .size = 64 * kKiB});
   auto disk_copy = disk.detached_copy();
-  disk_copy.service(2.0, device::DeviceRequest{.lba = 0, .size = 64 * kKiB});
+  disk_copy.service(Seconds{2.0}, device::DeviceRequest{.lba = Bytes{0}, .size = 64 * kKiB});
   auto wnic_copy = wnic.detached_copy();
-  wnic_copy.service(2.0, device::DeviceRequest{.lba = 0, .size = 256 * kKiB});
+  wnic_copy.service(Seconds{2.0}, device::DeviceRequest{.lba = Bytes{0}, .size = 256 * kKiB});
 
   EXPECT_EQ(rec.emitted(), emitted);
 }
 
 TEST(Estimator, ThinkTimeChargesIdleEnergy) {
   device::Disk disk;
-  os::FileLayout layout(kGiB, 1, 0, 0);
-  std::vector<IOBurst> bursts{single_burst(35'000),
-                              single_burst(35'000, /*think_before=*/10.0)};
+  os::FileLayout layout(kGiB, 1, Bytes{0}, Bytes{0});
+  std::vector<IOBurst> bursts{single_burst(Bytes{35'000}),
+                              single_burst(Bytes{35'000}, /*think_before=*/Seconds{10.0})};
   const Estimate with_think =
-      SourceEstimator::estimate_disk(disk, bursts, 0.0, layout);
-  bursts[1].think_before = 0.0;
+      SourceEstimator::estimate_disk(disk, bursts, Seconds{0.0}, layout);
+  bursts[1].think_before = Seconds{0.0};
   const Estimate without =
-      SourceEstimator::estimate_disk(disk, bursts, 0.0, layout);
+      SourceEstimator::estimate_disk(disk, bursts, Seconds{0.0}, layout);
   // 10 s of disk idle at 1.6 W separates the two estimates.
-  EXPECT_NEAR(with_think.energy - without.energy, 16.0, 0.2);
-  EXPECT_NEAR(with_think.time - without.time, 10.0, 0.01);
+  EXPECT_NEAR((with_think.energy - without.energy).value(), 16.0, 0.2);
+  EXPECT_NEAR((with_think.time - without.time).value(), 10.0, 0.01);
 }
 
 TEST(Estimator, LongThinkTimeTriggersSpinDownInEstimate) {
   device::Disk disk;
-  os::FileLayout layout(kGiB, 1, 0, 0);
+  os::FileLayout layout(kGiB, 1, Bytes{0}, Bytes{0});
   // 60 s gap: the simulated disk spins down mid-gap and must spin up again.
-  const std::vector<IOBurst> bursts{single_burst(35'000),
-                                    single_burst(35'000, 60.0)};
-  const Estimate e = SourceEstimator::estimate_disk(disk, bursts, 0.0, layout);
+  const std::vector<IOBurst> bursts{single_burst(Bytes{35'000}),
+                                    single_burst(Bytes{35'000}, Seconds{60.0})};
+  const Estimate e = SourceEstimator::estimate_disk(disk, bursts, Seconds{0.0}, layout);
   // One mid-gap spin-down and the spin-up before the second burst appear.
-  EXPECT_GT(e.energy, 2.94 + 5.0);
+  EXPECT_GT(e.energy, Joules{2.94 + 5.0});
   // The second request waits for the spin-up: time exceeds 61.6 s.
-  EXPECT_GT(e.time, 61.6);
+  EXPECT_GT(e.time, Seconds{61.6});
 }
 
 TEST(Estimator, StartsFromLiveDeviceState) {
   device::Disk standby_disk;
-  standby_disk.advance_to(100.0);  // Deep standby.
+  standby_disk.advance_to(Seconds{100.0});  // Deep standby.
   device::Disk idle_disk;
-  os::FileLayout layout(kGiB, 1, 0, 0);
-  const std::vector<IOBurst> bursts{single_burst(35'000)};
+  os::FileLayout layout(kGiB, 1, Bytes{0}, Bytes{0});
+  const std::vector<IOBurst> bursts{single_burst(Bytes{35'000})};
   const Estimate from_standby =
-      SourceEstimator::estimate_disk(standby_disk, bursts, 100.0, layout);
+      SourceEstimator::estimate_disk(standby_disk, bursts, Seconds{100.0}, layout);
   const Estimate from_idle =
-      SourceEstimator::estimate_disk(idle_disk, bursts, 0.0, layout);
+      SourceEstimator::estimate_disk(idle_disk, bursts, Seconds{0.0}, layout);
   // The standby start pays the 5 J spin-up and the 1.6 s delay.
-  EXPECT_NEAR(from_standby.energy - from_idle.energy, 5.0, 0.01);
-  EXPECT_NEAR(from_standby.time - from_idle.time, 1.6, 0.001);
+  EXPECT_NEAR((from_standby.energy - from_idle.energy).value(), 5.0, 0.01);
+  EXPECT_NEAR((from_standby.time - from_idle.time).value(), 1.6, 0.001);
 }
 
 TEST(Estimator, CacheFilterDropsResidentRequests) {
   device::Wnic wnic;
-  const std::vector<IOBurst> bursts{single_burst(1'000'000)};
+  const std::vector<IOBurst> bursts{single_burst(Bytes{1'000'000})};
   const CacheFilter drop_all = [](const BurstRequest&) { return true; };
   const CacheFilter drop_none = [](const BurstRequest&) { return false; };
   const Estimate filtered =
-      SourceEstimator::estimate_network(wnic, bursts, 0.0, &drop_all);
+      SourceEstimator::estimate_network(wnic, bursts, Seconds{0.0}, &drop_all);
   const Estimate unfiltered =
-      SourceEstimator::estimate_network(wnic, bursts, 0.0, &drop_none);
+      SourceEstimator::estimate_network(wnic, bursts, Seconds{0.0}, &drop_none);
   EXPECT_LT(filtered.energy, unfiltered.energy);
-  EXPECT_NEAR(filtered.time, 0.0, kEps);
+  EXPECT_NEAR(filtered.time.value(), 0.0, kEps);
 }
 
 TEST(Estimator, EmptyBurstSpanCostsNothing) {
   device::Disk disk;
   os::FileLayout layout(kGiB);
-  const Estimate e = SourceEstimator::estimate_disk(disk, {}, 0.0, layout);
-  EXPECT_NEAR(e.time, 0.0, kEps);
-  EXPECT_NEAR(e.energy, 0.0, kEps);
+  const Estimate e = SourceEstimator::estimate_disk(disk, {}, Seconds{0.0}, layout);
+  EXPECT_NEAR(e.time.value(), 0.0, kEps);
+  EXPECT_NEAR(e.energy.value(), 0.0, kEps);
 }
 
 TEST(Estimator, NetworkBandwidthScalesTransferTime) {
   device::Wnic slow(device::WnicParams::cisco_aironet350().with_bandwidth_mbps(1.0));
   device::Wnic fast(device::WnicParams::cisco_aironet350().with_bandwidth_mbps(11.0));
-  const std::vector<IOBurst> bursts{single_burst(1'375'000)};
-  const Estimate es = SourceEstimator::estimate_network(slow, bursts, 0.0);
-  const Estimate ef = SourceEstimator::estimate_network(fast, bursts, 0.0);
+  const std::vector<IOBurst> bursts{single_burst(Bytes{1'375'000})};
+  const Estimate es = SourceEstimator::estimate_network(slow, bursts, Seconds{0.0});
+  const Estimate ef = SourceEstimator::estimate_network(fast, bursts, Seconds{0.0});
   // Same RPC latency on both; the transfer part scales 11x (11 s vs 1 s).
-  EXPECT_NEAR(es.time - ef.time, 10.0, 0.01);
+  EXPECT_NEAR((es.time - ef.time).value(), 10.0, 0.01);
 }
 
 TEST(Estimator, SequentialBurstRequestsAvoidRepeatSeeks) {
   device::Disk disk;
-  os::FileLayout layout(kGiB, 1, 0, 0);
+  os::FileLayout layout(kGiB, 1, Bytes{0}, Bytes{0});
   // One burst with two sequential 128 KiB requests on the same file.
   IOBurst b;
-  b.requests.push_back(BurstRequest{.inode = 1, .offset = 0, .size = 131072});
+  b.requests.push_back(BurstRequest{.inode = 1, .offset = Bytes{0}, .size = Bytes{131072}});
   b.requests.push_back(
-      BurstRequest{.inode = 1, .offset = 131072, .size = 131072});
+      BurstRequest{.inode = 1, .offset = Bytes{131072}, .size = Bytes{131072}});
   IOBurst scattered;
   scattered.requests.push_back(
-      BurstRequest{.inode = 1, .offset = 0, .size = 131072});
+      BurstRequest{.inode = 1, .offset = Bytes{0}, .size = Bytes{131072}});
   scattered.requests.push_back(
-      BurstRequest{.inode = 2, .offset = 0, .size = 131072});
+      BurstRequest{.inode = 2, .offset = Bytes{0}, .size = Bytes{131072}});
   layout.ensure(1, 10 * kMiB);
   layout.ensure(2, 1 * kMiB);
-  const Estimate seq = SourceEstimator::estimate_disk(disk, {&b, 1}, 0.0, layout);
+  const Estimate seq = SourceEstimator::estimate_disk(disk, {&b, 1}, Seconds{0.0}, layout);
   const Estimate rnd =
-      SourceEstimator::estimate_disk(disk, {&scattered, 1}, 0.0, layout);
-  EXPECT_NEAR(rnd.time - seq.time, 0.020, 1e-6);  // One extra positioning.
+      SourceEstimator::estimate_disk(disk, {&scattered, 1}, Seconds{0.0}, layout);
+  EXPECT_NEAR((rnd.time - seq.time).value(), 0.020, 1e-6);  // One extra positioning.
 }
 
 TEST(Estimator, MatchesTraceDrivenExtraction) {
   trace::TraceBuilder tb;
-  tb.read_file(1, 256 * 1024, 64 * 1024);
+  tb.read_file(1, Bytes{256 * 1024}, Bytes{64 * 1024});
   const auto bursts = bursts_of(tb.build());
   device::Disk disk;
-  os::FileLayout layout(kGiB, 1, 0, 0);
-  const Estimate e = SourceEstimator::estimate_disk(disk, bursts, 0.0, layout);
+  os::FileLayout layout(kGiB, 1, Bytes{0}, Bytes{0});
+  const Estimate e = SourceEstimator::estimate_disk(disk, bursts, Seconds{0.0}, layout);
   // 256 KiB split into two 128 KiB merged requests, sequential on disk:
   // one positioning + 256 KiB transfer.
-  EXPECT_NEAR(e.time, 0.020 + 262144 / 35e6, 1e-6);
+  EXPECT_NEAR(e.time.value(), 0.020 + 262144 / 35e6, 1e-6);
 }
 
 }  // namespace

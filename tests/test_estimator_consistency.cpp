@@ -37,40 +37,40 @@ trace::Trace build_trace(const Shape& s) {
 
 TEST_P(EstimatorConsistency, DiskEstimateTracksDiskOnlyRun) {
   const trace::Trace t = build_trace(GetParam());
-  const Profile profile = Profile::from_trace(t, 0.020);
+  const Profile profile = Profile::from_trace(t, Seconds{0.020});
 
   sim::SimConfig config;
   device::Disk disk(config.disk);
   os::FileLayout layout(config.disk.capacity, config.layout_seed);
   const Estimate est = SourceEstimator::estimate_disk(
-      disk, profile.span(0, profile.size()), 0.0, layout);
+      disk, profile.span(0, profile.size()), Seconds{0.0}, layout);
 
   policies::DiskOnlyPolicy policy;
   const auto r = sim::simulate(config, t, policy);
 
   // Energy: the measured run additionally pays the WNIC's PSM floor and
   // the trailing rundown; compare against the disk meter only.
-  EXPECT_NEAR(est.energy, r.disk_energy(), 0.30 * r.disk_energy())
+  EXPECT_NEAR(est.energy.value(), r.disk_energy().value(), (0.30 * r.disk_energy()).value())
       << GetParam().name;
   // Time: the whole-run span must agree closely (think-dominated).
-  EXPECT_NEAR(est.time, r.makespan, 0.15 * r.makespan) << GetParam().name;
+  EXPECT_NEAR(est.time.value(), r.makespan.value(), (0.15 * r.makespan).value()) << GetParam().name;
 }
 
 TEST_P(EstimatorConsistency, NetworkEstimateTracksWnicOnlyRun) {
   const trace::Trace t = build_trace(GetParam());
-  const Profile profile = Profile::from_trace(t, 0.020);
+  const Profile profile = Profile::from_trace(t, Seconds{0.020});
 
   sim::SimConfig config;
   device::Wnic wnic(config.wnic);
   const Estimate est = SourceEstimator::estimate_network(
-      wnic, profile.span(0, profile.size()), 0.0);
+      wnic, profile.span(0, profile.size()), Seconds{0.0});
 
   policies::WnicOnlyPolicy policy;
   const auto r = sim::simulate(config, t, policy);
 
-  EXPECT_NEAR(est.energy, r.wnic_energy(), 0.30 * r.wnic_energy())
+  EXPECT_NEAR(est.energy.value(), r.wnic_energy().value(), (0.30 * r.wnic_energy()).value())
       << GetParam().name;
-  EXPECT_NEAR(est.time, r.makespan, 0.15 * r.makespan) << GetParam().name;
+  EXPECT_NEAR(est.time.value(), r.makespan.value(), (0.15 * r.makespan).value()) << GetParam().name;
 }
 
 TEST_P(EstimatorConsistency, EstimatesRankDevicesLikeMeasurements) {
@@ -78,16 +78,16 @@ TEST_P(EstimatorConsistency, EstimatesRankDevicesLikeMeasurements) {
   // measured runs differ by more than 20 %, the estimates must agree on
   // which device is cheaper.
   const trace::Trace t = build_trace(GetParam());
-  const Profile profile = Profile::from_trace(t, 0.020);
+  const Profile profile = Profile::from_trace(t, Seconds{0.020});
 
   sim::SimConfig config;
   device::Disk disk(config.disk);
   device::Wnic wnic(config.wnic);
   os::FileLayout layout(config.disk.capacity, config.layout_seed);
   const Estimate est_disk = SourceEstimator::estimate_disk(
-      disk, profile.span(0, profile.size()), 0.0, layout);
+      disk, profile.span(0, profile.size()), Seconds{0.0}, layout);
   const Estimate est_net = SourceEstimator::estimate_network(
-      wnic, profile.span(0, profile.size()), 0.0);
+      wnic, profile.span(0, profile.size()), Seconds{0.0});
 
   policies::DiskOnlyPolicy dp;
   policies::WnicOnlyPolicy wp;
@@ -104,10 +104,10 @@ TEST_P(EstimatorConsistency, EstimatesRankDevicesLikeMeasurements) {
 INSTANTIATE_TEST_SUITE_P(
     Shapes, EstimatorConsistency,
     ::testing::Values(
-        Shape{"bursty_large", 4, 16 * kMiB, 1.0},
-        Shape{"paced_medium", 20, 2 * kMiB, 30.0},
-        Shape{"sparse_small", 15, 128 * kKiB, 25.0},
-        Shape{"dense_small", 40, 256 * kKiB, 3.0}),
+        Shape{"bursty_large", 4, 16 * kMiB, Seconds{1.0}},
+        Shape{"paced_medium", 20, 2 * kMiB, Seconds{30.0}},
+        Shape{"sparse_small", 15, 128 * kKiB, Seconds{25.0}},
+        Shape{"dense_small", 40, 256 * kKiB, Seconds{3.0}}),
     [](const ::testing::TestParamInfo<Shape>& param_info) {
       return param_info.param.name;
     });

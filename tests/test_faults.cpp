@@ -70,27 +70,27 @@ TEST(FaultSchedule, GeneratedScheduleIsNonEmptyAndValid) {
 
 TEST(FaultSchedule, ValidateRejectsOverlappingWindows) {
   faults::FaultSchedule s;
-  s.wnic.outages = {{.start = 0.0, .end = 10.0}, {.start = 5.0, .end = 15.0}};
+  s.wnic.outages = {{.start = Seconds{0.0}, .end = Seconds{10.0}}, {.start = Seconds{5.0}, .end = Seconds{15.0}}};
   EXPECT_THROW(s.validate(), ConfigError);
 }
 
 TEST(FaultSchedule, ValidateRejectsBadDegradationFactor) {
   faults::FaultSchedule s;
-  s.wnic.degradations = {{.start = 0.0, .end = 10.0, .factor = 1.5}};
+  s.wnic.degradations = {{.start = Seconds{0.0}, .end = Seconds{10.0}, .factor = 1.5}};
   EXPECT_THROW(s.validate(), ConfigError);
-  s.wnic.degradations = {{.start = 0.0, .end = 10.0, .factor = 0.0}};
+  s.wnic.degradations = {{.start = Seconds{0.0}, .end = Seconds{10.0}, .factor = 0.0}};
   EXPECT_THROW(s.validate(), ConfigError);
 }
 
 TEST(FaultSchedule, PointQueriesHonourHalfOpenWindows) {
   faults::WnicFaultSchedule s;
-  s.outages = {{.start = 5.0, .end = 15.0}, {.start = 20.0, .end = 25.0}};
-  EXPECT_EQ(s.outage_at(4.999), nullptr);
-  ASSERT_NE(s.outage_at(5.0), nullptr);
-  EXPECT_EQ(s.outage_at(5.0)->end, 15.0);
-  EXPECT_NE(s.outage_at(14.999), nullptr);
-  EXPECT_EQ(s.outage_at(15.0), nullptr);  // End is exclusive.
-  EXPECT_NE(s.outage_at(22.0), nullptr);
+  s.outages = {{.start = Seconds{5.0}, .end = Seconds{15.0}}, {.start = Seconds{20.0}, .end = Seconds{25.0}}};
+  EXPECT_EQ(s.outage_at(Seconds{4.999}), nullptr);
+  ASSERT_NE(s.outage_at(Seconds{5.0}), nullptr);
+  EXPECT_EQ(s.outage_at(Seconds{5.0})->end, Seconds{15.0});
+  EXPECT_NE(s.outage_at(Seconds{14.999}), nullptr);
+  EXPECT_EQ(s.outage_at(Seconds{15.0}), nullptr);  // End is exclusive.
+  EXPECT_NE(s.outage_at(Seconds{22.0}), nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -98,27 +98,27 @@ TEST(FaultSchedule, PointQueriesHonourHalfOpenWindows) {
 
 TEST(FaultWnic, OutageStallsServiceUntilWindowEnd) {
   faults::WnicFaultSchedule schedule;
-  schedule.outages = {{.start = 5.0, .end = 15.0}};
+  schedule.outages = {{.start = Seconds{5.0}, .end = Seconds{15.0}}};
   device::Wnic w;
   w.set_fault_schedule(&schedule);
-  const auto res = w.service(6.0, read_req(0, 256 * kKiB));
-  EXPECT_NEAR(res.arrival, 6.0, kEps);
-  EXPECT_NEAR(res.fault_delay, 9.0, kEps);  // Waits 6.0 -> 15.0.
-  EXPECT_GE(res.start, 15.0 - kEps);
+  const auto res = w.service(Seconds{6.0}, read_req(Bytes{0}, 256 * kKiB));
+  EXPECT_NEAR(res.arrival.value(), 6.0, kEps);
+  EXPECT_NEAR(res.fault_delay.value(), 9.0, kEps);  // Waits 6.0 -> 15.0.
+  EXPECT_GE(res.start, Seconds{15.0 - kEps});
   EXPECT_EQ(w.counters().outage_stalls, 1u);
-  EXPECT_NEAR(w.counters().outage_wait, 9.0, kEps);
+  EXPECT_NEAR(w.counters().outage_wait.value(), 9.0, kEps);
 }
 
 TEST(FaultWnic, DegradationScalesTransferTime) {
   faults::WnicFaultSchedule schedule;
-  schedule.degradations = {{.start = 0.0, .end = 100.0, .factor = 0.5}};
+  schedule.degradations = {{.start = Seconds{0.0}, .end = Seconds{100.0}, .factor = 0.5}};
   device::Wnic degraded;
   degraded.set_fault_schedule(&schedule);
   device::Wnic nominal;
-  const auto slow = degraded.service(0.0, read_req(0, 1'375'000));
-  const auto fast = nominal.service(0.0, read_req(0, 1'375'000));
+  const auto slow = degraded.service(Seconds{0.0}, read_req(Bytes{0}, Bytes{1'375'000}));
+  const auto fast = nominal.service(Seconds{0.0}, read_req(Bytes{0}, Bytes{1'375'000}));
   // Same RPC latency; the payload streams at half rate: 2 s vs 1 s.
-  EXPECT_NEAR((slow.completion - slow.start) - (fast.completion - fast.start),
+  EXPECT_NEAR(((slow.completion - slow.start) - (fast.completion - fast.start)).value(),
               1.0, 1e-6);
   EXPECT_EQ(degraded.counters().degraded_transfers, 1u);
   EXPECT_EQ(nominal.counters().degraded_transfers, 0u);
@@ -127,43 +127,43 @@ TEST(FaultWnic, DegradationScalesTransferTime) {
 TEST(FaultDisk, SpinUpStallStretchesAndChargesTheSpinUp) {
   faults::DiskFaultSchedule schedule;
   schedule.spin_up_stalls = {
-      {.start = 50.0, .end = 70.0, .extra_time = 3.0, .extra_energy = 7.5}};
+      {.start = Seconds{50.0}, .end = Seconds{70.0}, .extra_time = Seconds{3.0}, .extra_energy = Joules{7.5}}};
   device::Disk d;
   d.set_fault_schedule(&schedule);
-  d.advance_to(60.0);  // Deep standby (spin-down completed at 22.3 s).
+  d.advance_to(Seconds{60.0});  // Deep standby (spin-down completed at 22.3 s).
   ASSERT_EQ(d.state(), device::DiskState::kStandby);
-  const auto res = d.service(60.0, read_req(0, 35'000));
+  const auto res = d.service(Seconds{60.0}, read_req(Bytes{0}, Bytes{35'000}));
   // Nominal spin-up 1.6 s + 3 s of head-load retries.
-  EXPECT_NEAR(res.start, 60.0 + 1.6 + 3.0, kEps);
-  EXPECT_NEAR(res.fault_delay, 3.0, kEps);
-  EXPECT_NEAR(d.meter()[device::EnergyCategory::kSpinUp], 5.0 + 7.5, kEps);
+  EXPECT_NEAR(res.start.value(), 60.0 + 1.6 + 3.0, kEps);
+  EXPECT_NEAR(res.fault_delay.value(), 3.0, kEps);
+  EXPECT_NEAR(d.meter()[device::EnergyCategory::kSpinUp].value(), 5.0 + 7.5, kEps);
   EXPECT_EQ(d.counters().spin_up_stalls, 1u);
-  EXPECT_NEAR(d.counters().stall_time, 3.0, kEps);
+  EXPECT_NEAR(d.counters().stall_time.value(), 3.0, kEps);
 }
 
 TEST(FaultDisk, TimeToReadyPricesTheStall) {
   faults::DiskFaultSchedule schedule;
   schedule.spin_up_stalls = {
-      {.start = 50.0, .end = 70.0, .extra_time = 3.0, .extra_energy = 7.5}};
+      {.start = Seconds{50.0}, .end = Seconds{70.0}, .extra_time = Seconds{3.0}, .extra_energy = Joules{7.5}}};
   device::Disk d;
   d.set_fault_schedule(&schedule);
-  d.advance_to(60.0);
-  EXPECT_NEAR(d.time_to_ready(60.0), 1.6 + 3.0, kEps);
+  d.advance_to(Seconds{60.0});
+  EXPECT_NEAR(d.time_to_ready((Seconds{60.0})).value(), 1.6 + 3.0, kEps);
   // A spin-up beginning after the window is nominal again.
-  EXPECT_NEAR(d.time_to_ready(80.0), 1.6, kEps);
+  EXPECT_NEAR(d.time_to_ready((Seconds{80.0})).value(), 1.6, kEps);
 }
 
 TEST(FaultDisk, DetachedCopySharesTheSchedule) {
   faults::DiskFaultSchedule schedule;
   schedule.spin_up_stalls = {
-      {.start = 50.0, .end = 70.0, .extra_time = 3.0, .extra_energy = 7.5}};
+      {.start = Seconds{50.0}, .end = Seconds{70.0}, .extra_time = Seconds{3.0}, .extra_energy = Joules{7.5}}};
   device::Disk d;
   d.set_fault_schedule(&schedule);
-  d.advance_to(60.0);
+  d.advance_to(Seconds{60.0});
   // estimate() replays on a detached copy; the copy must still price the
   // stall, or splice re-evaluation would under-estimate a faulted disk.
-  const auto est = d.estimate(60.0, read_req(0, 35'000));
-  EXPECT_NEAR(est.start, 60.0 + 1.6 + 3.0, kEps);
+  const auto est = d.estimate(Seconds{60.0}, read_req(Bytes{0}, Bytes{35'000}));
+  EXPECT_NEAR(est.start.value(), 60.0 + 1.6 + 3.0, kEps);
   EXPECT_EQ(d.counters().spin_up_stalls, 0u);  // Live disk untouched.
 }
 
@@ -171,27 +171,27 @@ TEST(FaultDevice, FarFutureScheduleIsInert) {
   // Additivity: a schedule whose windows never intersect the timeline
   // leaves results bit-identical to running with no schedule at all.
   faults::WnicFaultSchedule wnic_far;
-  wnic_far.outages = {{.start = 1e6, .end = 1e6 + 60.0}};
-  wnic_far.degradations = {{.start = 1e6, .end = 1e6 + 60.0, .factor = 0.5}};
+  wnic_far.outages = {{.start = Seconds{1e6}, .end = Seconds{1e6 + 60.0}}};
+  wnic_far.degradations = {{.start = Seconds{1e6}, .end = Seconds{1e6 + 60.0}, .factor = 0.5}};
   faults::DiskFaultSchedule disk_far;
   disk_far.spin_up_stalls = {
-      {.start = 1e6, .end = 1e6 + 60.0, .extra_time = 3.0, .extra_energy = 1.0}};
+      {.start = Seconds{1e6}, .end = Seconds{1e6 + 60.0}, .extra_time = Seconds{3.0}, .extra_energy = Joules{1.0}}};
 
   device::Wnic w_faulted, w_plain;
   w_faulted.set_fault_schedule(&wnic_far);
   device::Disk d_faulted, d_plain;
   d_faulted.set_fault_schedule(&disk_far);
 
-  Seconds tw = 0.0, td = 0.0;
+  Seconds tw = Seconds{0.0}, td = Seconds{0.0};
   for (int i = 0; i < 8; ++i) {
-    const auto rf = w_faulted.service(tw, read_req(0, 256 * kKiB));
-    const auto rp = w_plain.service(tw, read_req(0, 256 * kKiB));
+    const auto rf = w_faulted.service(tw, read_req(Bytes{0}, 256 * kKiB));
+    const auto rp = w_plain.service(tw, read_req(Bytes{0}, 256 * kKiB));
     EXPECT_EQ(rf.completion, rp.completion);
-    tw = rf.completion + (i % 2 == 0 ? 30.0 : 0.5);
-    const auto df = d_faulted.service(td, read_req(Bytes(i) * kMiB, 64 * kKiB));
-    const auto dp = d_plain.service(td, read_req(Bytes(i) * kMiB, 64 * kKiB));
+    tw = rf.completion + Seconds{i % 2 == 0 ? 30.0 : 0.5};
+    const auto df = d_faulted.service(td, read_req(static_cast<std::uint64_t>(i) * kMiB, 64 * kKiB));
+    const auto dp = d_plain.service(td, read_req(static_cast<std::uint64_t>(i) * kMiB, 64 * kKiB));
     EXPECT_EQ(df.completion, dp.completion);
-    td = df.completion + (i % 2 == 0 ? 30.0 : 0.5);
+    td = df.completion + Seconds{i % 2 == 0 ? 30.0 : 0.5};
   }
   EXPECT_EQ(w_faulted.meter().total(), w_plain.meter().total());
   EXPECT_EQ(d_faulted.meter().total(), d_plain.meter().total());
@@ -208,8 +208,8 @@ TEST(FaultAudit, PurityCheckPassesWhenNothingMutates) {
   device::Disk disk;
   device::Wnic wnic;
   const auto snap = audit.capture(disk, wnic, nullptr);
-  const auto est = disk.estimate(0.0, read_req(0, 64 * kKiB));  // Pure.
-  EXPECT_GT(est.energy, 0.0);
+  const auto est = disk.estimate(Seconds{0.0}, read_req(Bytes{0}, 64 * kKiB));  // Pure.
+  EXPECT_GT(est.energy, Joules{0.0});
   EXPECT_NO_THROW(audit.check_estimate_purity(snap, disk, wnic, nullptr));
 }
 
@@ -218,7 +218,7 @@ TEST(FaultAudit, PurityCheckCatchesLiveMutation) {
   device::Disk disk;
   device::Wnic wnic;
   const auto snap = audit.capture(disk, wnic, nullptr);
-  disk.service(0.0, read_req(0, 64 * kKiB));  // "Leaked" replay.
+  disk.service(Seconds{0.0}, read_req(Bytes{0}, 64 * kKiB));  // "Leaked" replay.
   EXPECT_THROW(audit.check_estimate_purity(snap, disk, wnic, nullptr),
                InternalError);
 }
@@ -230,7 +230,7 @@ TEST(FaultAudit, PurityCheckCatchesRecorderLeak) {
   telemetry::Recorder rec;
   const auto snap = audit.capture(disk, wnic, &rec);
   rec.instant(telemetry::Category::kSim, "phantom", telemetry::track::kSim,
-              0.0);
+              Seconds{0.0});
   EXPECT_THROW(audit.check_estimate_purity(snap, disk, wnic, &rec),
                InternalError);
 }
@@ -246,7 +246,7 @@ TEST(FaultAudit, FullSimulationPassesWithAuditEnabled) {
   sim::Simulator simulator(config, scenario.programs, *policy);
   sim::SimResult r;
   EXPECT_NO_THROW(r = simulator.run());
-  EXPECT_GT(r.total_energy(), 0.0);
+  EXPECT_GT(r.total_energy(), Joules{0.0});
 }
 
 TEST(FaultAudit, EnablingTheAuditNeverChangesResults) {
@@ -304,7 +304,7 @@ TEST(FaultFailover, MidStageOutageFlipsNetworkToDisk) {
 
   sim::SimConfig config;
   config.faults.wnic.outages = {
-      {.start = span / 3.0, .end = span / 3.0 + 60.0}};
+      {.start = span / 3.0, .end = span / 3.0 + Seconds{60.0}}};
   config.telemetry.enabled = true;
 
   auto policy = policies::make_policy("flexfetch", scenario.profiles,
@@ -334,7 +334,7 @@ TEST(FaultFailover, StaticVariantNeverReacts) {
   const Seconds span = scenario.programs[0].trace.end_time();
   sim::SimConfig config;
   config.faults.wnic.outages = {
-      {.start = span / 3.0, .end = span / 3.0 + 60.0}};
+      {.start = span / 3.0, .end = span / 3.0 + Seconds{60.0}}};
 
   auto policy = policies::make_policy("flexfetch-static", scenario.profiles,
                                       &scenario.oracle_future);

@@ -8,46 +8,46 @@ namespace flexfetch::os {
 namespace {
 
 TEST(FileLayout, PlacesFilesSequentiallyWithGaps) {
-  FileLayout layout(1 * kGiB, /*seed=*/1, /*min_gap=*/4096, /*max_gap=*/8192);
+  FileLayout layout(1 * kGiB, /*seed=*/1, /*min_gap=*/Bytes{4096}, /*max_gap=*/Bytes{8192});
   layout.ensure(1, 100 * kKiB);
   layout.ensure(2, 50 * kKiB);
-  const Bytes lba1 = layout.lba(1, 0);
-  const Bytes lba2 = layout.lba(2, 0);
-  EXPECT_GE(lba1, 4096u);  // First gap applied before file 1.
+  const Bytes lba1 = layout.lba(1, Bytes{0});
+  const Bytes lba2 = layout.lba(2, Bytes{0});
+  EXPECT_GE(lba1, Bytes{4096});  // First gap applied before file 1.
   // File 2 starts after file 1's end plus a gap in [4096, 8192].
-  EXPECT_GE(lba2, lba1 + 100 * kKiB + 4096);
-  EXPECT_LE(lba2, lba1 + 100 * kKiB + 8192);
+  EXPECT_GE(lba2, lba1 + 100 * kKiB + Bytes{4096});
+  EXPECT_LE(lba2, lba1 + 100 * kKiB + Bytes{8192});
 }
 
 TEST(FileLayout, OffsetIsLinearWithinFile) {
   FileLayout layout(1 * kGiB);
   layout.ensure(1, 1 * kMiB);
-  const Bytes base = layout.lba(1, 0);
-  EXPECT_EQ(layout.lba(1, 4096), base + 4096);
-  EXPECT_EQ(layout.lba(1, 999), base + 999);
+  const Bytes base = layout.lba(1, Bytes{0});
+  EXPECT_EQ(layout.lba(1, Bytes{4096}), base + Bytes{4096});
+  EXPECT_EQ(layout.lba(1, Bytes{999}), base + Bytes{999});
 }
 
 TEST(FileLayout, EnsureIsIdempotent) {
   FileLayout layout(1 * kGiB);
-  layout.ensure(1, 100);
-  const Bytes lba = layout.lba(1, 0);
-  layout.ensure(1, 100);
-  layout.ensure(1, 50);  // Smaller: no change.
-  EXPECT_EQ(layout.lba(1, 0), lba);
+  layout.ensure(1, Bytes{100});
+  const Bytes lba = layout.lba(1, Bytes{0});
+  layout.ensure(1, Bytes{100});
+  layout.ensure(1, Bytes{50});  // Smaller: no change.
+  EXPECT_EQ(layout.lba(1, Bytes{0}), lba);
   EXPECT_EQ(layout.file_count(), 1u);
 }
 
 TEST(FileLayout, GrowingAFileKeepsItsStart) {
   FileLayout layout(1 * kGiB);
-  layout.ensure(1, 100);
-  const Bytes lba = layout.lba(1, 0);
+  layout.ensure(1, Bytes{100});
+  const Bytes lba = layout.lba(1, Bytes{0});
   layout.ensure(1, 10 * kKiB);
-  EXPECT_EQ(layout.lba(1, 0), lba);
+  EXPECT_EQ(layout.lba(1, Bytes{0}), lba);
 }
 
 TEST(FileLayout, UnknownInodeThrows) {
   FileLayout layout(1 * kGiB);
-  EXPECT_THROW(layout.lba(42, 0), ConfigError);
+  EXPECT_THROW(layout.lba(42, Bytes{0}), ConfigError);
   EXPECT_FALSE(layout.contains(42));
 }
 
@@ -59,7 +59,7 @@ TEST(FileLayout, DeterministicForSameSeed) {
     b.ensure(i, 10 * kKiB);
   }
   for (trace::Inode i = 1; i <= 20; ++i) {
-    EXPECT_EQ(a.lba(i, 0), b.lba(i, 0)) << "inode " << i;
+    EXPECT_EQ(a.lba(i, Bytes{0}), b.lba(i, Bytes{0})) << "inode " << i;
   }
 }
 
@@ -70,34 +70,34 @@ TEST(FileLayout, DifferentSeedsProduceDifferentGaps) {
   for (trace::Inode i = 1; i <= 10; ++i) {
     a.ensure(i, 10 * kKiB);
     b.ensure(i, 10 * kKiB);
-    any_diff |= (a.lba(i, 0) != b.lba(i, 0));
+    any_diff |= (a.lba(i, Bytes{0}) != b.lba(i, Bytes{0}));
   }
   EXPECT_TRUE(any_diff);
 }
 
 TEST(FileLayout, PlaceAllOrdersByInode) {
   FileLayout layout(1 * kGiB, 3);
-  std::map<trace::Inode, Bytes> extents{{5, 4096}, {1, 4096}, {3, 4096}};
+  std::map<trace::Inode, Bytes> extents{{5, Bytes{4096}}, {1, Bytes{4096}}, {3, Bytes{4096}}};
   layout.place_all(extents);
-  EXPECT_LT(layout.lba(1, 0), layout.lba(3, 0));
-  EXPECT_LT(layout.lba(3, 0), layout.lba(5, 0));
+  EXPECT_LT(layout.lba(1, Bytes{0}), layout.lba(3, Bytes{0}));
+  EXPECT_LT(layout.lba(3, Bytes{0}), layout.lba(5, Bytes{0}));
 }
 
 TEST(FileLayout, CapacityExhaustionThrows) {
-  FileLayout layout(1 * kMiB, 1, 0, 0);
+  FileLayout layout(1 * kMiB, 1, Bytes{0}, Bytes{0});
   EXPECT_THROW(layout.ensure(1, 2 * kMiB), ConfigError);
 }
 
 TEST(FileLayout, RejectsBadConstruction) {
-  EXPECT_THROW(FileLayout(0), ConfigError);
-  EXPECT_THROW(FileLayout(kGiB, 1, 100, 50), ConfigError);
+  EXPECT_THROW(FileLayout(Bytes{0}), ConfigError);
+  EXPECT_THROW(FileLayout(kGiB, 1, Bytes{100}, Bytes{50}), ConfigError);
 }
 
 TEST(FileLayout, TracksBytesAllocated) {
-  FileLayout layout(1 * kGiB, 1, 0, 0);
-  layout.ensure(1, 1000);
-  layout.ensure(2, 2000);
-  EXPECT_EQ(layout.bytes_allocated(), 3000u);
+  FileLayout layout(1 * kGiB, 1, Bytes{0}, Bytes{0});
+  layout.ensure(1, Bytes{1000});
+  layout.ensure(2, Bytes{2000});
+  EXPECT_EQ(layout.bytes_allocated(), Bytes{3000});
   EXPECT_EQ(layout.file_count(), 2u);
 }
 

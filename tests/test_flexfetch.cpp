@@ -13,12 +13,12 @@ using device::DeviceKind;
 
 /// Paced workload: a small read every 4 s for `n` cycles. Sparse access
 /// makes the disk idle expensively -> the network should win.
-trace::Trace paced_trace(int n = 30, Bytes chunk = 256 * 1024) {
+trace::Trace paced_trace(int n = 30, Bytes chunk = Bytes{256 * 1024}) {
   trace::TraceBuilder b("paced");
   b.process(60, 60);
   for (int i = 0; i < n; ++i) {
-    b.read(1, static_cast<Bytes>(i) * chunk, chunk);
-    b.think(4.0);
+    b.read(1, chunk * static_cast<std::uint64_t>(i), chunk);
+    b.think(Seconds{4.0});
   }
   return b.build();
 }
@@ -28,12 +28,12 @@ trace::Trace paced_trace(int n = 30, Bytes chunk = 256 * 1024) {
 trace::Trace bursty_trace(Bytes total = 60 * kMiB) {
   trace::TraceBuilder b("bursty");
   b.process(61, 61);
-  b.read_file(1, total, 128 * 1024);
+  b.read_file(1, total, Bytes{128 * 1024});
   return b.build();
 }
 
 Profile profile_of(const trace::Trace& t) {
-  return Profile::from_trace(t, 0.020);
+  return Profile::from_trace(t, Seconds{0.020});
 }
 
 sim::SimResult run_policy(sim::Policy& policy, const trace::Trace& t) {
@@ -52,7 +52,7 @@ TEST(FlexFetch, RejectsBadConfig) {
   c.loss_rate = -1.0;
   EXPECT_THROW(FlexFetchPolicy(c, Profile{}), ConfigError);
   c = FlexFetchConfig{};
-  c.stage_min_length = 0.0;
+  c.stage_min_length = Seconds{0.0};
   EXPECT_THROW(FlexFetchPolicy(c, Profile{}), ConfigError);
 }
 
@@ -116,7 +116,7 @@ TEST(FlexFetch, RecordedProfileReflectsTheRun) {
   run_policy(policy, t);
   const Profile& recorded = policy.recorded_profile();
   EXPECT_EQ(recorded.size(), 10u);  // One burst per paced read.
-  EXPECT_EQ(recorded.total_bytes(), 10u * 256u * 1024u);
+  EXPECT_EQ(recorded.total_bytes(), Bytes{10u * 256u * 1024u});
 }
 
 TEST(FlexFetch, DecisionLogIsPopulated) {
@@ -126,8 +126,8 @@ TEST(FlexFetch, DecisionLogIsPopulated) {
   ASSERT_FALSE(policy.decision_log().empty());
   const auto& first = policy.decision_log().front();
   EXPECT_EQ(first.origin, DecisionRecord::Origin::kStageEntry);
-  EXPECT_GT(first.disk.energy, 0.0);
-  EXPECT_GT(first.network.energy, 0.0);
+  EXPECT_GT(first.disk.energy, Joules{0.0});
+  EXPECT_GT(first.network.energy, Joules{0.0});
 }
 
 TEST(FlexFetch, BurstThresholdDerivedFromDiskWhenUnset) {
@@ -135,7 +135,7 @@ TEST(FlexFetch, BurstThresholdDerivedFromDiskWhenUnset) {
   FlexFetchPolicy policy(FlexFetchConfig{}, profile_of(t));
   run_policy(policy, t);
   // DK23DA access time: 13 ms seek + 7 ms rotation.
-  EXPECT_DOUBLE_EQ(policy.config().burst_threshold, 0.020);
+  EXPECT_DOUBLE_EQ(policy.config().burst_threshold.value(), 0.020);
 }
 
 TEST(FlexFetch, FreeRiderRedirectsWhenPinnedProgramHoldsDisk) {
@@ -145,8 +145,8 @@ TEST(FlexFetch, FreeRiderRedirectsWhenPinnedProgramHoldsDisk) {
   trace::TraceBuilder pinned_builder("pinned");
   pinned_builder.process(70, 70);
   for (int i = 0; i < 60; ++i) {
-    pinned_builder.read(99, static_cast<Bytes>(i) * 64 * 1024, 64 * 1024);
-    pinned_builder.think(2.0);
+    pinned_builder.read(99, Bytes{static_cast<std::uint64_t>(i) * 64 * 1024}, Bytes{64 * 1024});
+    pinned_builder.think(Seconds{2.0});
   }
   std::vector<sim::ProgramSpec> programs;
   programs.push_back(sim::ProgramSpec{.trace = paced, .name = "paced"});
@@ -177,16 +177,16 @@ TEST(FlexFetch, AuditCorrectsAStaleProfile) {
   trace::TraceBuilder stale("app");
   stale.process(60, 60);
   for (int i = 0; i < 12; ++i) {
-    stale.read(1, static_cast<Bytes>(i) * 8192, 8192);
-    stale.think(30.0);
+    stale.read(1, Bytes{static_cast<std::uint64_t>(i) * 8192}, Bytes{8192});
+    stale.think(Seconds{30.0});
   }
   trace::TraceBuilder actual_builder("app");
   actual_builder.process(60, 60);
   for (int i = 0; i < 10; ++i) {
     // Distinct 20 MiB files so the buffer cache cannot absorb the run.
     actual_builder.read_file(100 + static_cast<trace::Inode>(i), 20 * kMiB,
-                             128 * 1024);
-    actual_builder.think(5.0);
+                             Bytes{128 * 1024});
+    actual_builder.think(Seconds{5.0});
   }
   const trace::Trace actual = actual_builder.build();
   const trace::Trace stale_trace = stale.build();
@@ -210,8 +210,8 @@ TEST(FlexFetch, CacheFilterDropsWarmRequests) {
   b.process(60, 60);
   for (int round = 0; round < 2; ++round) {
     for (int i = 0; i < 10; ++i) {
-      b.read(1, static_cast<Bytes>(i) * 16 * 1024, 16 * 1024);
-      b.think(4.0);
+      b.read(1, Bytes{static_cast<std::uint64_t>(i) * 16 * 1024}, Bytes{16 * 1024});
+      b.think(Seconds{4.0});
     }
   }
   const trace::Trace t = b.build();
@@ -224,8 +224,8 @@ TEST(FlexFetch, MultiProfileConstructorMerges) {
   const trace::Trace a = paced_trace(5);
   trace::TraceBuilder bb("b");
   bb.process(61, 61);
-  bb.at(100.0);
-  bb.read(2, 0, 4096);
+  bb.at(Seconds{100.0});
+  bb.read(2, Bytes{0}, Bytes{4096});
   const std::vector<Profile> profiles{profile_of(a), profile_of(bb.build())};
   FlexFetchPolicy policy(FlexFetchConfig{}, profiles);
   run_policy(policy, a);  // Merged profile drives the run.
@@ -246,8 +246,8 @@ TEST(FlexFetch, LossRateGatesTheNetwork) {
   trace::TraceBuilder b("mix");
   b.process(60, 60);
   for (int i = 0; i < 20; ++i) {
-    b.read_file(1 + static_cast<trace::Inode>(i), 1 * kMiB, 128 * 1024);
-    b.think(6.0);
+    b.read_file(1 + static_cast<trace::Inode>(i), 1 * kMiB, Bytes{128 * 1024});
+    b.think(Seconds{6.0});
   }
   const trace::Trace t = b.build();
 

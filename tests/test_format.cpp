@@ -6,29 +6,29 @@ namespace flexfetch {
 namespace {
 
 TEST(Format, Bytes) {
-  EXPECT_EQ(format_bytes(0), "0 B");
-  EXPECT_EQ(format_bytes(512), "512 B");
-  EXPECT_EQ(format_bytes(1024), "1.0 KiB");
-  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(format_bytes(Bytes{0}), "0 B");
+  EXPECT_EQ(format_bytes(Bytes{512}), "512 B");
+  EXPECT_EQ(format_bytes(Bytes{1024}), "1.0 KiB");
+  EXPECT_EQ(format_bytes(Bytes{1536}), "1.5 KiB");
   EXPECT_EQ(format_bytes(kMiB), "1.0 MiB");
   EXPECT_EQ(format_bytes(3 * kGiB), "3.00 GiB");
 }
 
 TEST(Format, Seconds) {
-  EXPECT_EQ(format_seconds(0.0000005), "0.5 us");
-  EXPECT_EQ(format_seconds(0.013), "13.0 ms");
-  EXPECT_EQ(format_seconds(1.5), "1.50 s");
-  EXPECT_EQ(format_seconds(90.0), "90.00 s");
-  EXPECT_EQ(format_seconds(180.0), "3.0 min");
+  EXPECT_EQ(format_seconds(Seconds{0.0000005}), "0.5 us");
+  EXPECT_EQ(format_seconds(Seconds{0.013}), "13.0 ms");
+  EXPECT_EQ(format_seconds(Seconds{1.5}), "1.50 s");
+  EXPECT_EQ(format_seconds(Seconds{90.0}), "90.00 s");
+  EXPECT_EQ(format_seconds(Seconds{180.0}), "3.0 min");
 }
 
 TEST(Format, NegativeSeconds) {
-  EXPECT_EQ(format_seconds(-1.5), "-1.50 s");
+  EXPECT_EQ(format_seconds(Seconds{-1.5}), "-1.50 s");
 }
 
 TEST(Format, Joules) {
-  EXPECT_EQ(format_joules(1522.44), "1522.4 J");
-  EXPECT_EQ(format_joules(0.0), "0.0 J");
+  EXPECT_EQ(format_joules(Joules{1522.44}), "1522.4 J");
+  EXPECT_EQ(format_joules(Joules{0.0}), "0.0 J");
 }
 
 TEST(Strprintf, FormatsLikePrintf) {

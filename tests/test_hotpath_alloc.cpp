@@ -57,19 +57,19 @@ TEST(HotpathAllocation, BufferCacheSteadyStateIsAllocationFree) {
   // Warm-up: stream enough pages to fill the cache, the ghost list, and the
   // dirty chain, so every later operation recycles arena slots.
   for (std::uint64_t i = 0; i < 4096; ++i) {
-    cache.fill(PageId{1, i}, 0.001 * static_cast<double>(i), flushed);
+    cache.fill(PageId{1, i}, Seconds{0.001 * static_cast<double>(i)}, flushed);
     if (i % 3 == 0) {
-      cache.write(PageId{1, i}, 0.001 * static_cast<double>(i), flushed);
+      cache.write(PageId{1, i}, Seconds{0.001 * static_cast<double>(i)}, flushed);
     }
   }
   flushed.clear();
 
   const std::uint64_t before = allocation_count();
   std::uint64_t hits = 0;
-  Seconds now = 10.0;
+  Seconds now = Seconds{10.0};
   for (std::uint64_t i = 0; i < 100000; ++i) {
     const PageId id{1, 4096 + i % 8192};
-    now += 0.001;
+    now += Seconds{0.001};
     hits += cache.lookup(id, now) ? 1u : 0u;
     cache.fill(id, now, flushed);
     if (i % 4 == 0) cache.write(PageId{1, i % 512}, now, flushed);
@@ -87,11 +87,11 @@ TEST(HotpathAllocation, CScanSteadyStateIsAllocationFree) {
   sched.reserve(256);
 
   const std::uint64_t before = allocation_count();
-  Bytes lba = 0;
+  Bytes lba = Bytes{0};
   for (std::uint64_t i = 0; i < 100000; ++i) {
-    if (i % 4 == 0) lba = (i * 7919) % (1ull << 30);
-    sched.submit(device::DeviceRequest{.lba = lba, .size = 4096});
-    lba += 4096;
+    if (i % 4 == 0) lba = Bytes{(i * 7919) % (1ull << 30)};
+    sched.submit(device::DeviceRequest{.lba = lba, .size = Bytes{4096}});
+    lba += Bytes{4096};
     while (sched.pending() > 128) sched.dispatch();
   }
   while (sched.dispatch()) {

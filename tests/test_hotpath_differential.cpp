@@ -104,7 +104,7 @@ class Reference2Q {
     Queue queue;
     std::list<PageId>::iterator pos;
     bool dirty = false;
-    Seconds dirtied_at = 0.0;
+    Seconds dirtied_at = Seconds{0.0};
     std::list<DirtyPage>::iterator dirty_pos;
   };
 
@@ -248,7 +248,7 @@ class ReferenceCScan {
 
  private:
   std::map<Bytes, device::DeviceRequest> queue_;
-  Bytes head_ = 0;
+  Bytes head_ = Bytes{0};
   SchedulerStats stats_;
 };
 
@@ -278,12 +278,12 @@ TEST(HotpathDifferential, ArenaCacheMatchesReferenceOverRandomOps) {
   std::uniform_int_distribution<std::uint64_t> page(0, 255);
   std::uniform_int_distribution<std::uint64_t> inode(1, 3);
   std::uniform_int_distribution<int> op(0, 99);
-  Seconds now = 0.0;
+  Seconds now = Seconds{0.0};
 
   constexpr int kOps = 150000;
   for (int i = 0; i < kOps; ++i) {
     const PageId id{inode(rng), page(rng)};
-    now += 0.001;
+    now += Seconds{0.001};
     const int o = op(rng);
     if (o < 35) {  // lookup
       ASSERT_EQ(arena.lookup(id, now), ref.lookup(id, now)) << "op " << i;
@@ -301,8 +301,8 @@ TEST(HotpathDifferential, ArenaCacheMatchesReferenceOverRandomOps) {
     } else {  // dirty queries
       ASSERT_TRUE(same_dirty(arena.dirty_pages(), ref.dirty_pages()))
           << "op " << i;
-      ASSERT_TRUE(same_dirty(arena.dirty_pages_older_than(now, 0.05),
-                             ref.dirty_pages_older_than(now, 0.05)))
+      ASSERT_TRUE(same_dirty(arena.dirty_pages_older_than(now, Seconds{0.05}),
+                             ref.dirty_pages_older_than(now, Seconds{0.05})))
           << "op " << i;
     }
     ASSERT_EQ(arena.size(), ref.size()) << "op " << i;
@@ -325,7 +325,7 @@ TEST(HotpathDifferential, ArenaCacheMatchesReferenceWithOutOfOrderTimestamps) {
   std::uniform_real_distribution<double> when(0.0, 10.0);
   for (int i = 0; i < 20000; ++i) {
     const PageId id{1, page(rng)};
-    const Seconds t = when(rng);
+    const Seconds t = Seconds{when(rng)};
     ASSERT_TRUE(same_dirty(arena.write(id, t), ref.write(id, t))) << "op " << i;
     ASSERT_TRUE(same_dirty(arena.dirty_pages(), ref.dirty_pages())) << "op " << i;
   }
@@ -340,7 +340,7 @@ TEST(HotpathDifferential, FlatCScanMatchesReferenceOverRandomOps) {
   std::uniform_int_distribution<std::uint64_t> npages(1, 8);
   std::uniform_int_distribution<int> coin(0, 99);
 
-  Bytes prev_end = 0;
+  Bytes prev_end = Bytes{0};
   constexpr int kOps = 120000;
   for (int i = 0; i < kOps; ++i) {
     const int c = coin(rng);
@@ -348,8 +348,8 @@ TEST(HotpathDifferential, FlatCScanMatchesReferenceOverRandomOps) {
       device::DeviceRequest req;
       // Half the submissions extend the previous request to exercise the
       // merge paths; the rest jump to random 4 KiB-aligned positions.
-      req.lba = (c % 2 == 0) ? prev_end : lba_page(rng) * 4096;
-      req.size = npages(rng) * 4096;
+      req.lba = (c % 2 == 0) ? prev_end : Bytes{lba_page(rng) * 4096};
+      req.size = Bytes{npages(rng) * 4096};
       req.is_write = c % 5 == 0;
       prev_end = req.lba + req.size;
       flat.submit(req);

@@ -34,7 +34,7 @@ std::map<std::string, sim::SimResult> run_all(const ScenarioBundle& scenario,
 TEST(Integration, GrepMakeOrderingMatchesFigure1) {
   // Zero network latency, as the paper's leftmost Figure 1(a) point.
   sim::SimConfig config;
-  config.wnic = config.wnic.with_latency(0.0);
+  config.wnic = config.wnic.with_latency(Seconds{0.0});
   const auto r = run_all(workloads::scenario_grep_make(1), config);
   const Joules ff = r.at("flexfetch").total_energy();
   const Joules bluefs = r.at("bluefs").total_energy();
@@ -57,7 +57,7 @@ TEST(Integration, MplayerMatchesFigure2) {
   const Joules wnic = r.at("wnic-only").total_energy();
   const Joules disk = r.at("disk-only").total_energy();
   const Joules bluefs = r.at("bluefs").total_energy();
-  EXPECT_NEAR(ff, wnic, 0.07 * wnic);   // "almost the same as WNIC-only".
+  EXPECT_NEAR(ff.value(), wnic.value(), (0.07 * wnic).value());   // "almost the same as WNIC-only".
   EXPECT_GT(disk, 1.3 * ff);            // The disk wastes idle energy.
   // BlueFS wastes energy on both devices: dozens of futile ghost-hint spin
   // cycles on top of serving the stream over the WNIC. (Deviation from the
@@ -139,9 +139,9 @@ TEST(Integration, ForcedSpinupVariantsMergeAtHighLatency) {
   // The curves converge: once latency makes the network clearly worse,
   // even the static variant's profile decisions land on the disk.
   EXPECT_LT(gap_slow, 0.25 * gap_fast);
-  EXPECT_NEAR(at_slow.at("flexfetch").total_energy(),
-              at_slow.at("flexfetch-static").total_energy(),
-              0.05 * at_slow.at("flexfetch-static").total_energy());
+  EXPECT_NEAR(at_slow.at("flexfetch").total_energy().value(),
+              at_slow.at("flexfetch-static").total_energy().value(),
+              (0.05 * at_slow.at("flexfetch-static").total_energy()).value());
 }
 
 // Section 3.3.5 / Figure 5: with a stale profile, adaptive FlexFetch
@@ -177,7 +177,7 @@ TEST(Integration, FlexFetchTracksTheBestFixedPolicyEverywhere) {
 // mechanism behind every Figure (a) sweep.
 TEST(Integration, WnicOnlyEnergyGrowsWithLatency) {
   const auto scenario = workloads::scenario_grep_make(1);
-  Joules prev = 0.0;
+  Joules prev = Joules{0.0};
   for (const double ms : {0.0, 10.0, 30.0}) {
     sim::SimConfig config;
     config.wnic = config.wnic.with_latency(units::ms(ms));

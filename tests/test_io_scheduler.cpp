@@ -19,101 +19,101 @@ TEST(CScan, EmptyDispatchReturnsNothing) {
 
 TEST(CScan, DispatchesInAscendingLbaOrder) {
   CScanScheduler s;
-  s.submit(req(300, 10));
-  s.submit(req(100, 10));
-  s.submit(req(200, 10));
-  EXPECT_EQ(s.dispatch()->lba, 100u);
-  EXPECT_EQ(s.dispatch()->lba, 200u);
-  EXPECT_EQ(s.dispatch()->lba, 300u);
+  s.submit(req(Bytes{300}, Bytes{10}));
+  s.submit(req(Bytes{100}, Bytes{10}));
+  s.submit(req(Bytes{200}, Bytes{10}));
+  EXPECT_EQ(s.dispatch()->lba, Bytes{100});
+  EXPECT_EQ(s.dispatch()->lba, Bytes{200});
+  EXPECT_EQ(s.dispatch()->lba, Bytes{300});
   EXPECT_TRUE(s.empty());
 }
 
 TEST(CScan, ServesFromHeadPositionFirst) {
   CScanScheduler s;
-  s.set_head(250);
-  s.submit(req(100, 10));
-  s.submit(req(300, 10));
+  s.set_head(Bytes{250});
+  s.submit(req(Bytes{100}, Bytes{10}));
+  s.submit(req(Bytes{300}, Bytes{10}));
   // C-SCAN continues upward from the head, then wraps.
-  EXPECT_EQ(s.dispatch()->lba, 300u);
-  EXPECT_EQ(s.dispatch()->lba, 100u);
+  EXPECT_EQ(s.dispatch()->lba, Bytes{300});
+  EXPECT_EQ(s.dispatch()->lba, Bytes{100});
   EXPECT_EQ(s.stats().sweeps, 1u);
 }
 
 TEST(CScan, HeadAdvancesPastDispatchedRequest) {
   CScanScheduler s;
-  s.submit(req(100, 50));
+  s.submit(req(Bytes{100}, Bytes{50}));
   s.dispatch();
-  EXPECT_EQ(s.head(), 150u);
+  EXPECT_EQ(s.head(), Bytes{150});
 }
 
 TEST(CScan, WrapsInOneDirectionOnly) {
   CScanScheduler s;
-  s.set_head(150);
-  s.submit(req(100, 10));
-  s.submit(req(200, 10));
-  s.submit(req(120, 10));
+  s.set_head(Bytes{150});
+  s.submit(req(Bytes{100}, Bytes{10}));
+  s.submit(req(Bytes{200}, Bytes{10}));
+  s.submit(req(Bytes{120}, Bytes{10}));
   // Upward sweep: 200; wrap to lowest: 100, then 120.
-  EXPECT_EQ(s.dispatch()->lba, 200u);
-  EXPECT_EQ(s.dispatch()->lba, 100u);
-  EXPECT_EQ(s.dispatch()->lba, 120u);
+  EXPECT_EQ(s.dispatch()->lba, Bytes{200});
+  EXPECT_EQ(s.dispatch()->lba, Bytes{100});
+  EXPECT_EQ(s.dispatch()->lba, Bytes{120});
 }
 
 TEST(CScan, MergesWithPredecessor) {
   CScanScheduler s;
-  s.submit(req(100, 50));
-  s.submit(req(150, 50));  // Starts exactly at predecessor's end.
+  s.submit(req(Bytes{100}, Bytes{50}));
+  s.submit(req(Bytes{150}, Bytes{50}));  // Starts exactly at predecessor's end.
   EXPECT_EQ(s.pending(), 1u);
   const auto r = s.dispatch();
-  EXPECT_EQ(r->lba, 100u);
-  EXPECT_EQ(r->size, 100u);
+  EXPECT_EQ(r->lba, Bytes{100});
+  EXPECT_EQ(r->size, Bytes{100});
   EXPECT_EQ(s.stats().merged, 1u);
 }
 
 TEST(CScan, MergesWithSuccessor) {
   CScanScheduler s;
-  s.submit(req(150, 50));
-  s.submit(req(100, 50));  // Ends exactly at successor's start.
+  s.submit(req(Bytes{150}, Bytes{50}));
+  s.submit(req(Bytes{100}, Bytes{50}));  // Ends exactly at successor's start.
   EXPECT_EQ(s.pending(), 1u);
   const auto r = s.dispatch();
-  EXPECT_EQ(r->lba, 100u);
-  EXPECT_EQ(r->size, 100u);
+  EXPECT_EQ(r->lba, Bytes{100});
+  EXPECT_EQ(r->size, Bytes{100});
 }
 
 TEST(CScan, BridgeMergeJoinsThreeRequests) {
   CScanScheduler s;
-  s.submit(req(100, 50));
-  s.submit(req(200, 50));
-  s.submit(req(150, 50));  // Bridges the gap between the two.
+  s.submit(req(Bytes{100}, Bytes{50}));
+  s.submit(req(Bytes{200}, Bytes{50}));
+  s.submit(req(Bytes{150}, Bytes{50}));  // Bridges the gap between the two.
   EXPECT_EQ(s.pending(), 1u);
   const auto r = s.dispatch();
-  EXPECT_EQ(r->lba, 100u);
-  EXPECT_EQ(r->size, 150u);
+  EXPECT_EQ(r->lba, Bytes{100});
+  EXPECT_EQ(r->size, Bytes{150});
   EXPECT_EQ(s.stats().merged, 2u);
 }
 
 TEST(CScan, DoesNotMergeAcrossDirections) {
   CScanScheduler s;
-  s.submit(req(100, 50, /*write=*/false));
-  s.submit(req(150, 50, /*write=*/true));
+  s.submit(req(Bytes{100}, Bytes{50}, /*write=*/false));
+  s.submit(req(Bytes{150}, Bytes{50}, /*write=*/true));
   EXPECT_EQ(s.pending(), 2u);
 }
 
 TEST(CScan, DoesNotMergeNonAdjacent) {
   CScanScheduler s;
-  s.submit(req(100, 10));
-  s.submit(req(200, 10));
+  s.submit(req(Bytes{100}, Bytes{10}));
+  s.submit(req(Bytes{200}, Bytes{10}));
   EXPECT_EQ(s.pending(), 2u);
 }
 
 TEST(CScan, ZeroSizeRejected) {
   CScanScheduler s;
-  EXPECT_THROW(s.submit(req(0, 0)), ConfigError);
+  EXPECT_THROW(s.submit(req(Bytes{0}, Bytes{0})), ConfigError);
 }
 
 TEST(CScan, StatsCountSubmissionsAndDispatches) {
   CScanScheduler s;
-  s.submit(req(1, 1));
-  s.submit(req(1000, 1));
+  s.submit(req(Bytes{1}, Bytes{1}));
+  s.submit(req(Bytes{1000}, Bytes{1}));
   s.dispatch();
   EXPECT_EQ(s.stats().submitted, 2u);
   EXPECT_EQ(s.stats().dispatched, 1u);
@@ -121,11 +121,11 @@ TEST(CScan, StatsCountSubmissionsAndDispatches) {
 
 TEST(CScan, PreservesWriteFlagThroughMerge) {
   CScanScheduler s;
-  s.submit(req(100, 50, true));
-  s.submit(req(150, 50, true));
+  s.submit(req(Bytes{100}, Bytes{50}, true));
+  s.submit(req(Bytes{150}, Bytes{50}, true));
   const auto r = s.dispatch();
   EXPECT_TRUE(r->is_write);
-  EXPECT_EQ(r->size, 100u);
+  EXPECT_EQ(r->size, Bytes{100});
 }
 
 }  // namespace

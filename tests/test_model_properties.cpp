@@ -19,26 +19,26 @@ namespace {
 /// Runs a fixed request timeline against a disk and returns total energy.
 Joules disk_timeline_energy(const device::DiskParams& params) {
   device::Disk disk(params);
-  Seconds t = 0.0;
+  Seconds t = Seconds{0.0};
   for (int i = 0; i < 12; ++i) {
     const auto res = disk.service(
-        t, device::DeviceRequest{.lba = static_cast<Bytes>(i) * kMiB,
+        t, device::DeviceRequest{.lba = static_cast<std::uint64_t>(i) * kMiB,
                                  .size = 256 * kKiB});
-    t = res.completion + (i % 3 == 0 ? 30.0 : 2.0);  // Mixed gaps.
+    t = res.completion + Seconds{i % 3 == 0 ? 30.0 : 2.0};  // Mixed gaps.
   }
-  disk.advance_to(t + 60.0);
+  disk.advance_to(t + Seconds{60.0});
   return disk.meter().total();
 }
 
 Joules wnic_timeline_energy(const device::WnicParams& params) {
   device::Wnic wnic(params);
-  Seconds t = 0.0;
+  Seconds t = Seconds{0.0};
   for (int i = 0; i < 12; ++i) {
     const auto res =
         wnic.service(t, device::DeviceRequest{.size = 256 * kKiB});
-    t = res.completion + (i % 3 == 0 ? 5.0 : 0.3);
+    t = res.completion + Seconds{i % 3 == 0 ? 5.0 : 0.3};
   }
-  wnic.advance_to(t + 10.0);
+  wnic.advance_to(t + Seconds{10.0});
   return wnic.meter().total();
 }
 
@@ -49,21 +49,21 @@ class DiskPowerSweep : public ::testing::TestWithParam<double> {};
 TEST_P(DiskPowerSweep, EnergyIsMonotonicInIdlePower) {
   device::DiskParams lo = device::DiskParams::hitachi_dk23da();
   device::DiskParams hi = lo;
-  lo.idle_power = GetParam();
-  hi.idle_power = GetParam() + 0.2;
+  lo.idle_power = Watts{GetParam()};
+  hi.idle_power = Watts{GetParam() + 0.2};
   hi.active_power = std::max(hi.active_power, hi.idle_power);
   lo.active_power = std::max(lo.active_power, lo.idle_power);
-  EXPECT_LE(disk_timeline_energy(lo), disk_timeline_energy(hi) + 1e-9);
+  EXPECT_LE(disk_timeline_energy(lo), disk_timeline_energy(hi) + Joules{1e-9});
 }
 
 TEST_P(DiskPowerSweep, EnergyIsMonotonicInTransitionCost) {
   device::DiskParams lo = device::DiskParams::hitachi_dk23da();
-  lo.idle_power = GetParam();
+  lo.idle_power = Watts{GetParam()};
   lo.active_power = std::max(lo.active_power, lo.idle_power);
   device::DiskParams hi = lo;
-  hi.spin_up_energy += 3.0;
-  hi.spin_down_energy += 2.0;
-  EXPECT_LE(disk_timeline_energy(lo), disk_timeline_energy(hi) + 1e-9);
+  hi.spin_up_energy += Joules{3.0};
+  hi.spin_down_energy += Joules{2.0};
+  EXPECT_LE(disk_timeline_energy(lo), disk_timeline_energy(hi) + Joules{1e-9});
 }
 
 INSTANTIATE_TEST_SUITE_P(IdlePowers, DiskPowerSweep,
@@ -73,25 +73,25 @@ class DiskTimeoutSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(DiskTimeoutSweep, BreakEvenIndependentOfTimeout) {
   device::DiskParams p = device::DiskParams::hitachi_dk23da();
-  p.spin_down_timeout = GetParam();
-  EXPECT_NEAR(p.break_even_time(), 5.0724, 0.0001);
+  p.spin_down_timeout = Seconds{GetParam()};
+  EXPECT_NEAR(p.break_even_time().value(), 5.0724, 0.0001);
 }
 
 TEST_P(DiskTimeoutSweep, SpinCountsFallAsTimeoutRises) {
   device::DiskParams shorter = device::DiskParams::hitachi_dk23da();
-  shorter.spin_down_timeout = GetParam();
+  shorter.spin_down_timeout = Seconds{GetParam()};
   device::DiskParams longer = shorter;
-  longer.spin_down_timeout = GetParam() * 4.0;
+  longer.spin_down_timeout = Seconds{GetParam() * 4.0};
 
   auto spin_downs = [](const device::DiskParams& params) {
     device::Disk disk(params);
-    Seconds t = 0.0;
+    Seconds t = Seconds{0.0};
     for (int i = 0; i < 10; ++i) {
       const auto res =
-          disk.service(t, device::DeviceRequest{.lba = 0, .size = 4096});
-      t = res.completion + 25.0;
+          disk.service(t, device::DeviceRequest{.lba = Bytes{0}, .size = Bytes{4096}});
+      t = res.completion + Seconds{25.0};
     }
-    disk.advance_to(t + 300.0);
+    disk.advance_to(t + Seconds{300.0});
     return disk.counters().spin_downs;
   };
   EXPECT_GE(spin_downs(shorter), spin_downs(longer));
@@ -107,18 +107,18 @@ TEST_P(WnicLatencySweep, EnergyIsMonotonicInLatency) {
       units::ms(GetParam()));
   const auto hi = device::WnicParams::cisco_aironet350().with_latency(
       units::ms(GetParam() + 5.0));
-  EXPECT_LE(wnic_timeline_energy(lo), wnic_timeline_energy(hi) + 1e-9);
+  EXPECT_LE(wnic_timeline_energy(lo), wnic_timeline_energy(hi) + Joules{1e-9});
 }
 
 TEST_P(WnicLatencySweep, ServiceTimeScalesWithRpcCount) {
   device::Wnic wnic(device::WnicParams::cisco_aironet350().with_latency(
       units::ms(GetParam())));
-  const auto small = wnic.estimate(0.0, device::DeviceRequest{.size = 16384});
+  const auto small = wnic.estimate(Seconds{0.0}, device::DeviceRequest{.size = Bytes{16384}});
   const auto large =
-      wnic.estimate(0.0, device::DeviceRequest{.size = 4 * 16384});
+      wnic.estimate(Seconds{0.0}, device::DeviceRequest{.size = Bytes{4 * 16384}});
   // 4x the RPCs: at least 3 extra latencies beyond the bandwidth term.
   EXPECT_GE(large.service_time() - small.service_time(),
-            3.0 * units::ms(GetParam()) - 1e-9);
+            3.0 * units::ms(GetParam()) - Seconds{1e-9});
 }
 
 INSTANTIATE_TEST_SUITE_P(Latencies, WnicLatencySweep,
@@ -131,7 +131,7 @@ TEST_P(WnicBandwidthSweep, TransferEnergyFallsWithBandwidth) {
       device::WnicParams::cisco_aironet350().with_bandwidth_mbps(GetParam());
   const auto fast = device::WnicParams::cisco_aironet350().with_bandwidth_mbps(
       GetParam() * 2.0);
-  EXPECT_GE(wnic_timeline_energy(slow), wnic_timeline_energy(fast) - 1e-9);
+  EXPECT_GE(wnic_timeline_energy(slow), wnic_timeline_energy(fast) - Joules{1e-9});
 }
 
 INSTANTIATE_TEST_SUITE_P(Bandwidths, WnicBandwidthSweep,
@@ -150,7 +150,7 @@ trace::Trace random_trace(std::uint64_t seed) {
     b.read(1 + rng.uniform_int(0, 20),
            rng.uniform_int(0, 1000) * kPageSize,
            (1 + rng.uniform_int(0, 16)) * kPageSize);
-    b.think(rng.exponential(0.05));
+    b.think(Seconds{rng.exponential(0.05)});
   }
   return b.build();
 }
@@ -158,34 +158,34 @@ trace::Trace random_trace(std::uint64_t seed) {
 TEST_P(BurstThresholdSweep, TotalBytesAreConserved) {
   const trace::Trace t = random_trace(
       static_cast<std::uint64_t>(GetParam() * 1000));
-  const auto bursts = core::extract_bursts(t, GetParam());
-  Bytes total = 0;
+  const auto bursts = core::extract_bursts(t, Seconds{GetParam()});
+  Bytes total = Bytes{0};
   for (const auto& b : bursts) total += b.total_bytes();
   EXPECT_EQ(total, t.stats().bytes_read + t.stats().bytes_written);
 }
 
 TEST_P(BurstThresholdSweep, FinerThresholdNeverMerges) {
   const trace::Trace t = random_trace(99);
-  const auto fine = core::extract_bursts(t, GetParam());
-  const auto coarse = core::extract_bursts(t, GetParam() * 4.0);
+  const auto fine = core::extract_bursts(t, Seconds{GetParam()});
+  const auto coarse = core::extract_bursts(t, Seconds{GetParam() * 4.0});
   EXPECT_GE(fine.size(), coarse.size());
 }
 
 TEST_P(BurstThresholdSweep, ThinkTimesPartitionTheSpan) {
   const trace::Trace t = random_trace(7);
-  const auto bursts = core::extract_bursts(t, GetParam());
-  Seconds reconstructed = 0.0;
+  const auto bursts = core::extract_bursts(t, Seconds{GetParam()});
+  Seconds reconstructed = Seconds{0.0};
   for (const auto& b : bursts) reconstructed += b.think_before + b.duration;
   // think gaps + burst durations tile the profiled span exactly.
-  EXPECT_NEAR(reconstructed, t.end_time(), 1e-6);
+  EXPECT_NEAR(reconstructed.value(), t.end_time().value(), 1e-6);
 }
 
 TEST_P(BurstThresholdSweep, InterBurstGapsExceedTheThreshold) {
   const trace::Trace t = random_trace(13);
-  const auto bursts = core::extract_bursts(t, GetParam());
+  const auto bursts = core::extract_bursts(t, Seconds{GetParam()});
   // Every burst after the first begins with a gap that could not be masked.
   for (std::size_t i = 1; i < bursts.size(); ++i) {
-    EXPECT_GT(bursts[i].think_before, GetParam());
+    EXPECT_GT(bursts[i].think_before, Seconds{GetParam()});
   }
 }
 
@@ -199,13 +199,13 @@ class ProfileFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ProfileFuzz, SerializationRoundTripsRandomProfiles) {
   const core::Profile p =
-      core::Profile::from_trace(random_trace(GetParam()), 0.020);
+      core::Profile::from_trace(random_trace(GetParam()), Seconds{0.020});
   std::stringstream ss;
   p.write(ss);
   const core::Profile q = core::Profile::read(ss);
   ASSERT_EQ(q.size(), p.size());
   EXPECT_EQ(q.total_bytes(), p.total_bytes());
-  EXPECT_NEAR(q.span_seconds(), p.span_seconds(), 1e-6);
+  EXPECT_NEAR(q.span_seconds().value(), p.span_seconds().value(), 1e-6);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProfileFuzz,
@@ -221,19 +221,19 @@ TEST_P(SyncFuzz, BytesAreConservedThroughBatches) {
   hoard::SyncConfig config;
   config.max_batch_bytes = 64 * kKiB;
   hoard::SyncManager sync(config);
-  Bytes written = 0;
-  Bytes shipped = 0;
-  Seconds t = 0.0;
+  Bytes written = Bytes{0};
+  Bytes shipped = Bytes{0};
+  Seconds t = Seconds{0.0};
   for (int i = 0; i < 200; ++i) {
     const Bytes n = (1 + rng.uniform_int(0, 31)) * kKiB;
     sync.on_local_write(1 + rng.uniform_int(0, 9), n, t);
     written += n;
-    t += rng.exponential(2.0);
+    t += Seconds{rng.exponential(2.0)};
     if (rng.chance(0.3)) {
       for (const auto& item : sync.take_batch(t)) shipped += item.bytes;
     }
   }
-  while (sync.pending_upload() > 0) {
+  while (sync.pending_upload() > Bytes{0}) {
     for (const auto& item : sync.take_batch(t)) shipped += item.bytes;
   }
   EXPECT_EQ(shipped, written);
@@ -254,19 +254,19 @@ class ReadinessFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(ReadinessFuzz, DiskTimeToReadyMatchesObservedDelay) {
   Rng rng(GetParam());
   device::Disk disk;
-  Seconds t = 0.0;
+  Seconds t = Seconds{0.0};
   for (int i = 0; i < 200; ++i) {
-    t += rng.exponential(12.0);  // Mean near the 20 s timeout: all states.
+    t += Seconds{rng.exponential(12.0)};  // Mean near the 20 s timeout: all states.
     disk.advance_to(t);
     const Seconds predicted = disk.time_to_ready(t);
     auto probe = disk.detached_copy();
     const auto res = probe.service(
         t, device::DeviceRequest{.lba = rng.uniform_int(0, 1000) * kPageSize,
                                  .size = 64 * kKiB});
-    EXPECT_NEAR(res.start - res.arrival, predicted, 1e-9)
-        << "state " << device::to_string(disk.state()) << " at t=" << t;
+    EXPECT_NEAR((res.start - res.arrival).value(), predicted.value(), 1e-9)
+        << "state " << device::to_string(disk.state()) << " at t=" << t.value();
     if (rng.chance(0.4)) {  // Occasionally really serve to vary the phase.
-      t = disk.service(t, device::DeviceRequest{.lba = 0, .size = 4096})
+      t = disk.service(t, device::DeviceRequest{.lba = Bytes{0}, .size = Bytes{4096}})
               .completion;
     }
   }
@@ -275,32 +275,32 @@ TEST_P(ReadinessFuzz, DiskTimeToReadyMatchesObservedDelay) {
 TEST_P(ReadinessFuzz, DiskTimeToReadyPricesInjectedStalls) {
   faults::DiskFaultSchedule schedule;
   for (int i = 0; i < 60; ++i) {  // Stall window in every other 25 s slot.
-    schedule.spin_up_stalls.push_back({.start = i * 50.0,
-                                       .end = i * 50.0 + 25.0,
-                                       .extra_time = 2.5,
-                                       .extra_energy = 5.0});
+    schedule.spin_up_stalls.push_back({.start = Seconds{i * 50.0},
+                                       .end = Seconds{i * 50.0 + 25.0},
+                                       .extra_time = Seconds{2.5},
+                                       .extra_energy = Joules{5.0}});
   }
   Rng rng(GetParam());
   device::Disk disk;
   disk.set_fault_schedule(&schedule);
-  Seconds t = 0.0;
+  Seconds t = Seconds{0.0};
   for (int i = 0; i < 200; ++i) {
-    t += rng.exponential(15.0);
+    t += Seconds{rng.exponential(15.0)};
     disk.advance_to(t);
     const Seconds predicted = disk.time_to_ready(t);
     auto probe = disk.detached_copy();  // Copy shares the schedule.
     const auto res = probe.service(
-        t, device::DeviceRequest{.lba = 0, .size = 64 * kKiB});
-    EXPECT_NEAR(res.start - res.arrival, predicted, 1e-9) << "t=" << t;
+        t, device::DeviceRequest{.lba = Bytes{0}, .size = 64 * kKiB});
+    EXPECT_NEAR((res.start - res.arrival).value(), predicted.value(), 1e-9) << "t=" << t.value();
   }
 }
 
 TEST_P(ReadinessFuzz, WnicTimeToReadyMatchesObservedDelay) {
   Rng rng(GetParam());
   device::Wnic wnic;
-  Seconds t = 0.0;
+  Seconds t = Seconds{0.0};
   for (int i = 0; i < 200; ++i) {
-    t += rng.exponential(2.0);  // Mean near the CAM->PSM idle threshold.
+    t += Seconds{rng.exponential(2.0)};  // Mean near the CAM->PSM idle threshold.
     wnic.advance_to(t);
     const Seconds predicted = wnic.time_to_ready(t);
     auto probe = wnic.detached_copy();
@@ -308,8 +308,8 @@ TEST_P(ReadinessFuzz, WnicTimeToReadyMatchesObservedDelay) {
     // which is exactly the delay time_to_ready() promises.
     const auto res =
         probe.service(t, device::DeviceRequest{.size = 256 * kKiB});
-    EXPECT_NEAR(res.start - res.arrival, predicted, 1e-9)
-        << "state " << device::to_string(wnic.state()) << " at t=" << t;
+    EXPECT_NEAR((res.start - res.arrival).value(), predicted.value(), 1e-9)
+        << "state " << device::to_string(wnic.state()) << " at t=" << t.value();
     if (rng.chance(0.4)) {
       t = wnic.service(t, device::DeviceRequest{.size = 256 * kKiB})
               .completion;
@@ -323,43 +323,43 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ReadinessFuzz,
 TEST(Readiness, DiskBoundaryProbes) {
   // Default DK23DA: spin-down fires at 20 s and completes at 22.3 s;
   // probe just inside and outside each edge, plus deep standby.
-  for (const Seconds t : {0.0, 19.999999, 20.0, 20.000001, 21.0, 22.299999,
-                          22.3, 22.300001, 300.0}) {
+  for (const Seconds t :
+       {Seconds{0.0}, Seconds{19.999999}, Seconds{20.0}, Seconds{20.000001}, Seconds{21.0}, Seconds{22.299999}, Seconds{22.3}, Seconds{22.300001}, Seconds{300.0}}) {
     device::Disk disk;
     disk.advance_to(t);
     auto probe = disk.detached_copy();
     const auto res =
-        probe.service(t, device::DeviceRequest{.lba = 0, .size = 4096});
-    EXPECT_NEAR(res.start - res.arrival, disk.time_to_ready(t), 1e-9)
-        << "t=" << t;
+        probe.service(t, device::DeviceRequest{.lba = Bytes{0}, .size = Bytes{4096}});
+    EXPECT_NEAR((res.start - res.arrival).value(), disk.time_to_ready(t).value(), 1e-9)
+        << "t=" << t.value();
   }
 }
 
 TEST(Readiness, DiskTimeToReadyDuringForcedSpinUp) {
   device::Disk disk;
-  disk.advance_to(60.0);
-  disk.force_spin_up(60.0);  // kSpinningUp without a pending request.
+  disk.advance_to(Seconds{60.0});
+  disk.force_spin_up(Seconds{60.0});  // kSpinningUp without a pending request.
   ASSERT_EQ(disk.state(), device::DiskState::kSpinningUp);
-  for (const Seconds dt : {0.0, 0.4, 0.8, 1.2, 1.5999}) {
+  for (const Seconds dt : {Seconds{0.0}, Seconds{0.4}, Seconds{0.8}, Seconds{1.2}, Seconds{1.5999}}) {
     auto probe = disk.detached_copy();
     const auto res = probe.service(
-        60.0 + dt, device::DeviceRequest{.lba = 0, .size = 4096});
-    EXPECT_NEAR(res.start - res.arrival, disk.time_to_ready(60.0 + dt), 1e-9)
-        << "dt=" << dt;
+        Seconds{60.0} + dt, device::DeviceRequest{.lba = Bytes{0}, .size = Bytes{4096}});
+    EXPECT_NEAR((res.start - res.arrival).value(), disk.time_to_ready(Seconds{60.0} + dt).value(), 1e-9)
+        << "dt=" << dt.value();
   }
 }
 
 TEST(Readiness, WnicBoundaryProbes) {
   // Probe around the CAM->PSM idle switch and mid-transition instants.
   for (const Seconds t :
-       {0.0, 0.5, 0.999999, 1.0, 1.000001, 1.05, 1.5, 10.0}) {
+       {Seconds{0.0}, Seconds{0.5}, Seconds{0.999999}, Seconds{1.0}, Seconds{1.000001}, Seconds{1.05}, Seconds{1.5}, Seconds{10.0}}) {
     device::Wnic wnic;
     wnic.advance_to(t);
     auto probe = wnic.detached_copy();
     const auto res =
         probe.service(t, device::DeviceRequest{.size = 256 * kKiB});
-    EXPECT_NEAR(res.start - res.arrival, wnic.time_to_ready(t), 1e-9)
-        << "t=" << t;
+    EXPECT_NEAR((res.start - res.arrival).value(), wnic.time_to_ready(t).value(), 1e-9)
+        << "t=" << t.value();
   }
 }
 

@@ -15,15 +15,15 @@ trace::Trace paced(int n) {
   trace::TraceBuilder b("paced");
   b.process(60, 60);
   for (int i = 0; i < n; ++i) {
-    b.read(1, static_cast<Bytes>(i) * 256 * 1024, 256 * 1024);
-    b.think(4.0);
+    b.read(1, Bytes{static_cast<std::uint64_t>(i) * 256 * 1024}, Bytes{256 * 1024});
+    b.think(Seconds{4.0});
   }
   return b.build();
 }
 
 TEST(OverheadAccounting, CountersTrackWork) {
   const trace::Trace t = paced(30);
-  FlexFetchPolicy policy(FlexFetchConfig{}, Profile::from_trace(t, 0.020));
+  FlexFetchPolicy policy(FlexFetchConfig{}, Profile::from_trace(t, Seconds{0.020}));
   sim::simulate(sim::SimConfig{}, t, policy);
   const auto& s = policy.stats();
   EXPECT_EQ(s.syscalls_tracked, 30u);
@@ -37,27 +37,27 @@ TEST(OverheadAccounting, CountersTrackWork) {
 TEST(OverheadAccounting, EnergyScalesWithPerOpCost) {
   const trace::Trace t = paced(10);
   FlexFetchConfig config;
-  config.overhead_per_op = 1e-3;
-  FlexFetchPolicy policy(config, Profile::from_trace(t, 0.020));
+  config.overhead_per_op = Joules{1e-3};
+  FlexFetchPolicy policy(config, Profile::from_trace(t, Seconds{0.020}));
   sim::simulate(sim::SimConfig{}, t, policy);
-  EXPECT_DOUBLE_EQ(policy.overhead_energy(),
+  EXPECT_DOUBLE_EQ(policy.overhead_energy().value(),
                    static_cast<double>(policy.stats().overhead_ops()) * 1e-3);
 }
 
 TEST(OverheadAccounting, ZeroCostDisablesTheCharge) {
   const trace::Trace t = paced(10);
   FlexFetchConfig config;
-  config.overhead_per_op = 0.0;
-  FlexFetchPolicy policy(config, Profile::from_trace(t, 0.020));
+  config.overhead_per_op = Joules{0.0};
+  FlexFetchPolicy policy(config, Profile::from_trace(t, Seconds{0.020}));
   sim::simulate(sim::SimConfig{}, t, policy);
-  EXPECT_DOUBLE_EQ(policy.overhead_energy(), 0.0);
+  EXPECT_DOUBLE_EQ(policy.overhead_energy().value(), 0.0);
   EXPECT_GT(policy.stats().overhead_ops(), 0u);  // Still counted.
 }
 
 TEST(OverheadAccounting, StaticVariantDoesNoShadowWork) {
   const trace::Trace t = paced(20);
   FlexFetchPolicy policy(FlexFetchConfig::static_variant(),
-                         Profile::from_trace(t, 0.020));
+                         Profile::from_trace(t, Seconds{0.020}));
   sim::simulate(sim::SimConfig{}, t, policy);
   EXPECT_EQ(policy.stats().shadow_requests_replayed, 0u);
 }
@@ -78,18 +78,18 @@ TEST(OverheadAccounting, OverheadIsNegligibleOnPaperScenarios) {
 
 TEST(DecisionRecord, FieldsAreFilledCoherently) {
   const trace::Trace t = paced(30);
-  FlexFetchPolicy policy(FlexFetchConfig{}, Profile::from_trace(t, 0.020));
+  FlexFetchPolicy policy(FlexFetchConfig{}, Profile::from_trace(t, Seconds{0.020}));
   sim::simulate(sim::SimConfig{}, t, policy);
   ASSERT_FALSE(policy.decision_log().empty());
-  Seconds prev = -1.0;
+  Seconds prev = Seconds{-1.0};
   for (const auto& d : policy.decision_log()) {
     EXPECT_GE(d.time, prev);  // Log is chronological.
     prev = d.time;
     EXPECT_GT(d.burst_count, 0u);
-    EXPECT_GE(d.disk.time, 0.0);
-    EXPECT_GE(d.network.time, 0.0);
-    EXPECT_GE(d.disk.energy, 0.0);
-    EXPECT_GE(d.network.energy, 0.0);
+    EXPECT_GE(d.disk.time, Seconds{0.0});
+    EXPECT_GE(d.network.time, Seconds{0.0});
+    EXPECT_GE(d.disk.energy, Joules{0.0});
+    EXPECT_GE(d.network.energy, Joules{0.0});
   }
 }
 

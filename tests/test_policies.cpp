@@ -17,8 +17,8 @@ trace::Trace paced_trace(int n = 30) {
   trace::TraceBuilder b("paced");
   b.process(60, 60);
   for (int i = 0; i < n; ++i) {
-    b.read(1, static_cast<Bytes>(i) * 256 * 1024, 256 * 1024);
-    b.think(4.0);
+    b.read(1, Bytes{static_cast<std::uint64_t>(i) * 256 * 1024}, Bytes{256 * 1024});
+    b.think(Seconds{4.0});
   }
   return b.build();
 }
@@ -26,7 +26,7 @@ trace::Trace paced_trace(int n = 30) {
 trace::Trace bursty_trace() {
   trace::TraceBuilder b("bursty");
   b.process(61, 61);
-  b.read_file(1, 60 * kMiB, 128 * 1024);
+  b.read_file(1, 60 * kMiB, Bytes{128 * 1024});
   return b.build();
 }
 
@@ -47,8 +47,8 @@ TEST(BlueFS, AvoidsSpinningUpForSparseSmallRequests) {
   trace::TraceBuilder b("sparse");
   b.process(60, 60);
   for (int i = 0; i < 10; ++i) {
-    b.read(1, static_cast<Bytes>(i) * 8192, 8192);
-    b.think(30.0);  // Disk spins down in between.
+    b.read(1, Bytes{static_cast<std::uint64_t>(i) * 8192}, Bytes{8192});
+    b.think(Seconds{30.0});  // Disk spins down in between.
   }
   BlueFSPolicy policy;
   const auto r = sim::simulate(sim::SimConfig{}, b.build(), policy);
@@ -62,36 +62,36 @@ TEST(BlueFS, GhostHintsAccumulateAndTriggerSpinUp) {
   // until the disk is proactively spun up.
   trace::TraceBuilder b("stream");
   b.process(60, 60);
-  b.think(30.0);  // Let the disk spin down first.
+  b.think(Seconds{30.0});  // Let the disk spin down first.
   for (int i = 0; i < 400; ++i) {
-    b.read(1, static_cast<Bytes>(i) * 256 * 1024, 256 * 1024);
-    b.think(1.0);
+    b.read(1, Bytes{static_cast<std::uint64_t>(i) * 256 * 1024}, Bytes{256 * 1024});
+    b.think(Seconds{1.0});
   }
   BlueFSPolicy policy;
   sim::simulate(sim::SimConfig{}, b.build(), policy);
-  EXPECT_GT(policy.stats().hints_issued, 0.0);
+  EXPECT_GT(policy.stats().hints_issued, Joules{0.0});
   EXPECT_GT(policy.stats().ghost_spin_ups, 0u);
 }
 
 TEST(BlueFS, HintsDecayOverTime) {
   BlueFSConfig config;
-  config.hint_half_life = 1.0;
+  config.hint_half_life = Seconds{1.0};
   BlueFSPolicy policy(config);
   // One isolated network request while the disk sleeps issues a hint;
   // after many half-lives the pending amount must be negligible.
   trace::TraceBuilder b("one");
   b.process(60, 60);
-  b.think(30.0);
-  b.read(1, 0, 256 * 1024);
-  b.think(60.0);
-  b.read(1, 256 * 1024, 256 * 1024);
+  b.think(Seconds{30.0});
+  b.read(1, Bytes{0}, Bytes{256 * 1024});
+  b.think(Seconds{60.0});
+  b.read(1, Bytes{256 * 1024}, Bytes{256 * 1024});
   sim::simulate(sim::SimConfig{}, b.build(), policy);
   EXPECT_LT(policy.pending_hints(), policy.stats().hints_issued);
 }
 
 TEST(BlueFS, RejectsNegativeHalfLife) {
   BlueFSConfig c;
-  c.hint_half_life = -1.0;
+  c.hint_half_life = -Seconds{1.0};
   EXPECT_THROW(BlueFSPolicy{c}, ConfigError);
 }
 
@@ -123,7 +123,7 @@ TEST(Oracle, CompetitiveWithFixedPoliciesOnBothShapes) {
 TEST(Factory, BuildsEveryKnownPolicy) {
   const trace::Trace t = paced_trace(5);
   const std::vector<core::Profile> profiles{
-      core::Profile::from_trace(t, 0.020)};
+      core::Profile::from_trace(t, Seconds{0.020})};
   for (const std::string name :
        {"disk-only", "wnic-only", "bluefs", "flexfetch", "flexfetch-static",
         "oracle"}) {
@@ -136,7 +136,7 @@ TEST(Factory, BuildsEveryKnownPolicy) {
 TEST(Factory, PolicyNamesMatchPaperLabels) {
   const trace::Trace t = paced_trace(5);
   const std::vector<core::Profile> profiles{
-      core::Profile::from_trace(t, 0.020)};
+      core::Profile::from_trace(t, Seconds{0.020})};
   EXPECT_EQ(make_policy("flexfetch", profiles)->name(), "FlexFetch");
   EXPECT_EQ(make_policy("flexfetch-static", profiles)->name(),
             "FlexFetch-static");

@@ -12,41 +12,41 @@ namespace {
 
 Profile sample_profile() {
   trace::TraceBuilder b("prog");
-  b.read(1, 0, 8192);
-  b.think(1.0);
-  b.read_file(2, 64 * 1024, 16 * 1024);
-  b.think(2.0);
-  b.write(3, 0, 4096);
-  return Profile::from_trace(b.build(), 0.020);
+  b.read(1, Bytes{0}, Bytes{8192});
+  b.think(Seconds{1.0});
+  b.read_file(2, Bytes{64 * 1024}, Bytes{16 * 1024});
+  b.think(Seconds{2.0});
+  b.write(3, Bytes{0}, Bytes{4096});
+  return Profile::from_trace(b.build(), Seconds{0.020});
 }
 
 TEST(Profile, FromTraceExtractsBursts) {
   const Profile p = sample_profile();
   EXPECT_EQ(p.program(), "prog");
   EXPECT_EQ(p.size(), 3u);
-  EXPECT_EQ(p.total_bytes(), 8192u + 64u * 1024u + 4096u);
+  EXPECT_EQ(p.total_bytes(), Bytes{8192u + 64u * 1024u + 4096u});
 }
 
 TEST(Profile, SpanSeconds) {
   const Profile p = sample_profile();
-  EXPECT_NEAR(p.span_seconds(), 3.0, 1e-9);
+  EXPECT_NEAR(p.span_seconds().value(), 3.0, 1e-9);
 }
 
 TEST(Profile, EmptyProfile) {
   Profile p;
   EXPECT_TRUE(p.empty());
-  EXPECT_EQ(p.total_bytes(), 0u);
-  EXPECT_DOUBLE_EQ(p.span_seconds(), 0.0);
-  EXPECT_TRUE(p.byte_prefix_sums().size() == 1 && p.byte_prefix_sums()[0] == 0);
+  EXPECT_EQ(p.total_bytes(), Bytes{0});
+  EXPECT_DOUBLE_EQ(p.span_seconds().value(), 0.0);
+  EXPECT_TRUE(p.byte_prefix_sums().size() == 1 && p.byte_prefix_sums()[0] == Bytes{0});
 }
 
 TEST(Profile, BytePrefixSums) {
   const Profile p = sample_profile();
   const auto sums = p.byte_prefix_sums();
   ASSERT_EQ(sums.size(), 4u);
-  EXPECT_EQ(sums[0], 0u);
-  EXPECT_EQ(sums[1], 8192u);
-  EXPECT_EQ(sums[2], 8192u + 64u * 1024u);
+  EXPECT_EQ(sums[0], Bytes{0});
+  EXPECT_EQ(sums[1], Bytes{8192});
+  EXPECT_EQ(sums[2], Bytes{8192u + 64u * 1024u});
   EXPECT_EQ(sums[3], p.total_bytes());
 }
 
@@ -59,22 +59,22 @@ TEST(Profile, SpanViewClampsCount) {
 
 TEST(Profile, MergeInterleavesByStartTime) {
   trace::TraceBuilder a("a");
-  a.read(1, 0, 4096);
-  a.think(10.0);
-  a.read(1, 4096, 4096);
+  a.read(1, Bytes{0}, Bytes{4096});
+  a.think(Seconds{10.0});
+  a.read(1, Bytes{4096}, Bytes{4096});
   trace::TraceBuilder b("b");
-  b.at(5.0);
-  b.read(2, 0, 4096);
+  b.at(Seconds{5.0});
+  b.read(2, Bytes{0}, Bytes{4096});
   const Profile merged = Profile::merge(
-      {Profile::from_trace(a.build(), 0.02), Profile::from_trace(b.build(), 0.02)},
+      {Profile::from_trace(a.build(), Seconds{0.02}), Profile::from_trace(b.build(), Seconds{0.02})},
       "ab");
   ASSERT_EQ(merged.size(), 3u);
   EXPECT_EQ(merged[0].requests[0].inode, 1u);
   EXPECT_EQ(merged[1].requests[0].inode, 2u);
   EXPECT_EQ(merged[2].requests[0].inode, 1u);
   // Think gaps recomputed against the interleaved order.
-  EXPECT_NEAR(merged[1].think_before, 5.0, 1e-9);
-  EXPECT_NEAR(merged[2].think_before, 5.0, 1e-9);
+  EXPECT_NEAR(merged[1].think_before.value(), 5.0, 1e-9);
+  EXPECT_NEAR(merged[2].think_before.value(), 5.0, 1e-9);
   EXPECT_EQ(merged.program(), "ab");
 }
 
@@ -93,9 +93,9 @@ TEST(Profile, SerializationRoundTrip) {
   EXPECT_EQ(q.program(), p.program());
   ASSERT_EQ(q.size(), p.size());
   for (std::size_t i = 0; i < p.size(); ++i) {
-    EXPECT_NEAR(q[i].think_before, p[i].think_before, 1e-9);
-    EXPECT_NEAR(q[i].start, p[i].start, 1e-9);
-    EXPECT_NEAR(q[i].duration, p[i].duration, 1e-9);
+    EXPECT_NEAR(q[i].think_before.value(), p[i].think_before.value(), 1e-9);
+    EXPECT_NEAR(q[i].start.value(), p[i].start.value(), 1e-9);
+    EXPECT_NEAR(q[i].duration.value(), p[i].duration.value(), 1e-9);
     ASSERT_EQ(q[i].requests.size(), p[i].requests.size());
     for (std::size_t j = 0; j < p[i].requests.size(); ++j) {
       EXPECT_EQ(q[i].requests[j].inode, p[i].requests[j].inode);

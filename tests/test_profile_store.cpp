@@ -12,8 +12,8 @@ namespace {
 
 Profile named_profile(const std::string& name) {
   trace::TraceBuilder b(name);
-  b.read(1, 0, 4096);
-  return Profile::from_trace(b.build(), 0.020);
+  b.read(1, Bytes{0}, Bytes{4096});
+  return Profile::from_trace(b.build(), Seconds{0.020});
 }
 
 TEST(ProfileStore, PutGetRoundTrip) {
@@ -36,10 +36,10 @@ TEST(ProfileStore, PutReplacesExisting) {
   ProfileStore store;
   store.put(named_profile("prog"));
   trace::TraceBuilder b("prog");
-  b.read(9, 0, 8192);
-  b.think(1.0);
-  b.read(9, 8192, 8192);
-  store.put(Profile::from_trace(b.build(), 0.020));
+  b.read(9, Bytes{0}, Bytes{8192});
+  b.think(Seconds{1.0});
+  b.read(9, Bytes{8192}, Bytes{8192});
+  store.put(Profile::from_trace(b.build(), Seconds{0.020}));
   EXPECT_EQ(store.size(), 1u);
   EXPECT_EQ(store.get("prog")->size(), 2u);
 }

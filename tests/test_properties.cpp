@@ -44,19 +44,19 @@ TEST_P(PolicyInvariants, EnergyAccountingIsConsistent) {
 
   // Conservation: total is exactly the sum of the two device meters, and
   // each meter is the sum of its categories.
-  EXPECT_NEAR(r.total_energy(), r.disk_energy() + r.wnic_energy(), 1e-6);
-  Joules disk_sum = 0.0;
-  Joules wnic_sum = 0.0;
+  EXPECT_NEAR(r.total_energy().value(), (r.disk_energy() + r.wnic_energy()).value(), 1e-6);
+  Joules disk_sum = Joules{0.0};
+  Joules wnic_sum = Joules{0.0};
   for (std::size_t i = 0;
        i < static_cast<std::size_t>(device::EnergyCategory::kCount); ++i) {
     const auto c = static_cast<device::EnergyCategory>(i);
-    EXPECT_GE(r.disk_meter[c], 0.0);
-    EXPECT_GE(r.wnic_meter[c], 0.0);
+    EXPECT_GE(r.disk_meter[c], Joules{0.0});
+    EXPECT_GE(r.wnic_meter[c], Joules{0.0});
     disk_sum += r.disk_meter[c];
     wnic_sum += r.wnic_meter[c];
   }
-  EXPECT_NEAR(disk_sum, r.disk_energy(), 1e-6);
-  EXPECT_NEAR(wnic_sum, r.wnic_energy(), 1e-6);
+  EXPECT_NEAR(disk_sum.value(), r.disk_energy().value(), 1e-6);
+  EXPECT_NEAR(wnic_sum.value(), r.wnic_energy().value(), 1e-6);
 }
 
 TEST_P(PolicyInvariants, PhysicalLowerBoundsHold) {
@@ -64,7 +64,7 @@ TEST_P(PolicyInvariants, PhysicalLowerBoundsHold) {
   const auto scenario = scenario_by_name(scenario_name);
   const auto r = run(scenario, policy_name);
 
-  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_GT(r.makespan, Seconds{0.0});
   EXPECT_GT(r.syscalls, 0u);
   // Both devices burn at least their lowest-power floor over the run.
   const auto& dp = device::DiskParams::hitachi_dk23da();
@@ -73,8 +73,8 @@ TEST_P(PolicyInvariants, PhysicalLowerBoundsHold) {
   EXPECT_GE(r.wnic_energy(), wp.psm_idle_power * r.makespan * 0.99);
   // And no more than the highest-power ceiling.
   EXPECT_LE(r.disk_energy(),
-            dp.active_power * r.makespan + 100.0);  // + transition lumps.
-  EXPECT_LE(r.wnic_energy(), wp.cam_send_power * r.makespan + 100.0);
+            dp.active_power * r.makespan + Joules{100.0});  // + transition lumps.
+  EXPECT_LE(r.wnic_energy(), wp.cam_send_power * r.makespan + Joules{100.0});
 }
 
 TEST_P(PolicyInvariants, SimulationIsDeterministic) {
@@ -82,8 +82,8 @@ TEST_P(PolicyInvariants, SimulationIsDeterministic) {
   const auto scenario = scenario_by_name(scenario_name);
   const auto a = run(scenario, policy_name);
   const auto b = run(scenario, policy_name);
-  EXPECT_DOUBLE_EQ(a.total_energy(), b.total_energy());
-  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.total_energy().value(), b.total_energy().value());
+  EXPECT_DOUBLE_EQ(a.makespan.value(), b.makespan.value());
   EXPECT_EQ(a.disk_requests, b.disk_requests);
   EXPECT_EQ(a.net_requests, b.net_requests);
   EXPECT_EQ(a.syscalls, b.syscalls);
@@ -142,7 +142,7 @@ TEST_P(LatencySweep, DiskOnlyIsLatencyInsensitive) {
   const Joules e = run(scenario, "disk-only", config).total_energy();
   sim::SimConfig fast;
   const Joules e0 = run(scenario, "disk-only", fast).total_energy();
-  EXPECT_NEAR(e, e0, 0.01 * e0);
+  EXPECT_NEAR(e.value(), e0.value(), (0.01 * e0).value());
 }
 
 TEST_P(LatencySweep, FlexFetchStaysWithinLossBoundOfBestFixed) {

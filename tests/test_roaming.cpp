@@ -20,35 +20,35 @@ WnicParams scheduled(std::vector<BandwidthStep> steps) {
 
 TEST(Roaming, EmptyScheduleUsesBaseRate) {
   const WnicParams p = WnicParams::cisco_aironet350();
-  EXPECT_DOUBLE_EQ(p.bandwidth_at(0.0), units::mbps(11.0));
-  EXPECT_DOUBLE_EQ(p.bandwidth_at(1e6), units::mbps(11.0));
+  EXPECT_DOUBLE_EQ(p.bandwidth_at((Seconds{0.0})).value(), units::mbps(11.0).value());
+  EXPECT_DOUBLE_EQ(p.bandwidth_at((Seconds{1e6})).value(), units::mbps(11.0).value());
 }
 
 TEST(Roaming, StepsApplyFromTheirStartTime) {
-  const WnicParams p = scheduled({{100.0, units::mbps(2.0)},
-                                  {200.0, units::mbps(5.5)}});
-  EXPECT_DOUBLE_EQ(p.bandwidth_at(0.0), units::mbps(11.0));   // Base.
-  EXPECT_DOUBLE_EQ(p.bandwidth_at(100.0), units::mbps(2.0));  // Inclusive.
-  EXPECT_DOUBLE_EQ(p.bandwidth_at(150.0), units::mbps(2.0));
-  EXPECT_DOUBLE_EQ(p.bandwidth_at(500.0), units::mbps(5.5));
+  const WnicParams p = scheduled({{Seconds{100.0}, units::mbps(2.0)},
+                                  {Seconds{200.0}, units::mbps(5.5)}});
+  EXPECT_DOUBLE_EQ(p.bandwidth_at((Seconds{0.0})).value(), units::mbps(11.0).value());   // Base.
+  EXPECT_DOUBLE_EQ(p.bandwidth_at((Seconds{100.0})).value(), units::mbps(2.0).value());  // Inclusive.
+  EXPECT_DOUBLE_EQ(p.bandwidth_at((Seconds{150.0})).value(), units::mbps(2.0).value());
+  EXPECT_DOUBLE_EQ(p.bandwidth_at((Seconds{500.0})).value(), units::mbps(5.5).value());
 }
 
 TEST(Roaming, UnsortedScheduleRejected) {
-  WnicParams p = scheduled({{200.0, units::mbps(2.0)},
-                            {100.0, units::mbps(5.5)}});
+  WnicParams p = scheduled({{Seconds{200.0}, units::mbps(2.0)},
+                            {Seconds{100.0}, units::mbps(5.5)}});
   EXPECT_THROW(p.validate(), ConfigError);
 }
 
 TEST(Roaming, ZeroBandwidthStepRejected) {
-  WnicParams p = scheduled({{100.0, 0.0}});
+  WnicParams p = scheduled({{Seconds{100.0}, BytesPerSecond{0.0}}});
   EXPECT_THROW(p.validate(), ConfigError);
 }
 
 TEST(Roaming, ServiceUsesTheRateInEffect) {
-  Wnic w(scheduled({{10.0, units::mbps(1.0)}}));
-  const DeviceRequest req{.lba = 0, .size = 125'000, .is_write = false};
-  const auto fast = w.service(0.0, req);   // At 11 Mbps.
-  const auto slow = w.service(20.0, req);  // At 1 Mbps.
+  Wnic w(scheduled({{Seconds{10.0}, units::mbps(1.0)}}));
+  const DeviceRequest req{.lba = Bytes{0}, .size = Bytes{125'000}, .is_write = false};
+  const auto fast = w.service(Seconds{0.0}, req);   // At 11 Mbps.
+  const auto slow = w.service(Seconds{20.0}, req);  // At 1 Mbps.
   const Seconds fast_xfer = fast.completion - fast.start;
   const Seconds slow_xfer = slow.completion - slow.start;
   EXPECT_GT(slow_xfer, 5.0 * fast_xfer);
@@ -57,10 +57,10 @@ TEST(Roaming, ServiceUsesTheRateInEffect) {
 TEST(Roaming, EstimatorSeesTheSchedule) {
   // A copied device carries the schedule, so FlexFetch's estimates track
   // the current signal automatically.
-  Wnic w(scheduled({{10.0, units::mbps(1.0)}}));
-  const DeviceRequest req{.lba = 0, .size = 1'000'000, .is_write = false};
-  const auto before = w.estimate(0.0, req);
-  const auto after = w.estimate(20.0, req);
+  Wnic w(scheduled({{Seconds{10.0}, units::mbps(1.0)}}));
+  const DeviceRequest req{.lba = Bytes{0}, .size = Bytes{1'000'000}, .is_write = false};
+  const auto before = w.estimate(Seconds{0.0}, req);
+  const auto after = w.estimate(Seconds{20.0}, req);
   EXPECT_GT(after.energy, 3.0 * before.energy);
 }
 
@@ -70,16 +70,16 @@ TEST(Roaming, FlexFetchAbandonsADegradedLink) {
   trace::TraceBuilder b("paced");
   b.process(60, 60);
   for (int i = 0; i < 40; ++i) {
-    b.read(1, static_cast<Bytes>(i) * 4 * kMiB, 4 * kMiB);
-    b.think(40.0);
+    b.read(1, static_cast<std::uint64_t>(i) * 4 * kMiB, 4 * kMiB);
+    b.think(Seconds{40.0});
   }
   const trace::Trace t = b.build();
 
   sim::SimConfig config;
-  config.wnic.bandwidth_schedule = {{800.0, units::mbps(1.0)}};
+  config.wnic.bandwidth_schedule = {{Seconds{800.0}, units::mbps(1.0)}};
 
   core::FlexFetchPolicy ff(core::FlexFetchConfig{},
-                           core::Profile::from_trace(t, 0.020));
+                           core::Profile::from_trace(t, Seconds{0.020}));
   sim::Simulator sf(config, {sim::ProgramSpec{.trace = t, .name = "paced"}},
                     ff);
   const auto ff_result = sf.run();
@@ -90,7 +90,7 @@ TEST(Roaming, FlexFetchAbandonsADegradedLink) {
   const auto wnic_result = sw.run();
 
   // Some disk traffic appears after the collapse...
-  EXPECT_GT(ff_result.disk_bytes, 0u);
+  EXPECT_GT(ff_result.disk_bytes, Bytes{0});
   // ...and FlexFetch clearly beats staying on the degraded link.
   EXPECT_LT(ff_result.total_energy(), 0.9 * wnic_result.total_energy());
 }

@@ -18,19 +18,19 @@ DiskParams distance_params() {
 
 TEST(SeekModel, AverageModelIsConstant) {
   const DiskParams p = DiskParams::hitachi_dk23da();
-  EXPECT_DOUBLE_EQ(p.seek_time(1), 0.013);
-  EXPECT_DOUBLE_EQ(p.seek_time(p.capacity), 0.013);
+  EXPECT_DOUBLE_EQ(p.seek_time((Bytes{1})).value(), 0.013);
+  EXPECT_DOUBLE_EQ(p.seek_time(p.capacity).value(), 0.013);
 }
 
 TEST(SeekModel, ZeroDistanceIsFree) {
-  EXPECT_DOUBLE_EQ(distance_params().seek_time(0), 0.0);
-  EXPECT_DOUBLE_EQ(DiskParams::hitachi_dk23da().seek_time(0), 0.0);
+  EXPECT_DOUBLE_EQ(distance_params().seek_time((Bytes{0})).value(), 0.0);
+  EXPECT_DOUBLE_EQ(DiskParams::hitachi_dk23da().seek_time((Bytes{0})).value(), 0.0);
 }
 
 TEST(SeekModel, DistanceModelIsMonotonic) {
   const DiskParams p = distance_params();
-  Seconds prev = 0.0;
-  for (Bytes d = 1; d < p.capacity; d *= 64) {
+  Seconds prev = Seconds{0.0};
+  for (Bytes d = Bytes{1}; d < p.capacity; d = d * 64) {
     const Seconds t = p.seek_time(d);
     EXPECT_GE(t, prev);
     prev = t;
@@ -39,10 +39,10 @@ TEST(SeekModel, DistanceModelIsMonotonic) {
 
 TEST(SeekModel, DistanceModelBounds) {
   const DiskParams p = distance_params();
-  EXPECT_GE(p.seek_time(1), p.min_seek_time);
-  EXPECT_NEAR(p.seek_time(p.capacity), p.max_seek_time, 1e-12);
+  EXPECT_GE(p.seek_time(Bytes{1}), p.min_seek_time);
+  EXPECT_NEAR(p.seek_time(p.capacity).value(), p.max_seek_time.value(), 1e-12);
   // Beyond capacity clamps to the full stroke.
-  EXPECT_NEAR(p.seek_time(p.capacity * 2), p.max_seek_time, 1e-12);
+  EXPECT_NEAR(p.seek_time((p.capacity * 2)).value(), p.max_seek_time.value(), 1e-12);
 }
 
 TEST(SeekModel, ConcaveShape) {
@@ -55,28 +55,28 @@ TEST(SeekModel, ConcaveShape) {
 
 TEST(SeekModel, ValidateRejectsInvertedBounds) {
   DiskParams p = distance_params();
-  p.min_seek_time = 0.05;
-  p.max_seek_time = 0.01;
+  p.min_seek_time = Seconds{0.05};
+  p.max_seek_time = Seconds{0.01};
   EXPECT_THROW(p.validate(), ConfigError);
 }
 
 TEST(SeekModel, NearRequestsCheaperThanFarOnes) {
   Disk near_disk(distance_params());
   Disk far_disk(distance_params());
-  const auto r0 = near_disk.service(0.0, DeviceRequest{.lba = 0, .size = 4096});
+  const auto r0 = near_disk.service(Seconds{0.0}, DeviceRequest{.lba = Bytes{0}, .size = Bytes{4096}});
   const auto near_req =
-      near_disk.service(r0.completion, DeviceRequest{.lba = 8192, .size = 4096});
-  const auto f0 = far_disk.service(0.0, DeviceRequest{.lba = 0, .size = 4096});
+      near_disk.service(r0.completion, DeviceRequest{.lba = Bytes{8192}, .size = Bytes{4096}});
+  const auto f0 = far_disk.service(Seconds{0.0}, DeviceRequest{.lba = Bytes{0}, .size = Bytes{4096}});
   const auto far_req = far_disk.service(
-      f0.completion, DeviceRequest{.lba = 20ull * kGiB, .size = 4096});
+      f0.completion, DeviceRequest{.lba = 20ull * kGiB, .size = Bytes{4096}});
   EXPECT_LT(near_req.completion - near_req.arrival,
             far_req.completion - far_req.arrival);
 }
 
 TEST(SeekModel, SeekTimeCounterAccumulates) {
   Disk d(distance_params());
-  const auto r = d.service(0.0, DeviceRequest{.lba = kGiB, .size = 4096});
-  EXPECT_GT(d.counters().seek_time, 0.0);
+  const auto r = d.service(Seconds{0.0}, DeviceRequest{.lba = kGiB, .size = Bytes{4096}});
+  EXPECT_GT(d.counters().seek_time, Seconds{0.0});
   EXPECT_LT(d.counters().seek_time, r.completion);
 }
 
@@ -89,11 +89,11 @@ TEST(SeekModel, CScanBeatsFifoOnScatteredBatch) {
     const trace::Inode inodes[] = {500, 120, 480, 60, 300, 10, 450, 200,
                                    90, 400, 30, 250};
     for (const auto ino : inodes) {
-      b.write(ino, 0, 8 * kKiB);
-      b.think(0.001);
+      b.write(ino, Bytes{0}, 8 * kKiB);
+      b.think(Seconds{0.001});
     }
-    b.think(45.0);
-    b.read(999, 0, 4096);
+    b.think(Seconds{45.0});
+    b.read(999, Bytes{0}, Bytes{4096});
     return b.build();
   };
   sim::SimConfig cscan;
@@ -115,11 +115,11 @@ TEST(SeekModel, AverageModelMakesSchedulingIrrelevant) {
     trace::TraceBuilder b("scatter");
     b.process(90, 90);
     for (int i = 0; i < 10; ++i) {
-      b.write(1000 + static_cast<trace::Inode>((i * 7) % 10), 0, 8 * kKiB);
-      b.think(0.001);
+      b.write(1000 + static_cast<trace::Inode>((i * 7) % 10), Bytes{0}, 8 * kKiB);
+      b.think(Seconds{0.001});
     }
-    b.think(45.0);
-    b.read(999, 0, 4096);
+    b.think(Seconds{45.0});
+    b.read(999, Bytes{0}, Bytes{4096});
     return b.build();
   };
   sim::SimConfig cscan;  // Default kAverage seek model.
@@ -134,7 +134,7 @@ TEST(SeekModel, AverageModelMakesSchedulingIrrelevant) {
   // Even with constant per-seek cost, elevator order can only help (it
   // turns LBA-adjacent requests into sequential hits); never hurt.
   EXPECT_LE(with.disk_counters.seek_time,
-            without.disk_counters.seek_time + 1e-9);
+            without.disk_counters.seek_time + Seconds{1e-9});
 }
 
 }  // namespace

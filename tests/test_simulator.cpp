@@ -9,12 +9,12 @@
 namespace flexfetch::sim {
 namespace {
 
-trace::Trace tiny_trace(Seconds think = 1.0) {
+trace::Trace tiny_trace(Seconds think = Seconds{1.0}) {
   trace::TraceBuilder b("tiny");
   b.process(50, 50);
-  b.read(1, 0, 64 * 1024);
+  b.read(1, Bytes{0}, Bytes{64 * 1024});
   b.think(think);
-  b.read(1, 64 * 1024, 64 * 1024);
+  b.read(1, Bytes{64 * 1024}, Bytes{64 * 1024});
   return b.build();
 }
 
@@ -43,24 +43,24 @@ TEST(Simulator, WnicOnlySendsEverythingToNetwork) {
 TEST(Simulator, EnergyIsChargedOnBothDevicesOverTheRun) {
   policies::DiskOnlyPolicy policy;
   const SimResult r = simulate(fast_config(), tiny_trace(), policy);
-  EXPECT_GT(r.disk_energy(), 0.0);
+  EXPECT_GT(r.disk_energy(), Joules{0.0});
   // The unused WNIC still idles (CAM then PSM) over the makespan.
-  EXPECT_GT(r.wnic_energy(), 0.0);
-  EXPECT_NEAR(r.total_energy(), r.disk_energy() + r.wnic_energy(), 1e-9);
+  EXPECT_GT(r.wnic_energy(), Joules{0.0});
+  EXPECT_NEAR(r.total_energy().value(), (r.disk_energy() + r.wnic_energy()).value(), 1e-9);
 }
 
 TEST(Simulator, MakespanCoversTraceSpan) {
   policies::DiskOnlyPolicy policy;
-  const SimResult r = simulate(fast_config(), tiny_trace(5.0), policy);
-  EXPECT_GE(r.makespan, 5.0);  // At least the think time.
-  EXPECT_LT(r.makespan, 10.0);  // But no runaway.
+  const SimResult r = simulate(fast_config(), tiny_trace(Seconds{5.0}), policy);
+  EXPECT_GE(r.makespan, Seconds{5.0});  // At least the think time.
+  EXPECT_LT(r.makespan, Seconds{10.0});  // But no runaway.
 }
 
 TEST(Simulator, CacheAbsorbsRepeatedReads) {
   trace::TraceBuilder b("repeat");
   for (int i = 0; i < 10; ++i) {
-    b.read(1, 0, 16 * 1024);
-    b.think(0.1);
+    b.read(1, Bytes{0}, Bytes{16 * 1024});
+    b.think(Seconds{0.1});
   }
   policies::DiskOnlyPolicy policy;
   const SimResult r = simulate(fast_config(), b.build(), policy);
@@ -71,33 +71,33 @@ TEST(Simulator, CacheAbsorbsRepeatedReads) {
 
 TEST(Simulator, ReadaheadMergesSequentialReads) {
   trace::TraceBuilder b("seq");
-  b.read_file(1, 512 * 1024, 4 * 1024);  // 128 4 KiB calls.
+  b.read_file(1, Bytes{512 * 1024}, Bytes{4 * 1024});  // 128 4 KiB calls.
   policies::DiskOnlyPolicy policy;
   const SimResult r = simulate(fast_config(), b.build(), policy);
   // Readahead coalesces the 128 calls into far fewer device requests.
   EXPECT_LT(r.disk_requests, 30u);
-  EXPECT_GE(r.disk_bytes, 512u * 1024u);
+  EXPECT_GE(r.disk_bytes, Bytes{512u * 1024u});
 }
 
 TEST(Simulator, WritesAreBufferedAndFlushedInBackground) {
   trace::TraceBuilder b("writer");
-  b.write_file(1, 256 * 1024, 32 * 1024);
-  b.think(40.0);  // Give the flusher time (dirty expire + interval).
-  b.read(2, 0, 4096);
+  b.write_file(1, Bytes{256 * 1024}, Bytes{32 * 1024});
+  b.think(Seconds{40.0});  // Give the flusher time (dirty expire + interval).
+  b.read(2, Bytes{0}, Bytes{4096});
   policies::DiskOnlyPolicy policy;
   const SimResult r = simulate(fast_config(), b.build(), policy);
   // The dirty pages eventually reach a device as write-back.
   bool saw_writeback = false;
   for (const auto& e : r.request_log) saw_writeback |= e.is_writeback;
   EXPECT_TRUE(saw_writeback);
-  EXPECT_GE(r.disk_counters.bytes_written, 256u * 1024u);
+  EXPECT_GE(r.disk_counters.bytes_written, Bytes{256u * 1024u});
 }
 
 TEST(Simulator, WritebackCanBeDisabled) {
   trace::TraceBuilder b("writer");
-  b.write_file(1, 64 * 1024, 32 * 1024);
-  b.think(60.0);
-  b.read(2, 0, 4096);
+  b.write_file(1, Bytes{64 * 1024}, Bytes{32 * 1024});
+  b.think(Seconds{60.0});
+  b.read(2, Bytes{0}, Bytes{4096});
   SimConfig config = fast_config();
   config.enable_writeback = false;
   policies::DiskOnlyPolicy policy;
@@ -121,10 +121,10 @@ TEST(Simulator, DiskPinnedProgramIgnoresPolicy) {
 TEST(Simulator, ConcurrentProgramsShareTheDevices) {
   trace::TraceBuilder a("a");
   a.process(10, 10);
-  a.read(1, 0, 128 * 1024);
+  a.read(1, Bytes{0}, Bytes{128 * 1024});
   trace::TraceBuilder b("b");
   b.process(20, 20);
-  b.read(2, 0, 128 * 1024);  // Same start time as program a.
+  b.read(2, Bytes{0}, Bytes{128 * 1024});  // Same start time as program a.
   std::vector<ProgramSpec> programs;
   programs.push_back(ProgramSpec{.trace = a.build(), .name = "a"});
   programs.push_back(ProgramSpec{.trace = b.build(), .name = "b"});
@@ -142,17 +142,17 @@ TEST(Simulator, ConcurrentProgramsShareTheDevices) {
 
 TEST(Simulator, ThinkTimesComeFromTraceGaps) {
   policies::DiskOnlyPolicy policy;
-  const SimResult fast = simulate(fast_config(), tiny_trace(0.1), policy);
+  const SimResult fast = simulate(fast_config(), tiny_trace(Seconds{0.1}), policy);
   policies::DiskOnlyPolicy policy2;
-  const SimResult slow = simulate(fast_config(), tiny_trace(10.0), policy2);
-  EXPECT_GT(slow.makespan, fast.makespan + 9.0);
+  const SimResult slow = simulate(fast_config(), tiny_trace(Seconds{10.0}), policy2);
+  EXPECT_GT(slow.makespan, fast.makespan + Seconds{9.0});
 }
 
 TEST(Simulator, IoTimeExcludesThinkTime) {
   policies::DiskOnlyPolicy policy;
-  const SimResult r = simulate(fast_config(), tiny_trace(10.0), policy);
-  EXPECT_LT(r.io_time, 1.0);  // Two small reads: well under a second.
-  EXPECT_GT(r.io_time, 0.0);
+  const SimResult r = simulate(fast_config(), tiny_trace(Seconds{10.0}), policy);
+  EXPECT_LT(r.io_time, Seconds{1.0});  // Two small reads: well under a second.
+  EXPECT_GT(r.io_time, Seconds{0.0});
 }
 
 TEST(Simulator, EmptyProgramListRejected) {
@@ -172,8 +172,8 @@ TEST(Simulator, DeterministicAcrossRuns) {
   policies::DiskOnlyPolicy p2;
   const SimResult a = simulate(fast_config(), tiny_trace(), p1);
   const SimResult b = simulate(fast_config(), tiny_trace(), p2);
-  EXPECT_DOUBLE_EQ(a.total_energy(), b.total_energy());
-  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.total_energy().value(), b.total_energy().value());
+  EXPECT_DOUBLE_EQ(a.makespan.value(), b.makespan.value());
   EXPECT_EQ(a.disk_requests, b.disk_requests);
 }
 

@@ -15,35 +15,35 @@ Profile uniform_profile(std::size_t n, Seconds gap, Bytes bytes) {
     b.read(1, i * bytes, bytes);
     if (i + 1 < n) b.think(gap);
   }
-  return Profile::from_trace(b.build(), 0.020);
+  return Profile::from_trace(b.build(), Seconds{0.020});
 }
 
 TEST(Stage, EmptyProfileHasNoStages) {
-  EXPECT_TRUE(segment_stages(Profile{}, 40.0).empty());
+  EXPECT_TRUE(segment_stages(Profile{}, Seconds{40.0}).empty());
 }
 
 TEST(Stage, SingleShortBurstIsOneStage) {
-  const auto stages = segment_stages(uniform_profile(1, 0, 4096), 40.0);
+  const auto stages = segment_stages(uniform_profile(1, Seconds{0}, Bytes{4096}), Seconds{40.0});
   ASSERT_EQ(stages.size(), 1u);
   EXPECT_EQ(stages[0].first_burst, 0u);
   EXPECT_EQ(stages[0].burst_count, 1u);
-  EXPECT_EQ(stages[0].bytes, 4096u);
+  EXPECT_EQ(stages[0].bytes, Bytes{4096});
 }
 
 TEST(Stage, StageClosesWhenSpanJustExceedsThreshold) {
   // Bursts every 10 s: the stage spanning bursts 0..4 reaches 40 s at the
   // 5th burst and closes there.
-  const auto stages = segment_stages(uniform_profile(10, 10.0, 4096), 40.0);
+  const auto stages = segment_stages(uniform_profile(10, Seconds{10.0}, Bytes{4096}), Seconds{40.0});
   ASSERT_GE(stages.size(), 2u);
   EXPECT_EQ(stages[0].first_burst, 0u);
   EXPECT_EQ(stages[0].burst_count, 5u);
-  EXPECT_GE(stages[0].length, 40.0);
+  EXPECT_GE(stages[0].length, Seconds{40.0});
   EXPECT_EQ(stages[1].first_burst, 5u);
 }
 
 TEST(Stage, EveryBurstBelongsToExactlyOneStage) {
-  const auto profile = uniform_profile(23, 7.0, 1000);
-  const auto stages = segment_stages(profile, 40.0);
+  const auto profile = uniform_profile(23, Seconds{7.0}, Bytes{1000});
+  const auto stages = segment_stages(profile, Seconds{40.0});
   std::size_t covered = 0;
   std::size_t expected_first = 0;
   for (const auto& s : stages) {
@@ -55,38 +55,38 @@ TEST(Stage, EveryBurstBelongsToExactlyOneStage) {
 }
 
 TEST(Stage, BytesSumToProfileTotal) {
-  const auto profile = uniform_profile(17, 9.0, 12345);
-  const auto stages = segment_stages(profile, 40.0);
-  Bytes total = 0;
+  const auto profile = uniform_profile(17, Seconds{9.0}, Bytes{12345});
+  const auto stages = segment_stages(profile, Seconds{40.0});
+  Bytes total = Bytes{0};
   for (const auto& s : stages) total += s.bytes;
   EXPECT_EQ(total, profile.total_bytes());
 }
 
 TEST(Stage, TrailingShortStageIsKept) {
   // 6 bursts every 10 s: stage 0 takes 5 bursts, the 6th forms a short tail.
-  const auto stages = segment_stages(uniform_profile(6, 10.0, 1000), 40.0);
+  const auto stages = segment_stages(uniform_profile(6, Seconds{10.0}, Bytes{1000}), Seconds{40.0});
   ASSERT_EQ(stages.size(), 2u);
   EXPECT_EQ(stages[1].burst_count, 1u);
-  EXPECT_LT(stages[1].length, 40.0);
+  EXPECT_LT(stages[1].length, Seconds{40.0});
 }
 
 TEST(Stage, LargerThresholdMeansFewerStages) {
-  const auto profile = uniform_profile(30, 5.0, 1000);
-  const auto small = segment_stages(profile, 20.0);
-  const auto large = segment_stages(profile, 80.0);
+  const auto profile = uniform_profile(30, Seconds{5.0}, Bytes{1000});
+  const auto small = segment_stages(profile, Seconds{20.0});
+  const auto large = segment_stages(profile, Seconds{80.0});
   EXPECT_GT(small.size(), large.size());
 }
 
 TEST(Stage, RejectsNonPositiveThreshold) {
-  EXPECT_THROW(segment_stages(Profile{}, 0.0), ConfigError);
-  EXPECT_THROW(segment_stages(Profile{}, -1.0), ConfigError);
+  EXPECT_THROW(segment_stages(Profile{}, Seconds{0.0}), ConfigError);
+  EXPECT_THROW(segment_stages(Profile{}, Seconds{-1.0}), ConfigError);
 }
 
 TEST(Stage, StageStartMatchesFirstBurst) {
-  const auto profile = uniform_profile(10, 10.0, 1000);
-  const auto stages = segment_stages(profile, 40.0);
+  const auto profile = uniform_profile(10, Seconds{10.0}, Bytes{1000});
+  const auto stages = segment_stages(profile, Seconds{40.0});
   for (const auto& s : stages) {
-    EXPECT_DOUBLE_EQ(s.start, profile[s.first_burst].start);
+    EXPECT_DOUBLE_EQ(s.start.value(), profile[s.first_burst].start.value());
   }
 }
 

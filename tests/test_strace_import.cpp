@@ -22,9 +22,9 @@ TEST(StraceImport, OpenReadCloseRoundTrip) {
   ASSERT_EQ(t.size(), 3u);
   EXPECT_EQ(t[0].op, OpType::kOpen);
   EXPECT_EQ(t[1].op, OpType::kRead);
-  EXPECT_EQ(t[1].size, 4096u);
-  EXPECT_EQ(t[1].offset, 0u);
-  EXPECT_NEAR(t[1].duration, 0.000042, 1e-9);
+  EXPECT_EQ(t[1].size, Bytes{4096});
+  EXPECT_EQ(t[1].offset, Bytes{0});
+  EXPECT_NEAR(t[1].duration.value(), 0.000042, 1e-9);
   EXPECT_EQ(t[2].op, OpType::kClose);
   EXPECT_EQ(t[0].inode, t[1].inode);
 }
@@ -33,15 +33,15 @@ TEST(StraceImport, TimestampsAreRebased) {
   const Trace t = import(
       "1180000005.500000 open(\"/a\", O_RDONLY) = 3\n"
       "1180000006.500000 read(3, \"\", 100) = 100\n");
-  EXPECT_DOUBLE_EQ(t[0].timestamp, 0.0);
-  EXPECT_DOUBLE_EQ(t[1].timestamp, 1.0);
+  EXPECT_DOUBLE_EQ(t[0].timestamp.value(), 0.0);
+  EXPECT_DOUBLE_EQ(t[1].timestamp.value(), 1.0);
 }
 
 TEST(StraceImport, RebaseCanBeDisabled) {
   StraceImportOptions o;
   o.rebase_time = false;
   const Trace t = import("5.25 open(\"/a\", O_RDONLY) = 3\n", o);
-  EXPECT_DOUBLE_EQ(t[0].timestamp, 5.25);
+  EXPECT_DOUBLE_EQ(t[0].timestamp.value(), 5.25);
 }
 
 TEST(StraceImport, SequentialReadsAdvanceTheOffset) {
@@ -50,10 +50,10 @@ TEST(StraceImport, SequentialReadsAdvanceTheOffset) {
       "0.1 read(3, \"\", 1000) = 1000\n"
       "0.2 read(3, \"\", 1000) = 1000\n"
       "0.3 read(3, \"\", 1000) = 500\n");  // Short read at EOF.
-  EXPECT_EQ(t[1].offset, 0u);
-  EXPECT_EQ(t[2].offset, 1000u);
-  EXPECT_EQ(t[3].offset, 2000u);
-  EXPECT_EQ(t[3].size, 500u);  // The result, not the requested count.
+  EXPECT_EQ(t[1].offset, Bytes{0});
+  EXPECT_EQ(t[2].offset, Bytes{1000});
+  EXPECT_EQ(t[3].offset, Bytes{2000});
+  EXPECT_EQ(t[3].size, Bytes{500});  // The result, not the requested count.
 }
 
 TEST(StraceImport, LseekRepositionsTheDescriptor) {
@@ -63,7 +63,7 @@ TEST(StraceImport, LseekRepositionsTheDescriptor) {
       "0.2 read(3, \"\", 100) = 100\n");
   ASSERT_EQ(t.size(), 3u);
   EXPECT_EQ(t[1].op, OpType::kSeek);
-  EXPECT_EQ(t[2].offset, 8192u);
+  EXPECT_EQ(t[2].offset, Bytes{8192});
 }
 
 TEST(StraceImport, SamePathSharesAnInode) {
@@ -125,7 +125,7 @@ TEST(StraceImport, WriteDetection) {
       "0.0 open(\"/a\", O_WRONLY) = 3\n"
       "0.1 write(3, \"xyz\", 3) = 3\n");
   EXPECT_EQ(t[1].op, OpType::kWrite);
-  EXPECT_EQ(t[1].size, 3u);
+  EXPECT_EQ(t[1].size, Bytes{3});
 }
 
 TEST(StraceImport, NoiseLinesAreSkipped) {
@@ -156,8 +156,8 @@ TEST(StraceImport, ImportedTraceDrivesBurstExtraction) {
       "2.000 read(3, \"\", 8192) = 8192 <0.0001>\n");
   EXPECT_NO_THROW(t.validate());
   const auto s = t.stats();
-  EXPECT_EQ(s.bytes_read, 16384u);
-  EXPECT_GT(s.duration, 1.9);
+  EXPECT_EQ(s.bytes_read, Bytes{16384});
+  EXPECT_GT(s.duration, Seconds{1.9});
 }
 
 }  // namespace

@@ -16,11 +16,11 @@ namespace {
 sim::SimConfig everything_on() {
   sim::SimConfig config;
   config.enable_sync = true;
-  config.sync.interval = 90.0;
+  config.sync.interval = Seconds{90.0};
   config.adaptive_disk_timeout = true;
   config.disk.seek_model = device::DiskParams::SeekModel::kDistance;
-  config.wnic.bandwidth_schedule = {{300.0, units::mbps(5.5)},
-                                    {600.0, units::mbps(11.0)}};
+  config.wnic.bandwidth_schedule = {{Seconds{300.0}, units::mbps(5.5)},
+                                    {Seconds{600.0}, units::mbps(11.0)}};
   config.collect_request_log = true;
   return config;
 }
@@ -32,13 +32,13 @@ TEST(SystemCombo, AllSubsystemsTogetherRunAndConserveEnergy) {
   const auto r = simulator.run();
 
   EXPECT_GT(r.syscalls, 1000u);
-  EXPECT_GT(r.sync_bytes, 0u);  // make's object writes were synced.
-  EXPECT_NEAR(r.total_energy(), r.disk_energy() + r.wnic_energy(), 1e-6);
-  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_GT(r.sync_bytes, Bytes{0});  // make's object writes were synced.
+  EXPECT_NEAR(r.total_energy().value(), (r.disk_energy() + r.wnic_energy()).value(), 1e-6);
+  EXPECT_GT(r.makespan, Seconds{0.0});
   // The request log is internally consistent.
   for (const auto& e : r.request_log) {
     EXPECT_LE(e.arrival, e.completion);
-    EXPECT_GE(e.energy, 0.0);
+    EXPECT_GE(e.energy, Joules{0.0});
   }
 }
 
@@ -56,7 +56,7 @@ TEST(SystemCombo, AllSubsystemsStillBeatStatic) {
 
 TEST(SystemCombo, DeterministicWithEverythingEnabled) {
   const auto scenario = workloads::scenario_thunderbird(1);
-  Joules first = 0.0;
+  Joules first = Joules{0.0};
   for (int i = 0; i < 2; ++i) {
     core::FlexFetchPolicy policy(core::FlexFetchConfig{}, scenario.profiles);
     sim::Simulator simulator(everything_on(), scenario.programs, policy);
@@ -64,7 +64,7 @@ TEST(SystemCombo, DeterministicWithEverythingEnabled) {
     if (i == 0) {
       first = e;
     } else {
-      EXPECT_DOUBLE_EQ(e, first);
+      EXPECT_DOUBLE_EQ(e.value(), first.value());
     }
   }
 }
@@ -74,7 +74,7 @@ TEST(SystemCombo, DeterministicWithEverythingEnabled) {
 TEST(SystemCombo, EmptyTraceProgramIsHarmless) {
   trace::TraceBuilder b("real");
   b.process(60, 60);
-  b.read(1, 0, 4096);
+  b.read(1, Bytes{0}, Bytes{4096});
   std::vector<sim::ProgramSpec> programs;
   programs.push_back(sim::ProgramSpec{.trace = b.build(), .name = "real"});
   programs.push_back(sim::ProgramSpec{.trace = trace::Trace("empty"),
@@ -92,7 +92,7 @@ TEST(SystemCombo, AllEmptyProgramsFinishInstantly) {
   sim::Simulator simulator(sim::SimConfig{}, std::move(programs), policy);
   const auto r = simulator.run();
   EXPECT_EQ(r.syscalls, 0u);
-  EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan.value(), 0.0);
 }
 
 TEST(SystemCombo, FlexFetchWithEmptyMergedProfileList) {
@@ -102,7 +102,7 @@ TEST(SystemCombo, FlexFetchWithEmptyMergedProfileList) {
   core::FlexFetchPolicy policy(core::FlexFetchConfig{}, merged);
   trace::TraceBuilder b("t");
   b.process(60, 60);
-  b.read(1, 0, 4096);
+  b.read(1, Bytes{0}, Bytes{4096});
   const auto r = sim::simulate(sim::SimConfig{}, b.build(), policy);
   EXPECT_EQ(r.syscalls, 1u);  // Default-source path, no crash.
 }
@@ -125,7 +125,7 @@ TEST(SystemCombo, SyscallOnlyTraceKindsAreTolerated) {
   b.open(1);
   b.close(1);
   b.open(2);
-  b.read(2, 0, 4096);
+  b.read(2, Bytes{0}, Bytes{4096});
   b.close(2);
   policies::WnicOnlyPolicy policy;
   const auto r = sim::simulate(sim::SimConfig{}, b.build(), policy);
@@ -138,8 +138,8 @@ TEST(SystemCombo, OracleComposesWithRoamingAndSync) {
   auto oracle = policies::make_policy("oracle", {}, &scenario.oracle_future);
   sim::Simulator simulator(everything_on(), scenario.programs, *oracle);
   const auto r = simulator.run();
-  EXPECT_GT(r.total_energy(), 0.0);
-  EXPECT_NEAR(r.total_energy(), r.disk_energy() + r.wnic_energy(), 1e-6);
+  EXPECT_GT(r.total_energy(), Joules{0.0});
+  EXPECT_NEAR(r.total_energy().value(), (r.disk_energy() + r.wnic_energy()).value(), 1e-6);
 }
 
 TEST(SystemCombo, BlueFSComposesWithAdaptiveTimeout) {

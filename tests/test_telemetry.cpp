@@ -52,7 +52,7 @@ TEST(Recorder, RingOverflowKeepsNewestInOrder) {
 TEST(Recorder, ZeroCapacityIsMetricsOnly) {
   Recorder rec(0);
   for (int i = 0; i < 5; ++i) {
-    rec.instant(Category::kDisk, "x", track::kDiskIo, 0.0);
+    rec.instant(Category::kDisk, "x", track::kDiskIo, Seconds{0.0});
   }
   EXPECT_EQ(rec.size(), 0u);
   EXPECT_EQ(rec.emitted(), 5u);   // instrumentation still counts
@@ -63,8 +63,8 @@ TEST(Recorder, ZeroCapacityIsMetricsOnly) {
 
 TEST(Recorder, TakeEventsDrainsButKeepsTallies) {
   Recorder rec(8);
-  rec.instant(Category::kSim, "a", track::kSim, 1.0);
-  rec.instant(Category::kSim, "b", track::kSim, 2.0);
+  rec.instant(Category::kSim, "a", track::kSim, Seconds{1.0});
+  rec.instant(Category::kSim, "b", track::kSim, Seconds{2.0});
   const auto taken = rec.take_events();
   ASSERT_EQ(taken.size(), 2u);
   EXPECT_EQ(rec.size(), 0u);
@@ -155,11 +155,11 @@ TEST(Metrics, ItemsIterateInSortedNameOrder) {
 /// the golden below is the determinism contract for the exporter.
 TEST(Exporters, GoldenChromeTraceJson) {
   Recorder rec(8);
-  rec.instant(Category::kPolicy, "free_ride", track::kPolicy, 1.5);
-  rec.span(Category::kDisk, "Active", track::kDiskPower, 0.0, 2.5,
+  rec.instant(Category::kPolicy, "free_ride", track::kPolicy, Seconds{1.5});
+  rec.span(Category::kDisk, "Active", track::kDiskPower, Seconds{0.0}, Seconds{2.5},
            {telemetry::num_arg("lba", 42.0),
             telemetry::str_arg("op", "read")});
-  rec.counter(Category::kScheduler, "sched.depth", track::kScheduler, 3.0,
+  rec.counter(Category::kScheduler, "sched.depth", track::kScheduler, Seconds{3.0},
               7.0);
 
   MetricsRegistry metrics;
@@ -253,8 +253,8 @@ TEST(Exporters, RealSimulationTraceIsWellFormed) {
 
 TEST(Exporters, TextTimelineOrdersByTime) {
   Recorder rec(8);
-  rec.instant(Category::kSim, "later", track::kSim, 2.0);
-  rec.instant(Category::kSim, "earlier", track::kSim, 1.0);
+  rec.instant(Category::kSim, "later", track::kSim, Seconds{2.0});
+  rec.instant(Category::kSim, "earlier", track::kSim, Seconds{1.0});
   const auto events = rec.events();
 
   std::ostringstream os;
@@ -286,14 +286,14 @@ TEST(Telemetry, DiskPowerSpansTileTheTimeline) {
     }
   }
   ASSERT_GT(spans.size(), 2u);
-  EXPECT_DOUBLE_EQ(spans.front()->start, 0.0);
+  EXPECT_DOUBLE_EQ(spans.front()->start.value(), 0.0);
   for (std::size_t i = 1; i < spans.size(); ++i) {
     // The power-state story is gap-free: each state span begins where the
     // previous one ended.
-    EXPECT_DOUBLE_EQ(spans[i]->start, spans[i - 1]->end());
+    EXPECT_DOUBLE_EQ(spans[i]->start.value(), spans[i - 1]->end().value());
   }
-  EXPECT_GT(spans.back()->end(), 0.0);
-  EXPECT_LE(spans.back()->end(), r.makespan * (1.0 + 1e-12) + 1e-9);
+  EXPECT_GT(spans.back()->end(), Seconds{0.0});
+  EXPECT_LE(spans.back()->end(), r.makespan * (1.0 + 1e-12) + Seconds{1e-9});
 }
 
 TEST(Telemetry, MetricsMirrorSimulatorStatistics) {
@@ -309,8 +309,8 @@ TEST(Telemetry, MetricsMirrorSimulatorStatistics) {
                    static_cast<double>(r.syscalls));
   EXPECT_DOUBLE_EQ(r.metrics.value("cache.hits"),
                    static_cast<double>(r.cache_stats.hits));
-  EXPECT_DOUBLE_EQ(r.metrics.value("disk.energy_j"), r.disk_energy());
-  EXPECT_DOUBLE_EQ(r.metrics.value("sim.makespan_s"), r.makespan);
+  EXPECT_DOUBLE_EQ(r.metrics.value("disk.energy_j"), r.disk_energy().value());
+  EXPECT_DOUBLE_EQ(r.metrics.value("sim.makespan_s"), r.makespan.value());
   EXPECT_GT(r.metrics.value("telemetry.events_emitted"), 0.0);
   // Every emitted event was dropped: that is what metrics-only means.
   EXPECT_DOUBLE_EQ(r.metrics.value("telemetry.events_dropped"),

@@ -15,9 +15,9 @@ Trace sample_trace() {
   TraceBuilder b("sample");
   b.process(7, 8);
   b.open(1);
-  b.read(1, 0, 4096, 0.001);
-  b.think(0.5);
-  b.write(2, 100, 512, 0.002);
+  b.read(1, Bytes{0}, Bytes{4096}, Seconds{0.001});
+  b.think(Seconds{0.5});
+  b.write(2, Bytes{100}, Bytes{512}, Seconds{0.002});
   b.close(1);
   return b.build();
 }
@@ -36,8 +36,8 @@ TEST(TraceIo, RoundTripPreservesRecords) {
     EXPECT_EQ(loaded[i].size, original[i].size) << i;
     EXPECT_EQ(loaded[i].pid, original[i].pid) << i;
     EXPECT_EQ(loaded[i].pgid, original[i].pgid) << i;
-    EXPECT_NEAR(loaded[i].timestamp, original[i].timestamp, 1e-9) << i;
-    EXPECT_NEAR(loaded[i].duration, original[i].duration, 1e-9) << i;
+    EXPECT_NEAR(loaded[i].timestamp.value(), original[i].timestamp.value(), 1e-9) << i;
+    EXPECT_NEAR(loaded[i].duration.value(), original[i].duration.value(), 1e-9) << i;
   }
 }
 

@@ -2,59 +2,243 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
 namespace flexfetch {
 namespace {
 
+// ---------------------------------------------------------------------------
+// Zero-overhead guarantees: the wrappers are storage-identical to their
+// underlying representation and usable in constant expressions.
+// ---------------------------------------------------------------------------
+
+static_assert(sizeof(Seconds) == sizeof(double));
+static_assert(sizeof(Joules) == sizeof(double));
+static_assert(sizeof(Watts) == sizeof(double));
+static_assert(sizeof(BytesPerSecond) == sizeof(double));
+static_assert(sizeof(Bytes) == sizeof(std::uint64_t));
+static_assert(std::is_trivially_copyable_v<Seconds>);
+static_assert(std::is_trivially_copyable_v<Bytes>);
+
+static_assert((Watts{2.0} * Seconds{3.0}).value() == 6.0);
+static_assert((Joules{6.0} / Watts{2.0}).value() == 3.0);
+static_assert(Seconds{}.value() == 0.0);
+static_assert(Bytes{}.value() == 0);
+static_assert(pages_for(Bytes{1}) == 1);
+static_assert(transfer_time(Bytes{100}, BytesPerSecond{50.0}).value() == 2.0);
+
+// ---------------------------------------------------------------------------
+// Constants and conversion helpers.
+// ---------------------------------------------------------------------------
+
 TEST(Units, ByteConstants) {
-  EXPECT_EQ(kKiB, 1024u);
-  EXPECT_EQ(kMiB, 1024u * 1024u);
-  EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
-  EXPECT_EQ(kPageSize, 4096u);
-  EXPECT_EQ(kMaxPrefetchWindow, 128u * 1024u);
+  EXPECT_EQ(kKiB, Bytes{1024});
+  EXPECT_EQ(kMiB, Bytes{1024u * 1024u});
+  EXPECT_EQ(kGiB, Bytes{1024u * 1024u * 1024u});
+  EXPECT_EQ(kPageSize, Bytes{4096});
+  EXPECT_EQ(kMaxPrefetchWindow, Bytes{128u * 1024u});
 }
 
 TEST(Units, MbpsIsDecimalMegabitsPerSecond) {
-  EXPECT_DOUBLE_EQ(units::mbps(11.0), 11e6 / 8.0);
-  EXPECT_DOUBLE_EQ(units::mbps(1.0), 125000.0);
+  EXPECT_DOUBLE_EQ(units::mbps(11.0).value(), 11e6 / 8.0);
+  EXPECT_DOUBLE_EQ(units::mbps(1.0).value(), 125000.0);
 }
 
 TEST(Units, MbPerSIsDecimalMegabytes) {
-  EXPECT_DOUBLE_EQ(units::mb_per_s(35.0), 35e6);
+  EXPECT_DOUBLE_EQ(units::mb_per_s(35.0).value(), 35e6);
 }
 
 TEST(Units, TimeHelpers) {
-  EXPECT_DOUBLE_EQ(units::ms(13.0), 0.013);
-  EXPECT_DOUBLE_EQ(units::us(500.0), 0.0005);
-  EXPECT_DOUBLE_EQ(units::minutes(2.0), 120.0);
+  EXPECT_DOUBLE_EQ(units::ms(13.0).value(), 0.013);
+  EXPECT_DOUBLE_EQ(units::us(500.0).value(), 0.0005);
+  EXPECT_DOUBLE_EQ(units::minutes(2.0).value(), 120.0);
 }
 
 TEST(Units, SizeHelpers) {
-  EXPECT_EQ(units::kib(16), 16u * 1024u);
-  EXPECT_EQ(units::mib(3), 3u * 1024u * 1024u);
+  EXPECT_EQ(units::kib(16), Bytes{16u * 1024u});
+  EXPECT_EQ(units::mib(3), Bytes{3u * 1024u * 1024u});
 }
 
-TEST(Units, PagesForRoundsUp) {
-  EXPECT_EQ(pages_for(0), 0u);
-  EXPECT_EQ(pages_for(1), 1u);
-  EXPECT_EQ(pages_for(4096), 1u);
-  EXPECT_EQ(pages_for(4097), 2u);
-  EXPECT_EQ(pages_for(128 * kKiB), 32u);
+// ---------------------------------------------------------------------------
+// Same-dimension arithmetic identities.
+// ---------------------------------------------------------------------------
+
+TEST(Units, AdditiveIdentities) {
+  const Seconds a{1.5}, b{2.25};
+  EXPECT_EQ((a + b) - b, a);  // exact: 1.5 and 2.25 are binary fractions
+  EXPECT_EQ(a + Seconds{}, a);
+  EXPECT_EQ(a - a, Seconds{});
+  EXPECT_EQ(-(-a), a);
+
+  Seconds acc{};
+  acc += a;
+  acc += b;
+  acc -= b;
+  EXPECT_EQ(acc, a);
+}
+
+TEST(Units, ScalarScalingIdentities) {
+  const Joules e{7.0};
+  EXPECT_EQ(e * 1.0, e);
+  EXPECT_EQ(1.0 * e, e);
+  EXPECT_EQ((e * 4.0) / 4.0, e);
+  EXPECT_DOUBLE_EQ((e * 2.0).value(), 14.0);
+
+  Joules j{3.0};
+  j *= 2.0;
+  EXPECT_EQ(j, Joules{6.0});
+  j /= 2.0;
+  EXPECT_EQ(j, Joules{3.0});
+}
+
+TEST(Units, SameDimensionRatioIsDimensionless) {
+  const double ratio = Seconds{9.0} / Seconds{4.5};
+  EXPECT_DOUBLE_EQ(ratio, 2.0);
+  static_assert(std::is_same_v<decltype(Seconds{1.0} / Seconds{1.0}), double>);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Seconds{1.0}, Seconds{2.0});
+  EXPECT_GE(Joules{2.0}, Joules{2.0});
+  EXPECT_NE(Watts{0.1}, Watts{0.2});
+  EXPECT_LT(Bytes{100}, Bytes{200});
+}
+
+// ---------------------------------------------------------------------------
+// Cross-dimension algebra round-trips: the operator set is closed under the
+// physics (power * time = energy and its inverses; size / rate = time).
+// ---------------------------------------------------------------------------
+
+TEST(Units, PowerTimeEnergyRoundTrip) {
+  const Watts p{2.5};
+  const Seconds t{4.0};
+  const Joules e = p * t;
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+  EXPECT_EQ(t * p, e);  // commutative
+  EXPECT_EQ(e / t, p);  // exact: 10/4 and 10/2.5 are representable
+  EXPECT_EQ(e / p, t);
+  static_assert(std::is_same_v<decltype(p * t), Joules>);
+  static_assert(std::is_same_v<decltype(e / t), Watts>);
+  static_assert(std::is_same_v<decltype(e / p), Seconds>);
+}
+
+TEST(Units, BandwidthRoundTrip) {
+  const Bytes size{1'000'000};
+  const BytesPerSecond bw{250'000.0};
+  const Seconds t = size / bw;
+  EXPECT_DOUBLE_EQ(t.value(), 4.0);
+  // rate * time recovers the (fractional) byte count.
+  EXPECT_DOUBLE_EQ(bw * t, size.as_double());
+  EXPECT_DOUBLE_EQ(t * bw, size.as_double());
+  static_assert(std::is_same_v<decltype(size / bw), Seconds>);
+  static_assert(std::is_same_v<decltype(bw * t), double>);
 }
 
 TEST(Units, TransferTime) {
-  EXPECT_DOUBLE_EQ(transfer_time(35'000'000, units::mb_per_s(35.0)), 1.0);
-  EXPECT_DOUBLE_EQ(transfer_time(0, units::mbps(11.0)), 0.0);
+  EXPECT_EQ(transfer_time(Bytes{35'000'000}, units::mb_per_s(35.0)),
+            Seconds{1.0});
+  EXPECT_EQ(transfer_time(Bytes{}, units::mbps(11.0)), Seconds{});
   // Zero bandwidth treated as instantaneous rather than dividing by zero.
-  EXPECT_DOUBLE_EQ(transfer_time(1024, 0.0), 0.0);
+  EXPECT_EQ(transfer_time(kKiB, BytesPerSecond{}), Seconds{});
+  // Agrees with the raw operator when bw > 0.
+  EXPECT_EQ(transfer_time(kKiB, units::mbps(8.0)), kKiB / units::mbps(8.0));
 }
 
 TEST(Units, TransferTime11MbpsOf128KiB) {
   // 128 KiB at 11 Mbps is ~95 ms: the WNIC is an order of magnitude slower
   // than the disk for bulk data, which drives the paper's trade-off.
   const Seconds t = transfer_time(128 * kKiB, units::mbps(11.0));
-  EXPECT_NEAR(t, 0.0953, 0.0005);
+  EXPECT_NEAR(t.value(), 0.0953, 0.0005);
   const Seconds disk = transfer_time(128 * kKiB, units::mb_per_s(35.0));
   EXPECT_LT(disk, t / 20.0);
+}
+
+// ---------------------------------------------------------------------------
+// Energy as the integral of power over time: tiling a span into sub-spans
+// must conserve energy exactly when the tile widths are binary fractions
+// (this is how the energy meters accumulate, so exactness matters for the
+// serial == parallel byte-identity gate).
+// ---------------------------------------------------------------------------
+
+TEST(Units, EnergyIntegralSpanTiling) {
+  const Watts p{3.25};
+  const Seconds total{8.0};
+  const Joules whole = p * total;
+
+  for (const int tiles : {2, 4, 8, 16, 32}) {
+    const Seconds dt = total / static_cast<double>(tiles);
+    Joules sum{};
+    for (int i = 0; i < tiles; ++i) sum += p * dt;
+    EXPECT_EQ(sum, whole) << "tiles=" << tiles;
+  }
+}
+
+TEST(Units, EnergyIntegralPiecewisePower) {
+  // A two-state power timeline (active/idle) integrated span by span equals
+  // the closed form, and average power falls out of the ratio operator.
+  const std::vector<std::pair<Watts, Seconds>> timeline = {
+      {Watts{2.0}, Seconds{0.5}},
+      {Watts{0.25}, Seconds{4.0}},
+      {Watts{2.0}, Seconds{1.5}},
+  };
+  Joules e{};
+  Seconds makespan{};
+  for (const auto& [p, dt] : timeline) {
+    e += p * dt;
+    makespan += dt;
+  }
+  EXPECT_DOUBLE_EQ(e.value(), 2.0 * 0.5 + 0.25 * 4.0 + 2.0 * 1.5);
+  EXPECT_EQ(makespan, Seconds{6.0});
+  EXPECT_DOUBLE_EQ((e / makespan).value(), e.value() / 6.0);
+}
+
+// ---------------------------------------------------------------------------
+// Bytes: integer-exact semantics.
+// ---------------------------------------------------------------------------
+
+TEST(Units, BytesIntegerArithmetic) {
+  const Bytes b{10 * 1024};
+  EXPECT_EQ(b + b, Bytes{20 * 1024});
+  EXPECT_EQ(b - kKiB, Bytes{9 * 1024});
+  EXPECT_EQ(b * 3, Bytes{30 * 1024});
+  EXPECT_EQ(3 * b, b * 3);
+  EXPECT_EQ(b / 4, Bytes{2560});
+  EXPECT_EQ(b / kKiB, 10u);  // dimensionless count
+  EXPECT_EQ(Bytes{10'000} % kKiB, Bytes{10'000 - 9 * 1024});
+}
+
+TEST(Units, BytesStayExactWhereDoubleWouldNot) {
+  // 2^53 + 1 is not representable as a double; the uint64 backing keeps it.
+  const Bytes big{(1ull << 53) + 1};
+  EXPECT_EQ(big.value(), (1ull << 53) + 1);
+  EXPECT_EQ((big + Bytes{1}) - Bytes{1}, big);
+  EXPECT_NE(big, Bytes{1ull << 53});
+}
+
+TEST(Units, PagesForRoundsUp) {
+  EXPECT_EQ(pages_for(Bytes{}), 0u);
+  EXPECT_EQ(pages_for(Bytes{1}), 1u);
+  EXPECT_EQ(pages_for(kPageSize), 1u);
+  EXPECT_EQ(pages_for(kPageSize + Bytes{1}), 2u);
+  EXPECT_EQ(pages_for(kMaxPrefetchWindow), 32u);
+  EXPECT_EQ(pages_for(units::mib(1)), 256u);
+}
+
+// ---------------------------------------------------------------------------
+// Default construction is the dimension's zero — relied on throughout the
+// simulator for accumulators.
+// ---------------------------------------------------------------------------
+
+TEST(Units, DefaultIsZero) {
+  EXPECT_EQ(Seconds{}.value(), 0.0);
+  EXPECT_EQ(Joules{}.value(), 0.0);
+  EXPECT_EQ(Watts{}.value(), 0.0);
+  EXPECT_EQ(BytesPerSecond{}.value(), 0.0);
+  EXPECT_EQ(Bytes{}.value(), 0u);
+  EXPECT_EQ(Joules{} + Joules{1.0}, Joules{1.0});
 }
 
 }  // namespace

@@ -10,180 +10,180 @@ namespace {
 constexpr double kEps = 1e-9;
 
 DeviceRequest read_req(Bytes size) {
-  return DeviceRequest{.lba = 0, .size = size, .is_write = false};
+  return DeviceRequest{.lba = Bytes{0}, .size = size, .is_write = false};
 }
 
 DeviceRequest write_req(Bytes size) {
-  return DeviceRequest{.lba = 0, .size = size, .is_write = true};
+  return DeviceRequest{.lba = Bytes{0}, .size = size, .is_write = true};
 }
 
 TEST(Wnic, StartsInCam) {
   Wnic w;
   EXPECT_EQ(w.state(), WnicState::kCam);
-  EXPECT_DOUBLE_EQ(w.now(), 0.0);
+  EXPECT_DOUBLE_EQ(w.now().value(), 0.0);
 }
 
 TEST(Wnic, CamIdleEnergy) {
   Wnic w;
-  w.advance_to(0.5);
-  EXPECT_NEAR(w.meter()[EnergyCategory::kCamIdle], 0.705, kEps);  // 0.5*1.41.
+  w.advance_to(Seconds{0.5});
+  EXPECT_NEAR(w.meter()[EnergyCategory::kCamIdle].value(), 0.705, kEps);  // 0.5*1.41.
 }
 
 TEST(Wnic, DropsToPsmAfterTimeout) {
   Wnic w;
-  w.advance_to(1.0);  // Timeout 0.8 s, switch takes 0.41 s.
+  w.advance_to(Seconds{1.0});  // Timeout 0.8 s, switch takes 0.41 s.
   EXPECT_EQ(w.state(), WnicState::kSwitchingToPsm);
-  w.advance_to(1.21);
+  w.advance_to(Seconds{1.21});
   EXPECT_EQ(w.state(), WnicState::kPsm);
-  EXPECT_NEAR(w.meter()[EnergyCategory::kCamIdle], 0.8 * 1.41, kEps);
-  EXPECT_NEAR(w.meter()[EnergyCategory::kModeSwitch], 0.53, kEps);
+  EXPECT_NEAR(w.meter()[EnergyCategory::kCamIdle].value(), 0.8 * 1.41, kEps);
+  EXPECT_NEAR(w.meter()[EnergyCategory::kModeSwitch].value(), 0.53, kEps);
   EXPECT_EQ(w.counters().sleeps, 1u);
 }
 
 TEST(Wnic, PsmIdleEnergy) {
   Wnic w;
-  w.advance_to(11.21);  // 10 s of PSM after the 1.21 s rundown.
-  EXPECT_NEAR(w.meter()[EnergyCategory::kPsmIdle], 3.9, kEps);  // 10 * 0.39.
+  w.advance_to(Seconds{11.21});  // 10 s of PSM after the 1.21 s rundown.
+  EXPECT_NEAR(w.meter()[EnergyCategory::kPsmIdle].value(), 3.9, kEps);  // 10 * 0.39.
 }
 
 TEST(Wnic, CamReadService) {
   Wnic w;
-  const Bytes size = 1'375'000;  // Exactly 1 s at 11 Mbps; 84 16-KiB RPCs.
-  const auto res = w.service(0.0, read_req(size));
-  EXPECT_NEAR(res.start, 0.0, kEps);
-  EXPECT_NEAR(res.completion, 84 * 0.001 + 1.0, kEps);  // RTTs + transfer.
+  const Bytes size = Bytes{1'375'000};  // Exactly 1 s at 11 Mbps; 84 16-KiB RPCs.
+  const auto res = w.service(Seconds{0.0}, read_req(size));
+  EXPECT_NEAR(res.start.value(), 0.0, kEps);
+  EXPECT_NEAR(res.completion.value(), 84 * 0.001 + 1.0, kEps);  // RTTs + transfer.
   // The whole exchange (RPC waits + transfer) runs at CAM recv power.
-  EXPECT_NEAR(res.energy, (84 * 0.001 + 1.0) * 2.61, kEps);
+  EXPECT_NEAR(res.energy.value(), (84 * 0.001 + 1.0) * 2.61, kEps);
   EXPECT_EQ(w.counters().bytes_received, size);
 }
 
 TEST(Wnic, WriteUsesSendPower) {
   Wnic w;
-  const Bytes size = 1'375'000;
-  const auto res = w.service(0.0, write_req(size));
-  EXPECT_NEAR(res.energy, (84 * 0.001 + 1.0) * 3.69, kEps);
+  const Bytes size = Bytes{1'375'000};
+  const auto res = w.service(Seconds{0.0}, write_req(size));
+  EXPECT_NEAR(res.energy.value(), (84 * 0.001 + 1.0) * 3.69, kEps);
   EXPECT_EQ(w.counters().bytes_sent, size);
-  EXPECT_NEAR(w.meter()[EnergyCategory::kSend], (84 * 0.001 + 1.0) * 3.69,
+  EXPECT_NEAR(w.meter()[EnergyCategory::kSend].value(), (84 * 0.001 + 1.0) * 3.69,
               kEps);
 }
 
 TEST(Wnic, LargeRequestPaysLatencyPerRpc) {
   Wnic one_rpc;   // 32 KiB fits in a single RPC.
   Wnic two_rpcs;  // 33 KiB needs two.
-  const auto r1 = one_rpc.service(0.0, read_req(32 * 1024));
-  const auto r2 = two_rpcs.service(0.0, read_req(33 * 1024));
-  const Seconds xfer_delta = (33.0 - 32.0) * 1024 / (11e6 / 8.0);
-  EXPECT_NEAR((r2.completion - r2.start) - (r1.completion - r1.start),
-              0.001 + xfer_delta, kEps);
+  const auto r1 = one_rpc.service(Seconds{0.0}, read_req(Bytes{32 * 1024}));
+  const auto r2 = two_rpcs.service(Seconds{0.0}, read_req(Bytes{33 * 1024}));
+  const Seconds xfer_delta = Seconds{(33.0 - 32.0) * 1024 / (11e6 / 8.0)};
+  EXPECT_NEAR(((r2.completion - r2.start) - (r1.completion - r1.start)).value(),
+              0.001 + xfer_delta.value(), kEps);
 }
 
 TEST(Wnic, LargeRequestFromPsmWakesToCam) {
   Wnic w;
-  w.advance_to(5.0);  // In PSM.
+  w.advance_to(Seconds{5.0});  // In PSM.
   ASSERT_EQ(w.state(), WnicState::kPsm);
-  const auto res = w.service(5.0, read_req(100'000));
-  EXPECT_NEAR(res.start, 5.4, kEps);  // 0.40 s wake first.
+  const auto res = w.service(Seconds{5.0}, read_req(Bytes{100'000}));
+  EXPECT_NEAR(res.start.value(), 5.4, kEps);  // 0.40 s wake first.
   EXPECT_EQ(w.counters().wakes, 1u);
-  EXPECT_NEAR(w.meter()[EnergyCategory::kModeSwitch], 0.53 + 0.51, kEps);
+  EXPECT_NEAR(w.meter()[EnergyCategory::kModeSwitch].value(), 0.53 + 0.51, kEps);
   EXPECT_EQ(w.state(), WnicState::kCam);
 }
 
 TEST(Wnic, SinglePacketServedWithinPsm) {
   Wnic w;
-  w.advance_to(5.0);
+  w.advance_to(Seconds{5.0});
   ASSERT_EQ(w.state(), WnicState::kPsm);
-  const auto res = w.service(5.0, read_req(1000));  // <= 1500 B threshold.
+  const auto res = w.service(Seconds{5.0}, read_req(Bytes{1000}));  // <= 1500 B threshold.
   EXPECT_EQ(w.state(), WnicState::kPsm);  // Never left PSM.
   EXPECT_EQ(w.counters().psm_transfers, 1u);
   EXPECT_EQ(w.counters().wakes, 0u);
   // Latency + beacon wait at PSM idle power, transfer at PSM recv power.
-  const Seconds xfer = 1000 / (11e6 / 8.0);
-  EXPECT_NEAR(res.completion - res.arrival, 0.001 + 0.05 + xfer, kEps);
-  EXPECT_NEAR(res.energy, (0.001 + 0.05) * 0.39 + xfer * 1.42, kEps);
+  const Seconds xfer = Seconds{1000 / (11e6 / 8.0)};
+  EXPECT_NEAR((res.completion - res.arrival).value(), 0.001 + 0.05 + xfer.value(), kEps);
+  EXPECT_NEAR(res.energy.value(), (0.001 + 0.05) * 0.39 + xfer.value() * 1.42, kEps);
 }
 
 TEST(Wnic, SinglePacketInCamServedInCam) {
   Wnic w;
-  const auto res = w.service(0.0, read_req(1000));
+  const auto res = w.service(Seconds{0.0}, read_req(Bytes{1000}));
   EXPECT_EQ(w.counters().psm_transfers, 0u);
-  EXPECT_NEAR(res.start, 0.0, kEps);  // No beacon wait in CAM.
+  EXPECT_NEAR(res.start.value(), 0.0, kEps);  // No beacon wait in CAM.
 }
 
 TEST(Wnic, ServiceDuringSwitchToPsmWaitsOut) {
   Wnic w;
-  w.advance_to(0.9);  // Mid CAM->PSM switch (0.8 .. 1.21).
+  w.advance_to(Seconds{0.9});  // Mid CAM->PSM switch (0.8 .. 1.21).
   ASSERT_EQ(w.state(), WnicState::kSwitchingToPsm);
-  const auto res = w.service(0.9, read_req(100'000));
+  const auto res = w.service(Seconds{0.9}, read_req(Bytes{100'000}));
   // Waits until 1.21, then wakes (0.40 s) -> starts at 1.61.
-  EXPECT_NEAR(res.start, 1.61, kEps);
+  EXPECT_NEAR(res.start.value(), 1.61, kEps);
   EXPECT_EQ(w.counters().wakes, 1u);
 }
 
 TEST(Wnic, IdleTimerResetsAfterService) {
   Wnic w;
-  w.service(0.0, read_req(10'000));
+  w.service(Seconds{0.0}, read_req(Bytes{10'000}));
   const Seconds end = w.now();
-  w.advance_to(end + 0.5);
+  w.advance_to(end + Seconds{0.5});
   EXPECT_EQ(w.state(), WnicState::kCam);
-  w.advance_to(end + 0.8 + 0.41 + 0.01);
+  w.advance_to(end + Seconds{0.8} + Seconds{0.41} + Seconds{0.01});
   EXPECT_EQ(w.state(), WnicState::kPsm);
 }
 
 TEST(Wnic, EstimateDoesNotMutate) {
   Wnic w;
   const Joules before = w.meter().total();
-  const auto est = w.estimate(0.0, read_req(1'000'000));
-  EXPECT_GT(est.energy, 0.0);
-  EXPECT_DOUBLE_EQ(w.meter().total(), before);
+  const auto est = w.estimate(Seconds{0.0}, read_req(Bytes{1'000'000}));
+  EXPECT_GT(est.energy, Joules{0.0});
+  EXPECT_DOUBLE_EQ(w.meter().total().value(), before.value());
   EXPECT_EQ(w.counters().requests, 0u);
 }
 
 TEST(Wnic, TimeToReadyPerState) {
   Wnic w;
-  EXPECT_DOUBLE_EQ(w.time_to_ready(0.1), 0.0);  // CAM before timeout.
+  EXPECT_DOUBLE_EQ(w.time_to_ready((Seconds{0.1})).value(), 0.0);  // CAM before timeout.
   // At t=1.0 the card would be mid switch-to-PSM: 0.21 s remain + 0.40 wake.
-  EXPECT_NEAR(w.time_to_ready(1.0), 0.21 + 0.40, kEps);
-  EXPECT_NEAR(w.time_to_ready(10.0), 0.40, kEps);  // Deep PSM.
+  EXPECT_NEAR(w.time_to_ready((Seconds{1.0})).value(), 0.21 + 0.40, kEps);
+  EXPECT_NEAR(w.time_to_ready((Seconds{10.0})).value(), 0.40, kEps);  // Deep PSM.
 }
 
 TEST(Wnic, BandwidthAffectsTransferTime) {
   Wnic slow(WnicParams::cisco_aironet350().with_bandwidth_mbps(1.0));
   Wnic fast(WnicParams::cisco_aironet350().with_bandwidth_mbps(11.0));
-  const auto rs = slow.service(0.0, read_req(125'000));   // 8 16-KiB RPCs.
-  const auto rf = fast.service(0.0, read_req(125'000));
-  EXPECT_NEAR(rs.completion - rs.start, 8 * 0.001 + 1.0, kEps);
-  EXPECT_NEAR(rf.completion - rf.start, 8 * 0.001 + 1.0 / 11.0, kEps);
+  const auto rs = slow.service(Seconds{0.0}, read_req(Bytes{125'000}));   // 8 16-KiB RPCs.
+  const auto rf = fast.service(Seconds{0.0}, read_req(Bytes{125'000}));
+  EXPECT_NEAR((rs.completion - rs.start).value(), 8 * 0.001 + 1.0, kEps);
+  EXPECT_NEAR((rf.completion - rf.start).value(), 8 * 0.001 + 1.0 / 11.0, kEps);
 }
 
 TEST(Wnic, LatencyIsChargedPerRequest) {
-  Wnic w(WnicParams::cisco_aironet350().with_latency(0.030));
-  const auto res = w.service(0.0, read_req(11'000));
-  EXPECT_NEAR(res.completion - res.start, 0.030 + 11'000 / (11e6 / 8.0), kEps);
+  Wnic w(WnicParams::cisco_aironet350().with_latency(Seconds{0.030}));
+  const auto res = w.service(Seconds{0.0}, read_req(Bytes{11'000}));
+  EXPECT_NEAR((res.completion - res.start).value(), 0.030 + 11'000 / (11e6 / 8.0), kEps);
 }
 
 TEST(Wnic, ZeroSizeRequestRejected) {
   Wnic w;
-  EXPECT_THROW(w.service(0.0, read_req(0)), ConfigError);
+  EXPECT_THROW(w.service(Seconds{0.0}, read_req(Bytes{0})), ConfigError);
 }
 
 TEST(Wnic, EnergyConservation) {
   Wnic w;
-  w.service(0.0, read_req(500'000));
-  w.service(3.0, write_req(20'000));
-  w.advance_to(10.0);
+  w.service(Seconds{0.0}, read_req(Bytes{500'000}));
+  w.service(Seconds{3.0}, write_req(Bytes{20'000}));
+  w.advance_to(Seconds{10.0});
   const auto& m = w.meter();
   const Joules sum = m[EnergyCategory::kCamIdle] + m[EnergyCategory::kPsmIdle] +
                      m[EnergyCategory::kSend] + m[EnergyCategory::kRecv] +
                      m[EnergyCategory::kModeSwitch];
-  EXPECT_NEAR(sum, m.total(), kEps);
+  EXPECT_NEAR(sum.value(), m.total().value(), kEps);
 }
 
 TEST(Wnic, ResetAccountingKeepsState) {
   Wnic w;
-  w.advance_to(5.0);
+  w.advance_to(Seconds{5.0});
   ASSERT_EQ(w.state(), WnicState::kPsm);
   w.reset_accounting();
-  EXPECT_DOUBLE_EQ(w.meter().total(), 0.0);
+  EXPECT_DOUBLE_EQ(w.meter().total().value(), 0.0);
   EXPECT_EQ(w.state(), WnicState::kPsm);
 }
 

@@ -11,7 +11,7 @@ TEST(Generators, GrepMatchesTable3Inventory) {
   const auto s = t.stats();
   EXPECT_EQ(s.distinct_files, 1332u);  // Table 3: 1332 files.
   // Table 3: 50.4 MB footprint (within a page-rounding tolerance).
-  EXPECT_NEAR(static_cast<double>(s.footprint), 50.4e6, 0.15 * 50.4e6);
+  EXPECT_NEAR(s.footprint.as_double(), 50.4e6, 0.15 * 50.4e6);
   EXPECT_EQ(s.writes, 0u);  // grep only reads.
 }
 
@@ -19,15 +19,15 @@ TEST(Generators, GrepIsBursty) {
   const trace::Trace t = grep_trace();
   // The whole scan completes within seconds of trace time: one I/O burst
   // storm, per Section 3.3.1 ("a very short period").
-  EXPECT_LT(t.stats().duration, 30.0);
+  EXPECT_LT(t.stats().duration, Seconds{30.0});
 }
 
 TEST(Generators, MakeHasComputeThinkTimes) {
   const trace::Trace t = make_trace();
   const auto s = t.stats();
   // "building Linux kernel ... takes several minutes".
-  EXPECT_GT(s.duration, 5 * 60.0);
-  EXPECT_LT(s.duration, 30 * 60.0);
+  EXPECT_GT(s.duration, Seconds{5 * 60.0});
+  EXPECT_LT(s.duration, Seconds{30 * 60.0});
   EXPECT_GT(s.writes, 0u);  // Object files are written.
   EXPECT_GT(s.distinct_files, 700u);
 }
@@ -45,16 +45,16 @@ TEST(Generators, XmmsIsPacedByBitrate) {
   const auto s = t.stats();
   // 47.9 MB at 128 kbps is ~50 minutes of music.
   const double expected_duration =
-      static_cast<double>(s.bytes_read) / (128000.0 / 8.0);
-  EXPECT_NEAR(s.duration, expected_duration, 0.2 * expected_duration);
+      s.bytes_read.as_double() / (128000.0 / 8.0);
+  EXPECT_NEAR(s.duration.value(), expected_duration, 0.2 * expected_duration);
   EXPECT_EQ(s.distinct_files, 116u);
 }
 
 TEST(Generators, XmmsMaxDurationCapsTheTrace) {
   XmmsParams p;
-  p.max_duration = 60.0;
+  p.max_duration = Seconds{60.0};
   const trace::Trace t = xmms_trace(p);
-  EXPECT_LE(t.end_time(), 70.0);
+  EXPECT_LE(t.end_time(), Seconds{70.0});
   EXPECT_GT(t.size(), 0u);
 }
 
@@ -62,23 +62,23 @@ TEST(Generators, MplayerMatchesTable3) {
   const trace::Trace t = mplayer_trace();
   const auto s = t.stats();
   EXPECT_EQ(s.distinct_files, 121u);  // 3 movies + 118 aux files.
-  EXPECT_NEAR(static_cast<double>(s.footprint), 136.3e6, 0.2 * 136.3e6);
+  EXPECT_NEAR(s.footprint.as_double(), 136.3e6, 0.2 * 136.3e6);
 }
 
 TEST(Generators, MplayerIsSparseAfterStartup) {
   const trace::Trace t = mplayer_trace();
   // Playback is paced: the trace spans minutes, not seconds.
-  EXPECT_GT(t.stats().duration, 5 * 60.0);
+  EXPECT_GT(t.stats().duration, Seconds{5 * 60.0});
 }
 
 TEST(Generators, ThunderbirdHasTwoPhases) {
   const trace::Trace t = thunderbird_trace();
   const auto s = t.stats();
   EXPECT_EQ(s.distinct_files, 283u);  // Table 3.
-  EXPECT_NEAR(static_cast<double>(s.footprint), 188.1e6, 0.2 * 188.1e6);
+  EXPECT_NEAR(s.footprint.as_double(), 188.1e6, 0.2 * 188.1e6);
   // Phase 1 (reading with think times) dominates the duration; phase 2
   // (search) dominates the bytes.
-  EXPECT_GT(s.duration, 120.0);
+  EXPECT_GT(s.duration, Seconds{120.0});
   EXPECT_GT(s.bytes_read, static_cast<Bytes>(100e6));
 }
 
@@ -146,8 +146,8 @@ TEST(Scenarios, ProfilesComeFromADifferentRun) {
   // Same files, different timing: profile bytes match the eval footprint
   // closely but not the timestamps.
   const auto eval_stats = s.programs[0].trace.stats();
-  EXPECT_NEAR(static_cast<double>(s.profiles[0].total_bytes()),
-              static_cast<double>(eval_stats.bytes_read), 0.1 * 136e6);
+  EXPECT_NEAR(s.profiles[0].total_bytes().as_double(),
+              eval_stats.bytes_read.as_double(), 0.1 * 136e6);
 }
 
 TEST(Scenarios, ForcedSpinupHasPinnedXmms) {

@@ -16,34 +16,34 @@ BufferCache make_cache() {
 TEST(Writeback, NothingToFlushWhenClean) {
   const WritebackPolicy wb;
   BufferCache cache = make_cache();
-  cache.fill(PageId{1, 0}, 0.0);
-  EXPECT_TRUE(wb.select_flush(cache, 100.0, true).empty());
-  EXPECT_TRUE(wb.select_flush(cache, 100.0, false).empty());
+  cache.fill(PageId{1, 0}, Seconds{0.0});
+  EXPECT_TRUE(wb.select_flush(cache, Seconds{100.0}, true).empty());
+  EXPECT_TRUE(wb.select_flush(cache, Seconds{100.0}, false).empty());
 }
 
 TEST(Writeback, ActiveDeviceFlushesEverythingEagerly) {
   // Laptop mode: "eager writing back dirty blocks to active disks".
   const WritebackPolicy wb;
   BufferCache cache = make_cache();
-  cache.write(PageId{1, 0}, 0.0);
-  cache.write(PageId{1, 1}, 99.9);  // Fresh page: still flushed eagerly.
-  const auto flush = wb.select_flush(cache, 100.0, /*device_active=*/true);
+  cache.write(PageId{1, 0}, Seconds{0.0});
+  cache.write(PageId{1, 1}, Seconds{99.9});  // Fresh page: still flushed eagerly.
+  const auto flush = wb.select_flush(cache, Seconds{100.0}, /*device_active=*/true);
   EXPECT_EQ(flush.size(), 2u);
 }
 
 TEST(Writeback, SleepingDeviceDelaysYoungDirtyPages) {
   const WritebackPolicy wb;  // laptop_mode_expire = 600 s.
   BufferCache cache = make_cache();
-  cache.write(PageId{1, 0}, 0.0);
-  EXPECT_TRUE(wb.select_flush(cache, 300.0, /*device_active=*/false).empty());
+  cache.write(PageId{1, 0}, Seconds{0.0});
+  EXPECT_TRUE(wb.select_flush(cache, Seconds{300.0}, /*device_active=*/false).empty());
 }
 
 TEST(Writeback, SleepingDeviceFlushesExpiredPages) {
   const WritebackPolicy wb;
   BufferCache cache = make_cache();
-  cache.write(PageId{1, 0}, 0.0);
-  cache.write(PageId{1, 1}, 500.0);
-  const auto flush = wb.select_flush(cache, 650.0, /*device_active=*/false);
+  cache.write(PageId{1, 0}, Seconds{0.0});
+  cache.write(PageId{1, 1}, Seconds{500.0});
+  const auto flush = wb.select_flush(cache, Seconds{650.0}, /*device_active=*/false);
   ASSERT_EQ(flush.size(), 1u);  // Only the 650 s old page.
   EXPECT_EQ(flush[0].page, (PageId{1, 0}));
 }
@@ -53,27 +53,27 @@ TEST(Writeback, MemoryPressureOverridesPowerSaving) {
   config.dirty_pressure_pages = 4;
   const WritebackPolicy wb(config);
   BufferCache cache = make_cache();
-  for (std::uint64_t i = 0; i < 4; ++i) cache.write(PageId{1, i}, 10.0);
-  const auto flush = wb.select_flush(cache, 11.0, /*device_active=*/false);
+  for (std::uint64_t i = 0; i < 4; ++i) cache.write(PageId{1, i}, Seconds{10.0});
+  const auto flush = wb.select_flush(cache, Seconds{11.0}, /*device_active=*/false);
   EXPECT_EQ(flush.size(), 4u);
 }
 
 TEST(Writeback, NextWakeupUsesFlushInterval) {
   WritebackConfig config;
-  config.flush_interval = 7.0;
+  config.flush_interval = Seconds{7.0};
   const WritebackPolicy wb(config);
-  EXPECT_DOUBLE_EQ(wb.next_wakeup(10.0), 17.0);
+  EXPECT_DOUBLE_EQ(wb.next_wakeup((Seconds{10.0})).value(), 17.0);
 }
 
 TEST(Writeback, ConfigValidation) {
   WritebackConfig c;
-  c.dirty_expire = 0.0;
+  c.dirty_expire = Seconds{0.0};
   EXPECT_THROW(WritebackPolicy{c}, ConfigError);
   c = WritebackConfig{};
-  c.laptop_mode_expire = 1.0;  // Below dirty_expire.
+  c.laptop_mode_expire = Seconds{1.0};  // Below dirty_expire.
   EXPECT_THROW(WritebackPolicy{c}, ConfigError);
   c = WritebackConfig{};
-  c.flush_interval = 0.0;
+  c.flush_interval = Seconds{0.0};
   EXPECT_THROW(WritebackPolicy{c}, ConfigError);
 }
 

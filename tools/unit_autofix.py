@@ -1,0 +1,364 @@
+#!/usr/bin/env python3
+"""Compiler-error-driven fixer for the strong-unit migration.
+
+Parses g++ diagnostics and applies only unambiguous rewrites:
+  * literal passed where a unit type is expected    -> wrap in T{...}
+  * unit compared against a numeric literal          -> wrap the literal
+  * unit expression passed where double is expected  -> (expr).value()
+
+Anything it cannot resolve mechanically is left for a human pass.
+Intended as a one-off migration aid, driven by tools/ scripts; it is not
+part of the build.
+"""
+import os
+import re
+import subprocess
+import sys
+
+UNIT_TYPES = {"Seconds", "Joules", "Watts", "BytesPerSecond", "Bytes"}
+LITERAL_RE = re.compile(r"[0-9](?:[eE][+-]|[0-9a-fA-FxX.'])*(?:[uUlLfF]*)")
+
+ERR_CONVERT = re.compile(
+    r"^(?P<file>[^:]+):(?P<line>\d+):(?P<col>\d+): error: could not convert "
+    r"'(?P<expr>[^']*)' from '[^']*' to 'flexfetch::(?P<type>\w+)'")
+ERR_CANNOT = re.compile(
+    r"^(?P<file>[^:]+):(?P<line>\d+):(?P<col>\d+): error: cannot convert "
+    r"'(?:const )?flexfetch::(?:detail::FloatQuantity<flexfetch::\w+>|\w+)'"
+    r"(?: {[^}]*})? to '(?:const )?double'")
+ERR_CANNOT_UNIT = re.compile(
+    r"^(?P<file>[^:]+):(?P<line>\d+):(?P<col>\d+): error: cannot convert "
+    r"'(?:const )?(?:int|double|float|unsigned int|long unsigned int"
+    r"|long long unsigned int|long int)' to 'flexfetch::(?P<type>\w+)'")
+ERR_NOMATCH = re.compile(
+    r"^(?P<file>[^:]+):(?P<line>\d+):(?P<col>\d+): error: no match for "
+    r"'operator(?P<op>[<>=!+\-*/%]+)' \(operand types are "
+    r"'(?P<lhs>[^']+)'(?: \{aka '[^']*'\})? and "
+    r"'(?P<rhs>[^']+)'(?: \{aka '[^']*'\})?\)")
+ERR_NOFUNC = re.compile(
+    r"^(?P<file>[^:]+):(?P<line>\d+):(?P<col>\d+): error: no matching "
+    r"function for call to '")
+ERR_NOASSIGN = re.compile(
+    r"^(?P<file>[^:]+):(?P<line>\d+):(?P<col>\d+): error: no match for "
+    r"'operator=' \(operand types are '(?:const )?(?P<lhs>flexfetch::[^']+?)'"
+    r"(?: {[^}]*})? and '(?P<rhs>[^']+?)'(?: {[^}]*})?\)")
+ERR_NONSCALAR = re.compile(
+    r"^(?P<file>[^:]+):(?P<line>\d+):(?P<col>\d+): error: conversion from "
+    r"'(?P<src>[^']+?)'(?: {[^}]*})? to non-scalar type "
+    r"'(?:const )?(?P<dst>flexfetch::[^']+?)'(?: {[^}]*})? requested")
+NOTE_ARGCONV_REV = re.compile(
+    r"no known conversion for argument (?P<arg>\d+) from "
+    r"'(?:const )?(?P<src>flexfetch::[\w:<>]+)(?: {[^}]*})?' to "
+    r"'[^']*?double[^']*?'")
+NOTE_ARGCONV = re.compile(
+    r"no known conversion for argument (?P<arg>\d+) from "
+    r"'(?:const )?(?P<src>[\w ]+)' to '(?:const )?flexfetch::(?P<type>\w+)")
+INST_CMPHELPER = re.compile(
+    r"In instantiation of 'testing::AssertionResult "
+    r"testing::internal::CmpHelper\w+\((?:const char\*, const char\*, )?"
+    r"const T1?&, const T2?&\) \[with T1? = (?P<t1>[^;]+); T2? = (?P<t2>[^;\]]+)")
+REQ_FROM = re.compile(
+    r"^(?P<file>[^:]+):(?P<line>\d+):(?P<col>\d+): +required from here")
+SRC_ECHO = re.compile(r"^\s*\d+\s*\|")
+MARKER = re.compile(r"^(\s*)\|(\s*)(?P<marks>[~^]+)\s*$")
+GTEST_MACRO = re.compile(r"\b(?:EXPECT|ASSERT)_\w+\s*\(")
+
+
+def marker_span(diags, i):
+    """Scan the context lines after diags[i] for a source-echo line and its
+    caret/tilde marker line; return the (start, end) 0-based column span the
+    compiler underlined, or None."""
+    for j in range(i + 1, min(i + 4, len(diags))):
+        em = SRC_ECHO.match(diags[j])
+        if not em or j + 1 >= len(diags):
+            continue
+        echo, mark = diags[j], diags[j + 1]
+        bar = echo.find("|")
+        if bar < 0 or len(mark) <= bar or mark[:bar].strip() != "" \
+                or bar >= len(mark) or mark[bar] != "|":
+            return None
+        mm = re.search(r"[~^]+", mark[bar + 1:])
+        if not mm:
+            return None
+        start = mm.start() - 1  # content begins after "| "
+        return (start, start + len(mm.group(0)))
+    return None
+
+
+def split_args(line, open_paren):
+    """Split a single-line call's arguments at `line[open_paren] == '('` into
+    (start, end) spans; None if the call does not close on this line."""
+    if open_paren >= len(line) or line[open_paren] != "(":
+        return None
+    spans, depth, i, arg_start = [], 0, open_paren + 1, open_paren + 1
+    while i < len(line):
+        c = line[i]
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < len(line) and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+        elif c in "([{":
+            depth += 1
+        elif c == ")" and depth == 0:
+            spans.append((arg_start, i))
+            return [(s, _rstrip(line, s, e)) for s, e in spans]
+        elif c in ")]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            spans.append((arg_start, i))
+            arg_start = i + 1
+            while arg_start < len(line) and line[arg_start].isspace():
+                arg_start = arg_start + 1
+        i += 1
+    return None
+
+
+def _rstrip(line, s, e):
+    while e > s and line[e - 1].isspace():
+        e -= 1
+    return e
+
+def unit_of(type_str):
+    m = re.search(r"FloatQuantity<flexfetch::(\w+)Dim>", type_str)
+    if m:
+        return {"Time": "Seconds", "Energy": "Joules", "Power": "Watts",
+                "Bandwidth": "BytesPerSecond"}.get(m.group(1))
+    m = re.search(r"flexfetch::(\w+)", type_str)
+    if m and m.group(1) in UNIT_TYPES:
+        return m.group(1)
+    return None
+
+def is_numeric(type_str):
+    t = type_str.replace("const ", "").strip()
+    return t in {"int", "double", "float", "unsigned int", "long int",
+                 "long unsigned int", "long long unsigned int",
+                 "unsigned char", "short int"}
+
+def expr_end(line, start):
+    """Index just past a balanced expression starting at `start` (stops at
+    a top-level ',' or ')' or ';')."""
+    depth = 0
+    i = start
+    while i < len(line):
+        c = line[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            if depth == 0:
+                break
+            depth -= 1
+        elif c in ",;" and depth == 0:
+            break
+        i += 1
+    while i > start and line[i - 1].isspace():
+        i -= 1
+    return i
+
+def apply_fixes(path, diagnostics):
+    lines = open(path).read().split("\n")
+    # (line, col) -> replacement thunk; apply right-to-left per line.
+    edits = []  # (line_idx, start_col, end_col, new_text)
+
+    def wrap_span(li, start, end, unit):
+        src = lines[li]
+        if end > len(src) or end <= start:
+            return
+        expr = src[start:end]
+        # Sanity: must look like an expression (starts plausibly, parens and
+        # braces balanced) — a degenerate marker span (e.g. a lone ')') means
+        # the diagnostic did not underline what we think it did.
+        if not re.match(r"[\w(\-+.\"']", expr):
+            return
+        for opened, closed in (("()"), ("[]"), ("{}")):
+            if expr.count(opened) != expr.count(closed):
+                return
+        if re.fullmatch(LITERAL_RE.pattern, expr):
+            expr = expr.rstrip("uUlLfF")
+        edits.append((li, start, end, f"{unit}{{{expr}}}"))
+
+    for di, d in enumerate(diagnostics):
+        m = ERR_CONVERT.match(d)
+        if m and m.group("file") == path and m.group("type") in UNIT_TYPES:
+            li = int(m.group("line")) - 1
+            col = int(m.group("col")) - 1
+            src = lines[li]
+            lm = LITERAL_RE.match(src, col)
+            if lm and re.fullmatch(r"[0-9'.eE+\-xXuUlLfF]+", m.group("expr")):
+                tok = lm.group(0).rstrip("uUlL")
+                edits.append((li, col, lm.end(), f"{m.group('type')}{{{tok}}}"))
+            else:
+                span = marker_span(diagnostics, di)
+                if span:
+                    wrap_span(li, span[0], span[1], m.group("type"))
+            continue
+        m = ERR_CANNOT_UNIT.match(d)
+        if m and m.group("file") == path and m.group("type") in UNIT_TYPES:
+            li = int(m.group("line")) - 1
+            col = int(m.group("col")) - 1
+            src = lines[li]
+            lm = LITERAL_RE.match(src, col)
+            if lm:
+                tok = lm.group(0).rstrip("uUlLfF")
+                edits.append((li, col, lm.end(), f"{m.group('type')}{{{tok}}}"))
+            else:
+                span = marker_span(diagnostics, di)
+                if span:
+                    wrap_span(li, span[0], span[1], m.group("type"))
+            continue
+        m = ERR_NOFUNC.match(d)
+        if m and m.group("file") == path:
+            # Find the first candidate note naming a numeric->unit (wrap) or
+            # unit->double (.value()) argument mismatch, then rewrite that
+            # argument of the (single-line) call.
+            target = unwrap = None
+            for j in range(di + 1, min(di + 40, len(diagnostics))):
+                if " error: " in diagnostics[j]:
+                    break
+                nm = NOTE_ARGCONV.search(diagnostics[j])
+                if nm and nm.group("type") in UNIT_TYPES \
+                        and is_numeric(nm.group("src")):
+                    target = (int(nm.group("arg")), nm.group("type"))
+                    break
+                rm = NOTE_ARGCONV_REV.search(diagnostics[j])
+                if rm and unit_of(rm.group("src")):
+                    unwrap = int(rm.group("arg"))
+                    break
+            if not target and not unwrap:
+                continue
+            li = int(m.group("line")) - 1
+            col = int(m.group("col")) - 1
+            src = lines[li]
+            paren = src.find("(", col)
+            spans = split_args(src, paren) if paren >= 0 else None
+            argno = target[0] if target else unwrap
+            if spans and 1 <= argno <= len(spans):
+                s, e = spans[argno - 1]
+                if target:
+                    wrap_span(li, s, e, target[1])
+                elif re.fullmatch(r"[\w.:\->\[\]()]+", src[s:e]):
+                    edits.append((li, s, e, f"{src[s:e]}.value()"))
+                else:
+                    edits.append((li, s, e, f"({src[s:e]}).value()"))
+            continue
+        m = ERR_NOASSIGN.match(d)
+        if m and m.group("file") == path:
+            lhs_u = unit_of(m.group("lhs"))
+            if lhs_u and is_numeric(m.group("rhs")):
+                span = marker_span(diagnostics, di)
+                if span:
+                    wrap_span(int(m.group("line")) - 1, span[0], span[1],
+                              lhs_u)
+            continue
+        m = ERR_NONSCALAR.match(d)
+        if m and m.group("file") == path:
+            dst_u = unit_of(m.group("dst"))
+            if dst_u and is_numeric(m.group("src")):
+                span = marker_span(diagnostics, di)
+                if span:
+                    wrap_span(int(m.group("line")) - 1, span[0], span[1],
+                              dst_u)
+            continue
+        m = INST_CMPHELPER.search(d)
+        if m:
+            t1u, t2u = unit_of(m.group("t1")), unit_of(m.group("t2"))
+            numeric_side = None
+            if t1u and is_numeric(m.group("t2")):
+                numeric_side, unit = 2, t1u
+            elif t2u and is_numeric(m.group("t1")):
+                numeric_side, unit = 1, t2u
+            if numeric_side is None:
+                continue
+            loc = None
+            for j in range(di + 1, min(di + 8, len(diagnostics))):
+                rm = REQ_FROM.match(diagnostics[j])
+                if rm and rm.group("file") == path:
+                    loc = int(rm.group("line")) - 1
+                    break
+            if loc is None:
+                continue
+            src = lines[loc]
+            gm = GTEST_MACRO.search(src)
+            if not gm:
+                continue
+            spans = split_args(src, gm.end() - 1)
+            if spans and len(spans) == 2:
+                s, e = spans[numeric_side - 1]
+                wrap_span(loc, s, e, unit)
+            continue
+        m = ERR_CANNOT.match(d)
+        if m and m.group("file") == path:
+            li = int(m.group("line")) - 1
+            col = int(m.group("col")) - 1
+            src = lines[li]
+            end = expr_end(src, col)
+            if end <= col:
+                continue
+            expr = src[col:end]
+            if re.fullmatch(r"[\w.:\->\[\]()]+", expr):
+                edits.append((li, col, end, f"{expr}.value()"))
+            else:
+                edits.append((li, col, end, f"({expr}).value()"))
+            continue
+        m = ERR_NOMATCH.match(d)
+        if m and m.group("file") == path:
+            lhs_u, rhs_u = unit_of(m.group("lhs")), unit_of(m.group("rhs"))
+            li = int(m.group("line")) - 1
+            col = int(m.group("col")) - 1
+            src = lines[li]
+            if lhs_u and is_numeric(m.group("rhs")):
+                # find operator then the literal after it
+                om = re.compile(re.escape(m.group("op"))).search(src, col)
+                if not om:
+                    continue
+                lm = LITERAL_RE.search(src, om.end())
+                if not lm:
+                    continue
+                between = src[om.end():lm.start()]
+                if between.strip() != "":
+                    continue
+                tok = lm.group(0).rstrip("uUlLfF")
+                edits.append((li, lm.start(), lm.end(), f"{lhs_u}{{{tok}}}"))
+            elif rhs_u and is_numeric(m.group("lhs")):
+                lm = LITERAL_RE.match(src, col)
+                if not lm:
+                    continue
+                tok = lm.group(0).rstrip("uUlLfF")
+                edits.append((li, col, lm.end(), f"{rhs_u}{{{tok}}}"))
+            continue
+    if not edits:
+        return 0
+    # Deduplicate and apply right-to-left so columns stay valid.
+    edits = sorted(set(edits), key=lambda e: (e[0], -e[1]))
+    applied = 0
+    done = {}  # line -> list of applied (start, end) ranges
+    for li, start, end, new in edits:
+        if any(start < e and s < end for s, e in done.get(li, [])):
+            continue  # overlaps an edit already applied on this line
+        done.setdefault(li, []).append((start, end))
+        lines[li] = lines[li][:start] + new + lines[li][end:]
+        applied += 1
+    open(path, "w").write("\n".join(lines))
+    return applied
+
+def main():
+    flags = sys.argv[1].split()
+    files = sys.argv[2:]
+    for path in files:
+        for _ in range(12):
+            env = dict(os.environ, LC_ALL="C")
+            proc = subprocess.run(
+                ["g++"] + flags + ["-fsyntax-only", path],
+                capture_output=True, text=True, env=env)
+            if proc.returncode == 0:
+                print(f"{path}: clean")
+                break
+            diags = proc.stderr.split("\n")
+            n = apply_fixes(path, diags)
+            if n == 0:
+                nerr = sum(1 for d in diags if " error: " in d)
+                print(f"{path}: {nerr} errors left (manual)")
+                break
+            print(f"{path}: applied {n} fixes, recompiling")
+
+if __name__ == "__main__":
+    main()
