@@ -145,7 +145,7 @@ BENCHMARK(BM_FullSimulationDiskOnly)->Unit(benchmark::kMillisecond);
 void BM_FullSimulationTelemetryOn(benchmark::State& state) {
   const auto trace = workloads::grep_trace();
   sim::SimConfig config;
-  config.telemetry.enabled = true;
+  config.telemetry.enabled = true;  // metrics-only: the production default
   for (auto _ : state) {
     policies::DiskOnlyPolicy policy;
     benchmark::DoNotOptimize(
@@ -156,10 +156,25 @@ void BM_FullSimulationTelemetryOn(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSimulationTelemetryOn)->Unit(benchmark::kMillisecond);
 
+void BM_FullSimulationRingCapture(benchmark::State& state) {
+  const auto trace = workloads::grep_trace();
+  sim::SimConfig config;
+  config.telemetry.enabled = true;
+  config.telemetry.ring_capacity = telemetry::kDefaultRingCapacity;
+  for (auto _ : state) {
+    policies::DiskOnlyPolicy policy;
+    benchmark::DoNotOptimize(
+        sim::simulate(config, trace, policy).total_energy());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(trace.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_FullSimulationRingCapture)->Unit(benchmark::kMillisecond);
+
 /// Min-of-K wall-clock of one full grep simulation under `config`.
 double min_sim_millis(const sim::SimConfig& config, const trace::Trace& trace,
                       sim::SimResult* out) {
-  constexpr int kRuns = 5;
+  constexpr int kRuns = 9;
   double best = 1e18;
   for (int i = 0; i < kRuns; ++i) {
     policies::DiskOnlyPolicy policy;
@@ -174,36 +189,51 @@ double min_sim_millis(const sim::SimConfig& config, const trace::Trace& trace,
   return best;
 }
 
-/// Times telemetry-off vs telemetry-on, asserts identical simulation
-/// outcomes, and records both in a JSON file diffable across PRs.
+/// The enforced overhead budget for metrics-on telemetry, in percent of
+/// the telemetry-off wall-clock. CI runs this as a failing gate.
+constexpr double kMetricsOverheadBudgetPct = 5.0;
+
+/// Times telemetry off vs metrics-on (the production default) vs full
+/// ring capture, asserts identical simulation outcomes, records all three
+/// in a JSON file diffable across PRs, and fails when metrics-on overhead
+/// blows the budget.
 int record_telemetry_overhead(const std::string& out_path) {
   const auto trace = workloads::grep_trace();
   sim::SimConfig off;
-  sim::SimConfig on;
-  on.telemetry.enabled = true;
+  sim::SimConfig metrics_on;
+  metrics_on.telemetry.enabled = true;  // ring_capacity 0: metrics-only
+  sim::SimConfig ring_on;
+  ring_on.telemetry.enabled = true;
+  ring_on.telemetry.ring_capacity = telemetry::kDefaultRingCapacity;
 
-  sim::SimResult r_off, r_on;
+  sim::SimResult r_off, r_metrics, r_ring;
   const double off_ms = min_sim_millis(off, trace, &r_off);
-  const double on_ms = min_sim_millis(on, trace, &r_on);
+  const double metrics_ms = min_sim_millis(metrics_on, trace, &r_metrics);
+  const double ring_ms = min_sim_millis(ring_on, trace, &r_ring);
 
-  const bool identical = r_off.total_energy() == r_on.total_energy() &&
-                         r_off.makespan == r_on.makespan &&
-                         r_off.io_time == r_on.io_time &&
-                         r_off.syscalls == r_on.syscalls &&
-                         r_off.disk_requests == r_on.disk_requests &&
-                         r_off.net_requests == r_on.net_requests;
-  if (!identical) {
+  const auto identical = [&](const sim::SimResult& r) {
+    return r_off.total_energy() == r.total_energy() &&
+           r_off.makespan == r.makespan && r_off.io_time == r.io_time &&
+           r_off.syscalls == r.syscalls &&
+           r_off.disk_requests == r.disk_requests &&
+           r_off.net_requests == r.net_requests;
+  };
+  if (!identical(r_metrics) || !identical(r_ring)) {
     std::fprintf(stderr,
                  "TELEMETRY PERTURBATION: enabling telemetry changed the "
                  "simulation result\n");
     return 1;
   }
 
-  const double overhead_pct =
-      off_ms > 0.0 ? (on_ms / off_ms - 1.0) * 100.0 : 0.0;
-  std::printf("telemetry overhead (grep, disk-only, min of 5): "
-              "off=%.2f ms on=%.2f ms (%+.1f%%), results identical\n",
-              off_ms, on_ms, overhead_pct);
+  const auto pct = [off_ms](double ms) {
+    return off_ms > 0.0 ? (ms / off_ms - 1.0) * 100.0 : 0.0;
+  };
+  const double overhead_pct = pct(metrics_ms);
+  const double ring_overhead_pct = pct(ring_ms);
+  std::printf("telemetry overhead (grep, disk-only, min of 9): off=%.2f ms  "
+              "metrics-on=%.2f ms (%+.1f%%)  ring=%.2f ms (%+.1f%%), "
+              "results identical\n",
+              off_ms, metrics_ms, overhead_pct, ring_ms, ring_overhead_pct);
 
   std::ofstream os(out_path);
   if (!os) {
@@ -212,14 +242,26 @@ int record_telemetry_overhead(const std::string& out_path) {
   }
   os << "{\n";
   os << "  \"scenario\": \"grep (disk-only)\",\n";
-  os << "  \"runs\": 5,\n";
+  os << "  \"runs\": 9,\n";
   os << "  \"telemetry_off_ms\": " << off_ms << ",\n";
-  os << "  \"telemetry_on_ms\": " << on_ms << ",\n";
+  os << "  \"telemetry_on_ms\": " << metrics_ms << ",\n";
   os << "  \"overhead_pct\": " << overhead_pct << ",\n";
-  os << "  \"events_emitted\": " << r_on.metrics.value("telemetry.events_emitted") << ",\n";
+  os << "  \"overhead_budget_pct\": " << kMetricsOverheadBudgetPct << ",\n";
+  os << "  \"ring_on_ms\": " << ring_ms << ",\n";
+  os << "  \"ring_overhead_pct\": " << ring_overhead_pct << ",\n";
+  os << "  \"events_emitted\": "
+     << r_ring.metrics.value("telemetry.events_emitted") << ",\n";
   os << "  \"results_identical\": true\n";
   os << "}\n";
   std::printf("wrote %s\n", out_path.c_str());
+
+  if (overhead_pct >= kMetricsOverheadBudgetPct) {
+    std::fprintf(stderr,
+                 "TELEMETRY OVERHEAD GATE: metrics-on costs %+.1f%% "
+                 "(budget < %.1f%%)\n",
+                 overhead_pct, kMetricsOverheadBudgetPct);
+    return 1;
+  }
   return 0;
 }
 

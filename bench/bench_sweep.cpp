@@ -5,12 +5,19 @@
 //   ./build/bench/bench_sweep [--jobs N] [--policies a,b,c] [--seed S]
 //                             [--out FILE] [--no-serial] [--metrics]
 //                             [--trace-out FILE] [--fault-seed S]
+//                             [--aggregate-out FILE]
 //
 // Runs the grid once serially (jobs=1, the baseline) and once with N
 // workers, verifies the parallel results are bit-identical to the serial
 // ones, and writes a machine-readable BENCH_sweep.json with per-cell
 // energy/time plus the wall-clock speedup — the perf trajectory record
 // tracked across PRs.
+//
+// The parallel pass streams through run_sweep_streaming: each cell result
+// is checked against the serial baseline and folded into per-stratum
+// aggregates (Welford stats + merged metrics/histograms) the moment it
+// completes, in grid order. --aggregate-out writes that constant-size
+// aggregate record.
 
 #include <chrono>
 #include <cstdio>
@@ -83,6 +90,7 @@ int run(int argc, char** argv) {
   std::uint64_t fault_seed = 0;
   std::string out_path = "BENCH_sweep.json";
   std::string trace_out;
+  std::string aggregate_out;
   bool metrics = false;
   std::vector<std::string> policy_names = policies::standard_policy_names();
   bool no_serial = false;
@@ -96,10 +104,12 @@ int run(int argc, char** argv) {
   flags.add("no-serial", &no_serial);
   flags.add("metrics", &metrics);
   flags.add("trace-out", &trace_out, "FILE");
+  flags.add("aggregate-out", &aggregate_out, "FILE");
   flags.parse(argc, argv);
   if (!policies_csv.empty()) policy_names = split_csv(policies_csv);
   const bool run_serial_baseline = !no_serial;
-  jobs = sim::resolve_jobs(jobs);
+  const sim::JobsResolution jobs_resolution = sim::resolve_jobs_detail(jobs);
+  jobs = jobs_resolution.effective;
 
   const auto scenarios = workloads::all_scenarios(seed);
   bench::SweepSpec spec;
@@ -113,14 +123,14 @@ int run(int argc, char** argv) {
   }
   if (metrics || !trace_out.empty()) {
     for (auto& cell : cells) {
-      // Metrics-only telemetry: per-cell counters land in the JSON record
-      // without holding hundreds of event buffers.
+      // Metrics-only telemetry (the default, ring_capacity 0): per-cell
+      // counters and histograms land in the JSON record without any cell
+      // admitting — or even constructing — a single event.
       cell.config.telemetry.enabled = true;
-      cell.config.telemetry.ring_capacity = 0;
     }
     if (!trace_out.empty()) {
-      cells[0].config.telemetry.ring_capacity =
-          telemetry::TelemetryConfig{}.ring_capacity;
+      // Full event capture is a per-cell opt-in.
+      cells[0].config.telemetry.ring_capacity = telemetry::kDefaultRingCapacity;
     }
   }
   std::printf("sweep grid: %zu scenarios x %zu policies x %zu points = %zu "
@@ -135,6 +145,7 @@ int run(int argc, char** argv) {
 
   sim::SweepRunInfo info;
   info.jobs = jobs;
+  info.jobs_requested = jobs_resolution.requested;
 
   std::vector<sim::SimResult> serial;
   if (run_serial_baseline) {
@@ -144,24 +155,33 @@ int run(int argc, char** argv) {
     std::printf("serial  (jobs=1): %.2f s\n", info.serial_wall_seconds);
   }
 
+  // The parallel pass streams: each result is verified against the serial
+  // baseline and folded into the aggregator as it completes (in grid
+  // order), then kept for the per-cell JSON record.
+  sim::SweepAggregator aggregator;
+  std::vector<sim::SimResult> parallel(cells.size());
+  std::size_t mismatches = 0;
   const auto t1 = std::chrono::steady_clock::now();
-  const auto parallel = sim::run_sweep(cells, {.jobs = jobs});
+  sim::run_sweep_streaming(
+      cells, {.jobs = jobs},
+      [&](std::size_t i, const sim::SweepCell& cell, sim::SimResult&& result) {
+        if (run_serial_baseline && !results_identical(serial[i], result)) {
+          ++mismatches;
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION at cell %zu (%s / %s): parallel "
+                       "result differs from serial baseline\n",
+                       i, cell.scenario->name.c_str(), cell.policy.c_str());
+        }
+        aggregator.add(cell, result);
+        parallel[i] = std::move(result);
+      });
   info.wall_seconds = wall_seconds_since(t1);
   std::printf("parallel (jobs=%d): %.2f s", jobs, info.wall_seconds);
   if (run_serial_baseline) std::printf("  speedup=%.2fx", info.speedup());
   std::printf("\n");
 
+  if (mismatches > 0) return 1;
   if (run_serial_baseline) {
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      if (!results_identical(serial[i], parallel[i])) {
-        std::fprintf(stderr,
-                     "DETERMINISM VIOLATION at cell %zu (%s / %s): parallel "
-                     "result differs from serial baseline\n",
-                     i, cells[i].scenario->name.c_str(),
-                     cells[i].policy.c_str());
-        return 1;
-      }
-    }
     std::printf("determinism: parallel results identical to serial baseline "
                 "(%zu cells)\n",
                 cells.size());
@@ -174,6 +194,18 @@ int run(int argc, char** argv) {
   }
   sim::write_sweep_json(os, cells, parallel, info);
   std::printf("wrote %s\n", out_path.c_str());
+
+  if (!aggregate_out.empty()) {
+    std::ofstream agg_os(aggregate_out);
+    if (!agg_os) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   aggregate_out.c_str());
+      return 1;
+    }
+    sim::write_aggregate_json(agg_os, aggregator, info);
+    std::printf("wrote %s (%zu strata)\n", aggregate_out.c_str(),
+                aggregator.strata().size());
+  }
 
   if (!trace_out.empty()) {
     std::ofstream trace_os(trace_out);

@@ -221,13 +221,13 @@ void print_figure(const std::string& figure_label,
   auto cells = figure_cells(scenario, spec);
   if (spec.metrics || !spec.trace_out.empty()) {
     for (auto& cell : cells) {
-      // Metrics-only mode: exact counters, no per-cell event buffers.
+      // Metrics-only mode (the default ring_capacity 0): exact counters
+      // and histograms, no events admitted or constructed.
       cell.config.telemetry.enabled = true;
-      cell.config.telemetry.ring_capacity = 0;
     }
     if (!spec.trace_out.empty() && !cells.empty()) {
-      cells[0].config.telemetry.ring_capacity =
-          telemetry::TelemetryConfig{}.ring_capacity;
+      // Event capture is opt-in per cell.
+      cells[0].config.telemetry.ring_capacity = telemetry::kDefaultRingCapacity;
     }
   }
   const auto results = sim::run_sweep(cells, {.jobs = spec.jobs});

@@ -67,12 +67,10 @@ int main(int argc, char** argv) {
                               {device::WnicParams::cisco_aironet350()});
   if (metrics || !trace_out.empty()) {
     for (auto& cell : cells) {
-      cell.config.telemetry.enabled = true;
-      cell.config.telemetry.ring_capacity = 0;  // metrics-only
+      cell.config.telemetry.enabled = true;  // metrics-only by default
     }
     if (!trace_out.empty() && !cells.empty()) {
-      cells[0].config.telemetry.ring_capacity =
-          telemetry::TelemetryConfig{}.ring_capacity;
+      cells[0].config.telemetry.ring_capacity = telemetry::kDefaultRingCapacity;
     }
   }
   const auto results = sim::run_sweep(cells, {.jobs = jobs});

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   config.faults.wnic.outages.push_back(
       faults::OutageWindow{.start = outage_start, .end = outage_end});
   config.telemetry.enabled = true;
+  config.telemetry.ring_capacity = telemetry::kDefaultRingCapacity;
 
   std::printf("mplayer playback: %s; WNIC outage [%s .. %s)\n\n",
               format_seconds(span).c_str(),

@@ -88,6 +88,7 @@ int main(int argc, char** argv) {
 
   sim::SimConfig config;
   config.telemetry.enabled = true;
+  config.telemetry.ring_capacity = telemetry::kDefaultRingCapacity;
   core::FlexFetchPolicy policy(core::FlexFetchConfig{}, profiles);
   sim::Simulator simulator(config, programs, policy);
   const sim::SimResult r = simulator.run();

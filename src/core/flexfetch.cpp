@@ -7,11 +7,124 @@
 #include "common/error.hpp"
 #include "faults/audit.hpp"
 #include "faults/schedule.hpp"
+#include "telemetry/emit.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace flexfetch::core {
 
 using device::DeviceKind;
+
+namespace {
+
+namespace tele = flexfetch::telemetry;
+
+// Policy decisions and fault reactions are the cheapest, highest-signal
+// events — admission level kKey so a near-silent capture still tells the
+// decision story.
+constexpr tele::EventDesc kDecisionStage{
+    .name = "decision.stage",
+    .category = tele::Category::kPolicy,
+    .phase = tele::Phase::kInstant,
+    .level = tele::Level::kKey,
+    .n_args = 6,
+    .str_mask = 0b100000,
+    .track = tele::track::kPolicy,
+    .keys = {"stage", "disk_t_s", "disk_e_j", "net_t_s", "net_e_j", "choice"}};
+
+constexpr tele::EventDesc kDecisionSplice{
+    .name = "decision.splice",
+    .category = tele::Category::kPolicy,
+    .phase = tele::Phase::kInstant,
+    .level = tele::Level::kKey,
+    .n_args = 6,
+    .str_mask = 0b100000,
+    .track = tele::track::kPolicy,
+    .keys = {"stage", "disk_t_s", "disk_e_j", "net_t_s", "net_e_j", "choice"}};
+
+constexpr tele::EventDesc kStageEnter{
+    .name = "stage.enter",
+    .category = tele::Category::kPolicy,
+    .phase = tele::Phase::kInstant,
+    .level = tele::Level::kKey,
+    .n_args = 3,
+    .str_mask = 0b010,
+    .track = tele::track::kPolicy,
+    .keys = {"stage", "choice", "trust_profile"}};
+
+constexpr tele::EventDesc kAuditWin{
+    .name = "audit.win",
+    .category = tele::Category::kPolicy,
+    .phase = tele::Phase::kInstant,
+    .level = tele::Level::kKey,
+    .n_args = 6,
+    .str_mask = 0b100000,
+    .track = tele::track::kPolicy,
+    .keys = {"stage", "actual_t_s", "actual_e_j", "alt_t_s", "alt_e_j",
+             "winner"}};
+
+constexpr tele::EventDesc kAuditLoss{
+    .name = "audit.loss",
+    .category = tele::Category::kPolicy,
+    .phase = tele::Phase::kInstant,
+    .level = tele::Level::kKey,
+    .n_args = 6,
+    .str_mask = 0b100000,
+    .track = tele::track::kPolicy,
+    .keys = {"stage", "actual_t_s", "actual_e_j", "alt_t_s", "alt_e_j",
+             "winner"}};
+
+constexpr tele::EventDesc kProfileOverride{.name = "profile.override",
+                                           .category = tele::Category::kPolicy,
+                                           .phase = tele::Phase::kInstant,
+                                           .level = tele::Level::kKey,
+                                           .n_args = 2,
+                                           .str_mask = 0b10,
+                                           .track = tele::track::kPolicy,
+                                           .keys = {"stage", "to"}};
+
+constexpr tele::EventDesc kStageSpan{.name = "stage",
+                                     .category = tele::Category::kPolicy,
+                                     .phase = tele::Phase::kSpan,
+                                     .level = tele::Level::kKey,
+                                     .n_args = 2,
+                                     .str_mask = 0b10,
+                                     .track = tele::track::kPolicy,
+                                     .keys = {"stage", "choice"}};
+
+constexpr tele::EventDesc kSpliceSwitch{.name = "splice.switch",
+                                        .category = tele::Category::kPolicy,
+                                        .phase = tele::Phase::kInstant,
+                                        .level = tele::Level::kKey,
+                                        .n_args = 2,
+                                        .str_mask = 0b10,
+                                        .track = tele::track::kPolicy,
+                                        .keys = {"stage", "to"}};
+
+constexpr tele::EventDesc kFaultReevaluate{.name = "fault.reevaluate",
+                                           .category = tele::Category::kFault,
+                                           .phase = tele::Phase::kInstant,
+                                           .level = tele::Level::kKey,
+                                           .n_args = 2,
+                                           .str_mask = 0b01,
+                                           .track = tele::track::kFault,
+                                           .keys = {"source", "window_start"}};
+
+constexpr tele::EventDesc kFaultSwitch{.name = "fault.switch",
+                                       .category = tele::Category::kFault,
+                                       .phase = tele::Phase::kInstant,
+                                       .level = tele::Level::kKey,
+                                       .n_args = 1,
+                                       .str_mask = 0b1,
+                                       .track = tele::track::kFault,
+                                       .keys = {"to"}};
+
+constexpr tele::EventDesc kFreeRide{.name = "free_ride",
+                                    .category = tele::Category::kPolicy,
+                                    .phase = tele::Phase::kInstant,
+                                    .level = tele::Level::kKey,
+                                    .track = tele::track::kPolicy};
+
+}  // namespace
 
 FlexFetchPolicy::FlexFetchPolicy(FlexFetchConfig config, Profile profile)
     : config_(config), old_profile_(std::move(profile)) {
@@ -99,19 +212,13 @@ DeviceKind FlexFetchPolicy::evaluate(std::span<const IOBurst> bursts,
                                          .disk = disk,
                                          .network = net,
                                          .decision = decision});
-  if (auto* rec = ctx.recorder()) {
-    rec->instant(telemetry::Category::kPolicy,
-                 origin == DecisionRecord::Origin::kStageEntry
-                     ? "decision.stage"
-                     : "decision.splice",
-                 telemetry::track::kPolicy, now,
-                 {telemetry::num_arg("stage", static_cast<double>(stage_idx_)),
-                  telemetry::num_arg("disk_t_s", disk.time.value()),
-                  telemetry::num_arg("disk_e_j", disk.energy.value()),
-                  telemetry::num_arg("net_t_s", net.time.value()),
-                  telemetry::num_arg("net_e_j", net.energy.value()),
-                  telemetry::str_arg("choice", device::to_string(decision))});
-  }
+  FF_EMIT_INSTANT(ctx.recorder(),
+                  origin == DecisionRecord::Origin::kStageEntry
+                      ? kDecisionStage
+                      : kDecisionSplice,
+                  now, static_cast<double>(stage_idx_), disk.time.value(),
+                  disk.energy.value(), net.time.value(), net.energy.value(),
+                  device::to_string(decision));
   return decision;
 }
 
@@ -134,14 +241,9 @@ void FlexFetchPolicy::enter_stage(sim::SimContext& ctx) {
   }
   choice_ = trust_profile_ ? profile_choice_ : forced_device_;
   stage_choices_.push_back(choice_);
-  if (auto* rec = ctx.recorder()) {
-    rec->instant(telemetry::Category::kPolicy, "stage.enter",
-                 telemetry::track::kPolicy, now,
-                 {telemetry::num_arg("stage", static_cast<double>(stage_idx_)),
-                  telemetry::str_arg("choice", device::to_string(choice_)),
-                  telemetry::num_arg("trust_profile",
-                                     trust_profile_ ? 1.0 : 0.0)});
-  }
+  FF_EMIT_INSTANT(ctx.recorder(), kStageEnter, now,
+                  static_cast<double>(stage_idx_), device::to_string(choice_),
+                  trust_profile_ ? 1.0 : 0.0);
 
   if (config_.adapt_stage_audit) {
     // Detached copies: shadow replays must never emit into the live
@@ -202,29 +304,18 @@ void FlexFetchPolicy::finish_stage(sim::SimContext& ctx) {
     } else {
       consecutive_audit_losses_ = 0;
     }
-    if (auto* rec = ctx.recorder()) {
-      // audit.win/loss reports the measured verdict (before hysteresis);
-      // profile.override below marks the verdicts that actually take effect.
-      rec->instant(
-          telemetry::Category::kPolicy,
-          measured_winner == choice_ ? "audit.win" : "audit.loss",
-          telemetry::track::kPolicy, now,
-          {telemetry::num_arg("stage", static_cast<double>(stage_idx_)),
-           telemetry::num_arg("actual_t_s", actual.time.value()),
-           telemetry::num_arg("actual_e_j", actual.energy.value()),
-           telemetry::num_arg("alt_t_s", alternative.time.value()),
-           telemetry::num_arg("alt_e_j", alternative.energy.value()),
-           telemetry::str_arg("winner", device::to_string(winner))});
-    }
+    // audit.win/loss reports the measured verdict (before hysteresis);
+    // profile.override below marks the verdicts that actually take effect.
+    FF_EMIT_INSTANT(ctx.recorder(),
+                    measured_winner == choice_ ? kAuditWin : kAuditLoss, now,
+                    static_cast<double>(stage_idx_), actual.time.value(),
+                    actual.energy.value(), alternative.time.value(),
+                    alternative.energy.value(), device::to_string(winner));
     if (winner != choice_) {
       ++stats_.audit_overrides;
-      if (auto* rec = ctx.recorder()) {
-        rec->instant(
-            telemetry::Category::kPolicy, "profile.override",
-            telemetry::track::kPolicy, now,
-            {telemetry::num_arg("stage", static_cast<double>(stage_idx_)),
-             telemetry::str_arg("to", device::to_string(winner))});
-      }
+      FF_EMIT_INSTANT(ctx.recorder(), kProfileOverride, now,
+                      static_cast<double>(stage_idx_),
+                      device::to_string(winner));
     }
     if (std::getenv("FF_DEBUG_AUDIT") != nullptr) {
       std::fprintf(stderr,
@@ -242,12 +333,8 @@ void FlexFetchPolicy::finish_stage(sim::SimContext& ctx) {
     trust_profile_ = (winner == profile_choice_);
     forced_device_ = winner;
   }
-  if (auto* rec = ctx.recorder()) {
-    rec->span(telemetry::Category::kPolicy, "stage", telemetry::track::kPolicy,
-              stage_entry_time_, now,
-              {telemetry::num_arg("stage", static_cast<double>(stage_idx_)),
-               telemetry::str_arg("choice", device::to_string(choice_))});
-  }
+  FF_EMIT_SPAN(ctx.recorder(), kStageSpan, stage_entry_time_, now,
+               static_cast<double>(stage_idx_), device::to_string(choice_));
   ++stage_idx_;
 }
 
@@ -309,13 +396,9 @@ void FlexFetchPolicy::maybe_splice_reevaluate(Seconds now,
     choice_ = decision;
     profile_choice_ = decision;
     ++stats_.splice_switches;
-    if (auto* rec = ctx.recorder()) {
-      rec->instant(
-          telemetry::Category::kPolicy, "splice.switch",
-          telemetry::track::kPolicy, now,
-          {telemetry::num_arg("stage", static_cast<double>(stage_idx_)),
-           telemetry::str_arg("to", device::to_string(decision))});
-    }
+    FF_EMIT_INSTANT(ctx.recorder(), kSpliceSwitch, now,
+                    static_cast<double>(stage_idx_),
+                    device::to_string(decision));
   }
 }
 
@@ -365,12 +448,8 @@ void FlexFetchPolicy::maybe_react_to_fault(sim::SimContext& ctx) {
   if (window_start < Seconds{} || window_start == last_fault_window_start_) return;
   last_fault_window_start_ = window_start;
   ++stats_.fault_reevaluations;
-  if (auto* rec = ctx.recorder()) {
-    rec->instant(telemetry::Category::kFault, "fault.reevaluate",
-                 telemetry::track::kFault, now,
-                 {telemetry::str_arg("source", device::to_string(choice_)),
-                  telemetry::num_arg("window_start", window_start.value())});
-  }
+  FF_EMIT_INSTANT(ctx.recorder(), kFaultReevaluate, now,
+                  device::to_string(choice_), window_start.value());
   // Re-run the splice decision over the remainder of the stage. The
   // estimators replay on copies that share the live fault schedule, so the
   // faulted source is priced with the stall it would actually suffer — the
@@ -394,11 +473,8 @@ void FlexFetchPolicy::maybe_react_to_fault(sim::SimContext& ctx) {
     choice_ = decision;
     if (trust_profile_) profile_choice_ = decision;
     ++stats_.fault_switches;
-    if (auto* rec = ctx.recorder()) {
-      rec->instant(telemetry::Category::kFault, "fault.switch",
-                   telemetry::track::kFault, now,
-                   {telemetry::str_arg("to", device::to_string(decision))});
-    }
+    FF_EMIT_INSTANT(ctx.recorder(), kFaultSwitch, now,
+                    device::to_string(decision));
   }
 }
 
@@ -407,10 +483,7 @@ DeviceKind FlexFetchPolicy::select(const sim::RequestContext& /*req*/,
   maybe_react_to_fault(ctx);
   if (choice_ == DeviceKind::kNetwork && free_rider_active(ctx.now(), ctx)) {
     ++stats_.free_rider_redirects;
-    if (auto* rec = ctx.recorder()) {
-      rec->instant(telemetry::Category::kPolicy, "free_ride",
-                   telemetry::track::kPolicy, ctx.now());
-    }
+    FF_EMIT_INSTANT(ctx.recorder(), kFreeRide, ctx.now());
     return DeviceKind::kDisk;
   }
   return choice_;

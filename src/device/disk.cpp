@@ -3,8 +3,55 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "telemetry/emit.hpp"
 
 namespace flexfetch::device {
+
+namespace {
+
+namespace tele = flexfetch::telemetry;
+
+// One static descriptor per instrumentation site: the emit path stores
+// only the pointer; names/keys/levels are never touched per event.
+constexpr tele::EventDesc kPowerSpan{
+    .name = "disk.power",  // Overridden per emission with the state name.
+    .category = tele::Category::kDisk,
+    .phase = tele::Phase::kSpan,
+    .level = tele::Level::kDetail,
+    .track = tele::track::kDiskPower};
+
+constexpr tele::EventDesc kSpinUpStall{
+    .name = "fault.disk.spin_up_stall",
+    .category = tele::Category::kFault,
+    .phase = tele::Phase::kInstant,
+    .level = tele::Level::kKey,
+    .n_args = 2,
+    .track = tele::track::kFault,
+    .keys = {"extra_s", "extra_j"}};
+
+constexpr tele::EventDesc kRead{.name = "disk.read",
+                                .category = tele::Category::kDisk,
+                                .phase = tele::Phase::kSpan,
+                                .level = tele::Level::kDetail,
+                                .n_args = 3,
+                                .track = tele::track::kDiskIo,
+                                .keys = {"lba", "bytes", "energy_j"}};
+
+constexpr tele::EventDesc kWrite{.name = "disk.write",
+                                 .category = tele::Category::kDisk,
+                                 .phase = tele::Phase::kSpan,
+                                 .level = tele::Level::kDetail,
+                                 .n_args = 3,
+                                 .track = tele::track::kDiskIo,
+                                 .keys = {"lba", "bytes", "energy_j"}};
+
+constexpr tele::EventDesc kForceSpinUp{.name = "disk.force_spin_up",
+                                       .category = tele::Category::kDisk,
+                                       .phase = tele::Phase::kInstant,
+                                       .level = tele::Level::kDetail,
+                                       .track = tele::track::kDiskPower};
+
+}  // namespace
 
 const char* to_string(DiskState s) {
   switch (s) {
@@ -24,17 +71,15 @@ void Disk::attach_telemetry(telemetry::Recorder* rec) {
 }
 
 void Disk::note_state_end(DiskState ended, Seconds until) {
-  if (telem_) {
-    telem_->span(telemetry::Category::kDisk, to_string(ended),
-                 telemetry::track::kDiskPower, state_since_, until);
-  }
+  FF_EMIT_SPAN_NAMED(telem_.get(), kPowerSpan, to_string(ended), state_since_,
+                     until);
   state_since_ = until;
 }
 
 void Disk::flush_telemetry() {
   if (!telem_) return;
-  telem_->span(telemetry::Category::kDisk, to_string(state_),
-               telemetry::track::kDiskPower, state_since_, now_);
+  FF_EMIT_SPAN_NAMED(telem_.get(), kPowerSpan, to_string(state_), state_since_,
+                     now_);
   state_since_ = now_;
 }
 
@@ -62,13 +107,8 @@ void Disk::begin_spin_up() {
       ++counters_.spin_up_stalls;
       counters_.stall_time += stall->extra_time;
       pending_fault_delay_ += stall->extra_time;
-      if (telem_) {
-        telem_->instant(
-            telemetry::Category::kFault, "fault.disk.spin_up_stall",
-            telemetry::track::kFault, now_,
-            {telemetry::num_arg("extra_s", stall->extra_time.value()),
-             telemetry::num_arg("extra_j", stall->extra_energy.value())});
-      }
+      FF_EMIT_INSTANT(telem_.get(), kSpinUpStall, now_,
+                      stall->extra_time.value(), stall->extra_energy.value());
     }
   }
 }
@@ -185,13 +225,14 @@ ServiceResult Disk::service(Seconds t, const DeviceRequest& req) {
 
   const Joules energy = meter_.total() - energy_before;
   if (telem_) {
-    telem_->span(telemetry::Category::kDisk,
-                 req.is_write ? "disk.write" : "disk.read",
-                 telemetry::track::kDiskIo, arrival, now_,
-                 {telemetry::num_arg("lba", req.lba.as_double()),
-                  telemetry::num_arg("bytes", req.size.as_double()),
-                  telemetry::num_arg("energy_j", energy.value())});
+    // Pre-aggregated metrics fold unconditionally while attached — they
+    // are the telemetry product in the metrics-only default mode.
+    telem_->hist(telemetry::HistId::kDiskService)
+        .record((now_ - arrival).value());
+    telem_->hist(telemetry::HistId::kDiskBytes).record(req.size.as_double());
   }
+  FF_EMIT_SPAN(telem_.get(), req.is_write ? kWrite : kRead, arrival, now_,
+               req.lba.as_double(), req.size.as_double(), energy.value());
 
   return ServiceResult{
       .arrival = arrival,
@@ -210,17 +251,11 @@ ServiceResult Disk::estimate(Seconds t, const DeviceRequest& req) const {
 void Disk::force_spin_up(Seconds t) {
   advance_to(std::max(t, now_));
   if (state_ == DiskState::kStandby) {
-    if (telem_) {
-      telem_->instant(telemetry::Category::kDisk, "disk.force_spin_up",
-                      telemetry::track::kDiskPower, now_);
-    }
+    FF_EMIT_INSTANT(telem_.get(), kForceSpinUp, now_);
     begin_spin_up();
   } else if (state_ == DiskState::kSpinningDown) {
     advance_to(transition_end_);
-    if (telem_) {
-      telem_->instant(telemetry::Category::kDisk, "disk.force_spin_up",
-                      telemetry::track::kDiskPower, now_);
-    }
+    FF_EMIT_INSTANT(telem_.get(), kForceSpinUp, now_);
     begin_spin_up();
   }
   // kIdle / kSpinningUp: already (heading) up; nothing to do.

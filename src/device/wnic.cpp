@@ -3,8 +3,54 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "telemetry/emit.hpp"
 
 namespace flexfetch::device {
+
+namespace {
+
+namespace tele = flexfetch::telemetry;
+
+constexpr tele::EventDesc kPowerSpan{
+    .name = "wnic.power",  // Overridden per emission with the state name.
+    .category = tele::Category::kWnic,
+    .phase = tele::Phase::kSpan,
+    .level = tele::Level::kDetail,
+    .track = tele::track::kWnicPower};
+
+constexpr tele::EventDesc kOutage{.name = "fault.wnic.outage",
+                                  .category = tele::Category::kFault,
+                                  .phase = tele::Phase::kSpan,
+                                  .level = tele::Level::kKey,
+                                  .n_args = 1,
+                                  .track = tele::track::kFault,
+                                  .keys = {"wait_s"}};
+
+constexpr tele::EventDesc kDegraded{.name = "fault.wnic.degraded",
+                                    .category = tele::Category::kFault,
+                                    .phase = tele::Phase::kInstant,
+                                    .level = tele::Level::kKey,
+                                    .n_args = 1,
+                                    .track = tele::track::kFault,
+                                    .keys = {"factor"}};
+
+constexpr tele::EventDesc kSend{.name = "wnic.send",
+                                .category = tele::Category::kWnic,
+                                .phase = tele::Phase::kSpan,
+                                .level = tele::Level::kDetail,
+                                .n_args = 3,
+                                .track = tele::track::kWnicIo,
+                                .keys = {"bytes", "energy_j", "psm"}};
+
+constexpr tele::EventDesc kRecv{.name = "wnic.recv",
+                                .category = tele::Category::kWnic,
+                                .phase = tele::Phase::kSpan,
+                                .level = tele::Level::kDetail,
+                                .n_args = 3,
+                                .track = tele::track::kWnicIo,
+                                .keys = {"bytes", "energy_j", "psm"}};
+
+}  // namespace
 
 const char* to_string(WnicState s) {
   switch (s) {
@@ -24,17 +70,15 @@ void Wnic::attach_telemetry(telemetry::Recorder* rec) {
 }
 
 void Wnic::note_state_end(WnicState ended, Seconds until) {
-  if (telem_) {
-    telem_->span(telemetry::Category::kWnic, to_string(ended),
-                 telemetry::track::kWnicPower, state_since_, until);
-  }
+  FF_EMIT_SPAN_NAMED(telem_.get(), kPowerSpan, to_string(ended), state_since_,
+                     until);
   state_since_ = until;
 }
 
 void Wnic::flush_telemetry() {
   if (!telem_) return;
-  telem_->span(telemetry::Category::kWnic, to_string(state_),
-               telemetry::track::kWnicPower, state_since_, now_);
+  FF_EMIT_SPAN_NAMED(telem_.get(), kPowerSpan, to_string(state_), state_since_,
+                     now_);
   state_since_ = now_;
 }
 
@@ -124,11 +168,7 @@ Seconds Wnic::wait_out_outage() {
     ++counters_.outage_stalls;
     counters_.outage_wait += wait;
     stalled += wait;
-    if (telem_) {
-      telem_->span(telemetry::Category::kFault, "fault.wnic.outage",
-                   telemetry::track::kFault, now_, resume,
-                   {telemetry::num_arg("wait_s", wait.value())});
-    }
+    FF_EMIT_SPAN(telem_.get(), kOutage, now_, resume, wait.value());
     // The radio keeps burning its power-state budget while disassociated
     // (it may even drop to PSM mid-outage via the normal timeout).
     advance_to(resume);
@@ -143,11 +183,7 @@ BytesPerSecond Wnic::effective_bandwidth(Seconds t) {
     if (factor != 1.0) {
       bw *= factor;
       ++counters_.degraded_transfers;
-      if (telem_) {
-        telem_->instant(telemetry::Category::kFault, "fault.wnic.degraded",
-                        telemetry::track::kFault, t,
-                        {telemetry::num_arg("factor", factor)});
-      }
+      FF_EMIT_INSTANT(telem_.get(), kDegraded, t, factor);
     }
   }
   return bw;
@@ -184,13 +220,12 @@ ServiceResult Wnic::service(Seconds t, const DeviceRequest& req) {
     busy_until_ = now_;
     const Joules energy = meter_.total() - energy_before;
     if (telem_) {
-      telem_->span(telemetry::Category::kWnic,
-                   req.is_write ? "wnic.send" : "wnic.recv",
-                   telemetry::track::kWnicIo, arrival, now_,
-                   {telemetry::num_arg("bytes", req.size.as_double()),
-                    telemetry::num_arg("energy_j", energy.value()),
-                    telemetry::num_arg("psm", 1.0)});
+      telem_->hist(telemetry::HistId::kWnicService)
+          .record((now_ - arrival).value());
+      telem_->hist(telemetry::HistId::kWnicBytes).record(req.size.as_double());
     }
+    FF_EMIT_SPAN(telem_.get(), req.is_write ? kSend : kRecv, arrival, now_,
+                 req.size.as_double(), energy.value(), 1.0);
     return ServiceResult{.arrival = arrival,
                          .start = start,
                          .completion = now_,
@@ -222,13 +257,12 @@ ServiceResult Wnic::service(Seconds t, const DeviceRequest& req) {
 
   const Joules energy = meter_.total() - energy_before;
   if (telem_) {
-    telem_->span(telemetry::Category::kWnic,
-                 req.is_write ? "wnic.send" : "wnic.recv",
-                 telemetry::track::kWnicIo, arrival, now_,
-                 {telemetry::num_arg("bytes", req.size.as_double()),
-                  telemetry::num_arg("energy_j", energy.value()),
-                  telemetry::num_arg("psm", 0.0)});
+    telem_->hist(telemetry::HistId::kWnicService)
+        .record((now_ - arrival).value());
+    telem_->hist(telemetry::HistId::kWnicBytes).record(req.size.as_double());
   }
+  FF_EMIT_SPAN(telem_.get(), req.is_write ? kSend : kRecv, arrival, now_,
+               req.size.as_double(), energy.value(), 0.0);
 
   return ServiceResult{.arrival = arrival,
                        .start = start,

@@ -4,8 +4,59 @@
 #include <functional>
 
 #include "common/error.hpp"
+#include "telemetry/emit.hpp"
 
 namespace flexfetch::sim {
+
+namespace {
+
+namespace tele = flexfetch::telemetry;
+
+constexpr tele::EventDesc kSyscallRead{.name = "syscall.read",
+                                       .category = tele::Category::kSim,
+                                       .phase = tele::Phase::kSpan,
+                                       .level = tele::Level::kVerbose,
+                                       .n_args = 3,
+                                       .track = tele::track::kSim,
+                                       .keys = {"inode", "bytes", "pgid"}};
+
+constexpr tele::EventDesc kSyscallWrite{.name = "syscall.write",
+                                        .category = tele::Category::kSim,
+                                        .phase = tele::Phase::kSpan,
+                                        .level = tele::Level::kVerbose,
+                                        .n_args = 3,
+                                        .track = tele::track::kSim,
+                                        .keys = {"inode", "bytes", "pgid"}};
+
+constexpr tele::EventDesc kSchedDepth{.name = "sched.depth",
+                                      .category = tele::Category::kScheduler,
+                                      .phase = tele::Phase::kCounter,
+                                      .level = tele::Level::kVerbose,
+                                      .track = tele::track::kScheduler};
+
+constexpr tele::EventDesc kFlushSync{.name = "flush.sync",
+                                     .category = tele::Category::kWriteback,
+                                     .phase = tele::Phase::kSpan,
+                                     .level = tele::Level::kDetail,
+                                     .n_args = 1,
+                                     .track = tele::track::kWriteback,
+                                     .keys = {"pages"}};
+
+constexpr tele::EventDesc kFlushPeriodic{.name = "flush.periodic",
+                                         .category = tele::Category::kWriteback,
+                                         .phase = tele::Phase::kSpan,
+                                         .level = tele::Level::kDetail,
+                                         .n_args = 1,
+                                         .track = tele::track::kWriteback,
+                                         .keys = {"pages"}};
+
+constexpr tele::EventDesc kCacheDirty{.name = "cache.dirty",
+                                      .category = tele::Category::kCache,
+                                      .phase = tele::Phase::kCounter,
+                                      .level = tele::Level::kVerbose,
+                                      .track = tele::track::kWriteback};
+
+}  // namespace
 
 Simulator::Simulator(SimConfig config, std::vector<ProgramSpec> programs,
                      Policy& policy)
@@ -16,8 +67,7 @@ Simulator::Simulator(SimConfig config, std::vector<ProgramSpec> programs,
       vfs_(config.vfs),
       layout_(config.disk.capacity, config.layout_seed),
       recorder_(config.telemetry.enabled
-                    ? std::make_unique<telemetry::Recorder>(
-                          config.telemetry.ring_capacity)
+                    ? std::make_unique<telemetry::Recorder>(config.telemetry)
                     : nullptr),
       ctx_(disk_, wnic_, vfs_, layout_, processes_, recorder_.get(),
            config_.faults.empty() ? nullptr : &config_.faults,
@@ -199,13 +249,12 @@ void Simulator::handle_syscall(const Event& ev) {
 
   if (recorder_ && completion > ev.time &&
       (r.op == trace::OpType::kRead || r.op == trace::OpType::kWrite)) {
-    recorder_->span(
-        telemetry::Category::kSim,
-        r.op == trace::OpType::kRead ? "syscall.read" : "syscall.write",
-        telemetry::track::kSim, ev.time, completion,
-        {telemetry::num_arg("inode", static_cast<double>(r.inode)),
-         telemetry::num_arg("bytes", r.size.as_double()),
-         telemetry::num_arg("pgid", static_cast<double>(r.pgid))});
+    recorder_->hist(telemetry::HistId::kSyscallLatency)
+        .record((completion - ev.time).value());
+    FF_EMIT_SPAN(recorder_.get(),
+                 r.op == trace::OpType::kRead ? kSyscallRead : kSyscallWrite,
+                 ev.time, completion, static_cast<double>(r.inode),
+                 r.size.as_double(), static_cast<double>(r.pgid));
   }
 
   ++result_.syscalls;
@@ -268,9 +317,10 @@ Seconds Simulator::service_ranges(Seconds t,
     if (recorder_) {
       const auto depth = static_cast<std::uint64_t>(scheduler_.pending());
       sched_max_depth_ = std::max(sched_max_depth_, depth);
-      recorder_->counter(telemetry::Category::kScheduler, "sched.depth",
-                         telemetry::track::kScheduler, t,
-                         static_cast<double>(depth));
+      recorder_->hist(telemetry::HistId::kSchedDepth)
+          .record(static_cast<double>(depth));
+      FF_EMIT_COUNTER(recorder_.get(), kSchedDepth, t,
+                      static_cast<double>(depth));
     }
     Seconds cursor = t;
     while (auto req = scheduler_.dispatch()) {
@@ -312,10 +362,8 @@ Seconds Simulator::flush_dirty(Seconds t, const std::vector<os::DirtyPage>& dirt
     } else {
       ++wb_periodic_flushes_;
     }
-    recorder_->span(telemetry::Category::kWriteback,
-                    sync_flush ? "flush.sync" : "flush.periodic",
-                    telemetry::track::kWriteback, t, completion,
-                    {telemetry::num_arg("pages", static_cast<double>(dirty.size()))});
+    FF_EMIT_SPAN(recorder_.get(), sync_flush ? kFlushSync : kFlushPeriodic, t,
+                 completion, static_cast<double>(dirty.size()));
   }
   return completion;
 }
@@ -352,11 +400,8 @@ void Simulator::run_sync(Seconds t) {
 void Simulator::run_flusher(Seconds t) {
   disk_.advance_to(t);
   wnic_.advance_to(t);
-  if (recorder_) {
-    recorder_->counter(telemetry::Category::kCache, "cache.dirty",
-                       telemetry::track::kWriteback, t,
-                       static_cast<double>(vfs_.cache().dirty_count()));
-  }
+  FF_EMIT_COUNTER(recorder_.get(), kCacheDirty, t,
+                  static_cast<double>(vfs_.cache().dirty_count()));
   const bool device_active =
       disk_.is_spinning() || wnic_.state() == device::WnicState::kCam;
   vfs_.select_writeback(t, device_active, wb_scratch_);
@@ -451,7 +496,11 @@ void Simulator::populate_metrics() {
   m.add("wb.periodic_flushes", num(wb_periodic_flushes_));
 
   m.add("telemetry.events_emitted", num(recorder_->emitted()));
-  m.add("telemetry.events_dropped", num(recorder_->dropped()));
+  m.add("telemetry.dropped", num(recorder_->dropped()));
+
+  // Pre-aggregated hot-path histograms (service times, request sizes,
+  // queue depths) ride beside the scalar namespace.
+  recorder_->export_histograms(m);
 }
 
 SimResult simulate(const SimConfig& config, const trace::Trace& trace,

@@ -1,7 +1,12 @@
 #include "sim/sweep.hpp"
 
+#include <cmath>
+#include <condition_variable>
 #include <cstdlib>
+#include <exception>
+#include <mutex>
 #include <ostream>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
@@ -10,13 +15,28 @@
 
 namespace flexfetch::sim {
 
-int resolve_jobs(int requested) {
-  if (requested > 0) return requested;
+JobsResolution resolve_jobs_detail(int requested) {
+  JobsResolution r;
+  r.requested = requested > 0 ? requested : 0;
+  if (requested > 0) {
+    r.effective = requested;
+    return r;
+  }
   if (const char* env = std::getenv("FF_JOBS")) {
     const int n = std::atoi(env);
-    if (n > 0) return n;
+    if (n > 0) {
+      r.effective = n;
+      r.from_env = true;
+      return r;
+    }
   }
-  return static_cast<int>(ThreadPool::default_concurrency());
+  // Unset: clamp to what the host can actually run in parallel.
+  r.effective = static_cast<int>(ThreadPool::default_concurrency());
+  return r;
+}
+
+int resolve_jobs(int requested) {
+  return resolve_jobs_detail(requested).effective;
 }
 
 SimResult run_cell(const SweepCell& cell) {
@@ -44,6 +64,131 @@ std::vector<SimResult> run_sweep(const std::vector<SweepCell>& cells,
   parallel_for(pool, cells.size(),
                [&](std::size_t i) { results[i] = run_cell(cells[i]); });
   return results;
+}
+
+void run_sweep_streaming(const std::vector<SweepCell>& cells,
+                         const SweepOptions& options, const CellSink& sink) {
+  FF_REQUIRE(sink != nullptr, "run_sweep_streaming: null sink");
+  const int jobs = resolve_jobs(options.jobs);
+  if (jobs <= 1 || cells.size() <= 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      sink(i, cells[i], run_cell(cells[i]));
+    }
+    return;
+  }
+
+  // Bounded-reorder streaming: workers take cells in grid order (the pool
+  // queue is FIFO) but may finish out of order; completed results park in
+  // `parked` until the emission cursor reaches them. A worker may not
+  // *start* a cell more than `window` ahead of the cursor, which bounds
+  // parked results — and therefore peak memory — at O(jobs).
+  //
+  // No deadlock: the gate admits any index < next_emit + window, and with
+  // window >= jobs the cell at next_emit is always either already parked
+  // (the cursor then advances) or held by a worker whose gate is open.
+  const std::size_t window = static_cast<std::size_t>(jobs) * 4;
+  std::mutex mu;
+  std::condition_variable gate;
+  std::map<std::size_t, SimResult> parked;
+  std::size_t next_emit = 0;
+  std::exception_ptr first_error;
+
+  const auto run_one = [&](std::size_t i) {
+    {
+      std::unique_lock lock(mu);
+      gate.wait(lock, [&] {
+        return first_error != nullptr || i < next_emit + window;
+      });
+      if (first_error != nullptr) return;  // Drain without running.
+    }
+    SimResult result;
+    std::exception_ptr error;
+    try {
+      result = run_cell(cells[i]);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::unique_lock lock(mu);
+    if (error != nullptr) {
+      if (first_error == nullptr) first_error = error;
+      gate.notify_all();
+      return;
+    }
+    parked.emplace(i, std::move(result));
+    // Whoever completes the head of the window drains every consecutive
+    // parked result. The sink runs under the lock: serial, in order.
+    while (first_error == nullptr && !parked.empty() &&
+           parked.begin()->first == next_emit) {
+      auto node = parked.extract(parked.begin());
+      const std::size_t idx = node.key();
+      try {
+        sink(idx, cells[idx], std::move(node.mapped()));
+      } catch (...) {
+        if (first_error == nullptr) first_error = std::current_exception();
+        break;
+      }
+      ++next_emit;
+    }
+    gate.notify_all();
+  };
+
+  {
+    ThreadPool pool(static_cast<unsigned>(jobs));
+    parallel_for(pool, cells.size(), run_one);
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+void RunningStat::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * (nb / n_total);
+  m2_ += other.m2_ + delta * delta * (na * nb / n_total);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void StratumAggregate::add(const SimResult& result) {
+  ++cells;
+  energy_j.add(result.total_energy().value());
+  disk_energy_j.add(result.disk_energy().value());
+  wnic_energy_j.add(result.wnic_energy().value());
+  makespan_s.add(result.makespan.value());
+  io_time_s.add(result.io_time.value());
+  metrics.merge(result.metrics);
+}
+
+void SweepAggregator::add(const SweepCell& cell, const SimResult& result) {
+  ++cells_seen_;
+  std::string key =
+      (cell.scenario != nullptr ? cell.scenario->name : std::string{"?"});
+  key += '/';
+  key += cell.policy;
+  strata_[std::move(key)].add(result);
 }
 
 std::vector<SweepCell> make_grid(
@@ -95,6 +240,7 @@ void write_sweep_json(std::ostream& os, const std::vector<SweepCell>& cells,
                           : ThreadPool::default_concurrency();
   os << "{\n";
   os << "  \"jobs\": " << info.jobs << ",\n";
+  os << "  \"jobs_requested\": " << info.jobs_requested << ",\n";
   os << "  \"hardware_concurrency\": " << hw << ",\n";
   os << "  \"wall_seconds\": " << info.wall_seconds << ",\n";
   os << "  \"serial_wall_seconds\": " << info.serial_wall_seconds << ",\n";
@@ -131,6 +277,87 @@ void write_sweep_json(std::ostream& os, const std::vector<SweepCell>& cells,
       os << "}";
     }
     os << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+namespace {
+
+void write_stat(std::ostream& os, const char* key, const RunningStat& s) {
+  os << '"' << key << "\": {\"mean\": " << s.mean()
+     << ", \"stddev\": " << s.stddev() << ", \"min\": " << s.min()
+     << ", \"max\": " << s.max() << "}";
+}
+
+/// Upper edge of the first bucket whose cumulative count reaches q*count —
+/// a conservative (over-estimating by at most one power of two) quantile.
+double bucket_quantile(const telemetry::Histogram& h, double q) {
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(h.count())));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < telemetry::Histogram::kBuckets; ++b) {
+    seen += h.buckets()[b];
+    if (seen >= target) return telemetry::Histogram::bucket_upper_edge(b);
+  }
+  return h.max();
+}
+
+}  // namespace
+
+void write_aggregate_json(std::ostream& os, const SweepAggregator& agg,
+                          const SweepRunInfo& info) {
+  const unsigned hw = info.hardware_concurrency != 0
+                          ? info.hardware_concurrency
+                          : ThreadPool::default_concurrency();
+  os << "{\n";
+  os << "  \"jobs\": " << info.jobs << ",\n";
+  os << "  \"jobs_requested\": " << info.jobs_requested << ",\n";
+  os << "  \"hardware_concurrency\": " << hw << ",\n";
+  os << "  \"wall_seconds\": " << info.wall_seconds << ",\n";
+  os << "  \"cells\": " << agg.cells_seen() << ",\n";
+  os << "  \"strata\": [\n";
+  std::size_t i = 0;
+  const auto& strata = agg.strata();
+  for (const auto& [key, st] : strata) {
+    os << "    {\"key\": ";
+    write_json_string(os, key);
+    os << ", \"cells\": " << st.cells << ",\n     ";
+    write_stat(os, "energy_j", st.energy_j);
+    os << ",\n     ";
+    write_stat(os, "disk_energy_j", st.disk_energy_j);
+    os << ",\n     ";
+    write_stat(os, "wnic_energy_j", st.wnic_energy_j);
+    os << ",\n     ";
+    write_stat(os, "makespan_s", st.makespan_s);
+    os << ",\n     ";
+    write_stat(os, "io_time_s", st.io_time_s);
+    if (!st.metrics.items().empty()) {
+      os << ",\n     \"metrics\": {";
+      bool first = true;
+      for (const auto& [name, metric] : st.metrics.items()) {
+        if (!first) os << ", ";
+        first = false;
+        write_json_string(os, name);
+        os << ": " << metric.value;
+      }
+      os << "}";
+    }
+    if (!st.metrics.histograms().empty()) {
+      os << ",\n     \"histograms\": {";
+      bool first = true;
+      for (const auto& [name, h] : st.metrics.histograms()) {
+        if (!first) os << ", ";
+        first = false;
+        write_json_string(os, name);
+        os << ": {\"count\": " << h.count() << ", \"mean\": " << h.mean()
+           << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+           << ", \"p50\": " << bucket_quantile(h, 0.50)
+           << ", \"p99\": " << bucket_quantile(h, 0.99) << "}";
+      }
+      os << "}";
+    }
+    os << "}" << (++i < strata.size() ? "," : "") << "\n";
   }
   os << "  ]\n";
   os << "}\n";

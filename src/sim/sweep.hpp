@@ -17,12 +17,16 @@
 // worker or many — scheduling affects only wall-clock time.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "sim/results.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 #include "workloads/scenarios.hpp"
 
 namespace flexfetch::sim {
@@ -56,6 +60,18 @@ struct SweepOptions {
 /// FF_JOBS if set to a positive integer, else hardware concurrency.
 int resolve_jobs(int requested);
 
+/// How a worker count was arrived at — recorded in sweep artifacts so a
+/// benchmark JSON says both what was asked for and what actually ran.
+struct JobsResolution {
+  int requested = 0;  ///< The --jobs flag value; 0 = auto.
+  int effective = 1;  ///< What resolve_jobs() settled on.
+  bool from_env = false;  ///< Effective count came from FF_JOBS.
+};
+
+/// resolve_jobs with provenance: unset (<= 0) requests clamp to the
+/// host's hardware_concurrency (via FF_JOBS if set).
+JobsResolution resolve_jobs_detail(int requested);
+
 /// Runs one cell: builds the policy and a fresh Simulator, returns the
 /// result. This is the unit of work the engine fans out.
 SimResult run_cell(const SweepCell& cell);
@@ -73,9 +89,91 @@ std::vector<SweepCell> make_grid(
     const std::vector<std::string>& policies,
     const std::vector<device::WnicParams>& wnics, const SimConfig& base = {});
 
+/// Streaming per-cell delivery: called once per cell, in strict grid
+/// order (index 0, 1, 2...), with the result moved in so the engine can
+/// release it immediately — aggregate consumers never hold more than a
+/// bounded window of SimResults in memory.
+using CellSink =
+    std::function<void(std::size_t index, const SweepCell& cell,
+                       SimResult&& result)>;
+
+/// Runs every cell like run_sweep, but hands each result to `sink` as
+/// soon as it (and all its predecessors) completed, instead of
+/// accumulating a results vector. Workers stay at most a bounded reorder
+/// window ahead of the in-order emission point, so peak memory is
+/// O(jobs), not O(cells). The sink is invoked serially (never
+/// concurrently with itself) and sees bit-identical results in identical
+/// order whatever the worker count. The first cell failure is rethrown
+/// after in-flight cells finish; cells after a failed one are not
+/// delivered.
+void run_sweep_streaming(const std::vector<SweepCell>& cells,
+                         const SweepOptions& options, const CellSink& sink);
+
+/// Streaming (Welford) mean/variance accumulator with exact merge — the
+/// scalar counterpart of telemetry::Histogram for sweep aggregation.
+class RunningStat {
+ public:
+  void add(double x);
+  /// Chan et al. parallel combination: merging partials is exact in the
+  /// same sense as sequential accumulation (no second pass over data).
+  void merge(const RunningStat& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance (M2 / n).
+  double variance() const {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Aggregate over one stratum of a sweep (one scenario x policy pair):
+/// running stats over the headline scalars plus the merged metrics
+/// registry (counters add, histograms merge bucket-wise).
+struct StratumAggregate {
+  std::uint64_t cells = 0;
+  RunningStat energy_j;
+  RunningStat disk_energy_j;
+  RunningStat wnic_energy_j;
+  RunningStat makespan_s;
+  RunningStat io_time_s;
+  telemetry::MetricsRegistry metrics;
+
+  void add(const SimResult& result);
+};
+
+/// Folds streamed cell results into per-stratum aggregates. Feed it from
+/// a CellSink: strata keys are "scenario/policy", kept sorted, and since
+/// the sink runs in grid order the aggregate is deterministic and
+/// identical for any worker count.
+class SweepAggregator {
+ public:
+  void add(const SweepCell& cell, const SimResult& result);
+
+  std::uint64_t cells_seen() const { return cells_seen_; }
+  const std::map<std::string, StratumAggregate>& strata() const {
+    return strata_;
+  }
+
+ private:
+  std::uint64_t cells_seen_ = 0;
+  std::map<std::string, StratumAggregate> strata_;
+};
+
 /// Timing metadata recorded alongside the per-cell results.
 struct SweepRunInfo {
   int jobs = 1;
+  /// The worker count asked for (0 = auto) before clamping/resolution.
+  int jobs_requested = 0;
   /// Host cores at measurement time (contextualises the speedup; a 1-core
   /// host cannot show one). Filled by write_sweep_json if left at 0.
   unsigned hardware_concurrency = 0;
@@ -97,5 +195,12 @@ struct SweepRunInfo {
 void write_sweep_json(std::ostream& os, const std::vector<SweepCell>& cells,
                       const std::vector<SimResult>& results,
                       const SweepRunInfo& info);
+
+/// Emits the aggregate sweep record: run metadata plus one JSON object
+/// per stratum with mean/stddev/min/max of the headline scalars, the
+/// merged scalar metrics, and bucket-quantile summaries of the merged
+/// histograms. Constant-size output however many cells streamed through.
+void write_aggregate_json(std::ostream& os, const SweepAggregator& agg,
+                          const SweepRunInfo& info);
 
 }  // namespace flexfetch::sim

@@ -1,0 +1,59 @@
+// Admission-gated emission macros.
+//
+// Instrumentation sites must not pay for events that are rejected — in
+// particular, argument expressions (to_string(state), depth arithmetic,
+// unit conversions) must never be evaluated for an event the recorder
+// would discard. A function call cannot promise that (arguments are
+// evaluated before the call), so the gate is a macro: one null check, one
+// admits() check, and only then the emission call with its arguments.
+//
+// REC is any expression yielding `telemetry::Recorder*` (possibly null):
+// `ctx.recorder()` for policies, `telem_.get()` for device handles.
+// DESC must be the site's `static constexpr EventDesc`; it is evaluated
+// twice (it is an lvalue naming, not an expression with effects).
+//
+// Usage:
+//   FF_EMIT_INSTANT(ctx.recorder(), kDecisionDesc, now, stage_no, choice);
+//   FF_EMIT_SPAN(telem_.get(), kDiskIoDesc, start, end, lba, bytes);
+//   FF_EMIT_SPAN_NAMED(telem_.get(), kPowerDesc, to_string(state), t0, t1);
+//   FF_EMIT_COUNTER(rec, kDepthDesc, now, depth);
+#pragma once
+
+#include "telemetry/recorder.hpp"
+
+// NOLINTBEGIN(cppcoreguidelines-macro-usage) — lazy argument evaluation is
+// the point; a function cannot provide it.
+
+#define FF_EMIT_INSTANT(REC, DESC, /*t, args...*/...)                \
+  do {                                                               \
+    ::flexfetch::telemetry::Recorder* ff_emit_rec_ = (REC);          \
+    if (ff_emit_rec_ != nullptr && ff_emit_rec_->admits(DESC)) {     \
+      ff_emit_rec_->instant((DESC), __VA_ARGS__);                    \
+    }                                                                \
+  } while (0)
+
+#define FF_EMIT_SPAN(REC, DESC, /*start, end, args...*/...)          \
+  do {                                                               \
+    ::flexfetch::telemetry::Recorder* ff_emit_rec_ = (REC);          \
+    if (ff_emit_rec_ != nullptr && ff_emit_rec_->admits(DESC)) {     \
+      ff_emit_rec_->span((DESC), __VA_ARGS__);                       \
+    }                                                                \
+  } while (0)
+
+#define FF_EMIT_SPAN_NAMED(REC, DESC, NAME, START, END)              \
+  do {                                                               \
+    ::flexfetch::telemetry::Recorder* ff_emit_rec_ = (REC);          \
+    if (ff_emit_rec_ != nullptr && ff_emit_rec_->admits(DESC)) {     \
+      ff_emit_rec_->span_named((DESC), (NAME), (START), (END));      \
+    }                                                                \
+  } while (0)
+
+#define FF_EMIT_COUNTER(REC, DESC, T, VALUE)                         \
+  do {                                                               \
+    ::flexfetch::telemetry::Recorder* ff_emit_rec_ = (REC);          \
+    if (ff_emit_rec_ != nullptr && ff_emit_rec_->admits(DESC)) {     \
+      ff_emit_rec_->counter((DESC), (T), (VALUE));                   \
+    }                                                                \
+  } while (0)
+
+// NOLINTEND(cppcoreguidelines-macro-usage)

@@ -31,4 +31,32 @@ const char* track_name(std::uint32_t track) {
   return "?";
 }
 
+TraceEvent unpack(const PackedRecord& rec, std::uint64_t seq) {
+  const EventDesc& d = *rec.desc;
+  TraceEvent ev;
+  ev.name = rec.name != nullptr ? rec.name : d.name;
+  ev.category = d.category;
+  ev.phase = d.phase;
+  ev.n_args = d.n_args;
+  ev.track = d.track;
+  ev.seq = seq;
+  ev.start = Seconds{rec.start_s};
+  if (d.phase == Phase::kSpan) {
+    ev.duration = Seconds{rec.extra};
+  } else if (d.phase == Phase::kCounter) {
+    ev.value = rec.extra;
+  }
+  for (std::size_t i = 0; i < d.n_args; ++i) {
+    const std::uint64_t word = rec.payload[i];
+    if ((d.str_mask >> i) & 1u) {
+      ev.args[i] = str_arg(
+          d.keys[i],
+          reinterpret_cast<const char*>(static_cast<std::uintptr_t>(word)));
+    } else {
+      ev.args[i] = num_arg(d.keys[i], std::bit_cast<double>(word));
+    }
+  }
+  return ev;
+}
+
 }  // namespace flexfetch::telemetry

@@ -2,14 +2,28 @@
 //
 // Every instrumented component of the simulator (device power models, the
 // VFS substrates, the FlexFetch core, the simulator loop itself) describes
-// what happened as a typed TraceEvent: an instant, a [start, end) span, or
-// a counter sample, tagged with a category and placed on a named timeline
-// track. Events are plain values holding only numbers and pointers to
-// string literals, so emitting one never allocates and recorded events can
-// outlive the simulator that produced them.
+// what happened as a trace event: an instant, a [start, end) span, or a
+// counter sample, tagged with a category and placed on a named timeline
+// track.
+//
+// The subsystem has two event representations:
+//
+//  * EventDesc + PackedRecord — the emission-side pair. Every
+//    instrumentation *site* owns one static constexpr EventDesc (name,
+//    category, phase, admission level, track, argument keys); emitting an
+//    event writes one fixed-size POD PackedRecord (descriptor pointer +
+//    timestamps + raw 8-byte payload words) into the recorder's flat ring.
+//    There is no per-argument loop, no allocation, and no branch past the
+//    admission check on this path.
+//
+//  * TraceEvent — the export-side view: self-describing, with typed Arg
+//    key/value pairs, produced by unpacking PackedRecords when a ring is
+//    drained. Exporters, tests, and the audit consume this form; it is
+//    never constructed on the hot path.
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 
@@ -29,6 +43,8 @@ enum class Category : std::uint8_t {
   kFault,      ///< Injected faults (outages, stalls) and fault reactions.
 };
 
+inline constexpr std::size_t kCategoryCount = 8;
+
 const char* to_string(Category c);
 
 enum class Phase : std::uint8_t {
@@ -36,6 +52,18 @@ enum class Phase : std::uint8_t {
   kSpan,     ///< A [start, start+duration] interval.
   kCounter,  ///< A sampled value (queue depth, dirty pages...).
 };
+
+/// Event admission levels, cheapest story first. An event is admitted to
+/// the ring only when its level is <= the configured level for its
+/// category; level 0 in the mask silences a category entirely.
+enum class Level : std::uint8_t {
+  kKey = 1,      ///< Policy decisions, stage transitions, faults.
+  kDetail = 2,   ///< Per-request I/O spans, device power-state spans.
+  kVerbose = 3,  ///< Per-syscall spans and counter samples.
+};
+
+/// The highest level: admits every instrumented site ("full capture").
+inline constexpr std::uint8_t kLevelFull = static_cast<std::uint8_t>(Level::kVerbose);
 
 /// Timeline lanes ("tid" in the Chrome trace): one per instrument so the
 /// power-state story of each device reads as an uninterrupted bar.
@@ -54,9 +82,9 @@ inline constexpr std::uint32_t kCount = 9;
 
 const char* track_name(std::uint32_t track);
 
-/// One key/value annotation. Keys and string values must be string
-/// literals (or otherwise outlive every use of the event): events store
-/// raw pointers so the emission hot path never copies or allocates.
+/// One key/value annotation of the export-side TraceEvent view. Keys and
+/// string values must be string literals (or otherwise outlive every use
+/// of the event): events store raw pointers so unpacking never copies.
 struct Arg {
   const char* key = nullptr;
   const char* str = nullptr;  ///< nullptr = numeric argument.
@@ -72,21 +100,79 @@ constexpr Arg str_arg(const char* key, const char* value) {
 
 inline constexpr std::size_t kMaxArgs = 6;
 
+/// Static descriptor of one instrumentation site: everything about an
+/// event that does not change between emissions. Sites define one
+/// `static constexpr EventDesc` and pass only the dynamic values (time,
+/// argument payloads) at emit time, so the per-event record stays small
+/// and argument *keys* are never touched on the hot path.
+struct EventDesc {
+  const char* name = "";  ///< String literal (default; overridable per emit).
+  Category category = Category::kSim;
+  Phase phase = Phase::kInstant;
+  Level level = Level::kDetail;
+  std::uint8_t n_args = 0;
+  /// Bit i set = argument i carries a `const char*` (string literal)
+  /// payload instead of a double.
+  std::uint8_t str_mask = 0;
+  std::uint32_t track = track::kSim;
+  std::array<const char*, kMaxArgs> keys{};
+};
+
+/// Payload word encoding: doubles and string-literal pointers are stored
+/// as raw 8-byte words; the descriptor's str_mask says which is which.
+inline std::uint64_t pack_word(double v) {
+  return std::bit_cast<std::uint64_t>(v);
+}
+inline std::uint64_t pack_word(const char* s) {
+  return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(s));
+}
+
+/// The fixed-size binary record the emission hot path writes: one
+/// descriptor pointer, an optional dynamic name, two timestamp/value
+/// doubles and the raw payload words. POD, 80 bytes, trivially copyable —
+/// ring writes are a handful of stores with no per-argument loop.
+///
+/// Deliberately no default member initializers: the recorder's ring is
+/// allocated with make_unique_for_overwrite, and a trivial default
+/// constructor is what keeps that allocation from writing every ring byte
+/// up front. Emission always value-initializes (`PackedRecord r{};`) the
+/// one record it fills.
+struct PackedRecord {
+  const EventDesc* desc;
+  /// Usually desc->name; device power-state spans substitute the state
+  /// name ("idle", "standby"...) per emission.
+  const char* name;
+  double start_s;
+  /// Span: duration in seconds. Counter: sampled value. Instant: unused.
+  double extra;
+  std::array<std::uint64_t, kMaxArgs> payload;
+};
+
+static_assert(std::is_trivially_copyable_v<PackedRecord>);
+static_assert(std::is_trivially_default_constructible_v<PackedRecord>);
+static_assert(sizeof(PackedRecord) == 32 + 8 * kMaxArgs);
+
+/// The export-side view of one recorded event: self-describing, ordered by
+/// `seq` (emission order within one Recorder — the deterministic
+/// tie-breaker for events sharing a timestamp).
 struct TraceEvent {
   const char* name = "";  ///< String literal.
   Category category = Category::kSim;
   Phase phase = Phase::kInstant;
   std::uint8_t n_args = 0;
   std::uint32_t track = track::kSim;
-  /// Global emission order within one Recorder — the deterministic
-  /// tie-breaker for events sharing a timestamp.
   std::uint64_t seq = 0;
   Seconds start = Seconds{0.0};
   Seconds duration = Seconds{0.0};  ///< kSpan only.
-  double value = 0.0;      ///< kCounter only.
+  double value = 0.0;               ///< kCounter only.
   std::array<Arg, kMaxArgs> args{};
 
   Seconds end() const { return start + duration; }
 };
+
+/// Expands a PackedRecord back into the self-describing export view.
+/// `seq` is reconstructed by the caller from the ring position (the ring
+/// is append-ordered, so records need not carry their sequence number).
+TraceEvent unpack(const PackedRecord& rec, std::uint64_t seq);
 
 }  // namespace flexfetch::telemetry

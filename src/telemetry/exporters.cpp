@@ -58,7 +58,7 @@ void write_args_object(std::ostream& os, const TraceEvent& ev) {
 
 void write_metadata(std::ostream& os, const char* name, std::uint32_t tid,
                     const char* arg_key, const char* str_value,
-                    std::uint32_t num_value) {
+                    std::uint64_t num_value) {
   os << "    {\"name\": \"" << name << "\", \"ph\": \"M\", \"pid\": 1, "
      << "\"tid\": " << tid << ", \"args\": {\"" << arg_key << "\": ";
   if (str_value != nullptr) {
@@ -90,6 +90,9 @@ void write_chrome_trace(std::ostream& os, std::span<const TraceEvent> events,
   os << "  \"traceEvents\": [\n";
 
   write_metadata(os, "process_name", 0, "name", "flexfetch-sim", 0);
+  // Ring losses surfaced in-band so trace viewers (not just otherData
+  // readers) can see the capture was partial.
+  write_metadata(os, "telemetry.dropped", 0, "dropped", nullptr, dropped);
   for (std::uint32_t tid = 0; tid < track::kCount; ++tid) {
     write_metadata(os, "thread_name", tid, "name", track_name(tid), 0);
     write_metadata(os, "thread_sort_index", tid, "sort_index", nullptr, tid);

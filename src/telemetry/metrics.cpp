@@ -1,10 +1,54 @@
 #include "telemetry/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
 namespace flexfetch::telemetry {
+
+std::size_t Histogram::bucket_of(double v) {
+  if (!(v > 0.0)) return 0;  // Zeros, negatives, and NaN underflow.
+  int exp = 0;
+  // frexp: v = m * 2^exp with m in [0.5, 1) — so v < 2^exp <= 2v, and
+  // bucket b = exp - kMinExp covers [2^(b+kMinExp-1), 2^(b+kMinExp)).
+  (void)std::frexp(v, &exp);
+  const int b = exp - kMinExp;
+  if (b < 0) return 0;
+  if (b >= static_cast<int>(kBuckets)) return kBuckets - 1;
+  return static_cast<std::size_t>(b);
+}
+
+double Histogram::bucket_upper_edge(std::size_t b) {
+  return std::ldexp(1.0, static_cast<int>(b) + kMinExp);
+}
+
+void Histogram::record(double v) {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[bucket_of(v)];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
 
 Metric& MetricsRegistry::touch(std::string_view name, MetricKind kind) {
   auto it = metrics_.find(name);
@@ -39,6 +83,19 @@ bool MetricsRegistry::contains(std::string_view name) const {
   return metrics_.contains(name);
 }
 
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
 void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, m] : other.metrics_) {
     Metric& mine = touch(name, m.kind);
@@ -47,6 +104,9 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
       case MetricKind::kGauge: mine.value = m.value; break;
       case MetricKind::kMax: mine.value = std::max(mine.value, m.value); break;
     }
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name).merge(h);
   }
 }
 

@@ -1,4 +1,5 @@
-// Named counters and gauges with deterministic ordering and merge.
+// Named counters, gauges, and fixed-bucket histograms with deterministic
+// ordering and merge.
 //
 // The registry is the aggregate face of telemetry: at the end of a run the
 // simulator snapshots every substrate's statistics into one flat namespace
@@ -6,8 +7,18 @@
 // carry per-cell metrics in their results and merge them across cells.
 // Keys are kept sorted (std::map), so iteration — and therefore every
 // exporter — is deterministic.
+//
+// Histograms are the pre-aggregated face of what full event capture would
+// record per event: fixed power-of-two buckets (so merging two histograms
+// is a bucket-wise integer add — exact and associative), plus exact count
+// and min/max and a running sum. The simulator folds hot-path samples
+// (per-syscall latency, per-request device service times...) straight into
+// histograms instead of materialising events, which is what makes
+// metrics-on telemetry cheap enough to leave on for every cell of a
+// fleet-scale sweep.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -27,6 +38,51 @@ struct Metric {
   MetricKind kind = MetricKind::kCounter;
 };
 
+/// Fixed-bucket log2 histogram over non-negative samples. Bucket b counts
+/// samples in [2^(b+kMinExp-1), 2^(b+kMinExp)); bucket 0 additionally
+/// holds everything below the range (including exact zeros) and the last
+/// bucket everything above it. The geometry is a compile-time constant,
+/// so any two histograms merge bucket-wise — exactly and associatively.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+  /// Exponent of the lower edge of bucket 1: 2^-32 (~2.3e-10) — deep
+  /// sub-nanosecond for durations, sub-byte for sizes. The top bucket
+  /// edge is 2^31 (~2.1e9): beyond any duration or transfer we simulate.
+  static constexpr int kMinExp = -32;
+
+  void record(double v);
+
+  /// Bucket-wise integer add; count/sum/min/max fold alongside.
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  bool empty() const { return count_ == 0; }
+
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+  /// Index of the bucket `v` falls into (the geometry contract above).
+  static std::size_t bucket_of(double v);
+  /// Upper edge of bucket `b` (lower edge of `b + 1`): 2^(b + kMinExp).
+  static double bucket_upper_edge(std::size_t b);
+
+  bool operator==(const Histogram& other) const = default;
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
 class MetricsRegistry {
  public:
   /// Adds `delta` to a counter (created at zero on first use).
@@ -39,25 +95,39 @@ class MetricsRegistry {
   /// Value of a metric, 0.0 if absent.
   double value(std::string_view name) const;
   bool contains(std::string_view name) const;
-  bool empty() const { return metrics_.empty(); }
+  bool empty() const { return metrics_.empty() && histograms_.empty(); }
   std::size_t size() const { return metrics_.size(); }
 
+  /// The named histogram, created empty on first use. Named histograms
+  /// live beside the scalar namespace; exporters surface them separately
+  /// (sweep cell JSON stays scalar-only).
+  Histogram& histogram(std::string_view name);
+  const Histogram* find_histogram(std::string_view name) const;
+
   /// Folds `other` in per metric kind: counters add, gauges take the
-  /// other's value, high-watermarks take the maximum. Using one name with
-  /// two different kinds is a ConfigError.
+  /// other's value, high-watermarks take the maximum, histograms merge
+  /// bucket-wise. Using one name with two different kinds is a
+  /// ConfigError.
   void merge(const MetricsRegistry& other);
 
   /// Sorted name -> metric view (deterministic iteration order).
   const std::map<std::string, Metric, std::less<>>& items() const {
     return metrics_;
   }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
 
-  void clear() { metrics_.clear(); }
+  void clear() {
+    metrics_.clear();
+    histograms_.clear();
+  }
 
  private:
   Metric& touch(std::string_view name, MetricKind kind);
 
   std::map<std::string, Metric, std::less<>> metrics_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
 }  // namespace flexfetch::telemetry

@@ -1,101 +1,88 @@
 #include "telemetry/recorder.hpp"
 
-#include <algorithm>
+#include <bit>
 
 namespace flexfetch::telemetry {
 
 namespace {
 
-void copy_args(TraceEvent& ev, std::initializer_list<Arg> args) {
-  const std::size_t n = std::min(args.size(), kMaxArgs);
-  std::copy_n(args.begin(), n, ev.args.begin());
-  ev.n_args = static_cast<std::uint8_t>(n);
+std::size_t round_up_pow2(std::size_t n) {
+  if (n <= 1) return n;
+  return std::bit_ceil(n);
+}
+
+TelemetryConfig full_capture_config(std::size_t capacity) {
+  TelemetryConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = capacity;
+  return cfg;
 }
 
 }  // namespace
 
-Recorder::Recorder(std::size_t capacity) : capacity_(capacity) {}
-
-void Recorder::emit(TraceEvent ev) {
-  ev.seq = next_seq_++;
-  if (capacity_ == 0) {
-    ++dropped_;
-    return;
+const char* hist_name(HistId id) {
+  switch (id) {
+    case HistId::kSyscallLatency: return "hist.syscall_latency_s";
+    case HistId::kDiskService: return "hist.disk_service_s";
+    case HistId::kWnicService: return "hist.wnic_service_s";
+    case HistId::kDiskBytes: return "hist.disk_request_bytes";
+    case HistId::kWnicBytes: return "hist.wnic_request_bytes";
+    case HistId::kSchedDepth: return "hist.sched_depth";
+    case HistId::kCount: break;
   }
-  if (buf_.size() < capacity_) {
-    buf_.push_back(ev);
-    return;
+  return "?";
+}
+
+Recorder::Recorder(const TelemetryConfig& config)
+    : capacity_(round_up_pow2(config.ring_capacity)),
+      mask_(capacity_ > 0 ? capacity_ - 1 : 0),
+      sample_every_(config.sample_every > 0 ? config.sample_every : 1),
+      sample_phase_(sample_every_ > 1 ? config.sample_seed % sample_every_
+                                      : 0) {
+  if (capacity_ > 0) {
+    // for_overwrite: the ring starts uninitialised — only slots in
+    // [first_, count_) are ever read, and each has been written first.
+    ring_ = std::make_unique_for_overwrite<PackedRecord[]>(capacity_);
+    level_of_ = config.category_levels;
   }
-  buf_[head_] = ev;
-  head_ = (head_ + 1) % capacity_;
-  ++dropped_;
+  // capacity 0 leaves every category level at 0: no event is admitted, so
+  // the FF_EMIT_* gates skip record construction entirely (metrics-only).
 }
 
-void Recorder::instant(Category c, const char* name, std::uint32_t trk,
-                       Seconds t, std::initializer_list<Arg> args) {
-  TraceEvent ev;
-  ev.name = name;
-  ev.category = c;
-  ev.phase = Phase::kInstant;
-  ev.track = trk;
-  ev.start = t;
-  copy_args(ev, args);
-  emit(ev);
-}
+Recorder::Recorder(std::size_t capacity)
+    : Recorder(full_capture_config(capacity)) {}
 
-void Recorder::span(Category c, const char* name, std::uint32_t trk,
-                    Seconds start, Seconds end,
-                    std::initializer_list<Arg> args) {
-  TraceEvent ev;
-  ev.name = name;
-  ev.category = c;
-  ev.phase = Phase::kSpan;
-  ev.track = trk;
-  ev.start = start;
-  ev.duration = end > start ? end - start : Seconds{};
-  copy_args(ev, args);
-  emit(ev);
-}
-
-void Recorder::counter(Category c, const char* name, std::uint32_t trk,
-                       Seconds t, double value) {
-  TraceEvent ev;
-  ev.name = name;
-  ev.category = c;
-  ev.phase = Phase::kCounter;
-  ev.track = trk;
-  ev.start = t;
-  ev.value = value;
-  emit(ev);
+void Recorder::export_histograms(MetricsRegistry& m) const {
+  for (std::size_t i = 0; i < kHistCount; ++i) {
+    if (hist_[i].empty()) continue;
+    m.histogram(hist_name(static_cast<HistId>(i))).merge(hist_[i]);
+  }
 }
 
 std::vector<TraceEvent> Recorder::events() const {
   std::vector<TraceEvent> out;
-  out.reserve(buf_.size());
-  if (buf_.size() == capacity_ && capacity_ > 0) {
-    // Full ring: the oldest retained event sits at head_.
-    out.insert(out.end(), buf_.begin() + static_cast<std::ptrdiff_t>(head_),
-               buf_.end());
-    out.insert(out.end(), buf_.begin(),
-               buf_.begin() + static_cast<std::ptrdiff_t>(head_));
-  } else {
-    out = buf_;
+  out.reserve(size());
+  // The ring is append-ordered: record #s lives at slot s & mask_.
+  for (std::uint64_t seq = first_; seq < count_; ++seq) {
+    out.push_back(unpack(ring_[seq & mask_], seq));
   }
   return out;
 }
 
 std::vector<TraceEvent> Recorder::take_events() {
   std::vector<TraceEvent> out = events();
-  buf_.clear();
-  head_ = 0;
+  // The drained events were delivered, not dropped: advance the retained
+  // window past them and leave the tallies alone.
+  first_ = count_;
   return out;
 }
 
 void Recorder::clear() {
-  buf_.clear();
-  head_ = 0;
-  next_seq_ = 0;
+  count_ = 0;
+  first_ = 0;
   dropped_ = 0;
+  sample_tick_ = 0;
+  for (auto& h : hist_) h = Histogram{};
 }
 
 }  // namespace flexfetch::telemetry

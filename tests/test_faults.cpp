@@ -229,8 +229,8 @@ TEST(FaultAudit, PurityCheckCatchesRecorderLeak) {
   device::Wnic wnic;
   telemetry::Recorder rec;
   const auto snap = audit.capture(disk, wnic, &rec);
-  rec.instant(telemetry::Category::kSim, "phantom", telemetry::track::kSim,
-              Seconds{0.0});
+  static constexpr telemetry::EventDesc kPhantom{.name = "phantom"};
+  rec.instant(kPhantom, Seconds{0.0});
   EXPECT_THROW(audit.check_estimate_purity(snap, disk, wnic, &rec),
                InternalError);
 }
@@ -306,6 +306,7 @@ TEST(FaultFailover, MidStageOutageFlipsNetworkToDisk) {
   config.faults.wnic.outages = {
       {.start = span / 3.0, .end = span / 3.0 + Seconds{60.0}}};
   config.telemetry.enabled = true;
+  config.telemetry.ring_capacity = telemetry::kDefaultRingCapacity;
 
   auto policy = policies::make_policy("flexfetch", scenario.profiles,
                                       &scenario.oracle_future);

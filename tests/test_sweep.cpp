@@ -178,7 +178,10 @@ TEST(Sweep, FaultedRunIsIdenticalWithTelemetryOnOrOff) {
     cell.config.faults = faults::generate_schedule(5);
   }
   const auto quiet = sim::run_sweep(cells, {.jobs = 1});
-  for (auto& cell : cells) cell.config.telemetry.enabled = true;
+  for (auto& cell : cells) {
+    cell.config.telemetry.enabled = true;
+    cell.config.telemetry.ring_capacity = telemetry::kDefaultRingCapacity;
+  }
   const auto traced = sim::run_sweep(cells, {.jobs = 1});
   ASSERT_EQ(quiet.size(), traced.size());
   for (std::size_t i = 0; i < quiet.size(); ++i) {
@@ -188,6 +191,157 @@ TEST(Sweep, FaultedRunIsIdenticalWithTelemetryOnOrOff) {
   EXPECT_TRUE(quiet[0].trace_events.empty());
 }
 
+TEST(Sweep, ResolveJobsDetailRecordsProvenance) {
+  const auto explicit_jobs = sim::resolve_jobs_detail(3);
+  EXPECT_EQ(explicit_jobs.requested, 3);
+  EXPECT_EQ(explicit_jobs.effective, 3);
+  EXPECT_FALSE(explicit_jobs.from_env);
+
+  ::setenv("FF_JOBS", "5", 1);
+  const auto env_jobs = sim::resolve_jobs_detail(0);
+  EXPECT_EQ(env_jobs.requested, 0);
+  EXPECT_EQ(env_jobs.effective, 5);
+  EXPECT_TRUE(env_jobs.from_env);
+  ::unsetenv("FF_JOBS");
+
+  // Unset (0 = auto): clamps to the host's hardware concurrency.
+  const auto auto_jobs = sim::resolve_jobs_detail(0);
+  EXPECT_EQ(auto_jobs.requested, 0);
+  EXPECT_EQ(auto_jobs.effective,
+            static_cast<int>(ThreadPool::default_concurrency()));
+  EXPECT_FALSE(auto_jobs.from_env);
+  EXPECT_GE(auto_jobs.effective, 1);
+}
+
+// --- Streaming sweep + aggregation ------------------------------------------
+
+TEST(Sweep, StreamingDeliversInOrderAndMatchesBatch) {
+  const auto scenario = workloads::scenario_mplayer(1);
+  const auto cells = sim::make_grid(
+      {&scenario}, {"flexfetch", "disk-only", "wnic-only"},
+      {device::WnicParams::cisco_aironet350(),
+       device::WnicParams::cisco_aironet350().with_latency(units::ms(20.0))});
+  const auto batch = sim::run_sweep(cells, {.jobs = 1});
+
+  const int jobs =
+      std::max(4, static_cast<int>(ThreadPool::default_concurrency()));
+  std::vector<std::size_t> order;
+  std::vector<sim::SimResult> streamed(cells.size());
+  sim::run_sweep_streaming(
+      cells, {.jobs = jobs},
+      [&](std::size_t i, const sim::SweepCell& cell, sim::SimResult&& result) {
+        EXPECT_EQ(cell.policy, cells[i].policy);
+        order.push_back(i);
+        streamed[i] = std::move(result);
+      });
+
+  // The sink sees every cell exactly once, in strict grid order, and each
+  // streamed result is bit-identical to the batch engine's.
+  ASSERT_EQ(order.size(), cells.size());
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    SCOPED_TRACE(cells[i].policy);
+    expect_identical(batch[i], streamed[i]);
+  }
+}
+
+TEST(Sweep, StreamingPropagatesWorkerFailure) {
+  const auto scenario = workloads::scenario_mplayer(1);
+  auto cells = sim::make_grid({&scenario}, {"disk-only", "no-such-policy"},
+                              {device::WnicParams::cisco_aironet350()});
+  std::vector<std::size_t> delivered;
+  auto sink = [&](std::size_t i, const sim::SweepCell&, sim::SimResult&&) {
+    delivered.push_back(i);
+  };
+  EXPECT_THROW(sim::run_sweep_streaming(cells, {.jobs = 1}, sink), ConfigError);
+  EXPECT_THROW(sim::run_sweep_streaming(cells, {.jobs = 4}, sink), ConfigError);
+  // Cells past the failed one are never delivered.
+  for (const std::size_t i : delivered) EXPECT_LT(i, 1u);
+}
+
+TEST(Sweep, RunningStatMergeMatchesSequential) {
+  const double samples[] = {3.5, -1.25, 8.0, 0.0, 2.75, 100.5, -7.0, 4.0};
+  sim::RunningStat sequential;
+  for (const double v : samples) sequential.add(v);
+
+  sim::RunningStat left, right;
+  for (std::size_t i = 0; i < 3; ++i) left.add(samples[i]);
+  for (std::size_t i = 3; i < std::size(samples); ++i) right.add(samples[i]);
+  left.merge(right);
+
+  EXPECT_EQ(left.count(), sequential.count());
+  EXPECT_NEAR(left.mean(), sequential.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), sequential.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(left.max(), sequential.max());
+
+  // Merging an empty accumulator (either way) is the identity.
+  sim::RunningStat empty;
+  sim::RunningStat copy = left;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count(), left.count());
+  EXPECT_DOUBLE_EQ(copy.mean(), left.mean());
+  sim::RunningStat from_empty;
+  from_empty.merge(left);
+  EXPECT_EQ(from_empty.count(), left.count());
+  EXPECT_DOUBLE_EQ(from_empty.mean(), left.mean());
+}
+
+TEST(Sweep, AggregateIsIdenticalForAnyWorkerCount) {
+  const auto scenario = workloads::scenario_mplayer(1);
+  auto cells = sim::make_grid(
+      {&scenario}, {"flexfetch", "disk-only"},
+      {device::WnicParams::cisco_aironet350(),
+       device::WnicParams::cisco_aironet350().with_latency(units::ms(20.0))});
+  for (auto& cell : cells) cell.config.telemetry.enabled = true;
+
+  auto aggregate_with = [&](int jobs) {
+    sim::SweepAggregator agg;
+    sim::run_sweep_streaming(
+        cells, {.jobs = jobs},
+        [&](std::size_t, const sim::SweepCell& cell, sim::SimResult&& result) {
+          agg.add(cell, result);
+        });
+    sim::SweepRunInfo info;  // fixed metadata so only the strata can differ
+    info.jobs = 1;
+    std::ostringstream os;
+    sim::write_aggregate_json(os, agg, info);
+    return os.str();
+  };
+
+  const auto serial_json = aggregate_with(1);
+  const auto parallel_json = aggregate_with(4);
+  EXPECT_EQ(serial_json, parallel_json);
+  EXPECT_NE(serial_json.find("\"mplayer/flexfetch\""), std::string::npos);
+  EXPECT_NE(serial_json.find("\"energy_j\""), std::string::npos);
+  EXPECT_NE(serial_json.find("\"hist.disk_service_s\""), std::string::npos);
+}
+
+TEST(Sweep, AggregatorFoldsStrataStatistics) {
+  const auto scenario = workloads::scenario_mplayer(1);
+  auto cells = sim::make_grid(
+      {&scenario}, {"disk-only"},
+      {device::WnicParams::cisco_aironet350(),
+       device::WnicParams::cisco_aironet350().with_latency(units::ms(20.0))});
+  const auto results = sim::run_sweep(cells, {.jobs = 1});
+
+  sim::SweepAggregator agg;
+  for (std::size_t i = 0; i < cells.size(); ++i) agg.add(cells[i], results[i]);
+
+  EXPECT_EQ(agg.cells_seen(), cells.size());
+  ASSERT_EQ(agg.strata().size(), 1u);
+  const auto& [key, stratum] = *agg.strata().begin();
+  EXPECT_EQ(key, "mplayer/disk-only");
+  EXPECT_EQ(stratum.cells, cells.size());
+  EXPECT_EQ(stratum.energy_j.count(), cells.size());
+  // min <= mean <= max, and the extremes come from the actual results.
+  const double e0 = results[0].total_energy().value();
+  const double e1 = results[1].total_energy().value();
+  EXPECT_DOUBLE_EQ(stratum.energy_j.min(), std::min(e0, e1));
+  EXPECT_DOUBLE_EQ(stratum.energy_j.max(), std::max(e0, e1));
+  EXPECT_NEAR(stratum.energy_j.mean(), (e0 + e1) / 2.0, 1e-9);
+}
+
 TEST(Sweep, JsonEmitterRecordsCellsAndSpeedup) {
   const auto scenario = workloads::scenario_mplayer(1);
   const auto cells = sim::make_grid({&scenario}, {"disk-only"},
@@ -195,12 +349,14 @@ TEST(Sweep, JsonEmitterRecordsCellsAndSpeedup) {
   const auto results = sim::run_sweep(cells, {.jobs = 1});
   sim::SweepRunInfo info;
   info.jobs = 4;
+  info.jobs_requested = 0;
   info.wall_seconds = 2.0;
   info.serial_wall_seconds = 8.0;
   std::ostringstream os;
   sim::write_sweep_json(os, cells, results, info);
   const std::string json = os.str();
   EXPECT_NE(json.find("\"jobs\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs_requested\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"speedup\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"policy\": \"disk-only\""), std::string::npos);
   EXPECT_NE(json.find("\"scenario\": "), std::string::npos);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "policies/fixed.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
+#include "telemetry/emit.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/metrics.hpp"
 #include "workloads/generators.hpp"
@@ -19,23 +21,25 @@ namespace flexfetch {
 namespace {
 
 using telemetry::Category;
+using telemetry::EventDesc;
+using telemetry::Histogram;
+using telemetry::Level;
 using telemetry::MetricsRegistry;
 using telemetry::Phase;
 using telemetry::Recorder;
 using telemetry::RecorderHandle;
+using telemetry::TelemetryConfig;
 using telemetry::TraceEvent;
 namespace track = telemetry::track;
 
 // --- Recorder ring buffer ---------------------------------------------------
 
+constexpr EventDesc kTick{.name = "tick", .n_args = 1, .keys = {"i"}};
+
 TEST(Recorder, RingOverflowKeepsNewestInOrder) {
   Recorder rec(4);
-  // 10 instants; names cycle so we can identify survivors.
-  static const char* const kNames[] = {"e0", "e1", "e2", "e3", "e4",
-                                       "e5", "e6", "e7", "e8", "e9"};
   for (int i = 0; i < 10; ++i) {
-    rec.instant(Category::kSim, kNames[i], track::kSim,
-                static_cast<Seconds>(i));
+    rec.instant(kTick, static_cast<Seconds>(i), static_cast<double>(i));
   }
   EXPECT_EQ(rec.emitted(), 10u);
   EXPECT_EQ(rec.dropped(), 6u);
@@ -45,30 +49,63 @@ TEST(Recorder, RingOverflowKeepsNewestInOrder) {
   ASSERT_EQ(events.size(), 4u);
   for (std::size_t i = 0; i < events.size(); ++i) {
     EXPECT_EQ(events[i].seq, 6u + i);  // newest 4 survive, oldest first
-    EXPECT_STREQ(events[i].name, kNames[6 + i]);
+    EXPECT_DOUBLE_EQ(events[i].args[0].num, static_cast<double>(6 + i));
   }
 }
 
 TEST(Recorder, ZeroCapacityIsMetricsOnly) {
   Recorder rec(0);
   for (int i = 0; i < 5; ++i) {
-    rec.instant(Category::kDisk, "x", track::kDiskIo, Seconds{0.0});
+    rec.instant(kTick, Seconds{0.0}, static_cast<double>(i));
   }
   EXPECT_EQ(rec.size(), 0u);
-  EXPECT_EQ(rec.emitted(), 5u);   // instrumentation still counts
-  EXPECT_EQ(rec.dropped(), 5u);   // ...and tallies every drop
+  EXPECT_EQ(rec.emitted(), 5u);   // direct emission still tallies
+  EXPECT_EQ(rec.dropped(), 5u);   // ...and counts every drop
   EXPECT_TRUE(rec.events().empty());
   EXPECT_TRUE(rec.take_events().empty());
 }
 
 TEST(Recorder, TakeEventsDrainsButKeepsTallies) {
   Recorder rec(8);
-  rec.instant(Category::kSim, "a", track::kSim, Seconds{1.0});
-  rec.instant(Category::kSim, "b", track::kSim, Seconds{2.0});
+  rec.instant(kTick, Seconds{1.0}, 0.0);
+  rec.instant(kTick, Seconds{2.0}, 1.0);
   const auto taken = rec.take_events();
   ASSERT_EQ(taken.size(), 2u);
   EXPECT_EQ(rec.size(), 0u);
   EXPECT_EQ(rec.emitted(), 2u);
+  EXPECT_EQ(rec.dropped(), 0u);  // drained events were delivered, not lost
+}
+
+TEST(Recorder, PackedRecordRoundTrip) {
+  static constexpr EventDesc kIo{.name = "disk.read",
+                                 .category = Category::kDisk,
+                                 .phase = Phase::kSpan,
+                                 .level = Level::kDetail,
+                                 .n_args = 3,
+                                 .str_mask = 0b010,
+                                 .track = track::kDiskIo,
+                                 .keys = {"lba", "op", "bytes"}};
+  Recorder rec(8);
+  rec.span(kIo, Seconds{1.5}, Seconds{2.25}, 42.0, "read", 4096.0);
+
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 1u);
+  const TraceEvent& ev = events[0];
+  EXPECT_STREQ(ev.name, "disk.read");
+  EXPECT_EQ(ev.category, Category::kDisk);
+  EXPECT_EQ(ev.phase, Phase::kSpan);
+  EXPECT_EQ(ev.track, track::kDiskIo);
+  EXPECT_EQ(ev.seq, 0u);
+  EXPECT_DOUBLE_EQ(ev.start.value(), 1.5);
+  EXPECT_DOUBLE_EQ(ev.duration.value(), 0.75);
+  ASSERT_EQ(ev.n_args, 3u);
+  EXPECT_STREQ(ev.args[0].key, "lba");
+  EXPECT_EQ(ev.args[0].str, nullptr);
+  EXPECT_DOUBLE_EQ(ev.args[0].num, 42.0);
+  EXPECT_STREQ(ev.args[1].key, "op");
+  EXPECT_STREQ(ev.args[1].str, "read");
+  EXPECT_STREQ(ev.args[2].key, "bytes");
+  EXPECT_DOUBLE_EQ(ev.args[2].num, 4096.0);
 }
 
 TEST(Recorder, HandleCopyDetaches) {
@@ -85,6 +122,96 @@ TEST(Recorder, HandleCopyDetaches) {
   assigned = h;
   EXPECT_FALSE(assigned);
   EXPECT_TRUE(h);  // the original stays attached
+}
+
+// --- Admission: levels and sampling -----------------------------------------
+
+constexpr EventDesc kKeyEvent{.name = "key", .level = Level::kKey};
+constexpr EventDesc kDetailEvent{.name = "detail", .level = Level::kDetail};
+constexpr EventDesc kVerboseEvent{.name = "verbose", .level = Level::kVerbose};
+
+TEST(Admission, LevelMaskGatesPerCategory) {
+  TelemetryConfig config;
+  config.enabled = true;
+  config.ring_capacity = 16;
+  config.set_level(static_cast<std::uint8_t>(Level::kDetail));
+  Recorder rec(config);
+
+  EXPECT_TRUE(rec.admits(kKeyEvent));
+  EXPECT_TRUE(rec.admits(kDetailEvent));
+  EXPECT_FALSE(rec.admits(kVerboseEvent));
+}
+
+TEST(Admission, ZeroRingCapacityRejectsEverything) {
+  TelemetryConfig config;
+  config.enabled = true;  // metrics-only: ring_capacity stays 0
+  Recorder rec(config);
+  EXPECT_FALSE(rec.admits(kKeyEvent));
+  EXPECT_FALSE(rec.admits(kDetailEvent));
+  EXPECT_FALSE(rec.admits(kVerboseEvent));
+  EXPECT_EQ(rec.emitted(), 0u);  // rejected events are never constructed
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+/// The sampler is a pure function of (emission index, seed): the same
+/// configuration admits the identical index set on every run, and the
+/// phase spreads across seeds.
+TEST(Admission, SamplingIsDeterministicAndSeeded) {
+  constexpr int kEvents = 100;
+  constexpr std::uint32_t kEvery = 4;
+  auto admitted_set = [&](std::uint64_t seed) {
+    TelemetryConfig config;
+    config.enabled = true;
+    config.ring_capacity = 256;
+    config.sample_every = kEvery;
+    config.sample_seed = seed;
+    Recorder rec(config);
+    std::vector<int> admitted;
+    for (int i = 0; i < kEvents; ++i) {
+      if (rec.admits(kKeyEvent)) admitted.push_back(i);
+    }
+    return admitted;
+  };
+
+  const auto a = admitted_set(7);
+  const auto b = admitted_set(7);
+  EXPECT_EQ(a, b);  // rerun with the same seed: identical admitted set
+  ASSERT_EQ(a.size(), kEvents / kEvery);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // seed 7, N 4: phase 3, so indices 3, 7, 11...
+    EXPECT_EQ(a[i], static_cast<int>(3 + kEvery * i));
+  }
+  const auto c = admitted_set(9);  // phase 1
+  EXPECT_NE(a, c);
+  EXPECT_EQ(c.size(), kEvents / kEvery);
+}
+
+/// The cost contract of FF_EMIT_*: a rejected event's argument
+/// expressions are never evaluated (and neither is the record packed).
+TEST(Admission, RejectedEmitNeverEvaluatesArgs) {
+  TelemetryConfig config;
+  config.enabled = true;
+  config.ring_capacity = 16;
+  config.set_level(static_cast<std::uint8_t>(Level::kKey));
+  Recorder rec(config);
+
+  int evaluations = 0;
+  auto costly = [&]() -> double {
+    ++evaluations;
+    return 1.0;
+  };
+
+  FF_EMIT_INSTANT(&rec, kVerboseEvent, Seconds{0.0}, costly());
+  EXPECT_EQ(evaluations, 0);  // level-rejected: arg untouched
+  EXPECT_EQ(rec.emitted(), 0u);
+
+  Recorder* null_rec = nullptr;
+  FF_EMIT_INSTANT(null_rec, kKeyEvent, Seconds{0.0}, costly());
+  EXPECT_EQ(evaluations, 0);  // telemetry off: arg untouched
+
+  FF_EMIT_INSTANT(&rec, kKeyEvent, Seconds{0.0}, costly());
+  EXPECT_EQ(evaluations, 1);  // admitted: evaluated exactly once
+  EXPECT_EQ(rec.emitted(), 1u);
 }
 
 // --- Metrics registry -------------------------------------------------------
@@ -149,18 +276,89 @@ TEST(Metrics, ItemsIterateInSortedNameOrder) {
   EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
 }
 
+// --- Histograms -------------------------------------------------------------
+
+TEST(Histograms, RecordCoversBucketGeometry) {
+  Histogram h;
+  h.record(0.0);      // below range -> bucket 0
+  h.record(1.0);
+  h.record(1.0e12);   // above range -> clamped into the last bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0e12);
+  std::uint64_t total = 0;
+  for (const auto b : h.buckets()) total += b;
+  EXPECT_EQ(total, 3u);
+}
+
+/// Merge is a bucket-wise integer add, so it must be exact and
+/// associative: (a + b) + c == a + (b + c), including count/sum/min/max.
+/// Samples are chosen dyadic so even the floating-point sums are exact.
+TEST(Histograms, MergeIsExactAndAssociative) {
+  auto fill = [](Histogram& h, double scale, int n) {
+    for (int i = 1; i <= n; ++i) h.record(scale * static_cast<double>(i));
+  };
+  Histogram a, b, c;
+  fill(a, 0.25, 17);
+  fill(b, 2.0, 23);
+  fill(c, 1024.0, 11);
+
+  Histogram left_first = a;   // (a + b) + c
+  left_first.merge(b);
+  left_first.merge(c);
+
+  Histogram right_first = b;  // a + (b + c)
+  right_first.merge(c);
+  Histogram a2 = a;
+  a2.merge(right_first);
+
+  EXPECT_EQ(left_first, a2);
+
+  // And both equal recording every sample into one histogram.
+  Histogram sequential;
+  fill(sequential, 0.25, 17);
+  fill(sequential, 2.0, 23);
+  fill(sequential, 1024.0, 11);
+  EXPECT_EQ(left_first, sequential);
+}
+
+TEST(Histograms, RegistryMergeFoldsHistograms) {
+  MetricsRegistry a, b;
+  a.histogram("h").record(1.0);
+  b.histogram("h").record(2.0);
+  b.histogram("only_b").record(4.0);
+  a.merge(b);
+  ASSERT_NE(a.find_histogram("h"), nullptr);
+  EXPECT_EQ(a.find_histogram("h")->count(), 2u);
+  ASSERT_NE(a.find_histogram("only_b"), nullptr);
+  EXPECT_EQ(a.find_histogram("only_b")->count(), 1u);
+}
+
 // --- Exporters --------------------------------------------------------------
 
 /// A tiny scripted run must export byte-for-byte stable Chrome-trace JSON:
 /// the golden below is the determinism contract for the exporter.
 TEST(Exporters, GoldenChromeTraceJson) {
+  static constexpr EventDesc kFreeRide{.name = "free_ride",
+                                       .category = Category::kPolicy,
+                                       .level = Level::kKey,
+                                       .track = track::kPolicy};
+  static constexpr EventDesc kActive{.name = "Active",
+                                     .category = Category::kDisk,
+                                     .phase = Phase::kSpan,
+                                     .n_args = 2,
+                                     .str_mask = 0b10,
+                                     .track = track::kDiskPower,
+                                     .keys = {"lba", "op"}};
+  static constexpr EventDesc kDepth{.name = "sched.depth",
+                                    .category = Category::kScheduler,
+                                    .phase = Phase::kCounter,
+                                    .level = Level::kVerbose,
+                                    .track = track::kScheduler};
   Recorder rec(8);
-  rec.instant(Category::kPolicy, "free_ride", track::kPolicy, Seconds{1.5});
-  rec.span(Category::kDisk, "Active", track::kDiskPower, Seconds{0.0}, Seconds{2.5},
-           {telemetry::num_arg("lba", 42.0),
-            telemetry::str_arg("op", "read")});
-  rec.counter(Category::kScheduler, "sched.depth", track::kScheduler, Seconds{3.0},
-              7.0);
+  rec.instant(kFreeRide, Seconds{1.5});
+  rec.span(kActive, Seconds{0.0}, Seconds{2.5}, 42.0, "read");
+  rec.counter(kDepth, Seconds{3.0}, 7.0);
 
   MetricsRegistry metrics;
   metrics.add("disk.requests", 1.0);
@@ -176,6 +374,7 @@ TEST(Exporters, GoldenChromeTraceJson) {
   },
   "traceEvents": [
     {"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "flexfetch-sim"}},
+    {"name": "telemetry.dropped", "ph": "M", "pid": 1, "tid": 0, "args": {"dropped": 0}},
     {"name": "thread_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "sim.syscalls"}},
     {"name": "thread_sort_index", "ph": "M", "pid": 1, "tid": 0, "args": {"sort_index": 0}},
     {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1, "args": {"name": "disk.power"}},
@@ -238,6 +437,7 @@ TEST(Exporters, RealSimulationTraceIsWellFormed) {
   const auto trace = workloads::grep_trace();
   sim::SimConfig config;
   config.telemetry.enabled = true;
+  config.telemetry.ring_capacity = telemetry::kDefaultRingCapacity;
   policies::DiskOnlyPolicy policy;
   const auto r = sim::simulate(config, trace, policy);
   ASSERT_FALSE(r.trace_events.empty());
@@ -252,9 +452,11 @@ TEST(Exporters, RealSimulationTraceIsWellFormed) {
 }
 
 TEST(Exporters, TextTimelineOrdersByTime) {
+  static constexpr EventDesc kLater{.name = "later"};
+  static constexpr EventDesc kEarlier{.name = "earlier"};
   Recorder rec(8);
-  rec.instant(Category::kSim, "later", track::kSim, Seconds{2.0});
-  rec.instant(Category::kSim, "earlier", track::kSim, Seconds{1.0});
+  rec.instant(kLater, Seconds{2.0});
+  rec.instant(kEarlier, Seconds{1.0});
   const auto events = rec.events();
 
   std::ostringstream os;
@@ -275,6 +477,7 @@ TEST(Telemetry, DiskPowerSpansTileTheTimeline) {
   const auto trace = workloads::thunderbird_trace();
   sim::SimConfig config;
   config.telemetry.enabled = true;
+  config.telemetry.ring_capacity = telemetry::kDefaultRingCapacity;
   policies::DiskOnlyPolicy policy;
   const auto r = sim::simulate(config, trace, policy);
   EXPECT_EQ(r.trace_events_dropped, 0u);
@@ -299,8 +502,7 @@ TEST(Telemetry, DiskPowerSpansTileTheTimeline) {
 TEST(Telemetry, MetricsMirrorSimulatorStatistics) {
   const auto trace = workloads::grep_trace();
   sim::SimConfig config;
-  config.telemetry.enabled = true;
-  config.telemetry.ring_capacity = 0;  // metrics-only
+  config.telemetry.enabled = true;  // metrics-only: the default ring is 0
   policies::DiskOnlyPolicy policy;
   const auto r = sim::simulate(config, trace, policy);
 
@@ -311,10 +513,36 @@ TEST(Telemetry, MetricsMirrorSimulatorStatistics) {
                    static_cast<double>(r.cache_stats.hits));
   EXPECT_DOUBLE_EQ(r.metrics.value("disk.energy_j"), r.disk_energy().value());
   EXPECT_DOUBLE_EQ(r.metrics.value("sim.makespan_s"), r.makespan.value());
-  EXPECT_GT(r.metrics.value("telemetry.events_emitted"), 0.0);
-  // Every emitted event was dropped: that is what metrics-only means.
-  EXPECT_DOUBLE_EQ(r.metrics.value("telemetry.events_dropped"),
-                   r.metrics.value("telemetry.events_emitted"));
+  // Metrics-only means no event is admitted — or even constructed.
+  EXPECT_DOUBLE_EQ(r.metrics.value("telemetry.events_emitted"), 0.0);
+  EXPECT_DOUBLE_EQ(r.metrics.value("telemetry.dropped"), 0.0);
+  // The pre-aggregated histograms carry what events used to.
+  const Histogram* lat = r.metrics.find_histogram("hist.syscall_latency_s");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_GT(lat->count(), 0u);
+  const Histogram* svc = r.metrics.find_histogram("hist.disk_service_s");
+  ASSERT_NE(svc, nullptr);
+  EXPECT_EQ(svc->count(), static_cast<std::uint64_t>(r.disk_requests));
+}
+
+TEST(Telemetry, RingCaptureEventsMatchHistogramCounts) {
+  const auto trace = workloads::grep_trace();
+  sim::SimConfig config;
+  config.telemetry.enabled = true;
+  config.telemetry.ring_capacity = telemetry::kDefaultRingCapacity;
+  policies::DiskOnlyPolicy policy;
+  const auto r = sim::simulate(config, trace, policy);
+  ASSERT_EQ(r.trace_events_dropped, 0u);
+
+  // Full capture and pre-aggregation describe the same run: every disk
+  // service span in the ring has a sample in the service-time histogram.
+  std::uint64_t disk_spans = 0;
+  for (const auto& ev : r.trace_events) {
+    if (ev.track == track::kDiskIo && ev.phase == Phase::kSpan) ++disk_spans;
+  }
+  const Histogram* svc = r.metrics.find_histogram("hist.disk_service_s");
+  ASSERT_NE(svc, nullptr);
+  EXPECT_EQ(svc->count(), disk_spans);
 }
 
 TEST(Telemetry, FlexFetchPolicyEmitsStageAndDecisionEvents) {
@@ -323,6 +551,7 @@ TEST(Telemetry, FlexFetchPolicyEmitsStageAndDecisionEvents) {
                               {device::WnicParams::cisco_aironet350()});
   ASSERT_EQ(cells.size(), 1u);
   cells[0].config.telemetry.enabled = true;
+  cells[0].config.telemetry.ring_capacity = telemetry::kDefaultRingCapacity;
 
   const auto results = sim::run_sweep(cells, {.jobs = 1});
   const sim::SimResult& r = results[0];
@@ -338,6 +567,71 @@ TEST(Telemetry, FlexFetchPolicyEmitsStageAndDecisionEvents) {
   EXPECT_TRUE(saw_decision);
 }
 
+/// Key-level capture is a strict, deterministic subset of full capture:
+/// the same run at Level::kKey admits exactly the key-level events, in the
+/// same order, without perturbing the simulation.
+TEST(Telemetry, LeveledCaptureIsASubsetOfFullCapture) {
+  const auto scenario = workloads::scenario_mplayer(1);
+  auto run_at = [&](std::uint8_t level) {
+    auto cells = sim::make_grid({&scenario}, {"flexfetch"},
+                                {device::WnicParams::cisco_aironet350()});
+    cells[0].config.telemetry.enabled = true;
+    cells[0].config.telemetry.ring_capacity = telemetry::kDefaultRingCapacity;
+    cells[0].config.telemetry.set_level(level);
+    return sim::run_sweep(cells, {.jobs = 1})[0];
+  };
+  const auto full = run_at(telemetry::kLevelFull);
+  const auto key = run_at(static_cast<std::uint8_t>(Level::kKey));
+
+  ASSERT_FALSE(key.trace_events.empty());
+  EXPECT_LT(key.trace_events.size(), full.trace_events.size());
+  // Filtering the full capture down to key-level sites must reproduce the
+  // key run: same names, same order.
+  std::vector<std::string> full_key_names;
+  for (const auto& ev : full.trace_events) {
+    if (ev.category == Category::kPolicy || ev.category == Category::kFault) {
+      full_key_names.push_back(ev.name);
+    }
+  }
+  std::vector<std::string> key_names;
+  key_names.reserve(key.trace_events.size());
+  for (const auto& ev : key.trace_events) key_names.push_back(ev.name);
+  EXPECT_EQ(key_names, full_key_names);
+  // And the two runs simulated the identical world.
+  EXPECT_EQ(full.makespan, key.makespan);
+  EXPECT_EQ(full.total_energy(), key.total_energy());
+}
+
+/// Sampled capture stays bit-identical between serial and parallel sweeps:
+/// admission depends only on the per-cell emission sequence and seed.
+TEST(Telemetry, SampledCaptureIsIdenticalSerialVsParallel) {
+  const auto scenario = workloads::scenario_mplayer(1);
+  auto cells = sim::make_grid({&scenario}, {"flexfetch", "disk-only"},
+                              {device::WnicParams::cisco_aironet350()});
+  for (auto& cell : cells) {
+    cell.config.telemetry.enabled = true;
+    cell.config.telemetry.ring_capacity = telemetry::kDefaultRingCapacity;
+    cell.config.telemetry.sample_every = 3;
+    cell.config.telemetry.sample_seed = 11;
+  }
+
+  const auto serial = sim::run_sweep(cells, {.jobs = 1});
+  const auto parallel = sim::run_sweep(cells, {.jobs = 2});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(cells[i].policy);
+    const auto& s = serial[i].trace_events;
+    const auto& p = parallel[i].trace_events;
+    ASSERT_EQ(s.size(), p.size());
+    ASSERT_FALSE(s.empty());
+    for (std::size_t e = 0; e < s.size(); ++e) {
+      EXPECT_EQ(s[e].seq, p[e].seq);
+      EXPECT_STREQ(s[e].name, p[e].name);
+      EXPECT_EQ(s[e].start, p[e].start);
+    }
+  }
+}
+
 /// The acceptance contract of the whole subsystem: switching telemetry on
 /// (metrics-only, as sweeps do) must not perturb a single simulated number.
 TEST(Telemetry, SweepResultsBitIdenticalTelemetryOnVsOff) {
@@ -346,8 +640,7 @@ TEST(Telemetry, SweepResultsBitIdenticalTelemetryOnVsOff) {
                                   {device::WnicParams::cisco_aironet350()});
   auto cells_on = cells_off;
   for (auto& cell : cells_on) {
-    cell.config.telemetry.enabled = true;
-    cell.config.telemetry.ring_capacity = 0;
+    cell.config.telemetry.enabled = true;  // metrics-only by default
   }
 
   const auto off = sim::run_sweep(cells_off, {.jobs = 1});
