@@ -11,7 +11,9 @@
 // workers, verifies the parallel results are bit-identical to the serial
 // ones, and writes a machine-readable BENCH_sweep.json with per-cell
 // energy/time plus the wall-clock speedup — the perf trajectory record
-// tracked across PRs.
+// tracked across PRs. When only one worker is effective the baseline pass
+// would duplicate the measured pass bit-for-bit, so it is skipped and the
+// JSON carries `"serial_fallback": true` instead of a speedup.
 //
 // The parallel pass streams through run_sweep_streaming: each cell result
 // is checked against the serial baseline and folded into per-stratum
@@ -107,9 +109,13 @@ int run(int argc, char** argv) {
   flags.add("aggregate-out", &aggregate_out, "FILE");
   flags.parse(argc, argv);
   if (!policies_csv.empty()) policy_names = split_csv(policies_csv);
-  const bool run_serial_baseline = !no_serial;
   const sim::JobsResolution jobs_resolution = sim::resolve_jobs_detail(jobs);
   jobs = jobs_resolution.effective;
+  // With one effective worker the streaming pass below already runs the
+  // grid serially — a separate jobs=1 baseline would be a bit-identical
+  // duplicate of it, so skip the redundant pass and flag the fallback.
+  const bool serial_fallback = jobs <= 1;
+  const bool run_serial_baseline = !no_serial && !serial_fallback;
 
   const auto scenarios = workloads::all_scenarios(seed);
   bench::SweepSpec spec;
@@ -146,6 +152,12 @@ int run(int argc, char** argv) {
   sim::SweepRunInfo info;
   info.jobs = jobs;
   info.jobs_requested = jobs_resolution.requested;
+  info.serial_fallback = serial_fallback;
+  if (serial_fallback) {
+    std::printf("serial fallback: 1 effective worker, the single pass below "
+                "is its own jobs=1 baseline (no separate serial pass, no "
+                "speedup to measure)\n");
+  }
 
   std::vector<sim::SimResult> serial;
   if (run_serial_baseline) {

@@ -61,18 +61,25 @@ void ParsedFlags::add(std::string name, std::string* target,
                         .string_target = target});
 }
 
+void ParsedFlags::print_flag_list(std::FILE* to) const {
+  std::fprintf(to, "accepted flags:\n");
+  for (const Flag& f : flags_) {
+    if (f.value_name.empty()) {
+      std::fprintf(to, "  %s\n", f.name.c_str());
+    } else {
+      std::fprintf(to, "  %s %s   (also %s=%s)\n", f.name.c_str(),
+                   f.value_name.c_str(), f.name.c_str(),
+                   f.value_name.c_str());
+    }
+  }
+  std::fprintf(to, "  --help, -h\n");
+  std::fprintf(to, "  --benchmark_*   (passed through to google-benchmark)\n");
+}
+
 void ParsedFlags::usage_and_exit(const char* argv0,
                                  const char* offending) const {
   std::fprintf(stderr, "%s: unknown argument '%s'\n", argv0, offending);
-  std::fprintf(stderr, "usage: %s", argv0);
-  for (const Flag& f : flags_) {
-    if (f.value_name.empty()) {
-      std::fprintf(stderr, " [%s]", f.name.c_str());
-    } else {
-      std::fprintf(stderr, " [%s %s]", f.name.c_str(), f.value_name.c_str());
-    }
-  }
-  std::fprintf(stderr, " [--benchmark_*...]\n");
+  print_flag_list(stderr);
   std::exit(2);
 }
 
@@ -80,6 +87,11 @@ void ParsedFlags::parse(int& argc, char** argv) const {
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
+    if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      std::printf("usage: %s [flags]\n", argv[0]);
+      print_flag_list(stdout);
+      std::exit(0);
+    }
     const Flag* matched = nullptr;
     const char* inline_value = nullptr;
     for (const Flag& f : flags_) {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -64,7 +65,8 @@ void print_table_row(double axis_value, const std::vector<double>& cells);
 /// google-benchmark, and anything else prints a generated usage message and
 /// exits with status 2 — unknown flags are never silently ignored. Adding a
 /// new flag (e.g. `--hotpath-out`) is one `add` call; spelling variants
-/// (`--flag VALUE` and `--flag=VALUE`) and the usage line come for free.
+/// (`--flag VALUE` and `--flag=VALUE`), the per-flag usage listing that an
+/// unknown argument triggers, and `--help`/`-h` all come for free.
 class ParsedFlags {
  public:
   /// Bare boolean flag: `--name` sets *target to true.
@@ -89,6 +91,9 @@ class ParsedFlags {
     std::uint64_t* u64_target = nullptr;
     std::string* string_target = nullptr;
   };
+  /// One line per registered flag, plus --help and the --benchmark_*
+  /// pass-through.
+  void print_flag_list(std::FILE* to) const;
   [[noreturn]] void usage_and_exit(const char* argv0,
                                    const char* offending) const;
   std::vector<Flag> flags_;

@@ -6,6 +6,12 @@
 // which the device may time out into its low-power state) on a *copy* of
 // the live device model, so estimation and actual simulation share one
 // code path and the estimate reflects the device's current power state.
+//
+// When the WNIC is attached to a shared medium (src/medium/), its copies
+// keep the read-only contention view — airtime share and server admission
+// delay at the replayed instants — but drop the live commit port, so a
+// network estimate prices the congestion that currently exists without
+// ever occupying a server slot or committing airtime (see MediumHandle).
 #pragma once
 
 #include <functional>

@@ -1,4 +1,5 @@
 #include "device/wnic.hpp"
+#include <cstdio>
 
 #include <algorithm>
 
@@ -33,6 +34,22 @@ constexpr tele::EventDesc kDegraded{.name = "fault.wnic.degraded",
                                     .n_args = 1,
                                     .track = tele::track::kFault,
                                     .keys = {"factor"}};
+
+constexpr tele::EventDesc kShare{.name = "medium.share",
+                                 .category = tele::Category::kMedium,
+                                 .phase = tele::Phase::kInstant,
+                                 .level = tele::Level::kKey,
+                                 .n_args = 1,
+                                 .track = tele::track::kMedium,
+                                 .keys = {"share"}};
+
+constexpr tele::EventDesc kServerWait{.name = "server.queue_wait",
+                                      .category = tele::Category::kServer,
+                                      .phase = tele::Phase::kSpan,
+                                      .level = tele::Level::kKey,
+                                      .n_args = 1,
+                                      .track = tele::track::kServer,
+                                      .keys = {"wait_s"}};
 
 constexpr tele::EventDesc kSend{.name = "wnic.send",
                                 .category = tele::Category::kWnic,
@@ -186,6 +203,29 @@ BytesPerSecond Wnic::effective_bandwidth(Seconds t) {
       FF_EMIT_INSTANT(telem_.get(), kDegraded, t, factor);
     }
   }
+  if (medium_.view() != nullptr) {
+    // Airtime fair share composes multiplicatively with the client's own
+    // fault degradation. Guarded on != 1.0 so a lone client on a perfect
+    // link is bit-identical to no medium at all (counters and histograms
+    // included) — the N=1 degeneracy contract.
+    //
+    // The live card runs at the causal DCF share of the instant the
+    // transfer starts; a detached replica (estimator counterfactual:
+    // live() is null) prices the *expected* share instead — the decayed
+    // recent congestion — because the instantaneous picture at a replayed
+    // future instant is usually an empty channel even on a busy medium.
+    const double share = medium_.live() != nullptr
+                             ? medium_.view()->airtime_share(t)
+                             : medium_.view()->expected_share(t);
+    if (share != 1.0) {
+      bw *= share;
+      ++counters_.contended_transfers;
+      if (telem_) {
+        telem_->hist(telemetry::HistId::kMediumShare).record(share);
+      }
+      FF_EMIT_INSTANT(telem_.get(), kShare, t, share);
+    }
+  }
   return bw;
 }
 
@@ -204,7 +244,10 @@ ServiceResult Wnic::service(Seconds t, const DeviceRequest& req) {
   }
 
   // Single-packet requests are delivered within PSM at the next beacon
-  // ("switches back to CAM if more than one packet is ready").
+  // ("switches back to CAM if more than one packet is ready"). Beacon
+  // deliveries bypass the remote server's bulk-service queue — the AP has
+  // already buffered the packet — though the airtime share still applies
+  // through effective_bandwidth.
   const bool psm_deliverable = req.size <= params_.psm_packet_threshold;
   if (state_ == WnicState::kPsm && psm_deliverable) {
     ++counters_.psm_transfers;
@@ -234,6 +277,33 @@ ServiceResult Wnic::service(Seconds t, const DeviceRequest& req) {
   }
 
   make_cam();
+
+  // Bulk transfers occupy one of the remote server's finite service slots
+  // (medium/server.hpp): when every slot this client may use is busy, the
+  // card idles awake in CAM until the admission policy grants one.
+  const Seconds queued_at = now_;
+  if (medium_.view() != nullptr) {
+    const Seconds qdelay = medium_.view()->admission_delay(queued_at);
+    if (qdelay > Seconds{}) {
+      ++counters_.server_queue_waits;
+      counters_.server_queue_wait += qdelay;
+      meter_.add(EnergyCategory::kCamIdle, params_.cam_idle_power * qdelay);
+      if (telem_) {
+        telem_->hist(telemetry::HistId::kServerQueueDelay)
+            .record(qdelay.value());
+      }
+      FF_EMIT_SPAN(telem_.get(), kServerWait, queued_at, queued_at + qdelay,
+                   qdelay.value());
+      now_ += qdelay;
+    }
+    if (telem_) {
+      const std::size_t depth = medium_.view()->queue_depth(queued_at);
+      if (depth > 0) {
+        telem_->hist(telemetry::HistId::kServerQueueDepth)
+            .record(static_cast<double>(depth));
+      }
+    }
+  }
   const Seconds start = now_;
 
   // The transfer is a pipeline of RPCs against the remote server; each
@@ -254,6 +324,14 @@ ServiceResult Wnic::service(Seconds t, const DeviceRequest& req) {
   state_ = WnicState::kCam;
   idle_since_ = now_;
   busy_until_ = now_;
+
+  // Only the live card registers the occupied interval + server slot;
+  // estimator replicas hold a view-only handle (live() == nullptr), so
+  // hypothetical transfers are priced but never become visible to others.
+  if (medium_.live() != nullptr) {
+    medium_.live()->commit_transfer(queued_at, start, now_, req.size,
+                                    req.is_write);
+  }
 
   const Joules energy = meter_.total() - energy_before;
   if (telem_) {
@@ -278,25 +356,35 @@ ServiceResult Wnic::estimate(Seconds t, const DeviceRequest& req) const {
 
 Seconds Wnic::time_to_ready(Seconds t) const {
   const Seconds at = std::max(t, now_);
+  Seconds base = Seconds{};
   switch (state_) {
     case WnicState::kCam: {
       const Seconds deadline = idle_since_ + params_.psm_timeout;
-      if (at < deadline) return Seconds{};
+      if (at < deadline) break;
       const Seconds switch_end = deadline + params_.cam_to_psm_delay;
       const Seconds wait = switch_end > at ? switch_end - at : Seconds{};
-      return wait + params_.psm_to_cam_delay;
+      base = wait + params_.psm_to_cam_delay;
+      break;
     }
     case WnicState::kSwitchingToPsm: {
       const Seconds wait =
           transition_end_ > at ? transition_end_ - at : Seconds{};
-      return wait + params_.psm_to_cam_delay;
+      base = wait + params_.psm_to_cam_delay;
+      break;
     }
     case WnicState::kPsm:
-      return params_.psm_to_cam_delay;
+      base = params_.psm_to_cam_delay;
+      break;
     case WnicState::kSwitchingToCam:
-      return transition_end_ > at ? transition_end_ - at : Seconds{};
+      base = transition_end_ > at ? transition_end_ - at : Seconds{};
+      break;
   }
-  return Seconds{};
+  if (medium_.view() != nullptr) {
+    // A bulk transfer cannot start before the server admits it either;
+    // quote the admission delay at the instant the radio would be ready.
+    return base + medium_.view()->admission_delay(at + base);
+  }
+  return base;
 }
 
 void Wnic::reset_accounting() {

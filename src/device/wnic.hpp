@@ -17,6 +17,7 @@
 #include "device/request.hpp"
 #include "device/wnic_params.hpp"
 #include "faults/schedule.hpp"
+#include "medium/link.hpp"
 #include "telemetry/recorder.hpp"
 
 namespace flexfetch::device {
@@ -40,6 +41,9 @@ struct WnicCounters {
   std::uint64_t outage_stalls = 0;       ///< Requests stalled by an outage.
   std::uint64_t degraded_transfers = 0;  ///< Transfers at a degraded rate.
   Seconds outage_wait = Seconds{0.0};             ///< Total time waiting out outages.
+  std::uint64_t contended_transfers = 0;  ///< Ran below full airtime share.
+  std::uint64_t server_queue_waits = 0;   ///< Transfers that queued for a slot.
+  Seconds server_queue_wait = Seconds{0.0};  ///< Total slot-queueing time.
 };
 
 class Wnic {
@@ -66,9 +70,11 @@ class Wnic {
   /// ongoing outage.
   Wnic detached_copy() const { return *this; }
 
-  /// Delay until a request arriving at `t` could start transferring.
-  /// Power-state readiness only: injected link outages gate transfers, not
-  /// CAM entry, and are surfaced via ServiceResult::fault_delay instead.
+  /// Delay until a request arriving at `t` could start transferring:
+  /// power-state readiness plus, when attached to a shared medium, the
+  /// server admission delay quoted at the ready instant. Injected link
+  /// outages still gate transfers separately and are surfaced via
+  /// ServiceResult::fault_delay instead.
   Seconds time_to_ready(Seconds t) const;
 
   /// Attaches a fault schedule (owned by the caller, must outlive the
@@ -78,6 +84,13 @@ class Wnic {
   void set_fault_schedule(const faults::WnicFaultSchedule* schedule) {
     faults_ = schedule;
   }
+
+  /// Attaches this card to its port on a shared medium (owned by the
+  /// caller, must outlive the card and every copy). Bulk transfers then
+  /// run at the contended airtime share, wait for server admission, and
+  /// commit their occupied interval. Copies keep the read-only view (the
+  /// estimator prices contention) but never commit — see MediumHandle.
+  void attach_medium(medium::ClientLink* link) { medium_.attach(link); }
 
   WnicState state() const { return state_; }
   Seconds now() const { return now_; }
@@ -123,6 +136,8 @@ class Wnic {
   Seconds state_since_ = Seconds{0.0};  ///< Start of the current power-state span.
   /// Shared with copies (see detached_copy); null = no injected faults.
   const faults::WnicFaultSchedule* faults_ = nullptr;
+  /// Copies keep the view but lose the live link (see MediumHandle).
+  medium::MediumHandle medium_;
 };
 
 }  // namespace flexfetch::device

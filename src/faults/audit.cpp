@@ -205,4 +205,33 @@ void SimAudit::on_run_end(const device::Disk& disk, const device::Wnic& wnic,
   checks_ += 4;
 }
 
+void SimAudit::on_medium_step(Seconds t, const medium::SharedMedium& medium) {
+  // Airtime conservation: each active client holds quality_i / n_i of the
+  // channel where n_i counts the clients *it* sees active; with everyone
+  // active n_i = n, so the shares sum to at most 1. share_eps absorbs the
+  // float division only — the shares are exact small-integer rationals.
+  double share_sum = 0.0;
+  for (std::size_t i = 0; i < medium.client_count(); ++i) {
+    if (medium.client_active_at(i, t)) share_sum += medium.airtime_share(i, t);
+  }
+  if (share_sum > 1.0 + medium.params().share_eps) {
+    fail("medium airtime shares of active clients sum above 1");
+  }
+
+  const medium::ServerStats& ss = medium.server().stats();
+  if (ss.conservation_violations != 0) {
+    fail("server admission made a request wait past a usable free slot");
+  }
+  const double cap_horizon =
+      static_cast<double>(medium.server().params().capacity) *
+      medium.server().horizon().value();
+  if (ss.busy.value() > cap_horizon + config_.energy_eps) {
+    fail("server busy time exceeds capacity x horizon");
+  }
+  if (medium.stats().bytes != ss.served_bytes) {
+    fail("medium and server disagree on total bytes served");
+  }
+  checks_ += 4;
+}
+
 }  // namespace flexfetch::faults

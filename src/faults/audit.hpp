@@ -32,6 +32,7 @@
 #include "common/units.hpp"
 #include "device/disk.hpp"
 #include "device/wnic.hpp"
+#include "medium/medium.hpp"
 #include "os/vfs.hpp"
 #include "telemetry/event.hpp"
 #include "telemetry/recorder.hpp"
@@ -93,6 +94,12 @@ class SimAudit {
   void on_run_end(const device::Disk& disk, const device::Wnic& wnic,
                   std::span<const telemetry::TraceEvent> events,
                   std::uint64_t dropped);
+
+  /// Shared-medium invariants after one coordinator step at `t`: active
+  /// airtime shares sum to <= 1, the server never skipped a usable free
+  /// slot (work conservation), server busy time fits capacity x horizon,
+  /// and the medium and server agree on total bytes served.
+  void on_medium_step(Seconds t, const medium::SharedMedium& medium);
 
   /// Total individual invariant checks performed (tests assert > 0).
   std::uint64_t checks() const { return checks_; }

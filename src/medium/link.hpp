@@ -1,0 +1,103 @@
+// The device-facing view of a shared transmission medium.
+//
+// One ClientLink represents one client's association with the shared
+// 802.11 medium + remote server (see medium/medium.hpp). The Wnic holds it
+// through a MediumHandle and uses it two ways:
+//
+//  * const queries — airtime_share / admission_delay / queue_depth — price
+//    the *current* contention into a service computation. These never
+//    mutate medium state, so FlexFetch's counterfactual estimates (which
+//    replay on detached device copies) can consult them freely.
+//  * commit_transfer — the live transfer registers the interval it
+//    actually occupied, making it visible to every other client's future
+//    queries and occupying a server slot.
+//
+// Like RecorderHandle, a copied MediumHandle keeps the read-only view but
+// drops the live (mutating) link: estimator replicas and audit shadows see
+// real contention but can never perturb the shared world. Like the fault
+// schedule pointer, the view survives copies — an estimate priced against
+// an empty channel would defeat the whole layer.
+//
+// This header is deliberately free of any dependency beyond common/ so the
+// device layer can include it without linking the medium module.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace flexfetch::medium {
+
+/// One client's port onto the shared medium. Implemented by
+/// SharedMedium::Session; tests may stub it directly.
+class ClientLink {
+ public:
+  virtual ~ClientLink() = default;
+
+  /// Fraction of the nominal link rate this client gets for a transfer
+  /// starting at `t`: link_quality / (1 + other clients mid-transfer at t).
+  /// Exactly 1.0 when the client is alone on a perfect link — the N=1
+  /// degeneracy contract (multiplying a bandwidth by 1.0 is a bit-exact
+  /// no-op).
+  virtual double airtime_share(Seconds t) const = 0;
+
+  /// The share a transfer around `t` should be *priced* at, given the
+  /// congestion observed recently — not just the instantaneous picture.
+  /// Counterfactual estimates replay at instants when the medium usually
+  /// looks momentarily idle; a history-aware scheme prices the load it has
+  /// seen, so detached copies consult this instead of airtime_share. The
+  /// default is the instantaneous share; SharedMedium overrides it with a
+  /// decayed-airtime congestion estimate. Exactly airtime_share (1.0 on a
+  /// perfect solo link) when no other client has committed airtime — the
+  /// N=1 degeneracy contract again.
+  virtual double expected_share(Seconds t) const { return airtime_share(t); }
+
+  /// How long a request arriving at `t` waits for a server service slot
+  /// under the server's admission policy (0 when a slot this client may
+  /// use is free). Const: querying never reserves the slot.
+  virtual Seconds admission_delay(Seconds t) const = 0;
+
+  /// Server slots busy at `t` (strictly mid-service) — queue-depth
+  /// telemetry.
+  virtual std::size_t queue_depth(Seconds t) const = 0;
+
+  /// Registers the interval a live transfer actually occupied: it becomes
+  /// visible to other clients' airtime queries and occupies the server
+  /// slot the admission policy picked. `arrival` is when admission was
+  /// queried; `start` is arrival plus the quoted delay. Only the live
+  /// path calls this; detached copies cannot (MediumHandle::live() is
+  /// null there).
+  virtual void commit_transfer(Seconds arrival, Seconds start, Seconds end,
+                               Bytes size, bool is_write) = 0;
+};
+
+/// Non-owning attachment of a device to its ClientLink with estimator-safe
+/// copy semantics: copies keep the const view (contention stays priced)
+/// but lose the live link (hypothetical transfers are never committed).
+class MediumHandle {
+ public:
+  MediumHandle() = default;
+  MediumHandle(const MediumHandle& other) noexcept : view_(other.view_) {}
+  MediumHandle& operator=(const MediumHandle& other) noexcept {
+    if (this != &other) {
+      view_ = other.view_;
+      live_ = nullptr;
+    }
+    return *this;
+  }
+
+  void attach(ClientLink* link) {
+    view_ = link;
+    live_ = link;
+  }
+
+  const ClientLink* view() const { return view_; }
+  ClientLink* live() const { return live_; }
+  explicit operator bool() const { return view_ != nullptr; }
+
+ private:
+  const ClientLink* view_ = nullptr;
+  ClientLink* live_ = nullptr;
+};
+
+}  // namespace flexfetch::medium

@@ -1,0 +1,140 @@
+#include "medium/medium.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace flexfetch::medium {
+
+double BatteryParams::fraction_at(Seconds t, Joules device_energy) const {
+  FF_ASSERT(capacity > Joules{});
+  const Joules drained = base_drain * t + device_energy;
+  const double f = initial_fraction - drained / capacity;
+  return std::clamp(f, 0.0, 1.0);
+}
+
+SharedMedium::SharedMedium(MediumParams params, ServerParams server)
+    : params_(params), server_(std::move(server)) {
+  FF_REQUIRE(params_.congestion_tau > Seconds{0.0},
+             "medium: congestion_tau must be positive");
+}
+
+std::size_t SharedMedium::add_client(double link_quality,
+                                     BatteryParams battery) {
+  FF_REQUIRE(link_quality > 0.0 && link_quality <= 1.0,
+             "medium: link_quality must be in (0, 1]");
+  FF_REQUIRE(battery.capacity > Joules{},
+             "medium: battery capacity must be positive");
+  Client c;
+  c.link_quality = link_quality;
+  c.battery = battery;
+  c.reported_battery = std::clamp(battery.initial_fraction, 0.0, 1.0);
+  c.session = std::make_unique<Session>(this, clients_.size());
+  clients_.push_back(std::move(c));
+  return clients_.size() - 1;
+}
+
+ClientLink* SharedMedium::session(std::size_t client) {
+  FF_REQUIRE(client < clients_.size(), "medium: no such client");
+  return clients_[client].session.get();
+}
+
+double SharedMedium::link_quality(std::size_t client) const {
+  FF_ASSERT(client < clients_.size());
+  return clients_[client].link_quality;
+}
+
+bool SharedMedium::client_active_at(std::size_t client, Seconds t) const {
+  FF_ASSERT(client < clients_.size());
+  // Few in-flight intervals per client (the frontier prunes the rest);
+  // half-open [start, end) so back-to-back transfers never double-count.
+  for (const Interval& iv : clients_[client].transfers) {
+    if (iv.start <= t && t < iv.end) return true;
+  }
+  return false;
+}
+
+double SharedMedium::airtime_share(std::size_t client, Seconds t) const {
+  FF_ASSERT(client < clients_.size());
+  std::size_t active = 1;  // The querying client itself.
+  for (std::size_t j = 0; j < clients_.size(); ++j) {
+    if (j != client && client_active_at(j, t)) ++active;
+  }
+  return clients_[client].link_quality / static_cast<double>(active);
+}
+
+double SharedMedium::decayed_airtime_at(const Client& c, Seconds t) const {
+  const double tau = params_.congestion_tau.value();
+  FF_ASSERT(tau > 0.0);
+  // Querying at or before the last fold sees the undecayed value; the
+  // accumulator only ever moves forward (per-client commit ends are
+  // non-decreasing).
+  const double age = t > c.airtime_updated ? (t - c.airtime_updated).value() : 0.0;
+  return c.decayed_airtime.value() * std::exp(-age / tau);
+}
+
+double SharedMedium::activity_fraction(std::size_t client, Seconds t) const {
+  FF_ASSERT(client < clients_.size());
+  return std::min(1.0, decayed_airtime_at(clients_[client], t) /
+                           params_.congestion_tau.value());
+}
+
+double SharedMedium::expected_share(std::size_t client, Seconds t) const {
+  FF_ASSERT(client < clients_.size());
+  double load = 0.0;
+  for (std::size_t j = 0; j < clients_.size(); ++j) {
+    if (j != client) load += activity_fraction(j, t);
+  }
+  return clients_[client].link_quality / (1.0 + load);
+}
+
+void SharedMedium::commit(std::size_t client, Seconds arrival, Seconds start,
+                          Seconds end, Bytes size, bool is_write) {
+  FF_REQUIRE(client < clients_.size(), "medium: commit from unknown client");
+  FF_REQUIRE(end >= start && start >= arrival,
+             "medium: non-causal transfer interval");
+  Client& c = clients_[client];
+  // A client's transfers commit in its own time order, so appending keeps
+  // the interval list start-sorted for the frontier pruning below.
+  FF_ASSERT(c.transfers.empty() || c.transfers.back().start <= start);
+
+  const double share = airtime_share(client, start);
+  ++stats_.transfers;
+  if (share < c.link_quality) ++stats_.contended_transfers;
+  stats_.share_sum += share;
+  stats_.airtime += end - start;
+  stats_.bytes += size;
+
+  c.transfers.push_back(Interval{start, end});
+  // Fold this transfer into the congestion memory at its end instant.
+  c.decayed_airtime =
+      Seconds{decayed_airtime_at(c, end)} + (end - start);
+  c.airtime_updated = end;
+  server_.occupy(arrival, start, end, c.reported_battery, size);
+  (void)is_write;  // Up/down transfers contend identically in DCF.
+}
+
+void SharedMedium::set_frontier(Seconds t) {
+  if (t <= frontier_) return;
+  frontier_ = t;
+  for (Client& c : clients_) {
+    auto it = c.transfers.begin();
+    while (it != c.transfers.end() && it->end <= frontier_) ++it;
+    c.transfers.erase(c.transfers.begin(), it);
+  }
+}
+
+void SharedMedium::report_battery(std::size_t client, Seconds t,
+                                  Joules device_energy) {
+  FF_ASSERT(client < clients_.size());
+  Client& c = clients_[client];
+  c.reported_battery = c.battery.fraction_at(t, device_energy);
+}
+
+double SharedMedium::battery_fraction(std::size_t client) const {
+  FF_ASSERT(client < clients_.size());
+  return clients_[client].reported_battery;
+}
+
+}  // namespace flexfetch::medium

@@ -1,0 +1,194 @@
+// SharedMedium: N clients, one access point, one finite server.
+//
+// The paper evaluates each laptop against a private channel; this module
+// models the deployment setting instead. All clients associate with one
+// 802.11 AP and contend for its airtime; every bulk fetch additionally
+// occupies one of the remote server's finite service slots (server.hpp).
+//
+// Airtime model (quasi-static fair share): 802.11 DCF gives each of n
+// stations with queued traffic an equal share of transmission
+// opportunities, so a transfer that starts at time t while `n - 1` other
+// clients are mid-transfer runs at
+//
+//     effective = nominal * degradation(t) * link_quality / n
+//
+// where the degradation factor comes from the client's own FaultSchedule
+// (applied inside Wnic::effective_bandwidth — the medium composes with,
+// never replaces, the fault layer) and link_quality in (0, 1] models a
+// client's PHY rate penalty (distance, wall loss). The share is evaluated
+// once at transfer start — the same quantization the roaming bandwidth
+// schedule already uses for rate changes mid-transfer.
+//
+// What counts as "mid-transfer" is the set of *committed* intervals:
+// a live Wnic registers [start, completion) of every bulk transfer it
+// actually performed (ClientLink::commit_transfer). Commitment is causal —
+// a transfer only sees intervals committed before it in the global event
+// order — which keeps the coordinator's event loop deterministic and,
+// with one client, leaves every query at exactly 1.0 (the N=1 degeneracy
+// contract: a single client through a SharedMedium is bit-identical to no
+// medium at all).
+//
+// Battery reporting: the coordinator refreshes each client's reported
+// battery fraction after every simulation step (BOINC-style periodic
+// device status reports). The server's battery-aware admission policy
+// reads the *reported* value, so live service and counterfactual
+// estimates price the same admission state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "medium/link.hpp"
+#include "medium/server.hpp"
+
+namespace flexfetch::medium {
+
+/// Per-client battery model for admission reporting: a linear platform
+/// drain plus the metered device energy, against a fixed capacity.
+struct BatteryParams {
+  Joules capacity = Joules{180000.0};  ///< ~50 Wh laptop pack.
+  double initial_fraction = 1.0;
+  /// Platform draw outside the modeled disk + WNIC (CPU, display...).
+  Watts base_drain = Watts{10.0};
+
+  /// Reported fraction at `t` having metered `device_energy`, clamped to
+  /// [0, 1].
+  double fraction_at(Seconds t, Joules device_energy) const;
+};
+
+struct MediumParams {
+  /// Tolerance for the audit's share-sum invariant (pure float slack; the
+  /// shares themselves are exact rationals of small integers).
+  double share_eps = 1e-9;
+  /// Time constant of the congestion memory behind expected_share: each
+  /// client's committed airtime decays as exp(-age / tau), so a client
+  /// transferring continuously saturates at activity 1 and one that went
+  /// quiet fades out over a few tau. Matches the scale of a few FlexFetch
+  /// evaluation stages.
+  Seconds congestion_tau = Seconds{60.0};
+};
+
+struct MediumStats {
+  std::uint64_t transfers = 0;  ///< Committed bulk transfers.
+  std::uint64_t contended_transfers = 0;  ///< Started with another active.
+  Seconds airtime = Seconds{0.0};  ///< Total committed transfer time.
+  Bytes bytes = Bytes{0};
+  double share_sum = 0.0;  ///< Sum of at-start shares (for the mean).
+
+  double mean_share() const {
+    return transfers > 0 ? share_sum / static_cast<double>(transfers) : 1.0;
+  }
+};
+
+class SharedMedium {
+ public:
+  SharedMedium(MediumParams params, ServerParams server);
+
+  /// Registers a client; returns its index. link_quality must be in
+  /// (0, 1]. Clients must all be added before any transfer commits.
+  std::size_t add_client(double link_quality, BatteryParams battery);
+
+  /// The client's port for Wnic::attach_medium / Simulator::attach_medium.
+  /// Stable for the SharedMedium's lifetime.
+  ClientLink* session(std::size_t client);
+
+  std::size_t client_count() const { return clients_.size(); }
+  double link_quality(std::size_t client) const;
+
+  /// link_quality / (1 + other clients mid-transfer at t).
+  double airtime_share(std::size_t client, Seconds t) const;
+  /// Whether the client has a committed interval containing `t`.
+  bool client_active_at(std::size_t client, Seconds t) const;
+
+  /// History-aware pricing share: link_quality / (1 + expected load),
+  /// where the expected load sums the *other* clients' recent activity
+  /// fractions (decayed committed airtime / congestion_tau, each clamped
+  /// to 1). With no other committed airtime this is exactly
+  /// airtime_share on an idle medium — the N=1 degeneracy holds — and it
+  /// never mutates, so estimator replicas query it freely.
+  double expected_share(std::size_t client, Seconds t) const;
+  /// The decayed-airtime activity fraction of one client at `t`, in
+  /// [0, 1].
+  double activity_fraction(std::size_t client, Seconds t) const;
+
+  /// Registers a committed transfer and occupies its server slot.
+  void commit(std::size_t client, Seconds arrival, Seconds start, Seconds end,
+              Bytes size, bool is_write);
+
+  /// Advances the global frontier (the minimum next event time across all
+  /// coordinated simulators): intervals ending at or before it can never
+  /// be queried again and are pruned, bounding per-client interval memory
+  /// by the number of in-flight overlaps instead of the run length.
+  void set_frontier(Seconds t);
+
+  /// Refreshes the client's reported battery fraction (see BatteryParams).
+  void report_battery(std::size_t client, Seconds t, Joules device_energy);
+  double battery_fraction(std::size_t client) const;
+
+  const RemoteServer& server() const { return server_; }
+  const MediumParams& params() const { return params_; }
+  const MediumStats& stats() const { return stats_; }
+
+ private:
+  struct Interval {
+    Seconds start;
+    Seconds end;
+  };
+
+  /// The ClientLink implementation handed to device models: a thin
+  /// (medium, client index) pair.
+  class Session final : public ClientLink {
+   public:
+    Session(SharedMedium* medium, std::size_t client)
+        : medium_(medium), client_(client) {}
+
+    double airtime_share(Seconds t) const override {
+      return medium_->airtime_share(client_, t);
+    }
+    double expected_share(Seconds t) const override {
+      return medium_->expected_share(client_, t);
+    }
+    Seconds admission_delay(Seconds t) const override {
+      return medium_->server_.admission_delay(
+          t, medium_->battery_fraction(client_));
+    }
+    std::size_t queue_depth(Seconds t) const override {
+      return medium_->server_.busy_slots(t);
+    }
+    void commit_transfer(Seconds arrival, Seconds start, Seconds end,
+                         Bytes size, bool is_write) override {
+      medium_->commit(client_, arrival, start, end, size, is_write);
+    }
+
+   private:
+    SharedMedium* medium_;
+    std::size_t client_;
+  };
+
+  struct Client {
+    double link_quality = 1.0;
+    BatteryParams battery;
+    double reported_battery = 1.0;
+    /// Committed intervals not yet behind the frontier, in start order.
+    std::vector<Interval> transfers;
+    /// Congestion memory: committed transfer time decayed by
+    /// exp(-age / congestion_tau), last folded at `airtime_updated`.
+    /// Survives frontier pruning — history is the point.
+    Seconds decayed_airtime = Seconds{0.0};
+    Seconds airtime_updated = Seconds{0.0};
+    std::unique_ptr<Session> session;
+  };
+
+  double decayed_airtime_at(const Client& c, Seconds t) const;
+
+  MediumParams params_;
+  RemoteServer server_;
+  std::vector<Client> clients_;
+  MediumStats stats_;
+  Seconds frontier_ = Seconds{0.0};
+};
+
+}  // namespace flexfetch::medium

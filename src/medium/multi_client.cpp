@@ -1,0 +1,84 @@
+#include "medium/multi_client.hpp"
+
+#include <limits>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace flexfetch::medium {
+
+MultiClientSim::MultiClientSim(MultiClientConfig config,
+                               std::vector<ClientSpec> clients)
+    : config_(std::move(config)), clients_(std::move(clients)) {
+  FF_REQUIRE(!clients_.empty(), "multi-client: no clients");
+  for (const ClientSpec& c : clients_) {
+    FF_REQUIRE(c.policy != nullptr,
+               "multi-client: client '" + c.name + "' has no policy");
+  }
+}
+
+MultiClientResult MultiClientSim::run() {
+  FF_REQUIRE(!ran_, "multi-client: run() called twice");
+  ran_ = true;
+
+  SharedMedium medium(config_.medium, config_.server);
+  for (const ClientSpec& c : clients_) {
+    medium.add_client(c.link_quality, c.battery);
+  }
+
+  std::vector<std::unique_ptr<sim::Simulator>> sims;
+  sims.reserve(clients_.size());
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    ClientSpec& c = clients_[i];
+    sims.push_back(std::make_unique<sim::Simulator>(
+        c.config, std::move(c.programs), *c.policy));
+    sims.back()->attach_medium(medium.session(i));
+    sims.back()->start();
+  }
+
+  std::optional<faults::SimAudit> audit;
+  if (config_.audit.enabled) audit.emplace(config_.audit);
+
+  // Global event loop: always advance the simulator holding the earliest
+  // pending event; the strict < keeps ties on the lowest client index, so
+  // the interleaving is a deterministic function of the inputs.
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  for (;;) {
+    std::size_t best = kNone;
+    Seconds best_t = Seconds{0.0};
+    for (std::size_t i = 0; i < sims.size(); ++i) {
+      if (sims[i]->done()) continue;
+      const Seconds t = sims[i]->next_event_time();
+      if (best == kNone || t < best_t) {
+        best = i;
+        best_t = t;
+      }
+    }
+    if (best == kNone) break;
+
+    // No simulator can produce an event before best_t anymore, so
+    // intervals ending at or before it are dead — prune them.
+    medium.set_frontier(best_t);
+    sims[best]->step();
+    // BOINC-style status report: refresh the battery fraction the server's
+    // admission policy sees, from the client's metered device energy.
+    medium.report_battery(best, sims[best]->now(),
+                          sims[best]->device_energy());
+    if (audit) audit->on_medium_step(sims[best]->now(), medium);
+  }
+
+  MultiClientResult out;
+  out.clients.reserve(sims.size());
+  for (auto& s : sims) out.clients.push_back(s->finish());
+  out.battery_final.reserve(sims.size());
+  for (std::size_t i = 0; i < sims.size(); ++i) {
+    out.battery_final.push_back(medium.battery_fraction(i));
+  }
+  out.medium = medium.stats();
+  out.server = medium.server().stats();
+  return out;
+}
+
+}  // namespace flexfetch::medium

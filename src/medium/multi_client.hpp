@@ -1,0 +1,79 @@
+// MultiClientSim: N per-client simulators over one shared medium.
+//
+// The paper evaluates one laptop at a time; this coordinator runs N
+// complete Simulator instances — each with its own traces, devices, VFS
+// and policy — against one SharedMedium (one AP, one finite server). It
+// advances them on a single global event loop: at every iteration the
+// simulator with the earliest pending event (ties broken by client index)
+// processes exactly one event, then reports its battery state to the
+// medium. Because commitment of transfer intervals follows this global
+// order, every client prices the contention that causally precedes it and
+// the whole run is a deterministic function of the configs and seeds.
+//
+// Degeneracy contract: with one client the shared medium is invisible
+// (share == 1.0, empty server queue), so MultiClientSim{1 client}.run()
+// returns a SimResult bit-identical — energy, makespan, metrics — to
+// running that Simulator standalone. The event interleaving itself is
+// exact by construction: Simulator::run() is defined as start(); while
+// (step()) {}; finish(), which is precisely what the coordinator executes
+// for a lone client.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "faults/audit.hpp"
+#include "medium/medium.hpp"
+#include "sim/policy.hpp"
+#include "sim/results.hpp"
+#include "sim/simulator.hpp"
+
+namespace flexfetch::medium {
+
+/// One participating client: a full single-laptop simulation plus its
+/// relationship to the shared medium.
+struct ClientSpec {
+  std::string name;
+  sim::SimConfig config;
+  std::vector<sim::ProgramSpec> programs;
+  /// Owned by the caller; must outlive run() (same contract as
+  /// sim::Simulator). Each client needs its own policy instance — policies
+  /// carry per-run state.
+  sim::Policy* policy = nullptr;
+  /// PHY rate penalty in (0, 1] — see SharedMedium.
+  double link_quality = 1.0;
+  BatteryParams battery;
+};
+
+struct MultiClientConfig {
+  MediumParams medium;
+  ServerParams server;
+  /// Coordinator-level audit (medium/server invariants after every step).
+  /// Defaults to the FLEXFETCH_AUDIT build option, like SimConfig::audit.
+  faults::AuditConfig audit;
+};
+
+struct MultiClientResult {
+  /// Per-client results, in ClientSpec order.
+  std::vector<sim::SimResult> clients;
+  MediumStats medium;
+  ServerStats server;
+  /// Final reported battery fraction per client.
+  std::vector<double> battery_final;
+};
+
+class MultiClientSim {
+ public:
+  MultiClientSim(MultiClientConfig config, std::vector<ClientSpec> clients);
+
+  /// Runs every client to completion over the shared medium. Call once.
+  MultiClientResult run();
+
+ private:
+  MultiClientConfig config_;
+  std::vector<ClientSpec> clients_;
+  bool ran_ = false;
+};
+
+}  // namespace flexfetch::medium

@@ -1,0 +1,143 @@
+#include "medium/server.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace flexfetch::medium {
+
+namespace {
+
+/// Earliest-free slot within [first, count), lowest index on ties.
+std::size_t earliest_free(std::span<const Seconds> free_at, std::size_t first) {
+  FF_ASSERT(first < free_at.size());
+  std::size_t best = first;
+  for (std::size_t s = first + 1; s < free_at.size(); ++s) {
+    if (free_at[s] < free_at[best]) best = s;
+  }
+  return best;
+}
+
+class FifoAdmission final : public AdmissionPolicy {
+ public:
+  const char* name() const override { return "fifo"; }
+  std::size_t pick_slot(std::span<const Seconds> slot_free_at,
+                        double /*battery_fraction*/) const override {
+    return earliest_free(slot_free_at, 0);
+  }
+  bool may_use(std::size_t /*slot*/,
+               double /*battery_fraction*/) const override {
+    return true;
+  }
+};
+
+class BatteryAwareAdmission final : public AdmissionPolicy {
+ public:
+  BatteryAwareAdmission(std::size_t reserved, double threshold)
+      : reserved_(reserved), threshold_(threshold) {}
+
+  const char* name() const override { return "battery"; }
+  std::size_t pick_slot(std::span<const Seconds> slot_free_at,
+                        double battery_fraction) const override {
+    // Slots [0, reserved_) are the low-battery trunk; everyone else is
+    // admitted only to [reserved_, capacity).
+    return earliest_free(slot_free_at,
+                         battery_fraction < threshold_ ? 0 : reserved_);
+  }
+  bool may_use(std::size_t slot, double battery_fraction) const override {
+    return battery_fraction < threshold_ || slot >= reserved_;
+  }
+
+ private:
+  std::size_t reserved_;
+  double threshold_;
+};
+
+}  // namespace
+
+void ServerParams::validate() const {
+  FF_REQUIRE(capacity >= 1, "server: capacity must be >= 1");
+  FF_REQUIRE(reserved_slots >= 0, "server: negative slot reservation");
+  FF_REQUIRE(reserved_slots < capacity,
+             "server: reservation must leave an unreserved slot");
+  FF_REQUIRE(low_battery_threshold >= 0.0 && low_battery_threshold <= 1.0,
+             "server: low_battery_threshold outside [0, 1]");
+  make_admission_policy(*this);  // Throws on an unknown name.
+}
+
+std::unique_ptr<AdmissionPolicy> make_admission_policy(
+    const ServerParams& params) {
+  if (params.admission == "fifo") {
+    return std::make_unique<FifoAdmission>();
+  }
+  if (params.admission == "battery") {
+    return std::make_unique<BatteryAwareAdmission>(
+        static_cast<std::size_t>(params.reserved_slots),
+        params.low_battery_threshold);
+  }
+  throw ConfigError("unknown admission policy: " + params.admission);
+}
+
+RemoteServer::RemoteServer(ServerParams params)
+    : params_(std::move(params)),
+      policy_(make_admission_policy(params_)),
+      free_at_(static_cast<std::size_t>(params_.capacity), Seconds{0.0}) {
+  params_.validate();
+}
+
+Seconds RemoteServer::admission_delay(Seconds t,
+                                      double battery_fraction) const {
+  const std::size_t slot = policy_->pick_slot(free_at_, battery_fraction);
+  return free_at_[slot] > t ? free_at_[slot] - t : Seconds{};
+}
+
+std::size_t RemoteServer::busy_slots(Seconds t) const {
+  std::size_t busy = 0;
+  for (const Seconds f : free_at_) {
+    if (f > t) ++busy;
+  }
+  return busy;
+}
+
+void RemoteServer::occupy(Seconds arrival, Seconds start, Seconds end,
+                          double battery_fraction, Bytes size) {
+  FF_REQUIRE(end >= start && start >= arrival, "server: non-causal service");
+  const std::size_t slot = policy_->pick_slot(free_at_, battery_fraction);
+  // `start` was quoted as arrival + admission_delay against this same slot
+  // state, so the slot must be free by then (tolerance only for the
+  // arrival + (free_at - arrival) float round-trip).
+  const Seconds slack = Seconds{1e-9} * std::max(1.0, end.value());
+  FF_REQUIRE(free_at_[slot] <= start + slack,
+             "server: transfer committed into a busy slot");
+
+  ++stats_.requests;
+  if (start > arrival) {
+    ++stats_.queue_waits;
+    stats_.queue_wait += start - arrival;
+    // Classify the wait: a free slot this client may use is a
+    // work-conservation bug; only-reserved free slots are the battery
+    // policy doing its job; no free slot at all is honest queueing.
+    bool allowed_free = false;
+    bool reserved_free = false;
+    for (std::size_t s = 0; s < free_at_.size(); ++s) {
+      if (free_at_[s] > arrival) continue;
+      (policy_->may_use(s, battery_fraction) ? allowed_free : reserved_free) =
+          true;
+    }
+    if (allowed_free) {
+      ++stats_.conservation_violations;
+    } else if (reserved_free) {
+      ++stats_.reserved_deferrals;
+    }
+  }
+  stats_.max_depth =
+      std::max(stats_.max_depth,
+               static_cast<std::uint64_t>(busy_slots(start)) + 1);
+  stats_.busy += end - start;
+  stats_.served_bytes += size;
+  free_at_[slot] = end;
+  horizon_ = std::max(horizon_, end);
+}
+
+}  // namespace flexfetch::medium

@@ -1,0 +1,129 @@
+// Finite-capacity remote server with pluggable admission scheduling.
+//
+// The paper's server is an infinite sink: every fetch is serviced the
+// moment the WNIC asks. A deployed hoarding server is not — it has a
+// finite number of concurrent service streams, and under N-client load a
+// fetch waits for a slot before its first RPC completes. RemoteServer
+// models that as a fixed set of slots, each with a free-at time; the
+// admission policy decides which slot a request must use, so the wait is
+//
+//     max(0, free_at[picked slot] - arrival)
+//
+// and the whole model stays a deterministic pure function of the request
+// sequence (no RNG, no host time).
+//
+// Two admission policies ship (the pluggable interface takes more):
+//
+//  * fifo — every request takes the earliest-free slot; waits happen only
+//    when all slots are busy (work conservation).
+//  * battery — SEAS-style energy-aware admission (the BOINC-MGE
+//    mechanism: the scheduler orders service by the battery state clients
+//    report): `reserved_slots` slots are trunk-reserved for clients that
+//    report a battery fraction below `low_battery_threshold`. A
+//    low-battery client may use any slot; everyone else queues for the
+//    unreserved ones. Under load the low-battery clients therefore wait
+//    less, keep their radios in high-power receive for less time, and
+//    spend measurably less energy than under fifo.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace flexfetch::medium {
+
+struct ServerParams {
+  /// Concurrent service streams the server sustains.
+  int capacity = 4;
+  /// Slots only low-battery clients may occupy (battery admission; fifo
+  /// ignores the reservation). Must leave at least one unreserved slot.
+  int reserved_slots = 1;
+  /// Reported battery fraction below which a client counts as low-battery.
+  double low_battery_threshold = 0.30;
+  /// Admission policy factory name: "fifo" or "battery".
+  std::string admission = "fifo";
+
+  /// Throws ConfigError on nonsense (capacity < 1, reservation eating
+  /// every slot, threshold outside [0, 1], unknown policy name).
+  void validate() const;
+};
+
+/// Server-side decision interface: given every slot's free-at time and the
+/// requesting client's reported battery fraction, pick the slot this
+/// request must use and say which slots the client is allowed to occupy.
+/// Implementations must be deterministic pure functions of their inputs.
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+  virtual const char* name() const = 0;
+  /// Slot this request is assigned (ties break toward the lowest index so
+  /// the choice is deterministic).
+  virtual std::size_t pick_slot(std::span<const Seconds> slot_free_at,
+                                double battery_fraction) const = 0;
+  /// Whether this client may occupy `slot` at all — the audit uses it to
+  /// tell a work-conservation violation from an intentional reservation
+  /// deferral.
+  virtual bool may_use(std::size_t slot, double battery_fraction) const = 0;
+};
+
+/// Builds the policy `params.admission` names. Throws ConfigError for
+/// unknown names.
+std::unique_ptr<AdmissionPolicy> make_admission_policy(
+    const ServerParams& params);
+
+struct ServerStats {
+  std::uint64_t requests = 0;     ///< Transfers granted a slot.
+  std::uint64_t queue_waits = 0;  ///< Requests that waited for their slot.
+  Seconds queue_wait = Seconds{0.0};  ///< Total slot-wait time imposed.
+  Bytes served_bytes = Bytes{0};
+  Seconds busy = Seconds{0.0};  ///< Total slot-seconds of service granted.
+  std::uint64_t max_depth = 0;  ///< Peak concurrently busy slots.
+  /// Waits imposed while a slot the client may NOT use sat free — the
+  /// intentional cost of a battery reservation, not a scheduling bug.
+  std::uint64_t reserved_deferrals = 0;
+  /// Waits imposed while a slot the client MAY use sat free. Always a
+  /// bug; SimAudit fails the run if this ever becomes non-zero.
+  std::uint64_t conservation_violations = 0;
+};
+
+class RemoteServer {
+ public:
+  explicit RemoteServer(ServerParams params);
+
+  const ServerParams& params() const { return params_; }
+  const AdmissionPolicy& admission() const { return *policy_; }
+  const ServerStats& stats() const { return stats_; }
+
+  /// Wait a request arriving at `t` with this battery report would incur.
+  /// Const: the slot is not reserved until occupy().
+  Seconds admission_delay(Seconds t, double battery_fraction) const;
+
+  /// Slots strictly mid-service at `t`.
+  std::size_t busy_slots(Seconds t) const;
+
+  /// Commits a granted transfer: the request arrived at `arrival`, began
+  /// service at `start` (arrival plus the admission delay quoted for it)
+  /// and holds its slot until `end`. Re-derives the slot from the same
+  /// state admission_delay saw — queries and commits of one client are
+  /// adjacent in the deterministic event loop, so the choice matches.
+  void occupy(Seconds arrival, Seconds start, Seconds end,
+              double battery_fraction, Bytes size);
+
+  /// Latest end of any granted service — the work-conservation horizon
+  /// (total busy slot-seconds can never exceed capacity * horizon).
+  Seconds horizon() const { return horizon_; }
+
+ private:
+  ServerParams params_;
+  std::unique_ptr<AdmissionPolicy> policy_;
+  std::vector<Seconds> free_at_;
+  ServerStats stats_;
+  Seconds horizon_ = Seconds{0.0};
+};
+
+}  // namespace flexfetch::medium

@@ -123,6 +123,20 @@ Simulator::Event Simulator::pop_event() {
 }
 
 SimResult Simulator::run() {
+  start();
+  while (step()) {
+  }
+  return finish();
+}
+
+void Simulator::attach_medium(medium::ClientLink* link) {
+  FF_REQUIRE(!started_, "simulator: attach_medium after start");
+  wnic_.attach_medium(link);
+}
+
+void Simulator::start() {
+  FF_REQUIRE(!started_, "simulator: start called twice");
+  started_ = true;
   result_ = SimResult{};
   result_.policy = policy_.name();
 
@@ -152,26 +166,38 @@ SimResult Simulator::run() {
   }
 
   policy_.begin(ctx_);
+}
 
-  while (!queue_.empty()) {
-    const Event ev = pop_event();
-    ctx_.set_now(ev.time);
-    if (ev.kind == EventKind::kSyscall) {
-      handle_syscall(ev);
-    } else if (ev.kind == EventKind::kFlusher && active_programs_ > 0) {
-      run_flusher(ev.time);
-      schedule(vfs_.writeback().next_wakeup(ev.time), EventKind::kFlusher, 0);
-    } else if (ev.kind == EventKind::kSync &&
-               (active_programs_ > 0 ||
-                (sync_ && sync_->pending_upload() > Bytes{}))) {
-      run_sync(ev.time);
-      if (active_programs_ > 0 || sync_->pending_upload() > Bytes{}) {
-        schedule(sync_->next_wakeup(ev.time), EventKind::kSync, 0);
-      }
+Seconds Simulator::next_event_time() const {
+  FF_ASSERT(!queue_.empty());
+  // Flat binary min-heap on (time, seq): the root is the front.
+  return queue_.front().time;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  const Event ev = pop_event();
+  ctx_.set_now(ev.time);
+  if (ev.kind == EventKind::kSyscall) {
+    handle_syscall(ev);
+  } else if (ev.kind == EventKind::kFlusher && active_programs_ > 0) {
+    run_flusher(ev.time);
+    schedule(vfs_.writeback().next_wakeup(ev.time), EventKind::kFlusher, 0);
+  } else if (ev.kind == EventKind::kSync &&
+             (active_programs_ > 0 ||
+              (sync_ && sync_->pending_upload() > Bytes{}))) {
+    run_sync(ev.time);
+    if (active_programs_ > 0 || sync_->pending_upload() > Bytes{}) {
+      schedule(sync_->next_wakeup(ev.time), EventKind::kSync, 0);
     }
-    if (audit_) audit_->on_event(ev.time, disk_, wnic_, vfs_);
   }
+  if (audit_) audit_->on_event(ev.time, disk_, wnic_, vfs_);
+  return true;
+}
 
+SimResult Simulator::finish() {
+  FF_REQUIRE(started_ && queue_.empty(),
+             "simulator: finish before events drained");
   policy_.end(ctx_);
 
   // Account trailing idle/standby energy up to the end of the run so every
@@ -478,6 +504,12 @@ void Simulator::populate_metrics() {
   m.add("wnic.degraded_transfers",
         num(result_.wnic_counters.degraded_transfers));
   m.set("wnic.outage_wait_s", result_.wnic_counters.outage_wait.value());
+  m.add("wnic.contended_transfers",
+        num(result_.wnic_counters.contended_transfers));
+  m.add("wnic.server_queue_waits",
+        num(result_.wnic_counters.server_queue_waits));
+  m.set("wnic.server_queue_wait_s",
+        result_.wnic_counters.server_queue_wait.value());
 
   m.add("cache.lookups", num(result_.cache_stats.lookups));
   m.add("cache.hits", num(result_.cache_stats.hits));

@@ -20,6 +20,7 @@
 #include "faults/audit.hpp"
 #include "faults/schedule.hpp"
 #include "hoard/sync.hpp"
+#include "medium/link.hpp"
 #include "os/file_layout.hpp"
 #include "os/io_scheduler.hpp"
 #include "os/process.hpp"
@@ -93,7 +94,40 @@ class Simulator {
   Simulator(SimConfig config, std::vector<ProgramSpec> programs, Policy& policy);
 
   /// Runs the whole simulation and returns the aggregate result.
+  /// Equivalent to start(); while (step()) {}; finish().
   SimResult run();
+
+  // Steppable interface — what MultiClientSim (medium/multi_client.hpp)
+  // drives to interleave N simulators over shared resources on one global
+  // event loop. The decomposition is exact: run() is defined in terms of
+  // it, so stepping a lone simulator to completion is bit-identical to
+  // run().
+
+  /// Connects this simulator's WNIC to a shared medium (see
+  /// medium/link.hpp). Must be called before start(); the link must
+  /// outlive the simulation.
+  void attach_medium(medium::ClientLink* link);
+
+  /// Schedules the initial events and opens the policy. Call once.
+  void start();
+  /// Processes the single earliest pending event. Returns false (doing
+  /// nothing) once no events remain.
+  bool step();
+  /// True once every pending event has been processed.
+  bool done() const { return queue_.empty(); }
+  /// Time of the earliest pending event. Only valid while !done().
+  Seconds next_event_time() const;
+  /// Closes the policy, settles trailing idle energy and returns the
+  /// result. Call once, after done().
+  SimResult finish();
+
+  /// Simulation clock: the time of the last processed event.
+  Seconds now() const { return ctx_.now(); }
+  /// Total metered device energy so far — the coordinator's input to
+  /// battery reporting.
+  Joules device_energy() const {
+    return disk_.meter().total() + wnic_.meter().total();
+  }
 
  private:
   struct Program {
@@ -168,6 +202,7 @@ class Simulator {
   std::vector<Event> queue_;
   std::uint64_t next_seq_ = 0;
   std::size_t active_programs_ = 0;
+  bool started_ = false;
   SimResult result_;
 
   // Scratch buffers reused across events so the steady-state event loop

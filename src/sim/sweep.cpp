@@ -245,6 +245,8 @@ void write_sweep_json(std::ostream& os, const std::vector<SweepCell>& cells,
   os << "  \"wall_seconds\": " << info.wall_seconds << ",\n";
   os << "  \"serial_wall_seconds\": " << info.serial_wall_seconds << ",\n";
   os << "  \"speedup\": " << info.speedup() << ",\n";
+  os << "  \"serial_fallback\": " << (info.serial_fallback ? "true" : "false")
+     << ",\n";
   os << "  \"cells\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const SweepCell& c = cells[i];
@@ -290,11 +292,16 @@ void write_stat(std::ostream& os, const char* key, const RunningStat& s) {
      << ", \"max\": " << s.max() << "}";
 }
 
-/// Upper edge of the first bucket whose cumulative count reaches q*count —
-/// a conservative (over-estimating by at most one power of two) quantile.
-double bucket_quantile(const telemetry::Histogram& h, double q) {
-  const auto target = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(h.count())));
+}  // namespace
+
+double histogram_quantile(const telemetry::Histogram& h, double q) {
+  if (h.empty()) return 0.0;  // No samples — no quantiles to report.
+  // Clamp the rank to [1, count]: q <= 0 lands on the first populated
+  // bucket rather than tripping the `seen >= 0` degenerate match at
+  // bucket 0, and q >= 1 is the max-populated bucket.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(h.count()))));
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < telemetry::Histogram::kBuckets; ++b) {
     seen += h.buckets()[b];
@@ -302,8 +309,6 @@ double bucket_quantile(const telemetry::Histogram& h, double q) {
   }
   return h.max();
 }
-
-}  // namespace
 
 void write_aggregate_json(std::ostream& os, const SweepAggregator& agg,
                           const SweepRunInfo& info) {
@@ -315,6 +320,8 @@ void write_aggregate_json(std::ostream& os, const SweepAggregator& agg,
   os << "  \"jobs_requested\": " << info.jobs_requested << ",\n";
   os << "  \"hardware_concurrency\": " << hw << ",\n";
   os << "  \"wall_seconds\": " << info.wall_seconds << ",\n";
+  os << "  \"serial_fallback\": " << (info.serial_fallback ? "true" : "false")
+     << ",\n";
   os << "  \"cells\": " << agg.cells_seen() << ",\n";
   os << "  \"strata\": [\n";
   std::size_t i = 0;
@@ -352,8 +359,8 @@ void write_aggregate_json(std::ostream& os, const SweepAggregator& agg,
         write_json_string(os, name);
         os << ": {\"count\": " << h.count() << ", \"mean\": " << h.mean()
            << ", \"min\": " << h.min() << ", \"max\": " << h.max()
-           << ", \"p50\": " << bucket_quantile(h, 0.50)
-           << ", \"p99\": " << bucket_quantile(h, 0.99) << "}";
+           << ", \"p50\": " << histogram_quantile(h, 0.50)
+           << ", \"p99\": " << histogram_quantile(h, 0.99) << "}";
       }
       os << "}";
     }

@@ -151,6 +151,12 @@ struct StratumAggregate {
   void add(const SimResult& result);
 };
 
+/// Upper edge of the first histogram bucket whose cumulative count reaches
+/// q * count — a conservative (over-estimating by at most one power of
+/// two) quantile. q <= 0 returns the first populated bucket's edge; an
+/// empty histogram has no quantiles and returns 0.0.
+double histogram_quantile(const telemetry::Histogram& h, double q);
+
 /// Folds streamed cell results into per-stratum aggregates. Feed it from
 /// a CellSink: strata keys are "scenario/policy", kept sorted, and since
 /// the sink runs in grid order the aggregate is deterministic and
@@ -181,6 +187,10 @@ struct SweepRunInfo {
   /// Wall-clock of a jobs=1 reference run of the same grid, if one was
   /// taken (<= 0 means not measured).
   double serial_wall_seconds = 0.0;
+  /// The run already was serial (effective jobs == 1), so no separate
+  /// jobs=1 baseline pass was taken — the single pass is its own
+  /// baseline and no speedup is measurable.
+  bool serial_fallback = false;
 
   double speedup() const {
     return (serial_wall_seconds > 0.0 && wall_seconds > 0.0)

@@ -12,6 +12,8 @@ const char* to_string(Category c) {
     case Category::kScheduler: return "scheduler";
     case Category::kPolicy: return "policy";
     case Category::kFault: return "fault";
+    case Category::kMedium: return "medium";
+    case Category::kServer: return "server";
   }
   return "?";
 }
@@ -27,6 +29,8 @@ const char* track_name(std::uint32_t track) {
     case track::kScheduler: return "scheduler";
     case track::kPolicy: return "policy";
     case track::kFault: return "faults";
+    case track::kMedium: return "medium";
+    case track::kServer: return "server";
   }
   return "?";
 }

@@ -41,9 +41,11 @@ enum class Category : std::uint8_t {
   kScheduler,  ///< C-SCAN elevator.
   kPolicy,     ///< Data-source policy (FlexFetch decisions, audits...).
   kFault,      ///< Injected faults (outages, stalls) and fault reactions.
+  kMedium,     ///< Shared 802.11 medium (airtime contention).
+  kServer,     ///< Remote server slots / admission queueing.
 };
 
-inline constexpr std::size_t kCategoryCount = 8;
+inline constexpr std::size_t kCategoryCount = 10;
 
 const char* to_string(Category c);
 
@@ -77,7 +79,9 @@ inline constexpr std::uint32_t kWriteback = 5;
 inline constexpr std::uint32_t kScheduler = 6;
 inline constexpr std::uint32_t kPolicy = 7;
 inline constexpr std::uint32_t kFault = 8;
-inline constexpr std::uint32_t kCount = 9;
+inline constexpr std::uint32_t kMedium = 9;
+inline constexpr std::uint32_t kServer = 10;
+inline constexpr std::uint32_t kCount = 11;
 }  // namespace track
 
 const char* track_name(std::uint32_t track);

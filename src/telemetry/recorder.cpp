@@ -28,6 +28,9 @@ const char* hist_name(HistId id) {
     case HistId::kDiskBytes: return "hist.disk_request_bytes";
     case HistId::kWnicBytes: return "hist.wnic_request_bytes";
     case HistId::kSchedDepth: return "hist.sched_depth";
+    case HistId::kMediumShare: return "hist.medium_share";
+    case HistId::kServerQueueDelay: return "hist.server_queue_wait_s";
+    case HistId::kServerQueueDepth: return "hist.server_queue_depth";
     case HistId::kCount: break;
   }
   return "?";

@@ -47,6 +47,9 @@ enum class HistId : std::uint8_t {
   kDiskBytes,       ///< Per-request disk transfer size (bytes).
   kWnicBytes,       ///< Per-request WNIC transfer size (bytes).
   kSchedDepth,      ///< C-SCAN queue depth at batch dispatch.
+  kMediumShare,     ///< Contended airtime share at bulk-transfer start.
+  kServerQueueDelay,  ///< Server admission wait per queued transfer (s).
+  kServerQueueDepth,  ///< Busy server slots seen at transfer arrival (>0).
   kCount,
 };
 
@@ -69,8 +72,8 @@ struct TelemetryConfig {
   /// admitted only when its site level is <= the mask entry for its
   /// category (0 silences a category). Defaults to full capture.
   std::array<std::uint8_t, kCategoryCount> category_levels{
-      kLevelFull, kLevelFull, kLevelFull, kLevelFull,
-      kLevelFull, kLevelFull, kLevelFull, kLevelFull};
+      kLevelFull, kLevelFull, kLevelFull, kLevelFull, kLevelFull,
+      kLevelFull, kLevelFull, kLevelFull, kLevelFull, kLevelFull};
   /// Deterministic 1-in-N sampler applied after the level check: of every
   /// `sample_every` level-admitted events, exactly one is recorded. 1 (the
   /// default) disables sampling — required for byte-identical full capture.

@@ -1,0 +1,317 @@
+#include "medium/medium.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "device/wnic.hpp"
+#include "medium/server.hpp"
+
+namespace flexfetch::medium {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+ServerParams two_slot(const std::string& admission) {
+  ServerParams p;
+  p.capacity = 2;
+  p.reserved_slots = 1;
+  p.low_battery_threshold = 0.30;
+  p.admission = admission;
+  return p;
+}
+
+TEST(ServerParams, ValidateRejectsNonsense) {
+  ServerParams p;
+  p.capacity = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = ServerParams{};
+  p.reserved_slots = p.capacity;  // Must leave one unreserved slot.
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = ServerParams{};
+  p.low_battery_threshold = 1.5;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = ServerParams{};
+  p.admission = "round-robin";
+  EXPECT_THROW(p.validate(), ConfigError);
+  EXPECT_NO_THROW(ServerParams{}.validate());
+}
+
+TEST(RemoteServer, FifoTakesEarliestFreeSlot) {
+  RemoteServer s(two_slot("fifo"));
+  EXPECT_EQ(s.admission_delay(Seconds{0.0}, 1.0), Seconds{0.0});
+  s.occupy(Seconds{0.0}, Seconds{0.0}, Seconds{10.0}, 1.0, Bytes{100});
+  // One slot busy until 10: still no wait.
+  EXPECT_EQ(s.admission_delay(Seconds{1.0}, 1.0), Seconds{0.0});
+  s.occupy(Seconds{1.0}, Seconds{1.0}, Seconds{4.0}, 1.0, Bytes{100});
+  // Both busy; the earliest-free slot opens at 4.
+  EXPECT_NEAR(s.admission_delay(Seconds{2.0}, 1.0).value(), 2.0, kEps);
+  s.occupy(Seconds{2.0}, Seconds{4.0}, Seconds{6.0}, 1.0, Bytes{100});
+  EXPECT_EQ(s.stats().requests, 3u);
+  EXPECT_EQ(s.stats().queue_waits, 1u);
+  EXPECT_NEAR(s.stats().queue_wait.value(), 2.0, kEps);
+  EXPECT_EQ(s.stats().conservation_violations, 0u);
+  EXPECT_EQ(s.stats().max_depth, 2u);
+}
+
+TEST(RemoteServer, BatteryReservesTrunkSlotForLowBattery) {
+  RemoteServer s(two_slot("battery"));
+  // A healthy client may only use the unreserved slot (index >= 1).
+  s.occupy(Seconds{0.0}, Seconds{0.0}, Seconds{10.0}, 0.9, Bytes{100});
+  // Second healthy client: slot 0 is free but reserved — it must wait for
+  // slot 1, and the wait is classified as a reserved deferral.
+  EXPECT_NEAR(s.admission_delay(Seconds{1.0}, 0.9).value(), 9.0, kEps);
+  s.occupy(Seconds{1.0}, Seconds{10.0}, Seconds{12.0}, 0.9, Bytes{100});
+  EXPECT_EQ(s.stats().reserved_deferrals, 1u);
+  EXPECT_EQ(s.stats().conservation_violations, 0u);
+  // A low-battery client sails into the reserved slot with no wait.
+  EXPECT_EQ(s.admission_delay(Seconds{2.0}, 0.1), Seconds{0.0});
+  s.occupy(Seconds{2.0}, Seconds{2.0}, Seconds{5.0}, 0.1, Bytes{100});
+  EXPECT_EQ(s.stats().queue_waits, 1u);
+}
+
+TEST(RemoteServer, StatsTrackBusyAndBytes) {
+  RemoteServer s(two_slot("fifo"));
+  s.occupy(Seconds{0.0}, Seconds{0.0}, Seconds{3.0}, 1.0, Bytes{500});
+  s.occupy(Seconds{1.0}, Seconds{1.0}, Seconds{2.0}, 1.0, Bytes{250});
+  EXPECT_NEAR(s.stats().busy.value(), 4.0, kEps);
+  EXPECT_EQ(s.stats().served_bytes, Bytes{750});
+  EXPECT_EQ(s.horizon(), Seconds{3.0});
+  EXPECT_EQ(s.busy_slots(Seconds{1.5}), 2u);
+  EXPECT_EQ(s.busy_slots(Seconds{2.5}), 1u);
+  EXPECT_EQ(s.busy_slots(Seconds{3.0}), 0u);
+}
+
+TEST(SharedMedium, SoloClientAlwaysSeesFullShare) {
+  SharedMedium m(MediumParams{}, ServerParams{});
+  const std::size_t c = m.add_client(1.0, BatteryParams{});
+  EXPECT_DOUBLE_EQ(m.airtime_share(c, Seconds{0.0}), 1.0);
+  m.commit(c, Seconds{0.0}, Seconds{0.0}, Seconds{5.0}, Bytes{100}, false);
+  // Its own transfer never counts against it.
+  EXPECT_DOUBLE_EQ(m.airtime_share(c, Seconds{2.0}), 1.0);
+  EXPECT_EQ(m.stats().contended_transfers, 0u);
+}
+
+TEST(SharedMedium, ConcurrentTransfersSplitAirtime) {
+  SharedMedium m(MediumParams{}, ServerParams{});
+  const std::size_t a = m.add_client(1.0, BatteryParams{});
+  const std::size_t b = m.add_client(1.0, BatteryParams{});
+  m.commit(a, Seconds{0.0}, Seconds{0.0}, Seconds{10.0}, Bytes{100}, false);
+  // b starts while a is mid-transfer: half share, and the interval is
+  // half-open so t == end does not count.
+  EXPECT_DOUBLE_EQ(m.airtime_share(b, Seconds{5.0}), 0.5);
+  EXPECT_DOUBLE_EQ(m.airtime_share(b, Seconds{10.0}), 1.0);
+}
+
+TEST(SharedMedium, LinkQualityScalesShare) {
+  SharedMedium m(MediumParams{}, ServerParams{});
+  const std::size_t a = m.add_client(0.8, BatteryParams{});
+  const std::size_t b = m.add_client(1.0, BatteryParams{});
+  EXPECT_DOUBLE_EQ(m.airtime_share(a, Seconds{0.0}), 0.8);
+  m.commit(b, Seconds{0.0}, Seconds{0.0}, Seconds{10.0}, Bytes{100}, false);
+  EXPECT_DOUBLE_EQ(m.airtime_share(a, Seconds{1.0}), 0.4);
+  EXPECT_THROW(m.add_client(0.0, BatteryParams{}), ConfigError);
+  EXPECT_THROW(m.add_client(1.5, BatteryParams{}), ConfigError);
+}
+
+TEST(SharedMedium, FrontierPrunesDeadIntervals) {
+  SharedMedium m(MediumParams{}, ServerParams{});
+  const std::size_t a = m.add_client(1.0, BatteryParams{});
+  const std::size_t b = m.add_client(1.0, BatteryParams{});
+  m.commit(a, Seconds{0.0}, Seconds{0.0}, Seconds{2.0}, Bytes{100}, false);
+  m.commit(a, Seconds{2.0}, Seconds{2.0}, Seconds{4.0}, Bytes{100}, false);
+  EXPECT_TRUE(m.client_active_at(a, Seconds{1.0}));
+  m.set_frontier(Seconds{3.0});
+  // The [0,2) interval is behind the frontier and gone; [2,4) survives
+  // because it still covers times >= 3.
+  EXPECT_FALSE(m.client_active_at(a, Seconds{1.0}));
+  EXPECT_TRUE(m.client_active_at(a, Seconds{3.5}));
+  EXPECT_DOUBLE_EQ(m.airtime_share(b, Seconds{3.5}), 0.5);
+  // The frontier never moves backwards.
+  m.set_frontier(Seconds{1.0});
+  EXPECT_TRUE(m.client_active_at(a, Seconds{3.5}));
+}
+
+TEST(SharedMedium, ExpectedShareTracksRecentCongestionAndDecays) {
+  MediumParams params;
+  params.congestion_tau = Seconds{10.0};
+  SharedMedium m(params, ServerParams{});
+  const std::size_t a = m.add_client(1.0, BatteryParams{});
+  const std::size_t b = m.add_client(1.0, BatteryParams{});
+
+  // Nothing committed yet: expected == instantaneous == 1.0 (the N=1-style
+  // degeneracy that keeps estimator replicas inert on an idle medium).
+  EXPECT_DOUBLE_EQ(m.expected_share(a, Seconds{0.0}), 1.0);
+
+  // b transfers continuously for several tau: its activity saturates, so
+  // a's expected share approaches 1/2 even at an instant where b happens
+  // to be idle (t = 60 is past b's last committed end).
+  for (int k = 0; k < 6; ++k) {
+    const double t = 10.0 * k;
+    m.commit(b, Seconds{t}, Seconds{t}, Seconds{t + 10.0}, Bytes{100}, false);
+  }
+  EXPECT_FALSE(m.client_active_at(b, Seconds{60.0}));
+  EXPECT_DOUBLE_EQ(m.airtime_share(a, Seconds{60.0}), 1.0);
+  const double busy = m.expected_share(a, Seconds{60.0});
+  EXPECT_DOUBLE_EQ(busy, 0.5);  // activity is clamped at 1 → share 1/2
+
+  // ...and fades once b goes quiet: a few tau later the memory is gone.
+  const double later = m.expected_share(a, Seconds{120.0});
+  EXPECT_GT(later, busy);
+  EXPECT_GT(m.expected_share(a, Seconds{300.0}), 0.99);
+  // b's own expectation never counts b's own transfers.
+  EXPECT_DOUBLE_EQ(m.expected_share(b, Seconds{60.0}), 1.0);
+  // Frontier pruning must NOT erase congestion memory — history is the
+  // point.
+  m.set_frontier(Seconds{61.0});
+  EXPECT_DOUBLE_EQ(m.expected_share(a, Seconds{60.0}), busy);
+  EXPECT_THROW(SharedMedium(MediumParams{.congestion_tau = Seconds{0.0}},
+                            ServerParams{}),
+               ConfigError);
+}
+
+TEST(SharedMedium, BatteryReportsDischargeAndClamp) {
+  BatteryParams batt;
+  batt.capacity = Joules{1000.0};
+  batt.initial_fraction = 0.5;
+  batt.base_drain = Watts{1.0};
+  SharedMedium m(MediumParams{}, ServerParams{});
+  const std::size_t c = m.add_client(1.0, batt);
+  EXPECT_DOUBLE_EQ(m.battery_fraction(c), 0.5);
+  m.report_battery(c, Seconds{100.0}, Joules{100.0});
+  // 0.5 - (100 J platform + 100 J devices) / 1000 J.
+  EXPECT_NEAR(m.battery_fraction(c), 0.3, kEps);
+  m.report_battery(c, Seconds{1000.0}, Joules{1000.0});
+  EXPECT_DOUBLE_EQ(m.battery_fraction(c), 0.0);  // Clamped at empty.
+}
+
+// ---------------------------------------------------------------------------
+// Wnic integration through a stub ClientLink.
+
+/// Scriptable link: fixed share and admission delay, counts commits.
+class StubLink final : public ClientLink {
+ public:
+  double share = 1.0;
+  Seconds delay = Seconds{0.0};
+  int commits = 0;
+  Seconds last_arrival = Seconds{0.0};
+  Seconds last_start = Seconds{0.0};
+
+  double airtime_share(Seconds) const override { return share; }
+  Seconds admission_delay(Seconds) const override { return delay; }
+  std::size_t queue_depth(Seconds) const override { return 0; }
+  void commit_transfer(Seconds arrival, Seconds start, Seconds end, Bytes,
+                       bool) override {
+    ++commits;
+    last_arrival = arrival;
+    last_start = start;
+    EXPECT_GE(end, start);
+  }
+};
+
+device::DeviceRequest bulk_read() {
+  return device::DeviceRequest{
+      .lba = Bytes{0}, .size = Bytes{1'375'000}, .is_write = false};
+}
+
+TEST(WnicMedium, PaysAdmissionDelayInCamIdle) {
+  device::Wnic contended;
+  device::Wnic solo;
+  StubLink link;
+  link.delay = Seconds{2.0};
+  contended.attach_medium(&link);
+  const auto res = contended.service(Seconds{0.0}, bulk_read());
+  const auto base = solo.service(Seconds{0.0}, bulk_read());
+  // The whole service shifts right by the queue wait...
+  EXPECT_NEAR(res.completion.value(), base.completion.value() + 2.0, kEps);
+  EXPECT_NEAR(res.start.value(), base.start.value() + 2.0, kEps);
+  // ...and the wait is billed at CAM idle power on top of the transfer.
+  EXPECT_NEAR(res.energy.value(),
+              base.energy.value() +
+                  (contended.params().cam_idle_power * Seconds{2.0}).value(),
+              kEps);
+  EXPECT_EQ(contended.counters().server_queue_waits, 1u);
+  EXPECT_NEAR(contended.counters().server_queue_wait.value(), 2.0, kEps);
+  // The commit covers [start, completion) and remembers the arrival.
+  EXPECT_EQ(link.commits, 1);
+  EXPECT_NEAR(link.last_arrival.value(), 0.0, kEps);
+  EXPECT_NEAR(link.last_start.value(), 2.0, kEps);
+}
+
+TEST(WnicMedium, ShareScalesEffectiveBandwidth) {
+  device::Wnic contended;
+  device::Wnic solo;
+  StubLink link;
+  link.share = 0.5;
+  contended.attach_medium(&link);
+  const auto res = contended.service(Seconds{0.0}, bulk_read());
+  const auto base = solo.service(Seconds{0.0}, bulk_read());
+  // Same RPC latency, twice the streaming time (1 s -> 2 s at 11 Mbps).
+  EXPECT_NEAR(res.completion.value(), base.completion.value() + 1.0, kEps);
+  EXPECT_EQ(contended.counters().contended_transfers, 1u);
+  EXPECT_EQ(solo.counters().contended_transfers, 0u);
+}
+
+TEST(WnicMedium, FullShareIsBitIdenticalToNoMedium) {
+  device::Wnic attached;
+  device::Wnic detached;
+  StubLink link;  // share 1.0, delay 0 — an idle, perfect medium.
+  attached.attach_medium(&link);
+  const auto a = attached.service(Seconds{0.0}, bulk_read());
+  const auto b = detached.service(Seconds{0.0}, bulk_read());
+  EXPECT_EQ(a.completion, b.completion);
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(attached.meter().total(), detached.meter().total());
+  EXPECT_EQ(attached.counters().contended_transfers, 0u);
+  EXPECT_EQ(attached.counters().server_queue_waits, 0u);
+  EXPECT_EQ(link.commits, 1);  // Still committed — just invisible.
+}
+
+TEST(WnicMedium, EstimatePricesContentionButNeverCommits) {
+  device::Wnic w;
+  StubLink link;
+  link.delay = Seconds{3.0};
+  link.share = 0.5;
+  w.attach_medium(&link);
+  const auto est = w.estimate(Seconds{0.0}, bulk_read());
+  // The counterfactual copy saw the delay and the halved share...
+  EXPECT_GT(est.completion.value(), 4.0);
+  // ...but committed nothing and left the live card untouched.
+  EXPECT_EQ(link.commits, 0);
+  EXPECT_EQ(w.counters().requests, 0u);
+  EXPECT_EQ(w.now(), Seconds{0.0});
+  // The live service afterwards does commit.
+  w.service(Seconds{0.0}, bulk_read());
+  EXPECT_EQ(link.commits, 1);
+}
+
+TEST(WnicMedium, TimeToReadyIncludesAdmissionDelay) {
+  device::Wnic w;
+  StubLink link;
+  link.delay = Seconds{1.5};
+  w.attach_medium(&link);
+  // In CAM before the PSM timeout the radio itself is ready instantly;
+  // the server queue is the whole wait.
+  EXPECT_NEAR(w.time_to_ready(Seconds{0.0}).value(), 1.5, kEps);
+  device::Wnic unattached;
+  EXPECT_EQ(unattached.time_to_ready(Seconds{0.0}), Seconds{0.0});
+}
+
+TEST(WnicMedium, PsmSinglePacketBypassesServerQueue) {
+  device::Wnic w;
+  StubLink link;
+  link.delay = Seconds{5.0};
+  w.attach_medium(&link);
+  w.advance_to(Seconds{20.0});  // Well past the PSM timeout.
+  ASSERT_EQ(w.state(), device::WnicState::kPsm);
+  const device::DeviceRequest tiny{
+      .lba = Bytes{0}, .size = Bytes{512}, .is_write = false};
+  const auto res = w.service(Seconds{20.0}, tiny);
+  // Beacon delivery: no slot wait, no commit, no wake.
+  EXPECT_LT(res.completion.value(), 21.0);
+  EXPECT_EQ(w.counters().server_queue_waits, 0u);
+  EXPECT_EQ(link.commits, 0);
+  EXPECT_EQ(w.counters().psm_transfers, 1u);
+}
+
+}  // namespace
+}  // namespace flexfetch::medium

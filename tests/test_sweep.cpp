@@ -48,6 +48,12 @@ void expect_identical(const sim::SimResult& a, const sim::SimResult& b) {
   EXPECT_EQ(a.wnic_counters.degraded_transfers,
             b.wnic_counters.degraded_transfers);
   EXPECT_EQ(a.wnic_counters.outage_wait, b.wnic_counters.outage_wait);
+  EXPECT_EQ(a.wnic_counters.contended_transfers,
+            b.wnic_counters.contended_transfers);
+  EXPECT_EQ(a.wnic_counters.server_queue_waits,
+            b.wnic_counters.server_queue_waits);
+  EXPECT_EQ(a.wnic_counters.server_queue_wait,
+            b.wnic_counters.server_queue_wait);
   EXPECT_EQ(a.cache_stats.lookups, b.cache_stats.lookups);
   EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits);
   EXPECT_EQ(a.cache_stats.ghost_hits, b.cache_stats.ghost_hits);
@@ -340,6 +346,87 @@ TEST(Sweep, AggregatorFoldsStrataStatistics) {
   EXPECT_DOUBLE_EQ(stratum.energy_j.min(), std::min(e0, e1));
   EXPECT_DOUBLE_EQ(stratum.energy_j.max(), std::max(e0, e1));
   EXPECT_NEAR(stratum.energy_j.mean(), (e0 + e1) / 2.0, 1e-9);
+}
+
+TEST(Sweep, RunningStatSingleSampleHasZeroSpread) {
+  sim::RunningStat s;
+  s.add(42.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.5);
+  EXPECT_DOUBLE_EQ(s.min(), 42.5);
+  EXPECT_DOUBLE_EQ(s.max(), 42.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  // Merging an empty partial is the identity, in either direction.
+  sim::RunningStat empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.5);
+  empty.merge(s);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.stddev(), 0.0);
+}
+
+TEST(Sweep, EmptyAggregatorEmitsNoStrata) {
+  sim::SweepAggregator agg;
+  EXPECT_EQ(agg.cells_seen(), 0u);
+  EXPECT_TRUE(agg.strata().empty());
+  std::ostringstream os;
+  sim::write_aggregate_json(os, agg, sim::SweepRunInfo{});
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"cells\": 0"), std::string::npos);
+  EXPECT_EQ(json.find("\"energy_j\""), std::string::npos);
+}
+
+TEST(Sweep, HistogramQuantileEdgeCases) {
+  telemetry::Histogram h;
+  // No samples: no quantiles, by convention 0.0 at every q.
+  EXPECT_DOUBLE_EQ(sim::histogram_quantile(h, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sim::histogram_quantile(h, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sim::histogram_quantile(h, 1.0), 0.0);
+
+  // Every sample in one bucket: every quantile is that bucket's upper
+  // edge, including q <= 0 (first populated bucket).
+  h.record(3.0);
+  h.record(3.5);
+  const double edge =
+      telemetry::Histogram::bucket_upper_edge(telemetry::Histogram::bucket_of(3.0));
+  EXPECT_DOUBLE_EQ(sim::histogram_quantile(h, 0.0), edge);
+  EXPECT_DOUBLE_EQ(sim::histogram_quantile(h, 0.5), edge);
+  EXPECT_DOUBLE_EQ(sim::histogram_quantile(h, 1.0), edge);
+
+  // Two buckets: the median stays in the lower one, the tail crosses.
+  telemetry::Histogram two;
+  two.record(1.5);
+  two.record(1.6);
+  two.record(1.7);
+  two.record(1000.0);
+  const double low =
+      telemetry::Histogram::bucket_upper_edge(telemetry::Histogram::bucket_of(1.5));
+  const double high = telemetry::Histogram::bucket_upper_edge(
+      telemetry::Histogram::bucket_of(1000.0));
+  EXPECT_DOUBLE_EQ(sim::histogram_quantile(two, 0.5), low);
+  EXPECT_DOUBLE_EQ(sim::histogram_quantile(two, 0.75), low);
+  EXPECT_DOUBLE_EQ(sim::histogram_quantile(two, 1.0), high);
+}
+
+TEST(Sweep, SerialFallbackIsRecordedInJson) {
+  const auto scenario = workloads::scenario_mplayer(1);
+  const auto cells = sim::make_grid({&scenario}, {"disk-only"},
+                                    {device::WnicParams::cisco_aironet350()});
+  const auto results = sim::run_sweep(cells, {.jobs = 1});
+  sim::SweepRunInfo info;
+  info.jobs = 1;
+  info.serial_fallback = true;
+  std::ostringstream os;
+  sim::write_sweep_json(os, cells, results, info);
+  EXPECT_NE(os.str().find("\"serial_fallback\": true"), std::string::npos);
+
+  sim::SweepAggregator agg;
+  for (std::size_t i = 0; i < cells.size(); ++i) agg.add(cells[i], results[i]);
+  std::ostringstream agg_os;
+  sim::write_aggregate_json(agg_os, agg, info);
+  EXPECT_NE(agg_os.str().find("\"serial_fallback\": true"), std::string::npos);
 }
 
 TEST(Sweep, JsonEmitterRecordsCellsAndSpeedup) {
