@@ -1,5 +1,7 @@
 #include "harness.hpp"
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -288,6 +290,13 @@ void print_figure(const std::string& figure_label,
                   spec.trace_out.c_str());
     }
   }
+}
+
+std::uint64_t peak_rss_bytes() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
 }
 
 }  // namespace flexfetch::bench

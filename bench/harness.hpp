@@ -99,6 +99,13 @@ class ParsedFlags {
   std::vector<Flag> flags_;
 };
 
+/// Peak resident set size of this process so far, in bytes (getrusage
+/// ru_maxrss). Benches record it into their JSON artifacts so
+/// memory-boundedness claims (--cells=off, fleet shards) are checkable
+/// from the record. Lives in bench/, not src/: it is a host measurement,
+/// like wall clocks.
+std::uint64_t peak_rss_bytes();
+
 /// Flags shared by the bench binaries, parsed by parse_harness_flags.
 struct HarnessOptions {
   int jobs = 0;

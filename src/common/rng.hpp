@@ -157,4 +157,66 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Centralized seed derivation. Every place that turns one seed into
+/// several independent streams goes through this namespace, so the
+/// repo-wide seeding discipline is one screenful of code instead of
+/// scattered arithmetic. Two families live here:
+///
+///  * derive_stream — the SplitMix64-based hierarchical splitter. One
+///    master seed fans out into any number of child streams keyed by a
+///    64-bit stream id (a domain tag, a user index, a shard number...),
+///    and children split again: derive_stream(derive_stream(m, a), b).
+///    Any consumer can regenerate stream (a, b) without touching the
+///    streams between — the property the fleet population generator
+///    needs so worker shard k can rebuild exactly its users.
+///
+///  * The frozen legacy mappings the paper scenarios were generated
+///    with (profile_run/eval_run/domain). These are pinned by golden
+///    tests: changing them would silently regenerate every trace and
+///    invalidate every recorded figure and BENCH_*.json artifact.
+namespace seeds {
+
+/// Domain tags for derive_stream hierarchies (arbitrary but fixed).
+inline constexpr std::uint64_t kFleetUserDomain = 0x666c757372ULL;   // "flusr"
+inline constexpr std::uint64_t kFleetFaultDomain = 0x666c666cULL;    // "flfl"
+inline constexpr std::uint64_t kFleetScenarioDomain = 0x666c7363ULL; // "flsc"
+
+/// SplitMix64-based stream splitter: mixes the master through one
+/// SplitMix64 step, perturbs with the (golden-ratio-spread) stream id,
+/// and mixes again. Bijective in `master` for fixed `stream`; avalanche
+/// in both arguments; constexpr so goldens can be static_asserted.
+constexpr std::uint64_t derive_stream(std::uint64_t master,
+                                      std::uint64_t stream) {
+  SplitMix64 outer(master);
+  SplitMix64 inner(outer.next() ^
+                   (stream + 0x9e3779b97f4a7c15ULL) * 0xd1342543de82ef95ULL);
+  return inner.next();
+}
+
+/// Two-level convenience: stream `index` within `domain` under `master`.
+constexpr std::uint64_t derive_stream(std::uint64_t master,
+                                      std::uint64_t domain,
+                                      std::uint64_t index) {
+  return derive_stream(derive_stream(master, domain), index);
+}
+
+/// Legacy scenario-run split (frozen): the profiling run of scenario
+/// seed s replays run 2s, the evaluation run 2s+1 — different think
+/// times, same file structure.
+constexpr std::uint64_t profile_run(std::uint64_t scenario_seed) {
+  return scenario_seed * 2;
+}
+constexpr std::uint64_t eval_run(std::uint64_t scenario_seed) {
+  return scenario_seed * 2 + 1;
+}
+
+/// Legacy per-generator domain separation (frozen): each workload
+/// generator XORs its ASCII tag into both of its seeds so "grep run 3"
+/// and "make run 3" draw from unrelated streams.
+constexpr std::uint64_t domain(std::uint64_t seed, std::uint64_t tag) {
+  return seed ^ tag;
+}
+
+}  // namespace seeds
+
 }  // namespace flexfetch

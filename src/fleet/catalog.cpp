@@ -1,0 +1,49 @@
+#include "fleet/catalog.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace flexfetch::fleet {
+
+workloads::ScenarioBundle make_scenario(std::size_t index, std::uint64_t seed,
+                                        const workloads::ScenarioTuning& t) {
+  switch (index) {
+    case 0: return workloads::scenario_grep_make(seed, t);
+    case 1: return workloads::scenario_mplayer(seed, t);
+    case 2: return workloads::scenario_thunderbird(seed, t);
+    case 3: return workloads::scenario_forced_spinup(seed, t);
+    case 4: return workloads::scenario_stale_acroread(seed, t);
+    default:
+      throw ConfigError("catalog: scenario index out of range");
+  }
+}
+
+ScenarioCatalog::ScenarioCatalog(std::uint64_t scenario_seed,
+                                 std::vector<double> think_scales,
+                                 workloads::ScenarioTuning base_tuning)
+    : seed_(scenario_seed),
+      think_scales_(std::move(think_scales)),
+      base_(base_tuning),
+      cache_(workloads::kScenarioCount * think_scales_.size()) {
+  FF_REQUIRE(!think_scales_.empty(), "catalog: no think buckets");
+}
+
+const workloads::ScenarioBundle& ScenarioCatalog::bundle(
+    std::size_t scenario, std::size_t think_bucket) {
+  FF_REQUIRE(scenario < workloads::kScenarioCount,
+             "catalog: scenario index out of range");
+  FF_REQUIRE(think_bucket < think_scales_.size(),
+             "catalog: think bucket out of range");
+  auto& slot = cache_[scenario * think_scales_.size() + think_bucket];
+  if (!slot) {
+    workloads::ScenarioTuning t = base_;
+    t.think_scale = base_.think_scale * think_scales_[think_bucket];
+    slot = std::make_unique<workloads::ScenarioBundle>(
+        make_scenario(scenario, seed_, t));
+    ++built_;
+  }
+  return *slot;
+}
+
+}  // namespace flexfetch::fleet

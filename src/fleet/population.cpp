@@ -1,0 +1,126 @@
+#include "fleet/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace flexfetch::fleet {
+
+namespace {
+
+/// Builds the running-sum table of a weight vector. Throws unless every
+/// weight is finite and non-negative with a positive total.
+std::vector<double> cdf_of(const std::vector<double>& weights,
+                           const char* what) {
+  FF_REQUIRE(!weights.empty(), std::string("population: empty ") + what);
+  std::vector<double> cdf(weights.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    FF_REQUIRE(std::isfinite(weights[i]) && weights[i] >= 0.0,
+               std::string("population: bad weight in ") + what);
+    sum += weights[i];
+    cdf[i] = sum;
+  }
+  FF_REQUIRE(sum > 0.0, std::string("population: zero total weight in ") + what);
+  return cdf;
+}
+
+/// Picks the first index whose cumulative weight exceeds u * total.
+/// u in [0, 1); zero-weight entries are never picked.
+std::size_t pick(const std::vector<double>& cdf, double u) {
+  const double target = u * cdf.back();
+  const auto it = std::upper_bound(cdf.begin(), cdf.end(), target);
+  return std::min<std::size_t>(
+      static_cast<std::size_t>(it - cdf.begin()), cdf.size() - 1);
+}
+
+}  // namespace
+
+PopulationGenerator::PopulationGenerator(PopulationSpec spec)
+    : spec_(std::move(spec)) {
+  FF_REQUIRE(spec_.scenario_weights.size() == workloads::kScenarioCount,
+             "population: scenario_weights must cover every scenario");
+  FF_REQUIRE(!spec_.policies.empty(), "population: no policies");
+  FF_REQUIRE(spec_.policy_weights.empty() ||
+                 spec_.policy_weights.size() == spec_.policies.size(),
+             "population: policy_weights/policies size mismatch");
+  FF_REQUIRE(!spec_.think_scales.empty(), "population: no think buckets");
+  for (double s : spec_.think_scales) {
+    FF_REQUIRE(s > 0.0, "population: think scale must be positive");
+  }
+  FF_REQUIRE(spec_.bandwidth_mbps.size() == spec_.bandwidth_weights.size(),
+             "population: bandwidth_mbps/weights size mismatch");
+  for (double mbps : spec_.bandwidth_mbps) {
+    FF_REQUIRE(mbps > 0.0, "population: bandwidth must be positive");
+  }
+  FF_REQUIRE(spec_.think_sigma >= 0.0 && spec_.latency_log_sigma >= 0.0 &&
+                 spec_.hoard_sigma >= 0.0,
+             "population: negative sigma");
+  FF_REQUIRE(spec_.battery_min >= 0.0 &&
+                 spec_.battery_max <= 1.0 &&
+                 spec_.battery_min <= spec_.battery_max,
+             "population: battery range must be within [0, 1]");
+  FF_REQUIRE(spec_.fault_probability >= 0.0 && spec_.fault_probability <= 1.0,
+             "population: fault_probability must be a probability");
+  FF_REQUIRE(spec_.loss_rate_full >= 0.0 && spec_.loss_rate_empty >= 0.0,
+             "population: negative loss rate");
+
+  scenario_cdf_ = cdf_of(spec_.scenario_weights, "scenario_weights");
+  policy_cdf_ = cdf_of(spec_.policy_weights.empty()
+                           ? std::vector<double>(spec_.policies.size(), 1.0)
+                           : spec_.policy_weights,
+                       "policy_weights");
+  bandwidth_cdf_ = cdf_of(spec_.bandwidth_weights, "bandwidth_weights");
+}
+
+UserParams PopulationGenerator::user(std::uint64_t k) const {
+  // One Rng per user, derived so user k is regenerable in isolation. The
+  // draw ORDER below is frozen: changing it re-rolls every fleet result
+  // (golden users are pinned in tests/test_fleet.cpp).
+  Rng rng(seeds::derive_stream(spec_.master_seed, seeds::kFleetUserDomain, k));
+
+  UserParams u;
+  u.index = k;
+  u.stream_seed =
+      seeds::derive_stream(spec_.master_seed, seeds::kFleetUserDomain, k);
+  u.scenario = pick(scenario_cdf_, rng.uniform());          // draw 1
+  u.policy = pick(policy_cdf_, rng.uniform());              // draw 2
+  u.think_scale = rng.lognormal(0.0, spec_.think_sigma);    // draw 3
+  u.latency_ms =
+      std::exp(rng.normal(spec_.latency_log_mean_ms,                // draw 4
+                          spec_.latency_log_sigma));
+  u.bandwidth_mbps = spec_.bandwidth_mbps[pick(bandwidth_cdf_,      // draw 5
+                                               rng.uniform())];
+  u.hoard_coverage = std::clamp(
+      rng.normal(spec_.hoard_mean, spec_.hoard_sigma), 0.0, 1.0);   // draw 6
+  u.battery_level =
+      rng.uniform(spec_.battery_min, spec_.battery_max);            // draw 7
+  if (rng.chance(spec_.fault_probability)) {                        // draw 8
+    u.fault_seed =
+        seeds::derive_stream(spec_.master_seed, seeds::kFleetFaultDomain, k);
+  }
+
+  // Quantise the continuous think draw to the nearest catalog bucket
+  // (ties break to the lower index) so users share compiled traces.
+  std::size_t best = 0;
+  double best_dist = std::abs(u.think_scale - spec_.think_scales[0]);
+  for (std::size_t i = 1; i < spec_.think_scales.size(); ++i) {
+    const double d = std::abs(u.think_scale - spec_.think_scales[i]);
+    if (d < best_dist) {
+      best = i;
+      best_dist = d;
+    }
+  }
+  u.think_bucket = best;
+  return u;
+}
+
+double PopulationGenerator::loss_rate_for(const UserParams& u) const {
+  const double drain = 1.0 - u.battery_level;
+  return spec_.loss_rate_full +
+         (spec_.loss_rate_empty - spec_.loss_rate_full) * drain;
+}
+
+}  // namespace flexfetch::fleet

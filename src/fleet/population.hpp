@@ -1,0 +1,136 @@
+// Deterministic per-user parameter sampling for fleet-scale sweeps.
+//
+// A fleet run simulates N distinct users, each a point in the paper's
+// parameter space: which scenario they run, how fast they work, how good
+// their link is, how full their battery is, how complete their hoard is,
+// and whether their session suffers injected faults. The population is a
+// pure function of (spec, user index): user k's parameters come from an
+// Rng seeded with seeds::derive_stream(master_seed, kFleetUserDomain, k),
+// so ANY shard can regenerate ANY user without replaying the users before
+// it. That independence is what makes the sharded runner (runner.hpp)
+// embarrassingly parallel and its checkpoint/resume exact: a resumed
+// shard re-derives exactly the users it owns, bit-for-bit.
+//
+// The sampling order inside user() is part of the determinism contract —
+// reordering draws would silently re-roll every fleet artifact. Tests pin
+// golden user parameters to catch that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/scenarios.hpp"
+
+namespace flexfetch::fleet {
+
+/// Distribution knobs for the synthetic user population. Defaults give a
+/// plausible mixed fleet; benches override via flags. Weights need not be
+/// normalised (only ratios matter) but must be non-negative with a
+/// positive sum.
+struct PopulationSpec {
+  /// Root of the hierarchical seed tree. Every per-user stream, fault
+  /// schedule and layout seed derives from this one value.
+  std::uint64_t master_seed = 1;
+  /// Structure seed handed to the scenario builders (all users share the
+  /// same scenario *content* per (scenario, think bucket); what varies
+  /// per user is everything else).
+  std::uint64_t scenario_seed = 1;
+
+  /// Mix over the five paper scenarios, in all_scenarios() order.
+  std::vector<double> scenario_weights =
+      std::vector<double>(workloads::kScenarioCount, 1.0);
+
+  /// Policies users run, with their mix. Defaults to the four
+  /// figure-table policies.
+  std::vector<std::string> policies = {"disk-only", "bluefs", "flexfetch",
+                                       "oracle"};
+  /// Empty = uniform over `policies`.
+  std::vector<double> policy_weights;
+
+  /// Think-time scale is sampled lognormal(0, think_sigma) — median-1
+  /// multiplicative user speed — then quantised to the nearest entry of
+  /// `think_scales` so scenario traces are shared per bucket instead of
+  /// rebuilt per user (see catalog.hpp).
+  double think_sigma = 0.35;
+  std::vector<double> think_scales = {0.5, 1.0, 2.0};
+
+  /// Link latency: lognormal over milliseconds (median exp(mu)).
+  double latency_log_mean_ms = 1.6;  ///< median ~5 ms
+  double latency_log_sigma = 0.5;
+  /// 802.11b rate the user's AP association settled at, and the mix
+  /// (defaults skew toward the higher rates of a mostly-healthy fleet).
+  std::vector<double> bandwidth_mbps = {1.0, 2.0, 5.5, 11.0};
+  std::vector<double> bandwidth_weights = {1.0, 1.0, 2.0, 4.0};
+
+  /// Hoard coverage: normal(mean, sigma) clamped to [0, 1]. Users below
+  /// `sync_coverage_threshold` run with the replica sync daemon on
+  /// (their hoard is too incomplete to assume the Section 5 no-sync
+  /// idealisation).
+  double hoard_mean = 0.8;
+  double hoard_sigma = 0.15;
+  double sync_coverage_threshold = 0.7;
+
+  /// Battery level: uniform [battery_min, battery_max]. A fuller battery
+  /// tolerates less performance loss, so the per-user loss-rate budget
+  /// interpolates from loss_rate_full at 100% to loss_rate_empty at 0%.
+  double battery_min = 0.05;
+  double battery_max = 1.0;
+  double loss_rate_full = 0.05;
+  double loss_rate_empty = 0.5;
+
+  /// Probability a user's session has an injected fault schedule (WNIC
+  /// outages/degradations, spin-up stalls), seeded per user from the
+  /// fault domain of the seed tree.
+  double fault_probability = 0.25;
+};
+
+/// Everything the runner needs to build user k's sweep cell.
+struct UserParams {
+  std::uint64_t index = 0;
+  /// The user's derived stream seed (doubles as their VFS layout seed).
+  std::uint64_t stream_seed = 0;
+  /// Index into all_scenarios() order.
+  std::size_t scenario = 0;
+  /// Index into PopulationSpec::policies.
+  std::size_t policy = 0;
+  /// Continuous lognormal draw (recorded for audit)...
+  double think_scale = 1.0;
+  /// ...and the bucket it quantised to (index into spec.think_scales).
+  std::size_t think_bucket = 0;
+  double latency_ms = 5.0;
+  double bandwidth_mbps = 11.0;
+  double hoard_coverage = 1.0;
+  double battery_level = 1.0;
+  /// 0 = fault-free session; nonzero seeds faults::generate_schedule.
+  std::uint64_t fault_seed = 0;
+};
+
+/// Stateless-per-call generator: user(k) derives user k's parameters
+/// from the spec alone. Copies are cheap; const calls are thread-safe.
+class PopulationGenerator {
+ public:
+  /// Validates the spec (throws ConfigError on empty/negative mixes,
+  /// inverted ranges, out-of-range probabilities).
+  explicit PopulationGenerator(PopulationSpec spec);
+
+  const PopulationSpec& spec() const { return spec_; }
+
+  /// User k's parameters. Pure: depends only on (spec, k), never on
+  /// which users were generated before — the shard-independence
+  /// guarantee the fleet runner is built on.
+  UserParams user(std::uint64_t k) const;
+
+  /// The user's performance-loss budget: loss_rate_full at full battery
+  /// interpolated to loss_rate_empty at zero.
+  double loss_rate_for(const UserParams& u) const;
+
+ private:
+  PopulationSpec spec_;
+  // Cumulative (unnormalised) weights, precomputed once.
+  std::vector<double> scenario_cdf_;
+  std::vector<double> policy_cdf_;
+  std::vector<double> bandwidth_cdf_;
+};
+
+}  // namespace flexfetch::fleet

@@ -1,0 +1,67 @@
+#include "fleet/process.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace flexfetch::fleet {
+
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  FF_REQUIRE(n > 0, "process: cannot read /proc/self/exe");
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+std::vector<ProcessResult> run_processes(
+    const std::vector<std::vector<std::string>>& argvs) {
+  std::vector<pid_t> pids;
+  pids.reserve(argvs.size());
+
+  for (const auto& argv : argvs) {
+    FF_REQUIRE(!argv.empty(), "process: empty argv");
+    // execv wants mutable char*; build the pointer table from stable
+    // copies before forking so the child only calls async-signal-safe
+    // functions.
+    std::vector<std::string> args = argv;
+    std::vector<char*> cargv;
+    cargv.reserve(args.size() + 1);
+    for (auto& a : args) cargv.push_back(a.data());
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    FF_REQUIRE(pid >= 0, std::string("process: fork failed: ") +
+                             std::strerror(errno));
+    if (pid == 0) {
+      ::execv(cargv[0], cargv.data());
+      // Exec failed; nothing sane to do in the child but die loudly.
+      ::_exit(127);
+    }
+    pids.push_back(pid);
+  }
+
+  std::vector<ProcessResult> results(argvs.size());
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    int status = 0;
+    pid_t waited = -1;
+    do {
+      waited = ::waitpid(pids[i], &status, 0);
+    } while (waited < 0 && errno == EINTR);
+    FF_REQUIRE(waited == pids[i], "process: waitpid failed");
+    if (WIFEXITED(status)) {
+      results[i].exit_code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      results[i].signaled = true;
+      results[i].term_signal = WTERMSIG(status);
+    }
+  }
+  return results;
+}
+
+}  // namespace flexfetch::fleet

@@ -1,0 +1,35 @@
+// Minimal fork/exec process fan-out for the multi-process fleet runner.
+//
+// The parent re-execs its own binary once per worker shard (argv carries
+// the shard assignment), then waits for all of them. Process isolation —
+// rather than threads — is deliberate: worker crashes cannot corrupt the
+// parent, each shard's memory is bounded independently, the kernel
+// reclaims everything on a kill, and the checkpoint protocol gets
+// exercised for real (workers and parent share nothing but files).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flexfetch::fleet {
+
+struct ProcessResult {
+  /// Exit status (valid when !signaled); nonzero = worker failed.
+  int exit_code = -1;
+  bool signaled = false;
+  int term_signal = 0;
+
+  bool ok() const { return !signaled && exit_code == 0; }
+};
+
+/// Spawns one child per argv vector (argv[0] is the executable path) and
+/// waits for every one; results index-align with `argvs`. Throws
+/// SystemError-ish ConfigError if fork/exec plumbing itself fails.
+std::vector<ProcessResult> run_processes(
+    const std::vector<std::vector<std::string>>& argvs);
+
+/// Path of the currently running executable (/proc/self/exe), for
+/// self-re-exec. Throws ConfigError if unreadable.
+std::string self_exe_path();
+
+}  // namespace flexfetch::fleet

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <mutex>
 #include <ostream>
@@ -182,6 +184,16 @@ void StratumAggregate::add(const SimResult& result) {
   metrics.merge(result.metrics);
 }
 
+void StratumAggregate::merge(const StratumAggregate& other) {
+  cells += other.cells;
+  energy_j.merge(other.energy_j);
+  disk_energy_j.merge(other.disk_energy_j);
+  wnic_energy_j.merge(other.wnic_energy_j);
+  makespan_s.merge(other.makespan_s);
+  io_time_s.merge(other.io_time_s);
+  metrics.merge(other.metrics);
+}
+
 void SweepAggregator::add(const SweepCell& cell, const SimResult& result) {
   ++cells_seen_;
   std::string key =
@@ -189,6 +201,54 @@ void SweepAggregator::add(const SweepCell& cell, const SimResult& result) {
   key += '/';
   key += cell.policy;
   strata_[std::move(key)].add(result);
+}
+
+void SweepAggregator::merge(const SweepAggregator& other) {
+  cells_seen_ += other.cells_seen_;
+  for (const auto& [key, st] : other.strata_) strata_[key].merge(st);
+}
+
+void SweepAggregator::merge_stratum(const std::string& key,
+                                    const StratumAggregate& partial) {
+  cells_seen_ += partial.cells;
+  strata_[key].merge(partial);
+}
+
+void SweepAggregator::restore_stratum(std::string key,
+                                      StratumAggregate partial) {
+  FF_REQUIRE(!strata_.contains(key),
+             "sweep: restore_stratum over an existing stratum");
+  cells_seen_ += partial.cells;
+  strata_.emplace(std::move(key), std::move(partial));
+}
+
+std::uint64_t fold_result_digest(std::uint64_t digest,
+                                 const SimResult& result) {
+  const auto fold_u64 = [&digest](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      digest = (digest ^ ((v >> (byte * 8)) & 0xffULL)) * 0x100000001b3ULL;
+    }
+  };
+  const auto fold_double = [&](double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    fold_u64(bits);
+  };
+  for (const char c : result.policy) {
+    fold_u64(static_cast<unsigned char>(c));
+  }
+  fold_double(result.makespan.value());
+  fold_double(result.io_time.value());
+  fold_double(result.total_energy().value());
+  fold_double(result.disk_energy().value());
+  fold_double(result.wnic_energy().value());
+  fold_u64(result.syscalls);
+  fold_u64(result.disk_requests);
+  fold_u64(result.net_requests);
+  fold_u64(result.disk_bytes.value());
+  fold_u64(result.net_bytes.value());
+  return digest;
 }
 
 std::vector<SweepCell> make_grid(
@@ -247,6 +307,7 @@ void write_sweep_json(std::ostream& os, const std::vector<SweepCell>& cells,
   os << "  \"speedup\": " << info.speedup() << ",\n";
   os << "  \"serial_fallback\": " << (info.serial_fallback ? "true" : "false")
      << ",\n";
+  os << "  \"peak_rss_bytes\": " << info.peak_rss_bytes << ",\n";
   os << "  \"cells\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const SweepCell& c = cells[i];
@@ -310,37 +371,27 @@ double histogram_quantile(const telemetry::Histogram& h, double q) {
   return h.max();
 }
 
-void write_aggregate_json(std::ostream& os, const SweepAggregator& agg,
-                          const SweepRunInfo& info) {
-  const unsigned hw = info.hardware_concurrency != 0
-                          ? info.hardware_concurrency
-                          : ThreadPool::default_concurrency();
-  os << "{\n";
-  os << "  \"jobs\": " << info.jobs << ",\n";
-  os << "  \"jobs_requested\": " << info.jobs_requested << ",\n";
-  os << "  \"hardware_concurrency\": " << hw << ",\n";
-  os << "  \"wall_seconds\": " << info.wall_seconds << ",\n";
-  os << "  \"serial_fallback\": " << (info.serial_fallback ? "true" : "false")
-     << ",\n";
-  os << "  \"cells\": " << agg.cells_seen() << ",\n";
-  os << "  \"strata\": [\n";
+void write_strata_json(std::ostream& os, const SweepAggregator& agg,
+                       int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << pad << "\"strata\": [\n";
   std::size_t i = 0;
   const auto& strata = agg.strata();
   for (const auto& [key, st] : strata) {
-    os << "    {\"key\": ";
+    os << pad << "  {\"key\": ";
     write_json_string(os, key);
-    os << ", \"cells\": " << st.cells << ",\n     ";
+    os << ", \"cells\": " << st.cells << ",\n" << pad << "   ";
     write_stat(os, "energy_j", st.energy_j);
-    os << ",\n     ";
+    os << ",\n" << pad << "   ";
     write_stat(os, "disk_energy_j", st.disk_energy_j);
-    os << ",\n     ";
+    os << ",\n" << pad << "   ";
     write_stat(os, "wnic_energy_j", st.wnic_energy_j);
-    os << ",\n     ";
+    os << ",\n" << pad << "   ";
     write_stat(os, "makespan_s", st.makespan_s);
-    os << ",\n     ";
+    os << ",\n" << pad << "   ";
     write_stat(os, "io_time_s", st.io_time_s);
     if (!st.metrics.items().empty()) {
-      os << ",\n     \"metrics\": {";
+      os << ",\n" << pad << "   \"metrics\": {";
       bool first = true;
       for (const auto& [name, metric] : st.metrics.items()) {
         if (!first) os << ", ";
@@ -351,7 +402,7 @@ void write_aggregate_json(std::ostream& os, const SweepAggregator& agg,
       os << "}";
     }
     if (!st.metrics.histograms().empty()) {
-      os << ",\n     \"histograms\": {";
+      os << ",\n" << pad << "   \"histograms\": {";
       bool first = true;
       for (const auto& [name, h] : st.metrics.histograms()) {
         if (!first) os << ", ";
@@ -366,8 +417,52 @@ void write_aggregate_json(std::ostream& os, const SweepAggregator& agg,
     }
     os << "}" << (++i < strata.size() ? "," : "") << "\n";
   }
-  os << "  ]\n";
-  os << "}\n";
+  os << pad << "]";
+}
+
+void write_aggregate_json(std::ostream& os, const SweepAggregator& agg,
+                          const SweepRunInfo& info) {
+  const unsigned hw = info.hardware_concurrency != 0
+                          ? info.hardware_concurrency
+                          : ThreadPool::default_concurrency();
+  os << "{\n";
+  os << "  \"jobs\": " << info.jobs << ",\n";
+  os << "  \"jobs_requested\": " << info.jobs_requested << ",\n";
+  os << "  \"hardware_concurrency\": " << hw << ",\n";
+  os << "  \"wall_seconds\": " << info.wall_seconds << ",\n";
+  os << "  \"serial_fallback\": " << (info.serial_fallback ? "true" : "false")
+     << ",\n";
+  os << "  \"peak_rss_bytes\": " << info.peak_rss_bytes << ",\n";
+  os << "  \"cells\": " << agg.cells_seen() << ",\n";
+  write_strata_json(os, agg, 2);
+  os << "\n}\n";
+}
+
+void write_sweep_summary_json(std::ostream& os, const SweepAggregator& agg,
+                              const SweepRunInfo& info,
+                              std::uint64_t cell_count,
+                              std::uint64_t cells_digest) {
+  const unsigned hw = info.hardware_concurrency != 0
+                          ? info.hardware_concurrency
+                          : ThreadPool::default_concurrency();
+  char digest_hex[19];
+  std::snprintf(digest_hex, sizeof(digest_hex), "0x%016llx",
+                static_cast<unsigned long long>(cells_digest));
+  os << "{\n";
+  os << "  \"jobs\": " << info.jobs << ",\n";
+  os << "  \"jobs_requested\": " << info.jobs_requested << ",\n";
+  os << "  \"hardware_concurrency\": " << hw << ",\n";
+  os << "  \"wall_seconds\": " << info.wall_seconds << ",\n";
+  os << "  \"serial_wall_seconds\": " << info.serial_wall_seconds << ",\n";
+  os << "  \"speedup\": " << info.speedup() << ",\n";
+  os << "  \"serial_fallback\": " << (info.serial_fallback ? "true" : "false")
+     << ",\n";
+  os << "  \"peak_rss_bytes\": " << info.peak_rss_bytes << ",\n";
+  os << "  \"cells_mode\": \"off\",\n";
+  os << "  \"cell_count\": " << cell_count << ",\n";
+  os << "  \"cells_digest\": \"" << digest_hex << "\",\n";
+  write_strata_json(os, agg, 2);
+  os << "\n}\n";
 }
 
 }  // namespace flexfetch::sim

@@ -128,6 +128,25 @@ class RunningStat {
   double min() const { return n_ > 0 ? min_ : 0.0; }
   double max() const { return n_ > 0 ? max_ : 0.0; }
 
+  /// Raw second central moment (M2), exposed — with from_raw below — so
+  /// checkpoints can round-trip a partial exactly (fleet shard summaries
+  /// must merge to bit-identical aggregates after a save/load cycle).
+  double m2() const { return m2_; }
+
+  /// Reconstructs a stat from its serialized raw fields. The inverse of
+  /// reading (count, mean, m2, min, max): feeding the values back yields
+  /// a stat whose merge behaviour is bit-identical to the original.
+  static RunningStat from_raw(std::uint64_t n, double mean, double m2,
+                              double min, double max) {
+    RunningStat s;
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
@@ -149,6 +168,13 @@ struct StratumAggregate {
   telemetry::MetricsRegistry metrics;
 
   void add(const SimResult& result);
+
+  /// Folds another partial in: Chan-merge on every stat, metric-kind-wise
+  /// merge on the registry. The fleet merge contract (see
+  /// src/fleet/runner.hpp) is built on this being a pure function of the
+  /// two operands — merging the same partials in the same order always
+  /// reproduces the same bits.
+  void merge(const StratumAggregate& other);
 };
 
 /// Upper edge of the first histogram bucket whose cumulative count reaches
@@ -165,6 +191,25 @@ class SweepAggregator {
  public:
   void add(const SweepCell& cell, const SimResult& result);
 
+  /// Folds a whole partial aggregator in, stratum by stratum (new keys
+  /// are inserted, existing ones Chan-merged). This is the shard-merge
+  /// step of the fleet runner: parent folds worker partials in a fixed
+  /// (block-index) order, so the result is independent of which process
+  /// computed which partial and of completion order.
+  void merge(const SweepAggregator& other);
+
+  /// Inserts/merges one externally reconstructed stratum partial; its
+  /// cells count toward cells_seen().
+  void merge_stratum(const std::string& key, const StratumAggregate& partial);
+
+  /// Checkpoint-restore: inserts a reconstructed stratum verbatim. The
+  /// key must not already exist (ConfigError otherwise). Unlike
+  /// merge_stratum, no arithmetic touches the partial — counters merged
+  /// into a default-zero stratum would go through `0.0 + v`, which is
+  /// not the identity for every double — so a parsed checkpoint block
+  /// is bit-identical to the aggregator that was written.
+  void restore_stratum(std::string key, StratumAggregate partial);
+
   std::uint64_t cells_seen() const { return cells_seen_; }
   const std::map<std::string, StratumAggregate>& strata() const {
     return strata_;
@@ -174,6 +219,16 @@ class SweepAggregator {
   std::uint64_t cells_seen_ = 0;
   std::map<std::string, StratumAggregate> strata_;
 };
+
+/// Order-sensitive FNV-1a fold of every scalar write_sweep_json records
+/// for a cell (bit patterns, not rounded text). Two passes over the same
+/// grid produce equal digests iff every cell result is bit-identical —
+/// the O(1)-memory determinism gate behind `bench_sweep --cells=off`,
+/// where the per-cell results vector is never materialized.
+std::uint64_t fold_result_digest(std::uint64_t digest, const SimResult& result);
+
+/// Seed for fold_result_digest chains (FNV-1a offset basis).
+inline constexpr std::uint64_t kResultDigestSeed = 0xcbf29ce484222325ULL;
 
 /// Timing metadata recorded alongside the per-cell results.
 struct SweepRunInfo {
@@ -191,6 +246,11 @@ struct SweepRunInfo {
   /// jobs=1 baseline pass was taken — the single pass is its own
   /// baseline and no speedup is measurable.
   bool serial_fallback = false;
+  /// Peak resident set size of the measuring process (getrusage
+  /// ru_maxrss), measured by the bench harness just before emission;
+  /// 0 = not measured. Makes memory-boundedness claims checkable from
+  /// the JSON record instead of asserted.
+  std::uint64_t peak_rss_bytes = 0;
 
   double speedup() const {
     return (serial_wall_seconds > 0.0 && wall_seconds > 0.0)
@@ -212,5 +272,21 @@ void write_sweep_json(std::ostream& os, const std::vector<SweepCell>& cells,
 /// histograms. Constant-size output however many cells streamed through.
 void write_aggregate_json(std::ostream& os, const SweepAggregator& agg,
                           const SweepRunInfo& info);
+
+/// Emits just the `"strata": [...]` key/value pair of the aggregate
+/// record at the given indent depth (no trailing comma or newline) —
+/// shared by write_aggregate_json, the cells-off sweep record, and
+/// BENCH_fleet.json so all three stay schema-aligned.
+void write_strata_json(std::ostream& os, const SweepAggregator& agg,
+                       int indent);
+
+/// Cells-off sweep record: the run metadata of write_sweep_json plus the
+/// per-stratum aggregates and the streaming determinism digest — but no
+/// cells[] array, so output size and memory are bounded by strata count
+/// however large the grid was (`bench_sweep --cells=off`).
+void write_sweep_summary_json(std::ostream& os, const SweepAggregator& agg,
+                              const SweepRunInfo& info,
+                              std::uint64_t cell_count,
+                              std::uint64_t cells_digest);
 
 }  // namespace flexfetch::sim

@@ -96,6 +96,11 @@ const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
   return it != histograms_.end() ? &it->second : nullptr;
 }
 
+void MetricsRegistry::restore(std::string_view name, MetricKind kind,
+                              double value) {
+  touch(name, kind).value = value;
+}
+
 void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, m] : other.metrics_) {
     Metric& mine = touch(name, m.kind);

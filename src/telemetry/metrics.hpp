@@ -75,6 +75,22 @@ class Histogram {
 
   bool operator==(const Histogram& other) const = default;
 
+  /// Reconstructs a histogram from its serialized raw fields — the
+  /// checkpoint-restore inverse of reading (count, sum, min, max,
+  /// buckets). Round-tripping through from_raw yields a histogram whose
+  /// merge behaviour is bit-identical to the original.
+  static Histogram from_raw(std::uint64_t count, double sum, double min,
+                            double max,
+                            const std::array<std::uint64_t, kBuckets>& buckets) {
+    Histogram h;
+    h.count_ = count;
+    h.sum_ = sum;
+    h.min_ = min;
+    h.max_ = max;
+    h.buckets_ = buckets;
+    return h;
+  }
+
  private:
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -109,6 +125,13 @@ class MetricsRegistry {
   /// bucket-wise. Using one name with two different kinds is a
   /// ConfigError.
   void merge(const MetricsRegistry& other);
+
+  /// Checkpoint-restore: recreates a metric with its exact serialized
+  /// kind and value (no arithmetic — a counter restored this way is
+  /// bit-identical to the one that was saved, which add() from zero
+  /// cannot guarantee for every double). Throws ConfigError if the name
+  /// already exists with a different kind.
+  void restore(std::string_view name, MetricKind kind, double value);
 
   /// Sorted name -> metric view (deterministic iteration order).
   const std::map<std::string, Metric, std::less<>>& items() const {

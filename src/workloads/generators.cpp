@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "trace/builder.hpp"
 
 namespace flexfetch::workloads {
@@ -46,8 +47,8 @@ Seconds jittered_think(Seconds mean, Rng& rng, double sigma = 0.45) {
 
 Trace grep_trace(const GrepParams& p, std::uint64_t structure_seed,
                  std::uint64_t run_seed) {
-  Rng structure(structure_seed ^ 0x67726570ULL);  // "grep"
-  Rng run(run_seed ^ 0x67726570ULL);
+  Rng structure(seeds::domain(structure_seed, 0x67726570ULL));  // "grep"
+  Rng run(seeds::domain(run_seed, 0x67726570ULL));
   const auto sizes = sample_file_sizes(p.file_count, p.total_bytes, structure);
 
   TraceBuilder b("grep");
@@ -64,8 +65,8 @@ Trace grep_trace(const GrepParams& p, std::uint64_t structure_seed,
 
 Trace make_trace(const MakeParams& p, std::uint64_t structure_seed,
                  std::uint64_t run_seed) {
-  Rng structure(structure_seed ^ 0x6d616b65ULL);  // "make"
-  Rng run(run_seed ^ 0x6d616b65ULL);
+  Rng structure(seeds::domain(structure_seed, 0x6d616b65ULL));  // "make"
+  Rng run(seeds::domain(run_seed, 0x6d616b65ULL));
 
   const trace::Inode src_base = p.inode_base;
   const trace::Inode hdr_base = p.inode_base + 100'000;
@@ -139,8 +140,8 @@ Trace make_trace(const MakeParams& p, std::uint64_t structure_seed,
 
 Trace xmms_trace(const XmmsParams& p, std::uint64_t structure_seed,
                  std::uint64_t run_seed) {
-  Rng structure(structure_seed ^ 0x786d6d73ULL);  // "xmms"
-  Rng run(run_seed ^ 0x786d6d73ULL);
+  Rng structure(seeds::domain(structure_seed, 0x786d6d73ULL));  // "xmms"
+  Rng run(seeds::domain(run_seed, 0x786d6d73ULL));
   const auto sizes =
       sample_file_sizes(p.song_count, p.song_mean * p.song_count, structure);
 
@@ -169,8 +170,8 @@ Trace xmms_trace(const XmmsParams& p, std::uint64_t structure_seed,
 
 Trace mplayer_trace(const MplayerParams& p, std::uint64_t structure_seed,
                     std::uint64_t run_seed) {
-  Rng structure(structure_seed ^ 0x6d706c61ULL);  // "mpla"
-  Rng run(run_seed ^ 0x6d706c61ULL);
+  Rng structure(seeds::domain(structure_seed, 0x6d706c61ULL));  // "mpla"
+  Rng run(seeds::domain(run_seed, 0x6d706c61ULL));
   const auto aux_sizes =
       sample_file_sizes(p.aux_files, p.aux_mean * p.aux_files, structure);
 
@@ -203,8 +204,8 @@ Trace mplayer_trace(const MplayerParams& p, std::uint64_t structure_seed,
 
 Trace thunderbird_trace(const ThunderbirdParams& p,
                         std::uint64_t structure_seed, std::uint64_t run_seed) {
-  Rng structure(structure_seed ^ 0x74686e64ULL);  // "thnd"
-  Rng run(run_seed ^ 0x74686e64ULL);
+  Rng structure(seeds::domain(structure_seed, 0x74686e64ULL));  // "thnd"
+  Rng run(seeds::domain(run_seed, 0x74686e64ULL));
   const auto small_sizes =
       sample_file_sizes(p.small_files, p.small_mean * p.small_files, structure);
 
@@ -256,7 +257,7 @@ Trace thunderbird_trace(const ThunderbirdParams& p,
 
 Trace acroread_trace(const AcroreadParams& p, std::uint64_t structure_seed,
                      std::uint64_t run_seed) {
-  Rng run(run_seed ^ 0x6163726fULL);  // "acro"
+  Rng run(seeds::domain(run_seed, 0x6163726fULL));  // "acro"
   (void)structure_seed;  // File sizes are fixed by the params.
 
   TraceBuilder b("acroread");

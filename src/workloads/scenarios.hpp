@@ -28,25 +28,56 @@ struct ScenarioBundle {
   trace::Trace oracle_future;
 };
 
+/// Per-user variation knobs for the paper scenarios, used by the fleet
+/// population (src/fleet/). The default-constructed tuning is the exact
+/// identity: every scaling below short-circuits on 1.0, so
+/// scenario_x(seed) and scenario_x(seed, ScenarioTuning{}) build
+/// bit-identical bundles (pinned by tests).
+struct ScenarioTuning {
+  /// Multiplies user think/pacing times (email reading pauses, compile
+  /// times, media refill periods...). >1 = a slower user.
+  double think_scale = 1.0;
+  /// Multiplies workload footprints (file counts, per-file bytes) —
+  /// fleet sweeps run scaled-down scenario instances so a million users
+  /// stay tractable while keeping each scenario's access *shape*.
+  double workload_scale = 1.0;
+};
+
 /// Section 3.3.1 — programming: grep over the source tree, then a kernel
 /// build.
 ScenarioBundle scenario_grep_make(std::uint64_t seed = 1);
+ScenarioBundle scenario_grep_make(std::uint64_t seed,
+                                  const ScenarioTuning& tuning);
 
 /// Section 3.3.2 — media streaming with mplayer.
 ScenarioBundle scenario_mplayer(std::uint64_t seed = 1);
+ScenarioBundle scenario_mplayer(std::uint64_t seed,
+                                const ScenarioTuning& tuning);
 
 /// Section 3.3.3 — email reading + search with Thunderbird.
 ScenarioBundle scenario_thunderbird(std::uint64_t seed = 1);
+ScenarioBundle scenario_thunderbird(std::uint64_t seed,
+                                    const ScenarioTuning& tuning);
 
 /// Section 3.3.4 — grep+make while xmms (disk-pinned, unprofiled MP3s)
 /// keeps the disk spinning.
 ScenarioBundle scenario_forced_spinup(std::uint64_t seed = 1);
+ScenarioBundle scenario_forced_spinup(std::uint64_t seed,
+                                      const ScenarioTuning& tuning);
 
 /// Section 3.3.5 — Acroread whose profile was recorded from a much lighter
 /// run (2 MB PDFs at 25 s) than the current one (20 MB PDFs at 10 s).
 ScenarioBundle scenario_stale_acroread(std::uint64_t seed = 1);
+ScenarioBundle scenario_stale_acroread(std::uint64_t seed,
+                                       const ScenarioTuning& tuning);
 
 /// All five, in paper order.
 std::vector<ScenarioBundle> all_scenarios(std::uint64_t seed = 1);
+std::vector<ScenarioBundle> all_scenarios(std::uint64_t seed,
+                                          const ScenarioTuning& tuning);
+
+/// Number of scenarios all_scenarios returns (fleet population mixes
+/// sample a scenario index in [0, kScenarioCount)).
+inline constexpr std::size_t kScenarioCount = 5;
 
 }  // namespace flexfetch::workloads

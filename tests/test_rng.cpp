@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <vector>
 
 namespace flexfetch {
@@ -190,6 +191,47 @@ TEST(Rng, SatisfiesUniformRandomBitGenerator) {
   static_assert(std::uniform_random_bit_generator<Rng>);
   EXPECT_EQ(Rng::min(), 0u);
   EXPECT_EQ(Rng::max(), ~0ULL);
+}
+
+// Golden pins for the centralized seed derivation (common/rng.hpp
+// seeds::). These literals are load-bearing: every fleet population,
+// fault schedule, and scenario seed flows through these functions, so a
+// change here re-rolls every fleet artifact. Update them only with a
+// deliberate, documented re-roll.
+TEST(Seeds, DeriveStreamGoldenValues) {
+  static_assert(seeds::derive_stream(1, 2) == 0x8662547e20f327b6ULL);
+  EXPECT_EQ(seeds::derive_stream(1, seeds::kFleetUserDomain, 0),
+            0x8abe8b67e645f2d2ULL);
+  EXPECT_EQ(seeds::derive_stream(1, seeds::kFleetUserDomain, 1),
+            0x928c588336a51cb5ULL);
+  EXPECT_EQ(seeds::derive_stream(1, seeds::kFleetFaultDomain, 7),
+            0x23d12f59a1eab54aULL);
+  EXPECT_EQ(seeds::derive_stream(1, seeds::kFleetScenarioDomain, 3),
+            0x0d2d50ed6327c1a1ULL);
+  EXPECT_EQ(seeds::derive_stream(2, seeds::kFleetUserDomain, 0),
+            0x11395858cfd38ab8ULL);
+}
+
+TEST(Seeds, StreamsAreDistinctAcrossIndexAndDomain) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    seen.insert(seeds::derive_stream(1, seeds::kFleetUserDomain, k));
+    seen.insert(seeds::derive_stream(1, seeds::kFleetFaultDomain, k));
+  }
+  EXPECT_EQ(seen.size(), 2000u);  // No collisions in practical ranges.
+}
+
+// The legacy helpers are FROZEN arithmetic: they exist to give the
+// historical ad-hoc seed expressions one named home, and they must keep
+// producing the exact values the pre-fleet artifacts were generated
+// with. If one of these fails, every committed BENCH_*.json is stale.
+TEST(Seeds, LegacyHelpersAreFrozen) {
+  static_assert(seeds::profile_run(1) == 2);
+  static_assert(seeds::eval_run(1) == 3);
+  static_assert(seeds::profile_run(5) == 10);
+  static_assert(seeds::eval_run(5) == 11);
+  static_assert(seeds::domain(42, 0x67726570ULL) == (42ULL ^ 0x67726570ULL));
+  EXPECT_EQ(seeds::domain(7, 0x6d616b65ULL), 7ULL ^ 0x6d616b65ULL);
 }
 
 }  // namespace

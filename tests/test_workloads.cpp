@@ -175,5 +175,39 @@ TEST(Scenarios, DifferentSeedsProduceDifferentScenarios) {
   EXPECT_NE(a.programs[0].trace.end_time(), b.programs[0].trace.end_time());
 }
 
+// The default-constructed ScenarioTuning must be the EXACT identity:
+// every pre-fleet artifact was generated through the untuned entry
+// points, and those now delegate through the tuned ones. Record-level
+// equality (SyscallRecord has defaulted operator==) catches any scaling
+// helper that fails to short-circuit at 1.0.
+TEST(Scenarios, DefaultTuningIsBitIdentical) {
+  for (std::size_t i = 0; i < kScenarioCount; ++i) {
+    SCOPED_TRACE("scenario " + std::to_string(i));
+    const auto untuned = all_scenarios(7)[i];
+    const auto tuned = all_scenarios(7, ScenarioTuning{})[i];
+    ASSERT_EQ(untuned.programs.size(), tuned.programs.size());
+    for (std::size_t p = 0; p < untuned.programs.size(); ++p) {
+      EXPECT_EQ(untuned.programs[p].trace.records(),
+                tuned.programs[p].trace.records());
+    }
+    EXPECT_EQ(untuned.oracle_future.records(), tuned.oracle_future.records());
+    EXPECT_EQ(untuned.profiles.size(), tuned.profiles.size());
+  }
+}
+
+TEST(Scenarios, TuningActuallyScales) {
+  const ScenarioTuning light{1.0, 0.1};
+  const auto full = scenario_grep_make(1);
+  const auto scaled = scenario_grep_make(1, light);
+  // A 10x-lighter workload must shed most of its records...
+  EXPECT_LT(scaled.programs[0].trace.size(), full.programs[0].trace.size());
+  // ...while a slower user stretches time without changing the workload.
+  const ScenarioTuning slow{3.0, 1.0};
+  const auto stretched = scenario_grep_make(1, slow);
+  EXPECT_GT(stretched.programs[1].trace.end_time(),
+            full.programs[1].trace.end_time());
+  EXPECT_EQ(stretched.programs[0].trace.size(), full.programs[0].trace.size());
+}
+
 }  // namespace
 }  // namespace flexfetch::workloads
