@@ -8,19 +8,28 @@ device::DeviceKind decide_source(const Estimate& disk, const Estimate& network,
                                  double loss_rate) {
   FF_REQUIRE(loss_rate >= 0.0, "loss rate must be non-negative");
 
-  // Rule 1: disk dominates.
-  if (disk.time < network.time && disk.energy < network.energy) {
+  // Dominance is *weak*: no worse on both axes suffices (exact ties on
+  // both fall to the disk, the default source). The historical strict-<
+  // rules had gaps — a network estimate strictly faster at equal energy
+  // (or strictly cheaper at equal time under loss_rate == 0) dominated
+  // yet fell through to disk.
+  //
+  // Rule 1: disk is no worse on both axes.
+  if (disk.time <= network.time && disk.energy <= network.energy) {
     return device::DeviceKind::kDisk;
   }
-  // Rule 2: network dominates.
-  if (network.time < disk.time && network.energy < disk.energy) {
+  // Rule 2: network is no worse on both axes (Rule 1 failed, so it is
+  // strictly better on at least one).
+  if (network.time <= disk.time && network.energy <= disk.energy) {
     return device::DeviceKind::kNetwork;
   }
-  // Rule 3: network saves energy at a bounded, worthwhile performance loss.
+  // Rule 3: network saves energy at a bounded, worthwhile performance
+  // loss. Rules 1/2 leave only strict trade-offs here, and the configured
+  // rate is the highest *tolerable* loss — inclusive at the boundary.
   if (network.energy < disk.energy && disk.energy > Joules{} && disk.time > Seconds{}) {
     const double energy_saving = (disk.energy - network.energy) / disk.energy;
     const double time_loss = (network.time - disk.time) / disk.time;
-    if (energy_saving >= time_loss && time_loss < loss_rate) {
+    if (energy_saving >= time_loss && time_loss <= loss_rate) {
       return device::DeviceKind::kNetwork;
     }
   }

@@ -13,13 +13,15 @@ struct Estimate {
 };
 
 /// Applies the paper's three rules, given the estimates for both sources
-/// and the user's maximum tolerable I/O performance loss rate (e.g. 0.25):
+/// and the user's maximum tolerable I/O performance loss rate (e.g. 0.25).
+/// Dominance is weak (<= on both axes; an exact tie on both falls to the
+/// disk, the default source) and the loss-rate bound is inclusive:
 ///
-///  1. T_disk < T_net  and E_disk < E_net                      -> disk
-///  2. T_net  < T_disk and E_net  < E_disk                     -> network
+///  1. T_disk <= T_net  and E_disk <= E_net                     -> disk
+///  2. T_net  <= T_disk and E_net  <= E_disk                    -> network
 ///  3. E_net < E_disk and (E_disk-E_net)/E_disk >= (T_net-T_disk)/T_disk
-///     and (T_net-T_disk)/T_disk < loss_rate                   -> network
-///     otherwise                                               -> disk
+///     and (T_net-T_disk)/T_disk <= loss_rate                   -> network
+///     otherwise                                                -> disk
 device::DeviceKind decide_source(const Estimate& disk, const Estimate& network,
                                  double loss_rate);
 

@@ -124,6 +124,12 @@ constexpr tele::EventDesc kFreeRide{.name = "free_ride",
                                     .level = tele::Level::kKey,
                                     .track = tele::track::kPolicy};
 
+constexpr tele::EventDesc kLossRate{.name = "ff.loss_rate",
+                                    .category = tele::Category::kBattery,
+                                    .phase = tele::Phase::kCounter,
+                                    .level = tele::Level::kVerbose,
+                                    .track = tele::track::kBattery};
+
 }  // namespace
 
 FlexFetchPolicy::FlexFetchPolicy(FlexFetchConfig config, Profile profile)
@@ -139,7 +145,28 @@ FlexFetchPolicy::FlexFetchPolicy(FlexFetchConfig config,
 std::string FlexFetchPolicy::name() const {
   const bool is_static = !config_.adapt_splice && !config_.adapt_stage_audit &&
                          !config_.adapt_cache_filter && !config_.adapt_free_rider;
-  return is_static ? "FlexFetch-static" : "FlexFetch";
+  std::string n = is_static ? "FlexFetch-static" : "FlexFetch";
+  if (config_.loss_curve != nullptr) {
+    n += "-adaptive(" + config_.loss_curve->name() + ")";
+  }
+  return n;
+}
+
+double FlexFetchPolicy::current_loss_rate(sim::SimContext& ctx) const {
+  if (config_.loss_curve == nullptr) return config_.loss_rate;
+  // No tracker (a context built outside a Simulator): a default
+  // BatteryState — full charge, on battery — is the conservative read.
+  const energy::BatteryState state = ctx.battery() != nullptr
+                                         ? ctx.battery()->state()
+                                         : energy::BatteryState{};
+  return config_.loss_curve->loss_rate(state);
+}
+
+double FlexFetchPolicy::sample_loss_rate(sim::SimContext& ctx) {
+  const double rate = current_loss_rate(ctx);
+  loss_rate_hist_.record(rate);
+  FF_EMIT_COUNTER(ctx.recorder(), kLossRate, ctx.now(), rate);
+  return rate;
 }
 
 void FlexFetchPolicy::begin(sim::SimContext& ctx) {
@@ -191,7 +218,8 @@ DeviceKind FlexFetchPolicy::evaluate(std::span<const IOBurst> bursts,
     audit->check_estimate_purity(*purity, ctx.disk(), ctx.wnic(),
                                  ctx.recorder());
   }
-  DeviceKind decision = decide_source(disk, net, config_.loss_rate);
+  const double loss_rate = sample_loss_rate(ctx);
+  DeviceKind decision = decide_source(disk, net, loss_rate);
   // Hysteresis: abandoning the currently used source needs a clear
   // estimated win; switching itself costs a transition on one device and a
   // rundown on the other.
@@ -211,6 +239,7 @@ DeviceKind FlexFetchPolicy::evaluate(std::span<const IOBurst> bursts,
                                          .burst_count = bursts.size(),
                                          .disk = disk,
                                          .network = net,
+                                         .loss_rate = loss_rate,
                                          .decision = decision});
   FF_EMIT_INSTANT(ctx.recorder(),
                   origin == DecisionRecord::Origin::kStageEntry
@@ -282,7 +311,9 @@ void FlexFetchPolicy::finish_stage(sim::SimContext& ctx) {
         choice_ == DeviceKind::kDisk ? actual : alternative;
     const Estimate& net_est =
         choice_ == DeviceKind::kDisk ? alternative : actual;
-    DeviceKind winner = decide_source(disk_est, net_est, config_.loss_rate);
+    // The audit judges with the rate that applies *now* — adaptive curves
+    // legitimately tighten or relax the verdict as the battery drains.
+    DeviceKind winner = decide_source(disk_est, net_est, sample_loss_rate(ctx));
     const DeviceKind measured_winner = winner;
     // Hysteresis: only declare the alternative the winner when it is
     // materially better, so near-ties do not cause flip-flopping (each flip
@@ -542,6 +573,9 @@ void FlexFetchPolicy::export_metrics(telemetry::MetricsRegistry& m) const {
   m.add("ff.shadow_requests_replayed", num(stats_.shadow_requests_replayed));
   m.add("ff.syscalls_tracked", num(stats_.syscalls_tracked));
   m.set("ff.overhead_energy_j", overhead_energy().value());
+  if (!loss_rate_hist_.empty()) {
+    m.histogram("ff.loss_rate").merge(loss_rate_hist_);
+  }
 }
 
 void FlexFetchPolicy::end(sim::SimContext& ctx) {

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "core/estimator.hpp"
 #include "core/profile.hpp"
 #include "core/stage.hpp"
+#include "energy/loss_curve.hpp"
 #include "sim/context.hpp"
 #include "sim/policy.hpp"
 
@@ -34,7 +36,16 @@ namespace flexfetch::core {
 
 struct FlexFetchConfig {
   /// Maximum tolerable I/O performance loss rate (paper uses 25 %).
+  /// The static fallback: consulted only when no loss_curve is set.
   double loss_rate = 0.25;
+  /// Battery-adaptive loss rate (ROADMAP item 2): when set, every
+  /// decision-rule evaluation queries this curve with the simulator's
+  /// tracked BatteryState instead of reading the static knob — spending
+  /// performance freely on wall power, aggressively near empty. Shared,
+  /// stateless and const: copies of the config are cheap and decisions
+  /// stay pure. `energy::make_loss_curve("constant@0.25")` reproduces the
+  /// static policy bit-for-bit (gated in bench_battery).
+  std::shared_ptr<const energy::LossRateCurve> loss_curve;
   /// Minimal profiled span of an evaluation stage (paper uses 40 s).
   Seconds stage_min_length = Seconds{40.0};
   /// I/O burst threshold; <= 0 derives it from the disk's average access
@@ -96,6 +107,9 @@ struct DecisionRecord {
   std::size_t burst_count = 0;
   Estimate disk;
   Estimate network;
+  /// The loss rate this evaluation actually used (curve-sampled or the
+  /// static knob) — pins adaptive behaviour in tests and sweep deltas.
+  double loss_rate = 0.0;
   device::DeviceKind decision = device::DeviceKind::kDisk;
 };
 
@@ -167,7 +181,15 @@ class FlexFetchPolicy : public sim::Policy {
            config_.overhead_per_op;
   }
 
+  /// The loss rate the next decision would use: the curve sampled at the
+  /// current battery state, or the static knob when no curve is set.
+  double current_loss_rate(sim::SimContext& ctx) const;
+
  private:
+  /// current_loss_rate + bookkeeping (histogram fold, telemetry counter)
+  /// — the sampling point every decision-rule evaluation goes through.
+  double sample_loss_rate(sim::SimContext& ctx);
+
   void enter_stage(sim::SimContext& ctx);
   void finish_stage(sim::SimContext& ctx);
   void maybe_advance_stage(Seconds now, sim::SimContext& ctx);
@@ -230,6 +252,9 @@ class FlexFetchPolicy : public sim::Policy {
 
   FlexFetchStats stats_;
   std::vector<DecisionRecord> decision_log_;
+  /// Loss rates actually used by decisions (ff.loss_rate in metrics) —
+  /// constant for the static knob, battery-shaped for adaptive curves.
+  telemetry::Histogram loss_rate_hist_;
 };
 
 }  // namespace flexfetch::core

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "energy/loss_curve.hpp"
 
 namespace flexfetch::fleet {
 
@@ -118,9 +119,12 @@ UserParams PopulationGenerator::user(std::uint64_t k) const {
 }
 
 double PopulationGenerator::loss_rate_for(const UserParams& u) const {
-  const double drain = 1.0 - u.battery_level;
-  return spec_.loss_rate_full +
-         (spec_.loss_rate_empty - spec_.loss_rate_full) * drain;
+  // Delegates to the shared linear curve so the fleet's battery->loss-rate
+  // mapping and the adaptive policy family ("flexfetch-adaptive:linear")
+  // are one formula. The curve's arithmetic is frozen to this module's
+  // original interpolation; golden checkpoint digests pin it bit-for-bit.
+  const energy::LinearCurve curve(spec_.loss_rate_full, spec_.loss_rate_empty);
+  return curve.loss_rate(energy::BatteryState{.fraction = u.battery_level});
 }
 
 }  // namespace flexfetch::fleet

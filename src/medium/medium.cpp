@@ -7,13 +7,6 @@
 
 namespace flexfetch::medium {
 
-double BatteryParams::fraction_at(Seconds t, Joules device_energy) const {
-  FF_ASSERT(capacity > Joules{});
-  const Joules drained = base_drain * t + device_energy;
-  const double f = initial_fraction - drained / capacity;
-  return std::clamp(f, 0.0, 1.0);
-}
-
 SharedMedium::SharedMedium(MediumParams params, ServerParams server)
     : params_(params), server_(std::move(server)) {
   FF_REQUIRE(params_.congestion_tau > Seconds{0.0},
@@ -24,12 +17,15 @@ std::size_t SharedMedium::add_client(double link_quality,
                                      BatteryParams battery) {
   FF_REQUIRE(link_quality > 0.0 && link_quality <= 1.0,
              "medium: link_quality must be in (0, 1]");
-  FF_REQUIRE(battery.capacity > Joules{},
-             "medium: battery capacity must be positive");
+  // Validated, not clamped: clamping only the admission copy let an
+  // out-of-range initial_fraction drift — fraction_at computed from the
+  // unclamped value, so the first report_battery jumped past the admitted
+  // level.
+  battery.validate();
   Client c;
   c.link_quality = link_quality;
   c.battery = battery;
-  c.reported_battery = std::clamp(battery.initial_fraction, 0.0, 1.0);
+  c.reported_battery = battery.initial_fraction;
   c.session = std::make_unique<Session>(this, clients_.size());
   clients_.push_back(std::move(c));
   return clients_.size() - 1;

@@ -41,23 +41,16 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "energy/battery.hpp"
 #include "medium/link.hpp"
 #include "medium/server.hpp"
 
 namespace flexfetch::medium {
 
-/// Per-client battery model for admission reporting: a linear platform
-/// drain plus the metered device energy, against a fixed capacity.
-struct BatteryParams {
-  Joules capacity = Joules{180000.0};  ///< ~50 Wh laptop pack.
-  double initial_fraction = 1.0;
-  /// Platform draw outside the modeled disk + WNIC (CPU, display...).
-  Watts base_drain = Watts{10.0};
-
-  /// Reported fraction at `t` having metered `device_energy`, clamped to
-  /// [0, 1].
-  double fraction_at(Seconds t, Joules device_energy) const;
-};
+/// The battery model lives in the energy module (energy/battery.hpp) so
+/// admission reporting and the adaptive loss-rate policies read one
+/// state; the medium keeps the historical name as an alias.
+using BatteryParams = energy::BatteryParams;
 
 struct MediumParams {
   /// Tolerance for the audit's share-sum invariant (pure float slack; the

@@ -32,6 +32,10 @@ MultiClientResult MultiClientSim::run() {
   sims.reserve(clients_.size());
   for (std::size_t i = 0; i < clients_.size(); ++i) {
     ClientSpec& c = clients_[i];
+    // ClientSpec::battery is canonical: the same params drive the medium's
+    // admission reporting (above) and the simulator's BatteryTracker, so an
+    // adaptive policy and the server's priority see one battery state.
+    c.config.battery = c.battery;
     sims.push_back(std::make_unique<sim::Simulator>(
         c.config, std::move(c.programs), *c.policy));
     sims.back()->attach_medium(medium.session(i));

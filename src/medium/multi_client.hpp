@@ -43,6 +43,10 @@ struct ClientSpec {
   sim::Policy* policy = nullptr;
   /// PHY rate penalty in (0, 1] — see SharedMedium.
   double link_quality = 1.0;
+  /// Canonical battery parameters for this client. run() copies them into
+  /// `config.battery` (overwriting whatever the config carried) so the
+  /// medium's admission reporting and the simulator's BatteryTracker —
+  /// hence any battery-adaptive policy — observe one battery state.
   BatteryParams battery;
 };
 

@@ -1,6 +1,9 @@
 #include "policies/factory.hpp"
 
+#include <string_view>
+
 #include "common/error.hpp"
+#include "energy/loss_curve.hpp"
 
 namespace flexfetch::policies {
 
@@ -17,6 +20,19 @@ std::unique_ptr<sim::Policy> make_policy(const std::string& name,
                                        ? core::FlexFetchConfig{}
                                        : core::FlexFetchConfig::static_variant();
     config.loss_rate = loss_rate;
+    return std::make_unique<core::FlexFetchPolicy>(config, profiles);
+  }
+  // Battery-adaptive FlexFetch: "flexfetch-adaptive:<curve-spec>", where
+  // the spec is anything energy::make_loss_curve accepts ("linear",
+  // "constant@0.25", "horizon-ratio@1800:0.05:0.5", ...). The static
+  // `loss_rate` argument doubles as the fallback rate for bare "constant".
+  constexpr std::string_view kAdaptivePrefix = "flexfetch-adaptive:";
+  if (name.rfind(kAdaptivePrefix, 0) == 0) {
+    FF_REQUIRE(!profiles.empty(), "make_policy: FlexFetch needs profiles");
+    core::FlexFetchConfig config;
+    config.loss_rate = loss_rate;
+    config.loss_curve = energy::make_loss_curve(
+        name.substr(kAdaptivePrefix.size()), loss_rate);
     return std::make_unique<core::FlexFetchPolicy>(config, profiles);
   }
   if (name == "oracle") {

@@ -4,6 +4,7 @@
 #include "common/units.hpp"
 #include "device/disk.hpp"
 #include "device/wnic.hpp"
+#include "energy/battery.hpp"
 #include "os/file_layout.hpp"
 #include "os/process.hpp"
 #include "os/vfs.hpp"
@@ -51,6 +52,15 @@ class SimContext {
   /// The run's invariant auditor, or nullptr when auditing is off.
   faults::SimAudit* audit() const { return audit_; }
 
+  /// The simulator's battery tracker (read-only for policies; the
+  /// simulator owns and advances it), or nullptr when no battery is
+  /// modeled (contexts built outside a Simulator). Adaptive loss-rate
+  /// curves read their BatteryState here.
+  const energy::BatteryTracker* battery() const { return battery_; }
+  void set_battery(const energy::BatteryTracker* battery) {
+    battery_ = battery;
+  }
+
  private:
   Seconds now_ = Seconds{0.0};
   device::Disk& disk_;
@@ -61,6 +71,7 @@ class SimContext {
   telemetry::Recorder* recorder_ = nullptr;
   const faults::FaultSchedule* faults_ = nullptr;
   faults::SimAudit* audit_ = nullptr;
+  const energy::BatteryTracker* battery_ = nullptr;
 };
 
 }  // namespace flexfetch::sim

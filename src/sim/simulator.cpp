@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 
 #include "common/error.hpp"
@@ -27,6 +28,20 @@ constexpr tele::EventDesc kSyscallWrite{.name = "syscall.write",
                                         .n_args = 3,
                                         .track = tele::track::kSim,
                                         .keys = {"inode", "bytes", "pgid"}};
+
+// Battery trajectory counters, sampled at the tracker's cadence (not per
+// event): the level story of a run in a handful of points.
+constexpr tele::EventDesc kBatteryLevel{.name = "battery.level",
+                                        .category = tele::Category::kBattery,
+                                        .phase = tele::Phase::kCounter,
+                                        .level = tele::Level::kVerbose,
+                                        .track = tele::track::kBattery};
+
+constexpr tele::EventDesc kBatteryDrain{.name = "battery.drain_w",
+                                        .category = tele::Category::kBattery,
+                                        .phase = tele::Phase::kCounter,
+                                        .level = tele::Level::kVerbose,
+                                        .track = tele::track::kBattery};
 
 constexpr tele::EventDesc kSchedDepth{.name = "sched.depth",
                                       .category = tele::Category::kScheduler,
@@ -69,10 +84,12 @@ Simulator::Simulator(SimConfig config, std::vector<ProgramSpec> programs,
       recorder_(config.telemetry.enabled
                     ? std::make_unique<telemetry::Recorder>(config.telemetry)
                     : nullptr),
+      battery_(config.battery),  // Validates config.battery.
       ctx_(disk_, wnic_, vfs_, layout_, processes_, recorder_.get(),
            config_.faults.empty() ? nullptr : &config_.faults,
            config_.audit.enabled ? &audit_.emplace(config_.audit) : nullptr) {
   FF_REQUIRE(!programs.empty(), "simulator: no programs");
+  ctx_.set_battery(&battery_);
   if (recorder_) {
     disk_.attach_telemetry(recorder_.get());
     wnic_.attach_telemetry(recorder_.get());
@@ -190,6 +207,15 @@ bool Simulator::step() {
     if (active_programs_ > 0 || sync_->pending_upload() > Bytes{}) {
       schedule(sync_->next_wakeup(ev.time), EventKind::kSync, 0);
     }
+  }
+  // Feed the battery model the post-event energy trajectory. The tracker
+  // subsamples internally, so the common case is one compare; counters go
+  // out only when a sample is actually folded.
+  if (battery_.observe(ev.time, device_energy())) {
+    FF_EMIT_COUNTER(recorder_.get(), kBatteryLevel, ev.time,
+                    battery_.fraction());
+    FF_EMIT_COUNTER(recorder_.get(), kBatteryDrain, ev.time,
+                    battery_.drain_estimate().value());
   }
   if (audit_) audit_->on_event(ev.time, disk_, wnic_, vfs_);
   return true;
@@ -526,6 +552,14 @@ void Simulator::populate_metrics() {
 
   m.add("wb.sync_flushes", num(wb_sync_flushes_));
   m.add("wb.periodic_flushes", num(wb_periodic_flushes_));
+
+  m.set("battery.fraction_end", battery_.fraction());
+  m.set("battery.drain_w_est", battery_.drain_estimate().value());
+  // Unbounded on wall power — JSON has no infinity, so only a finite
+  // horizon is recorded.
+  if (std::isfinite(battery_.horizon().value())) {
+    m.set("battery.horizon_s", battery_.horizon().value());
+  }
 
   m.add("telemetry.events_emitted", num(recorder_->emitted()));
   m.add("telemetry.dropped", num(recorder_->dropped()));

@@ -17,6 +17,7 @@
 #include "device/adaptive_timeout.hpp"
 #include "device/disk.hpp"
 #include "device/wnic.hpp"
+#include "energy/battery.hpp"
 #include "faults/audit.hpp"
 #include "faults/schedule.hpp"
 #include "hoard/sync.hpp"
@@ -75,6 +76,11 @@ struct SimConfig {
   device::AdaptiveTimeoutConfig adaptive_timeout;
   /// Keep a per-request log in the result (memory-hungry; off by default).
   bool collect_request_log = false;
+  /// Battery model fed by the event loop (validated at construction).
+  /// The defaults — full charge, on battery — reproduce the paper's
+  /// setting; adaptive loss-rate policies read the tracked state through
+  /// SimContext::battery().
+  energy::BatteryParams battery;
   /// Structured event tracing + metrics (off by default; when off, the
   /// instrumentation cost is one null-pointer branch per site).
   telemetry::TelemetryConfig telemetry;
@@ -128,6 +134,8 @@ class Simulator {
   Joules device_energy() const {
     return disk_.meter().total() + wnic_.meter().total();
   }
+  /// The battery model tracking this simulator's energy trajectory.
+  const energy::BatteryTracker& battery() const { return battery_; }
 
  private:
   struct Program {
@@ -193,6 +201,8 @@ class Simulator {
   std::unique_ptr<telemetry::Recorder> recorder_;
   /// Must precede ctx_ for the same reason (ctx_ captures &*audit_).
   std::optional<faults::SimAudit> audit_;
+  /// Must precede ctx_ (ctx_ captures &battery_).
+  energy::BatteryTracker battery_;
   SimContext ctx_;
 
   std::set<trace::Inode> pinned_inodes_;

@@ -14,6 +14,7 @@ const char* to_string(Category c) {
     case Category::kFault: return "fault";
     case Category::kMedium: return "medium";
     case Category::kServer: return "server";
+    case Category::kBattery: return "battery";
   }
   return "?";
 }
@@ -31,6 +32,7 @@ const char* track_name(std::uint32_t track) {
     case track::kFault: return "faults";
     case track::kMedium: return "medium";
     case track::kServer: return "server";
+    case track::kBattery: return "battery";
   }
   return "?";
 }

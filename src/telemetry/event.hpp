@@ -43,9 +43,10 @@ enum class Category : std::uint8_t {
   kFault,      ///< Injected faults (outages, stalls) and fault reactions.
   kMedium,     ///< Shared 802.11 medium (airtime contention).
   kServer,     ///< Remote server slots / admission queueing.
+  kBattery,    ///< Battery model (level, drain estimate, loss rate).
 };
 
-inline constexpr std::size_t kCategoryCount = 10;
+inline constexpr std::size_t kCategoryCount = 11;
 
 const char* to_string(Category c);
 
@@ -81,7 +82,8 @@ inline constexpr std::uint32_t kPolicy = 7;
 inline constexpr std::uint32_t kFault = 8;
 inline constexpr std::uint32_t kMedium = 9;
 inline constexpr std::uint32_t kServer = 10;
-inline constexpr std::uint32_t kCount = 11;
+inline constexpr std::uint32_t kBattery = 11;
+inline constexpr std::uint32_t kCount = 12;
 }  // namespace track
 
 const char* track_name(std::uint32_t track);

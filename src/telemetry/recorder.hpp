@@ -72,7 +72,7 @@ struct TelemetryConfig {
   /// admitted only when its site level is <= the mask entry for its
   /// category (0 silences a category). Defaults to full capture.
   std::array<std::uint8_t, kCategoryCount> category_levels{
-      kLevelFull, kLevelFull, kLevelFull, kLevelFull, kLevelFull,
+      kLevelFull, kLevelFull, kLevelFull, kLevelFull, kLevelFull, kLevelFull,
       kLevelFull, kLevelFull, kLevelFull, kLevelFull, kLevelFull};
   /// Deterministic 1-in-N sampler applied after the level check: of every
   /// `sample_every` level-admitted events, exactly one is recorded. 1 (the

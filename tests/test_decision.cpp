@@ -36,10 +36,40 @@ TEST(Decision, Rule3RejectsWhenSavingBelowLoss) {
   EXPECT_EQ(decide_source(est(Seconds{10}, Joules{100}), est(Seconds{12}, Joules{90}), 0.25), DeviceKind::kDisk);
 }
 
-TEST(Decision, LossRateBoundaryIsExclusive) {
-  // Loss exactly equals the rate: "n > m" in the paper means rejection at
-  // equality of n and m (the condition requires n < m).
+TEST(Decision, LossRateBoundaryIsInclusive) {
+  // Loss exactly equals the rate: the configured rate is the highest
+  // *tolerable* loss, so equality is still tolerable — accepted.
   EXPECT_EQ(decide_source(est(Seconds{10}, Joules{100}), est(Seconds{12.5}, Joules{50}), 0.25),
+            DeviceKind::kNetwork);
+}
+
+// --- Weak-dominance tie matrix (regression for the strict-< gaps). -------
+
+TEST(Decision, EqualTimeCheaperNetworkWins) {
+  // Historical gap: at equal time a strictly cheaper network fell through
+  // to disk when loss_rate == 0 (Rule 3's strict bound rejected loss 0).
+  EXPECT_EQ(decide_source(est(Seconds{10}, Joules{100}), est(Seconds{10}, Joules{60}), 0.0),
+            DeviceKind::kNetwork);
+  EXPECT_EQ(decide_source(est(Seconds{10}, Joules{100}), est(Seconds{10}, Joules{60}), 0.25),
+            DeviceKind::kNetwork);
+}
+
+TEST(Decision, EqualEnergyFasterNetworkWins) {
+  // Historical gap: at equal energy a strictly faster network failed every
+  // rule (Rule 2 wanted strict <, Rule 3 wants strict energy saving).
+  EXPECT_EQ(decide_source(est(Seconds{10}, Joules{100}), est(Seconds{8}, Joules{100}), 0.25),
+            DeviceKind::kNetwork);
+  EXPECT_EQ(decide_source(est(Seconds{10}, Joules{100}), est(Seconds{8}, Joules{100}), 0.0),
+            DeviceKind::kNetwork);
+}
+
+TEST(Decision, EqualTimeCheaperDiskWins) {
+  EXPECT_EQ(decide_source(est(Seconds{10}, Joules{60}), est(Seconds{10}, Joules{100}), 1.0),
+            DeviceKind::kDisk);
+}
+
+TEST(Decision, EqualEnergyFasterDiskWins) {
+  EXPECT_EQ(decide_source(est(Seconds{8}, Joules{100}), est(Seconds{10}, Joules{100}), 1.0),
             DeviceKind::kDisk);
 }
 

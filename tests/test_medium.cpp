@@ -184,6 +184,36 @@ TEST(SharedMedium, BatteryReportsDischargeAndClamp) {
   EXPECT_DOUBLE_EQ(m.battery_fraction(c), 0.0);  // Clamped at empty.
 }
 
+TEST(SharedMedium, AddClientValidatesBatteryInsteadOfClamping) {
+  // Clamp-drift regression: add_client used to silently clamp an
+  // out-of-range initial_fraction into [0, 1], masking configuration bugs
+  // (a 1.2 "120% battery" was admitted at full charge). Bad parameters
+  // must throw at the construction site instead.
+  SharedMedium m(MediumParams{}, ServerParams{});
+  BatteryParams batt;
+  batt.initial_fraction = 1.2;
+  EXPECT_THROW(m.add_client(1.0, batt), ConfigError);
+  batt.initial_fraction = -0.1;
+  EXPECT_THROW(m.add_client(1.0, batt), ConfigError);
+  batt = BatteryParams{};
+  batt.capacity = Joules{0.0};
+  EXPECT_THROW(m.add_client(1.0, batt), ConfigError);
+  batt = BatteryParams{};
+  batt.base_drain = Watts{-2.0};
+  EXPECT_THROW(m.add_client(1.0, batt), ConfigError);
+
+  // In-range boundary values are admitted verbatim: the reported fraction
+  // starts exactly at initial_fraction, no clamp drift.
+  batt = BatteryParams{};
+  batt.initial_fraction = 0.0;
+  const std::size_t c = m.add_client(1.0, batt);
+  EXPECT_DOUBLE_EQ(m.battery_fraction(c), 0.0);
+  // A later report never lifts it above the admitted level on battery
+  // power (discharge is monotone).
+  m.report_battery(c, Seconds{10.0}, Joules{0.0});
+  EXPECT_DOUBLE_EQ(m.battery_fraction(c), 0.0);
+}
+
 // ---------------------------------------------------------------------------
 // Wnic integration through a stub ClientLink.
 

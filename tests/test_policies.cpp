@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "energy/loss_curve.hpp"
 #include "policies/bluefs.hpp"
 #include "policies/factory.hpp"
 #include "policies/fixed.hpp"
@@ -145,6 +146,80 @@ TEST(Factory, PolicyNamesMatchPaperLabels) {
 
 TEST(Factory, UnknownNameThrows) {
   EXPECT_THROW(make_policy("nonsense"), ConfigError);
+}
+
+TEST(Factory, ParsesAdaptiveSpecs) {
+  const trace::Trace t = paced_trace(5);
+  const std::vector<core::Profile> profiles{
+      core::Profile::from_trace(t, Seconds{0.020})};
+  EXPECT_EQ(make_policy("flexfetch-adaptive:constant@0.25", profiles)->name(),
+            "FlexFetch-adaptive(constant@0.25)");
+  EXPECT_EQ(make_policy("flexfetch-adaptive:linear", profiles)->name(),
+            "FlexFetch-adaptive(linear@0.05:0.5)");
+  EXPECT_EQ(make_policy("flexfetch-adaptive:step@0.3:0.1:0.6", profiles)
+                ->name(),
+            "FlexFetch-adaptive(step@0.3:0.1:0.6)");
+  EXPECT_EQ(make_policy("flexfetch-adaptive:horizon-ratio", profiles)->name(),
+            "FlexFetch-adaptive(horizon-ratio@1800:0.05:0.5)");
+  // A bare constant inherits the cell's loss_rate knob.
+  EXPECT_EQ(
+      make_policy("flexfetch-adaptive:constant", profiles, nullptr, 0.4)
+          ->name(),
+      "FlexFetch-adaptive(constant@0.4)");
+}
+
+TEST(Factory, AdaptiveRejectsBadSpecsAndMissingProfiles) {
+  const trace::Trace t = paced_trace(5);
+  const std::vector<core::Profile> profiles{
+      core::Profile::from_trace(t, Seconds{0.020})};
+  EXPECT_THROW(make_policy("flexfetch-adaptive:parabolic", profiles),
+               ConfigError);
+  EXPECT_THROW(make_policy("flexfetch-adaptive:linear@0.1", profiles),
+               ConfigError);
+  EXPECT_THROW(make_policy("flexfetch-adaptive:linear"), ConfigError);
+}
+
+TEST(Factory, ConstantCurveReproducesStaticFlexFetch) {
+  // The degeneracy gate in miniature (bench_battery runs the full sweep):
+  // FlexFetch with `constant@0.25` must make the same decisions, spend the
+  // same energy and take the same time as the static 25% knob.
+  for (const trace::Trace& t : {paced_trace(), bursty_trace()}) {
+    const std::vector<core::Profile> profiles{
+        core::Profile::from_trace(t, Seconds{0.020})};
+    auto fixed = make_policy("flexfetch", profiles);
+    auto adaptive =
+        make_policy("flexfetch-adaptive:constant@0.25", profiles);
+    const auto r_fixed = sim::simulate(sim::SimConfig{}, t, *fixed);
+    const auto r_adaptive = sim::simulate(sim::SimConfig{}, t, *adaptive);
+    EXPECT_EQ(r_fixed.total_energy().value(),
+              r_adaptive.total_energy().value())
+        << t.name();
+    EXPECT_EQ(r_fixed.makespan.value(), r_adaptive.makespan.value())
+        << t.name();
+    EXPECT_EQ(r_fixed.disk_requests, r_adaptive.disk_requests) << t.name();
+    EXPECT_EQ(r_fixed.net_requests, r_adaptive.net_requests) << t.name();
+  }
+}
+
+TEST(Factory, AdaptiveDecisionsUseCurveSampledRates) {
+  // A near-empty battery with a linear curve must decide with a rate near
+  // loss_rate_empty; the decision log pins the sampled values.
+  const trace::Trace t = paced_trace();
+  const std::vector<core::Profile> profiles{
+      core::Profile::from_trace(t, Seconds{0.020})};
+  core::FlexFetchConfig config;
+  config.loss_curve = energy::make_loss_curve("linear@0.05:0.5");
+  core::FlexFetchPolicy policy(config, profiles);
+  sim::SimConfig sc;
+  sc.battery.capacity = Joules{50000.0};
+  sc.battery.initial_fraction = 0.05;
+  sim::simulate(sc, t, policy);
+  ASSERT_FALSE(policy.decision_log().empty());
+  for (const auto& rec : policy.decision_log()) {
+    // Battery in [0, 0.05] -> linear rate in [0.4775, 0.5].
+    EXPECT_GE(rec.loss_rate, 0.45);
+    EXPECT_LE(rec.loss_rate, 0.5);
+  }
 }
 
 TEST(Factory, FlexFetchWithoutProfilesThrows) {

@@ -397,6 +397,8 @@ TEST(Exporters, GoldenChromeTraceJson) {
     {"name": "thread_sort_index", "ph": "M", "pid": 1, "tid": 9, "args": {"sort_index": 9}},
     {"name": "thread_name", "ph": "M", "pid": 1, "tid": 10, "args": {"name": "server"}},
     {"name": "thread_sort_index", "ph": "M", "pid": 1, "tid": 10, "args": {"sort_index": 10}},
+    {"name": "thread_name", "ph": "M", "pid": 1, "tid": 11, "args": {"name": "battery"}},
+    {"name": "thread_sort_index", "ph": "M", "pid": 1, "tid": 11, "args": {"sort_index": 11}},
     {"name": "free_ride", "cat": "policy", "pid": 1, "tid": 7, "ts": 1500000, "ph": "i", "s": "t", "args": {}},
     {"name": "Active", "cat": "disk", "pid": 1, "tid": 1, "ts": 0, "ph": "X", "dur": 2500000, "args": {"lba": 42, "op": "read"}},
     {"name": "sched.depth", "cat": "scheduler", "pid": 1, "tid": 6, "ts": 3000000, "ph": "C", "args": {"value": 7}}

@@ -32,6 +32,14 @@ R4  simulated time only: src/ must not read the host clock
     All simulation time flows from the event loop; wall-clock timing
     belongs to the bench harness.
 
+R5  one battery model: battery fractions are defined, validated, and
+    clamped only in src/energy/ (energy::clamp_fraction /
+    BatteryParams::validate). A `std::clamp` applied to a battery or
+    fraction quantity anywhere else in src/ silently masks out-of-range
+    configuration instead of rejecting it — the clamp-drift bug this rule
+    is the regression guard for (SharedMedium::add_client used to clamp
+    initial_fraction into [0, 1]).
+
 Exit status is the number of violations (0 = clean).
 """
 from __future__ import annotations
@@ -65,6 +73,9 @@ R4_BANNED = [
 ]
 
 R2_BANNED = re.compile(r"telemetry|attach_telemetry|recorder")
+
+R5_CLAMP = re.compile(r"\bstd::clamp\b")
+R5_BATTERY = re.compile(r"battery|fraction", re.IGNORECASE)
 
 
 def strip_comments(text: str) -> str:
@@ -130,6 +141,18 @@ def main() -> int:
             for pat, name in R4_BANNED:
                 if pat.search(line):
                     report(src, i, "R4", f"{name} in sim code — simulated time only")
+
+    # R5 — battery fractions are clamped only inside the energy module.
+    for src in sorted((ROOT / "src").rglob("*.?pp")):
+        rel = src.relative_to(ROOT / "src")
+        if rel.parts[0] == "energy":
+            continue
+        for i, line in enumerate(lines_of(src), 1):
+            if R5_CLAMP.search(line) and R5_BATTERY.search(line):
+                report(src, i, "R5",
+                       "battery/fraction clamp outside src/energy/ — validate "
+                       "with BatteryParams::validate() or derive the value "
+                       "through the energy module")
 
     if violations:
         print(f"lint_invariants: {len(violations)} violation(s)")
